@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses.
+ *
+ * Every bench binary regenerates one table or figure from the paper:
+ * it prints a header identifying the experiment, the paper's expected
+ * shape, and then the measured rows/series.
+ */
+
+#ifndef FPRAKER_BENCH_BENCH_COMMON_H
+#define FPRAKER_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "trace/model_zoo.h"
+
+namespace fpraker {
+namespace bench {
+
+/** Print the experiment banner. */
+inline void
+banner(const std::string &id, const std::string &title,
+       const std::string &expectation)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s: %s\n", id.c_str(), title.c_str());
+    std::printf("paper expectation: %s\n", expectation.c_str());
+    std::printf("==============================================================\n");
+}
+
+/** Default mid-training progress used by single-point experiments. */
+constexpr double kDefaultProgress = 0.5;
+
+/** Accelerator variants used for the Fig. 11 contribution breakdown. */
+struct AcceleratorVariants
+{
+    AcceleratorConfig zeroOnly;  //!< Zero-term skipping only.
+    AcceleratorConfig zeroBdc;   //!< + base-delta compression.
+    AcceleratorConfig full;      //!< + out-of-bounds skipping.
+};
+
+inline AcceleratorVariants
+makeVariants(int sample_steps)
+{
+    AcceleratorVariants v;
+    v.full = AcceleratorConfig::paperDefault();
+    v.full.sampleSteps = sample_steps;
+
+    v.zeroBdc = v.full;
+    v.zeroBdc.tile.pe.skipOutOfBounds = false;
+
+    v.zeroOnly = v.zeroBdc;
+    v.zeroOnly.useBdc = false;
+    return v;
+}
+
+/** Sampling budget: override with FPRAKER_SAMPLE_STEPS env var. */
+inline int
+sampleSteps(int fallback = 96)
+{
+    if (const char *env = std::getenv("FPRAKER_SAMPLE_STEPS")) {
+        int v = std::atoi(env);
+        if (v > 0)
+            return v;
+    }
+    return fallback;
+}
+
+} // namespace bench
+} // namespace fpraker
+
+#endif // FPRAKER_BENCH_BENCH_COMMON_H

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Extension (paper section VII) — inference with FPRaker: "while we
+ * evaluated FPRaker for training, it can naturally also be used for
+ * inference", particularly for models that still need floating point
+ * (language and recommendation models). This harness runs the
+ * forward pass only, with frozen (end-of-training) value statistics.
+ */
+
+#include "bench_common.h"
+
+namespace fpraker {
+namespace {
+
+int
+run()
+{
+    bench::banner("Extension: inference",
+                  "forward-pass-only speedup at end-of-training "
+                  "statistics",
+                  "floating-point-dependent models (SNLI, NCF, Bert) "
+                  "still benefit; the fixed-point-friendly CNNs would "
+                  "use integer accelerators in deployment");
+
+    AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
+    cfg.sampleSteps = bench::sampleSteps(64);
+    Accelerator accel(cfg);
+
+    Table t({"model", "inference speedup", "serialized tensor"});
+    std::vector<double> speedups;
+    for (const auto &model : modelZoo()) {
+        double fpr = 0, base = 0;
+        TensorKind serial = TensorKind::Activation;
+        for (const auto &layer : model.layers) {
+            LayerOpReport r = accel.runLayerOp(model, layer,
+                                               TrainingOp::Forward, 1.0);
+            fpr += r.fprCycles;
+            base += r.baseCycles;
+            serial = r.serialSide;
+        }
+        double speedup = base / fpr;
+        speedups.push_back(speedup);
+        t.addRow({model.name, Table::cell(speedup),
+                  tensorLabel(serial)});
+    }
+    t.addRow({"Geomean", Table::cell(geomean(speedups)), "-"});
+    t.print();
+    return 0;
+}
+
+} // namespace
+} // namespace fpraker
+
+int
+main()
+{
+    return fpraker::run();
+}

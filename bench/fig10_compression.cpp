@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fig. 10 — normalized exponent footprint after base-delta compression,
+ * per model and tensor, for channel-wise and spatial groupings.
+ */
+
+#include <functional>
+
+#include "bench_common.h"
+#include "compress/base_delta.h"
+#include "trace/tensor_gen.h"
+
+namespace fpraker {
+namespace {
+
+/**
+ * Channel-wise grouping follows the generated stream order (strongest
+ * correlation); spatial grouping is emulated by striding the stream (a
+ * group gathers every 8th value), which weakens — but per the paper
+ * does not destroy — the correlation.
+ */
+double
+footprint(const ModelInfo &model, TensorKind kind, double progress,
+          bool spatial)
+{
+    TensorGenerator gen(model.profile.of(kind).at(progress),
+                        std::hash<std::string>{}(model.name) +
+                            static_cast<uint64_t>(kind) * 13);
+    std::vector<BFloat16> values = gen.generate(16384);
+    if (spatial) {
+        std::vector<BFloat16> strided;
+        strided.reserve(values.size());
+        const size_t stride = 8;
+        for (size_t phase = 0; phase < stride; ++phase)
+            for (size_t i = phase; i < values.size(); i += stride)
+                strided.push_back(values[i]);
+        values.swap(strided);
+    }
+    BaseDeltaCodec codec;
+    return codec.analyze(values).exponentFootprint();
+}
+
+int
+run()
+{
+    bench::banner("Fig. 10",
+                  "normalized exponent footprint after base-delta "
+                  "compression",
+                  "30-70% of the raw exponent bits, effective for both "
+                  "channel-wise (bars) and spatial (markers) groupings");
+
+    Table t({"model", "A chan", "W chan", "G chan", "A spat", "W spat",
+             "G spat"});
+    for (const auto &model : modelZoo()) {
+        auto cell = [&](TensorKind k, bool spatial) {
+            return Table::pct(
+                footprint(model, k, bench::kDefaultProgress, spatial));
+        };
+        t.addRow({model.name, cell(TensorKind::Activation, false),
+                  cell(TensorKind::Weight, false),
+                  cell(TensorKind::Gradient, false),
+                  cell(TensorKind::Activation, true),
+                  cell(TensorKind::Weight, true),
+                  cell(TensorKind::Gradient, true)});
+    }
+    t.print();
+    return 0;
+}
+
+} // namespace
+} // namespace fpraker
+
+int
+main()
+{
+    return fpraker::run();
+}

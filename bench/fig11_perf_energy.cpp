@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fig. 11 — iso-compute-area performance and energy efficiency of
+ * FPRaker vs the baseline, with the contribution breakdown: zero-term
+ * skipping, + exponent base-delta compression (BDC), + out-of-bounds
+ * (OB) term skipping.
+ */
+
+#include "bench_common.h"
+
+namespace fpraker {
+namespace {
+
+int
+run()
+{
+    using bench::banner;
+    banner("Fig. 11",
+           "iso-compute-area performance and energy efficiency vs "
+           "baseline",
+           "geomean ~1.5x total speedup (zero terms +9%, BDC +5.8%, OB "
+           "+35.2%); ResNet18-Q best conv model ~2.04x; SNLI ~1.8x; "
+           "core energy efficiency ~1.4x tracking speedup");
+
+    bench::AcceleratorVariants variants =
+        bench::makeVariants(bench::sampleSteps());
+    Accelerator zero(variants.zeroOnly);
+    Accelerator zero_bdc(variants.zeroBdc);
+    Accelerator full(variants.full);
+
+    Table t({"model", "perf(zero)", "perf(zero+BDC)",
+             "perf(total:+OB)", "core-energy-eff"});
+    std::vector<double> s_zero, s_bdc, s_full, e_core;
+    for (const auto &model : modelZoo()) {
+        ModelRunReport r0 = zero.runModel(model, bench::kDefaultProgress);
+        ModelRunReport r1 =
+            zero_bdc.runModel(model, bench::kDefaultProgress);
+        ModelRunReport r2 = full.runModel(model, bench::kDefaultProgress);
+        s_zero.push_back(r0.speedup());
+        s_bdc.push_back(r1.speedup());
+        s_full.push_back(r2.speedup());
+        e_core.push_back(r2.coreEnergyEfficiency());
+        t.addRow({model.name, Table::cell(r0.speedup()),
+                  Table::cell(r1.speedup()), Table::cell(r2.speedup()),
+                  Table::cell(r2.coreEnergyEfficiency())});
+    }
+    t.addRow({"Geomean", Table::cell(geomean(s_zero)),
+              Table::cell(geomean(s_bdc)), Table::cell(geomean(s_full)),
+              Table::cell(geomean(e_core))});
+    t.print();
+    return 0;
+}
+
+} // namespace
+} // namespace fpraker
+
+int
+main()
+{
+    return fpraker::run();
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fig. 12 — energy breakdown of FPRaker vs the baseline: off-chip
+ * DRAM, on-chip SRAM, and core (FPRaker's core split into compute /
+ * control / accumulation), normalized to the baseline total.
+ */
+
+#include "bench_common.h"
+
+namespace fpraker {
+namespace {
+
+int
+run()
+{
+    bench::banner("Fig. 12",
+                  "energy breakdown, normalized to baseline total",
+                  "FPRaker core well below baseline core; on-chip "
+                  "portion comparable; off-chip shrinks with BDC; "
+                  "accumulation the largest FPRaker core component");
+
+    AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
+    cfg.sampleSteps = bench::sampleSteps();
+    Accelerator accel(cfg);
+
+    Table t({"model", "fpr core(comp/ctl/accum)", "fpr sram", "fpr dram",
+             "fpr total", "base core", "base sram", "base dram"});
+    for (const auto &model : modelZoo()) {
+        ModelRunReport r = accel.runModel(model, bench::kDefaultProgress);
+        double norm = r.baseEnergy.totalPj();
+        auto pct = [&](double pj) { return Table::pct(pj / norm); };
+        std::string core_split =
+            pct(r.fprEnergy.core.computePj) + "/" +
+            pct(r.fprEnergy.core.controlPj) + "/" +
+            pct(r.fprEnergy.core.accumulationPj);
+        t.addRow({model.name, core_split, pct(r.fprEnergy.sramPj),
+                  pct(r.fprEnergy.dramPj), pct(r.fprEnergy.totalPj()),
+                  pct(r.baseEnergy.core.totalPj()),
+                  pct(r.baseEnergy.sramPj), pct(r.baseEnergy.dramPj)});
+    }
+    t.print();
+    return 0;
+}
+
+} // namespace
+} // namespace fpraker
+
+int
+main()
+{
+    return fpraker::run();
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fig. 14 — FPRaker speedup over the baseline for each of the three
+ * training phases (AxG weight gradients, GxW input gradients, AxW
+ * forward).
+ */
+
+#include "bench_common.h"
+
+namespace fpraker {
+namespace {
+
+int
+run()
+{
+    bench::banner("Fig. 14", "speedup per training phase",
+                  "FPRaker beats the baseline in all three phases for "
+                  "every model; phase ordering varies with the term "
+                  "sparsity of the serial-side tensor");
+
+    AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
+    cfg.sampleSteps = bench::sampleSteps();
+    Accelerator accel(cfg);
+
+    Table t({"model", "AxG", "GxW", "AxW", "total"});
+    std::vector<double> g_axg, g_gxw, g_axw, g_tot;
+    for (const auto &model : modelZoo()) {
+        ModelRunReport r = accel.runModel(model, bench::kDefaultProgress);
+        double axg = r.speedupForOp(TrainingOp::WeightGrad);
+        double gxw = r.speedupForOp(TrainingOp::InputGrad);
+        double axw = r.speedupForOp(TrainingOp::Forward);
+        g_axg.push_back(axg);
+        g_gxw.push_back(gxw);
+        g_axw.push_back(axw);
+        g_tot.push_back(r.speedup());
+        t.addRow({model.name, Table::cell(axg), Table::cell(gxw),
+                  Table::cell(axw), Table::cell(r.speedup())});
+    }
+    t.addRow({"Geomean", Table::cell(geomean(g_axg)),
+              Table::cell(geomean(g_gxw)), Table::cell(geomean(g_axw)),
+              Table::cell(geomean(g_tot))});
+    t.print();
+    return 0;
+}
+
+} // namespace
+} // namespace fpraker
+
+int
+main()
+{
+    return fpraker::run();
+}

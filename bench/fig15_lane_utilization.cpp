@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig. 15 — breakdown of FPRaker lane-cycles: useful work vs the four
+ * stall categories (no-term imbalance, limited shift range, inter-PE
+ * synchronization, shared exponent block).
+ */
+
+#include "bench_common.h"
+
+namespace fpraker {
+namespace {
+
+int
+run()
+{
+    bench::banner("Fig. 15", "lane-cycle breakdown (lane efficiency)",
+                  "cross-lane term imbalance ('no term') is the largest "
+                  "stall (~33% average, worst for NCF ~55%); shift-range "
+                  "and inter-PE stalls small; exponent stalls noticeable "
+                  "only for effectively-4b ResNet18-Q and SNLI");
+
+    AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
+    cfg.sampleSteps = bench::sampleSteps();
+    Accelerator accel(cfg);
+
+    Table t({"model", "useful", "no term", "shift range", "inter-PE",
+             "exponent"});
+    for (const auto &model : modelZoo()) {
+        ModelRunReport r = accel.runModel(model, bench::kDefaultProgress);
+        double lc = r.activity.laneCycles();
+        t.addRow({model.name, Table::pct(r.activity.laneUseful / lc),
+                  Table::pct(r.activity.laneNoTerm / lc),
+                  Table::pct(r.activity.laneShiftRange / lc),
+                  Table::pct(r.activity.laneInterPe / lc),
+                  Table::pct(r.activity.laneExponent / lc)});
+    }
+    t.print();
+    return 0;
+}
+
+} // namespace
+} // namespace fpraker
+
+int
+main()
+{
+    return fpraker::run();
+}

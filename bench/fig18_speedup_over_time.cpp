@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fig. 18 — FPRaker speedup over the baseline across the training
+ * process (the paper samples one batch per epoch; we sweep the
+ * training-progress axis of the value profiles).
+ */
+
+#include "bench_common.h"
+
+namespace fpraker {
+namespace {
+
+int
+run()
+{
+    bench::banner("Fig. 18", "speedup over training time",
+                  "stable for most models; VGG16 declines ~15% after "
+                  "the first ~30% of training; ResNet18-Q gains ~12.5% "
+                  "once PACT clipping settles (~30%)");
+
+    AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
+    cfg.sampleSteps = bench::sampleSteps(64);
+    Accelerator accel(cfg);
+
+    const double points[] = {0.0, 0.15, 0.3, 0.5, 0.75, 1.0};
+    std::vector<std::string> headers = {"model"};
+    for (double p : points)
+        headers.push_back(Table::pct(p, 0));
+    Table t(headers);
+    for (const auto &model : modelZoo()) {
+        std::vector<std::string> row = {model.name};
+        for (double p : points) {
+            ModelRunReport r = accel.runModel(model, p);
+            row.push_back(Table::cell(r.speedup()));
+        }
+        t.addRow(row);
+    }
+    t.print();
+    return 0;
+}
+
+} // namespace
+} // namespace fpraker
+
+int
+main()
+{
+    return fpraker::run();
+}

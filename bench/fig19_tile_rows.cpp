@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fig. 19 — FPRaker speedup vs the number of PE rows per tile
+ * (2/4/8/16) at a fixed total PE budget: more rows share one serial
+ * operand stream, increasing intra-column synchronization.
+ */
+
+#include "bench_common.h"
+
+namespace fpraker {
+namespace {
+
+int
+run()
+{
+    bench::banner("Fig. 19", "speedup vs rows per tile",
+                  "increasing rows per tile costs ~6% on average from "
+                  "2 to 16 rows (more PEs synchronized on one A "
+                  "stream)");
+
+    const int rows_options[] = {2, 4, 8, 16};
+    const int pe_budget = 36 * 64; // total PEs at iso-compute area
+
+    std::vector<std::string> headers = {"model"};
+    for (int rows : rows_options)
+        headers.push_back(std::to_string(rows) + " rows");
+    Table t(headers);
+
+    std::vector<std::vector<double>> per_rows(4);
+    for (const auto &model : modelZoo()) {
+        std::vector<std::string> row = {model.name};
+        for (size_t i = 0; i < 4; ++i) {
+            AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
+            cfg.sampleSteps = bench::sampleSteps(64);
+            cfg.tile.rows = rows_options[i];
+            cfg.fprTiles = pe_budget / (rows_options[i] * cfg.tile.cols);
+            Accelerator accel(cfg);
+            ModelRunReport r =
+                accel.runModel(model, bench::kDefaultProgress);
+            per_rows[i].push_back(r.speedup());
+            row.push_back(Table::cell(r.speedup()));
+        }
+        t.addRow(row);
+    }
+    std::vector<std::string> geo = {"Geomean"};
+    for (size_t i = 0; i < 4; ++i)
+        geo.push_back(Table::cell(geomean(per_rows[i])));
+    t.addRow(geo);
+    t.print();
+    return 0;
+}
+
+} // namespace
+} // namespace fpraker
+
+int
+main()
+{
+    return fpraker::run();
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fig. 20 — lane-cycle breakdown as the number of rows per tile grows:
+ * inter-PE synchronization and no-term (waiting-for-sibling) stalls
+ * increase with more PEs sharing one serial-operand stream.
+ */
+
+#include "bench_common.h"
+
+namespace fpraker {
+namespace {
+
+int
+run()
+{
+    bench::banner("Fig. 20", "cycle breakdown vs rows per tile",
+                  "useful share shrinks with rows; no-term and inter-PE "
+                  "stalls grow");
+
+    const int rows_options[] = {2, 4, 8, 16};
+    const int pe_budget = 36 * 64;
+
+    Table t({"model", "rows", "useful", "no term", "shift range",
+             "inter-PE", "exponent"});
+    for (const auto &model : modelZoo()) {
+        for (int rows : rows_options) {
+            AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
+            cfg.sampleSteps = bench::sampleSteps(64);
+            cfg.tile.rows = rows;
+            cfg.fprTiles = pe_budget / (rows * cfg.tile.cols);
+            Accelerator accel(cfg);
+            ModelRunReport r =
+                accel.runModel(model, bench::kDefaultProgress);
+            double lc = r.activity.laneCycles();
+            t.addRow({model.name, std::to_string(rows),
+                      Table::pct(r.activity.laneUseful / lc),
+                      Table::pct(r.activity.laneNoTerm / lc),
+                      Table::pct(r.activity.laneShiftRange / lc),
+                      Table::pct(r.activity.laneInterPe / lc),
+                      Table::pct(r.activity.laneExponent / lc)});
+        }
+    }
+    t.print();
+    return 0;
+}
+
+} // namespace
+} // namespace fpraker
+
+int
+main()
+{
+    return fpraker::run();
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * google-benchmark microkernels for the core building blocks: term
+ * encoding, accumulation, PE set processing, tile steps, and base-delta
+ * compression. These measure simulator throughput (host-side), which
+ * bounds how much workload the figure harnesses can sample.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "compress/base_delta.h"
+#include "numeric/term_encoder.h"
+#include "pe/baseline_pe.h"
+#include "pe/fpraker_pe.h"
+#include "tile/tile.h"
+#include "trace/tensor_gen.h"
+
+namespace fpraker {
+namespace {
+
+void
+BM_TermEncodeCanonical(benchmark::State &state)
+{
+    TermEncoder enc(TermEncoding::Canonical);
+    int sig = 0x80;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(enc.encodeSignificand(sig));
+        sig = 0x80 | ((sig + 17) & 0x7f);
+    }
+}
+BENCHMARK(BM_TermEncodeCanonical);
+
+void
+BM_TermEncodeRaw(benchmark::State &state)
+{
+    TermEncoder enc(TermEncoding::RawBits);
+    int sig = 0x80;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(enc.encodeSignificand(sig));
+        sig = 0x80 | ((sig + 17) & 0x7f);
+    }
+}
+BENCHMARK(BM_TermEncodeRaw);
+
+void
+BM_AccumulatorAddProduct(benchmark::State &state)
+{
+    ExtendedAccumulator acc;
+    Rng rng(1);
+    BFloat16 a = bf16(1.37f), b = bf16(-0.61f);
+    for (auto _ : state) {
+        acc.addProduct(a, b);
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_AccumulatorAddProduct);
+
+MacPair *
+randomPairs(int n, double sparsity)
+{
+    static std::vector<MacPair> pairs;
+    pairs.resize(static_cast<size_t>(n));
+    Rng rng(7);
+    for (auto &p : pairs) {
+        auto val = [&]() {
+            if (rng.bernoulli(sparsity))
+                return BFloat16();
+            return bf16(static_cast<float>(rng.gaussian(0.0, 4.0)));
+        };
+        p = MacPair{val(), val()};
+    }
+    return pairs.data();
+}
+
+void
+BM_FprPeProcessSet(benchmark::State &state)
+{
+    PeConfig cfg;
+    FPRakerPe pe(cfg);
+    MacPair *pairs = randomPairs(8 * 64, state.range(0) / 100.0);
+    int i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pe.processSet(pairs + 8 * i, 8));
+        i = (i + 1) % 64;
+    }
+    state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_FprPeProcessSet)->Arg(0)->Arg(35)->Arg(80);
+
+void
+BM_BaselinePeProcessSet(benchmark::State &state)
+{
+    PeConfig cfg;
+    BaselinePe pe(cfg);
+    MacPair *pairs = randomPairs(8 * 64, 0.35);
+    int i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pe.processSet(pairs + 8 * i, 8));
+        i = (i + 1) % 64;
+    }
+    state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_BaselinePeProcessSet);
+
+void
+BM_TileStep(benchmark::State &state)
+{
+    TileConfig cfg;
+    Tile tile(cfg);
+    Rng rng(11);
+    ValueProfile p;
+    p.sparsity = 0.35;
+    p.mantissaBits = 4;
+    p.bitDensity = 0.25;
+    TensorGenerator gen(p, 3);
+    std::vector<TileStep> steps(16);
+    for (auto &s : steps) {
+        s.a = gen.generate(static_cast<size_t>(cfg.cols) * 8);
+        s.b = gen.generate(static_cast<size_t>(cfg.rows) * 8);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tile.run(steps));
+        tile.resetAccumulators();
+    }
+    state.SetItemsProcessed(state.iterations() * 16 * 512);
+}
+BENCHMARK(BM_TileStep);
+
+void
+BM_BdcEncodeDecode(benchmark::State &state)
+{
+    ValueProfile p;
+    p.expSigma = 2.0;
+    p.expCorr = 0.9;
+    TensorGenerator gen(p, 5);
+    auto values = gen.generate(4096);
+    BaseDeltaCodec codec;
+    for (auto _ : state) {
+        auto stream = codec.encode(values);
+        benchmark::DoNotOptimize(codec.decode(stream, values.size()));
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_BdcEncodeDecode);
+
+} // namespace
+} // namespace fpraker
+
+BENCHMARK_MAIN();

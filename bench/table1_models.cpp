@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Table I — the models studied, with their substituted workload scale.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace fpraker;
+    bench::banner("Table I", "models studied",
+                  "nine models spanning classification, NLP, detection, "
+                  "recommendation, and translation");
+
+    Table t({"model", "application", "dataset", "layers", "GMACs/op"});
+    for (const auto &m : modelZoo()) {
+        t.addRow({m.name, m.application, m.dataset,
+                  std::to_string(m.layers.size()),
+                  Table::cell(static_cast<double>(m.macsPerOp()) / 1e9,
+                              2)});
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * End-to-end accelerator simulation of one model: per-layer speedup,
+ * stall profile, and energy of the iso-compute-area FPRaker machine
+ * (36 tiles) vs the bit-parallel baseline (8 tiles).
+ *
+ *   ./accelerator_sim ["ResNet18-Q"] [progress]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "accel/accelerator.h"
+#include "common/table.h"
+#include "trace/model_zoo.h"
+
+using namespace fpraker;
+
+int
+main(int argc, char **argv)
+{
+    std::string model_name = argc > 1 ? argv[1] : "ResNet18-Q";
+    double progress = argc > 2 ? std::atof(argv[2]) : 0.5;
+
+    const ModelInfo &model = findModel(model_name);
+    AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
+    cfg.sampleSteps = 96;
+    Accelerator accel(cfg);
+
+    std::printf("simulating %s (%zu layers, %.2f GMACs/op) at %.0f%% "
+                "training progress\n",
+                model.name.c_str(), model.layers.size(),
+                static_cast<double>(model.macsPerOp()) / 1e9,
+                progress * 100.0);
+
+    ModelRunReport report = accel.runModel(model, progress);
+
+    Table t({"layer", "op", "serial", "cyc/step", "speedup"});
+    // Print the forward ops of up to 12 largest layers for brevity.
+    size_t printed = 0;
+    for (const auto &op : report.ops) {
+        if (op.op != TrainingOp::Forward || printed >= 12)
+            continue;
+        t.addRow({op.layerName, opLabel(op.op),
+                  tensorLabel(op.serialSide),
+                  Table::cell(op.avgCyclesPerStep),
+                  Table::cell(op.speedup())});
+        ++printed;
+    }
+    t.print();
+
+    std::printf("\ntotals:\n");
+    std::printf("  speedup:                 %.2fx\n", report.speedup());
+    std::printf("  per-phase: AxW %.2fx, GxW %.2fx, AxG %.2fx\n",
+                report.speedupForOp(TrainingOp::Forward),
+                report.speedupForOp(TrainingOp::InputGrad),
+                report.speedupForOp(TrainingOp::WeightGrad));
+    std::printf("  core energy efficiency:  %.2fx\n",
+                report.coreEnergyEfficiency());
+    std::printf("  total energy efficiency: %.2fx\n",
+                report.totalEnergyEfficiency());
+    double lc = report.activity.laneCycles();
+    std::printf("  lane cycles: %.1f%% useful, %.1f%% no-term, %.1f%% "
+                "shift-range, %.1f%% inter-PE, %.1f%% exponent\n",
+                100 * report.activity.laneUseful / lc,
+                100 * report.activity.laneNoTerm / lc,
+                100 * report.activity.laneShiftRange / lc,
+                100 * report.activity.laneInterPe / lc,
+                100 * report.activity.laneExponent / lc);
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Exponent base-delta compression demo: generate training-shaped
+ * tensors, compress, verify the exact round trip, and print the
+ * footprint as a function of exponent spread and sparsity.
+ *
+ *   ./compression_demo
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "compress/base_delta.h"
+#include "trace/tensor_gen.h"
+
+using namespace fpraker;
+
+int
+main()
+{
+    BaseDeltaCodec codec;
+
+    std::printf("groups of %d bfloat16 values; header = 8b base + 3b "
+                "width + 1b flag;\nzero values use the reserved delta "
+                "codeword (no denormals => exp 0 == zero)\n\n",
+                codec.groupSize());
+
+    Table t({"exponent sigma", "corr", "sparsity", "exp footprint",
+             "total footprint", "round trip"});
+    for (double sigma : {0.5, 1.5, 3.0, 6.0}) {
+        for (double sparsity : {0.0, 0.5}) {
+            ValueProfile p;
+            p.expSigma = sigma;
+            p.expCorr = 0.9;
+            p.sparsity = sparsity;
+            p.zeroClusterLen = 8.0;
+            TensorGenerator gen(p, 99);
+            auto values = gen.generate(8192);
+
+            BdcResult r = codec.analyze(values);
+            auto decoded = codec.decode(codec.encode(values),
+                                        values.size());
+            bool exact = true;
+            for (size_t i = 0; i < values.size(); ++i)
+                exact &= decoded[i].bits() == values[i].bits();
+
+            t.addRow({Table::cell(sigma, 1), "0.9",
+                      Table::pct(sparsity, 0),
+                      Table::pct(r.exponentFootprint()),
+                      Table::pct(r.totalFootprint()),
+                      exact ? "exact" : "BROKEN"});
+        }
+    }
+    t.print();
+
+    std::printf("\nthe narrow, correlated exponent distributions of "
+                "training tensors (paper Fig. 6)\nland in the top rows: "
+                "~40-60%% of the exponent bits survive.\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Quickstart: build an FPRaker PE, feed it MAC sets, and compare its
+ * result and cycle count against the bit-parallel baseline PE.
+ *
+ *   ./quickstart
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "numeric/reference.h"
+#include "pe/baseline_pe.h"
+#include "pe/fpraker_pe.h"
+
+using namespace fpraker;
+
+int
+main()
+{
+    // An FPRaker PE multiplies 8 bfloat16 pairs per set, streaming the
+    // A operands as signed powers of two. Configuration knobs: lane
+    // count, shifter window, encoding, OB skipping, accumulator width.
+    PeConfig cfg;
+    cfg.lanes = 8;
+    cfg.maxDelta = 3;
+    cfg.skipOutOfBounds = true;
+
+    FPRakerPe fpraker(cfg);
+    BaselinePe baseline(cfg);
+
+    // A 256-long dot product with some zeros (as post-ReLU activations
+    // would have).
+    Rng rng(2021);
+    std::vector<BFloat16> a, b;
+    for (int i = 0; i < 256; ++i) {
+        bool zero = rng.bernoulli(0.4);
+        a.push_back(zero ? BFloat16()
+                         : bf16(static_cast<float>(rng.gaussian(0, 1))));
+        b.push_back(bf16(static_cast<float>(rng.gaussian(0, 1))));
+    }
+
+    int fpr_cycles = fpraker.dot(a, b);
+    int base_cycles = baseline.dot(a, b);
+    double golden = dotDouble(a, b);
+
+    std::printf("dot product of 256 bfloat16 pairs (40%% sparse A)\n");
+    std::printf("  golden (FP64):        %+.6f\n", golden);
+    std::printf("  baseline PE result:   %+.6f  in %d cycles\n",
+                baseline.resultFloat(), base_cycles);
+    std::printf("  FPRaker PE result:    %+.6f  in %d cycles\n",
+                fpraker.resultFloat(), fpr_cycles);
+
+    const PeStats &s = fpraker.stats();
+    std::printf("\nFPRaker PE activity:\n");
+    std::printf("  terms processed:      %llu\n",
+                static_cast<unsigned long long>(s.termsProcessed));
+    std::printf("  zero term slots:      %llu\n",
+                static_cast<unsigned long long>(s.termsZeroSkipped));
+    std::printf("  out-of-bounds terms:  %llu\n",
+                static_cast<unsigned long long>(s.termsObSkipped));
+    std::printf("  lane utilization:     %.1f%%\n",
+                100.0 * static_cast<double>(s.laneUseful) /
+                    static_cast<double>(s.laneCycles()));
+
+    // A single FPRaker PE is slower than a bit-parallel PE — the win
+    // comes from tiling 4.5x more of them into the same silicon area
+    // (see bench/fig11_perf_energy).
+    std::printf("\nper-PE cycle ratio (FPRaker/baseline): %.2f; "
+                "iso-area PE ratio: 4.50x\n",
+                static_cast<double>(fpr_cycles) / base_cycles);
+    return 0;
+}

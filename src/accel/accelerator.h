@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Whole-accelerator model: iso-compute-area FPRaker (36 tiles) vs the
+ * bit-parallel baseline (8 tiles), with the shared memory system.
+ *
+ * For each (layer, training-op) the model:
+ *  1. sizes the work in tile steps (M/N/K tiled 8x8x8),
+ *  2. samples the FPRaker tile cycle-accurately on profile-shaped
+ *     values (see phase_runner) to get cycles/step and stall taxonomy,
+ *  3. computes off-chip traffic (operands in, result out), optionally
+ *     through exponent base-delta compression,
+ *  4. combines compute and memory time assuming double-buffered
+ *     overlap (cycles = max(compute, memory)), and
+ *  5. rolls up energy via the Table III-calibrated energy model.
+ */
+
+#ifndef FPRAKER_ACCEL_ACCELERATOR_H
+#define FPRAKER_ACCEL_ACCELERATOR_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "accel/config.h"
+#include "accel/phase_runner.h"
+#include "energy/energy_model.h"
+
+namespace fpraker {
+
+/** PE activity scaled from a sample to the full layer. */
+struct ScaledPeActivity
+{
+    double laneUseful = 0, laneNoTerm = 0, laneShiftRange = 0;
+    double laneInterPe = 0, laneExponent = 0;
+    double termsProcessed = 0, termsZeroSkipped = 0, termsObSkipped = 0;
+    double macs = 0;
+
+    double
+    laneCycles() const
+    {
+        return laneUseful + laneNoTerm + laneShiftRange + laneInterPe +
+               laneExponent;
+    }
+
+    void merge(const ScaledPeActivity &o);
+    static ScaledPeActivity fromStats(const PeStats &s, double scale);
+};
+
+/** Report for one (layer, op). */
+struct LayerOpReport
+{
+    std::string layerName;
+    TrainingOp op = TrainingOp::Forward;
+    int64_t macs = 0;
+    uint64_t tileSteps = 0; //!< Total 8x8x8 steps for the layer.
+
+    double fprComputeCycles = 0, fprMemCycles = 0, fprCycles = 0;
+    double baseComputeCycles = 0, baseMemCycles = 0, baseCycles = 0;
+
+    TensorKind serialSide = TensorKind::Activation;
+    double avgCyclesPerStep = 1.0;
+
+    double trafficBytes = 0;           //!< Raw off-chip bytes.
+    double trafficBytesCompressed = 0; //!< After BDC (if enabled).
+
+    ScaledPeActivity activity; //!< Scaled to the full layer.
+    PeStats sampleStats;       //!< Raw sample statistics.
+
+    EnergyReport fprEnergy;
+    EnergyReport baseEnergy;
+
+    double
+    speedup() const
+    {
+        return fprCycles > 0 ? baseCycles / fprCycles : 1.0;
+    }
+};
+
+/** Whole-model report. */
+struct ModelRunReport
+{
+    std::string model;
+    double progress = 0.5;
+    std::vector<LayerOpReport> ops;
+
+    double fprCycles = 0, baseCycles = 0;
+    EnergyReport fprEnergy, baseEnergy;
+    ScaledPeActivity activity;
+
+    double
+    speedup() const
+    {
+        return fprCycles > 0 ? baseCycles / fprCycles : 1.0;
+    }
+
+    /** Speedup restricted to one training op. */
+    double speedupForOp(TrainingOp op) const;
+
+    /** Core-only energy-efficiency ratio (baseline / FPRaker). */
+    double
+    coreEnergyEfficiency() const
+    {
+        double f = fprEnergy.core.totalPj();
+        return f > 0 ? baseEnergy.core.totalPj() / f : 1.0;
+    }
+
+    /** Total energy-efficiency ratio including memory. */
+    double
+    totalEnergyEfficiency() const
+    {
+        double f = fprEnergy.totalPj();
+        return f > 0 ? baseEnergy.totalPj() / f : 1.0;
+    }
+};
+
+/** The iso-compute-area accelerator pair. */
+class Accelerator
+{
+  public:
+    explicit Accelerator(AcceleratorConfig cfg = {},
+                         EnergyModelConfig energy_cfg = {});
+
+    /** Simulate one (layer, op). */
+    LayerOpReport runLayerOp(const ModelInfo &model,
+                             const LayerShape &layer, TrainingOp op,
+                             double progress) const;
+
+    /** Simulate a whole model (all layers, all three ops). */
+    ModelRunReport runModel(const ModelInfo &model,
+                            double progress = 0.5) const;
+
+    const AcceleratorConfig &config() const { return cfg_; }
+    const EnergyModel &energyModel() const { return energy_; }
+
+  private:
+    double cachedBdcFootprint(const ModelInfo &model, TensorKind kind,
+                              double progress) const;
+
+    AcceleratorConfig cfg_;
+    EnergyModel energy_;
+    mutable std::map<std::string, double> bdcCache_;
+};
+
+} // namespace fpraker
+
+#endif // FPRAKER_ACCEL_ACCELERATOR_H

@@ -1,0 +1,18 @@
+#include "accel/config.h"
+
+namespace fpraker {
+
+AcceleratorConfig
+AcceleratorConfig::paperDefault()
+{
+    AcceleratorConfig cfg;
+    cfg.tile = TileConfig{};           // 8x8 PEs, 8 lanes, depth-1 buffers
+    cfg.fprTiles = 36;                 // Table II
+    cfg.baselineTiles = 8;             // Table II (4096 MACs/cycle)
+    cfg.globalBuffer = GlobalBufferConfig{}; // 4MB x 9 banks
+    cfg.dram = DramConfig{};           // 4-channel LPDDR4-3200 @ 600 MHz
+    cfg.useBdc = true;
+    return cfg;
+}
+
+} // namespace fpraker

@@ -1,0 +1,86 @@
+#include "accel/phase_runner.h"
+
+#include <algorithm>
+#include <functional>
+#include <string>
+
+#include "common/logging.h"
+
+namespace fpraker {
+
+TensorKind
+chooseSerialSide(const ModelInfo &model, TrainingOp op, double progress)
+{
+    OpOperands operands = operandsOf(op);
+    ValueProfile a = model.profile.of(operands.first).at(progress);
+    ValueProfile b = model.profile.of(operands.second).at(progress);
+    return a.expectedTermsPerValue() <= b.expectedTermsPerValue()
+               ? operands.first
+               : operands.second;
+}
+
+PhaseRunResult
+runPhaseSample(const ModelInfo &model, const LayerShape &layer,
+               TrainingOp op, double progress, const PhaseRunConfig &cfg)
+{
+    panic_if(cfg.sampleSteps < 1, "need at least one sample step");
+
+    OpOperands operands = operandsOf(op);
+    TensorKind serial = cfg.autoSerialSide
+                            ? chooseSerialSide(model, op, progress)
+                            : operands.first;
+    TensorKind parallel = serial == operands.first ? operands.second
+                                                   : operands.first;
+
+    ValueProfile serial_profile = model.profile.of(serial).at(progress);
+    ValueProfile parallel_profile =
+        model.profile.of(parallel).at(progress);
+
+    // Seed streams per (layer, op) so repeated runs are reproducible
+    // but distinct layers see distinct values.
+    uint64_t base_seed = cfg.seed * 1000003 +
+                         std::hash<std::string>{}(layer.name) +
+                         static_cast<uint64_t>(op) * 97;
+    TensorGenerator serial_gen(serial_profile, base_seed);
+    TensorGenerator parallel_gen(parallel_profile, base_seed ^ 0x5eed);
+
+    Tile tile(cfg.tile);
+    const int lanes = cfg.tile.pe.lanes;
+    const size_t a_len = static_cast<size_t>(cfg.tile.cols) * lanes;
+    const size_t b_len = static_cast<size_t>(cfg.tile.rows) * lanes;
+
+    // Cap the accumulation depth at the layer's actual K traversal.
+    int steps_per_output = std::max<int>(
+        1, std::min<int64_t>(cfg.stepsPerOutput,
+                             (layer.k + lanes - 1) / lanes));
+
+    PhaseRunResult result;
+    result.serialSide = serial;
+
+    uint64_t total_cycles = 0;
+    int done = 0;
+    while (done < cfg.sampleSteps) {
+        int burst = std::min(cfg.sampleSteps - done, steps_per_output);
+        std::vector<TileStep> steps(static_cast<size_t>(burst));
+        for (auto &step : steps) {
+            step.a = serial_gen.generate(a_len);
+            step.b = parallel_gen.generate(b_len);
+            result.serialStats.merge(
+                measureTensor(step.a, cfg.tile.pe.encoding));
+            result.parallelStats.merge(
+                measureTensor(step.b, cfg.tile.pe.encoding));
+        }
+        TileRunResult run = tile.run(steps);
+        total_cycles += run.cycles;
+        tile.resetAccumulators();
+        done += burst;
+    }
+
+    result.steps = static_cast<uint64_t>(cfg.sampleSteps);
+    result.avgCyclesPerStep = static_cast<double>(total_cycles) /
+                              static_cast<double>(cfg.sampleSteps);
+    result.peStats = tile.aggregateStats();
+    return result;
+}
+
+} // namespace fpraker

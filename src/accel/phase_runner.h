@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Sampled cycle-level simulation of one layer-op on an FPRaker tile.
+ *
+ * The paper samples one random mini-batch per epoch and replays it in a
+ * custom simulator; we sample a bounded number of tile steps per
+ * (layer, op, progress) from the model's value profiles, simulate them
+ * cycle-accurately on one tile, and scale cycles to the full layer
+ * (all tiles run the same statistical workload, so per-step averages
+ * transfer).
+ *
+ * The serial (term-processed) operand is chosen per layer and op — the
+ * paper lets the accelerator "target those tensors that have more
+ * sparsity depending on the layer and the pass" — by picking the
+ * operand with the lower expected term density.
+ */
+
+#ifndef FPRAKER_ACCEL_PHASE_RUNNER_H
+#define FPRAKER_ACCEL_PHASE_RUNNER_H
+
+#include "tile/tile.h"
+#include "trace/model_zoo.h"
+#include "trace/tensor_gen.h"
+
+namespace fpraker {
+
+/** Parameters of a sampled phase run. */
+struct PhaseRunConfig
+{
+    TileConfig tile;
+    int sampleSteps = 192;    //!< Tile steps to simulate.
+    int stepsPerOutput = 32;  //!< K fragments before accumulator reset.
+    uint64_t seed = 1;
+    bool autoSerialSide = true; //!< Pick the sparser operand as serial.
+};
+
+/** Result of a sampled phase run. */
+struct PhaseRunResult
+{
+    double avgCyclesPerStep = 1.0;
+    PeStats peStats;            //!< Aggregated over the sampled tile.
+    TensorKind serialSide = TensorKind::Activation;
+    TensorStats serialStats;    //!< Measured stats of the serial stream.
+    TensorStats parallelStats;
+    uint64_t steps = 0;
+};
+
+/** Run one sampled (layer, op) phase on a fresh tile. */
+PhaseRunResult runPhaseSample(const ModelInfo &model,
+                              const LayerShape &layer, TrainingOp op,
+                              double progress, const PhaseRunConfig &cfg);
+
+/**
+ * Pick the serial operand for (model, op, progress): the tensor with
+ * the lower expected term count per value.
+ */
+TensorKind chooseSerialSide(const ModelInfo &model, TrainingOp op,
+                            double progress);
+
+} // namespace fpraker
+
+#endif // FPRAKER_ACCEL_PHASE_RUNNER_H

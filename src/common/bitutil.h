@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the numeric and PE models.
+ */
+
+#ifndef FPRAKER_COMMON_BITUTIL_H
+#define FPRAKER_COMMON_BITUTIL_H
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+namespace fpraker {
+
+/** Mask of the low @p n bits of a 64-bit word (n in [0, 64]). */
+constexpr uint64_t
+maskBits(int n)
+{
+    return n >= 64 ? ~uint64_t{0} : ((uint64_t{1} << n) - 1);
+}
+
+/** Extract bits [lo, lo+len) of @p v. */
+constexpr uint64_t
+bitsOf(uint64_t v, int lo, int len)
+{
+    return (v >> lo) & maskBits(len);
+}
+
+/** Position of the most-significant set bit, or -1 for zero. */
+constexpr int
+msbPos(uint64_t v)
+{
+    return v == 0 ? -1 : 63 - std::countl_zero(v);
+}
+
+/** Number of set bits. */
+constexpr int
+popcount(uint64_t v)
+{
+    return std::popcount(v);
+}
+
+/** Ceiling division for non-negative integers. */
+template <typename T>
+constexpr T
+divCeil(T a, T b)
+{
+    static_assert(std::is_integral_v<T>);
+    return (a + b - 1) / b;
+}
+
+/** Round @p a up to the next multiple of @p b. */
+template <typename T>
+constexpr T
+roundUp(T a, T b)
+{
+    return divCeil(a, b) * b;
+}
+
+/** Number of bits needed to represent @p v (0 -> 0 bits). */
+constexpr int
+bitWidth(uint64_t v)
+{
+    return v == 0 ? 0 : msbPos(v) + 1;
+}
+
+} // namespace fpraker
+
+#endif // FPRAKER_COMMON_BITUTIL_H

@@ -1,0 +1,36 @@
+#include "common/logging.h"
+
+#include <cstdarg>
+#include <vector>
+
+namespace fpraker {
+
+void
+logMessage(const char *severity, const char *file, int line,
+           const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s (%s:%d)\n", severity, msg.c_str(), file,
+                 line);
+    std::fflush(stderr);
+}
+
+std::string
+strfmt(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (len < 0) {
+        va_end(args_copy);
+        return "<format error>";
+    }
+    std::vector<char> buf(static_cast<size_t>(len) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args_copy);
+    va_end(args_copy);
+    return std::string(buf.data(), static_cast<size_t>(len));
+}
+
+} // namespace fpraker

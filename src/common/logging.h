@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers.
+ *
+ * Follows the gem5 convention: panic() for internal invariant violations
+ * (simulator bugs — aborts so a debugger can attach), fatal() for user
+ * errors (bad configuration — clean exit(1)), warn()/inform() for
+ * non-fatal status messages.
+ */
+
+#ifndef FPRAKER_COMMON_LOGGING_H
+#define FPRAKER_COMMON_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace fpraker {
+
+/** Print a formatted message with a severity prefix to stderr. */
+void logMessage(const char *severity, const char *file, int line,
+                const std::string &msg);
+
+/** Format helper: printf-style into a std::string. */
+std::string strfmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace fpraker
+
+/**
+ * Abort on an internal invariant violation (a bug in the simulator itself).
+ */
+#define panic(...)                                                          \
+    do {                                                                    \
+        ::fpraker::logMessage("panic", __FILE__, __LINE__,                  \
+                              ::fpraker::strfmt(__VA_ARGS__));              \
+        std::abort();                                                       \
+    } while (0)
+
+/**
+ * Exit on a user-caused error (bad configuration, invalid arguments).
+ */
+#define fatal(...)                                                          \
+    do {                                                                    \
+        ::fpraker::logMessage("fatal", __FILE__, __LINE__,                  \
+                              ::fpraker::strfmt(__VA_ARGS__));              \
+        std::exit(1);                                                       \
+    } while (0)
+
+/** Non-fatal warning about questionable but survivable conditions. */
+#define warn(...)                                                           \
+    ::fpraker::logMessage("warn", __FILE__, __LINE__,                       \
+                          ::fpraker::strfmt(__VA_ARGS__))
+
+/** Informational status message. */
+#define inform(...)                                                         \
+    ::fpraker::logMessage("info", __FILE__, __LINE__,                       \
+                          ::fpraker::strfmt(__VA_ARGS__))
+
+/** Condition-checked panic, enabled in all build types. */
+#define panic_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond) {                                                         \
+            panic(__VA_ARGS__);                                             \
+        }                                                                   \
+    } while (0)
+
+/** Condition-checked fatal, enabled in all build types. */
+#define fatal_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond) {                                                         \
+            fatal(__VA_ARGS__);                                             \
+        }                                                                   \
+    } while (0)
+
+#endif // FPRAKER_COMMON_LOGGING_H

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Deterministic random-number generation for reproducible experiments.
+ *
+ * All workload generation in the simulator derives from this generator so
+ * that every bench/test run is bit-reproducible given a seed. The core is
+ * xoshiro256** (public-domain construction by Blackman & Vigna) seeded via
+ * splitmix64.
+ */
+
+#ifndef FPRAKER_COMMON_RNG_H
+#define FPRAKER_COMMON_RNG_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace fpraker {
+
+/** Deterministic, seedable RNG with convenience distributions. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed. */
+    void
+    reseed(uint64_t seed)
+    {
+        // splitmix64 to expand the seed into four state words.
+        uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+        haveGauss_ = false;
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        auto rotl = [](uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n) (n > 0). */
+    uint64_t
+    uniformInt(uint64_t n)
+    {
+        return next() % n;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    uniformInt(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(uniformInt(
+            static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Standard normal via Marsaglia polar method (cached pair). */
+    double
+    gaussian()
+    {
+        if (haveGauss_) {
+            haveGauss_ = false;
+            return cachedGauss_;
+        }
+        double u, v, s;
+        do {
+            u = uniform(-1.0, 1.0);
+            v = uniform(-1.0, 1.0);
+            s = u * u + v * v;
+        } while (s >= 1.0 || s == 0.0);
+        double mul = std::sqrt(-2.0 * std::log(s) / s);
+        cachedGauss_ = v * mul;
+        haveGauss_ = true;
+        return u * mul;
+    }
+
+    /** Normal with mean @p mu and standard deviation @p sigma. */
+    double
+    gaussian(double mu, double sigma)
+    {
+        return mu + sigma * gaussian();
+    }
+
+  private:
+    uint64_t state_[4] = {};
+    bool haveGauss_ = false;
+    double cachedGauss_ = 0.0;
+};
+
+} // namespace fpraker
+
+#endif // FPRAKER_COMMON_RNG_H

@@ -1,0 +1,86 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fpraker {
+
+void
+StatSet::add(const std::string &name, double delta)
+{
+    counters_[name] += delta;
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0.0 : it->second;
+}
+
+double
+StatSet::sum(const std::vector<std::string> &names) const
+{
+    double s = 0.0;
+    for (const auto &name : names)
+        s += get(name);
+    return s;
+}
+
+double
+StatSet::total() const
+{
+    double s = 0.0;
+    for (const auto &kv : counters_)
+        s += kv.second;
+    return s;
+}
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &kv : other.counters_)
+        counters_[kv.first] += kv.second;
+}
+
+void
+StatSet::scale(double factor)
+{
+    for (auto &kv : counters_)
+        kv.second *= factor;
+}
+
+void
+StatSet::clear()
+{
+    counters_.clear();
+}
+
+void
+Summary::observe(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    sum_ += x;
+    ++n_;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    panic_if(values.empty(), "geomean of empty list");
+    double log_sum = 0.0;
+    for (double v : values) {
+        panic_if(v <= 0.0, "geomean requires positive values, got %f", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace fpraker

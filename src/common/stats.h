@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Lightweight named statistics used by the timing models.
+ *
+ * The PE/tile/accelerator models accumulate event counts into StatSet
+ * objects; benches read them out to print the paper's breakdowns. A StatSet
+ * is an ordered map from name to a double-precision counter plus helpers
+ * for merging and normalizing (the figure harnesses mostly report shares
+ * of a total).
+ */
+
+#ifndef FPRAKER_COMMON_STATS_H
+#define FPRAKER_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fpraker {
+
+/** An ordered collection of named scalar counters. */
+class StatSet
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at zero if missing). */
+    void add(const std::string &name, double delta);
+
+    /** Read counter @p name, or 0 if it does not exist. */
+    double get(const std::string &name) const;
+
+    /** Sum of the given counters (missing counters count as zero). */
+    double sum(const std::vector<std::string> &names) const;
+
+    /** Sum of every counter in the set. */
+    double total() const;
+
+    /** Merge all counters of @p other into this set. */
+    void merge(const StatSet &other);
+
+    /** Multiply every counter by @p factor. */
+    void scale(double factor);
+
+    /** Remove all counters. */
+    void clear();
+
+    /** Ordered (name, value) view for printing. */
+    const std::map<std::string, double> &entries() const { return counters_; }
+
+  private:
+    std::map<std::string, double> counters_;
+};
+
+/**
+ * Streaming mean/min/max accumulator for scalar observations.
+ */
+class Summary
+{
+  public:
+    /** Record one observation. */
+    void observe(double x);
+
+    uint64_t count() const { return n_; }
+    double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    uint64_t n_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Geometric mean of a list of strictly positive values. */
+double geomean(const std::vector<double> &values);
+
+} // namespace fpraker
+
+#endif // FPRAKER_COMMON_STATS_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Plain-text table printer used by the bench harnesses to emit the
+ * paper-style rows/series for each reproduced table and figure.
+ */
+
+#ifndef FPRAKER_COMMON_TABLE_H
+#define FPRAKER_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace fpraker {
+
+/**
+ * A simple column-aligned text table. Columns are sized to the widest cell;
+ * numeric formatting is the caller's responsibility (use cell(double)).
+ */
+class Table
+{
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render the table to a string (with a separator under the header). */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Format a double with @p precision digits after the decimal point. */
+    static std::string cell(double v, int precision = 2);
+
+    /** Format a percentage (0..1 input) like "42.1%". */
+    static std::string pct(double fraction, int precision = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace fpraker
+
+#endif // FPRAKER_COMMON_TABLE_H

@@ -1,0 +1,221 @@
+#include "compress/base_delta.h"
+
+#include <algorithm>
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+
+namespace fpraker {
+
+namespace {
+
+/**
+ * Width needed for delta @p d with the most negative code reserved:
+ * d must lie in [-2^(w-1)+1, 2^(w-1)-1], so w = bitWidth(|d|) + 1.
+ */
+int
+deltaWidth(int d)
+{
+    int mag = d >= 0 ? d : -d;
+    return bitWidth(static_cast<uint64_t>(mag)) + 1;
+}
+
+/** The reserved "zero value" codeword for width w. */
+int
+zeroMarker(int w)
+{
+    return -(1 << (w - 1));
+}
+
+/** First non-zero exponent of the group (0 when all values are zero). */
+int
+groupBase(const uint8_t *exponents, int n)
+{
+    for (int i = 0; i < n; ++i)
+        if (exponents[i] != 0)
+            return exponents[i];
+    return 0;
+}
+
+/** Wraparound (mod 256) two's-complement delta. */
+int
+wrapDelta(int exponent, int base)
+{
+    return static_cast<int8_t>(
+        static_cast<uint8_t>(exponent - base));
+}
+
+/** Simple MSB-first bit writer. */
+class BitWriter
+{
+  public:
+    void
+    put(uint32_t value, int bits)
+    {
+        for (int i = bits - 1; i >= 0; --i) {
+            if (bitPos_ == 0)
+                bytes_.push_back(0);
+            bytes_.back() |= static_cast<uint8_t>(((value >> i) & 1u)
+                                                  << (7 - bitPos_));
+            bitPos_ = (bitPos_ + 1) % 8;
+        }
+    }
+
+    std::vector<uint8_t> take() { return std::move(bytes_); }
+
+  private:
+    std::vector<uint8_t> bytes_;
+    int bitPos_ = 0;
+};
+
+/** Matching MSB-first bit reader. */
+class BitReader
+{
+  public:
+    explicit BitReader(const std::vector<uint8_t> &bytes)
+        : bytes_(bytes)
+    {}
+
+    uint32_t
+    get(int bits)
+    {
+        uint32_t v = 0;
+        for (int i = 0; i < bits; ++i) {
+            panic_if(byte_ >= bytes_.size(), "bitstream underrun");
+            int bit = (bytes_[byte_] >> (7 - bitPos_)) & 1;
+            v = (v << 1) | static_cast<uint32_t>(bit);
+            if (++bitPos_ == 8) {
+                bitPos_ = 0;
+                ++byte_;
+            }
+        }
+        return v;
+    }
+
+  private:
+    const std::vector<uint8_t> &bytes_;
+    size_t byte_ = 0;
+    int bitPos_ = 0;
+};
+
+} // namespace
+
+BaseDeltaCodec::BaseDeltaCodec(int group_size)
+    : groupSize_(group_size)
+{
+    panic_if(groupSize_ < 2, "group size %d too small", groupSize_);
+}
+
+int
+BaseDeltaCodec::deltaBitsForGroup(const uint8_t *exponents, int n) const
+{
+    panic_if(n < 1, "empty group");
+    int base = groupBase(exponents, n);
+    int width = 1; // the 3-bit metadata field encodes widths 1..8
+    for (int i = 0; i < n; ++i) {
+        if (exponents[i] == 0)
+            continue; // zero values take the reserved codeword
+        width = std::max(width, deltaWidth(wrapDelta(exponents[i], base)));
+    }
+    panic_if(width > 8, "delta width %d out of range", width);
+    return width;
+}
+
+BdcResult
+BaseDeltaCodec::analyze(const std::vector<BFloat16> &values) const
+{
+    BdcResult r;
+    r.values = values.size();
+    for (size_t g = 0; g < values.size();
+         g += static_cast<size_t>(groupSize_)) {
+        int n = static_cast<int>(
+            std::min<size_t>(groupSize_, values.size() - g));
+        uint8_t exps[256];
+        for (int i = 0; i < n; ++i)
+            exps[i] = static_cast<uint8_t>(
+                values[g + static_cast<size_t>(i)].biasedExponent());
+        int width = deltaBitsForGroup(exps, n);
+
+        r.groups += 1;
+        r.exponentBitsRaw += static_cast<uint64_t>(n) * 8;
+        // Header: 8-bit base + 3-bit width + 1-bit "first value is
+        // zero" flag; then one delta per remaining value.
+        uint64_t comp = 8 + 3 + 1 + static_cast<uint64_t>(n - 1) * width;
+        r.exponentBitsCompressed += comp;
+        r.totalBitsRaw += static_cast<uint64_t>(n) * 16;
+        // Sign + mantissa bytes travel verbatim.
+        r.totalBitsCompressed += comp + static_cast<uint64_t>(n) * 8;
+    }
+    return r;
+}
+
+std::vector<uint8_t>
+BaseDeltaCodec::encode(const std::vector<BFloat16> &values) const
+{
+    BitWriter w;
+    for (size_t g = 0; g < values.size();
+         g += static_cast<size_t>(groupSize_)) {
+        int n = static_cast<int>(
+            std::min<size_t>(groupSize_, values.size() - g));
+        uint8_t exps[256];
+        for (int i = 0; i < n; ++i)
+            exps[i] = static_cast<uint8_t>(
+                values[g + static_cast<size_t>(i)].biasedExponent());
+        int base = groupBase(exps, n);
+        int width = deltaBitsForGroup(exps, n);
+
+        w.put(static_cast<uint32_t>(base), 8);
+        w.put(static_cast<uint32_t>(width - 1), 3);
+        // The group's first value is represented by the base itself,
+        // with one header bit marking the "first value is zero, base
+        // comes from a later value" case; every other value stores a
+        // delta, using the reserved codeword for zeros.
+        w.put(exps[0] == 0 && base != 0 ? 1u : 0u, 1);
+        for (int i = 1; i < n; ++i) {
+            int delta = exps[i] == 0 ? zeroMarker(width)
+                                     : wrapDelta(exps[i], base);
+            w.put(static_cast<uint32_t>(delta) & maskBits(width), width);
+        }
+        for (int i = 0; i < n; ++i) {
+            const BFloat16 &v = values[g + static_cast<size_t>(i)];
+            uint32_t sm = (v.isNegative() ? 0x80u : 0u) |
+                          static_cast<uint32_t>(v.mantissa());
+            w.put(sm, 8);
+        }
+    }
+    return w.take();
+}
+
+std::vector<BFloat16>
+BaseDeltaCodec::decode(const std::vector<uint8_t> &stream,
+                       size_t count) const
+{
+    BitReader r(stream);
+    std::vector<BFloat16> out;
+    out.reserve(count);
+    while (out.size() < count) {
+        int n = static_cast<int>(
+            std::min<size_t>(groupSize_, count - out.size()));
+        int base = static_cast<int>(r.get(8));
+        int width = static_cast<int>(r.get(3)) + 1;
+        int exps[256];
+        exps[0] = r.get(1) ? 0 : base;
+        for (int i = 1; i < n; ++i) {
+            uint32_t raw = r.get(width);
+            int delta = static_cast<int>(raw);
+            if (raw & (1u << (width - 1)))
+                delta -= 1 << width;
+            exps[i] = delta == zeroMarker(width)
+                          ? 0
+                          : static_cast<uint8_t>(base + delta);
+        }
+        for (int i = 0; i < n; ++i) {
+            uint32_t sm = r.get(8);
+            out.push_back(BFloat16::fromFields(
+                (sm & 0x80u) != 0, exps[i], static_cast<int>(sm & 0x7fu)));
+        }
+    }
+    return out;
+}
+
+} // namespace fpraker

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Exponent base-delta compression (paper section IV-D, Figs. 9/10).
+ *
+ * Training values are spatially correlated: consecutive values along the
+ * channel (or H) dimension have similar magnitudes and hence similar
+ * exponents. FPRaker exploits this off-chip with a base-delta scheme
+ * (after Pekhimenko et al.): values are blocked into groups of 32; the
+ * first value's 8-bit exponent field is the group base, and the
+ * remaining exponents are stored as signed deltas whose bit-width is
+ * chosen per group (3-bit metadata). Signs and mantissas are stored
+ * verbatim — only the exponent footprint shrinks, which is what Fig. 10
+ * reports.
+ *
+ * Zero values would wreck the delta range (their exponent field is 0,
+ * ~127 below typical values), so the codec exploits the no-denormal
+ * rule — exponent field 0 always means zero — and reserves the most
+ * negative delta codeword (-2^(w-1)) as the "zero value" marker. The
+ * group base is the first non-zero value's exponent; deltas of normal
+ * values use the remaining two's-complement range.
+ */
+
+#ifndef FPRAKER_COMPRESS_BASE_DELTA_H
+#define FPRAKER_COMPRESS_BASE_DELTA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "numeric/bfloat16.h"
+
+namespace fpraker {
+
+/** Footprint accounting for a compressed stream. */
+struct BdcResult
+{
+    uint64_t values = 0;
+    uint64_t groups = 0;
+    uint64_t exponentBitsRaw = 0;        //!< 8 bits per value.
+    uint64_t exponentBitsCompressed = 0; //!< base + metadata + deltas.
+    uint64_t totalBitsRaw = 0;           //!< 16 bits per value.
+    uint64_t totalBitsCompressed = 0;
+
+    /** Fig. 10's metric: compressed / raw exponent footprint. */
+    double
+    exponentFootprint() const
+    {
+        return exponentBitsRaw == 0
+                   ? 1.0
+                   : static_cast<double>(exponentBitsCompressed) /
+                         static_cast<double>(exponentBitsRaw);
+    }
+
+    /** Whole-value compression ratio (compressed / raw). */
+    double
+    totalFootprint() const
+    {
+        return totalBitsRaw == 0
+                   ? 1.0
+                   : static_cast<double>(totalBitsCompressed) /
+                         static_cast<double>(totalBitsRaw);
+    }
+
+    void
+    merge(const BdcResult &o)
+    {
+        values += o.values;
+        groups += o.groups;
+        exponentBitsRaw += o.exponentBitsRaw;
+        exponentBitsCompressed += o.exponentBitsCompressed;
+        totalBitsRaw += o.totalBitsRaw;
+        totalBitsCompressed += o.totalBitsCompressed;
+    }
+};
+
+/**
+ * Encoder/decoder and footprint analyzer for the exponent base-delta
+ * scheme.
+ */
+class BaseDeltaCodec
+{
+  public:
+    /** @param group_size values per group (the paper uses 32). */
+    explicit BaseDeltaCodec(int group_size = 32);
+
+    /** Per-group delta width for a group of raw exponent fields. */
+    int deltaBitsForGroup(const uint8_t *exponents, int n) const;
+
+    /** Footprint accounting without materializing the bitstream. */
+    BdcResult analyze(const std::vector<BFloat16> &values) const;
+
+    /** Encode into a packed byte stream (header + deltas + mantissas). */
+    std::vector<uint8_t> encode(const std::vector<BFloat16> &values) const;
+
+    /**
+     * Decode @p count values from a stream produced by encode().
+     * Round-trips exactly.
+     */
+    std::vector<BFloat16> decode(const std::vector<uint8_t> &stream,
+                                 size_t count) const;
+
+    int groupSize() const { return groupSize_; }
+
+  private:
+    int groupSize_;
+};
+
+} // namespace fpraker
+
+#endif // FPRAKER_COMPRESS_BASE_DELTA_H

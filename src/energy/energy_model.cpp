@@ -1,0 +1,81 @@
+#include "energy/energy_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fpraker {
+
+EnergyModel::EnergyModel(EnergyModelConfig cfg)
+    : cfg_(cfg)
+{
+    panic_if(cfg_.coreClockHz <= 0, "bad core clock");
+}
+
+double
+EnergyModel::fprTileCyclePj() const
+{
+    // mW / Hz = mJ per cycle; x1e9 = pJ.
+    return cfg_.fprTileMw / cfg_.coreClockHz * 1e9;
+}
+
+double
+EnergyModel::baseTileCyclePj() const
+{
+    return cfg_.baseTileMw / cfg_.coreClockHz * 1e9;
+}
+
+CoreEnergyBreakdown
+EnergyModel::fprCoreEnergy(double tile_cycles, int tiles,
+                           const PeStats &stats) const
+{
+    // The Table III tile power already reflects measured activity;
+    // lane utilization only modulates a residual share of the dynamic
+    // power (idle lanes are clock-gated).
+    double lane_cycles = static_cast<double>(stats.laneCycles());
+    double useful = lane_cycles > 0
+                        ? static_cast<double>(stats.laneUseful) /
+                              lane_cycles
+                        : 0.0;
+    double per_cycle = fprTileCyclePj();
+    double total_cycles = tile_cycles * static_cast<double>(tiles);
+    double activity =
+        1.0 - cfg_.fprActivityWeight * (1.0 - useful);
+    double energy = total_cycles * per_cycle * activity;
+
+    CoreEnergyBreakdown b;
+    b.computePj = energy * cfg_.fprComputeShare;
+    b.controlPj = energy * cfg_.fprControlShare;
+    b.accumulationPj = energy * cfg_.fprAccumShare;
+    return b;
+}
+
+double
+EnergyModel::baseCoreEnergy(double tile_cycles, int tiles,
+                            const BaselinePeStats &stats) const
+{
+    double macs = static_cast<double>(stats.macs);
+    double ineffectual =
+        macs > 0 ? static_cast<double>(stats.ineffectualMacs) / macs : 0.0;
+    // Ineffectual MACs power-gate the multiplier and its tree branch,
+    // saving a residual fraction of the dynamic energy — but never a
+    // cycle (section III-A).
+    double activity = 1.0 - ineffectual * cfg_.baseGatingSaving;
+    double per_cycle = baseTileCyclePj();
+    return tile_cycles * static_cast<double>(tiles) * per_cycle *
+           activity;
+}
+
+double
+EnergyModel::sramEnergyPj(double bytes) const
+{
+    return bytes / 16.0 * cfg_.sramAccessPj;
+}
+
+double
+EnergyModel::dramEnergyPj(double bytes) const
+{
+    return bytes * 8.0 * cfg_.dramBitPj;
+}
+
+} // namespace fpraker

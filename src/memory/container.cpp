@@ -1,0 +1,98 @@
+#include "memory/container.h"
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+
+namespace fpraker {
+
+ContainerStore::ContainerStore(int channels, int rows, int cols)
+    : channels_(channels), rows_(rows), cols_(cols),
+      chanTiles_(divCeil(channels, ContainerGeometry::kChannels)),
+      colTiles_(divCeil(cols, ContainerGeometry::kColumns))
+{
+    panic_if(channels < 1 || rows < 1 || cols < 1,
+             "degenerate tensor %dx%dx%d", channels, rows, cols);
+    data_.assign(static_cast<size_t>(chanTiles_) * rows_ * colTiles_ *
+                     ContainerGeometry::kValues,
+                 BFloat16());
+}
+
+size_t
+ContainerStore::containerOf(int c, int r, int k) const
+{
+    panic_if(c < 0 || c >= channels_ || r < 0 || r >= rows_ || k < 0 ||
+                 k >= cols_,
+             "coordinate (%d,%d,%d) out of bounds", c, r, k);
+    int ct = c / ContainerGeometry::kChannels;
+    int kt = k / ContainerGeometry::kColumns;
+    // Containers are stored in channel, column, row order: channel tiles
+    // vary fastest, then column tiles, then rows.
+    return static_cast<size_t>(r) * colTiles_ * chanTiles_ +
+           static_cast<size_t>(kt) * chanTiles_ + static_cast<size_t>(ct);
+}
+
+int
+ContainerStore::offsetInContainer(int c, int r, int k) const
+{
+    int co = c % ContainerGeometry::kChannels;
+    int ko = k % ContainerGeometry::kColumns;
+    // Channel-major inside the container so tiles can fetch 8
+    // consecutive channels in one access.
+    return ko * ContainerGeometry::kChannels + co;
+}
+
+size_t
+ContainerStore::flatIndex(int c, int r, int k) const
+{
+    return containerOf(c, r, k) * ContainerGeometry::kValues +
+           static_cast<size_t>(offsetInContainer(c, r, k));
+}
+
+BFloat16
+ContainerStore::at(int c, int r, int k) const
+{
+    return data_[flatIndex(c, r, k)];
+}
+
+void
+ContainerStore::set(int c, int r, int k, BFloat16 v)
+{
+    data_[flatIndex(c, r, k)] = v;
+}
+
+void
+ContainerStore::readBurst8(int c, int r, int k, BFloat16 *out) const
+{
+    for (int i = 0; i < 8; ++i) {
+        int ci = c + i;
+        out[i] = (ci < channels_) ? at(ci, r, k) : BFloat16();
+    }
+}
+
+size_t
+ContainerStore::numContainers() const
+{
+    return static_cast<size_t>(chanTiles_) * rows_ * colTiles_;
+}
+
+size_t
+ContainerStore::paddedBytes() const
+{
+    return numContainers() * ContainerGeometry::kBytes;
+}
+
+size_t
+ContainerStore::logicalBytes() const
+{
+    return static_cast<size_t>(channels_) * rows_ * cols_ * 2;
+}
+
+double
+ContainerStore::paddingOverhead() const
+{
+    return static_cast<double>(paddedBytes()) /
+               static_cast<double>(logicalBytes()) -
+           1.0;
+}
+
+} // namespace fpraker

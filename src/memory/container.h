@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Off-chip container layout (paper section IV-E).
+ *
+ * Tensors are stored in memory as "square" containers of 32x32 bfloat16
+ * values — 2 KB, matching typical DDR4 row sizes for high-bandwidth
+ * streaming. A container holds coordinates (c, r, k) .. (c+31, r, k+31)
+ * — 32 channels x 1 row x 32 columns — with c and k divisible by 32 and
+ * padding as necessary; containers are ordered channel, column, row.
+ */
+
+#ifndef FPRAKER_MEMORY_CONTAINER_H
+#define FPRAKER_MEMORY_CONTAINER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "numeric/bfloat16.h"
+
+namespace fpraker {
+
+/** Container geometry constants. */
+struct ContainerGeometry
+{
+    static constexpr int kChannels = 32; //!< Channels per container.
+    static constexpr int kColumns = 32;  //!< Columns per container.
+    static constexpr int kValues = kChannels * kColumns;
+    static constexpr int kBytes = kValues * 2;
+};
+
+/**
+ * A (channels x rows x cols) bfloat16 tensor stored in container order.
+ * Provides logical indexing, container addressing, and padding
+ * accounting; the DRAM model uses container addresses to credit
+ * row-buffer locality.
+ */
+class ContainerStore
+{
+  public:
+    ContainerStore(int channels, int rows, int cols);
+
+    /** Logical tensor value at (c, r, k); padding reads as zero. */
+    BFloat16 at(int c, int r, int k) const;
+    void set(int c, int r, int k, BFloat16 v);
+
+    /** Index of the container holding (c, r, k). */
+    size_t containerOf(int c, int r, int k) const;
+
+    /** Flat offset of (c, r, k) inside its container [0, 1024). */
+    int offsetInContainer(int c, int r, int k) const;
+
+    /**
+     * Read 8 consecutive channel-major values starting at (c, r, k)
+     * (the tiles' native 8-value access). Crossing the container's
+     * channel edge pads with zeros.
+     */
+    void readBurst8(int c, int r, int k, BFloat16 *out) const;
+
+    int channels() const { return channels_; }
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    size_t numContainers() const;
+    /** Bytes occupied including padding. */
+    size_t paddedBytes() const;
+    /** Bytes of live values only. */
+    size_t logicalBytes() const;
+    /** Padding overhead fraction (padded / logical - 1). */
+    double paddingOverhead() const;
+
+  private:
+    size_t flatIndex(int c, int r, int k) const;
+
+    int channels_, rows_, cols_;
+    int chanTiles_, colTiles_;
+    std::vector<BFloat16> data_;
+};
+
+} // namespace fpraker
+
+#endif // FPRAKER_MEMORY_CONTAINER_H

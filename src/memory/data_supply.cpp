@@ -1,0 +1,122 @@
+#include "memory/data_supply.h"
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+
+namespace fpraker {
+
+ContainerMatrix::ContainerMatrix(int rows, int cols)
+    : rows_(rows), cols_(cols), store_(cols, rows, 1)
+{
+    // The store is indexed (channel, row, column); matrix columns ride
+    // the channel axis so channel bursts fetch along a matrix row.
+}
+
+float
+ContainerMatrix::at(int r, int c) const
+{
+    return store_.at(c, r, 0).toFloat();
+}
+
+BFloat16
+ContainerMatrix::raw(int r, int c) const
+{
+    return store_.at(c, r, 0);
+}
+
+void
+ContainerMatrix::set(int r, int c, BFloat16 v)
+{
+    store_.set(c, r, 0, v);
+}
+
+GemmSupply::GemmSupply(const ContainerMatrix &a, const ContainerMatrix &b,
+                       bool transpose_a)
+    : a_(a), b_(b), transposeA_(transpose_a)
+{
+    panic_if(k() != b_.rows(),
+             "GEMM shape mismatch: A gives K=%d, B gives K=%d", k(),
+             b_.rows());
+}
+
+int
+GemmSupply::m() const
+{
+    return transposeA_ ? a_.cols() : a_.rows();
+}
+
+int
+GemmSupply::k() const
+{
+    return transposeA_ ? a_.rows() : a_.cols();
+}
+
+float
+GemmSupply::aAt(int r, int c) const
+{
+    return transposeA_ ? a_.at(c, r) : a_.at(r, c);
+}
+
+std::vector<TileStep>
+GemmSupply::stepsForBlock(int m0, int n0, const TileConfig &cfg)
+{
+    const int lanes = cfg.pe.lanes;
+    const int k_total = k();
+    std::vector<TileStep> steps;
+    steps.reserve(static_cast<size_t>(divCeil(k_total, lanes)));
+
+    for (int k0 = 0; k0 < k_total; k0 += lanes) {
+        TileStep step;
+        step.a.assign(static_cast<size_t>(cfg.cols) * lanes, BFloat16());
+        step.b.assign(static_cast<size_t>(cfg.rows) * lanes, BFloat16());
+
+        // Tile column c carries A row (m0 + c): an 8-value burst along
+        // the K axis. When A is consumed transposed, the burst walks a
+        // stored column instead, which the hardware serves through an
+        // 8x8 transposer (one block load per 8x8 region touched).
+        for (int c = 0; c < cfg.cols; ++c) {
+            int row = m0 + c;
+            if (row >= m())
+                break;
+            for (int l = 0; l < lanes; ++l) {
+                int kk = k0 + l;
+                if (kk >= k_total)
+                    break;
+                step.a[static_cast<size_t>(c) * lanes + l] =
+                    transposeA_ ? a_.raw(kk, row) : a_.raw(row, kk);
+            }
+            stats_.gbAccesses += 1;
+            if (transposeA_ && c % Transposer::kDim == 0)
+                stats_.transposerLoads += 1;
+        }
+
+        // Tile row r carries B column (n0 + r) over the same K burst.
+        for (int r = 0; r < cfg.rows; ++r) {
+            int col = n0 + r;
+            if (col >= n())
+                break;
+            for (int l = 0; l < lanes; ++l) {
+                int kk = k0 + l;
+                if (kk >= k_total)
+                    break;
+                step.b[static_cast<size_t>(r) * lanes + l] =
+                    b_.raw(kk, col);
+            }
+            stats_.gbAccesses += 1;
+        }
+        steps.push_back(std::move(step));
+    }
+    return steps;
+}
+
+double
+GemmSupply::reference(int r, int c) const
+{
+    double sum = 0.0;
+    for (int kk = 0; kk < k(); ++kk)
+        sum += static_cast<double>(aAt(r, kk)) *
+               static_cast<double>(b_.at(kk, c));
+    return sum;
+}
+
+} // namespace fpraker

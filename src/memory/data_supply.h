@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Data supply for the three training computations (paper section IV-E).
+ *
+ * Training touches the same three arrays (I, W, G) in different orders
+ * per operation; rather than re-packing tensors, the accelerator stores
+ * them once in 32x32 containers and re-orders on chip: tiles read 8
+ * consecutive bfloat16 values per access, and the operations that need
+ * the transpose of an array route their reads through 8x8 transposer
+ * units.
+ *
+ * GemmSupply drives one Z = A x B GEMM from container-stored operands,
+ * producing the TileStep stream for one tile's output block and
+ * accounting the global-buffer and transposer activity — making the
+ * memory path functionally testable end to end against a reference
+ * matrix multiplication.
+ */
+
+#ifndef FPRAKER_MEMORY_DATA_SUPPLY_H
+#define FPRAKER_MEMORY_DATA_SUPPLY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "memory/container.h"
+#include "memory/global_buffer.h"
+#include "memory/transposer.h"
+#include "tile/tile.h"
+
+namespace fpraker {
+
+/**
+ * A 2D matrix view stored in container order: rows map to the
+ * container row/column plane, columns to channels (so an 8-value
+ * channel burst fetches 8 consecutive matrix columns).
+ */
+class ContainerMatrix
+{
+  public:
+    /** rows x cols matrix (cols along the container channel axis). */
+    ContainerMatrix(int rows, int cols);
+
+    float at(int r, int c) const;
+    void set(int r, int c, BFloat16 v);
+    BFloat16 raw(int r, int c) const;
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    const ContainerStore &store() const { return store_; }
+
+  private:
+    int rows_, cols_;
+    ContainerStore store_;
+};
+
+/** Activity counters of one GEMM's data supply. */
+struct SupplyStats
+{
+    uint64_t gbAccesses = 0;      //!< 8-value global-buffer reads.
+    uint64_t transposerLoads = 0; //!< 8x8 blocks pushed through.
+
+    void
+    merge(const SupplyStats &o)
+    {
+        gbAccesses += o.gbAccesses;
+        transposerLoads += o.transposerLoads;
+    }
+};
+
+/**
+ * Feeds a tile with the steps of Z[M,N] = A[M,K] x B[K,N], where A
+ * supplies the serial operand (tile columns hold 8 rows of A) and B
+ * the parallel one (tile rows hold 8 columns of B).
+ *
+ * @param transpose_a read A in transposed order (A is stored [K, M]
+ *        and served through the transposer), as the backward pass
+ *        requires for the weight and activation-gradient arrays.
+ */
+class GemmSupply
+{
+  public:
+    GemmSupply(const ContainerMatrix &a, const ContainerMatrix &b,
+               bool transpose_a = false);
+
+    int m() const;
+    int n() const { return b_.cols(); }
+    int k() const;
+
+    /**
+     * Build the step stream for the output block whose rows start at
+     * @p m0 (8 tile columns) and columns at @p n0 (8 tile rows),
+     * covering the full K dimension in fragments of 8.
+     */
+    std::vector<TileStep> stepsForBlock(int m0, int n0,
+                                        const TileConfig &cfg);
+
+    /** Reference output value Z[r][c] in FP64. */
+    double reference(int r, int c) const;
+
+    const SupplyStats &stats() const { return stats_; }
+
+  private:
+    float aAt(int r, int c) const;
+
+    const ContainerMatrix &a_;
+    const ContainerMatrix &b_;
+    bool transposeA_;
+    SupplyStats stats_;
+};
+
+} // namespace fpraker
+
+#endif // FPRAKER_MEMORY_DATA_SUPPLY_H

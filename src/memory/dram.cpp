@@ -1,0 +1,51 @@
+#include "memory/dram.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fpraker {
+
+DramModel::DramModel(DramConfig cfg)
+    : cfg_(cfg)
+{
+    panic_if(cfg_.channels < 1, "need at least one channel");
+    panic_if(cfg_.coreClockHz <= 0, "bad core clock");
+}
+
+double
+DramModel::peakBytesPerCycle() const
+{
+    double bytes_per_sec = static_cast<double>(cfg_.channels) *
+                           cfg_.transfersPerSec * cfg_.bytesPerTransfer;
+    return bytes_per_sec / cfg_.coreClockHz;
+}
+
+double
+DramModel::streamBytesPerCycle() const
+{
+    return peakBytesPerCycle() * cfg_.streamEfficiency;
+}
+
+uint64_t
+DramModel::cyclesForStream(uint64_t bytes) const
+{
+    return static_cast<uint64_t>(
+        std::ceil(static_cast<double>(bytes) / streamBytesPerCycle()));
+}
+
+uint64_t
+DramModel::cyclesForRandom(uint64_t bytes) const
+{
+    return static_cast<uint64_t>(std::ceil(
+        static_cast<double>(bytes) /
+        (peakBytesPerCycle() * cfg_.randomEfficiency)));
+}
+
+double
+DramModel::energyPj(uint64_t bytes) const
+{
+    return static_cast<double>(bytes) * 8.0 * cfg_.energyPerBitPj;
+}
+
+} // namespace fpraker

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Off-chip DRAM timing and energy model.
+ *
+ * Table II: 16 GB of 4-channel LPDDR4-3200. The model converts byte
+ * traffic into core cycles at the configured core clock (600 MHz per the
+ * paper's synthesis) with a streaming-efficiency factor: container
+ * reads (2 KB, matching the DRAM row size) stream near peak bandwidth,
+ * while scattered accesses are derated. Energy follows a pJ/bit figure
+ * in the LPDDR4 range (Micron power-calculator territory).
+ */
+
+#ifndef FPRAKER_MEMORY_DRAM_H
+#define FPRAKER_MEMORY_DRAM_H
+
+#include <cstdint>
+
+namespace fpraker {
+
+/** DRAM and interface parameters. */
+struct DramConfig
+{
+    int channels = 4;
+    double transfersPerSec = 3200e6; //!< LPDDR4-3200.
+    int bytesPerTransfer = 2;        //!< x16 channel.
+    double coreClockHz = 600e6;      //!< Accelerator clock.
+    double streamEfficiency = 0.90;  //!< Container-sized sequential reads.
+    double randomEfficiency = 0.40;  //!< Scattered accesses.
+    double energyPerBitPj = 10.0;    //!< LPDDR4 access+IO energy.
+};
+
+/** Byte-traffic accounting. */
+struct DramStats
+{
+    uint64_t readBytes = 0;
+    uint64_t writeBytes = 0;
+
+    void
+    merge(const DramStats &o)
+    {
+        readBytes += o.readBytes;
+        writeBytes += o.writeBytes;
+    }
+};
+
+/** Bandwidth/energy model with sequential/random access classes. */
+class DramModel
+{
+  public:
+    explicit DramModel(DramConfig cfg = {});
+
+    /** Peak bytes per core cycle across all channels. */
+    double peakBytesPerCycle() const;
+
+    /** Effective bytes per cycle for streaming (container) traffic. */
+    double streamBytesPerCycle() const;
+
+    /** Core cycles to move @p bytes sequentially / randomly. */
+    uint64_t cyclesForStream(uint64_t bytes) const;
+    uint64_t cyclesForRandom(uint64_t bytes) const;
+
+    /** Access energy in picojoules for @p bytes. */
+    double energyPj(uint64_t bytes) const;
+
+    /** Record traffic. */
+    void recordRead(uint64_t bytes) { stats_.readBytes += bytes; }
+    void recordWrite(uint64_t bytes) { stats_.writeBytes += bytes; }
+
+    const DramStats &stats() const { return stats_; }
+    void clearStats() { stats_ = DramStats{}; }
+
+    const DramConfig &config() const { return cfg_; }
+
+  private:
+    DramConfig cfg_;
+    DramStats stats_;
+};
+
+} // namespace fpraker
+
+#endif // FPRAKER_MEMORY_DRAM_H

@@ -1,0 +1,64 @@
+#include "memory/global_buffer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fpraker {
+
+GlobalBuffer::GlobalBuffer(GlobalBufferConfig cfg)
+    : cfg_(cfg)
+{
+    panic_if(cfg_.banks < 1, "need at least one bank");
+    panic_if(cfg_.accessBytes < 1, "bad access size");
+}
+
+int
+GlobalBuffer::bankOf(uint64_t addr) const
+{
+    // Interleave at access granularity; the odd bank count (9) spreads
+    // power-of-two strides across banks.
+    return static_cast<int>((addr / static_cast<uint64_t>(cfg_.accessBytes)) %
+                            static_cast<uint64_t>(cfg_.banks));
+}
+
+void
+GlobalBuffer::read(uint64_t addr, uint64_t bytes)
+{
+    (void)addr;
+    stats_.reads += 1;
+    stats_.readBytes += bytes;
+}
+
+void
+GlobalBuffer::write(uint64_t addr, uint64_t bytes)
+{
+    (void)addr;
+    stats_.writes += 1;
+    stats_.writeBytes += bytes;
+}
+
+int
+GlobalBuffer::accessGroup(const std::vector<uint64_t> &addrs)
+{
+    std::vector<int> per_bank(static_cast<size_t>(cfg_.banks), 0);
+    for (uint64_t a : addrs) {
+        per_bank[static_cast<size_t>(bankOf(a))] += 1;
+        read(a, static_cast<uint64_t>(cfg_.accessBytes));
+    }
+    int worst = 0;
+    for (int n : per_bank) {
+        worst = std::max(worst, n);
+        if (n > 1)
+            stats_.bankConflicts += static_cast<uint64_t>(n - 1);
+    }
+    return std::max(worst, 1);
+}
+
+uint64_t
+GlobalBuffer::capacityBytes() const
+{
+    return static_cast<uint64_t>(cfg_.banks) * cfg_.bytesPerBank;
+}
+
+} // namespace fpraker

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * On-chip global buffer (SRAM) model.
+ *
+ * Table II: the global buffer is 4 MB x 9 banks, split across
+ * activation, weight, and gradient memories, plus 2 KB scratchpads per
+ * tile. The odd bank count reduces conflicts for strided layers. The
+ * model tracks access counts per bank (for energy) and serializes
+ * same-cycle conflicts (for a bandwidth-derating statistic).
+ */
+
+#ifndef FPRAKER_MEMORY_GLOBAL_BUFFER_H
+#define FPRAKER_MEMORY_GLOBAL_BUFFER_H
+
+#include <cstdint>
+#include <vector>
+
+namespace fpraker {
+
+/** Global-buffer parameters. */
+struct GlobalBufferConfig
+{
+    int banks = 9;
+    uint64_t bytesPerBank = 4ull << 20; //!< 4 MB per bank (Table II).
+    int accessBytes = 16;               //!< 8 bfloat16 values per access.
+};
+
+/** Access statistics for the SRAM energy roll-up. */
+struct GlobalBufferStats
+{
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t readBytes = 0;
+    uint64_t writeBytes = 0;
+    uint64_t bankConflicts = 0;
+
+    void
+    merge(const GlobalBufferStats &o)
+    {
+        reads += o.reads;
+        writes += o.writes;
+        readBytes += o.readBytes;
+        writeBytes += o.writeBytes;
+        bankConflicts += o.bankConflicts;
+    }
+};
+
+/**
+ * Behavioural model: address-to-bank mapping, access accounting, and a
+ * per-cycle conflict check for batched access groups.
+ */
+class GlobalBuffer
+{
+  public:
+    explicit GlobalBuffer(GlobalBufferConfig cfg = {});
+
+    /** Bank servicing byte address @p addr (interleaved at access size). */
+    int bankOf(uint64_t addr) const;
+
+    /** Record one read/write of @p bytes at @p addr. */
+    void read(uint64_t addr, uint64_t bytes);
+    void write(uint64_t addr, uint64_t bytes);
+
+    /**
+     * Issue a group of same-cycle read addresses; returns the cycles the
+     * group needs (max accesses landing on one bank) and records
+     * conflicts beyond the first access per bank.
+     */
+    int accessGroup(const std::vector<uint64_t> &addrs);
+
+    uint64_t capacityBytes() const;
+
+    const GlobalBufferStats &stats() const { return stats_; }
+    void clearStats() { stats_ = GlobalBufferStats{}; }
+
+    const GlobalBufferConfig &config() const { return cfg_; }
+
+  private:
+    GlobalBufferConfig cfg_;
+    GlobalBufferStats stats_;
+};
+
+} // namespace fpraker
+
+#endif // FPRAKER_MEMORY_GLOBAL_BUFFER_H

@@ -1,0 +1,42 @@
+#include "memory/transposer.h"
+
+#include "common/logging.h"
+
+namespace fpraker {
+
+void
+Transposer::loadRow(int r, const BFloat16 *values)
+{
+    panic_if(r < 0 || r >= kDim, "row %d out of range", r);
+    for (int c = 0; c < kDim; ++c)
+        buffer_[r][c] = values[c];
+    ++rowLoads_;
+}
+
+void
+Transposer::loadBlock(const BFloat16 *block, int stride)
+{
+    for (int r = 0; r < kDim; ++r)
+        loadRow(r, block + static_cast<size_t>(r) * stride);
+}
+
+void
+Transposer::readColumn(int c, BFloat16 *out) const
+{
+    panic_if(c < 0 || c >= kDim, "column %d out of range", c);
+    for (int r = 0; r < kDim; ++r)
+        out[r] = buffer_[r][c];
+    ++columnReads_;
+}
+
+void
+Transposer::transposeBlock(const BFloat16 *in, int in_stride,
+                           BFloat16 *out, int out_stride)
+{
+    for (int r = 0; r < kDim; ++r)
+        for (int c = 0; c < kDim; ++c)
+            out[static_cast<size_t>(c) * out_stride + r] =
+                in[static_cast<size_t>(r) * in_stride + c];
+}
+
+} // namespace fpraker

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * On-chip transposer unit (paper section IV-E).
+ *
+ * The backward pass consumes the weight and activation-gradient arrays
+ * in transposed order relative to the forward pass. Rather than
+ * duplicating tensors, the accelerator re-orders data on chip: a
+ * transposer reads 8 blocks of 8 bfloat16 values (8-value-wide reads,
+ * written as rows of an internal 8x8 buffer) and streams them back out
+ * as columns, effectively transposing each 8x8 value block.
+ */
+
+#ifndef FPRAKER_MEMORY_TRANSPOSER_H
+#define FPRAKER_MEMORY_TRANSPOSER_H
+
+#include <cstdint>
+
+#include "numeric/bfloat16.h"
+
+namespace fpraker {
+
+/** Functional + activity model of one 8x8 transposer. */
+class Transposer
+{
+  public:
+    static constexpr int kDim = 8;
+
+    /** Load row @p r of the internal buffer (8 values). */
+    void loadRow(int r, const BFloat16 *values);
+
+    /** Load all 8 rows from a row-major block with stride @p stride. */
+    void loadBlock(const BFloat16 *block, int stride);
+
+    /** Read column @p c (8 values) — the transposed view. */
+    void readColumn(int c, BFloat16 *out) const;
+
+    /** Transpose a full 8x8 block: out[j][i] = in[i][j]. */
+    static void transposeBlock(const BFloat16 *in, int in_stride,
+                               BFloat16 *out, int out_stride);
+
+    uint64_t rowLoads() const { return rowLoads_; }
+    uint64_t columnReads() const { return columnReads_; }
+
+  private:
+    BFloat16 buffer_[kDim][kDim] = {};
+    uint64_t rowLoads_ = 0;
+    mutable uint64_t columnReads_ = 0;
+};
+
+} // namespace fpraker
+
+#endif // FPRAKER_MEMORY_TRANSPOSER_H

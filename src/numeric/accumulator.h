@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Extended-precision accumulator shared by the FPRaker and baseline PEs.
+ *
+ * The paper's PE accumulates bfloat16 products into a register with a
+ * 16-bit significand: 1 hidden bit, 3 further integer bits (worst-case
+ * carry room for 8 concurrent products) and 12 fractional bits — 9 bits of
+ * extended precision per the chunk-based accumulation scheme of Sakr et
+ * al. (chunk size 64) plus 3 round bits. The register is normalized and
+ * rounded to nearest-even after every accumulation step, and its exponent
+ * is architecturally visible: the PE compares incoming product exponents
+ * against it to derive alignment shifts and out-of-bounds decisions.
+ *
+ * ExtendedAccumulator models that register bit-faithfully at the
+ * value level; ChunkedAccumulator adds the inter-chunk FP32 spill.
+ */
+
+#ifndef FPRAKER_NUMERIC_ACCUMULATOR_H
+#define FPRAKER_NUMERIC_ACCUMULATOR_H
+
+#include <cstdint>
+
+#include "numeric/bfloat16.h"
+
+namespace fpraker {
+
+/** Architectural parameters of the accumulation datapath. */
+struct AccumulatorConfig
+{
+    /**
+     * Fractional significand bits kept after each normalize+round step.
+     * Default 12 = 9 extended-precision bits + 3 round bits (paper IV-A).
+     * Per-layer accumulator-width profiles (Fig. 21) lower this.
+     */
+    int fracBits = 12;
+
+    /**
+     * Integer significand bits including the hidden one. Only consumed by
+     * the area/energy model and by a debug check: the functional model
+     * normalizes every step and cannot overflow.
+     */
+    int intBits = 4;
+
+    /** MACs accumulated per chunk before spilling to FP32 (Sakr et al.). */
+    int chunkSize = 64;
+};
+
+/**
+ * The PE-visible accumulator register: sign, exponent, and a significand
+ * normalized to fracBits fractional bits after every operation.
+ */
+class ExtendedAccumulator
+{
+  public:
+    /** Exponent reported while the register holds zero. */
+    static constexpr int kMinExp = -(1 << 20);
+
+    explicit ExtendedAccumulator(AccumulatorConfig cfg = {});
+
+    /** Clear back to +0 with the minimum exponent. */
+    void reset();
+
+    /** True when the stored value is zero. */
+    bool isZero() const { return sig_ == 0; }
+
+    /** True when the stored value is negative. */
+    bool isNegative() const { return neg_; }
+
+    /**
+     * Exponent of the leading significand bit (the value the hardware's
+     * MAX block compares product exponents against). kMinExp when zero.
+     */
+    int exponent() const { return exp_; }
+
+    /**
+     * Raise the exponent register to @p e (no-op when e <= exponent()),
+     * quantizing the stored value to the 2^(e - fracBits) grid with RNE.
+     * Models the acc_shift alignment the PE performs when a new set of
+     * products carries a larger maximum exponent.
+     */
+    void alignTo(int e);
+
+    /**
+     * Add the exact value (neg ? -1 : +1) * mag * 2^lsb_exp, then
+     * normalize and round to nearest even at fracBits fractional bits.
+     * This is the single arithmetic path used by both PE models.
+     */
+    void addValue(bool neg, int lsb_exp, uint64_t mag);
+
+    /**
+     * Accumulate the full product of two bfloat16 values (the bit-parallel
+     * baseline datapath). NaN/Inf inputs are rejected by assertion: the
+     * training simulator operates on finite traces.
+     */
+    void addProduct(BFloat16 a, BFloat16 b);
+
+    /** Read out as bfloat16 (RNE to 7 mantissa bits, no denormals). */
+    BFloat16 readBFloat16() const;
+
+    /** Exact stored value (fracBits <= 52 so a double is exact). */
+    double readDouble() const;
+
+    const AccumulatorConfig &config() const { return cfg_; }
+
+  private:
+    /**
+     * Install |value| = mag * 2^lsb_exp (with @p sticky noting discarded
+     * lower bits) as the new register contents: normalize so the leading
+     * bit sits at fracBits, round to nearest even.
+     */
+    void normalizeAndRound(unsigned __int128 mag, int lsb_exp, bool sticky,
+                           bool neg);
+
+    AccumulatorConfig cfg_;
+    bool neg_;
+    int exp_;
+    uint64_t sig_; //!< Normalized to [2^fracBits, 2^(fracBits+1)), or 0.
+};
+
+/**
+ * Chunk-based accumulation wrapper: products accumulate into the
+ * extended-precision register; every chunkSize MACs the register value is
+ * added into an FP32 running sum (in FP32 arithmetic) and the register is
+ * cleared. This bounds swamping error for long dot products while keeping
+ * the per-MAC datapath narrow.
+ */
+class ChunkedAccumulator
+{
+  public:
+    explicit ChunkedAccumulator(AccumulatorConfig cfg = {});
+
+    /** Clear both the chunk register and the FP32 running sum. */
+    void reset();
+
+    /** Accumulate one product through the chunk register. */
+    void addProduct(BFloat16 a, BFloat16 b);
+
+    /**
+     * Account for @p macs MACs deposited directly into chunkRegister()
+     * by a PE model; flushes the chunk when the count is reached.
+     */
+    void tickMacs(int macs);
+
+    /** Force the current chunk into the FP32 running sum. */
+    void flushChunk();
+
+    /** The intra-chunk register, exposed for the PE models. */
+    ExtendedAccumulator &chunkRegister() { return acc_; }
+    const ExtendedAccumulator &chunkRegister() const { return acc_; }
+
+    /** Total = FP32 running sum + current chunk contents. */
+    float total() const;
+
+  private:
+    AccumulatorConfig cfg_;
+    ExtendedAccumulator acc_;
+    float running_;
+    int macsInChunk_;
+};
+
+} // namespace fpraker
+
+#endif // FPRAKER_NUMERIC_ACCUMULATOR_H

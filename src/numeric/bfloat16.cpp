@@ -1,0 +1,45 @@
+#include "numeric/bfloat16.h"
+
+#include <bit>
+#include <cstring>
+
+namespace fpraker {
+
+BFloat16
+BFloat16::fromFloat(float f)
+{
+    uint32_t u = std::bit_cast<uint32_t>(f);
+    uint32_t exp = (u >> 23) & 0xff;
+    uint32_t man = u & 0x7fffffu;
+
+    if (exp == 0xff) {
+        // Inf/NaN: keep the class; make NaN quiet-ish by ensuring a
+        // non-zero truncated mantissa.
+        uint16_t hi = static_cast<uint16_t>(u >> 16);
+        if (man != 0 && (hi & 0x7f) == 0)
+            hi |= 0x40;
+        return fromBits(hi);
+    }
+
+    // Round to nearest even at bit 16.
+    uint32_t lsb = (u >> 16) & 1u;
+    uint32_t rounding = 0x7fffu + lsb;
+    u += rounding;
+    uint16_t hi = static_cast<uint16_t>(u >> 16);
+
+    // Flush denormals (and anything that rounded down into the denormal
+    // range) to signed zero: the paper's hardware does not support
+    // denormals.
+    if (((hi >> kManBits) & 0xff) == 0)
+        hi &= 0x8000u;
+    return fromBits(hi);
+}
+
+float
+BFloat16::toFloat() const
+{
+    uint32_t u = static_cast<uint32_t>(bits_) << 16;
+    return std::bit_cast<float>(u);
+}
+
+} // namespace fpraker

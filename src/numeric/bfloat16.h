@@ -1,0 +1,141 @@
+/**
+ * @file
+ * BFloat16 value type.
+ *
+ * bfloat16 (brain floating point) is the datatype FPRaker operates on:
+ * 1 sign bit, 8 exponent bits (bias 127), 7 explicit mantissa bits. The
+ * paper assumes hardware without denormal support (citing Henry et al.),
+ * so conversions flush denormals to zero. Conversion from float uses
+ * round-to-nearest-even.
+ */
+
+#ifndef FPRAKER_NUMERIC_BFLOAT16_H
+#define FPRAKER_NUMERIC_BFLOAT16_H
+
+#include <cstdint>
+
+namespace fpraker {
+
+/**
+ * A bfloat16 value stored in IEEE-like bit layout (s:1 e:8 m:7).
+ *
+ * The class is a thin, trivially copyable wrapper over the 16-bit pattern
+ * with helpers that expose the fields the FPRaker PE consumes: the biased
+ * exponent and the 8-bit significand with the hidden leading one made
+ * explicit.
+ */
+class BFloat16
+{
+  public:
+    static constexpr int kExpBits = 8;
+    static constexpr int kManBits = 7;
+    static constexpr int kBias = 127;
+    /** Significand width including the hidden bit. */
+    static constexpr int kSigBits = kManBits + 1;
+
+    /** Default: +0. */
+    constexpr BFloat16() : bits_(0) {}
+
+    /** Round a float to bfloat16 (RNE, denormals flushed to zero). */
+    static BFloat16 fromFloat(float f);
+
+    /** Reinterpret a raw 16-bit pattern as bfloat16. */
+    static constexpr BFloat16
+    fromBits(uint16_t bits)
+    {
+        BFloat16 v;
+        v.bits_ = bits;
+        return v;
+    }
+
+    /** Construct from sign/biased-exponent/mantissa fields. */
+    static constexpr BFloat16
+    fromFields(bool negative, int biased_exp, int mantissa)
+    {
+        return fromBits(static_cast<uint16_t>(
+            (negative ? 0x8000u : 0u) |
+            (static_cast<unsigned>(biased_exp & 0xff) << kManBits) |
+            (static_cast<unsigned>(mantissa) & 0x7fu)));
+    }
+
+    /** Widen to float (always exact). */
+    float toFloat() const;
+
+    /** Raw bit pattern. */
+    constexpr uint16_t bits() const { return bits_; }
+
+    /** Sign bit: true when negative. */
+    constexpr bool isNegative() const { return (bits_ & 0x8000u) != 0; }
+
+    /** Biased 8-bit exponent field. */
+    constexpr int biasedExponent() const { return (bits_ >> kManBits) & 0xff; }
+
+    /** Unbiased exponent (only meaningful for finite non-zero values). */
+    constexpr int unbiasedExponent() const { return biasedExponent() - kBias; }
+
+    /** The 7 explicit mantissa bits. */
+    constexpr int mantissa() const { return bits_ & 0x7fu; }
+
+    /**
+     * The 8-bit significand with the hidden one made explicit
+     * (range [128, 255] for normal values, 0 for zero).
+     */
+    constexpr int
+    significand() const
+    {
+        return isZero() ? 0 : (0x80 | mantissa());
+    }
+
+    /** True for +/-0 (denormals never occur in this type). */
+    constexpr bool isZero() const { return (bits_ & 0x7fffu) == 0; }
+
+    /** True for +/-inf. */
+    constexpr bool
+    isInf() const
+    {
+        return biasedExponent() == 0xff && mantissa() == 0;
+    }
+
+    /** True for NaN. */
+    constexpr bool
+    isNaN() const
+    {
+        return biasedExponent() == 0xff && mantissa() != 0;
+    }
+
+    /** True for a finite value (zero or normal). */
+    constexpr bool isFinite() const { return biasedExponent() != 0xff; }
+
+    /** Negated value. */
+    constexpr BFloat16
+    operator-() const
+    {
+        return fromBits(static_cast<uint16_t>(bits_ ^ 0x8000u));
+    }
+
+    /** Bit-pattern equality (note: +0 != -0 under this comparison). */
+    constexpr bool
+    operator==(const BFloat16 &other) const
+    {
+        return bits_ == other.bits_;
+    }
+    constexpr bool
+    operator!=(const BFloat16 &other) const
+    {
+        return bits_ != other.bits_;
+    }
+
+  private:
+    uint16_t bits_;
+};
+
+/** Shorthand literal-style constructor used pervasively in tests. */
+inline BFloat16
+bf16(float f)
+{
+    return BFloat16::fromFloat(f);
+}
+
+} // namespace fpraker
+
+#endif // FPRAKER_NUMERIC_BFLOAT16_H

@@ -1,0 +1,63 @@
+#include "numeric/reference.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace fpraker {
+
+double
+dotDouble(const std::vector<BFloat16> &a, const std::vector<BFloat16> &b)
+{
+    panic_if(a.size() != b.size(), "dot of mismatched lengths %zu vs %zu",
+             a.size(), b.size());
+    double sum = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        sum += static_cast<double>(a[i].toFloat()) *
+               static_cast<double>(b[i].toFloat());
+    return sum;
+}
+
+float
+dotFloat(const std::vector<BFloat16> &a, const std::vector<BFloat16> &b)
+{
+    panic_if(a.size() != b.size(), "dot of mismatched lengths %zu vs %zu",
+             a.size(), b.size());
+    float sum = 0.0f;
+    for (size_t i = 0; i < a.size(); ++i)
+        sum = std::fma(a[i].toFloat(), b[i].toFloat(), sum);
+    return sum;
+}
+
+float
+dotChunked(const std::vector<BFloat16> &a, const std::vector<BFloat16> &b,
+           const AccumulatorConfig &cfg)
+{
+    panic_if(a.size() != b.size(), "dot of mismatched lengths %zu vs %zu",
+             a.size(), b.size());
+    ChunkedAccumulator acc(cfg);
+    for (size_t i = 0; i < a.size(); ++i)
+        acc.addProduct(a[i], b[i]);
+    return acc.total();
+}
+
+double
+relError(double x, double ref, double floor)
+{
+    double denom = std::fabs(ref);
+    if (denom < floor)
+        denom = floor;
+    return std::fabs(x - ref) / denom;
+}
+
+double
+accumulationTolerance(const AccumulatorConfig &cfg, size_t steps)
+{
+    // One rounding per step at 2^-fracBits relative precision, plus the
+    // final bfloat16/FP32 readout rounding.
+    double step_ulp = std::ldexp(1.0, -cfg.fracBits);
+    return step_ulp * (static_cast<double>(steps) + 4.0);
+}
+
+} // namespace fpraker

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Golden reference arithmetic for validating the PE models.
+ *
+ * The cycle-level simulator checks every value it produces against these
+ * references (the paper's simulator "models value transfers and
+ * computation in time faithfully and checks the produced values for
+ * correctness against the golden values").
+ */
+
+#ifndef FPRAKER_NUMERIC_REFERENCE_H
+#define FPRAKER_NUMERIC_REFERENCE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "numeric/accumulator.h"
+#include "numeric/bfloat16.h"
+
+namespace fpraker {
+
+/** Exact (FP64) dot product of bfloat16 vectors. */
+double dotDouble(const std::vector<BFloat16> &a,
+                 const std::vector<BFloat16> &b);
+
+/** FP32 dot product (sequential fused order). */
+float dotFloat(const std::vector<BFloat16> &a,
+               const std::vector<BFloat16> &b);
+
+/**
+ * Reference dot product through the extended-precision chunked
+ * accumulator (sequential product order).
+ */
+float dotChunked(const std::vector<BFloat16> &a,
+                 const std::vector<BFloat16> &b,
+                 const AccumulatorConfig &cfg);
+
+/** |x - ref| / max(|ref|, floor); floor guards near-zero references. */
+double relError(double x, double ref, double floor = 1e-30);
+
+/**
+ * Tolerance for comparing an extended-accumulator result against FP64:
+ * each accumulation step rounds at fracBits, so after n steps the error
+ * is bounded by ~n ulps at that precision.
+ */
+double accumulationTolerance(const AccumulatorConfig &cfg, size_t steps);
+
+} // namespace fpraker
+
+#endif // FPRAKER_NUMERIC_REFERENCE_H

@@ -1,0 +1,91 @@
+#include "numeric/term_encoder.h"
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+
+namespace fpraker {
+
+namespace {
+
+/**
+ * Compute the non-adjacent form of @p n (0 or [128, 255]) and invoke
+ * @p emit(position, negative) from the least significant digit upward.
+ * Positions are bit indices relative to 2^-7 (so the hidden one sits at
+ * position 7 and a carry digit at position 8).
+ */
+template <typename EmitFn>
+void
+nafDigits(int n, EmitFn emit)
+{
+    int pos = 0;
+    while (n != 0) {
+        if (n & 1) {
+            // Digit is +1 when n mod 4 == 1, -1 when n mod 4 == 3, which
+            // guarantees the next digit is zero (non-adjacency).
+            int digit = 2 - (n & 3);
+            emit(pos, digit < 0);
+            n -= digit;
+        }
+        n >>= 1;
+        ++pos;
+    }
+}
+
+} // namespace
+
+int
+TermStream::reconstructScaled() const
+{
+    int v = 0;
+    for (int i = 0; i < count_; ++i) {
+        int weight = 1 << (7 - terms_[i].shift);
+        v += terms_[i].neg ? -weight : weight;
+    }
+    return v;
+}
+
+TermStream
+TermEncoder::encodeSignificand(int sig8) const
+{
+    panic_if(sig8 != 0 && (sig8 < 0x80 || sig8 > 0xff),
+             "significand %d is neither zero nor normalized", sig8);
+
+    TermStream out;
+    if (sig8 == 0)
+        return out;
+
+    if (encoding_ == TermEncoding::RawBits) {
+        for (int bit = 7; bit >= 0; --bit) {
+            if (sig8 & (1 << bit))
+                out.push({static_cast<int8_t>(7 - bit), false});
+        }
+        return out;
+    }
+
+    // Canonical: collect NAF digits LSB-first, then reverse into the
+    // MSB-first stream order the PE consumes.
+    Term lsb_first[TermStream::kMaxTerms];
+    int n = 0;
+    nafDigits(sig8, [&](int pos, bool neg) {
+        panic_if(n >= TermStream::kMaxTerms, "NAF overflow for sig %d",
+                 sig8);
+        lsb_first[n++] = {static_cast<int8_t>(7 - pos), neg};
+    });
+    for (int i = n - 1; i >= 0; --i)
+        out.push(lsb_first[i]);
+    return out;
+}
+
+int
+TermEncoder::countTerms(int sig8) const
+{
+    if (sig8 == 0)
+        return 0;
+    if (encoding_ == TermEncoding::RawBits)
+        return popcount(static_cast<uint64_t>(sig8));
+    int n = 0;
+    nafDigits(sig8, [&](int, bool) { ++n; });
+    return n;
+}
+
+} // namespace fpraker

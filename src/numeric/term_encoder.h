@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Signed power-of-two ("term") encoding of bfloat16 significands.
+ *
+ * FPRaker processes the A operand of each MAC as a stream of terms: signed
+ * powers of two produced by canonically recoding the 8-bit significand
+ * (hidden one included). Canonical encoding — the non-adjacent form (NAF),
+ * a variant of Booth encoding — guarantees no two adjacent non-zero digits
+ * and the minimal number of non-zero digits, e.g.
+ * 1.1110000 -> {+2^+1, -2^-4}.
+ *
+ * A term's position is expressed as a right-shift distance `t` from the
+ * 2^0 (hidden-one) position, so the term's value is +/-2^-t with
+ * t in [-1, +7] for an 8-bit significand. Terms are emitted most
+ * significant first, which is what allows the PE to cut off a lane as soon
+ * as one term falls below the accumulator's precision (all later terms are
+ * strictly smaller).
+ */
+
+#ifndef FPRAKER_NUMERIC_TERM_ENCODER_H
+#define FPRAKER_NUMERIC_TERM_ENCODER_H
+
+#include <cstdint>
+
+#include "numeric/bfloat16.h"
+
+namespace fpraker {
+
+/** One signed power-of-two term: value = (neg ? -1 : +1) * 2^-shift. */
+struct Term
+{
+    int8_t shift; //!< Right-shift distance from the 2^0 position.
+    bool neg;     //!< True when the term is subtractive.
+
+    bool
+    operator==(const Term &other) const
+    {
+        return shift == other.shift && neg == other.neg;
+    }
+};
+
+/** Choice of significand recoding. */
+enum class TermEncoding
+{
+    Canonical, //!< Non-adjacent form (Booth variant); the paper's default.
+    RawBits,   //!< Plain non-zero bits, all positive (ablation baseline).
+};
+
+/**
+ * A fixed-capacity, MSB-first term stream for one significand.
+ *
+ * Capacity 8 covers both encodings: raw bits produce at most 8 terms and
+ * the NAF of an 8-bit significand produces at most 5.
+ */
+class TermStream
+{
+  public:
+    static constexpr int kMaxTerms = 8;
+
+    TermStream() = default;
+
+    /** Number of terms in the stream. */
+    int size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+    /** Term @p i (0 = most significant). */
+    const Term &
+    operator[](int i) const
+    {
+        return terms_[i];
+    }
+
+    /** Append a term (caller keeps MSB-first ordering). */
+    void
+    push(Term t)
+    {
+        terms_[count_++] = t;
+    }
+
+    /**
+     * Reconstruct the encoded significand scaled by 2^7 (i.e. the integer
+     * significand value the terms represent). Used by tests.
+     */
+    int reconstructScaled() const;
+
+  private:
+    Term terms_[kMaxTerms] = {};
+    int count_ = 0;
+};
+
+/**
+ * Encoder producing term streams from significands.
+ *
+ * Stateless; the PE model owns one per tile column (the hardware shares
+ * the power-of-two encoders across the PEs of a column).
+ */
+class TermEncoder
+{
+  public:
+    explicit TermEncoder(TermEncoding enc = TermEncoding::Canonical)
+        : encoding_(enc)
+    {}
+
+    TermEncoding encoding() const { return encoding_; }
+
+    /**
+     * Encode an 8-bit significand (0 or [128, 255]) into MSB-first terms.
+     */
+    TermStream encodeSignificand(int sig8) const;
+
+    /** Encode the significand of a bfloat16 value (zero -> empty). */
+    TermStream
+    encode(BFloat16 v) const
+    {
+        return encodeSignificand(v.significand());
+    }
+
+    /** Number of terms the encoding would produce, without materializing. */
+    int countTerms(int sig8) const;
+
+  private:
+    TermEncoding encoding_;
+};
+
+/**
+ * Term-slot accounting used for the paper's "term sparsity" metric
+ * (Fig. 1b): every value contributes kTermSlots potential term positions
+ * (the 8 significand bit positions); term sparsity is the fraction of
+ * those slots left empty after canonical encoding.
+ */
+constexpr int kTermSlots = 8;
+
+} // namespace fpraker
+
+#endif // FPRAKER_NUMERIC_TERM_ENCODER_H

@@ -1,0 +1,93 @@
+#include "pe/alt_pes.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fpraker {
+
+PeConfig
+bitPragmaticFpConfig()
+{
+    PeConfig cfg;
+    // Full-range shifters: every pending term fires every cycle, no
+    // matter how far its alignment sits from the others'.
+    cfg.maxDelta = 1 << 20;
+    // No out-of-bounds feedback to the encoders.
+    cfg.skipOutOfBounds = false;
+    // A private exponent block per PE: sets can retire every cycle.
+    cfg.exponentFloor = 1;
+    cfg.encoding = TermEncoding::Canonical;
+    return cfg;
+}
+
+LaconicFpPe::LaconicFpPe(const PeConfig &cfg)
+    : cfg_(cfg), encoder_(cfg.encoding), acc_(cfg.acc)
+{
+    panic_if(cfg_.lanes < 1 || cfg_.lanes > ExponentBlockResult::kMaxLanes,
+             "unsupported lane count %d", cfg_.lanes);
+}
+
+int
+LaconicFpPe::processSet(const MacPair *pairs, int n)
+{
+    panic_if(n != cfg_.lanes, "set arity %d does not match PE lanes %d",
+             n, cfg_.lanes);
+
+    // Each lane owns terms(A) x terms(B) one-bit products; the set
+    // completes when the slowest lane drains. Functionally every term
+    // pair contributes +/-2^(Ae+Be-ta-tb) exactly.
+    int max_pairs = 0;
+    for (int l = 0; l < n; ++l) {
+        const MacPair &p = pairs[l];
+        panic_if(!p.a.isFinite() || !p.b.isFinite(),
+                 "non-finite operand in Laconic PE");
+        if (p.a.isZero() || p.b.isZero())
+            continue;
+        TermStream ta = encoder_.encode(p.a);
+        TermStream tb = encoder_.encode(p.b);
+        int pair_count = ta.size() * tb.size();
+        max_pairs = std::max(max_pairs, pair_count);
+        stats_.termPairs += static_cast<uint64_t>(pair_count);
+
+        bool prod_neg = p.a.isNegative() != p.b.isNegative();
+        int ab_exp = p.a.unbiasedExponent() + p.b.unbiasedExponent();
+        for (int i = 0; i < ta.size(); ++i) {
+            for (int j = 0; j < tb.size(); ++j) {
+                // Value = +/- 2^(ab_exp - ta - tb); lsb_exp carries the
+                // whole magnitude as a single bit.
+                bool neg = prod_neg != (ta[i].neg != tb[j].neg);
+                int lsb = ab_exp - ta[i].shift - tb[j].shift;
+                acc_.chunkRegister().addValue(neg, lsb, 1);
+            }
+        }
+    }
+    acc_.tickMacs(n);
+
+    int cycles = std::max(1, max_pairs);
+    stats_.cycles += static_cast<uint64_t>(cycles);
+    stats_.sets += 1;
+    stats_.macs += static_cast<uint64_t>(n);
+    return cycles;
+}
+
+int
+LaconicFpPe::dot(const std::vector<BFloat16> &a,
+                 const std::vector<BFloat16> &b)
+{
+    panic_if(a.size() != b.size(), "dot of mismatched lengths %zu vs %zu",
+             a.size(), b.size());
+    int cycles = 0;
+    for (size_t i = 0; i < a.size(); i += static_cast<size_t>(cfg_.lanes)) {
+        MacPair pairs[ExponentBlockResult::kMaxLanes] = {};
+        for (int l = 0; l < cfg_.lanes; ++l) {
+            size_t idx = i + static_cast<size_t>(l);
+            if (idx < a.size())
+                pairs[l] = MacPair{a[idx], b[idx]};
+        }
+        cycles += processSet(pairs, cfg_.lanes);
+    }
+    return cycles;
+}
+
+} // namespace fpraker

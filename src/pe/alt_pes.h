@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The floating-point conversions of Bit-Pragmatic and Laconic that the
+ * paper evaluates (and rejects) in its introduction.
+ *
+ * Bit-Pragmatic processes one operand side term-serially — like
+ * FPRaker — but as a straight fixed-point-to-floating-point port it
+ * lacks every one of FPRaker's area levers: full-range alignment
+ * shifters instead of the 3-position window + shared base shifter, a
+ * private exponent block per PE, and no out-of-bounds skipping. The
+ * paper measures the resulting PE at only 2.5x smaller than the
+ * bit-parallel PE, which under iso-compute area buys too little
+ * parallelism: on average 1.72x *slower* and 1.96x less energy
+ * efficient than the optimized baseline (2.86x / 3.2x worst case).
+ *
+ * Laconic processes *both* operand sides term-serially, paying
+ * terms(A) x terms(B) cycles per multiplication; its floating-point
+ * conversion is "equally disappointing" (paper section VI).
+ */
+
+#ifndef FPRAKER_PE_ALT_PES_H
+#define FPRAKER_PE_ALT_PES_H
+
+#include <vector>
+
+#include "pe/fpraker_pe.h"
+
+namespace fpraker {
+
+/**
+ * PE configuration modelling the Bfloat16 Bit-Pragmatic PE: term-serial
+ * A side with unrestricted shifters, private exponent block, and no
+ * out-of-bounds skipping.
+ */
+PeConfig bitPragmaticFpConfig();
+
+/** Timing/term statistics of a Laconic-FP PE. */
+struct LaconicPeStats
+{
+    uint64_t cycles = 0;
+    uint64_t sets = 0;
+    uint64_t macs = 0;
+    uint64_t termPairs = 0; //!< Single-bit products processed.
+
+    void
+    merge(const LaconicPeStats &o)
+    {
+        cycles += o.cycles;
+        sets += o.sets;
+        macs += o.macs;
+        termPairs += o.termPairs;
+    }
+};
+
+/**
+ * Floating-point Laconic PE model: both significands are canonically
+ * recoded and every term pair is processed as a one-bit product, one
+ * pair per lane per cycle; a set completes when the slowest lane has
+ * drained its terms(A) x terms(B) products.
+ */
+class LaconicFpPe
+{
+  public:
+    explicit LaconicFpPe(const PeConfig &cfg = PeConfig{});
+
+    /** Process one set of @p n = lanes pairs; returns cycles. */
+    int processSet(const MacPair *pairs, int n);
+
+    /** Accumulate a full dot product (lanes pairs per set). */
+    int dot(const std::vector<BFloat16> &a, const std::vector<BFloat16> &b);
+
+    float resultFloat() const { return acc_.total(); }
+    ChunkedAccumulator &accumulator() { return acc_; }
+
+    const LaconicPeStats &stats() const { return stats_; }
+    void clearStats() { stats_ = LaconicPeStats{}; }
+    void reset() { acc_.reset(); }
+
+  private:
+    PeConfig cfg_;
+    TermEncoder encoder_;
+    ChunkedAccumulator acc_;
+    LaconicPeStats stats_;
+};
+
+} // namespace fpraker
+
+#endif // FPRAKER_PE_ALT_PES_H

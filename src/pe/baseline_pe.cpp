@@ -1,0 +1,87 @@
+#include "pe/baseline_pe.h"
+
+#include <climits>
+
+#include "common/logging.h"
+#include "pe/exponent_block.h"
+
+namespace fpraker {
+
+BaselinePe::BaselinePe(const PeConfig &cfg)
+    : cfg_(cfg), acc_(cfg.acc)
+{
+    panic_if(cfg_.lanes < 1 || cfg_.lanes > ExponentBlockResult::kMaxLanes,
+             "unsupported lane count %d", cfg_.lanes);
+}
+
+int
+BaselinePe::processSet(const MacPair *pairs, int n)
+{
+    panic_if(n != cfg_.lanes, "set arity %d does not match PE lanes %d", n,
+             cfg_.lanes);
+
+    ExponentBlockResult ebr = ExponentBlock::compute(
+        pairs, n, acc_.chunkRegister().exponent());
+    acc_.chunkRegister().alignTo(ebr.emax);
+
+    // Align every product to the set's maximum exponent and reduce
+    // exactly in a wide adder tree. Products that fall entirely below
+    // the accumulator window cannot influence the rounded result beyond
+    // the sticky position the hardware also discards.
+    const int window = cfg_.acc.fracBits + 6;
+    int64_t sum = 0;
+    int lsb_min = INT_MAX;
+    for (int l = 0; l < n; ++l) {
+        if (!ebr.active[l])
+            continue;
+        if (ebr.abExp[l] < ebr.emax - window)
+            continue;
+        // Product lsb weighs 2^(Ae+Be-14); the in-window spread is
+        // bounded so the exact reduction fits comfortably in 64 bits.
+        int lsb = ebr.abExp[l] - 14;
+        if (lsb < lsb_min)
+            lsb_min = lsb;
+    }
+    for (int l = 0; l < n; ++l) {
+        if (!ebr.active[l] || ebr.abExp[l] < ebr.emax - window)
+            continue;
+        int64_t prod = static_cast<int64_t>(pairs[l].a.significand()) *
+                       static_cast<int64_t>(pairs[l].b.significand());
+        int64_t contrib = prod << (ebr.abExp[l] - 14 - lsb_min);
+        sum += ebr.prodNeg[l] ? -contrib : contrib;
+    }
+    if (sum != 0) {
+        acc_.chunkRegister().addValue(
+            sum < 0, lsb_min, static_cast<uint64_t>(sum < 0 ? -sum : sum));
+    }
+    acc_.tickMacs(n);
+
+    stats_.cycles += 1;
+    stats_.sets += 1;
+    stats_.macs += static_cast<uint64_t>(n);
+    for (int l = 0; l < n; ++l)
+        if (!ebr.active[l])
+            stats_.ineffectualMacs += 1;
+    return 1;
+}
+
+int
+BaselinePe::dot(const std::vector<BFloat16> &a,
+                const std::vector<BFloat16> &b)
+{
+    panic_if(a.size() != b.size(), "dot of mismatched lengths %zu vs %zu",
+             a.size(), b.size());
+    int cycles = 0;
+    for (size_t i = 0; i < a.size(); i += static_cast<size_t>(cfg_.lanes)) {
+        MacPair pairs[ExponentBlockResult::kMaxLanes] = {};
+        for (int l = 0; l < cfg_.lanes; ++l) {
+            size_t idx = i + static_cast<size_t>(l);
+            if (idx < a.size())
+                pairs[l] = MacPair{a[idx], b[idx]};
+        }
+        cycles += processSet(pairs, cfg_.lanes);
+    }
+    return cycles;
+}
+
+} // namespace fpraker

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The optimized bit-parallel baseline PE (paper section V-A).
+ *
+ * The baseline is an efficient fused MAC unit that multiplies 8 bfloat16
+ * pairs per cycle, aligns the products to their common maximum exponent,
+ * reduces them in an adder tree, and accumulates into the same
+ * extended-precision chunk-based accumulator as FPRaker. It is fully
+ * pipelined: every set takes exactly one cycle regardless of values, and
+ * ineffectual work at best power-gates datapath slices (modeled by the
+ * energy layer) — it can never shorten a cycle.
+ */
+
+#ifndef FPRAKER_PE_BASELINE_PE_H
+#define FPRAKER_PE_BASELINE_PE_H
+
+#include <vector>
+
+#include "pe/pe_common.h"
+
+namespace fpraker {
+
+/** Timing/activity statistics of a baseline PE. */
+struct BaselinePeStats
+{
+    uint64_t cycles = 0;
+    uint64_t sets = 0;
+    uint64_t macs = 0;
+    /** MACs with at least one zero operand (power-gating candidates). */
+    uint64_t ineffectualMacs = 0;
+
+    void
+    merge(const BaselinePeStats &o)
+    {
+        cycles += o.cycles;
+        sets += o.sets;
+        macs += o.macs;
+        ineffectualMacs += o.ineffectualMacs;
+    }
+};
+
+/**
+ * 8-wide bit-parallel bfloat16 MAC PE with chunk-based accumulation.
+ */
+class BaselinePe
+{
+  public:
+    explicit BaselinePe(const PeConfig &cfg = PeConfig{});
+
+    /**
+     * Process one set of @p n = lanes pairs. Always one cycle.
+     * @return cycles consumed (1).
+     */
+    int processSet(const MacPair *pairs, int n);
+
+    /** Accumulate a full dot product, lanes pairs per cycle. */
+    int dot(const std::vector<BFloat16> &a, const std::vector<BFloat16> &b);
+
+    ChunkedAccumulator &accumulator() { return acc_; }
+    const ChunkedAccumulator &accumulator() const { return acc_; }
+
+    float resultFloat() const { return acc_.total(); }
+    BFloat16
+    resultBF16() const
+    {
+        return BFloat16::fromFloat(acc_.total());
+    }
+
+    const BaselinePeStats &stats() const { return stats_; }
+    void clearStats() { stats_ = BaselinePeStats{}; }
+    void reset() { acc_.reset(); }
+
+    const PeConfig &config() const { return cfg_; }
+
+  private:
+    PeConfig cfg_;
+    ChunkedAccumulator acc_;
+    BaselinePeStats stats_;
+};
+
+} // namespace fpraker
+
+#endif // FPRAKER_PE_BASELINE_PE_H

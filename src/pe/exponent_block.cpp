@@ -1,0 +1,32 @@
+#include "pe/exponent_block.h"
+
+#include "common/logging.h"
+
+namespace fpraker {
+
+ExponentBlockResult
+ExponentBlock::compute(const MacPair *pairs, int n, int acc_exp)
+{
+    panic_if(n < 1 || n > ExponentBlockResult::kMaxLanes,
+             "exponent block fed %d lanes", n);
+    ExponentBlockResult r;
+    r.emax = acc_exp;
+    for (int i = 0; i < n; ++i) {
+        const MacPair &p = pairs[i];
+        panic_if(!p.a.isFinite() || !p.b.isFinite(),
+                 "non-finite PE operand (a=%04x b=%04x)", p.a.bits(),
+                 p.b.bits());
+        r.active[i] = !p.a.isZero() && !p.b.isZero();
+        r.prodNeg[i] = p.a.isNegative() != p.b.isNegative();
+        // Zero operands carry an all-zero exponent field; their product
+        // exponents are far below any normal value, so the MAX tree
+        // ignores them and the out-of-bounds check retires the lane
+        // immediately — value sparsity falls out of the OB mechanism.
+        r.abExp[i] = p.a.unbiasedExponent() + p.b.unbiasedExponent();
+        if (r.active[i] && r.abExp[i] > r.emax)
+            r.emax = r.abExp[i];
+    }
+    return r;
+}
+
+} // namespace fpraker

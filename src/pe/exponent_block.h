@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The PE's exponent block (paper Fig. 3, block 1).
+ *
+ * Once per operand set, the exponent block adds the A and B exponents in
+ * pairs to form the product exponents, finds the maximum across them and
+ * the accumulator exponent (the MAX comparator tree), and derives the
+ * per-lane alignment deltas. In the tile, one exponent block is
+ * time-multiplexed between two PEs (paper section IV-B), which makes a
+ * set cost at least two cycles; that floor is modeled by
+ * PeConfig::exponentFloor.
+ */
+
+#ifndef FPRAKER_PE_EXPONENT_BLOCK_H
+#define FPRAKER_PE_EXPONENT_BLOCK_H
+
+#include "pe/pe_common.h"
+
+namespace fpraker {
+
+/** Per-set output of the exponent block for one PE. */
+struct ExponentBlockResult
+{
+    static constexpr int kMaxLanes = 16;
+
+    /** max(product exponents, accumulator exponent). */
+    int emax = ExtendedAccumulator::kMinExp;
+
+    /** Unbiased product exponent per lane (Ae + Be). */
+    int abExp[kMaxLanes] = {};
+
+    /** Product sign per lane (true = negative). */
+    bool prodNeg[kMaxLanes] = {};
+
+    /** Lane carries a non-zero product (both operands non-zero). */
+    bool active[kMaxLanes] = {};
+};
+
+/**
+ * Functional model of the exponent block. Stateless; occupancy/sharing
+ * costs are accounted by the PE/tile timing model.
+ */
+class ExponentBlock
+{
+  public:
+    /**
+     * Evaluate one operand set.
+     *
+     * @param pairs    the lane operand pairs
+     * @param n        number of lanes in use (<= kMaxLanes)
+     * @param acc_exp  current accumulator exponent register
+     */
+    static ExponentBlockResult compute(const MacPair *pairs, int n,
+                                       int acc_exp);
+};
+
+} // namespace fpraker
+
+#endif // FPRAKER_PE_EXPONENT_BLOCK_H

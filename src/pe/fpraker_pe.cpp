@@ -1,0 +1,381 @@
+#include "pe/fpraker_pe.h"
+
+#include <algorithm>
+#include <climits>
+
+#include "common/logging.h"
+
+namespace fpraker {
+
+FPRakerColumn::FPRakerColumn(const PeConfig &cfg, int num_pes)
+    : cfg_(cfg), numPes_(num_pes), encoder_(cfg.encoding)
+{
+    panic_if(cfg_.lanes < 1 || cfg_.lanes > ExponentBlockResult::kMaxLanes,
+             "unsupported lane count %d", cfg_.lanes);
+    panic_if(numPes_ < 1, "column needs at least one PE");
+    panic_if(cfg_.maxDelta < 0, "negative shifter window");
+    streams_.resize(static_cast<size_t>(cfg_.lanes));
+    peLanes_.resize(static_cast<size_t>(numPes_) * cfg_.lanes);
+    pes_.reserve(static_cast<size_t>(numPes_));
+    for (int r = 0; r < numPes_; ++r)
+        pes_.push_back(PeState{ChunkedAccumulator(cfg_.acc), PeStats{}});
+}
+
+void
+FPRakerColumn::beginSet(const BFloat16 *a, const BFloat16 *b, int b_stride)
+{
+    panic_if(inSet_, "beginSet while a set is in flight");
+
+    for (int l = 0; l < cfg_.lanes; ++l) {
+        streams_[l].terms = encoder_.encode(a[l]);
+        streams_[l].cursor = 0;
+    }
+
+    for (int r = 0; r < numPes_; ++r) {
+        PeState &pe = pes_[r];
+        MacPair pairs[ExponentBlockResult::kMaxLanes];
+        for (int l = 0; l < cfg_.lanes; ++l)
+            pairs[l] = MacPair{a[l], b[r * b_stride + l]};
+
+        ExponentBlockResult ebr = ExponentBlock::compute(
+            pairs, cfg_.lanes, pe.acc.chunkRegister().exponent());
+        pe.acc.chunkRegister().alignTo(ebr.emax);
+
+        for (int l = 0; l < cfg_.lanes; ++l) {
+            PeLane &pl = lane(r, l);
+            pl.abExp = ebr.abExp[l];
+            pl.prodNeg = ebr.prodNeg[l];
+            pl.bSig = pairs[l].b.significand();
+            pl.fired = false;
+            pl.obDone = false;
+            pe.stats.termsZeroSkipped += static_cast<uint64_t>(
+                kTermSlots - streams_[l].terms.size());
+        }
+        pe.stats.sets += 1;
+        pe.stats.macs += static_cast<uint64_t>(cfg_.lanes);
+    }
+
+    setCycles_ = 0;
+    inSet_ = true;
+}
+
+void
+FPRakerColumn::scanOutOfBounds()
+{
+    if (!cfg_.skipOutOfBounds)
+        return;
+    const int thr = cfg_.effectiveObThreshold();
+    for (int r = 0; r < numPes_; ++r) {
+        int acc_exp = pes_[r].acc.chunkRegister().exponent();
+        for (int l = 0; l < cfg_.lanes; ++l) {
+            LaneStream &s = streams_[l];
+            PeLane &pl = lane(r, l);
+            if (pl.obDone || pl.fired || s.cursor >= s.terms.size())
+                continue;
+            int k = acc_exp - pl.abExp + s.terms[s.cursor].shift;
+            if (k > thr) {
+                // Terms stream MSB-first, so every remaining term of
+                // this pair is guaranteed out-of-bounds too.
+                pl.obDone = true;
+                pes_[r].stats.termsObSkipped += static_cast<uint64_t>(
+                    s.terms.size() - s.cursor);
+            }
+        }
+    }
+}
+
+bool
+FPRakerColumn::advanceCursors()
+{
+    bool progress = false;
+    for (int l = 0; l < cfg_.lanes; ++l) {
+        LaneStream &s = streams_[l];
+        if (s.cursor >= s.terms.size())
+            continue;
+        bool all_consumed = true;
+        bool all_ob = true;
+        for (int r = 0; r < numPes_; ++r) {
+            const PeLane &pl = lane(r, l);
+            all_consumed &= pl.fired || pl.obDone;
+            all_ob &= pl.obDone;
+        }
+        if (!all_consumed)
+            continue;
+        if (all_ob) {
+            // The shared encoder drops the rest of the stream once every
+            // PE in the column has flagged the lane.
+            s.cursor = s.terms.size();
+        } else {
+            ++s.cursor;
+            for (int r = 0; r < numPes_; ++r)
+                lane(r, l).fired = false;
+        }
+        progress = true;
+    }
+    return progress;
+}
+
+void
+FPRakerColumn::settle()
+{
+    do {
+        scanOutOfBounds();
+    } while (advanceCursors());
+}
+
+bool
+FPRakerColumn::allStreamsDone() const
+{
+    for (int l = 0; l < cfg_.lanes; ++l)
+        if (streams_[l].cursor < streams_[l].terms.size())
+            return false;
+    return true;
+}
+
+bool
+FPRakerColumn::busy() const
+{
+    return inSet_ && !allStreamsDone();
+}
+
+void
+FPRakerColumn::stepCycle()
+{
+    if (!inSet_)
+        return;
+
+    // Out-of-bounds retirement is a feedback signal to the encoders, not
+    // a datapath operation: it consumes no processing cycle.
+    settle();
+    if (allStreamsDone())
+        return;
+
+    ++setCycles_;
+
+    for (int r = 0; r < numPes_; ++r) {
+        PeState &pe = pes_[r];
+        int acc_exp = pe.acc.chunkRegister().exponent();
+
+        // Pass 1: collect pending lanes and the base shift.
+        int k_of[ExponentBlockResult::kMaxLanes];
+        bool pending[ExponentBlockResult::kMaxLanes];
+        int base = INT_MAX;
+        for (int l = 0; l < cfg_.lanes; ++l) {
+            const LaneStream &s = streams_[l];
+            const PeLane &pl = lane(r, l);
+            pending[l] = !pl.fired && !pl.obDone &&
+                         s.cursor < s.terms.size();
+            if (pending[l]) {
+                k_of[l] = acc_exp - pl.abExp + s.terms[s.cursor].shift;
+                if (k_of[l] < base)
+                    base = k_of[l];
+            }
+        }
+
+        PeCycleTrace tr;
+        const bool tracing = static_cast<bool>(trace_);
+        if (tracing) {
+            tr.cycle = setCycles_;
+            tr.pe = r;
+            tr.base = base == INT_MAX ? 0 : base;
+            tr.accExp = acc_exp;
+            tr.action.assign(static_cast<size_t>(cfg_.lanes),
+                             PeCycleTrace::LaneAction::Idle);
+            tr.k.assign(static_cast<size_t>(cfg_.lanes), 0);
+        }
+
+        if (base == INT_MAX) {
+            // Nothing to do for this PE this cycle: every lane is either
+            // exhausted, retired, or waiting for a sibling PE.
+            pe.stats.laneNoTerm += static_cast<uint64_t>(cfg_.lanes);
+            if (tracing)
+                trace_(tr);
+            continue;
+        }
+
+        // Pass 2: fire lanes inside the shifter window and reduce their
+        // contributions exactly (the adder tree), then accumulate. The
+        // exact int64 tree covers spreads up to 48 bits — far beyond
+        // FPRaker's 3-position window; wider configurations (the
+        // Bit-Pragmatic comparison PE has unrestricted shifters) fall
+        // back to per-contribution accumulation.
+        int lsb_min = INT_MAX;
+        int lsb_max = INT_MIN;
+        for (int l = 0; l < cfg_.lanes; ++l) {
+            if (!pending[l] || k_of[l] - base > cfg_.maxDelta)
+                continue;
+            // lsb exponent of this contribution: (Ae+Be) - t - 7. Using
+            // k: lsb = acc_exp - k - 7, so within the window the spread
+            // is at most maxDelta bits.
+            int lsb = acc_exp - k_of[l] - 7;
+            lsb_min = std::min(lsb_min, lsb);
+            lsb_max = std::max(lsb_max, lsb);
+        }
+        const bool exact_tree =
+            lsb_min == INT_MAX || lsb_max - lsb_min <= 48;
+        int64_t sum = 0;
+        for (int l = 0; l < cfg_.lanes; ++l) {
+            const LaneStream &s = streams_[l];
+            PeLane &pl = lane(r, l);
+            if (!pending[l]) {
+                pe.stats.laneNoTerm += 1;
+                continue;
+            }
+            if (k_of[l] - base > cfg_.maxDelta) {
+                pe.stats.laneShiftRange += 1;
+                if (tracing) {
+                    tr.action[static_cast<size_t>(l)] =
+                        PeCycleTrace::LaneAction::ShiftStall;
+                    tr.k[static_cast<size_t>(l)] = k_of[l];
+                }
+                continue;
+            }
+            const Term &t = s.terms[s.cursor];
+            int lsb = acc_exp - k_of[l] - 7;
+            bool neg = pl.prodNeg != t.neg;
+            if (exact_tree) {
+                int64_t contrib = static_cast<int64_t>(pl.bSig)
+                                  << (lsb - lsb_min);
+                sum += neg ? -contrib : contrib;
+            } else if (pl.bSig != 0) {
+                pe.acc.chunkRegister().addValue(
+                    neg, lsb, static_cast<uint64_t>(pl.bSig));
+            }
+            pl.fired = true;
+            pe.stats.laneUseful += 1;
+            pe.stats.termsProcessed += 1;
+            if (tracing) {
+                tr.action[static_cast<size_t>(l)] =
+                    PeCycleTrace::LaneAction::Fired;
+                tr.k[static_cast<size_t>(l)] = k_of[l];
+            }
+        }
+        if (sum != 0) {
+            pe.acc.chunkRegister().addValue(
+                sum < 0, lsb_min,
+                static_cast<uint64_t>(sum < 0 ? -sum : sum));
+        }
+        if (tracing)
+            trace_(tr);
+    }
+
+    settle();
+}
+
+int
+FPRakerColumn::finishSet()
+{
+    panic_if(!inSet_, "finishSet without beginSet");
+    // An entire set may be OB-retired before any processing cycle runs.
+    settle();
+    while (busy())
+        stepCycle();
+
+    int cycles = setCycles_;
+    if (cycles < cfg_.exponentFloor) {
+        int floor_add = cfg_.exponentFloor - cycles;
+        for (int r = 0; r < numPes_; ++r)
+            pes_[r].stats.laneExponent +=
+                static_cast<uint64_t>(floor_add) * cfg_.lanes;
+        cycles = cfg_.exponentFloor;
+    }
+    for (int r = 0; r < numPes_; ++r) {
+        pes_[r].stats.setCycles += static_cast<uint64_t>(cycles);
+        pes_[r].acc.tickMacs(cfg_.lanes);
+    }
+    inSet_ = false;
+    return cycles;
+}
+
+void
+FPRakerColumn::chargeInterPeStall(int cycles)
+{
+    panic_if(cycles < 0, "negative stall charge");
+    for (int r = 0; r < numPes_; ++r) {
+        pes_[r].stats.laneInterPe +=
+            static_cast<uint64_t>(cycles) * cfg_.lanes;
+        pes_[r].stats.setCycles += static_cast<uint64_t>(cycles);
+    }
+}
+
+ChunkedAccumulator &
+FPRakerColumn::accumulator(int pe)
+{
+    return pes_[static_cast<size_t>(pe)].acc;
+}
+
+const ChunkedAccumulator &
+FPRakerColumn::accumulator(int pe) const
+{
+    return pes_[static_cast<size_t>(pe)].acc;
+}
+
+void
+FPRakerColumn::resetAccumulators()
+{
+    for (auto &pe : pes_)
+        pe.acc.reset();
+}
+
+const PeStats &
+FPRakerColumn::stats(int pe) const
+{
+    return pes_[static_cast<size_t>(pe)].stats;
+}
+
+PeStats
+FPRakerColumn::aggregateStats() const
+{
+    PeStats agg;
+    for (const auto &pe : pes_)
+        agg.merge(pe.stats);
+    return agg;
+}
+
+void
+FPRakerColumn::clearStats()
+{
+    for (auto &pe : pes_)
+        pe.stats = PeStats{};
+}
+
+FPRakerPe::FPRakerPe(const PeConfig &cfg)
+    : column_(cfg, 1)
+{
+}
+
+int
+FPRakerPe::processSet(const MacPair *pairs, int n)
+{
+    panic_if(n != column_.config().lanes,
+             "set arity %d does not match PE lanes %d", n,
+             column_.config().lanes);
+    BFloat16 a[ExponentBlockResult::kMaxLanes];
+    BFloat16 b[ExponentBlockResult::kMaxLanes];
+    for (int l = 0; l < n; ++l) {
+        a[l] = pairs[l].a;
+        b[l] = pairs[l].b;
+    }
+    return column_.runSet(a, b, n);
+}
+
+int
+FPRakerPe::dot(const std::vector<BFloat16> &a, const std::vector<BFloat16> &b)
+{
+    panic_if(a.size() != b.size(), "dot of mismatched lengths %zu vs %zu",
+             a.size(), b.size());
+    const int lanes = column_.config().lanes;
+    int cycles = 0;
+    for (size_t i = 0; i < a.size(); i += static_cast<size_t>(lanes)) {
+        MacPair pairs[ExponentBlockResult::kMaxLanes] = {};
+        for (int l = 0; l < lanes; ++l) {
+            size_t idx = i + static_cast<size_t>(l);
+            if (idx < a.size())
+                pairs[l] = MacPair{a[idx], b[idx]};
+        }
+        cycles += processSet(pairs, lanes);
+    }
+    return cycles;
+}
+
+} // namespace fpraker

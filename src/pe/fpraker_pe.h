@@ -1,0 +1,246 @@
+/**
+ * @file
+ * The FPRaker processing element — the paper's core contribution.
+ *
+ * An FPRaker PE multiplies 8 bfloat16 (A, B) pairs concurrently and
+ * accumulates the result into an extended-precision accumulator. The A
+ * significands are recoded on the fly into streams of signed powers of
+ * two (terms) and processed term-serially, most-significant first:
+ *
+ *  - Block 1 (exponent): once per set, product exponents Ae+Be are formed
+ *    and compared (with the accumulator exponent) to find emax; the
+ *    accumulator is aligned up to emax.
+ *  - Block 2 (shift & reduce): each cycle, every lane's pending term
+ *    yields an alignment shift k = e_acc - (Ae+Be) + t. A per-cycle base
+ *    shift is set to the minimum k; lanes within maxDelta (3) of the base
+ *    fire, shifting their B significand by k - base into a small adder
+ *    tree whose output the shared base shifter aligns with the
+ *    accumulator. Lanes further out stall one cycle (shift-range stall).
+ *  - Block 3 (accumulate): the reduced partial sum is added to the
+ *    accumulator, which is normalized and rounded (RNE) every step.
+ *
+ * Terms whose k exceeds the accumulator precision are out-of-bounds: they
+ * cannot affect the result, so the lane signals its term encoder and the
+ * remainder of the stream is skipped (OB skipping). Because zero operands
+ * carry all-zero exponent fields, zero-valued B operands also retire
+ * through the OB path.
+ *
+ * FPRakerColumn models a *column* of PEs that share one A stream and its
+ * term encoders (as in the tile): term consumption is lockstepped, and a
+ * lane's stream is dropped only when every PE in the column flags it
+ * out-of-bounds. FPRakerPe is the single-PE convenience wrapper.
+ */
+
+#ifndef FPRAKER_PE_FPRAKER_PE_H
+#define FPRAKER_PE_FPRAKER_PE_H
+
+#include <functional>
+#include <vector>
+
+#include "pe/exponent_block.h"
+#include "pe/pe_common.h"
+
+namespace fpraker {
+
+/** Per-cycle trace record for walkthroughs and deep tests. */
+struct PeCycleTrace
+{
+    /** What a lane did in a traced cycle. */
+    enum class LaneAction
+    {
+        Fired,      //!< Term processed this cycle.
+        ShiftStall, //!< Pending term outside the base+maxDelta window.
+        Idle,       //!< No term pending (exhausted, fired, or waiting).
+        ObRetired,  //!< Lane dropped as out-of-bounds this cycle.
+    };
+
+    int cycle = 0; //!< Cycle index within the current set (from 1).
+    int pe = 0;    //!< PE (row) index within the column.
+    int base = 0;  //!< Base shift chosen this cycle (k of nearest lane).
+    int accExp = 0;
+    std::vector<LaneAction> action; //!< Per lane.
+    std::vector<int> k;             //!< Per lane (valid unless Idle).
+};
+
+/**
+ * A vertical group of FPRaker PEs sharing one serial-operand stream.
+ */
+class FPRakerColumn
+{
+  public:
+    /**
+     * @param cfg     PE parameters (shared by all PEs in the column)
+     * @param num_pes number of PEs (rows) sharing the A stream
+     */
+    FPRakerColumn(const PeConfig &cfg, int num_pes);
+
+    /**
+     * Start a new operand set.
+     *
+     * @param a        cfg.lanes serial operands, shared by every PE
+     * @param b        parallel operands, PE r lane l at b[r*b_stride + l]
+     * @param b_stride row stride within @p b
+     */
+    void beginSet(const BFloat16 *a, const BFloat16 *b, int b_stride);
+
+    /** True while the current set still has terms to process. */
+    bool busy() const;
+
+    /** Advance one processing cycle (no-op when not busy). */
+    void stepCycle();
+
+    /**
+     * Run the current set to completion and apply the exponent-block
+     * floor. @return cycles consumed by the set.
+     */
+    int finishSet();
+
+    /** Convenience: beginSet + finishSet. */
+    int
+    runSet(const BFloat16 *a, const BFloat16 *b, int b_stride)
+    {
+        beginSet(a, b, b_stride);
+        return finishSet();
+    }
+
+    /** Charge tile-level broadcast-wait cycles to every lane. */
+    void chargeInterPeStall(int cycles);
+
+    /** Accumulator of PE @p pe. */
+    ChunkedAccumulator &accumulator(int pe);
+    const ChunkedAccumulator &accumulator(int pe) const;
+
+    /** Reset all accumulators (new output block). */
+    void resetAccumulators();
+
+    /** Statistics of PE @p pe. */
+    const PeStats &stats(int pe) const;
+
+    /** Column-aggregate statistics. */
+    PeStats aggregateStats() const;
+
+    /** Clear statistics. */
+    void clearStats();
+
+    /** Install a per-cycle trace observer (nullptr to remove). */
+    void
+    setTraceCallback(std::function<void(const PeCycleTrace &)> cb)
+    {
+        trace_ = std::move(cb);
+    }
+
+    int numPes() const { return numPes_; }
+    const PeConfig &config() const { return cfg_; }
+
+  private:
+    /** Shared per-lane term stream state. */
+    struct LaneStream
+    {
+        TermStream terms;
+        int cursor = 0;
+    };
+
+    /** Per-(PE, lane) state. */
+    struct PeLane
+    {
+        int abExp = 0;
+        bool prodNeg = false;
+        int bSig = 0;
+        bool fired = false;  //!< Consumed the cursor term.
+        bool obDone = false; //!< Dropped the remainder of the stream.
+    };
+
+    /** Per-PE state. */
+    struct PeState
+    {
+        ChunkedAccumulator acc;
+        PeStats stats;
+    };
+
+    PeLane &lane(int pe, int l) { return peLanes_[pe * cfg_.lanes + l]; }
+
+    /** Retire out-of-bounds lanes against the current accumulators. */
+    void scanOutOfBounds();
+
+    /**
+     * Advance lane cursors consumed by every PE; reset fired flags.
+     * @return true when any cursor moved.
+     */
+    bool advanceCursors();
+
+    /**
+     * Alternate OB retirement and cursor advancement to a fixpoint.
+     * Both are encoder feedback paths, not datapath work: they consume
+     * no processing cycles.
+     */
+    void settle();
+
+    /** True when every lane stream is fully consumed. */
+    bool allStreamsDone() const;
+
+    PeConfig cfg_;
+    int numPes_;
+    TermEncoder encoder_;
+    std::vector<LaneStream> streams_;
+    std::vector<PeLane> peLanes_;
+    std::vector<PeState> pes_;
+    std::function<void(const PeCycleTrace &)> trace_;
+    int setCycles_ = 0;
+    bool inSet_ = false;
+};
+
+/**
+ * A standalone FPRaker PE (a column of one). The quickstart-facing API:
+ * feed 8-pair sets, read cycles, stats, and the accumulated value.
+ */
+class FPRakerPe
+{
+  public:
+    explicit FPRakerPe(const PeConfig &cfg = PeConfig{});
+
+    /**
+     * Process one set of @p n = cfg.lanes operand pairs to completion.
+     * @return cycles the set consumed.
+     */
+    int processSet(const MacPair *pairs, int n);
+
+    /**
+     * Accumulate a full dot product, 8 (lanes) pairs per set; short
+     * tails are padded with zeros. @return total cycles.
+     */
+    int dot(const std::vector<BFloat16> &a, const std::vector<BFloat16> &b);
+
+    ChunkedAccumulator &accumulator() { return column_.accumulator(0); }
+    const ChunkedAccumulator &
+    accumulator() const
+    {
+        return column_.accumulator(0);
+    }
+
+    /** Result so far as bfloat16 / float. */
+    BFloat16
+    resultBF16() const
+    {
+        return BFloat16::fromFloat(accumulator().total());
+    }
+    float resultFloat() const { return accumulator().total(); }
+
+    const PeStats &stats() const { return column_.stats(0); }
+    void clearStats() { column_.clearStats(); }
+    void reset() { column_.resetAccumulators(); }
+
+    void
+    setTraceCallback(std::function<void(const PeCycleTrace &)> cb)
+    {
+        column_.setTraceCallback(std::move(cb));
+    }
+
+    const PeConfig &config() const { return column_.config(); }
+
+  private:
+    FPRakerColumn column_;
+};
+
+} // namespace fpraker
+
+#endif // FPRAKER_PE_FPRAKER_PE_H

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Types shared by the FPRaker and baseline processing-element models.
+ */
+
+#ifndef FPRAKER_PE_PE_COMMON_H
+#define FPRAKER_PE_PE_COMMON_H
+
+#include <cstdint>
+
+#include "numeric/accumulator.h"
+#include "numeric/bfloat16.h"
+#include "numeric/term_encoder.h"
+
+namespace fpraker {
+
+/** One multiply-accumulate operand pair for a PE lane. */
+struct MacPair
+{
+    BFloat16 a; //!< Serial operand (processed as a term stream).
+    BFloat16 b; //!< Parallel operand (significand fed to the shifters).
+};
+
+/** Architectural parameters of an FPRaker PE. */
+struct PeConfig
+{
+    /** Concurrent MAC lanes per PE (the paper's PE processes 8 pairs). */
+    int lanes = 8;
+
+    /**
+     * Maximum difference between a lane's alignment shift and the
+     * per-cycle base shift; lanes further away stall for a cycle. The
+     * paper's preferred configuration limits this to 3, shrinking each
+     * lane shifter to 3 positions (plus the shared base shifter).
+     */
+    int maxDelta = 3;
+
+    /** Skip terms that fall outside the accumulator precision. */
+    bool skipOutOfBounds = true;
+
+    /**
+     * Out-of-bounds threshold: a term is skippable when its alignment
+     * shift k exceeds this. Negative selects the accumulator fraction
+     * width (the paper's setting, per Sakr et al.); per-layer profiles
+     * (Fig. 21) install smaller values.
+     */
+    int obThreshold = -1;
+
+    /** Significand recoding for the serial operand. */
+    TermEncoding encoding = TermEncoding::Canonical;
+
+    /** Accumulator datapath parameters. */
+    AccumulatorConfig acc;
+
+    /**
+     * Minimum cycles per set imposed by sharing one exponent block
+     * between two PEs (paper section IV-B). Set to 1 to model a private
+     * exponent block (ablation).
+     */
+    int exponentFloor = 2;
+
+    /** Effective out-of-bounds threshold. */
+    int
+    effectiveObThreshold() const
+    {
+        return obThreshold >= 0 ? obThreshold : acc.fracBits;
+    }
+};
+
+/**
+ * Cycle and term accounting for one PE (aggregated across sets).
+ *
+ * Lane-cycle categories follow the paper's Fig. 15 taxonomy: every
+ * lane-cycle of a busy PE is exactly one of useful / no-term /
+ * shift-range; exponent covers the shared-exponent-block floor, and
+ * inter-PE covers tile-level stalls waiting on operand broadcast.
+ */
+struct PeStats
+{
+    uint64_t laneUseful = 0;     //!< Lane fired a term this cycle.
+    uint64_t laneNoTerm = 0;     //!< Lane had no term left (imbalance).
+    uint64_t laneShiftRange = 0; //!< Term pending but outside the window.
+    uint64_t laneExponent = 0;   //!< Exponent-block floor cycles.
+    uint64_t laneInterPe = 0;    //!< Waiting on tile operand broadcast.
+
+    uint64_t setCycles = 0; //!< Total cycles this PE spent on sets.
+    uint64_t sets = 0;      //!< Operand sets processed.
+    uint64_t macs = 0;      //!< MAC operations covered (lanes x sets).
+
+    uint64_t termsProcessed = 0;   //!< Terms that consumed a cycle slot.
+    uint64_t termsZeroSkipped = 0; //!< Empty term slots (zero bits/values).
+    uint64_t termsObSkipped = 0;   //!< Non-zero terms skipped out-of-bounds.
+
+    /** Total lane-cycles across all categories. */
+    uint64_t
+    laneCycles() const
+    {
+        return laneUseful + laneNoTerm + laneShiftRange + laneExponent +
+               laneInterPe;
+    }
+
+    void
+    merge(const PeStats &o)
+    {
+        laneUseful += o.laneUseful;
+        laneNoTerm += o.laneNoTerm;
+        laneShiftRange += o.laneShiftRange;
+        laneExponent += o.laneExponent;
+        laneInterPe += o.laneInterPe;
+        setCycles += o.setCycles;
+        sets += o.sets;
+        macs += o.macs;
+        termsProcessed += o.termsProcessed;
+        termsZeroSkipped += o.termsZeroSkipped;
+        termsObSkipped += o.termsObSkipped;
+    }
+};
+
+} // namespace fpraker
+
+#endif // FPRAKER_PE_PE_COMMON_H

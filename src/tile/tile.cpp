@@ -1,0 +1,186 @@
+#include "tile/tile.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fpraker {
+
+Tile::Tile(const TileConfig &cfg)
+    : cfg_(cfg)
+{
+    panic_if(cfg_.rows < 1 || cfg_.cols < 1, "degenerate tile %dx%d",
+             cfg_.rows, cfg_.cols);
+    panic_if(cfg_.bufferDepth < 1, "buffer depth must be at least 1");
+    columns_.reserve(static_cast<size_t>(cfg_.cols));
+    for (int c = 0; c < cfg_.cols; ++c)
+        columns_.push_back(
+            std::make_unique<FPRakerColumn>(cfg_.pe, cfg_.rows));
+}
+
+TileRunResult
+Tile::run(const std::vector<TileStep> &steps)
+{
+    const int lanes = cfg_.pe.lanes;
+    const size_t n_steps = steps.size();
+    const int depth = cfg_.bufferDepth;
+
+    // finish[c] holds the completion time of column c's latest set;
+    // startHistory[s % depth][c] records when column c began set s: a
+    // column's buffer slot frees once the set it held moves into the
+    // PE's working registers, so broadcast of set s waits on
+    // max_c start[c][s - depth]. With the paper's depth of one this
+    // lets a fast column run exactly one set ahead of the slowest.
+    std::vector<uint64_t> finish(static_cast<size_t>(cfg_.cols), 0);
+    std::vector<std::vector<uint64_t>> startHistory(
+        static_cast<size_t>(depth),
+        std::vector<uint64_t>(static_cast<size_t>(cfg_.cols), 0));
+
+    TileRunResult result;
+    for (size_t s = 0; s < n_steps; ++s) {
+        const TileStep &step = steps[s];
+        panic_if(step.a.size() !=
+                     static_cast<size_t>(cfg_.cols) * lanes,
+                 "step %zu: a has %zu values, expected %d", s,
+                 step.a.size(), cfg_.cols * lanes);
+        panic_if(step.b.size() !=
+                     static_cast<size_t>(cfg_.rows) * lanes,
+                 "step %zu: b has %zu values, expected %d", s,
+                 step.b.size(), cfg_.rows * lanes);
+
+        uint64_t avail = 0;
+        if (s >= static_cast<size_t>(depth)) {
+            const auto &old =
+                startHistory[s % static_cast<size_t>(depth)];
+            avail = *std::max_element(old.begin(), old.end());
+        }
+
+        auto &starts = startHistory[s % static_cast<size_t>(depth)];
+        for (int c = 0; c < cfg_.cols; ++c) {
+            uint64_t start = std::max(finish[static_cast<size_t>(c)],
+                                      avail);
+            uint64_t wait = start - finish[static_cast<size_t>(c)];
+            if (wait > 0)
+                columns_[static_cast<size_t>(c)]->chargeInterPeStall(
+                    static_cast<int>(wait));
+            int cycles = columns_[static_cast<size_t>(c)]->runSet(
+                step.a.data() + static_cast<size_t>(c) * lanes,
+                step.b.data(), lanes);
+            starts[static_cast<size_t>(c)] = start;
+            finish[static_cast<size_t>(c)] =
+                start + static_cast<uint64_t>(cycles);
+        }
+        result.steps += 1;
+        result.macs += static_cast<uint64_t>(macsPerStep());
+    }
+    result.cycles =
+        n_steps == 0 ? 0 : *std::max_element(finish.begin(), finish.end());
+    return result;
+}
+
+float
+Tile::output(int r, int c) const
+{
+    return columns_[static_cast<size_t>(c)]->accumulator(r).total();
+}
+
+void
+Tile::resetAccumulators()
+{
+    for (auto &col : columns_)
+        col->resetAccumulators();
+}
+
+PeStats
+Tile::aggregateStats() const
+{
+    PeStats agg;
+    for (const auto &col : columns_)
+        agg.merge(col->aggregateStats());
+    return agg;
+}
+
+PeStats
+Tile::columnStats(int c) const
+{
+    return columns_[static_cast<size_t>(c)]->aggregateStats();
+}
+
+void
+Tile::clearStats()
+{
+    for (auto &col : columns_)
+        col->clearStats();
+}
+
+BaselineTile::BaselineTile(const TileConfig &cfg)
+    : cfg_(cfg)
+{
+    panic_if(cfg_.rows < 1 || cfg_.cols < 1, "degenerate tile %dx%d",
+             cfg_.rows, cfg_.cols);
+    pes_.assign(static_cast<size_t>(cfg_.rows) * cfg_.cols,
+                BaselinePe(cfg_.pe));
+}
+
+TileRunResult
+BaselineTile::run(const std::vector<TileStep> &steps)
+{
+    const int lanes = cfg_.pe.lanes;
+    TileRunResult result;
+    for (const TileStep &step : steps) {
+        panic_if(step.a.size() !=
+                     static_cast<size_t>(cfg_.cols) * lanes,
+                 "bad a arity %zu", step.a.size());
+        panic_if(step.b.size() !=
+                     static_cast<size_t>(cfg_.rows) * lanes,
+                 "bad b arity %zu", step.b.size());
+        for (int r = 0; r < cfg_.rows; ++r) {
+            for (int c = 0; c < cfg_.cols; ++c) {
+                MacPair pairs[ExponentBlockResult::kMaxLanes];
+                for (int l = 0; l < lanes; ++l) {
+                    pairs[l] = MacPair{
+                        step.a[static_cast<size_t>(c) * lanes + l],
+                        step.b[static_cast<size_t>(r) * lanes + l]};
+                }
+                pes_[static_cast<size_t>(r) * cfg_.cols + c].processSet(
+                    pairs, lanes);
+            }
+        }
+        result.steps += 1;
+        result.macs += static_cast<uint64_t>(macsPerStep());
+    }
+    // Fully pipelined: one cycle per step.
+    result.cycles = result.steps;
+    return result;
+}
+
+float
+BaselineTile::output(int r, int c) const
+{
+    return pes_[static_cast<size_t>(r) * cfg_.cols + c].resultFloat();
+}
+
+void
+BaselineTile::resetAccumulators()
+{
+    for (auto &pe : pes_)
+        pe.reset();
+}
+
+BaselinePeStats
+BaselineTile::aggregateStats() const
+{
+    BaselinePeStats agg;
+    for (const auto &pe : pes_)
+        agg.merge(pe.stats());
+    return agg;
+}
+
+void
+BaselineTile::clearStats()
+{
+    for (auto &pe : pes_)
+        pe.clearStats();
+}
+
+} // namespace fpraker

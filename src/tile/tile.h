@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The FPRaker tile (paper section IV-C) and the baseline tile.
+ *
+ * A tile is an R x C grid of PEs performing an 8x8 vector-matrix
+ * multiply per step: column c carries a serial-operand vector (8 values,
+ * shared — with its term encoders — by every PE in the column), row r
+ * carries a parallel-operand vector broadcast across the columns, and
+ * PE(r, c) accumulates dot8(A_c, B_r).
+ *
+ * Because the B rows are broadcast, all columns consume B sets in order;
+ * per-PE input buffers of depth N let a fast column run up to N sets
+ * ahead of the slowest one before it stalls (inter-PE synchronization).
+ * Exponent blocks are shared between vertical PE pairs (the
+ * exponentFloor of the PE config).
+ *
+ * The tile model is cycle-accurate within columns (term-level lockstep,
+ * see FPRakerColumn) and uses the bounded-run-ahead recurrence across
+ * columns:
+ *
+ *   avail[s]    = max_c finish[c][s - N]   (B set s enters the buffers)
+ *   start[c][s] = max(finish[c][s-1], avail[s])
+ *   finish[c][s]= start[c][s] + cycles[c][s]
+ */
+
+#ifndef FPRAKER_TILE_TILE_H
+#define FPRAKER_TILE_TILE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pe/baseline_pe.h"
+#include "pe/fpraker_pe.h"
+
+namespace fpraker {
+
+/** Geometry and buffering parameters of a tile. */
+struct TileConfig
+{
+    PeConfig pe;
+    int rows = 8;        //!< PEs per column (share the column's A stream).
+    int cols = 8;        //!< Columns (each with its own A stream).
+    int bufferDepth = 1; //!< B-set run-ahead depth (paper: one set).
+};
+
+/**
+ * One tile step: the operand vectors for a single dot-8 fragment.
+ * a is indexed [c * lanes + l], b is indexed [r * lanes + l].
+ */
+struct TileStep
+{
+    std::vector<BFloat16> a;
+    std::vector<BFloat16> b;
+};
+
+/** Timing summary of a tile run. */
+struct TileRunResult
+{
+    uint64_t cycles = 0; //!< Wall-clock cycles for the step sequence.
+    uint64_t steps = 0;  //!< Steps processed.
+    uint64_t macs = 0;   //!< MACs covered (steps x rows x cols x lanes).
+};
+
+/**
+ * Cycle-level FPRaker tile.
+ */
+class Tile
+{
+  public:
+    explicit Tile(const TileConfig &cfg);
+
+    /**
+     * Process a step sequence; accumulators persist across steps so a
+     * sequence forms one K-dimension traversal for the whole output
+     * block. Timing state (column skew) resets per call.
+     */
+    TileRunResult run(const std::vector<TileStep> &steps);
+
+    /** Accumulated output of PE (r, c). */
+    float output(int r, int c) const;
+
+    /** Reset all PE accumulators (new output block). */
+    void resetAccumulators();
+
+    /** Tile-aggregate PE statistics. */
+    PeStats aggregateStats() const;
+
+    /** Stats of one column (aggregated over its PEs). */
+    PeStats columnStats(int c) const;
+
+    void clearStats();
+
+    const TileConfig &config() const { return cfg_; }
+
+    /** MACs per fully-utilized tile step. */
+    int
+    macsPerStep() const
+    {
+        return cfg_.rows * cfg_.cols * cfg_.pe.lanes;
+    }
+
+  private:
+    TileConfig cfg_;
+    std::vector<std::unique_ptr<FPRakerColumn>> columns_;
+};
+
+/**
+ * The baseline tile: the same grid of bit-parallel PEs. Fully pipelined
+ * — one cycle per step regardless of values.
+ */
+class BaselineTile
+{
+  public:
+    explicit BaselineTile(const TileConfig &cfg);
+
+    TileRunResult run(const std::vector<TileStep> &steps);
+
+    float output(int r, int c) const;
+    void resetAccumulators();
+
+    BaselinePeStats aggregateStats() const;
+    void clearStats();
+
+    const TileConfig &config() const { return cfg_; }
+
+    int
+    macsPerStep() const
+    {
+        return cfg_.rows * cfg_.cols * cfg_.pe.lanes;
+    }
+
+  private:
+    TileConfig cfg_;
+    std::vector<BaselinePe> pes_; //!< Row-major [r * cols + c].
+};
+
+} // namespace fpraker
+
+#endif // FPRAKER_TILE_TILE_H

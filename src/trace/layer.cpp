@@ -1,0 +1,58 @@
+#include "trace/layer.h"
+
+#include "common/logging.h"
+
+namespace fpraker {
+
+const char *
+opLabel(TrainingOp op)
+{
+    switch (op) {
+      case TrainingOp::Forward:
+        return "AxW";
+      case TrainingOp::InputGrad:
+        return "GxW";
+      case TrainingOp::WeightGrad:
+        return "AxG";
+    }
+    panic("bad op");
+}
+
+const char *
+tensorLabel(TensorKind kind)
+{
+    switch (kind) {
+      case TensorKind::Activation:
+        return "Activation";
+      case TensorKind::Weight:
+        return "Weight";
+      case TensorKind::Gradient:
+        return "Gradient";
+    }
+    panic("bad tensor kind");
+}
+
+OpOperands
+operandsOf(TrainingOp op)
+{
+    switch (op) {
+      case TrainingOp::Forward:
+        return {TensorKind::Activation, TensorKind::Weight};
+      case TrainingOp::InputGrad:
+        return {TensorKind::Gradient, TensorKind::Weight};
+      case TrainingOp::WeightGrad:
+        return {TensorKind::Activation, TensorKind::Gradient};
+    }
+    panic("bad op");
+}
+
+int64_t
+totalMacs(const std::vector<LayerShape> &layers)
+{
+    int64_t total = 0;
+    for (const auto &l : layers)
+        total += l.macs();
+    return total;
+}
+
+} // namespace fpraker

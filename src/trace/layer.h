@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Layer descriptors and the three training operations.
+ *
+ * Every layer's work in all three training computations reduces to a
+ * GEMM view: forward Z[M,N] = I[M,K] x W[K,N] (Eq. 1), the input
+ * gradient dE/dI = dE/dZ x W^T (Eq. 2), and the weight gradient
+ * dE/dW = I^T x dE/dZ (Eq. 3). Convolutions take the im2col view
+ * (M = output pixels, K = Cin x kh x kw, N = Cout); LSTM and attention
+ * layers are unrolled into their constituent GEMMs.
+ */
+
+#ifndef FPRAKER_TRACE_LAYER_H
+#define FPRAKER_TRACE_LAYER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fpraker {
+
+/** Kind of layer (affects shapes only; all map to GEMMs). */
+enum class LayerType
+{
+    Conv,
+    FullyConnected,
+    Lstm,
+    Attention,
+};
+
+/** The three tensors that appear during training. */
+enum class TensorKind
+{
+    Activation,
+    Weight,
+    Gradient,
+};
+
+/** The three per-layer training operations. */
+enum class TrainingOp
+{
+    Forward,    //!< A x W (Eq. 1)
+    InputGrad,  //!< G x W (Eq. 2)
+    WeightGrad, //!< A x G (Eq. 3)
+};
+
+/** Short label used by the figure harnesses ("AxW", "GxW", "AxG"). */
+const char *opLabel(TrainingOp op);
+
+/** Label for a tensor kind. */
+const char *tensorLabel(TensorKind kind);
+
+/** The two tensor operands a training op multiplies. */
+struct OpOperands
+{
+    TensorKind first;
+    TensorKind second;
+};
+
+/** Operands of @p op (first x second in the GEMM view). */
+OpOperands operandsOf(TrainingOp op);
+
+/** One layer in GEMM view. */
+struct LayerShape
+{
+    std::string name;
+    LayerType type = LayerType::Conv;
+    int64_t m = 0; //!< Output rows (pixels / tokens / batch elements).
+    int64_t n = 0; //!< Output features.
+    int64_t k = 0; //!< Reduction (shared) dimension.
+
+    /**
+     * im2col duplication factor: a convolution's GEMM view reads each
+     * input value kernel^2 times, but only M*K/kernelArea distinct
+     * values move through memory. 1 for non-conv layers.
+     */
+    int kernelArea = 1;
+
+    /** MACs for one training op on this layer. */
+    int64_t macs() const { return m * n * k; }
+
+    /** Distinct input-tensor values (undoing im2col duplication). */
+    int64_t
+    inputFootprintValues() const
+    {
+        return m * k / kernelArea;
+    }
+};
+
+/** Sum of MACs over a layer list. */
+int64_t totalMacs(const std::vector<LayerShape> &layers);
+
+} // namespace fpraker
+
+#endif // FPRAKER_TRACE_LAYER_H

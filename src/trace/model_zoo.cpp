@@ -1,0 +1,522 @@
+#include "trace/model_zoo.h"
+
+#include "common/logging.h"
+
+namespace fpraker {
+
+namespace {
+
+/** Convolution layer in im2col GEMM view. */
+LayerShape
+conv(const std::string &name, int out_hw, int cout, int cin, int kernel)
+{
+    LayerShape l;
+    l.name = name;
+    l.type = LayerType::Conv;
+    l.m = static_cast<int64_t>(out_hw) * out_hw;
+    l.n = cout;
+    l.k = static_cast<int64_t>(cin) * kernel * kernel;
+    l.kernelArea = kernel * kernel;
+    return l;
+}
+
+/** Convolution with a non-square output. */
+LayerShape
+convHw(const std::string &name, int out_h, int out_w, int cout, int cin,
+       int kernel)
+{
+    LayerShape l;
+    l.name = name;
+    l.type = LayerType::Conv;
+    l.m = static_cast<int64_t>(out_h) * out_w;
+    l.n = cout;
+    l.k = static_cast<int64_t>(cin) * kernel * kernel;
+    l.kernelArea = kernel * kernel;
+    return l;
+}
+
+/** Fully connected layer (batch folded into M). */
+LayerShape
+fc(const std::string &name, int64_t batch, int in, int out)
+{
+    LayerShape l;
+    l.name = name;
+    l.type = LayerType::FullyConnected;
+    l.m = batch;
+    l.n = out;
+    l.k = in;
+    return l;
+}
+
+/** One LSTM direction: all four gates fused into one GEMM per step. */
+LayerShape
+lstm(const std::string &name, int64_t steps_x_batch, int input, int hidden)
+{
+    LayerShape l;
+    l.name = name;
+    l.type = LayerType::Lstm;
+    l.m = steps_x_batch;
+    l.n = 4 * hidden;
+    l.k = input + hidden;
+    return l;
+}
+
+/** Attention GEMM (projections or score/value matmuls). */
+LayerShape
+attn(const std::string &name, int64_t m, int64_t n, int64_t k)
+{
+    LayerShape l;
+    l.name = name;
+    l.type = LayerType::Attention;
+    l.m = m;
+    l.n = n;
+    l.k = k;
+    return l;
+}
+
+/** SqueezeNet fire module: squeeze 1x1 then expand 1x1 + 3x3. */
+void
+fire(std::vector<LayerShape> &out, const std::string &name, int hw,
+     int cin, int squeeze, int expand)
+{
+    out.push_back(conv(name + "/squeeze1x1", hw, squeeze, cin, 1));
+    out.push_back(conv(name + "/expand1x1", hw, expand, squeeze, 1));
+    out.push_back(conv(name + "/expand3x3", hw, expand, squeeze, 3));
+}
+
+/** ResNet bottleneck block (1x1 reduce, 3x3, 1x1 expand). */
+void
+bottleneck(std::vector<LayerShape> &out, const std::string &name, int hw,
+           int cin, int mid, int cout)
+{
+    out.push_back(conv(name + "/conv1", hw, mid, cin, 1));
+    out.push_back(conv(name + "/conv2", hw, mid, mid, 3));
+    out.push_back(conv(name + "/conv3", hw, cout, mid, 1));
+}
+
+std::vector<LayerShape>
+squeezenetLayers()
+{
+    std::vector<LayerShape> l;
+    l.push_back(conv("conv1", 111, 64, 3, 3));
+    fire(l, "fire2", 55, 64, 16, 64);
+    fire(l, "fire3", 55, 128, 16, 64);
+    fire(l, "fire4", 27, 128, 32, 128);
+    fire(l, "fire5", 27, 256, 32, 128);
+    fire(l, "fire6", 13, 256, 48, 192);
+    fire(l, "fire7", 13, 384, 48, 192);
+    fire(l, "fire8", 13, 384, 64, 256);
+    fire(l, "fire9", 13, 512, 64, 256);
+    l.push_back(conv("conv10", 13, 1000, 512, 1));
+    return l;
+}
+
+std::vector<LayerShape>
+vgg16Layers()
+{
+    std::vector<LayerShape> l;
+    l.push_back(conv("conv1_1", 224, 64, 3, 3));
+    l.push_back(conv("conv1_2", 224, 64, 64, 3));
+    l.push_back(conv("conv2_1", 112, 128, 64, 3));
+    l.push_back(conv("conv2_2", 112, 128, 128, 3));
+    l.push_back(conv("conv3_1", 56, 256, 128, 3));
+    l.push_back(conv("conv3_2", 56, 256, 256, 3));
+    l.push_back(conv("conv3_3", 56, 256, 256, 3));
+    l.push_back(conv("conv4_1", 28, 512, 256, 3));
+    l.push_back(conv("conv4_2", 28, 512, 512, 3));
+    l.push_back(conv("conv4_3", 28, 512, 512, 3));
+    l.push_back(conv("conv5_1", 14, 512, 512, 3));
+    l.push_back(conv("conv5_2", 14, 512, 512, 3));
+    l.push_back(conv("conv5_3", 14, 512, 512, 3));
+    l.push_back(fc("fc6", 32, 25088, 4096));
+    l.push_back(fc("fc7", 32, 4096, 4096));
+    l.push_back(fc("fc8", 32, 4096, 1000));
+    return l;
+}
+
+std::vector<LayerShape>
+resnet50Layers()
+{
+    std::vector<LayerShape> l;
+    l.push_back(conv("conv1", 112, 64, 3, 7));
+    const struct
+    {
+        const char *stage;
+        int blocks, hw, cin, mid, cout;
+    } stages[] = {
+        {"res2", 3, 56, 64, 64, 256},
+        {"res3", 4, 28, 256, 128, 512},
+        {"res4", 6, 14, 512, 256, 1024},
+        {"res5", 3, 7, 1024, 512, 2048},
+    };
+    for (const auto &s : stages) {
+        for (int b = 0; b < s.blocks; ++b) {
+            int cin = b == 0 ? s.cin : s.cout;
+            bottleneck(l,
+                       std::string(s.stage) + "_" + std::to_string(b), s.hw,
+                       cin, s.mid, s.cout);
+        }
+    }
+    l.push_back(fc("fc", 32, 2048, 1000));
+    return l;
+}
+
+std::vector<LayerShape>
+resnet18LayersImpl()
+{
+    std::vector<LayerShape> l;
+    l.push_back(conv("conv1", 112, 64, 3, 7));
+    const struct
+    {
+        const char *stage;
+        int hw, cin, cout;
+    } stages[] = {
+        {"res2", 56, 64, 64},
+        {"res3", 28, 64, 128},
+        {"res4", 14, 128, 256},
+        {"res5", 7, 256, 512},
+    };
+    for (const auto &s : stages) {
+        for (int b = 0; b < 2; ++b) {
+            int cin = b == 0 ? s.cin : s.cout;
+            std::string base =
+                std::string(s.stage) + "_" + std::to_string(b);
+            l.push_back(conv(base + "/conv1", s.hw, s.cout, cin, 3));
+            l.push_back(conv(base + "/conv2", s.hw, s.cout, s.cout, 3));
+        }
+    }
+    l.push_back(fc("fc", 32, 512, 1000));
+    return l;
+}
+
+std::vector<LayerShape>
+snliLayers()
+{
+    // FC projection + LSTM encoder + FC classifier head (the paper:
+    // fully-connected, LSTM-encoder, ReLU, dropout layers).
+    std::vector<LayerShape> l;
+    const int64_t tokens = 128 * 25; // batch 128, ~25 tokens/premise
+    l.push_back(fc("embed_proj", tokens, 300, 512));
+    l.push_back(lstm("lstm_enc", tokens, 512, 512));
+    l.push_back(fc("cls_fc1", 128, 2048, 1024));
+    l.push_back(fc("cls_fc2", 128, 1024, 1024));
+    l.push_back(fc("cls_out", 128, 1024, 3));
+    return l;
+}
+
+std::vector<LayerShape>
+image2textLayers()
+{
+    // Encoder CNN over rendered formula images + LSTM decoder with
+    // attention (im2latex-100k).
+    std::vector<LayerShape> l;
+    l.push_back(convHw("enc_conv1", 48, 160, 64, 1, 3));
+    l.push_back(convHw("enc_conv2", 24, 80, 128, 64, 3));
+    l.push_back(convHw("enc_conv3", 24, 80, 256, 128, 3));
+    l.push_back(convHw("enc_conv4", 12, 40, 256, 256, 3));
+    l.push_back(convHw("enc_conv5", 12, 40, 512, 256, 3));
+    l.push_back(convHw("enc_conv6", 6, 20, 512, 512, 3));
+    const int64_t dec_tokens = 32 * 80; // batch 32, ~80 output tokens
+    l.push_back(lstm("dec_lstm", dec_tokens, 512 + 512, 512));
+    l.push_back(fc("attn_score", dec_tokens, 512, 512));
+    l.push_back(fc("dec_out", dec_tokens, 512, 500));
+    return l;
+}
+
+std::vector<LayerShape>
+detectron2Layers()
+{
+    // Mask R-CNN with a ResNet-50 FPN backbone at a 800x1216 input:
+    // backbone stages, FPN laterals, RPN, and the ROI heads.
+    std::vector<LayerShape> l;
+    l.push_back(convHw("stem", 400, 608, 64, 3, 7));
+    const struct
+    {
+        const char *stage;
+        int blocks, h, w, cin, mid, cout;
+    } stages[] = {
+        {"res2", 3, 200, 304, 64, 64, 256},
+        {"res3", 4, 100, 152, 256, 128, 512},
+        {"res4", 6, 50, 76, 512, 256, 1024},
+        {"res5", 3, 25, 38, 1024, 512, 2048},
+    };
+    for (const auto &s : stages) {
+        for (int b = 0; b < s.blocks; ++b) {
+            int cin = b == 0 ? s.cin : s.cout;
+            std::string base =
+                std::string(s.stage) + "_" + std::to_string(b);
+            l.push_back(convHw(base + "/conv1", s.h, s.w, s.mid, cin, 1));
+            l.push_back(convHw(base + "/conv2", s.h, s.w, s.mid, s.mid, 3));
+            l.push_back(convHw(base + "/conv3", s.h, s.w, s.cout, s.mid, 1));
+        }
+    }
+    // FPN laterals and output convs.
+    l.push_back(convHw("fpn_lat2", 200, 304, 256, 256, 1));
+    l.push_back(convHw("fpn_lat3", 100, 152, 256, 512, 1));
+    l.push_back(convHw("fpn_lat4", 50, 76, 256, 1024, 1));
+    l.push_back(convHw("fpn_lat5", 25, 38, 256, 2048, 1));
+    l.push_back(convHw("fpn_out2", 200, 304, 256, 256, 3));
+    l.push_back(convHw("fpn_out3", 100, 152, 256, 256, 3));
+    // RPN head over the largest level plus ROI heads (512 proposals).
+    l.push_back(convHw("rpn_conv", 200, 304, 256, 256, 3));
+    l.push_back(fc("roi_fc1", 512, 12544, 1024));
+    l.push_back(fc("roi_fc2", 512, 1024, 1024));
+    l.push_back(convHw("mask_conv1", 14, 14 * 100, 256, 256, 3));
+    l.push_back(convHw("mask_conv2", 14, 14 * 100, 256, 256, 3));
+    return l;
+}
+
+std::vector<LayerShape>
+ncfLayers()
+{
+    // NeuMF on ml-20m: embedding lookups feed an MLP tower plus the GMF
+    // path; batch 1024 interactions.
+    std::vector<LayerShape> l;
+    const int64_t batch = 1024;
+    l.push_back(fc("mlp_fc1", batch, 256, 256));
+    l.push_back(fc("mlp_fc2", batch, 256, 128));
+    l.push_back(fc("mlp_fc3", batch, 128, 64));
+    l.push_back(fc("neumf_out", batch, 128, 1));
+    return l;
+}
+
+std::vector<LayerShape>
+bertLayers()
+{
+    // BERT-base fine-tuning on a GLUE task: batch 32, sequence 128.
+    std::vector<LayerShape> l;
+    const int64_t tok = 32 * 128;
+    const int64_t heads_rows = 32 * 12 * 128; // per-head score rows
+    for (int i = 0; i < 12; ++i) {
+        std::string base = "enc" + std::to_string(i);
+        l.push_back(attn(base + "/qkv", tok, 3 * 768, 768));
+        l.push_back(attn(base + "/scores", heads_rows, 128, 64));
+        l.push_back(attn(base + "/context", heads_rows, 64, 128));
+        l.push_back(attn(base + "/attn_out", tok, 768, 768));
+        l.push_back(attn(base + "/ffn1", tok, 3072, 768));
+        l.push_back(attn(base + "/ffn2", tok, 768, 3072));
+    }
+    l.push_back(fc("pooler", 32, 768, 768));
+    l.push_back(fc("cls_head", 32, 768, 2));
+    return l;
+}
+
+/** Shorthand profile constructor. */
+ValueProfile
+vp(double sparsity, double cluster, double mu, double sigma, double corr,
+   int mantissa_bits, double bit_density)
+{
+    ValueProfile p;
+    p.sparsity = sparsity;
+    p.zeroClusterLen = cluster;
+    p.expMu = mu;
+    p.expSigma = sigma;
+    p.expCorr = corr;
+    p.mantissaBits = mantissa_bits;
+    p.bitDensity = bit_density;
+    return p;
+}
+
+std::vector<ModelInfo>
+buildZoo()
+{
+    std::vector<ModelInfo> zoo;
+
+    // Profile calibration: mantissaBits/bitDensity are set so the
+    // measured term sparsity (Fig. 1b) lands in the paper's 60-90%
+    // band and the iso-area speedups (Fig. 11) reproduce in shape:
+    // ResNet18-Q ~2x (PACT 4b values), SNLI ~1.8x (extreme bit
+    // sparsity), NCF worst (~1.2x, dense wide-spread values), geomean
+    // ~1.5x. See DESIGN.md for the trace-substitution rationale.
+    {
+        ModelInfo m;
+        m.name = "SqueezeNet 1.1";
+        m.application = "Image Classification";
+        m.dataset = "ImageNet";
+        m.layers = squeezenetLayers();
+        m.profile.activation = TensorProfile::constant(
+            vp(0.38, 12.0, -2.0, 2.2, 0.90, 3, 0.16));
+        m.profile.weight = TensorProfile::constant(
+            vp(0.02, 1.5, -3.5, 1.8, 0.80, 4, 0.28));
+        m.profile.gradient = TensorProfile::constant(
+            vp(0.42, 10.0, -9.0, 3.0, 0.85, 2, 0.16));
+        zoo.push_back(std::move(m));
+    }
+    {
+        ModelInfo m;
+        m.name = "VGG16";
+        m.application = "Image Classification";
+        m.dataset = "ImageNet";
+        m.layers = vgg16Layers();
+        // Early training shows more activation/gradient sparsity and
+        // fewer active mantissa bits; the advantage shrinks ~15% after
+        // the first 30% of training (Fig. 18).
+        m.profile.activation = TensorProfile(
+            {{0.0, vp(0.62, 14.0, -2.5, 2.2, 0.90, 3, 0.18)},
+             {0.3, vp(0.50, 12.0, -2.0, 2.2, 0.90, 3, 0.17)},
+             {1.0, vp(0.48, 12.0, -2.0, 2.2, 0.90, 3, 0.17)}});
+        m.profile.weight = TensorProfile::constant(
+            vp(0.02, 1.5, -4.0, 1.8, 0.80, 4, 0.28));
+        m.profile.gradient = TensorProfile(
+            {{0.0, vp(0.66, 12.0, -10.0, 3.0, 0.85, 2, 0.15)},
+             {0.3, vp(0.57, 10.0, -9.0, 3.0, 0.85, 2, 0.18)},
+             {1.0, vp(0.55, 10.0, -9.0, 3.0, 0.85, 2, 0.18)}});
+        zoo.push_back(std::move(m));
+    }
+    {
+        ModelInfo m;
+        m.name = "ResNet50-S2";
+        m.application = "Image Classification";
+        m.dataset = "ImageNet";
+        m.layers = resnet50Layers();
+        // Dynamic sparse reparameterization keeps weights ~80% sparse
+        // throughout training.
+        m.profile.activation = TensorProfile::constant(
+            vp(0.42, 10.0, -2.0, 2.4, 0.90, 3, 0.15));
+        m.profile.weight = TensorProfile::constant(
+            vp(0.80, 1.5, -3.5, 1.8, 0.80, 4, 0.25));
+        m.profile.gradient = TensorProfile::constant(
+            vp(0.32, 8.0, -9.5, 3.2, 0.85, 2, 0.18));
+        zoo.push_back(std::move(m));
+    }
+    {
+        ModelInfo m;
+        m.name = "ResNet18-Q";
+        m.application = "Image Classification";
+        m.dataset = "ImageNet";
+        m.layers = resnet18LayersImpl();
+        // PACT quantizes activations and weights to 4 bits; once the
+        // clipping hyperparameter settles (~epoch 30), values fit 4b
+        // or less and the term count drops further (Fig. 18: +12.5%).
+        m.profile.activation = TensorProfile(
+            {{0.0, vp(0.48, 10.0, -1.5, 1.6, 0.90, 3, 0.18)},
+             {0.3, vp(0.52, 10.0, -1.5, 1.4, 0.90, 2, 0.10)},
+             {1.0, vp(0.52, 10.0, -1.5, 1.4, 0.90, 2, 0.10)}});
+        m.profile.weight = TensorProfile(
+            {{0.0, vp(0.04, 2.0, -2.5, 1.4, 0.80, 3, 0.20)},
+             {0.3, vp(0.05, 2.0, -2.5, 1.2, 0.80, 2, 0.12)},
+             {1.0, vp(0.05, 2.0, -2.5, 1.2, 0.80, 2, 0.12)}});
+        m.profile.gradient = TensorProfile::constant(
+            vp(0.30, 8.0, -8.5, 2.6, 0.85, 2, 0.12));
+        zoo.push_back(std::move(m));
+    }
+    {
+        ModelInfo m;
+        m.name = "SNLI";
+        m.application = "Natural Language Infer.";
+        m.dataset = "SNLI Corpus";
+        m.layers = snliLayers();
+        // Very low value sparsity but extreme bit sparsity in all
+        // tensors (the paper credits SNLI's 1.8x to bit sparsity).
+        m.profile.activation = TensorProfile::constant(
+            vp(0.06, 3.0, -3.0, 1.3, 0.85, 2, 0.08));
+        m.profile.weight = TensorProfile::constant(
+            vp(0.01, 1.5, -4.0, 1.3, 0.80, 2, 0.10));
+        m.profile.gradient = TensorProfile::constant(
+            vp(0.05, 3.0, -10.0, 2.2, 0.85, 1, 0.08));
+        zoo.push_back(std::move(m));
+    }
+    {
+        ModelInfo m;
+        m.name = "Image2Text";
+        m.application = "Image-to-Text Conversion";
+        m.dataset = "im2latex-100k";
+        m.layers = image2textLayers();
+        m.profile.activation = TensorProfile::constant(
+            vp(0.30, 8.0, -2.5, 2.0, 0.88, 3, 0.15));
+        m.profile.weight = TensorProfile::constant(
+            vp(0.01, 1.5, -3.5, 1.8, 0.80, 4, 0.25));
+        m.profile.gradient = TensorProfile::constant(
+            vp(0.28, 8.0, -9.0, 3.0, 0.85, 2, 0.15));
+        zoo.push_back(std::move(m));
+    }
+    {
+        ModelInfo m;
+        m.name = "Detectron2";
+        m.application = "Object Detection";
+        m.dataset = "COCO";
+        m.layers = detectron2Layers();
+        m.profile.activation = TensorProfile::constant(
+            vp(0.40, 10.0, -2.0, 2.2, 0.90, 2, 0.10));
+        m.profile.weight = TensorProfile::constant(
+            vp(0.02, 1.5, -3.5, 1.8, 0.80, 4, 0.24));
+        m.profile.gradient = TensorProfile::constant(
+            vp(0.38, 8.0, -10.0, 3.2, 0.85, 2, 0.08));
+        zoo.push_back(std::move(m));
+    }
+    {
+        ModelInfo m;
+        m.name = "NCF";
+        m.application = "Recommendation";
+        m.dataset = "ml-20m";
+        m.layers = ncfLayers();
+        // Dense values with fuller mantissas and a wide exponent
+        // spread: heavy cross-lane term imbalance (the paper's worst
+        // no-term stall share, 55%).
+        m.profile.activation = TensorProfile::constant(
+            vp(0.03, 2.0, -2.5, 2.2, 0.78, 4, 0.22));
+        m.profile.weight = TensorProfile::constant(
+            vp(0.01, 1.5, -3.0, 2.0, 0.78, 4, 0.22));
+        m.profile.gradient = TensorProfile::constant(
+            vp(0.05, 2.0, -9.0, 3.0, 0.80, 2, 0.15));
+        zoo.push_back(std::move(m));
+    }
+    {
+        ModelInfo m;
+        m.name = "Bert";
+        m.application = "Language Translation";
+        m.dataset = "WMT17";
+        m.layers = bertLayers();
+        // Fine-tuning: tiny, concentrated gradients (many out-of-
+        // bounds terms) over dense activations.
+        m.profile.activation = TensorProfile::constant(
+            vp(0.02, 2.0, -2.5, 2.0, 0.85, 3, 0.16));
+        m.profile.weight = TensorProfile::constant(
+            vp(0.00, 1.5, -3.5, 1.6, 0.80, 4, 0.24));
+        m.profile.gradient = TensorProfile::constant(
+            vp(0.05, 3.0, -12.0, 3.0, 0.85, 1, 0.10));
+        zoo.push_back(std::move(m));
+    }
+    return zoo;
+}
+
+} // namespace
+
+const std::vector<ModelInfo> &
+modelZoo()
+{
+    static const std::vector<ModelInfo> zoo = buildZoo();
+    return zoo;
+}
+
+const ModelInfo &
+findModel(const std::string &name)
+{
+    for (const auto &m : modelZoo())
+        if (m.name == name)
+            return m;
+    fatal("unknown model '%s'", name.c_str());
+}
+
+std::vector<LayerShape>
+resnet18Layers()
+{
+    return resnet18LayersImpl();
+}
+
+std::vector<LayerShape>
+alexnetLayers()
+{
+    std::vector<LayerShape> l;
+    l.push_back(conv("conv1", 55, 96, 3, 11));
+    l.push_back(conv("conv2", 27, 256, 96, 5));
+    l.push_back(conv("conv3", 13, 384, 256, 3));
+    l.push_back(conv("conv4", 13, 384, 384, 3));
+    l.push_back(conv("conv5", 13, 256, 384, 3));
+    l.push_back(fc("fc6", 32, 9216, 4096));
+    l.push_back(fc("fc7", 32, 4096, 4096));
+    l.push_back(fc("fc8", 32, 4096, 1000));
+    return l;
+}
+
+} // namespace fpraker

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The nine models of the paper's Table I, as layer-shape inventories
+ * plus calibrated value-statistics profiles.
+ *
+ * Layer shapes follow the published architectures (im2col GEMM view).
+ * The value profiles are the offline substitute for the paper's PyTorch
+ * training traces: they are calibrated so the measured value sparsity
+ * (Fig. 1a), term sparsity (Fig. 1b), exponent spreads (Fig. 6), and
+ * the resulting speedup ordering (Fig. 11: ResNet18-Q ~2x best conv
+ * model, SNLI ~1.8x, geomean ~1.5x) reproduce in shape. See DESIGN.md.
+ */
+
+#ifndef FPRAKER_TRACE_MODEL_ZOO_H
+#define FPRAKER_TRACE_MODEL_ZOO_H
+
+#include <string>
+#include <vector>
+
+#include "trace/layer.h"
+#include "trace/training_profile.h"
+
+namespace fpraker {
+
+/** A model from Table I: identity, layers, and value statistics. */
+struct ModelInfo
+{
+    std::string name;
+    std::string application;
+    std::string dataset;
+    std::vector<LayerShape> layers;
+    ModelProfile profile;
+
+    int64_t macsPerOp() const { return totalMacs(layers); }
+};
+
+/** The full Table I zoo (constructed once, in paper order). */
+const std::vector<ModelInfo> &modelZoo();
+
+/** Look up a model by name (fatal if unknown). */
+const ModelInfo &findModel(const std::string &name);
+
+/** ResNet18/AlexNet inventories for the Fig. 21 study. */
+std::vector<LayerShape> resnet18Layers();
+std::vector<LayerShape> alexnetLayers();
+
+} // namespace fpraker
+
+#endif // FPRAKER_TRACE_MODEL_ZOO_H

@@ -1,0 +1,117 @@
+#include "trace/tensor_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fpraker {
+
+TensorGenerator::TensorGenerator(const ValueProfile &profile, uint64_t seed)
+    : profile_(profile), rng_(seed), inZeroRun_(false),
+      havePrevExp_(false), prevExp_(0.0)
+{
+    panic_if(profile_.sparsity < 0.0 || profile_.sparsity > 1.0,
+             "sparsity %f out of range", profile_.sparsity);
+    panic_if(profile_.mantissaBits < 0 || profile_.mantissaBits > 7,
+             "mantissa bits %d out of range", profile_.mantissaBits);
+
+    // Two-state Markov chain with geometric run lengths: the zero-run
+    // mean is the profile's cluster length, and the non-zero run mean
+    // follows from the target sparsity s: L_n = L_z * (1 - s) / s.
+    // Both run means must be at least one value long, so high sparsity
+    // implies a floor on the zero-run length (s = 0.8 cannot be hit
+    // with runs shorter than 4 — matching i.i.d. zeros, whose runs
+    // average 1/(1-s) anyway).
+    double s = profile_.sparsity;
+    double lz = std::max(1.0, profile_.zeroClusterLen);
+    if (s <= 0.0) {
+        pEnterZero_ = 0.0;
+        pExitZero_ = 1.0;
+    } else if (s >= 1.0) {
+        pEnterZero_ = 1.0;
+        pExitZero_ = 0.0;
+        inZeroRun_ = true;
+    } else {
+        double min_lz = s / (1.0 - s);
+        if (lz < min_lz)
+            lz = min_lz;
+        double ln = lz * (1.0 - s) / s;
+        pEnterZero_ = 1.0 / std::max(1.0, ln);
+        pExitZero_ = 1.0 / lz;
+        // Start in the stationary distribution.
+        inZeroRun_ = rng_.bernoulli(s);
+    }
+}
+
+BFloat16
+TensorGenerator::next()
+{
+    // State transition first, so run lengths are geometric with the
+    // configured means.
+    if (inZeroRun_) {
+        if (rng_.bernoulli(pExitZero_))
+            inZeroRun_ = false;
+    } else {
+        if (rng_.bernoulli(pEnterZero_))
+            inZeroRun_ = true;
+    }
+    if (inZeroRun_)
+        return BFloat16();
+
+    // AR(1) exponent process.
+    double mu = profile_.expMu;
+    double rho = std::clamp(profile_.expCorr, 0.0, 0.999);
+    double innovation =
+        profile_.expSigma * std::sqrt(1.0 - rho * rho) * rng_.gaussian();
+    double e = havePrevExp_
+                   ? mu + rho * (prevExp_ - mu) + innovation
+                   : mu + profile_.expSigma * rng_.gaussian();
+    prevExp_ = e;
+    havePrevExp_ = true;
+
+    int exp_i = static_cast<int>(std::lround(e));
+    exp_i = std::clamp(exp_i, -126, 127);
+
+    int b = profile_.mantissaBits;
+    int mantissa = 0;
+    for (int bit = 0; bit < b; ++bit)
+        if (rng_.bernoulli(profile_.bitDensity))
+            mantissa |= 1 << (6 - bit); // fill from the MSB down
+    bool neg = rng_.bernoulli(0.5);
+    return BFloat16::fromFields(neg, exp_i + BFloat16::kBias, mantissa);
+}
+
+std::vector<BFloat16>
+TensorGenerator::generate(size_t n)
+{
+    std::vector<BFloat16> out(n);
+    fill(out.data(), n);
+    return out;
+}
+
+void
+TensorGenerator::fill(BFloat16 *out, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        out[i] = next();
+}
+
+TensorStats
+measureTensor(const std::vector<BFloat16> &values, TermEncoding encoding)
+{
+    TermEncoder enc(encoding);
+    TensorStats stats;
+    for (const BFloat16 &v : values) {
+        stats.values += 1;
+        if (v.isZero()) {
+            stats.zeros += 1;
+            continue;
+        }
+        stats.terms +=
+            static_cast<uint64_t>(enc.countTerms(v.significand()));
+    }
+    return stats;
+}
+
+} // namespace fpraker

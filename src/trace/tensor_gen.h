@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Synthetic tensor-value generation from calibrated profiles.
+ *
+ * A TensorGenerator streams bfloat16 values whose statistics follow a
+ * ValueProfile: zeros arrive in clustered runs (two-state Markov chain),
+ * exponents follow an AR(1) process (clamped Gaussian), and mantissas
+ * are uniform over the configured number of active bits. Streams are
+ * deterministic given a seed. This is the offline substitute for the
+ * paper's captured PyTorch training tensors.
+ */
+
+#ifndef FPRAKER_TRACE_TENSOR_GEN_H
+#define FPRAKER_TRACE_TENSOR_GEN_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "numeric/bfloat16.h"
+#include "numeric/term_encoder.h"
+#include "trace/training_profile.h"
+
+namespace fpraker {
+
+/** Streaming generator of profile-shaped bfloat16 values. */
+class TensorGenerator
+{
+  public:
+    TensorGenerator(const ValueProfile &profile, uint64_t seed);
+
+    /** Next value in the stream. */
+    BFloat16 next();
+
+    /** Generate @p n values. */
+    std::vector<BFloat16> generate(size_t n);
+
+    /** Fill an existing buffer. */
+    void fill(BFloat16 *out, size_t n);
+
+    const ValueProfile &profile() const { return profile_; }
+
+  private:
+    ValueProfile profile_;
+    Rng rng_;
+    bool inZeroRun_;
+    bool havePrevExp_;
+    double prevExp_;
+    double pEnterZero_;
+    double pExitZero_;
+};
+
+/** Measured statistics of a value stream (for Fig. 1-style reporting). */
+struct TensorStats
+{
+    uint64_t values = 0;
+    uint64_t zeros = 0;
+    uint64_t terms = 0;
+
+    double
+    valueSparsity() const
+    {
+        return values ? static_cast<double>(zeros) /
+                            static_cast<double>(values)
+                      : 0.0;
+    }
+
+    /** 1 - terms / (8 slots per value), the paper's term sparsity. */
+    double
+    termSparsity() const
+    {
+        return values ? 1.0 - static_cast<double>(terms) /
+                                  (static_cast<double>(values) * kTermSlots)
+                      : 0.0;
+    }
+
+    double
+    termsPerValue() const
+    {
+        return values
+                   ? static_cast<double>(terms) / static_cast<double>(values)
+                   : 0.0;
+    }
+
+    void
+    merge(const TensorStats &o)
+    {
+        values += o.values;
+        zeros += o.zeros;
+        terms += o.terms;
+    }
+};
+
+/** Measure sparsity/term statistics of a value vector. */
+TensorStats measureTensor(const std::vector<BFloat16> &values,
+                          TermEncoding encoding = TermEncoding::Canonical);
+
+} // namespace fpraker
+
+#endif // FPRAKER_TRACE_TENSOR_GEN_H

@@ -1,0 +1,58 @@
+#include "train/acc_width_profiler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fpraker {
+
+int64_t
+accumulationLength(const LayerShape &layer, TrainingOp op)
+{
+    switch (op) {
+      case TrainingOp::Forward:
+        return layer.k;
+      case TrainingOp::InputGrad:
+        return layer.n;
+      case TrainingOp::WeightGrad:
+        return layer.m;
+    }
+    panic("bad op");
+}
+
+int
+requiredFracBits(int64_t n, const AccWidthConfig &cfg)
+{
+    panic_if(n < 1, "bad accumulation length %lld",
+             static_cast<long long>(n));
+    // Variance-balance bound: random-walk growth of the partial sum is
+    // sqrt(n), so representing it against the product lsb costs
+    // ~log2(n)/2 extra bits; the margin covers rounding and the
+    // chunked-accumulation spill.
+    double grow = 0.5 * std::log2(static_cast<double>(n));
+    int bits = static_cast<int>(std::ceil(grow)) + cfg.marginBits;
+    return std::clamp(bits, cfg.minFracBits, cfg.maxFracBits);
+}
+
+std::vector<LayerAccWidth>
+profileAccumulatorWidths(const std::vector<LayerShape> &layers,
+                         const AccWidthConfig &cfg)
+{
+    std::vector<LayerAccWidth> out;
+    out.reserve(layers.size());
+    for (const auto &l : layers) {
+        LayerAccWidth w;
+        w.layer = l.name;
+        w.forwardBits = requiredFracBits(
+            accumulationLength(l, TrainingOp::Forward), cfg);
+        w.inputGradBits = requiredFracBits(
+            accumulationLength(l, TrainingOp::InputGrad), cfg);
+        w.weightGradBits = requiredFracBits(
+            accumulationLength(l, TrainingOp::WeightGrad), cfg);
+        out.push_back(std::move(w));
+    }
+    return out;
+}
+
+} // namespace fpraker

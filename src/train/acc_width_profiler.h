@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Per-layer accumulator-width profiling (paper section V-G, Fig. 21).
+ *
+ * Sakr et al. ("Accumulation bit-width scaling for ultra-low precision
+ * training") derive the accumulator mantissa width needed to keep
+ * swamping error from hurting convergence: the variance lost to
+ * swamping falls off once the accumulator carries the product mantissa
+ * width plus extra bits that grow with the logarithm of the
+ * accumulation length n. FPRaker consumes such per-layer widths
+ * directly as its out-of-bounds threshold: a narrower accumulator
+ * means earlier OB cutoffs and more skipped terms — performance scales
+ * with the profile while the fixed-width baseline cannot benefit.
+ */
+
+#ifndef FPRAKER_TRAIN_ACC_WIDTH_PROFILER_H
+#define FPRAKER_TRAIN_ACC_WIDTH_PROFILER_H
+
+#include <vector>
+
+#include "trace/layer.h"
+
+namespace fpraker {
+
+/** Profiler parameters. */
+struct AccWidthConfig
+{
+    /**
+     * Variance-budget margin in bits added on top of the log2(n)
+     * growth term (covers the chunk-based accumulation headroom).
+     */
+    int marginBits = 2;
+
+    /** Architectural ceiling: the PE register's fraction width. */
+    int maxFracBits = 12;
+
+    /** Floor to keep rounding well-behaved. */
+    int minFracBits = 4;
+};
+
+/** Per-layer accumulator widths for the three training ops. */
+struct LayerAccWidth
+{
+    std::string layer;
+    int forwardBits;    //!< A x W (accumulation length K)
+    int inputGradBits;  //!< G x W (accumulation length N)
+    int weightGradBits; //!< A x G (accumulation length M)
+};
+
+/**
+ * Accumulator fraction width for a dot product of length @p n:
+ * ceil(log2 n) / 2 + margin, clamped to the configured range.
+ */
+int requiredFracBits(int64_t n, const AccWidthConfig &cfg = {});
+
+/** Profile every layer of a network. */
+std::vector<LayerAccWidth> profileAccumulatorWidths(
+    const std::vector<LayerShape> &layers,
+    const AccWidthConfig &cfg = {});
+
+/** Accumulation length of @p op on @p layer (the reduced dimension). */
+int64_t accumulationLength(const LayerShape &layer, TrainingOp op);
+
+} // namespace fpraker
+
+#endif // FPRAKER_TRAIN_ACC_WIDTH_PROFILER_H

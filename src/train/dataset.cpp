@@ -1,0 +1,88 @@
+#include "train/dataset.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace fpraker {
+
+namespace {
+
+/** Class prototype: a mixture of oriented sinusoidal patches. */
+struct Prototype
+{
+    double fx[3], fy[3], phase[3], amp[3];
+
+    double
+    value(int x, int y) const
+    {
+        double v = 0.0;
+        for (int i = 0; i < 3; ++i)
+            v += amp[i] *
+                 std::sin(fx[i] * x + fy[i] * y + phase[i]);
+        return v;
+    }
+};
+
+Prototype
+makePrototype(Rng &rng)
+{
+    Prototype p;
+    for (int i = 0; i < 3; ++i) {
+        p.fx[i] = rng.uniform(0.3, 1.6);
+        p.fy[i] = rng.uniform(0.3, 1.6);
+        p.phase[i] = rng.uniform(0.0, 6.283);
+        p.amp[i] = rng.uniform(0.4, 1.0);
+    }
+    return p;
+}
+
+Dataset
+renderSplit(const std::vector<Prototype> &protos,
+            const DatasetConfig &cfg, int samples, Rng &rng)
+{
+    const int pixels = cfg.imageSize * cfg.imageSize;
+    Dataset d;
+    d.x = Matrix(static_cast<size_t>(samples),
+                 static_cast<size_t>(pixels));
+    d.labels.resize(static_cast<size_t>(samples));
+    for (int s = 0; s < samples; ++s) {
+        int label = static_cast<int>(rng.uniformInt(
+            static_cast<uint64_t>(cfg.classes)));
+        d.labels[static_cast<size_t>(s)] = label;
+        double gain = rng.uniform(0.7, 1.3);
+        for (int y = 0; y < cfg.imageSize; ++y) {
+            for (int x = 0; x < cfg.imageSize; ++x) {
+                double v =
+                    gain * protos[static_cast<size_t>(label)].value(x, y) +
+                    rng.gaussian(0.0, cfg.noise);
+                d.x.at(static_cast<size_t>(s),
+                       static_cast<size_t>(y * cfg.imageSize + x)) =
+                    static_cast<float>(v);
+            }
+        }
+    }
+    return d;
+}
+
+} // namespace
+
+DatasetPair
+makeSynthCifar(const DatasetConfig &cfg)
+{
+    panic_if(cfg.classes < 2, "need at least two classes");
+    Rng rng(cfg.seed);
+    std::vector<Prototype> protos;
+    protos.reserve(static_cast<size_t>(cfg.classes));
+    for (int c = 0; c < cfg.classes; ++c)
+        protos.push_back(makePrototype(rng));
+
+    DatasetPair pair;
+    pair.classes = cfg.classes;
+    pair.train = renderSplit(protos, cfg, cfg.trainSamples, rng);
+    pair.test = renderSplit(protos, cfg, cfg.testSamples, rng);
+    return pair;
+}
+
+} // namespace fpraker

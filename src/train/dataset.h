@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Procedural classification dataset ("SynthCIFAR").
+ *
+ * The paper's Fig. 17 trains ResNet18 on CIFAR-10/100; offline we
+ * substitute a procedurally generated image-classification task with
+ * the same role: class-conditional prototype textures (mixtures of
+ * Gabor-like patches) plus per-sample noise and random gain, rendered
+ * to small images. The arithmetic-parity claim being reproduced does
+ * not depend on the dataset — only on every MAC flowing through the
+ * emulated PE (see DESIGN.md).
+ */
+
+#ifndef FPRAKER_TRAIN_DATASET_H
+#define FPRAKER_TRAIN_DATASET_H
+
+#include <cstdint>
+#include <vector>
+
+#include "train/tensor.h"
+
+namespace fpraker {
+
+/** Generation parameters. */
+struct DatasetConfig
+{
+    int classes = 10;
+    int imageSize = 12;   //!< Images are imageSize x imageSize.
+    int trainSamples = 2048;
+    int testSamples = 512;
+    double noise = 0.35;  //!< Per-pixel Gaussian noise stddev.
+    uint64_t seed = 2024;
+};
+
+/** An in-memory dataset split. */
+struct Dataset
+{
+    Matrix x;                //!< [samples x pixels]
+    std::vector<int> labels; //!< [samples]
+
+    size_t samples() const { return x.rows(); }
+    size_t features() const { return x.cols(); }
+};
+
+/** Train/test pair. */
+struct DatasetPair
+{
+    Dataset train;
+    Dataset test;
+    int classes = 0;
+};
+
+/** Generate a SynthCIFAR instance. */
+DatasetPair makeSynthCifar(const DatasetConfig &cfg = DatasetConfig{});
+
+} // namespace fpraker
+
+#endif // FPRAKER_TRAIN_DATASET_H

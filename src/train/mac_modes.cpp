@@ -1,0 +1,81 @@
+#include "train/mac_modes.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace fpraker {
+
+const char *
+macModeLabel(MacMode mode)
+{
+    switch (mode) {
+      case MacMode::NativeFp32:
+        return "Native_FP32";
+      case MacMode::Bf16Chunked:
+        return "Baseline_BF16";
+      case MacMode::FPRakerEmulated:
+        return "FPRaker_BF16";
+    }
+    panic("bad mac mode");
+}
+
+MacEngine::MacEngine(MacMode mode, PeConfig pe_cfg)
+    : mode_(mode), peCfg_(pe_cfg)
+{
+    if (mode_ == MacMode::FPRakerEmulated)
+        pe_ = std::make_unique<FPRakerPe>(peCfg_);
+}
+
+float
+MacEngine::dot(const float *a, const float *b, size_t n) const
+{
+    return dotStrided(a, b, n, 1);
+}
+
+float
+MacEngine::dotStrided(const float *a, const float *b, size_t n,
+                      size_t b_stride) const
+{
+    switch (mode_) {
+      case MacMode::NativeFp32: {
+        float sum = 0.0f;
+        for (size_t i = 0; i < n; ++i)
+            sum = std::fma(a[i], b[i * b_stride], sum);
+        return sum;
+      }
+      case MacMode::Bf16Chunked: {
+        ChunkedAccumulator acc(peCfg_.acc);
+        for (size_t i = 0; i < n; ++i)
+            acc.addProduct(BFloat16::fromFloat(a[i]),
+                           BFloat16::fromFloat(b[i * b_stride]));
+        return acc.total();
+      }
+      case MacMode::FPRakerEmulated: {
+        FPRakerPe &pe = *pe_;
+        pe.reset();
+        const int lanes = peCfg_.lanes;
+        MacPair pairs[ExponentBlockResult::kMaxLanes] = {};
+        int fill = 0;
+        for (size_t i = 0; i < n; ++i) {
+            pairs[fill++] =
+                MacPair{BFloat16::fromFloat(a[i]),
+                        BFloat16::fromFloat(b[i * b_stride])};
+            if (fill == lanes) {
+                pe.processSet(pairs, lanes);
+                fill = 0;
+            }
+        }
+        if (fill > 0) {
+            for (int l = fill; l < lanes; ++l)
+                pairs[l] = MacPair{};
+            pe.processSet(pairs, lanes);
+        }
+        return pe.resultFloat();
+      }
+    }
+    panic("bad mac mode");
+}
+
+} // namespace fpraker

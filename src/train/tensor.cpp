@@ -1,0 +1,46 @@
+#include "train/tensor.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace fpraker {
+
+Matrix::Matrix(size_t rows, size_t cols, float fill)
+    : rows_(rows), cols_(cols),
+      data_(rows * cols, fill)
+{
+}
+
+void
+Matrix::randomize(double stddev, uint64_t seed)
+{
+    Rng rng(seed);
+    for (auto &v : data_)
+        v = static_cast<float>(rng.gaussian(0.0, stddev));
+}
+
+void
+Matrix::addScaled(const Matrix &other, float scale)
+{
+    panic_if(other.size() != size(), "shape mismatch in addScaled");
+    for (size_t i = 0; i < data_.size(); ++i)
+        data_[i] += other.data_[i] * scale;
+}
+
+void
+Matrix::zero()
+{
+    std::fill(data_.begin(), data_.end(), 0.0f);
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix t(cols_, rows_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            t.at(c, r) = at(r, c);
+    return t;
+}
+
+} // namespace fpraker

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Minimal row-major float matrix for the training-emulation framework.
+ *
+ * The Fig. 17 study emulates FPRaker's arithmetic inside an end-to-end
+ * training loop (the paper overrides PlaidML's mad()); this matrix type
+ * is the lightweight substrate those layers operate on. Values are held
+ * in FP32 — the MAC engine decides what precision arithmetic sees.
+ */
+
+#ifndef FPRAKER_TRAIN_TENSOR_H
+#define FPRAKER_TRAIN_TENSOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fpraker {
+
+/** Row-major 2D float matrix. */
+class Matrix
+{
+  public:
+    Matrix() : rows_(0), cols_(0) {}
+    Matrix(size_t rows, size_t cols, float fill = 0.0f);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t size() const { return data_.size(); }
+
+    float &at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    float at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+    float *row(size_t r) { return data_.data() + r * cols_; }
+    const float *row(size_t r) const { return data_.data() + r * cols_; }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Fill with Kaiming-style Gaussian noise. */
+    void randomize(double stddev, uint64_t seed);
+
+    /** Element-wise a += b * scale. */
+    void addScaled(const Matrix &other, float scale);
+
+    void zero();
+
+    /** Transposed copy. */
+    Matrix transposed() const;
+
+  private:
+    size_t rows_, cols_;
+    std::vector<float> data_;
+};
+
+} // namespace fpraker
+
+#endif // FPRAKER_TRAIN_TENSOR_H

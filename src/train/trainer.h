@@ -1,0 +1,61 @@
+/**
+ * @file
+ * SGD trainer for the Fig. 17 arithmetic-parity study.
+ *
+ * Trains a small MLP (dense/ReLU stack) on a dataset with every MAC —
+ * forward, input-gradient, and weight-gradient — routed through the
+ * configured MacEngine, and records per-epoch test accuracy so the
+ * three arithmetic modes' curves can be compared.
+ */
+
+#ifndef FPRAKER_TRAIN_TRAINER_H
+#define FPRAKER_TRAIN_TRAINER_H
+
+#include <vector>
+
+#include "train/dataset.h"
+#include "train/layers.h"
+
+namespace fpraker {
+
+/** Trainer hyperparameters. */
+struct TrainConfig
+{
+    std::vector<size_t> hidden = {64, 32};
+    int epochs = 12;
+    int batchSize = 32;
+    float learningRate = 0.08f;
+    uint64_t seed = 7;
+};
+
+/** Per-epoch accuracy trajectory of one run. */
+struct TrainResult
+{
+    MacMode mode = MacMode::NativeFp32;
+    std::vector<double> testAccuracy; //!< One entry per epoch.
+    std::vector<float> trainLoss;
+
+    double
+    finalAccuracy() const
+    {
+        return testAccuracy.empty() ? 0.0 : testAccuracy.back();
+    }
+};
+
+/** A small MLP trained with a pluggable MAC engine. */
+class MlpTrainer
+{
+  public:
+    MlpTrainer(const DatasetPair &data, const TrainConfig &cfg);
+
+    /** Train from scratch under @p mode; deterministic given cfg.seed. */
+    TrainResult run(MacMode mode, PeConfig pe_cfg = PeConfig{});
+
+  private:
+    const DatasetPair &data_;
+    TrainConfig cfg_;
+};
+
+} // namespace fpraker
+
+#endif // FPRAKER_TRAIN_TRAINER_H

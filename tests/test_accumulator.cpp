@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Unit and property tests for the extended-precision accumulator.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "numeric/accumulator.h"
+#include "numeric/reference.h"
+
+namespace fpraker {
+namespace {
+
+TEST(ExtendedAccumulator, StartsAtZero)
+{
+    ExtendedAccumulator acc;
+    EXPECT_TRUE(acc.isZero());
+    EXPECT_EQ(acc.exponent(), ExtendedAccumulator::kMinExp);
+    EXPECT_EQ(acc.readDouble(), 0.0);
+    EXPECT_TRUE(acc.readBFloat16().isZero());
+}
+
+TEST(ExtendedAccumulator, SingleProductIsExact)
+{
+    ExtendedAccumulator acc;
+    acc.addProduct(bf16(1.5f), bf16(2.5f));
+    EXPECT_DOUBLE_EQ(acc.readDouble(), 3.75);
+    EXPECT_EQ(acc.exponent(), 1); // 3.75 = 2^1 * 1.875
+    EXPECT_FALSE(acc.isNegative());
+}
+
+TEST(ExtendedAccumulator, SignedProducts)
+{
+    ExtendedAccumulator acc;
+    acc.addProduct(bf16(-1.5f), bf16(2.0f));
+    EXPECT_DOUBLE_EQ(acc.readDouble(), -3.0);
+    acc.addProduct(bf16(-1.0f), bf16(-1.0f));
+    EXPECT_DOUBLE_EQ(acc.readDouble(), -2.0);
+    acc.addProduct(bf16(2.0f), bf16(1.0f));
+    EXPECT_DOUBLE_EQ(acc.readDouble(), 0.0);
+    EXPECT_TRUE(acc.isZero());
+}
+
+TEST(ExtendedAccumulator, ZeroOperandsAreIgnored)
+{
+    ExtendedAccumulator acc;
+    acc.addProduct(bf16(0.0f), bf16(5.0f));
+    acc.addProduct(bf16(5.0f), bf16(0.0f));
+    EXPECT_TRUE(acc.isZero());
+}
+
+TEST(ExtendedAccumulator, ExactCancellation)
+{
+    ExtendedAccumulator acc;
+    acc.addProduct(bf16(1.25f), bf16(4.0f));
+    acc.addProduct(bf16(-1.25f), bf16(4.0f));
+    EXPECT_TRUE(acc.isZero());
+    EXPECT_EQ(acc.readDouble(), 0.0);
+}
+
+TEST(ExtendedAccumulator, NearCancellationKeepsSmallResidue)
+{
+    ExtendedAccumulator acc;
+    acc.addProduct(bf16(1.0f + 0x1.0p-7f), bf16(1.0f)); // 1 + 2^-7
+    acc.addProduct(bf16(-1.0f), bf16(1.0f));
+    EXPECT_DOUBLE_EQ(acc.readDouble(), 0x1.0p-7);
+    EXPECT_EQ(acc.exponent(), -7);
+}
+
+TEST(ExtendedAccumulator, TinyAddendFoldsAway)
+{
+    // 2^-80 against 2^40: far below the 12 fractional bits.
+    ExtendedAccumulator acc;
+    acc.addProduct(bf16(0x1.0p20f), bf16(0x1.0p20f));
+    double before = acc.readDouble();
+    acc.addProduct(bf16(0x1.0p-40f), bf16(0x1.0p-40f));
+    EXPECT_DOUBLE_EQ(acc.readDouble(), before);
+}
+
+TEST(ExtendedAccumulator, SmallAccumulatorSwampedByHugeAddend)
+{
+    ExtendedAccumulator acc;
+    acc.addProduct(bf16(0x1.0p-40f), bf16(0x1.0p-40f));
+    acc.addProduct(bf16(0x1.0p20f), bf16(0x1.0p20f));
+    EXPECT_DOUBLE_EQ(acc.readDouble(), 0x1.0p40);
+}
+
+TEST(ExtendedAccumulator, RoundsToFracBitsEachStep)
+{
+    // fracBits = 12: adding 2^-13 to 1.0 is a tie at the round bit with
+    // even significand -> stays 1.0. Adding 2^-12 is representable.
+    AccumulatorConfig cfg;
+    cfg.fracBits = 12;
+    ExtendedAccumulator acc(cfg);
+    acc.addProduct(bf16(1.0f), bf16(1.0f));
+    acc.addProduct(bf16(0x1.0p-13f), bf16(1.0f));
+    EXPECT_DOUBLE_EQ(acc.readDouble(), 1.0);
+    acc.addProduct(bf16(0x1.0p-12f), bf16(1.0f));
+    EXPECT_DOUBLE_EQ(acc.readDouble(), 1.0 + 0x1.0p-12);
+}
+
+TEST(ExtendedAccumulator, RneTieBreaksToEven)
+{
+    AccumulatorConfig cfg;
+    cfg.fracBits = 12;
+    ExtendedAccumulator acc(cfg);
+    // Significand ...0001 + half ulp: tie -> round down to even (...000).
+    acc.addProduct(bf16(1.0f + 0x1.0p-7f), bf16(1.0f)); // 1 + 2^-7
+    acc.addProduct(bf16(0x1.0p-12f), bf16(1.0f));       // lsb = 1 now
+    acc.addProduct(bf16(0x1.0p-13f), bf16(1.0f));       // tie
+    // 1 + 2^-7 + 2^-12 + 2^-13 -> tie rounds to even: 1 + 2^-7 + 2^-11.
+    EXPECT_DOUBLE_EQ(acc.readDouble(), 1.0 + 0x1.0p-7 + 0x1.0p-11);
+}
+
+TEST(ExtendedAccumulator, AlignToQuantizes)
+{
+    AccumulatorConfig cfg;
+    cfg.fracBits = 12;
+    ExtendedAccumulator acc(cfg);
+    acc.addProduct(bf16(1.0f), bf16(1.0f)); // 1.0, exponent 0
+    acc.addProduct(bf16(0x1.0p-10f), bf16(1.0f));
+    EXPECT_DOUBLE_EQ(acc.readDouble(), 1.0 + 0x1.0p-10);
+    // Raising the window to exponent 5 keeps bits down to
+    // 2^(5-12) = 2^-7, so the 2^-10 bit is truncated away and the value
+    // renormalizes back to exactly 1.0.
+    acc.alignTo(5);
+    EXPECT_EQ(acc.exponent(), 0);
+    EXPECT_DOUBLE_EQ(acc.readDouble(), 1.0);
+    // Raising the window far above drops the whole value: with the lsb
+    // at 2^(15-12) = 8, the remaining 1.0 rounds to zero under RNE.
+    acc.alignTo(15);
+    EXPECT_TRUE(acc.isZero());
+    EXPECT_EQ(acc.exponent(), 15);
+}
+
+TEST(ExtendedAccumulator, AlignToIsNoOpBelowCurrentExponent)
+{
+    ExtendedAccumulator acc;
+    acc.addProduct(bf16(4.0f), bf16(2.0f)); // 8 = 2^3
+    acc.alignTo(1);
+    EXPECT_EQ(acc.exponent(), 3);
+    EXPECT_DOUBLE_EQ(acc.readDouble(), 8.0);
+}
+
+TEST(ExtendedAccumulator, AlignToOnZeroSetsExponentRegister)
+{
+    ExtendedAccumulator acc;
+    acc.alignTo(17);
+    EXPECT_TRUE(acc.isZero());
+    EXPECT_EQ(acc.exponent(), 17);
+}
+
+TEST(ExtendedAccumulator, ReadBFloat16Rounds)
+{
+    ExtendedAccumulator acc;
+    // 1 + 2^-9 is representable in the accumulator but not bfloat16;
+    // RNE on readout drops it (round bit 0 at the 2^-8 position? no:
+    // round bit is 2^-8, value bit is at 2^-9 -> sticky only).
+    acc.addProduct(bf16(1.0f), bf16(1.0f));
+    acc.addProduct(bf16(0x1.0p-9f), bf16(1.0f));
+    EXPECT_EQ(acc.readBFloat16().toFloat(), 1.0f);
+    // 1 + 2^-8 + 2^-9: above the halfway point -> rounds up to 1 + 2^-7.
+    acc.addProduct(bf16(0x1.0p-8f), bf16(1.0f));
+    EXPECT_EQ(acc.readBFloat16().toFloat(), 1.0f + 0x1.0p-7f);
+}
+
+TEST(ExtendedAccumulator, ReadBFloat16OverflowsToInf)
+{
+    ExtendedAccumulator acc;
+    for (int i = 0; i < 3; ++i)
+        acc.addProduct(bf16(0x1.0p63f), bf16(0x1.0p64f));
+    EXPECT_TRUE(std::isinf(acc.readBFloat16().toFloat()) ||
+                acc.readBFloat16().isInf());
+}
+
+TEST(ExtendedAccumulator, ReadBFloat16UnderflowFlushes)
+{
+    ExtendedAccumulator acc;
+    acc.addProduct(bf16(0x1.0p-70f), bf16(0x1.0p-70f)); // 2^-140
+    EXPECT_NE(acc.readDouble(), 0.0);
+    EXPECT_TRUE(acc.readBFloat16().isZero());
+}
+
+TEST(ExtendedAccumulator, WorstCaseCarryFromEightProducts)
+{
+    // Eight maximal same-sign products must accumulate correctly (the
+    // hardware's 3 extra integer bits; the model normalizes each step).
+    ExtendedAccumulator acc;
+    BFloat16 m = BFloat16::fromFields(false, 127 + 0, 0x7f); // ~1.992
+    double ref = 0.0;
+    for (int i = 0; i < 8; ++i) {
+        acc.addProduct(m, m);
+        ref += static_cast<double>(m.toFloat()) *
+               static_cast<double>(m.toFloat());
+    }
+    EXPECT_LT(relError(acc.readDouble(), ref),
+              accumulationTolerance(acc.config(), 8));
+}
+
+/** Random accumulation vs FP64, parameterized over dot length. */
+class AccumulatorRandomSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(AccumulatorRandomSweep, TracksFp64WithinTolerance)
+{
+    auto [length, seed] = GetParam();
+    Rng rng(static_cast<uint64_t>(seed) * 7919 + 13);
+    AccumulatorConfig cfg;
+    cfg.chunkSize = 64;
+    ChunkedAccumulator acc(cfg);
+    double ref = 0.0;
+    for (int i = 0; i < length; ++i) {
+        BFloat16 a = bf16(static_cast<float>(rng.gaussian(0.0, 1.0)));
+        BFloat16 b = bf16(static_cast<float>(rng.gaussian(0.0, 1.0)));
+        acc.addProduct(a, b);
+        ref += static_cast<double>(a.toFloat()) *
+               static_cast<double>(b.toFloat());
+    }
+    // Chunked accumulation bounds error per chunk; compare against a
+    // magnitude floor of the running sum of |products| to avoid
+    // relative-error blowup on cancellation-heavy draws.
+    double tol = accumulationTolerance(cfg, 64) +
+                 1e-3 * std::sqrt(static_cast<double>(length));
+    EXPECT_NEAR(acc.total(), ref,
+                tol * std::max(1.0, std::fabs(ref)) + 0.25)
+        << "length " << length << " seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AccumulatorRandomSweep,
+    ::testing::Combine(::testing::Values(1, 8, 64, 256, 1024),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(ChunkedAccumulator, FlushesEveryChunk)
+{
+    AccumulatorConfig cfg;
+    cfg.chunkSize = 8;
+    ChunkedAccumulator acc(cfg);
+    for (int i = 0; i < 8; ++i)
+        acc.addProduct(bf16(1.0f), bf16(1.0f));
+    // After exactly one chunk the register is empty and the FP32 total
+    // carries the sum.
+    EXPECT_TRUE(acc.chunkRegister().isZero());
+    EXPECT_EQ(acc.total(), 8.0f);
+}
+
+TEST(ChunkedAccumulator, BeatsNaiveBf16OnLongSums)
+{
+    // Accumulating many small values into a large one: naive bf16
+    // round-after-every-MAC loses them all, chunked accumulation keeps
+    // most of the mass.
+    AccumulatorConfig cfg;
+    ChunkedAccumulator chunked(cfg);
+    BFloat16 big = bf16(256.0f);
+    BFloat16 small = bf16(0.0625f);
+    chunked.addProduct(big, bf16(1.0f));
+    BFloat16 naive = big;
+    const int n = 512;
+    for (int i = 0; i < n; ++i) {
+        chunked.addProduct(small, bf16(1.0f));
+        naive = BFloat16::fromFloat(naive.toFloat() + small.toFloat());
+    }
+    double ref = 256.0 + n * 0.0625;
+    EXPECT_EQ(naive.toFloat(), 256.0f); // swamped entirely
+    EXPECT_LT(relError(chunked.total(), ref), 0.01);
+}
+
+TEST(ChunkedAccumulator, ResetClearsEverything)
+{
+    ChunkedAccumulator acc;
+    acc.addProduct(bf16(3.0f), bf16(3.0f));
+    acc.flushChunk();
+    acc.addProduct(bf16(1.0f), bf16(1.0f));
+    acc.reset();
+    EXPECT_EQ(acc.total(), 0.0f);
+    EXPECT_TRUE(acc.chunkRegister().isZero());
+}
+
+TEST(Reference, DotHelpersAgreeOnSimpleData)
+{
+    std::vector<BFloat16> a = {bf16(1.0f), bf16(2.0f), bf16(-3.0f)};
+    std::vector<BFloat16> b = {bf16(4.0f), bf16(0.5f), bf16(1.0f)};
+    EXPECT_DOUBLE_EQ(dotDouble(a, b), 2.0);
+    EXPECT_EQ(dotFloat(a, b), 2.0f);
+    AccumulatorConfig cfg;
+    EXPECT_NEAR(dotChunked(a, b, cfg), 2.0f, 1e-3f);
+}
+
+} // namespace
+} // namespace fpraker

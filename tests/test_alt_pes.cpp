@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the Bit-Pragmatic-FP and Laconic-FP comparison PEs.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "energy/area_model.h"
+#include "numeric/reference.h"
+#include "pe/alt_pes.h"
+#include "pe/baseline_pe.h"
+
+namespace fpraker {
+namespace {
+
+std::vector<BFloat16>
+randomValues(Rng &rng, size_t n, double sparsity)
+{
+    std::vector<BFloat16> v(n);
+    for (auto &x : v)
+        x = rng.bernoulli(sparsity)
+                ? BFloat16()
+                : bf16(static_cast<float>(rng.gaussian(0.0, 2.0)));
+    return v;
+}
+
+TEST(BitPragmaticFp, ConfigDisablesFPRakersAreaLevers)
+{
+    PeConfig cfg = bitPragmaticFpConfig();
+    EXPECT_GE(cfg.maxDelta, 100);      // full-range shifters
+    EXPECT_FALSE(cfg.skipOutOfBounds); // no OB feedback
+    EXPECT_EQ(cfg.exponentFloor, 1);   // private exponent block
+}
+
+TEST(BitPragmaticFp, NeverStallsOnShiftRange)
+{
+    Rng rng(5);
+    FPRakerPe pe(bitPragmaticFpConfig());
+    auto a = randomValues(rng, 256, 0.2);
+    auto b = randomValues(rng, 256, 0.2);
+    pe.dot(a, b);
+    EXPECT_EQ(pe.stats().laneShiftRange, 0u);
+    EXPECT_EQ(pe.stats().termsObSkipped, 0u);
+    // Result still tracks the golden reference.
+    double ref = dotDouble(a, b);
+    double scale = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        scale += std::fabs(static_cast<double>(a[i].toFloat()) *
+                           static_cast<double>(b[i].toFloat()));
+    EXPECT_NEAR(pe.resultFloat(), ref,
+                accumulationTolerance(pe.config().acc, 64) * (scale + 1));
+}
+
+TEST(BitPragmaticFp, FullShiftersBeatTheWindowWithoutObSkipping)
+{
+    // Holding OB skipping off on both sides, the full-range shifters
+    // can only be as fast or faster per set than FPRaker's 3-position
+    // window — the price is paid in area (the tile is >2x larger).
+    // (With OB skipping enabled, full FPRaker usually wins anyway;
+    // that is the paper's whole point.)
+    Rng rng(6);
+    for (int trial = 0; trial < 50; ++trial) {
+        MacPair pairs[8];
+        for (int l = 0; l < 8; ++l) {
+            auto v = randomValues(rng, 2, 0.2);
+            pairs[l] = {v[0], v[1]};
+        }
+        FPRakerPe bp(bitPragmaticFpConfig());
+        PeConfig windowed = bitPragmaticFpConfig();
+        windowed.maxDelta = 3;
+        FPRakerPe fpr(windowed);
+        EXPECT_LE(bp.processSet(pairs, 8), fpr.processSet(pairs, 8));
+    }
+    EXPECT_GT(AreaModel::bitPragmaticFpTile().totalUm2(),
+              1.7 * AreaModel::fprTile().totalUm2());
+}
+
+TEST(BitPragmaticFp, IsoAreaTilesMatchPaper)
+{
+    // 2.5x smaller PE -> 20 tiles against the baseline's 8.
+    EXPECT_EQ(AreaModel::bitPragmaticIsoTiles(8), 20);
+}
+
+TEST(LaconicFp, SingleTermPairExact)
+{
+    LaconicFpPe pe;
+    MacPair pairs[8] = {};
+    pairs[0] = {bf16(2.0f), bf16(4.0f)}; // 1 x 1 term pair
+    EXPECT_EQ(pe.processSet(pairs, 8), 1);
+    EXPECT_EQ(pe.resultFloat(), 8.0f);
+    EXPECT_EQ(pe.stats().termPairs, 1u);
+}
+
+TEST(LaconicFp, CyclesAreTermProducts)
+{
+    LaconicFpPe pe;
+    MacPair pairs[8] = {};
+    // 1.875 (NAF: 2 terms) x 1.875 -> 4 term pairs.
+    pairs[0] = {bf16(1.875f), bf16(1.875f)};
+    EXPECT_EQ(pe.processSet(pairs, 8), 4);
+    EXPECT_NEAR(pe.resultFloat(), 1.875f * 1.875f, 1e-3f);
+}
+
+TEST(LaconicFp, MatchesGoldenOnRandomDots)
+{
+    Rng rng(7);
+    LaconicFpPe pe;
+    auto a = randomValues(rng, 128, 0.3);
+    auto b = randomValues(rng, 128, 0.3);
+    pe.dot(a, b);
+    double ref = dotDouble(a, b);
+    double scale = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        scale += std::fabs(static_cast<double>(a[i].toFloat()) *
+                           static_cast<double>(b[i].toFloat()));
+    EXPECT_NEAR(pe.resultFloat(), ref, 0.02 * (scale + 1));
+}
+
+TEST(LaconicFp, SlowerThanFPRakerOnDenseValues)
+{
+    // terms(A) x terms(B) >= terms(A): Laconic pays quadratically.
+    Rng rng(8);
+    LaconicFpPe lac;
+    FPRakerPe fpr(PeConfig{});
+    auto a = randomValues(rng, 512, 0.0);
+    auto b = randomValues(rng, 512, 0.0);
+    int c_lac = lac.dot(a, b);
+    int c_fpr = fpr.dot(a, b);
+    EXPECT_GT(c_lac, c_fpr);
+}
+
+TEST(LaconicFp, ZeroOperandsCostOneCycle)
+{
+    LaconicFpPe pe;
+    MacPair pairs[8] = {};
+    EXPECT_EQ(pe.processSet(pairs, 8), 1);
+    EXPECT_EQ(pe.resultFloat(), 0.0f);
+}
+
+} // namespace
+} // namespace fpraker

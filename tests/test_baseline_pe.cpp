@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the bit-parallel baseline PE.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "numeric/reference.h"
+#include "pe/baseline_pe.h"
+
+namespace fpraker {
+namespace {
+
+TEST(BaselinePe, OneCyclePerSetAlways)
+{
+    BaselinePe pe;
+    MacPair zeros[8] = {};
+    EXPECT_EQ(pe.processSet(zeros, 8), 1);
+    MacPair dense[8];
+    for (int i = 0; i < 8; ++i)
+        dense[i] = {bf16(1.9921875f), bf16(1.9921875f)};
+    EXPECT_EQ(pe.processSet(dense, 8), 1);
+    EXPECT_EQ(pe.stats().cycles, 2u);
+    EXPECT_EQ(pe.stats().macs, 16u);
+    EXPECT_EQ(pe.stats().ineffectualMacs, 8u);
+}
+
+TEST(BaselinePe, SimpleDotProduct)
+{
+    BaselinePe pe;
+    std::vector<BFloat16> a, b;
+    for (int i = 1; i <= 16; ++i) {
+        a.push_back(bf16(static_cast<float>(i)));
+        b.push_back(bf16(0.5f));
+    }
+    int cycles = pe.dot(a, b);
+    EXPECT_EQ(cycles, 2);
+    EXPECT_NEAR(pe.resultFloat(), 68.0f, 0.25f);
+}
+
+TEST(BaselinePe, MixedSignsCancelExactly)
+{
+    BaselinePe pe;
+    MacPair pairs[8] = {};
+    pairs[0] = {bf16(3.0f), bf16(2.0f)};
+    pairs[1] = {bf16(-3.0f), bf16(2.0f)};
+    pairs[2] = {bf16(1.5f), bf16(4.0f)};
+    pairs[3] = {bf16(1.5f), bf16(-4.0f)};
+    pe.processSet(pairs, 8);
+    EXPECT_EQ(pe.resultFloat(), 0.0f);
+}
+
+TEST(BaselinePe, TinyProductBelowWindowIsDropped)
+{
+    // One product sits ~60 binades below the set maximum: it cannot
+    // affect the 12-fraction-bit accumulator and is dropped exactly as
+    // the hardware drops bits beyond the sticky position.
+    BaselinePe pe;
+    MacPair pairs[8] = {};
+    pairs[0] = {bf16(0x1.0p30f), bf16(0x1.0p30f)};
+    pairs[1] = {bf16(0x1.0p-15f), bf16(0x1.0p-15f)};
+    pe.processSet(pairs, 8);
+    EXPECT_DOUBLE_EQ(pe.accumulator().chunkRegister().readDouble(),
+                     0x1.0p60);
+}
+
+TEST(BaselinePe, MatchesFp64OnRandomData)
+{
+    Rng rng(17);
+    PeConfig cfg;
+    BaselinePe pe(cfg);
+    std::vector<BFloat16> a, b;
+    for (int i = 0; i < 256; ++i) {
+        a.push_back(bf16(static_cast<float>(rng.gaussian(0.0, 2.0))));
+        b.push_back(bf16(static_cast<float>(rng.gaussian(0.0, 2.0))));
+    }
+    pe.dot(a, b);
+    double ref = dotDouble(a, b);
+    double scale = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        scale += std::fabs(static_cast<double>(a[i].toFloat()) *
+                           static_cast<double>(b[i].toFloat()));
+    EXPECT_NEAR(pe.resultFloat(), ref,
+                accumulationTolerance(cfg.acc, 64) * (scale + 1.0));
+}
+
+/** Chunk-size sweep: accuracy must not degrade with smaller chunks. */
+class BaselineChunkSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BaselineChunkSweep, LongDotStaysAccurate)
+{
+    Rng rng(23);
+    PeConfig cfg;
+    cfg.acc.chunkSize = GetParam();
+    BaselinePe pe(cfg);
+    std::vector<BFloat16> a, b;
+    for (int i = 0; i < 4096; ++i) {
+        a.push_back(bf16(static_cast<float>(rng.uniform(0.5, 1.5))));
+        b.push_back(bf16(static_cast<float>(rng.uniform(0.5, 1.5))));
+    }
+    pe.dot(a, b);
+    double ref = dotDouble(a, b);
+    EXPECT_LT(relError(pe.resultFloat(), ref), 2e-3)
+        << "chunk " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, BaselineChunkSweep,
+                         ::testing::Values(8, 64, 256, 4096));
+
+} // namespace
+} // namespace fpraker

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit and property tests for the BFloat16 type.
+ */
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "numeric/bfloat16.h"
+
+namespace fpraker {
+namespace {
+
+TEST(BFloat16, ZeroDefault)
+{
+    BFloat16 z;
+    EXPECT_TRUE(z.isZero());
+    EXPECT_FALSE(z.isNegative());
+    EXPECT_EQ(z.bits(), 0u);
+    EXPECT_EQ(z.significand(), 0);
+    EXPECT_EQ(z.toFloat(), 0.0f);
+}
+
+TEST(BFloat16, ExactSmallValues)
+{
+    // Values with <= 7 mantissa bits convert exactly.
+    const float exact[] = {1.0f,   -1.0f,  0.5f,    2.0f,  1.5f,
+                           3.25f,  -0.75f, 100.0f,  0.125f, 1.984375f};
+    for (float f : exact) {
+        BFloat16 v = bf16(f);
+        EXPECT_EQ(v.toFloat(), f) << "value " << f;
+    }
+}
+
+TEST(BFloat16, FieldDecomposition)
+{
+    BFloat16 v = bf16(6.5f); // 6.5 = 2^2 * 1.625 = 2^2 * 1.1010000b
+    EXPECT_FALSE(v.isNegative());
+    EXPECT_EQ(v.unbiasedExponent(), 2);
+    EXPECT_EQ(v.mantissa(), 0b1010000);
+    EXPECT_EQ(v.significand(), 0b11010000);
+
+    BFloat16 n = bf16(-6.5f);
+    EXPECT_TRUE(n.isNegative());
+    EXPECT_EQ(n.unbiasedExponent(), 2);
+    EXPECT_EQ(n.significand(), 0b11010000);
+}
+
+TEST(BFloat16, FromFieldsMatchesValue)
+{
+    // 2^3 * 1.0011b = 8 * 1.1875 = 9.5
+    BFloat16 v = BFloat16::fromFields(false, 127 + 3, 0b0011000);
+    EXPECT_EQ(v.toFloat(), 9.5f);
+    BFloat16 m = BFloat16::fromFields(true, 127 + 3, 0b0011000);
+    EXPECT_EQ(m.toFloat(), -9.5f);
+}
+
+TEST(BFloat16, RoundToNearestEven)
+{
+    // 1 + 2^-8 lies exactly halfway between 1.0 and 1 + 2^-7; RNE keeps
+    // the even significand (1.0).
+    EXPECT_EQ(bf16(1.0f + 0x1.0p-8f).toFloat(), 1.0f);
+    // 1 + 3*2^-8 is halfway between 1+2^-7 and 1+2^-6; RNE picks the
+    // even one (1+2^-6).
+    EXPECT_EQ(bf16(1.0f + 3 * 0x1.0p-8f).toFloat(), 1.0f + 0x1.0p-6f);
+    // Just above halfway rounds up.
+    EXPECT_EQ(bf16(1.0f + 0x1.1p-8f).toFloat(), 1.0f + 0x1.0p-7f);
+    // Just below halfway rounds down.
+    EXPECT_EQ(bf16(1.0f + 0x1.fp-9f).toFloat(), 1.0f);
+}
+
+TEST(BFloat16, RoundingCarriesIntoExponent)
+{
+    // Largest significand rounds up across a power-of-two boundary.
+    EXPECT_EQ(bf16(1.9999f).toFloat(), 2.0f);
+}
+
+TEST(BFloat16, DenormalsFlushToZero)
+{
+    // Smallest normal bfloat16 is 2^-126; anything below flushes.
+    BFloat16 tiny = bf16(0x1.0p-130f);
+    EXPECT_TRUE(tiny.isZero());
+    BFloat16 neg_tiny = bf16(-0x1.0p-130f);
+    EXPECT_TRUE(neg_tiny.isZero());
+    EXPECT_TRUE(neg_tiny.isNegative());
+    // The smallest normal survives.
+    EXPECT_FALSE(bf16(0x1.0p-126f).isZero());
+}
+
+TEST(BFloat16, InfAndNaN)
+{
+    BFloat16 inf = bf16(HUGE_VALF);
+    EXPECT_TRUE(inf.isInf());
+    EXPECT_FALSE(inf.isFinite());
+    BFloat16 ninf = bf16(-HUGE_VALF);
+    EXPECT_TRUE(ninf.isInf());
+    EXPECT_TRUE(ninf.isNegative());
+    BFloat16 nan = bf16(std::nanf(""));
+    EXPECT_TRUE(nan.isNaN());
+    EXPECT_FALSE(nan.isFinite());
+    // Overflow on conversion produces infinity.
+    EXPECT_TRUE(bf16(3.4e38f).isInf()); // rounds above bf16 max (~3.39e38)
+}
+
+TEST(BFloat16, Negation)
+{
+    BFloat16 v = bf16(3.5f);
+    EXPECT_EQ((-v).toFloat(), -3.5f);
+    EXPECT_EQ((-(-v)).toFloat(), 3.5f);
+}
+
+TEST(BFloat16, AllBitPatternsRoundTripThroughFloat)
+{
+    // Every finite normal bfloat16 pattern must survive
+    // bf16 -> float -> bf16 unchanged (the conversion is exact).
+    for (uint32_t bits = 0; bits <= 0xffff; ++bits) {
+        BFloat16 v = BFloat16::fromBits(static_cast<uint16_t>(bits));
+        if (!v.isFinite() || v.biasedExponent() == 0)
+            continue; // NaN payloads and denormal patterns excluded.
+        BFloat16 rt = BFloat16::fromFloat(v.toFloat());
+        EXPECT_EQ(rt.bits(), v.bits()) << "pattern " << bits;
+    }
+}
+
+TEST(BFloat16, SignificandReconstructsValue)
+{
+    for (uint32_t bits = 0x0080; bits <= 0x7f7f; bits += 37) {
+        BFloat16 v = BFloat16::fromBits(static_cast<uint16_t>(bits));
+        if (v.biasedExponent() == 0 || !v.isFinite())
+            continue;
+        double expect = std::ldexp(static_cast<double>(v.significand()),
+                                   v.unbiasedExponent() - 7);
+        EXPECT_DOUBLE_EQ(expect, static_cast<double>(v.toFloat()));
+    }
+}
+
+/** Conversion must always pick one of the two neighbouring bf16 values. */
+class BFloat16RoundingSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BFloat16RoundingSweep, NearestNeighbour)
+{
+    // Scan floats between two adjacent bf16 values around several bases.
+    float base = std::ldexp(1.0f, GetParam());
+    BFloat16 lo = bf16(base);
+    float lof = lo.toFloat();
+    float hif = std::ldexp(1.0f + 0x1.0p-7f, GetParam());
+    for (int i = 0; i <= 16; ++i) {
+        float f = lof + (hif - lof) * static_cast<float>(i) / 16.0f;
+        float got = bf16(f).toFloat();
+        EXPECT_TRUE(got == lof || got == hif)
+            << "f=" << f << " got " << got;
+        // And it must be the closer one (ties allowed either way here;
+        // exact tie handling is covered by RoundToNearestEven).
+        float err_got = std::fabs(got - f);
+        float err_alt = std::fabs((got == lof ? hif : lof) - f);
+        EXPECT_LE(err_got, err_alt + 1e-12f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, BFloat16RoundingSweep,
+                         ::testing::Values(-20, -3, 0, 1, 7, 30));
+
+} // namespace
+} // namespace fpraker

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the area and energy models (Table III calibration).
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/area_model.h"
+#include "energy/energy_model.h"
+
+namespace fpraker {
+namespace {
+
+TEST(AreaModel, ReproducesTableIII)
+{
+    TileAreaReport fpr = AreaModel::fprTile();
+    TileAreaReport base = AreaModel::baselineTile();
+    // The calibrated defaults land exactly on the published numbers.
+    EXPECT_NEAR(fpr.peArrayUm2, 304118.0, 1.0);
+    EXPECT_NEAR(fpr.encodersUm2, 12950.0, 1.0);
+    EXPECT_NEAR(fpr.totalUm2(), 317068.0, 2.0);
+    EXPECT_NEAR(base.totalUm2(), 1421579.0, 2.0);
+    EXPECT_NEAR(AreaModel::areaRatio(), 0.22, 0.01);
+
+    EXPECT_NEAR(fpr.peArrayMw, 104.0, 0.5);
+    EXPECT_NEAR(fpr.encodersMw, 5.5, 0.1);
+    EXPECT_NEAR(base.totalMw(), 475.0, 1.0);
+}
+
+TEST(AreaModel, IsoComputeTilesMatchTableII)
+{
+    EXPECT_EQ(AreaModel::isoComputeTiles(8), 36);
+}
+
+TEST(AreaModel, PeBreakdownSumsToArray)
+{
+    PeAreaBreakdown b = AreaModel::fprPeBreakdown();
+    // 64 PEs make up the PE-array area.
+    EXPECT_NEAR(b.totalUm2() * 64.0, 304118.0, 5.0);
+    EXPECT_GT(b.shiftersUm2, 0.0);
+    EXPECT_GT(b.accumulatorUm2, 0.0);
+    EXPECT_GT(b.exponentBlockUm2, 0.0);
+}
+
+TEST(AreaModel, WiderShifterWindowCostsArea)
+{
+    PeConfig narrow;
+    PeConfig wide;
+    wide.maxDelta = 12;
+    double a_narrow = AreaModel::fprPeBreakdown(narrow).totalUm2();
+    double a_wide = AreaModel::fprPeBreakdown(wide).totalUm2();
+    EXPECT_GT(a_wide, a_narrow);
+}
+
+TEST(EnergyModel, PerCyclePowerMatchesTableIII)
+{
+    EnergyModel em;
+    // 109.5 mW / 600 MHz = 182.5 pJ/cycle; 475 mW -> 791.7 pJ/cycle.
+    EXPECT_NEAR(em.fprTileCyclePj(), 182.5, 0.1);
+    EXPECT_NEAR(em.baseTileCyclePj(), 791.67, 0.1);
+}
+
+TEST(EnergyModel, IsoAreaCoreEfficiencyNearPaper)
+{
+    // With the paper's 1.5x speedup, 36 FPRaker tiles at 182.5
+    // pJ/cycle vs 8 baseline tiles at 791.7 pJ/cycle give ~1.45x core
+    // energy efficiency — the published 1.4x.
+    EnergyModel em;
+    PeStats fpr_stats;
+    fpr_stats.laneUseful = 80;
+    fpr_stats.laneNoTerm = 20;
+    fpr_stats.setCycles = 100;
+    BaselinePeStats base_stats;
+    base_stats.macs = 1000;
+    base_stats.ineffectualMacs = 300;
+
+    double base_cycles = 1000.0;
+    double fpr_cycles = base_cycles / 1.5;
+    double e_fpr =
+        em.fprCoreEnergy(fpr_cycles, 36, fpr_stats).totalPj();
+    double e_base = em.baseCoreEnergy(base_cycles, 8, base_stats);
+    double eff = e_base / e_fpr;
+    EXPECT_GT(eff, 1.1);
+    EXPECT_LT(eff, 2.2);
+}
+
+TEST(EnergyModel, BreakdownSharesSumToTotal)
+{
+    EnergyModel em;
+    PeStats stats;
+    stats.laneUseful = 50;
+    stats.laneNoTerm = 50;
+    stats.setCycles = 100;
+    CoreEnergyBreakdown b = em.fprCoreEnergy(100.0, 1, stats);
+    EXPECT_NEAR(b.computePj + b.controlPj + b.accumulationPj,
+                b.totalPj(), 1e-9);
+    EXPECT_GT(b.computePj, b.controlPj); // compute dominates control
+}
+
+TEST(EnergyModel, LowerActivityLowersFprEnergy)
+{
+    EnergyModel em;
+    PeStats busy;
+    busy.laneUseful = 100;
+    busy.setCycles = 100;
+    PeStats idle;
+    idle.laneNoTerm = 100;
+    idle.setCycles = 100;
+    EXPECT_GT(em.fprCoreEnergy(100.0, 1, busy).totalPj(),
+              em.fprCoreEnergy(100.0, 1, idle).totalPj());
+    // The static floor keeps idle energy above zero.
+    EXPECT_GT(em.fprCoreEnergy(100.0, 1, idle).totalPj(), 0.0);
+}
+
+TEST(EnergyModel, BaselineGatingSavesDynamicEnergyOnly)
+{
+    EnergyModel em;
+    BaselinePeStats dense;
+    dense.macs = 1000;
+    BaselinePeStats sparse;
+    sparse.macs = 1000;
+    sparse.ineffectualMacs = 900;
+    double e_dense = em.baseCoreEnergy(100.0, 1, dense);
+    double e_sparse = em.baseCoreEnergy(100.0, 1, sparse);
+    EXPECT_LT(e_sparse, e_dense);
+    // Cycles are unchanged, so at most the dynamic share disappears.
+    EXPECT_GT(e_sparse, e_dense * em.config().staticFraction);
+}
+
+TEST(EnergyModel, MemoryEnergies)
+{
+    EnergyModel em;
+    EXPECT_DOUBLE_EQ(em.sramEnergyPj(160.0), 10.0 * 620.0);
+    EXPECT_DOUBLE_EQ(em.dramEnergyPj(100.0), 100.0 * 8.0 * 10.0);
+}
+
+} // namespace
+} // namespace fpraker

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Differential fuzzing of the FPRaker PE against the bit-parallel
+ * baseline across the configuration space: random operand streams
+ * under random (window, threshold, encoding, accumulator) settings
+ * must stay within the analytically-bounded divergence of the two
+ * datapaths, and all timing/accounting invariants must hold.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "numeric/reference.h"
+#include "pe/baseline_pe.h"
+#include "pe/fpraker_pe.h"
+
+namespace fpraker {
+namespace {
+
+struct FuzzCase
+{
+    int maxDelta;
+    int obThreshold; //!< -1 = accumulator width
+    TermEncoding encoding;
+    int fracBits;
+    int chunkSize;
+    double sparsity;
+    double expSigma;
+};
+
+class DifferentialFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+FuzzCase
+randomCase(Rng &rng)
+{
+    FuzzCase c;
+    const int deltas[] = {0, 1, 2, 3, 5, 8, 1 << 16};
+    c.maxDelta = deltas[rng.uniformInt(7)];
+    c.obThreshold = rng.bernoulli(0.5)
+                        ? -1
+                        : static_cast<int>(rng.uniformInt(4, 12));
+    c.encoding = rng.bernoulli(0.5) ? TermEncoding::Canonical
+                                    : TermEncoding::RawBits;
+    c.fracBits = static_cast<int>(rng.uniformInt(8, 16));
+    const int chunks[] = {8, 16, 64, 256};
+    c.chunkSize = chunks[rng.uniformInt(4)];
+    c.sparsity = rng.uniform(0.0, 0.9);
+    c.expSigma = rng.uniform(0.2, 5.0);
+    return c;
+}
+
+std::vector<BFloat16>
+randomStream(Rng &rng, size_t n, const FuzzCase &c)
+{
+    std::vector<BFloat16> v(n);
+    for (auto &x : v) {
+        if (rng.bernoulli(c.sparsity)) {
+            x = BFloat16();
+            continue;
+        }
+        double mag = std::exp2(rng.gaussian(0.0, c.expSigma)) *
+                     rng.uniform(1.0, 2.0);
+        x = bf16(static_cast<float>(rng.bernoulli(0.5) ? -mag : mag));
+    }
+    return v;
+}
+
+TEST_P(DifferentialFuzz, FPRakerTracksBaselineUnderAllConfigs)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()) * 7907 + 17);
+    for (int trial = 0; trial < 8; ++trial) {
+        FuzzCase c = randomCase(rng);
+        PeConfig cfg;
+        cfg.maxDelta = c.maxDelta;
+        cfg.obThreshold = c.obThreshold;
+        cfg.encoding = c.encoding;
+        cfg.acc.fracBits = c.fracBits;
+        cfg.acc.chunkSize = c.chunkSize;
+
+        const size_t n = 128;
+        auto a = randomStream(rng, n, c);
+        auto b = randomStream(rng, n, c);
+
+        FPRakerPe fpr(cfg);
+        BaselinePe base(cfg);
+        int fpr_cycles = fpr.dot(a, b);
+        int base_cycles = base.dot(a, b);
+
+        // Timing invariants.
+        ASSERT_GE(fpr_cycles,
+                  base_cycles * (cfg.exponentFloor - 1))
+            << "floor violated";
+        ASSERT_EQ(fpr.stats().laneCycles(),
+                  8ull * fpr.stats().setCycles);
+        ASSERT_EQ(fpr.stats().macs, n);
+
+        // Numeric divergence bound: both machines round at fracBits
+        // each step; OB skipping only drops sub-threshold terms. Use
+        // the magnitude scale of the stream.
+        double scale = 1.0;
+        for (size_t i = 0; i < n; ++i)
+            scale += std::fabs(static_cast<double>(a[i].toFloat()) *
+                               static_cast<double>(b[i].toFloat()));
+        int effective_bits =
+            c.obThreshold < 0 ? c.fracBits
+                              : std::min(c.fracBits, c.obThreshold);
+        double tol =
+            std::ldexp(1.0, -effective_bits) * (16.0 + n / 4.0) * scale;
+        ASSERT_NEAR(fpr.resultFloat(), base.resultFloat(), tol)
+            << "trial " << trial << " delta=" << c.maxDelta
+            << " thr=" << c.obThreshold << " frac=" << c.fracBits
+            << " chunk=" << c.chunkSize;
+
+        // And both track FP64 within the same class of bound.
+        double ref = dotDouble(a, b);
+        ASSERT_NEAR(base.resultFloat(), ref,
+                    std::ldexp(1.0, -c.fracBits) * (16.0 + n / 4.0) *
+                        scale + 1e-3);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz,
+                         ::testing::Range(0, 12));
+
+TEST(DifferentialFuzz, ColumnsOfAnySizeStayConsistent)
+{
+    Rng rng(555);
+    for (int rows : {1, 2, 3, 5, 8, 13}) {
+        PeConfig cfg;
+        FPRakerColumn col(cfg, rows);
+        for (int set = 0; set < 12; ++set) {
+            std::vector<BFloat16> a(8), b(static_cast<size_t>(rows) * 8);
+            for (auto &x : a)
+                x = rng.bernoulli(0.3)
+                        ? BFloat16()
+                        : bf16(static_cast<float>(rng.gaussian(0, 2)));
+            for (auto &x : b)
+                x = bf16(static_cast<float>(rng.gaussian(0, 2)));
+            int cycles = col.runSet(a.data(), b.data(), 8);
+            ASSERT_GE(cycles, cfg.exponentFloor);
+            ASSERT_LE(cycles, 64) << "runaway set at rows=" << rows;
+        }
+        PeStats agg = col.aggregateStats();
+        ASSERT_EQ(agg.laneCycles(), agg.setCycles * 8ull);
+    }
+}
+
+} // namespace
+} // namespace fpraker

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the memory subsystem: containers, transposer, global
+ * buffer, and the DRAM model.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "memory/container.h"
+#include "memory/dram.h"
+#include "memory/global_buffer.h"
+#include "memory/transposer.h"
+
+namespace fpraker {
+namespace {
+
+TEST(ContainerStore, RoundTripValues)
+{
+    ContainerStore store(64, 3, 40);
+    store.set(0, 0, 0, bf16(1.5f));
+    store.set(63, 2, 39, bf16(-2.0f));
+    store.set(32, 1, 32, bf16(4.0f));
+    EXPECT_EQ(store.at(0, 0, 0).toFloat(), 1.5f);
+    EXPECT_EQ(store.at(63, 2, 39).toFloat(), -2.0f);
+    EXPECT_EQ(store.at(32, 1, 32).toFloat(), 4.0f);
+    EXPECT_EQ(store.at(5, 1, 7).toFloat(), 0.0f); // untouched = zero
+}
+
+TEST(ContainerStore, GeometryAndPadding)
+{
+    // 64 channels x 3 rows x 40 cols: 2 channel tiles x 2 column tiles
+    // x 3 rows = 12 containers.
+    ContainerStore store(64, 3, 40);
+    EXPECT_EQ(store.numContainers(), 12u);
+    EXPECT_EQ(store.paddedBytes(), 12u * 2048u);
+    EXPECT_EQ(store.logicalBytes(), 64u * 3u * 40u * 2u);
+    EXPECT_GT(store.paddingOverhead(), 0.0);
+
+    // Exactly container-shaped tensors have no padding.
+    ContainerStore exact(32, 2, 32);
+    EXPECT_EQ(exact.paddingOverhead(), 0.0);
+}
+
+TEST(ContainerStore, ContainerBoundaries)
+{
+    ContainerStore store(64, 2, 64);
+    // Same container: channels 0-31, columns 0-31, row 0.
+    EXPECT_EQ(store.containerOf(0, 0, 0), store.containerOf(31, 0, 31));
+    // Crossing channel tile, column tile, or row changes container.
+    EXPECT_NE(store.containerOf(31, 0, 0), store.containerOf(32, 0, 0));
+    EXPECT_NE(store.containerOf(0, 0, 31), store.containerOf(0, 0, 32));
+    EXPECT_NE(store.containerOf(0, 0, 0), store.containerOf(0, 1, 0));
+}
+
+TEST(ContainerStore, ChannelOrderIsFastest)
+{
+    // Containers are ordered channel, column, row: consecutive channel
+    // tiles are adjacent containers.
+    ContainerStore store(96, 2, 64);
+    EXPECT_EQ(store.containerOf(32, 0, 0), store.containerOf(0, 0, 0) + 1);
+    EXPECT_EQ(store.containerOf(64, 0, 0), store.containerOf(0, 0, 0) + 2);
+}
+
+TEST(ContainerStore, OffsetsUniqueWithinContainer)
+{
+    ContainerStore store(32, 1, 32);
+    std::set<int> seen;
+    for (int c = 0; c < 32; ++c)
+        for (int k = 0; k < 32; ++k)
+            seen.insert(store.offsetInContainer(c, 0, k));
+    EXPECT_EQ(seen.size(), 1024u);
+}
+
+TEST(ContainerStore, Burst8ReadsConsecutiveChannels)
+{
+    ContainerStore store(16, 1, 4);
+    for (int c = 0; c < 16; ++c)
+        store.set(c, 0, 2, bf16(static_cast<float>(c + 1)));
+    BFloat16 out[8];
+    store.readBurst8(4, 0, 2, out);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(out[i].toFloat(), static_cast<float>(4 + i + 1));
+    // Tail beyond the channel count pads with zeros.
+    store.readBurst8(12, 0, 2, out);
+    EXPECT_EQ(out[3].toFloat(), 16.0f);
+    EXPECT_TRUE(out[4].isZero());
+}
+
+TEST(Transposer, BlockTranspose)
+{
+    BFloat16 in[64], out[64];
+    for (int r = 0; r < 8; ++r)
+        for (int c = 0; c < 8; ++c)
+            in[r * 8 + c] = bf16(static_cast<float>(r * 10 + c));
+    Transposer::transposeBlock(in, 8, out, 8);
+    for (int r = 0; r < 8; ++r)
+        for (int c = 0; c < 8; ++c)
+            EXPECT_EQ(out[c * 8 + r].bits(), in[r * 8 + c].bits());
+}
+
+TEST(Transposer, LoadRowsReadColumns)
+{
+    Transposer t;
+    BFloat16 rows[8][8];
+    // Small integers are exactly representable in bfloat16.
+    for (int r = 0; r < 8; ++r)
+        for (int c = 0; c < 8; ++c)
+            rows[r][c] = bf16(static_cast<float>(r + c * 8));
+    for (int r = 0; r < 8; ++r)
+        t.loadRow(r, rows[r]);
+    BFloat16 col[8];
+    t.readColumn(3, col);
+    for (int r = 0; r < 8; ++r)
+        EXPECT_EQ(col[r].toFloat(), static_cast<float>(r + 24));
+    EXPECT_EQ(t.rowLoads(), 8u);
+    EXPECT_EQ(t.columnReads(), 1u);
+}
+
+TEST(GlobalBuffer, BankInterleaving)
+{
+    GlobalBuffer gb;
+    // 9 banks at 16-byte interleave: addresses 0,16,...,128 hit banks
+    // 0..8; address 144 wraps to bank 0.
+    EXPECT_EQ(gb.bankOf(0), 0);
+    EXPECT_EQ(gb.bankOf(16), 1);
+    EXPECT_EQ(gb.bankOf(16 * 9), 0);
+}
+
+TEST(GlobalBuffer, OddBankCountSpreadsPowerOfTwoStrides)
+{
+    GlobalBuffer gb;
+    // Stride-2 accesses (1024 bytes apart) across 9 banks never pile
+    // onto a single bank the way a power-of-two bank count would.
+    std::set<int> banks;
+    for (int i = 0; i < 9; ++i)
+        banks.insert(gb.bankOf(static_cast<uint64_t>(i) * 1024));
+    EXPECT_EQ(banks.size(), 9u);
+}
+
+TEST(GlobalBuffer, ConflictAccounting)
+{
+    GlobalBuffer gb;
+    // Two addresses on the same bank, one elsewhere: 2 cycles, one
+    // conflict.
+    int cycles = gb.accessGroup({0, 16 * 9, 16});
+    EXPECT_EQ(cycles, 2);
+    EXPECT_EQ(gb.stats().bankConflicts, 1u);
+    EXPECT_EQ(gb.stats().reads, 3u);
+}
+
+TEST(GlobalBuffer, CapacityMatchesTableII)
+{
+    GlobalBuffer gb;
+    EXPECT_EQ(gb.capacityBytes(), 9ull * 4ull * 1024 * 1024);
+}
+
+TEST(DramModel, PeakBandwidthMatchesLpddr4Config)
+{
+    DramModel dram;
+    // 4 channels x 3200 MT/s x 2 B = 25.6 GB/s; at 600 MHz that is
+    // ~42.67 bytes per core cycle.
+    EXPECT_NEAR(dram.peakBytesPerCycle(), 25.6e9 / 600e6, 1e-9);
+}
+
+TEST(DramModel, StreamFasterThanRandom)
+{
+    DramModel dram;
+    uint64_t bytes = 1 << 20;
+    EXPECT_LT(dram.cyclesForStream(bytes), dram.cyclesForRandom(bytes));
+}
+
+TEST(DramModel, EnergyScalesWithBytes)
+{
+    DramModel dram;
+    EXPECT_DOUBLE_EQ(dram.energyPj(100), 100 * 8.0 * 10.0);
+    dram.recordRead(64);
+    dram.recordWrite(32);
+    EXPECT_EQ(dram.stats().readBytes, 64u);
+    EXPECT_EQ(dram.stats().writeBytes, 32u);
+}
+
+} // namespace
+} // namespace fpraker

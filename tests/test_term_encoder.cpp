@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit and property tests for canonical (NAF) and raw-bit term encoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.h"
+#include "numeric/term_encoder.h"
+
+namespace fpraker {
+namespace {
+
+TEST(TermEncoder, ZeroSignificandYieldsNoTerms)
+{
+    TermEncoder enc;
+    EXPECT_TRUE(enc.encodeSignificand(0).empty());
+    EXPECT_EQ(enc.countTerms(0), 0);
+    EXPECT_TRUE(enc.encode(BFloat16()).empty());
+}
+
+TEST(TermEncoder, PaperExample)
+{
+    // The paper's example says A = 1.1110000 encodes as (+2^+1, -2^-4),
+    // but 1.1110000b = 1.875 = 2^1 - 2^-3; the -4 is an off-by-one typo
+    // in the text (2^1 - 2^-4 would be 1.1111000b). We assert the
+    // mathematically consistent NAF.
+    TermEncoder enc(TermEncoding::Canonical);
+    TermStream s = enc.encodeSignificand(0b11110000);
+    ASSERT_EQ(s.size(), 2);
+    EXPECT_EQ(s[0].shift, -1); // +2^{+1}
+    EXPECT_FALSE(s[0].neg);
+    EXPECT_EQ(s[1].shift, 3); // -2^{-3}
+    EXPECT_TRUE(s[1].neg);
+    EXPECT_EQ(s.reconstructScaled(), 0b11110000);
+}
+
+TEST(TermEncoder, SingleTermForPowerOfTwo)
+{
+    TermEncoder enc;
+    TermStream s = enc.encodeSignificand(0b10000000); // 1.0
+    ASSERT_EQ(s.size(), 1);
+    EXPECT_EQ(s[0].shift, 0);
+    EXPECT_FALSE(s[0].neg);
+}
+
+TEST(TermEncoder, Fig5OperandA0UnderRawEncoding)
+{
+    // Fig. 5 walks 1.1101 through raw bit positions t = 0, 1, 2, 4.
+    TermEncoder enc(TermEncoding::RawBits);
+    TermStream s = enc.encodeSignificand(0b11101000);
+    ASSERT_EQ(s.size(), 4);
+    EXPECT_EQ(s[0].shift, 0);
+    EXPECT_EQ(s[1].shift, 1);
+    EXPECT_EQ(s[2].shift, 2);
+    EXPECT_EQ(s[3].shift, 4);
+    for (int i = 0; i < s.size(); ++i)
+        EXPECT_FALSE(s[i].neg);
+}
+
+TEST(TermEncoder, CanonicalReconstructsEverySignificand)
+{
+    TermEncoder enc(TermEncoding::Canonical);
+    for (int sig = 0x80; sig <= 0xff; ++sig) {
+        TermStream s = enc.encodeSignificand(sig);
+        EXPECT_EQ(s.reconstructScaled(), sig) << "sig " << sig;
+        EXPECT_EQ(s.size(), enc.countTerms(sig));
+    }
+}
+
+TEST(TermEncoder, RawReconstructsEverySignificand)
+{
+    TermEncoder enc(TermEncoding::RawBits);
+    for (int sig = 0x80; sig <= 0xff; ++sig) {
+        TermStream s = enc.encodeSignificand(sig);
+        EXPECT_EQ(s.reconstructScaled(), sig) << "sig " << sig;
+        EXPECT_EQ(s.size(), popcount(static_cast<uint64_t>(sig)));
+    }
+}
+
+TEST(TermEncoder, CanonicalNonAdjacency)
+{
+    // NAF guarantees no two adjacent non-zero digits: successive term
+    // shifts differ by at least 2.
+    TermEncoder enc(TermEncoding::Canonical);
+    for (int sig = 0x80; sig <= 0xff; ++sig) {
+        TermStream s = enc.encodeSignificand(sig);
+        for (int i = 1; i < s.size(); ++i)
+            EXPECT_GE(s[i].shift - s[i - 1].shift, 2)
+                << "sig " << sig << " term " << i;
+    }
+}
+
+TEST(TermEncoder, MsbFirstOrdering)
+{
+    for (TermEncoding e :
+         {TermEncoding::Canonical, TermEncoding::RawBits}) {
+        TermEncoder enc(e);
+        for (int sig = 0x80; sig <= 0xff; ++sig) {
+            TermStream s = enc.encodeSignificand(sig);
+            for (int i = 1; i < s.size(); ++i)
+                EXPECT_GT(s[i].shift, s[i - 1].shift) << "sig " << sig;
+        }
+    }
+}
+
+TEST(TermEncoder, CanonicalNeverLongerThanRaw)
+{
+    TermEncoder naf(TermEncoding::Canonical);
+    TermEncoder raw(TermEncoding::RawBits);
+    for (int sig = 0x80; sig <= 0xff; ++sig)
+        EXPECT_LE(naf.countTerms(sig), raw.countTerms(sig))
+            << "sig " << sig;
+}
+
+TEST(TermEncoder, CanonicalBoundedByFiveTerms)
+{
+    // The NAF of an 8-bit significand has at most ceil(9/2) = 5 digits.
+    TermEncoder enc(TermEncoding::Canonical);
+    for (int sig = 0x80; sig <= 0xff; ++sig)
+        EXPECT_LE(enc.countTerms(sig), 5) << "sig " << sig;
+}
+
+TEST(TermEncoder, ShiftRangeWithinContract)
+{
+    // Shifts live in [-1, 7]: position +1 (carry digit) through 2^-7.
+    TermEncoder enc(TermEncoding::Canonical);
+    for (int sig = 0x80; sig <= 0xff; ++sig) {
+        TermStream s = enc.encodeSignificand(sig);
+        for (int i = 0; i < s.size(); ++i) {
+            EXPECT_GE(s[i].shift, -1);
+            EXPECT_LE(s[i].shift, 7);
+        }
+    }
+}
+
+TEST(TermEncoder, EncodeBFloat16UsesHiddenBit)
+{
+    TermEncoder enc;
+    // 1.5 = 1.1000000b -> NAF: +2^1 - 2^-1.
+    TermStream s = enc.encode(bf16(1.5f));
+    ASSERT_EQ(s.size(), 2);
+    EXPECT_EQ(s[0].shift, -1);
+    EXPECT_FALSE(s[0].neg);
+    EXPECT_EQ(s[1].shift, 1);
+    EXPECT_TRUE(s[1].neg);
+}
+
+/** Term-sparsity sweep: average NAF length of random significands. */
+class TermDensity : public ::testing::TestWithParam<TermEncoding>
+{
+};
+
+TEST_P(TermDensity, AverageBelowHalfOfSlots)
+{
+    TermEncoder enc(GetParam());
+    double total = 0;
+    for (int sig = 0x80; sig <= 0xff; ++sig)
+        total += enc.countTerms(sig);
+    double avg = total / 128.0;
+    // Uniform normalized significands: raw averages 4.5 set bits; the
+    // NAF averages ~3.45 terms (about 57% term sparsity of the 8 slots,
+    // matching the paper's uniform-mantissa regime).
+    if (GetParam() == TermEncoding::Canonical) {
+        EXPECT_LT(avg, 3.7);
+        EXPECT_GT(avg, 3.0);
+    } else {
+        EXPECT_NEAR(avg, 4.5, 0.1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Encodings, TermDensity,
+                         ::testing::Values(TermEncoding::Canonical,
+                                           TermEncoding::RawBits));
+
+} // namespace
+} // namespace fpraker

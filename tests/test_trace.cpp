@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the trace subsystem: profiles, generators, and model zoo.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "trace/model_zoo.h"
+#include "trace/tensor_gen.h"
+
+namespace fpraker {
+namespace {
+
+TEST(TensorGenerator, HitsTargetSparsity)
+{
+    for (double target : {0.0, 0.2, 0.5, 0.8}) {
+        ValueProfile p;
+        p.sparsity = target;
+        p.zeroClusterLen = 6.0;
+        TensorGenerator gen(p, 77);
+        TensorStats s = measureTensor(gen.generate(60000));
+        EXPECT_NEAR(s.valueSparsity(), target, 0.03)
+            << "target " << target;
+    }
+}
+
+TEST(TensorGenerator, ZerosArriveInClusters)
+{
+    ValueProfile p;
+    p.sparsity = 0.5;
+    p.zeroClusterLen = 16.0;
+    TensorGenerator gen(p, 5);
+    auto vals = gen.generate(40000);
+    // Count zero runs; mean length should approach the configured 16.
+    int runs = 0;
+    int64_t zeros = 0;
+    bool in_run = false;
+    for (const auto &v : vals) {
+        if (v.isZero()) {
+            ++zeros;
+            if (!in_run) {
+                ++runs;
+                in_run = true;
+            }
+        } else {
+            in_run = false;
+        }
+    }
+    ASSERT_GT(runs, 0);
+    double mean_run = static_cast<double>(zeros) / runs;
+    EXPECT_NEAR(mean_run, 16.0, 3.0);
+}
+
+TEST(TensorGenerator, MantissaBitsControlTermSparsity)
+{
+    double prev = 0.0;
+    for (int bits : {7, 4, 1}) {
+        ValueProfile p;
+        p.sparsity = 0.0;
+        p.mantissaBits = bits;
+        TensorGenerator gen(p, 13);
+        TensorStats s = measureTensor(gen.generate(20000));
+        EXPECT_GT(s.termSparsity(), prev)
+            << "mantissa bits " << bits;
+        prev = s.termSparsity();
+    }
+    // Power-of-two values: exactly one term each.
+    ValueProfile p;
+    p.mantissaBits = 0;
+    TensorGenerator gen(p, 13);
+    TensorStats s = measureTensor(gen.generate(5000));
+    EXPECT_DOUBLE_EQ(s.termsPerValue(), 1.0);
+}
+
+TEST(TensorGenerator, ExponentsFollowProfile)
+{
+    ValueProfile p;
+    p.expMu = -6.0;
+    p.expSigma = 2.0;
+    p.expCorr = 0.9;
+    TensorGenerator gen(p, 21);
+    auto vals = gen.generate(30000);
+    double sum = 0.0, sq = 0.0;
+    double corr_num = 0.0;
+    int prev = 0;
+    bool have_prev = false;
+    int n = 0;
+    for (const auto &v : vals) {
+        if (v.isZero())
+            continue;
+        int e = v.unbiasedExponent();
+        sum += e;
+        sq += static_cast<double>(e) * e;
+        if (have_prev)
+            corr_num += (e + 6.0) * (prev + 6.0);
+        prev = e;
+        have_prev = true;
+        ++n;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, -6.0, 0.3);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.4);
+    double corr = corr_num / n / var;
+    EXPECT_GT(corr, 0.6); // strong positive lag-1 correlation survives
+}
+
+TEST(TensorGenerator, DeterministicPerSeed)
+{
+    ValueProfile p;
+    p.sparsity = 0.3;
+    TensorGenerator a(p, 99), b(p, 99), c(p, 100);
+    auto va = a.generate(256);
+    auto vb = b.generate(256);
+    auto vc = c.generate(256);
+    EXPECT_TRUE(std::equal(va.begin(), va.end(), vb.begin(),
+                           [](BFloat16 x, BFloat16 y) {
+                               return x.bits() == y.bits();
+                           }));
+    bool all_same = std::equal(va.begin(), va.end(), vc.begin(),
+                               [](BFloat16 x, BFloat16 y) {
+                                   return x.bits() == y.bits();
+                               });
+    EXPECT_FALSE(all_same);
+}
+
+TEST(TensorProfile, InterpolatesBetweenKnots)
+{
+    ValueProfile a;
+    a.sparsity = 0.2;
+    a.mantissaBits = 6;
+    ValueProfile b = a;
+    b.sparsity = 0.6;
+    b.mantissaBits = 2;
+    TensorProfile prof({{0.0, a}, {1.0, b}});
+    EXPECT_DOUBLE_EQ(prof.at(0.0).sparsity, 0.2);
+    EXPECT_DOUBLE_EQ(prof.at(1.0).sparsity, 0.6);
+    EXPECT_NEAR(prof.at(0.5).sparsity, 0.4, 1e-12);
+    EXPECT_EQ(prof.at(0.5).mantissaBits, 4);
+    // Clamping outside [0, 1].
+    EXPECT_DOUBLE_EQ(prof.at(-1.0).sparsity, 0.2);
+    EXPECT_DOUBLE_EQ(prof.at(2.0).sparsity, 0.6);
+}
+
+TEST(ModelZoo, ContainsAllNineTableIModels)
+{
+    const auto &zoo = modelZoo();
+    ASSERT_EQ(zoo.size(), 9u);
+    const char *expected[] = {
+        "SqueezeNet 1.1", "VGG16",      "ResNet50-S2",
+        "ResNet18-Q",     "SNLI",       "Image2Text",
+        "Detectron2",     "NCF",        "Bert",
+    };
+    for (size_t i = 0; i < 9; ++i)
+        EXPECT_EQ(zoo[i].name, expected[i]);
+}
+
+TEST(ModelZoo, EveryModelHasWorkAndProfiles)
+{
+    for (const auto &m : modelZoo()) {
+        EXPECT_FALSE(m.layers.empty()) << m.name;
+        EXPECT_GT(m.macsPerOp(), 0) << m.name;
+        for (const auto &l : m.layers) {
+            EXPECT_GT(l.m, 0) << m.name << "/" << l.name;
+            EXPECT_GT(l.n, 0) << m.name << "/" << l.name;
+            EXPECT_GT(l.k, 0) << m.name << "/" << l.name;
+        }
+        // Profiles must be queryable at any progress.
+        for (TensorKind k : {TensorKind::Activation, TensorKind::Weight,
+                             TensorKind::Gradient}) {
+            ValueProfile p = m.profile.of(k).at(0.5);
+            EXPECT_GE(p.sparsity, 0.0);
+            EXPECT_LE(p.sparsity, 1.0);
+            EXPECT_GE(p.mantissaBits, 0);
+            EXPECT_LE(p.mantissaBits, 7);
+        }
+    }
+}
+
+TEST(ModelZoo, ResNet50S2HasSparseWeights)
+{
+    const ModelInfo &m = findModel("ResNet50-S2");
+    EXPECT_GT(m.profile.weight.at(0.5).sparsity, 0.5)
+        << "dynamic sparse reparameterization keeps weights sparse";
+}
+
+TEST(ModelZoo, QuantizedModelHasShortMantissas)
+{
+    const ModelInfo &m = findModel("ResNet18-Q");
+    EXPECT_LE(m.profile.activation.at(1.0).mantissaBits, 3);
+    EXPECT_LE(m.profile.weight.at(1.0).mantissaBits, 3);
+}
+
+TEST(ModelZoo, VggMacsMatchKnownScale)
+{
+    // VGG16 convs are ~15.3 GMACs at 224x224 (batch 1); the FC layers
+    // run at training batch 32 and add ~4 GMACs.
+    const ModelInfo &m = findModel("VGG16");
+    EXPECT_GT(m.macsPerOp(), 14e9);
+    EXPECT_LT(m.macsPerOp(), 22e9);
+}
+
+TEST(Layer, OpLabelsAndOperands)
+{
+    EXPECT_STREQ(opLabel(TrainingOp::Forward), "AxW");
+    EXPECT_STREQ(opLabel(TrainingOp::InputGrad), "GxW");
+    EXPECT_STREQ(opLabel(TrainingOp::WeightGrad), "AxG");
+    OpOperands f = operandsOf(TrainingOp::Forward);
+    EXPECT_EQ(f.first, TensorKind::Activation);
+    EXPECT_EQ(f.second, TensorKind::Weight);
+    OpOperands ig = operandsOf(TrainingOp::InputGrad);
+    EXPECT_EQ(ig.first, TensorKind::Gradient);
+    OpOperands wg = operandsOf(TrainingOp::WeightGrad);
+    EXPECT_EQ(wg.second, TensorKind::Gradient);
+}
+
+TEST(Layer, AuxiliaryNetworksExist)
+{
+    EXPECT_FALSE(resnet18Layers().empty());
+    EXPECT_FALSE(alexnetLayers().empty());
+    // AlexNet convs are ~1.07 GMACs; batch-32 FCs add ~1.9 GMACs.
+    EXPECT_GT(totalMacs(alexnetLayers()), 2e9);
+    EXPECT_LT(totalMacs(alexnetLayers()), 4e9);
+}
+
+} // namespace
+} // namespace fpraker
