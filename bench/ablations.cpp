@@ -31,7 +31,7 @@ geomeanSpeedup(const AcceleratorConfig &cfg)
 }
 
 int
-run()
+run(int argc, char **argv)
 {
     bench::banner("Ablations",
                   "design-choice sweeps (encoding, shifter window, "
@@ -42,6 +42,7 @@ run()
 
     AcceleratorConfig base_cfg = AcceleratorConfig::paperDefault();
     base_cfg.sampleSteps = bench::sampleSteps(48);
+    base_cfg.threads = bench::threads(argc, argv);
 
     {
         Table t({"term encoding", "geomean speedup"});
@@ -111,7 +112,7 @@ run()
 } // namespace fpraker
 
 int
-main()
+main(int argc, char **argv)
 {
-    return fpraker::run();
+    return fpraker::run(argc, argv);
 }

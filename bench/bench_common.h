@@ -12,12 +12,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "accel/accelerator.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "sim/sim_engine.h"
 #include "trace/model_zoo.h"
 
 namespace fpraker {
@@ -46,11 +48,12 @@ struct AcceleratorVariants
 };
 
 inline AcceleratorVariants
-makeVariants(int sample_steps)
+makeVariants(int sample_steps, int threads = 0)
 {
     AcceleratorVariants v;
     v.full = AcceleratorConfig::paperDefault();
     v.full.sampleSteps = sample_steps;
+    v.full.threads = threads;
 
     v.zeroBdc = v.full;
     v.zeroBdc.tile.pe.skipOutOfBounds = false;
@@ -70,6 +73,26 @@ sampleSteps(int fallback = 96)
             return v;
     }
     return fallback;
+}
+
+/**
+ * Simulation worker threads for the harnesses: an explicit
+ * --threads=N argument wins, then the FPRAKER_THREADS environment
+ * variable, then the serial default. Results are bit-identical for
+ * any value (see docs/PERFORMANCE.md), so the knob is purely about
+ * wall-clock time.
+ */
+inline int
+threads(int argc = 0, char **argv = nullptr)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+            int v = std::atoi(argv[i] + 10);
+            if (v > 0)
+                return v;
+        }
+    }
+    return SimEngine::defaultThreads();
 }
 
 } // namespace bench

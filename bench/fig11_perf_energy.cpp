@@ -12,7 +12,7 @@ namespace fpraker {
 namespace {
 
 int
-run()
+run(int argc, char **argv)
 {
     using bench::banner;
     banner("Fig. 11",
@@ -23,7 +23,8 @@ run()
            "core energy efficiency ~1.4x tracking speedup");
 
     bench::AcceleratorVariants variants =
-        bench::makeVariants(bench::sampleSteps());
+        bench::makeVariants(bench::sampleSteps(),
+                            bench::threads(argc, argv));
     Accelerator zero(variants.zeroOnly);
     Accelerator zero_bdc(variants.zeroBdc);
     Accelerator full(variants.full);
@@ -55,7 +56,7 @@ run()
 } // namespace fpraker
 
 int
-main()
+main(int argc, char **argv)
 {
-    return fpraker::run();
+    return fpraker::run(argc, argv);
 }

@@ -11,7 +11,7 @@ namespace fpraker {
 namespace {
 
 int
-run()
+run(int argc, char **argv)
 {
     bench::banner("Fig. 14", "speedup per training phase",
                   "FPRaker beats the baseline in all three phases for "
@@ -20,6 +20,7 @@ run()
 
     AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
     cfg.sampleSteps = bench::sampleSteps();
+    cfg.threads = bench::threads(argc, argv);
     Accelerator accel(cfg);
 
     Table t({"model", "AxG", "GxW", "AxW", "total"});
@@ -47,7 +48,7 @@ run()
 } // namespace fpraker
 
 int
-main()
+main(int argc, char **argv)
 {
-    return fpraker::run();
+    return fpraker::run(argc, argv);
 }

@@ -11,7 +11,7 @@ namespace fpraker {
 namespace {
 
 int
-run()
+run(int argc, char **argv)
 {
     bench::banner("Fig. 18", "speedup over training time",
                   "stable for most models; VGG16 declines ~15% after "
@@ -20,6 +20,7 @@ run()
 
     AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
     cfg.sampleSteps = bench::sampleSteps(64);
+    cfg.threads = bench::threads(argc, argv);
     Accelerator accel(cfg);
 
     const double points[] = {0.0, 0.15, 0.3, 0.5, 0.75, 1.0};
@@ -43,7 +44,7 @@ run()
 } // namespace fpraker
 
 int
-main()
+main(int argc, char **argv)
 {
-    return fpraker::run();
+    return fpraker::run(argc, argv);
 }

@@ -17,7 +17,7 @@ namespace fpraker {
 namespace {
 
 int
-run()
+run(int argc, char **argv)
 {
     bench::banner("Intro comparison",
                   "Bfloat16 Bit-Pragmatic / Laconic vs baseline vs "
@@ -46,6 +46,7 @@ run()
     // Performance: run the serial-capable accelerators over the zoo.
     AcceleratorConfig fpr_cfg = AcceleratorConfig::paperDefault();
     fpr_cfg.sampleSteps = bench::sampleSteps(64);
+    fpr_cfg.threads = bench::threads(argc, argv);
 
     AcceleratorConfig bp_cfg = fpr_cfg;
     bp_cfg.tile.pe = bitPragmaticFpConfig();
@@ -105,7 +106,7 @@ run()
 } // namespace fpraker
 
 int
-main()
+main(int argc, char **argv)
 {
-    return fpraker::run();
+    return fpraker::run(argc, argv);
 }

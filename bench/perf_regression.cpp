@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Perf-regression harness: times a fixed, seeded workload on the
+ * cycle-level simulator and emits BENCH_PR1.json so future PRs have a
+ * wall-clock trajectory to beat.
+ *
+ * Three timed configurations over identical pre-generated operands:
+ *
+ *  - seed-serial: the seed algorithm (ReferenceColumn / ReferenceTile,
+ *    per-set NAF encoding, fixpoint OB rescans, serial column walk);
+ *  - serial: the optimized engine at threads=1;
+ *  - parallel: the optimized engine at --threads=N (default 8).
+ *
+ * All three must produce bit-identical outputs, cycle counts, and
+ * statistics — the harness checksums them and refuses to report a
+ * speedup over diverging runs. A whole-model run (the Fig. 11 unit of
+ * work) is timed at 1 and N threads as well.
+ *
+ *   ./perf_regression [--threads=N] [--steps=N] [--out=FILE]
+ *
+ * FPRAKER_SAMPLE_STEPS scales the tile workload (CI smoke runs use a
+ * small budget), FPRAKER_THREADS feeds the default thread count.
+ */
+
+#include <chrono>
+#include <cinttypes>
+#include <cstring>
+#include <functional>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "sim/reference_column.h"
+#include "trace/tensor_gen.h"
+
+namespace fpraker {
+namespace {
+
+/** FNV-1a over raw bytes; order-sensitive, so layouts must match. */
+class Checksum
+{
+  public:
+    void
+    addBytes(const void *data, size_t n)
+    {
+        const unsigned char *p = static_cast<const unsigned char *>(data);
+        for (size_t i = 0; i < n; ++i) {
+            hash_ ^= p[i];
+            hash_ *= 0x100000001b3ull;
+        }
+    }
+
+    void add(uint64_t v) { addBytes(&v, sizeof(v)); }
+    void add(double v) { addBytes(&v, sizeof(v)); }
+
+    void
+    add(float v)
+    {
+        uint32_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        addBytes(&bits, sizeof(bits));
+    }
+
+    void
+    add(const PeStats &s)
+    {
+        add(s.laneUseful);
+        add(s.laneNoTerm);
+        add(s.laneShiftRange);
+        add(s.laneExponent);
+        add(s.laneInterPe);
+        add(s.setCycles);
+        add(s.sets);
+        add(s.macs);
+        add(s.termsProcessed);
+        add(s.termsZeroSkipped);
+        add(s.termsObSkipped);
+    }
+
+    uint64_t value() const { return hash_; }
+
+  private:
+    uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+double
+now()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+struct TileTiming
+{
+    double seconds = 0;
+    uint64_t cycles = 0;
+    uint64_t checksum = 0;
+};
+
+/** The fixed tile workload: geometry, burst length, operand slabs. */
+struct Workload
+{
+    TileConfig tile;
+    int steps = 0;
+    int burst = 32; //!< Steps per output block (accumulator reset).
+    std::vector<BFloat16> a; //!< [step][col * lanes + l]
+    std::vector<BFloat16> b; //!< [step][row * lanes + l]
+};
+
+Workload
+makeWorkload(const ModelInfo &model, int steps, uint64_t seed)
+{
+    Workload w;
+    w.tile = AcceleratorConfig::paperDefault().tile;
+    w.steps = steps;
+    const int lanes = w.tile.pe.lanes;
+    const size_t a_len = static_cast<size_t>(w.tile.cols) * lanes;
+    const size_t b_len = static_cast<size_t>(w.tile.rows) * lanes;
+
+    ValueProfile serial =
+        model.profile.of(TensorKind::Activation).at(0.5);
+    ValueProfile parallel = model.profile.of(TensorKind::Weight).at(0.5);
+    TensorGenerator a_gen(serial, seed);
+    TensorGenerator b_gen(parallel, seed ^ 0x5eed);
+    w.a.resize(static_cast<size_t>(steps) * a_len);
+    w.b.resize(static_cast<size_t>(steps) * b_len);
+    a_gen.fill(w.a.data(), w.a.size());
+    b_gen.fill(w.b.data(), w.b.size());
+    return w;
+}
+
+/** Time the seed-parity algorithm over the workload. */
+TileTiming
+runSeedSerial(const Workload &w)
+{
+    const int lanes = w.tile.pe.lanes;
+    const size_t a_len = static_cast<size_t>(w.tile.cols) * lanes;
+    const size_t b_len = static_cast<size_t>(w.tile.rows) * lanes;
+
+    ReferenceTile tile(w.tile.pe, w.tile.rows, w.tile.cols,
+                       w.tile.bufferDepth);
+    TileTiming t;
+    Checksum sum;
+    double t0 = now();
+    for (int s = 0; s < w.steps; s += w.burst) {
+        size_t burst = static_cast<size_t>(
+            std::min(w.burst, w.steps - s));
+        ReferenceTileResult res =
+            tile.run(w.a.data() + static_cast<size_t>(s) * a_len,
+                     w.b.data() + static_cast<size_t>(s) * b_len, burst);
+        t.cycles += res.cycles;
+        for (int r = 0; r < w.tile.rows; ++r)
+            for (int c = 0; c < w.tile.cols; ++c)
+                sum.add(tile.output(r, c));
+        tile.resetAccumulators();
+    }
+    t.seconds = now() - t0;
+    sum.add(t.cycles);
+    sum.add(tile.aggregateStats());
+    t.checksum = sum.value();
+    return t;
+}
+
+/** Time the optimized engine over the workload at a thread count. */
+TileTiming
+runOptimized(const Workload &w, int threads)
+{
+    const int lanes = w.tile.pe.lanes;
+    const size_t a_len = static_cast<size_t>(w.tile.cols) * lanes;
+    const size_t b_len = static_cast<size_t>(w.tile.rows) * lanes;
+
+    SimEngine engine(threads);
+    Tile tile(w.tile);
+    std::vector<TileStepView> views(static_cast<size_t>(w.burst));
+    TileTiming t;
+    Checksum sum;
+    double t0 = now();
+    for (int s = 0; s < w.steps; s += w.burst) {
+        size_t burst = static_cast<size_t>(
+            std::min(w.burst, w.steps - s));
+        for (size_t i = 0; i < burst; ++i) {
+            size_t step = static_cast<size_t>(s) + i;
+            views[i] = TileStepView{w.a.data() + step * a_len,
+                                    w.b.data() + step * b_len};
+        }
+        TileRunResult res = tile.run(views.data(), burst, &engine);
+        t.cycles += res.cycles;
+        for (int r = 0; r < w.tile.rows; ++r)
+            for (int c = 0; c < w.tile.cols; ++c)
+                sum.add(tile.output(r, c));
+        tile.resetAccumulators();
+    }
+    t.seconds = now() - t0;
+    sum.add(t.cycles);
+    sum.add(tile.aggregateStats());
+    t.checksum = sum.value();
+    return t;
+}
+
+uint64_t
+reportChecksum(const ModelRunReport &r)
+{
+    Checksum sum;
+    sum.add(r.fprCycles);
+    sum.add(r.baseCycles);
+    sum.add(r.fprEnergy.totalPj());
+    sum.add(r.baseEnergy.totalPj());
+    for (const LayerOpReport &op : r.ops) {
+        sum.add(op.fprCycles);
+        sum.add(op.baseCycles);
+        sum.add(op.avgCyclesPerStep);
+        sum.add(op.trafficBytesCompressed);
+        sum.add(op.sampleStats);
+    }
+    return sum.value();
+}
+
+int
+run(int argc, char **argv)
+{
+    using bench::banner;
+
+    int threads = 8;
+    int steps = bench::sampleSteps(4096);
+    int reps = 3;
+    const char *out_path = "BENCH_PR1.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--threads=", 10) == 0)
+            threads = std::atoi(argv[i] + 10);
+        else if (std::strncmp(argv[i], "--steps=", 8) == 0)
+            steps = std::atoi(argv[i] + 8);
+        else if (std::strncmp(argv[i], "--reps=", 7) == 0)
+            reps = std::atoi(argv[i] + 7);
+        else if (std::strncmp(argv[i], "--out=", 6) == 0)
+            out_path = argv[i] + 6;
+    }
+    fatal_if(threads < 1 || steps < 1 || reps < 1,
+             "bad --threads/--steps/--reps");
+
+    banner("PR1", "perf regression: parallel engine + encoder LUT",
+           "optimized serial and parallel runs bit-identical to the "
+           "seed algorithm, ≥3x wall-clock at 8 threads");
+
+    const char *model_name = "ResNet18-Q";
+    const ModelInfo &model = findModel(model_name);
+    const uint64_t seed = 0xf9a4e5;
+    Workload w = makeWorkload(model, steps, seed);
+    const uint64_t sets =
+        static_cast<uint64_t>(w.steps) * w.tile.cols;
+
+    // Best-of-N: each configuration re-runs the identical workload
+    // from a fresh tile; the minimum wall time is the least-perturbed
+    // sample and every rep must checksum identically.
+    auto best = [&](const std::function<TileTiming()> &f) {
+        TileTiming best_t = f();
+        for (int i = 1; i < reps; ++i) {
+            TileTiming t = f();
+            fatal_if(t.checksum != best_t.checksum,
+                     "non-deterministic rep");
+            if (t.seconds < best_t.seconds)
+                best_t = t;
+        }
+        return best_t;
+    };
+    TileTiming seed_t = best([&] { return runSeedSerial(w); });
+    TileTiming serial_t = best([&] { return runOptimized(w, 1); });
+    TileTiming par_t = best([&] { return runOptimized(w, threads); });
+
+    bool tile_identical = seed_t.checksum == serial_t.checksum &&
+                          seed_t.checksum == par_t.checksum;
+    double speedup_serial = seed_t.seconds / serial_t.seconds;
+    double speedup_parallel = seed_t.seconds / par_t.seconds;
+
+    std::printf("tile kernel: %d steps (%" PRIu64 " column-sets), "
+                "%dx%d tile\n",
+                w.steps, sets, w.tile.rows, w.tile.cols);
+    std::printf("  seed serial:      %8.3f s  %10.0f sets/s\n",
+                seed_t.seconds, sets / seed_t.seconds);
+    std::printf("  optimized serial: %8.3f s  %10.0f sets/s  (%.2fx)\n",
+                serial_t.seconds, sets / serial_t.seconds,
+                speedup_serial);
+    std::printf("  %d threads:       %8.3f s  %10.0f sets/s  (%.2fx)\n",
+                threads, par_t.seconds, sets / par_t.seconds,
+                speedup_parallel);
+    std::printf("  bit-identical:    %s\n",
+                tile_identical ? "yes" : "NO — REGRESSION");
+
+    // Whole-model runs: the Fig. 11 unit of work, serial vs parallel.
+    AcceleratorConfig mcfg = AcceleratorConfig::paperDefault();
+    mcfg.sampleSteps = bench::sampleSteps(96);
+    mcfg.threads = 1;
+    double m0 = now();
+    ModelRunReport r1 = Accelerator(mcfg).runModel(model, 0.5);
+    double model_serial_s = now() - m0;
+    mcfg.threads = threads;
+    m0 = now();
+    ModelRunReport rn = Accelerator(mcfg).runModel(model, 0.5);
+    double model_parallel_s = now() - m0;
+    uint64_t model_sum_1 = reportChecksum(r1);
+    uint64_t model_sum_n = reportChecksum(rn);
+    bool model_identical = model_sum_1 == model_sum_n;
+
+    std::printf("model run (%s, %d sample steps/op, %zu ops):\n",
+                model_name, mcfg.sampleSteps, r1.ops.size());
+    std::printf("  serial:     %8.3f s\n", model_serial_s);
+    std::printf("  %d threads: %8.3f s  (%.2fx)\n", threads,
+                model_parallel_s, model_serial_s / model_parallel_s);
+    std::printf("  bit-identical: %s\n",
+                model_identical ? "yes" : "NO — REGRESSION");
+
+    FILE *f = std::fopen(out_path, "w");
+    fatal_if(!f, "cannot write %s", out_path);
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"workload\": {\"model\": \"%s\", \"steps\": %d, "
+                    "\"column_sets\": %" PRIu64 ", \"tile\": \"%dx%d\", "
+                    "\"seed\": %" PRIu64 "},\n",
+                 model_name, w.steps, sets, w.tile.rows, w.tile.cols,
+                 seed);
+    std::fprintf(f, "  \"tile_kernel\": {\n");
+    std::fprintf(f, "    \"threads\": %d,\n", threads);
+    std::fprintf(f, "    \"seed_serial_s\": %.6f,\n", seed_t.seconds);
+    std::fprintf(f, "    \"optimized_serial_s\": %.6f,\n",
+                 serial_t.seconds);
+    std::fprintf(f, "    \"parallel_s\": %.6f,\n", par_t.seconds);
+    std::fprintf(f, "    \"sets_per_sec_seed\": %.1f,\n",
+                 sets / seed_t.seconds);
+    std::fprintf(f, "    \"sets_per_sec_serial\": %.1f,\n",
+                 sets / serial_t.seconds);
+    std::fprintf(f, "    \"sets_per_sec_parallel\": %.1f,\n",
+                 sets / par_t.seconds);
+    std::fprintf(f, "    \"speedup_serial_vs_seed\": %.3f,\n",
+                 speedup_serial);
+    std::fprintf(f, "    \"speedup_vs_serial\": %.3f,\n",
+                 speedup_parallel);
+    std::fprintf(f, "    \"checksum_seed\": \"%016" PRIx64 "\",\n",
+                 seed_t.checksum);
+    std::fprintf(f, "    \"checksum_serial\": \"%016" PRIx64 "\",\n",
+                 serial_t.checksum);
+    std::fprintf(f, "    \"checksum_parallel\": \"%016" PRIx64 "\",\n",
+                 par_t.checksum);
+    std::fprintf(f, "    \"bit_identical\": %s\n",
+                 tile_identical ? "true" : "false");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"model_run\": {\n");
+    std::fprintf(f, "    \"model\": \"%s\",\n", model_name);
+    std::fprintf(f, "    \"sample_steps\": %d,\n", mcfg.sampleSteps);
+    std::fprintf(f, "    \"serial_s\": %.6f,\n", model_serial_s);
+    std::fprintf(f, "    \"parallel_s\": %.6f,\n", model_parallel_s);
+    std::fprintf(f, "    \"speedup\": %.3f,\n",
+                 model_serial_s / model_parallel_s);
+    std::fprintf(f, "    \"checksum_serial\": \"%016" PRIx64 "\",\n",
+                 model_sum_1);
+    std::fprintf(f, "    \"checksum_parallel\": \"%016" PRIx64 "\",\n",
+                 model_sum_n);
+    std::fprintf(f, "    \"bit_identical\": %s\n",
+                 model_identical ? "true" : "false");
+    std::fprintf(f, "  }\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path);
+
+    return (tile_identical && model_identical) ? 0 : 1;
+}
+
+} // namespace
+} // namespace fpraker
+
+int
+main(int argc, char **argv)
+{
+    return fpraker::run(argc, argv);
+}

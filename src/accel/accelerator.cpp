@@ -54,7 +54,8 @@ ModelRunReport::speedupForOp(TrainingOp op) const
 
 Accelerator::Accelerator(AcceleratorConfig cfg,
                          EnergyModelConfig energy_cfg)
-    : cfg_(cfg), energy_(energy_cfg)
+    : cfg_(cfg), energy_(energy_cfg),
+      engine_(std::make_unique<SimEngine>(cfg.threads))
 {
     panic_if(cfg_.fprTiles < 1 || cfg_.baselineTiles < 1,
              "need at least one tile per machine");
@@ -122,16 +123,32 @@ Accelerator::cachedBdcFootprint(const ModelInfo &model, TensorKind kind,
 {
     std::string key = model.name + "/" + tensorLabel(kind) + "/" +
                       std::to_string(progress);
-    auto it = bdcCache_.find(key);
-    if (it != bdcCache_.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(bdcMutex_);
+        auto it = bdcCache_.find(key);
+        if (it != bdcCache_.end())
+            return it->second;
+    }
+    // Analysis runs unlocked (it is deterministic per key, so a rare
+    // duplicate computation inserts the same value).
     ValueProfile p = model.profile.of(kind).at(progress);
     TensorGenerator gen(p,
                         cfg_.seed ^ (static_cast<uint64_t>(kind) + 11));
     BaseDeltaCodec codec;
     double footprint = codec.analyze(gen.generate(8192)).totalFootprint();
+    std::lock_guard<std::mutex> lock(bdcMutex_);
     bdcCache_.emplace(std::move(key), footprint);
     return footprint;
+}
+
+void
+Accelerator::warmBdcCache(const ModelInfo &model, double progress) const
+{
+    if (!cfg_.useBdc)
+        return;
+    for (TensorKind kind : {TensorKind::Activation, TensorKind::Weight,
+                            TensorKind::Gradient})
+        cachedBdcFootprint(model, kind, progress);
 }
 
 LayerOpReport
@@ -162,6 +179,7 @@ Accelerator::runLayerOp(const ModelInfo &model, const LayerShape &layer,
     prc.sampleSteps = cfg_.sampleSteps;
     prc.seed = cfg_.seed;
     prc.autoSerialSide = cfg_.autoSerialSide;
+    prc.engine = engine_.get();
     PhaseRunResult sample =
         runPhaseSample(model, layer, op, progress, prc);
     r.serialSide = sample.serialSide;
@@ -260,17 +278,40 @@ Accelerator::runModel(const ModelInfo &model, double progress) const
     ModelRunReport report;
     report.model = model.name;
     report.progress = progress;
-    for (const LayerShape &layer : model.layers) {
+
+    // The (layer, op) units are independent: each seeds its own value
+    // streams and owns a fresh tile. Shard them across the engine,
+    // then reduce in layer/op order so the report is bit-identical for
+    // any thread count.
+    struct Unit
+    {
+        const LayerShape *layer;
+        TrainingOp op;
+    };
+    std::vector<Unit> units;
+    units.reserve(model.layers.size() * 3);
+    for (const LayerShape &layer : model.layers)
         for (TrainingOp op : {TrainingOp::Forward, TrainingOp::InputGrad,
-                              TrainingOp::WeightGrad}) {
-            LayerOpReport r = runLayerOp(model, layer, op, progress);
-            report.fprCycles += r.fprCycles;
-            report.baseCycles += r.baseCycles;
-            report.fprEnergy.merge(r.fprEnergy);
-            report.baseEnergy.merge(r.baseEnergy);
-            report.activity.merge(r.activity);
-            report.ops.push_back(std::move(r));
-        }
+                              TrainingOp::WeightGrad})
+            units.push_back(Unit{&layer, op});
+
+    // Pre-warm the BDC footprint cache so the parallel phase only
+    // reads it.
+    warmBdcCache(model, progress);
+
+    std::vector<LayerOpReport> results(units.size());
+    engine_->parallelFor(units.size(), [&](size_t i) {
+        results[i] =
+            runLayerOp(model, *units[i].layer, units[i].op, progress);
+    });
+
+    for (LayerOpReport &r : results) {
+        report.fprCycles += r.fprCycles;
+        report.baseCycles += r.baseCycles;
+        report.fprEnergy.merge(r.fprEnergy);
+        report.baseEnergy.merge(r.baseEnergy);
+        report.activity.merge(r.activity);
+        report.ops.push_back(std::move(r));
     }
     return report;
 }

@@ -18,12 +18,15 @@
 #define FPRAKER_ACCEL_ACCELERATOR_H
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "accel/config.h"
 #include "accel/phase_runner.h"
 #include "energy/energy_model.h"
+#include "sim/sim_engine.h"
 
 namespace fpraker {
 
@@ -125,7 +128,12 @@ class Accelerator
                              const LayerShape &layer, TrainingOp op,
                              double progress) const;
 
-    /** Simulate a whole model (all layers, all three ops). */
+    /**
+     * Simulate a whole model (all layers, all three ops). The
+     * independent (layer, op) units shard across the engine; reports
+     * are reduced in layer/op order, so the result is bit-identical
+     * for any thread count.
+     */
     ModelRunReport runModel(const ModelInfo &model,
                             double progress = 0.5) const;
 
@@ -136,8 +144,13 @@ class Accelerator
     double cachedBdcFootprint(const ModelInfo &model, TensorKind kind,
                               double progress) const;
 
+    /** Warm the BDC cache for every kind a model run will touch. */
+    void warmBdcCache(const ModelInfo &model, double progress) const;
+
     AcceleratorConfig cfg_;
     EnergyModel energy_;
+    std::unique_ptr<SimEngine> engine_;
+    mutable std::mutex bdcMutex_;
     mutable std::map<std::string, double> bdcCache_;
 };
 

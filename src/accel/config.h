@@ -73,6 +73,14 @@ struct AcceleratorConfig
     int sampleSteps = 192;
     uint64_t seed = 0xf9a4e5;
 
+    /**
+     * Simulation worker threads: the independent (layer, op) jobs of a
+     * model run — and the tile columns inside each phase sample —
+     * shard across a SimEngine of this size. Results are bit-identical
+     * for any value. 0 defers to FPRAKER_THREADS (default serial).
+     */
+    int threads = 0;
+
     /** Paper Table II values. */
     static AcceleratorConfig paperDefault();
 

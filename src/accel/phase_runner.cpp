@@ -57,23 +57,34 @@ runPhaseSample(const ModelInfo &model, const LayerShape &layer,
     PhaseRunResult result;
     result.serialSide = serial;
 
+    // Operand arenas reused across bursts: one flat slab per side,
+    // step s of a burst at a_buf + s * a_len / b_buf + s * b_len.
+    const size_t max_burst = static_cast<size_t>(
+        std::min(cfg.sampleSteps, steps_per_output));
+    std::vector<BFloat16> a_buf(max_burst * a_len);
+    std::vector<BFloat16> b_buf(max_burst * b_len);
+    std::vector<TileStepView> views(max_burst);
+
     uint64_t total_cycles = 0;
     int done = 0;
     while (done < cfg.sampleSteps) {
-        int burst = std::min(cfg.sampleSteps - done, steps_per_output);
-        std::vector<TileStep> steps(static_cast<size_t>(burst));
-        for (auto &step : steps) {
-            step.a = serial_gen.generate(a_len);
-            step.b = parallel_gen.generate(b_len);
+        size_t burst = static_cast<size_t>(
+            std::min(cfg.sampleSteps - done, steps_per_output));
+        for (size_t s = 0; s < burst; ++s) {
+            BFloat16 *a = a_buf.data() + s * a_len;
+            BFloat16 *b = b_buf.data() + s * b_len;
+            serial_gen.fill(a, a_len);
+            parallel_gen.fill(b, b_len);
             result.serialStats.merge(
-                measureTensor(step.a, cfg.tile.pe.encoding));
+                measureTensor(a, a_len, cfg.tile.pe.encoding));
             result.parallelStats.merge(
-                measureTensor(step.b, cfg.tile.pe.encoding));
+                measureTensor(b, b_len, cfg.tile.pe.encoding));
+            views[s] = TileStepView{a, b};
         }
-        TileRunResult run = tile.run(steps);
+        TileRunResult run = tile.run(views.data(), burst, cfg.engine);
         total_cycles += run.cycles;
         tile.resetAccumulators();
-        done += burst;
+        done += static_cast<int>(burst);
     }
 
     result.steps = static_cast<uint64_t>(cfg.sampleSteps);

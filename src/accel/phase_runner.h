@@ -13,11 +13,16 @@
  * paper lets the accelerator "target those tensors that have more
  * sparsity depending on the layer and the pass" — by picking the
  * operand with the lower expected term density.
+ *
+ * Operand streams are generated into reused flat buffers and handed to
+ * the tile as views (no per-step vector churn); when the config carries
+ * a SimEngine, the tile shards its columns across it.
  */
 
 #ifndef FPRAKER_ACCEL_PHASE_RUNNER_H
 #define FPRAKER_ACCEL_PHASE_RUNNER_H
 
+#include "sim/sim_engine.h"
 #include "tile/tile.h"
 #include "trace/model_zoo.h"
 #include "trace/tensor_gen.h"
@@ -32,6 +37,7 @@ struct PhaseRunConfig
     int stepsPerOutput = 32;  //!< K fragments before accumulator reset.
     uint64_t seed = 1;
     bool autoSerialSide = true; //!< Pick the sparser operand as serial.
+    SimEngine *engine = nullptr; //!< Optional column-sharding executor.
 };
 
 /** Result of a sampled phase run. */

@@ -32,7 +32,7 @@ ContainerStore::containerOf(int c, int r, int k) const
 }
 
 int
-ContainerStore::offsetInContainer(int c, int r, int k) const
+ContainerStore::offsetInContainer(int c, int /*r*/, int k) const
 {
     int co = c % ContainerGeometry::kChannels;
     int ko = k % ContainerGeometry::kColumns;

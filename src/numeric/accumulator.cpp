@@ -7,21 +7,6 @@
 
 namespace fpraker {
 
-namespace {
-
-/** Most-significant set bit of a 128-bit magnitude (-1 for zero). */
-int
-msb128(unsigned __int128 v)
-{
-    uint64_t hi = static_cast<uint64_t>(v >> 64);
-    if (hi)
-        return 64 + msbPos(hi);
-    uint64_t lo = static_cast<uint64_t>(v);
-    return msbPos(lo);
-}
-
-} // namespace
-
 ExtendedAccumulator::ExtendedAccumulator(AccumulatorConfig cfg)
     : cfg_(cfg)
 {
@@ -38,124 +23,8 @@ ExtendedAccumulator::reset()
     sig_ = 0;
 }
 
-void
-ExtendedAccumulator::alignTo(int e)
-{
-    if (e <= exp_)
-        return;
-    if (sig_ == 0) {
-        exp_ = e;
-        return;
-    }
-    // Quantize to the 2^(e - fracBits) grid: the stored value is
-    // sig_ * 2^(exp_ - fracBits); its new LSB weight is 2^(e - fracBits),
-    // so drop (e - exp_) low bits with round-to-nearest-even.
-    int drop = e - exp_;
-    if (drop > cfg_.fracBits + 1) {
-        // Entire value falls below the new window: rounds to zero
-        // (the leading bit sits below the half-ULP boundary).
-        reset();
-        exp_ = e;
-        return;
-    }
-    uint64_t kept = sig_ >> drop;
-    bool round = (sig_ >> (drop - 1)) & 1;
-    bool sticky = (sig_ & maskBits(drop - 1)) != 0;
-    if (round && (sticky || (kept & 1)))
-        kept += 1;
-    if (kept == 0) {
-        reset();
-        exp_ = e;
-        return;
-    }
-    // Re-normalize the quantized value (exact: no bits below its LSB).
-    int p = msbPos(kept);
-    exp_ = e - (cfg_.fracBits - p);
-    sig_ = kept << (cfg_.fracBits - p);
-}
 
-void
-ExtendedAccumulator::normalizeAndRound(unsigned __int128 mag, int lsb_exp,
-                                       bool sticky, bool neg)
-{
-    if (mag == 0) {
-        // An exact cancellation (or a pure-sticky remnant, which RNE
-        // truncates) leaves the register at zero. Keep the exponent: the
-        // hardware register retains it until the next MAX evaluation.
-        int keep_exp = exp_ == kMinExp ? kMinExp : exp_;
-        reset();
-        exp_ = keep_exp;
-        return;
-    }
-    int p = msb128(mag);
-    int shift = p - cfg_.fracBits;
-    if (shift > 0) {
-        uint64_t kept = static_cast<uint64_t>(mag >> shift);
-        bool round = (mag >> (shift - 1)) & 1;
-        bool st = sticky;
-        if (shift > 1)
-            st = st || (mag & ((static_cast<unsigned __int128>(1)
-                                << (shift - 1)) - 1)) != 0;
-        if (round && (st || (kept & 1))) {
-            kept += 1;
-            if (kept >> (cfg_.fracBits + 1)) {
-                kept >>= 1;
-                ++shift;
-            }
-        }
-        sig_ = kept;
-        exp_ = lsb_exp + shift + cfg_.fracBits;
-    } else {
-        // Widening shift is exact; sticky bits (if any) sit below the
-        // round position so RNE truncates them.
-        sig_ = static_cast<uint64_t>(mag) << (-shift);
-        exp_ = lsb_exp + shift + cfg_.fracBits;
-    }
-    neg_ = neg;
-}
 
-void
-ExtendedAccumulator::addValue(bool neg, int lsb_exp, uint64_t mag)
-{
-    if (mag == 0)
-        return;
-    int ye = lsb_exp + msbPos(mag);
-    if (sig_ == 0) {
-        normalizeAndRound(mag, lsb_exp, false, neg);
-        // Respect a raised exponent register: adding a tiny value to a
-        // zero register aligned high quantizes against that alignment.
-        return;
-    }
-
-    // Fold a negligibly small operand into sticky instead of aligning
-    // across an enormous exponent gap.
-    if (ye < exp_ - (cfg_.fracBits + 4)) {
-        // Accumulator unchanged: its round bit is zero so RNE keeps it.
-        return;
-    }
-    if (exp_ < ye - (cfg_.fracBits + 4)) {
-        normalizeAndRound(mag, lsb_exp, true, neg);
-        return;
-    }
-
-    // Exact signed add over a shared LSB scale. Both operands fit well
-    // within 128 bits: widths <= 64 and alignment <= fracBits + 4 + 64.
-    int xl = exp_ - cfg_.fracBits;
-    int yl = lsb_exp;
-    int common = xl < yl ? xl : yl;
-    __int128 x = static_cast<__int128>(sig_) << (xl - common);
-    if (neg_)
-        x = -x;
-    __int128 y = static_cast<__int128>(mag) << (yl - common);
-    if (neg)
-        y = -y;
-    __int128 s = x + y;
-    bool rneg = s < 0;
-    if (rneg)
-        s = -s;
-    normalizeAndRound(static_cast<unsigned __int128>(s), common, false,
-                      rneg);
-}
 
 void
 ExtendedAccumulator::addProduct(BFloat16 a, BFloat16 b)
@@ -239,13 +108,6 @@ ChunkedAccumulator::addProduct(BFloat16 a, BFloat16 b)
     tickMacs(1);
 }
 
-void
-ChunkedAccumulator::tickMacs(int macs)
-{
-    macsInChunk_ += macs;
-    if (macsInChunk_ >= cfg_.chunkSize)
-        flushChunk();
-}
 
 void
 ChunkedAccumulator::flushChunk()

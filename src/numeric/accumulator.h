@@ -20,6 +20,7 @@
 
 #include <cstdint>
 
+#include "common/bitutil.h"
 #include "numeric/bfloat16.h"
 
 namespace fpraker {
@@ -77,6 +78,10 @@ class ExtendedAccumulator
      * quantizing the stored value to the 2^(e - fracBits) grid with RNE.
      * Models the acc_shift alignment the PE performs when a new set of
      * products carries a larger maximum exponent.
+     *
+     * Defined inline below (with addValue and normalizeAndRound):
+     * these three are the per-term arithmetic of every simulated MAC,
+     * hot enough that keeping them header-inline is a measured win.
      */
     void alignTo(int e);
 
@@ -138,8 +143,15 @@ class ChunkedAccumulator
     /**
      * Account for @p macs MACs deposited directly into chunkRegister()
      * by a PE model; flushes the chunk when the count is reached.
+     * (Inline: called once per simulated set.)
      */
-    void tickMacs(int macs);
+    void
+    tickMacs(int macs)
+    {
+        macsInChunk_ += macs;
+        if (macsInChunk_ >= cfg_.chunkSize)
+            flushChunk();
+    }
 
     /** Force the current chunk into the FP32 running sum. */
     void flushChunk();
@@ -157,6 +169,143 @@ class ChunkedAccumulator
     float running_;
     int macsInChunk_;
 };
+
+// ------------------------------------------------------------------
+// Inline hot path: every simulated term lands in one of these three.
+
+namespace detail {
+
+/** Most-significant set bit of a 128-bit magnitude (-1 for zero). */
+inline int
+msb128(unsigned __int128 v)
+{
+    uint64_t hi = static_cast<uint64_t>(v >> 64);
+    if (hi)
+        return 64 + msbPos(hi);
+    uint64_t lo = static_cast<uint64_t>(v);
+    return msbPos(lo);
+}
+
+} // namespace detail
+
+inline void
+ExtendedAccumulator::normalizeAndRound(unsigned __int128 mag, int lsb_exp,
+                                       bool sticky, bool neg)
+{
+    if (mag == 0) {
+        // An exact cancellation (or a pure-sticky remnant, which RNE
+        // truncates) leaves the register at zero. Keep the exponent: the
+        // hardware register retains it until the next MAX evaluation.
+        int keep_exp = exp_ == kMinExp ? kMinExp : exp_;
+        reset();
+        exp_ = keep_exp;
+        return;
+    }
+    int p = detail::msb128(mag);
+    int shift = p - cfg_.fracBits;
+    if (shift > 0) {
+        uint64_t kept = static_cast<uint64_t>(mag >> shift);
+        bool round = (mag >> (shift - 1)) & 1;
+        bool st = sticky;
+        if (shift > 1)
+            st = st || (mag & ((static_cast<unsigned __int128>(1)
+                                << (shift - 1)) - 1)) != 0;
+        if (round && (st || (kept & 1))) {
+            kept += 1;
+            if (kept >> (cfg_.fracBits + 1)) {
+                kept >>= 1;
+                ++shift;
+            }
+        }
+        sig_ = kept;
+        exp_ = lsb_exp + shift + cfg_.fracBits;
+    } else {
+        // Widening shift is exact; sticky bits (if any) sit below the
+        // round position so RNE truncates them.
+        sig_ = static_cast<uint64_t>(mag) << (-shift);
+        exp_ = lsb_exp + shift + cfg_.fracBits;
+    }
+    neg_ = neg;
+}
+
+inline void
+ExtendedAccumulator::alignTo(int e)
+{
+    if (e <= exp_)
+        return;
+    if (sig_ == 0) {
+        exp_ = e;
+        return;
+    }
+    // Quantize to the 2^(e - fracBits) grid: the stored value is
+    // sig_ * 2^(exp_ - fracBits); its new LSB weight is 2^(e - fracBits),
+    // so drop (e - exp_) low bits with round-to-nearest-even.
+    int drop = e - exp_;
+    if (drop > cfg_.fracBits + 1) {
+        // Entire value falls below the new window: rounds to zero
+        // (the leading bit sits below the half-ULP boundary).
+        reset();
+        exp_ = e;
+        return;
+    }
+    uint64_t kept = sig_ >> drop;
+    bool round = (sig_ >> (drop - 1)) & 1;
+    bool sticky = (sig_ & maskBits(drop - 1)) != 0;
+    if (round && (sticky || (kept & 1)))
+        kept += 1;
+    if (kept == 0) {
+        reset();
+        exp_ = e;
+        return;
+    }
+    // Re-normalize the quantized value (exact: no bits below its LSB).
+    int p = msbPos(kept);
+    exp_ = e - (cfg_.fracBits - p);
+    sig_ = kept << (cfg_.fracBits - p);
+}
+
+inline void
+ExtendedAccumulator::addValue(bool neg, int lsb_exp, uint64_t mag)
+{
+    if (mag == 0)
+        return;
+    int ye = lsb_exp + msbPos(mag);
+    if (sig_ == 0) {
+        normalizeAndRound(mag, lsb_exp, false, neg);
+        // Respect a raised exponent register: adding a tiny value to a
+        // zero register aligned high quantizes against that alignment.
+        return;
+    }
+
+    // Fold a negligibly small operand into sticky instead of aligning
+    // across an enormous exponent gap.
+    if (ye < exp_ - (cfg_.fracBits + 4)) {
+        // Accumulator unchanged: its round bit is zero so RNE keeps it.
+        return;
+    }
+    if (exp_ < ye - (cfg_.fracBits + 4)) {
+        normalizeAndRound(mag, lsb_exp, true, neg);
+        return;
+    }
+
+    // Exact signed add over a shared LSB scale. Both operands fit well
+    // within 128 bits: widths <= 64 and alignment <= fracBits + 4 + 64.
+    int xl = exp_ - cfg_.fracBits;
+    int yl = lsb_exp;
+    int common = xl < yl ? xl : yl;
+    __int128 x = static_cast<__int128>(sig_) << (xl - common);
+    if (neg_)
+        x = -x;
+    __int128 y = static_cast<__int128>(mag) << (yl - common);
+    if (neg)
+        y = -y;
+    __int128 s = x + y;
+    bool rneg = s < 0;
+    if (rneg)
+        s = -s;
+    normalizeAndRound(static_cast<unsigned __int128>(s), common, false,
+                      rneg);
+}
 
 } // namespace fpraker
 

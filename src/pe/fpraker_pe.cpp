@@ -1,141 +1,340 @@
 #include "pe/fpraker_pe.h"
 
 #include <algorithm>
+#include <bit>
 #include <climits>
+#include <cstring>
+
+#ifdef __SSE2__
+#include <emmintrin.h>
+#endif
 
 #include "common/logging.h"
 
 namespace fpraker {
 
 FPRakerColumn::FPRakerColumn(const PeConfig &cfg, int num_pes)
-    : cfg_(cfg), numPes_(num_pes), encoder_(cfg.encoding)
+    : cfg_(cfg), numPes_(num_pes), lut_(&TermLut::of(cfg.encoding))
 {
-    panic_if(cfg_.lanes < 1 || cfg_.lanes > ExponentBlockResult::kMaxLanes,
+    panic_if(cfg_.lanes < 1 || cfg_.lanes > kMaxLanes,
              "unsupported lane count %d", cfg_.lanes);
     panic_if(numPes_ < 1, "column needs at least one PE");
     panic_if(cfg_.maxDelta < 0, "negative shifter window");
-    streams_.resize(static_cast<size_t>(cfg_.lanes));
-    peLanes_.resize(static_cast<size_t>(numPes_) * cfg_.lanes);
     pes_.reserve(static_cast<size_t>(numPes_));
     for (int r = 0; r < numPes_; ++r)
-        pes_.push_back(PeState{ChunkedAccumulator(cfg_.acc), PeStats{}});
+        pes_.emplace_back(cfg_.acc);
+    accExpScratch_.resize(static_cast<size_t>(numPes_));
 }
 
 void
-FPRakerColumn::beginSet(const BFloat16 *a, const BFloat16 *b, int b_stride)
+FPRakerColumn::beginSet(const BFloat16 *a, const BFloat16 *b,
+                        int b_stride, int active_lanes)
 {
     panic_if(inSet_, "beginSet while a set is in flight");
+    activeLanes_ = active_lanes < 0 ? cfg_.lanes : active_lanes;
+    panic_if(activeLanes_ < 1 || activeLanes_ > cfg_.lanes,
+             "bad active lane count %d", activeLanes_);
 
-    for (int l = 0; l < cfg_.lanes; ++l) {
-        streams_[l].terms = encoder_.encode(a[l]);
+    // The serial operands are shared by every PE in the column: hoist
+    // their exponents, signs, and term streams out of the per-PE loop.
+    int16_t a_exp[kMaxLanes];
+    int8_t shift0[kMaxLanes];  //!< First-term shift of live lanes.
+    uint8_t nterms[kMaxLanes]; //!< Stream length per lane.
+    uint32_t a_neg = 0;
+    uint32_t a_nonzero = 0;
+    uint64_t zero_slots = 0;
+    liveMask_ = 0;
+    for (int l = 0; l < activeLanes_; ++l) {
+        const BFloat16 av = a[l];
+        panic_if(!av.isFinite(), "non-finite PE operand (a=%04x)",
+                 av.bits());
+        const TermStream &ts = lut_->stream(av.significand());
+        streams_[l].terms = &ts;
         streams_[l].cursor = 0;
-    }
-
-    for (int r = 0; r < numPes_; ++r) {
-        PeState &pe = pes_[r];
-        MacPair pairs[ExponentBlockResult::kMaxLanes];
-        for (int l = 0; l < cfg_.lanes; ++l)
-            pairs[l] = MacPair{a[l], b[r * b_stride + l]};
-
-        ExponentBlockResult ebr = ExponentBlock::compute(
-            pairs, cfg_.lanes, pe.acc.chunkRegister().exponent());
-        pe.acc.chunkRegister().alignTo(ebr.emax);
-
-        for (int l = 0; l < cfg_.lanes; ++l) {
-            PeLane &pl = lane(r, l);
-            pl.abExp = ebr.abExp[l];
-            pl.prodNeg = ebr.prodNeg[l];
-            pl.bSig = pairs[l].b.significand();
-            pl.fired = false;
-            pl.obDone = false;
-            pe.stats.termsZeroSkipped += static_cast<uint64_t>(
-                kTermSlots - streams_[l].terms.size());
+        nterms[l] = static_cast<uint8_t>(ts.size());
+        if (!ts.empty()) {
+            liveMask_ |= 1u << l;
+            shift0[l] = ts[0].shift;
         }
-        pe.stats.sets += 1;
-        pe.stats.macs += static_cast<uint64_t>(cfg_.lanes);
+        a_exp[l] = static_cast<int16_t>(av.unbiasedExponent());
+        if (av.isNegative())
+            a_neg |= 1u << l;
+        if (!av.isZero())
+            a_nonzero |= 1u << l;
+        zero_slots += static_cast<uint64_t>(kTermSlots - ts.size());
     }
+
+    // The post-set settle is folded in: before any term fires the only
+    // possible encoder feedback is a first-term out-of-bounds flag (and
+    // the consensus drop when every PE raises it), so both are resolved
+    // here and the set starts settled.
+    const int thr =
+        cfg_.skipOutOfBounds ? cfg_.effectiveObThreshold() : INT_MAX;
+    uint32_t all_ob = liveMask_;
+
+#ifdef __SSE2__
+    // Vector fast path for full 8-lane sets: the whole per-PE operand
+    // decode (exponent, significand, sign, zero/finite classification,
+    // product-exponent MAX input, first-term OB compare) is 8 x 16-bit
+    // data — one SSE register. Integer-exact, so bit-identical to the
+    // scalar path below.
+    if (activeLanes_ == 8) {
+        const __m128i vzero128 = _mm_setzero_si128();
+        __m128i va_exp_m127;
+        __m128i va_nonzero16 = vzero128;
+        __m128i vshift0_16 = vzero128;
+        {
+            int16_t tmp[8];
+            for (int l = 0; l < 8; ++l)
+                tmp[l] = static_cast<int16_t>(a_exp[l] - 127);
+            std::memcpy(&va_exp_m127, tmp, 16);
+            int16_t nz[8];
+            int16_t sh[8];
+            for (int l = 0; l < 8; ++l) {
+                nz[l] = (a_nonzero >> l) & 1u ? int16_t(-1) : int16_t(0);
+                sh[l] = (liveMask_ >> l) & 1u ? shift0[l] : int16_t(0);
+            }
+            std::memcpy(&va_nonzero16, nz, 16);
+            std::memcpy(&vshift0_16, sh, 16);
+        }
+        const __m128i vthr16 = _mm_set1_epi16(
+            static_cast<int16_t>(thr > 16000 ? 16000 : thr));
+        const bool do_ob = thr != INT_MAX;
+
+        for (int r = 0; r < numPes_; ++r) {
+            PeState &pe = pes_[r];
+            const BFloat16 *brow = b + static_cast<size_t>(r) * b_stride;
+            __m128i vb;
+            std::memcpy(&vb, brow, 16);
+
+            const __m128i vexpf =
+                _mm_and_si128(vb, _mm_set1_epi16(0x7f80));
+            if (_mm_movemask_epi8(_mm_cmpeq_epi16(
+                    vexpf, _mm_set1_epi16(0x7f80)))) {
+                for (int l = 0; l < 8; ++l)
+                    panic_if(!brow[l].isFinite(),
+                             "non-finite PE operand (b=%04x)",
+                             brow[l].bits());
+            }
+
+            const __m128i vbzero = _mm_cmpeq_epi16(
+                _mm_and_si128(vb, _mm_set1_epi16(0x7fff)), vzero128);
+            const __m128i vbe = _mm_and_si128(_mm_srli_epi16(vb, 7),
+                                              _mm_set1_epi16(0xff));
+            const __m128i vab = _mm_add_epi16(va_exp_m127, vbe);
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(pe.abExp),
+                             vab);
+            const __m128i vsig16 = _mm_andnot_si128(
+                vbzero,
+                _mm_or_si128(_mm_and_si128(vb, _mm_set1_epi16(0x7f)),
+                             _mm_set1_epi16(0x80)));
+            _mm_storel_epi64(reinterpret_cast<__m128i *>(pe.bSig),
+                             _mm_packus_epi16(vsig16, vzero128));
+            const uint32_t bneg = static_cast<uint32_t>(
+                _mm_movemask_epi8(_mm_packs_epi16(
+                    _mm_srai_epi16(vb, 15), vzero128)));
+            pe.prodNegMask = a_neg ^ bneg;
+            pe.firedMask = 0;
+
+            int emax = pe.acc.chunkRegister().exponent();
+            const __m128i vactive =
+                _mm_andnot_si128(vbzero, va_nonzero16);
+            if (_mm_movemask_epi8(vactive)) {
+                __m128i vm = _mm_or_si128(
+                    _mm_and_si128(vactive, vab),
+                    _mm_andnot_si128(vactive,
+                                     _mm_set1_epi16(INT16_MIN)));
+                vm = _mm_max_epi16(vm, _mm_srli_si128(vm, 8));
+                vm = _mm_max_epi16(vm, _mm_srli_si128(vm, 4));
+                vm = _mm_max_epi16(vm, _mm_srli_si128(vm, 2));
+                const int m = static_cast<int16_t>(
+                    _mm_extract_epi16(vm, 0));
+                if (m > emax)
+                    emax = m;
+            }
+            pe.acc.chunkRegister().alignTo(emax);
+
+            uint32_t ob = 0;
+            if (do_ob) {
+                const int acc_exp = pe.acc.chunkRegister().exponent();
+                if (acc_exp > -16000) {
+                    // acc_exp fits int16 here (bfloat16 exponents cap
+                    // it near +-300); below -16000 the register is the
+                    // zero sentinel and no term can be out-of-bounds.
+                    const __m128i vk = _mm_add_epi16(
+                        _mm_sub_epi16(
+                            _mm_set1_epi16(
+                                static_cast<int16_t>(acc_exp)),
+                            vab),
+                        vshift0_16);
+                    ob = static_cast<uint32_t>(_mm_movemask_epi8(
+                             _mm_packs_epi16(
+                                 _mm_cmpgt_epi16(vk, vthr16),
+                                 vzero128))) &
+                         liveMask_;
+                    for (uint32_t mm = ob; mm; mm &= mm - 1)
+                        pe.stats.termsObSkipped +=
+                            nterms[std::countr_zero(mm)];
+                }
+            }
+            pe.obMask = ob;
+            all_ob &= ob;
+
+            pe.stats.termsZeroSkipped += zero_slots;
+            pe.stats.sets += 1;
+            pe.stats.macs += static_cast<uint64_t>(activeLanes_);
+        }
+    } else
+#endif // __SSE2__
+    {
+        for (int r = 0; r < numPes_; ++r) {
+            PeState &pe = pes_[r];
+            const BFloat16 *brow =
+                b + static_cast<size_t>(r) * b_stride;
+            int emax = pe.acc.chunkRegister().exponent();
+            uint32_t prod_neg = a_neg;
+            for (int l = 0; l < activeLanes_; ++l) {
+                const BFloat16 bv = brow[l];
+                panic_if(!bv.isFinite(),
+                         "non-finite PE operand (b=%04x)", bv.bits());
+                // Zero operands carry an all-zero exponent field;
+                // their product exponents are far below any normal
+                // value, so the MAX tree ignores them and the
+                // out-of-bounds check retires the lane immediately.
+                const int ab = a_exp[l] + bv.unbiasedExponent();
+                pe.abExp[l] = static_cast<int16_t>(ab);
+                pe.bSig[l] = static_cast<uint8_t>(bv.significand());
+                if (bv.isNegative())
+                    prod_neg ^= 1u << l;
+                if (((a_nonzero >> l) & 1u) && !bv.isZero() &&
+                    ab > emax)
+                    emax = ab;
+            }
+            pe.prodNegMask = prod_neg;
+            pe.firedMask = 0;
+            pe.acc.chunkRegister().alignTo(emax);
+
+            uint32_t ob = 0;
+            if (thr != INT_MAX) {
+                const int acc_exp = pe.acc.chunkRegister().exponent();
+                for (uint32_t m = liveMask_; m; m &= m - 1) {
+                    const int l = std::countr_zero(m);
+                    if (acc_exp - pe.abExp[l] + shift0[l] > thr) {
+                        ob |= 1u << l;
+                        pe.stats.termsObSkipped += nterms[l];
+                    }
+                }
+            }
+            pe.obMask = ob;
+            all_ob &= ob;
+
+            pe.stats.termsZeroSkipped += zero_slots;
+            pe.stats.sets += 1;
+            pe.stats.macs += static_cast<uint64_t>(activeLanes_);
+        }
+    }
+
+    // Consensus drop of lanes every PE flagged on their first term.
+    for (uint32_t m = all_ob; m; m &= m - 1) {
+        const int l = std::countr_zero(m);
+        streams_[l].cursor = streams_[l].terms->size();
+    }
+    liveMask_ &= ~all_ob;
 
     setCycles_ = 0;
     inSet_ = true;
 }
 
 void
-FPRakerColumn::scanOutOfBounds()
+FPRakerColumn::settleLane(int l, int thr)
 {
-    if (!cfg_.skipOutOfBounds)
-        return;
-    const int thr = cfg_.effectiveObThreshold();
-    for (int r = 0; r < numPes_; ++r) {
-        int acc_exp = pes_[r].acc.chunkRegister().exponent();
-        for (int l = 0; l < cfg_.lanes; ++l) {
-            LaneStream &s = streams_[l];
-            PeLane &pl = lane(r, l);
-            if (pl.obDone || pl.fired || s.cursor >= s.terms.size())
+    LaneStream &s = streams_[l];
+    const TermStream &ts = *s.terms;
+    const uint32_t bit = 1u << l;
+    for (;;) {
+        const int shift = ts[s.cursor].shift;
+        bool consumed = true;
+        bool all_ob = true;
+        for (int r = 0; r < numPes_; ++r) {
+            PeState &pe = pes_[r];
+            if (pe.obMask & bit)
                 continue;
-            int k = acc_exp - pl.abExp + s.terms[s.cursor].shift;
+            if (pe.firedMask & bit) {
+                all_ob = false;
+                continue;
+            }
+            const int k = accExpScratch_[r] - pe.abExp[l] + shift;
             if (k > thr) {
                 // Terms stream MSB-first, so every remaining term of
                 // this pair is guaranteed out-of-bounds too.
-                pl.obDone = true;
-                pes_[r].stats.termsObSkipped += static_cast<uint64_t>(
-                    s.terms.size() - s.cursor);
+                pe.obMask |= bit;
+                pe.stats.termsObSkipped +=
+                    static_cast<uint64_t>(ts.size() - s.cursor);
+            } else {
+                consumed = false;
+                all_ob = false;
             }
         }
-    }
-}
-
-bool
-FPRakerColumn::advanceCursors()
-{
-    bool progress = false;
-    for (int l = 0; l < cfg_.lanes; ++l) {
-        LaneStream &s = streams_[l];
-        if (s.cursor >= s.terms.size())
-            continue;
-        bool all_consumed = true;
-        bool all_ob = true;
-        for (int r = 0; r < numPes_; ++r) {
-            const PeLane &pl = lane(r, l);
-            all_consumed &= pl.fired || pl.obDone;
-            all_ob &= pl.obDone;
-        }
-        if (!all_consumed)
-            continue;
+        if (!consumed)
+            return;
         if (all_ob) {
-            // The shared encoder drops the rest of the stream once every
-            // PE in the column has flagged the lane.
-            s.cursor = s.terms.size();
-        } else {
-            ++s.cursor;
-            for (int r = 0; r < numPes_; ++r)
-                lane(r, l).fired = false;
+            // The shared encoder drops the rest of the stream once
+            // every PE in the column has flagged the lane.
+            s.cursor = ts.size();
+            liveMask_ &= ~bit;
+            return;
         }
-        progress = true;
+        ++s.cursor;
+        for (int r = 0; r < numPes_; ++r)
+            pes_[r].firedMask &= ~bit;
+        if (s.cursor >= ts.size()) {
+            liveMask_ &= ~bit;
+            return;
+        }
     }
-    return progress;
 }
 
 void
-FPRakerColumn::settle()
+FPRakerColumn::settle(uint32_t mask)
 {
-    do {
-        scanOutOfBounds();
-    } while (advanceCursors());
-}
-
-bool
-FPRakerColumn::allStreamsDone() const
-{
-    for (int l = 0; l < cfg_.lanes; ++l)
-        if (streams_[l].cursor < streams_[l].terms.size())
-            return false;
-    return true;
+    mask &= liveMask_;
+    if (!mask)
+        return;
+    const int thr =
+        cfg_.skipOutOfBounds ? cfg_.effectiveObThreshold() : INT_MAX;
+    for (int r = 0; r < numPes_; ++r)
+        accExpScratch_[static_cast<size_t>(r)] =
+            pes_[static_cast<size_t>(r)].acc.chunkRegister().exponent();
+    for (uint32_t m = mask; m; m &= m - 1)
+        settleLane(std::countr_zero(m), thr);
 }
 
 bool
 FPRakerColumn::busy() const
 {
-    return inSet_ && !allStreamsDone();
+    return inSet_ && liveMask_ != 0;
+}
+
+void
+FPRakerColumn::emitTrace(int r, int acc_exp, int base, uint32_t pend,
+                         uint32_t fire, const int *k_of) const
+{
+    PeCycleTrace tr;
+    tr.cycle = setCycles_;
+    tr.pe = r;
+    tr.base = base;
+    tr.accExp = acc_exp;
+    tr.action.assign(static_cast<size_t>(cfg_.lanes),
+                     PeCycleTrace::LaneAction::Idle);
+    tr.k.assign(static_cast<size_t>(cfg_.lanes), 0);
+    for (uint32_t m = pend; m; m &= m - 1) {
+        const int l = std::countr_zero(m);
+        tr.action[static_cast<size_t>(l)] =
+            (fire >> l) & 1u ? PeCycleTrace::LaneAction::Fired
+                             : PeCycleTrace::LaneAction::ShiftStall;
+        tr.k[static_cast<size_t>(l)] = k_of[l];
+    }
+    trace_(tr);
 }
 
 void
@@ -144,144 +343,141 @@ FPRakerColumn::stepCycle()
     if (!inSet_)
         return;
 
-    // Out-of-bounds retirement is a feedback signal to the encoders, not
-    // a datapath operation: it consumes no processing cycle.
-    settle();
-    if (allStreamsDone())
+    // No settle on entry: beginSet leaves the set settled and every
+    // cycle re-settles on exit, so out-of-bounds state is always
+    // current here.
+    if (!liveMask_)
         return;
 
     ++setCycles_;
+    uint32_t firedUnion = 0;
+    bool expMoved = false;
 
+    // Cursor terms are column-shared: snapshot them once per cycle.
+    int8_t shiftOf[kMaxLanes];
+    bool negOf[kMaxLanes];
+    for (uint32_t m = liveMask_; m; m &= m - 1) {
+        const int l = std::countr_zero(m);
+        const Term &t = (*streams_[l].terms)[streams_[l].cursor];
+        shiftOf[l] = t.shift;
+        negOf[l] = t.neg;
+    }
+
+    const bool tracing = static_cast<bool>(trace_);
     for (int r = 0; r < numPes_; ++r) {
         PeState &pe = pes_[r];
-        int acc_exp = pe.acc.chunkRegister().exponent();
+        const int acc_exp = pe.acc.chunkRegister().exponent();
+        const uint32_t pend = liveMask_ & ~pe.firedMask & ~pe.obMask;
 
-        // Pass 1: collect pending lanes and the base shift.
-        int k_of[ExponentBlockResult::kMaxLanes];
-        bool pending[ExponentBlockResult::kMaxLanes];
-        int base = INT_MAX;
-        for (int l = 0; l < cfg_.lanes; ++l) {
-            const LaneStream &s = streams_[l];
-            const PeLane &pl = lane(r, l);
-            pending[l] = !pl.fired && !pl.obDone &&
-                         s.cursor < s.terms.size();
-            if (pending[l]) {
-                k_of[l] = acc_exp - pl.abExp + s.terms[s.cursor].shift;
-                if (k_of[l] < base)
-                    base = k_of[l];
-            }
-        }
-
-        PeCycleTrace tr;
-        const bool tracing = static_cast<bool>(trace_);
-        if (tracing) {
-            tr.cycle = setCycles_;
-            tr.pe = r;
-            tr.base = base == INT_MAX ? 0 : base;
-            tr.accExp = acc_exp;
-            tr.action.assign(static_cast<size_t>(cfg_.lanes),
-                             PeCycleTrace::LaneAction::Idle);
-            tr.k.assign(static_cast<size_t>(cfg_.lanes), 0);
-        }
-
-        if (base == INT_MAX) {
+        if (!pend) {
             // Nothing to do for this PE this cycle: every lane is either
             // exhausted, retired, or waiting for a sibling PE.
-            pe.stats.laneNoTerm += static_cast<uint64_t>(cfg_.lanes);
+            pe.stats.laneNoTerm += static_cast<uint64_t>(activeLanes_);
             if (tracing)
-                trace_(tr);
+                emitTrace(r, acc_exp, 0, 0, 0, nullptr);
             continue;
         }
 
+        // Pass 1: alignment shifts of pending lanes and the base shift.
         // Pass 2: fire lanes inside the shifter window and reduce their
         // contributions exactly (the adder tree), then accumulate. The
         // exact int64 tree covers spreads up to 48 bits — far beyond
         // FPRaker's 3-position window; wider configurations (the
         // Bit-Pragmatic comparison PE has unrestricted shifters) fall
         // back to per-contribution accumulation.
+        int k_of[kMaxLanes];
+        int base = INT_MAX;
+        uint32_t fire = 0;
         int lsb_min = INT_MAX;
         int lsb_max = INT_MIN;
-        for (int l = 0; l < cfg_.lanes; ++l) {
-            if (!pending[l] || k_of[l] - base > cfg_.maxDelta)
+        for (uint32_t m = pend; m; m &= m - 1) {
+            const int l = std::countr_zero(m);
+            const int k = acc_exp - pe.abExp[l] + shiftOf[l];
+            k_of[l] = k;
+            if (k < base)
+                base = k;
+        }
+        for (uint32_t m = pend; m; m &= m - 1) {
+            const int l = std::countr_zero(m);
+            if (k_of[l] - base > cfg_.maxDelta)
                 continue;
-            // lsb exponent of this contribution: (Ae+Be) - t - 7. Using
-            // k: lsb = acc_exp - k - 7, so within the window the spread
-            // is at most maxDelta bits.
-            int lsb = acc_exp - k_of[l] - 7;
+            // lsb exponent of this contribution: (Ae+Be) - t - 7.
+            // Using k: lsb = acc_exp - k - 7, so within the window the
+            // spread is at most maxDelta bits.
+            const int lsb = acc_exp - k_of[l] - 7;
+            fire |= 1u << l;
             lsb_min = std::min(lsb_min, lsb);
             lsb_max = std::max(lsb_max, lsb);
         }
-        const bool exact_tree =
-            lsb_min == INT_MAX || lsb_max - lsb_min <= 48;
+        const bool exact_tree = lsb_max - lsb_min <= 48;
+
         int64_t sum = 0;
-        for (int l = 0; l < cfg_.lanes; ++l) {
-            const LaneStream &s = streams_[l];
-            PeLane &pl = lane(r, l);
-            if (!pending[l]) {
-                pe.stats.laneNoTerm += 1;
-                continue;
-            }
-            if (k_of[l] - base > cfg_.maxDelta) {
-                pe.stats.laneShiftRange += 1;
-                if (tracing) {
-                    tr.action[static_cast<size_t>(l)] =
-                        PeCycleTrace::LaneAction::ShiftStall;
-                    tr.k[static_cast<size_t>(l)] = k_of[l];
-                }
-                continue;
-            }
-            const Term &t = s.terms[s.cursor];
-            int lsb = acc_exp - k_of[l] - 7;
-            bool neg = pl.prodNeg != t.neg;
+        for (uint32_t m = fire; m; m &= m - 1) {
+            const int l = std::countr_zero(m);
+            const int lsb = acc_exp - k_of[l] - 7;
+            const bool neg =
+                (((pe.prodNegMask >> l) & 1u) != 0) != negOf[l];
             if (exact_tree) {
-                int64_t contrib = static_cast<int64_t>(pl.bSig)
-                                  << (lsb - lsb_min);
+                const int64_t contrib =
+                    static_cast<int64_t>(pe.bSig[l]) << (lsb - lsb_min);
                 sum += neg ? -contrib : contrib;
-            } else if (pl.bSig != 0) {
+            } else if (pe.bSig[l] != 0) {
                 pe.acc.chunkRegister().addValue(
-                    neg, lsb, static_cast<uint64_t>(pl.bSig));
-            }
-            pl.fired = true;
-            pe.stats.laneUseful += 1;
-            pe.stats.termsProcessed += 1;
-            if (tracing) {
-                tr.action[static_cast<size_t>(l)] =
-                    PeCycleTrace::LaneAction::Fired;
-                tr.k[static_cast<size_t>(l)] = k_of[l];
+                    neg, lsb, static_cast<uint64_t>(pe.bSig[l]));
             }
         }
+        pe.firedMask |= fire;
+
+        const uint64_t fired_n =
+            static_cast<uint64_t>(std::popcount(fire));
+        const uint64_t pend_n =
+            static_cast<uint64_t>(std::popcount(pend));
+        pe.stats.laneUseful += fired_n;
+        pe.stats.termsProcessed += fired_n;
+        pe.stats.laneShiftRange += pend_n - fired_n;
+        pe.stats.laneNoTerm +=
+            static_cast<uint64_t>(activeLanes_) - pend_n;
+
         if (sum != 0) {
             pe.acc.chunkRegister().addValue(
                 sum < 0, lsb_min,
                 static_cast<uint64_t>(sum < 0 ? -sum : sum));
         }
+        firedUnion |= fire;
+        if (pe.acc.chunkRegister().exponent() != acc_exp)
+            expMoved = true;
+
         if (tracing)
-            trace_(tr);
+            emitTrace(r, acc_exp, base, pend, fire, k_of);
     }
 
-    settle();
+    // Only fired lanes can advance, and out-of-bounds verdicts can only
+    // change where an accumulator exponent moved — so the end-of-cycle
+    // settle usually touches just the lanes that fired.
+    settle(expMoved ? liveMask_ : firedUnion);
 }
 
 int
 FPRakerColumn::finishSet()
 {
     panic_if(!inSet_, "finishSet without beginSet");
-    // An entire set may be OB-retired before any processing cycle runs.
-    settle();
+    // (An entire set may be OB-retired in beginSet itself, in which
+    // case the loop body never runs.)
     while (busy())
         stepCycle();
 
     int cycles = setCycles_;
-    if (cycles < cfg_.exponentFloor) {
-        int floor_add = cfg_.exponentFloor - cycles;
-        for (int r = 0; r < numPes_; ++r)
-            pes_[r].stats.laneExponent +=
-                static_cast<uint64_t>(floor_add) * cfg_.lanes;
+    const uint64_t floor_lanes =
+        cycles < cfg_.exponentFloor
+            ? static_cast<uint64_t>(cfg_.exponentFloor - cycles) *
+                  activeLanes_
+            : 0;
+    if (cycles < cfg_.exponentFloor)
         cycles = cfg_.exponentFloor;
-    }
     for (int r = 0; r < numPes_; ++r) {
+        pes_[r].stats.laneExponent += floor_lanes;
         pes_[r].stats.setCycles += static_cast<uint64_t>(cycles);
-        pes_[r].acc.tickMacs(cfg_.lanes);
+        pes_[r].acc.tickMacs(activeLanes_);
     }
     inSet_ = false;
     return cycles;
@@ -367,13 +563,12 @@ FPRakerPe::dot(const std::vector<BFloat16> &a, const std::vector<BFloat16> &b)
     const int lanes = column_.config().lanes;
     int cycles = 0;
     for (size_t i = 0; i < a.size(); i += static_cast<size_t>(lanes)) {
-        MacPair pairs[ExponentBlockResult::kMaxLanes] = {};
-        for (int l = 0; l < lanes; ++l) {
-            size_t idx = i + static_cast<size_t>(l);
-            if (idx < a.size())
-                pairs[l] = MacPair{a[idx], b[idx]};
-        }
-        cycles += processSet(pairs, lanes);
+        // Ragged tails run masked: padded lanes would be architecturally
+        // absent, so they must not show up in cycles or statistics.
+        const int active = static_cast<int>(
+            std::min<size_t>(static_cast<size_t>(lanes), a.size() - i));
+        cycles += column_.runSet(a.data() + i, b.data() + i, lanes,
+                                 active);
     }
     return cycles;
 }

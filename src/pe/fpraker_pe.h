@@ -29,14 +29,26 @@
  * term encoders (as in the tile): term consumption is lockstepped, and a
  * lane's stream is dropped only when every PE in the column flags it
  * out-of-bounds. FPRakerPe is the single-PE convenience wrapper.
+ *
+ * Implementation notes (the simulator, not the hardware): the model is
+ * bit-identical to the seed algorithm (ReferenceColumn in src/sim/) but
+ * restructured for host speed. Lane term streams are read-only pointers
+ * into the shared TermLut instead of per-set encoder runs; fired /
+ * out-of-bounds flags are per-PE bitmasks; and the encoder-feedback
+ * fixpoint (settle) drains each lane independently instead of
+ * rescanning every (PE, lane) pair per iteration — legal because the
+ * accumulator exponents are constant between processing cycles, which
+ * makes lanes independent inside a settle pass.
  */
 
 #ifndef FPRAKER_PE_FPRAKER_PE_H
 #define FPRAKER_PE_FPRAKER_PE_H
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "numeric/term_lut.h"
 #include "pe/exponent_block.h"
 #include "pe/pe_common.h"
 
@@ -80,8 +92,12 @@ class FPRakerColumn
      * @param a        cfg.lanes serial operands, shared by every PE
      * @param b        parallel operands, PE r lane l at b[r*b_stride + l]
      * @param b_stride row stride within @p b
+     * @param active_lanes lanes carrying real operands (< 0: all).
+     *        Ragged dot-product tails pass the true count so padded
+     *        lanes contribute neither cycles nor statistics.
      */
-    void beginSet(const BFloat16 *a, const BFloat16 *b, int b_stride);
+    void beginSet(const BFloat16 *a, const BFloat16 *b, int b_stride,
+                  int active_lanes = -1);
 
     /** True while the current set still has terms to process. */
     bool busy() const;
@@ -97,9 +113,10 @@ class FPRakerColumn
 
     /** Convenience: beginSet + finishSet. */
     int
-    runSet(const BFloat16 *a, const BFloat16 *b, int b_stride)
+    runSet(const BFloat16 *a, const BFloat16 *b, int b_stride,
+           int active_lanes = -1)
     {
-        beginSet(a, b, b_stride);
+        beginSet(a, b, b_stride, active_lanes);
         return finishSet();
     }
 
@@ -133,58 +150,58 @@ class FPRakerColumn
     const PeConfig &config() const { return cfg_; }
 
   private:
-    /** Shared per-lane term stream state. */
+    static constexpr int kMaxLanes = ExponentBlockResult::kMaxLanes;
+
+    /** Shared per-lane term stream state: a view into the TermLut. */
     struct LaneStream
     {
-        TermStream terms;
+        const TermStream *terms = nullptr;
         int cursor = 0;
     };
 
-    /** Per-(PE, lane) state. */
-    struct PeLane
-    {
-        int abExp = 0;
-        bool prodNeg = false;
-        int bSig = 0;
-        bool fired = false;  //!< Consumed the cursor term.
-        bool obDone = false; //!< Dropped the remainder of the stream.
-    };
-
-    /** Per-PE state. */
+    /** Per-PE state; lane-indexed fields are packed for mask scans. */
     struct PeState
     {
         ChunkedAccumulator acc;
         PeStats stats;
+        int16_t abExp[kMaxLanes] = {};  //!< Product exponent per lane.
+        uint8_t bSig[kMaxLanes] = {};   //!< B significand per lane.
+        uint32_t prodNegMask = 0;       //!< Product-sign bit per lane.
+        uint32_t firedMask = 0;         //!< Consumed the cursor term.
+        uint32_t obMask = 0;            //!< Stream remainder dropped.
+
+        explicit PeState(const AccumulatorConfig &acc_cfg)
+            : acc(acc_cfg)
+        {}
     };
 
-    PeLane &lane(int pe, int l) { return peLanes_[pe * cfg_.lanes + l]; }
-
-    /** Retire out-of-bounds lanes against the current accumulators. */
-    void scanOutOfBounds();
-
     /**
-     * Advance lane cursors consumed by every PE; reset fired flags.
-     * @return true when any cursor moved.
+     * Retire out-of-bounds lanes and advance fully-consumed cursors to
+     * a fixpoint, for the lanes in @p mask. Both are encoder feedback
+     * paths, not datapath work: they consume no processing cycles.
+     * Accumulator exponents are constant while settling, so each live
+     * lane drains independently — and a lane can only need settling
+     * when it fired or when some accumulator exponent moved, which is
+     * what lets stepCycle pass a narrow mask.
      */
-    bool advanceCursors();
+    void settle(uint32_t mask);
 
-    /**
-     * Alternate OB retirement and cursor advancement to a fixpoint.
-     * Both are encoder feedback paths, not datapath work: they consume
-     * no processing cycles.
-     */
-    void settle();
+    /** Drain one lane to its settle fixpoint. @p thr is the OB bound. */
+    void settleLane(int l, int thr);
 
-    /** True when every lane stream is fully consumed. */
-    bool allStreamsDone() const;
+    /** Cold path: build and deliver one PE's cycle trace record. */
+    void emitTrace(int r, int acc_exp, int base, uint32_t pend,
+                   uint32_t fire, const int *k_of) const;
 
     PeConfig cfg_;
     int numPes_;
-    TermEncoder encoder_;
-    std::vector<LaneStream> streams_;
-    std::vector<PeLane> peLanes_;
+    const TermLut *lut_;
+    LaneStream streams_[kMaxLanes];
     std::vector<PeState> pes_;
+    std::vector<int> accExpScratch_; //!< Per-PE exponent cache (settle).
     std::function<void(const PeCycleTrace &)> trace_;
+    uint32_t liveMask_ = 0; //!< Lanes whose stream is not exhausted.
+    int activeLanes_ = 0;   //!< Lanes carrying real operands this set.
     int setCycles_ = 0;
     bool inSet_ = false;
 };
@@ -205,8 +222,10 @@ class FPRakerPe
     int processSet(const MacPair *pairs, int n);
 
     /**
-     * Accumulate a full dot product, 8 (lanes) pairs per set; short
-     * tails are padded with zeros. @return total cycles.
+     * Accumulate a full dot product, 8 (lanes) pairs per set. Ragged
+     * tails run as masked sets: the padded lanes are architecturally
+     * absent and contribute neither cycles nor statistics.
+     * @return total cycles.
      */
     int dot(const std::vector<BFloat16> &a, const std::vector<BFloat16> &b);
 

@@ -1,0 +1,367 @@
+#include "sim/reference_column.h"
+
+#include <algorithm>
+#include <climits>
+
+#include "common/logging.h"
+
+namespace fpraker {
+
+ReferenceColumn::ReferenceColumn(const PeConfig &cfg, int num_pes)
+    : cfg_(cfg), numPes_(num_pes), encoder_(cfg.encoding)
+{
+    panic_if(cfg_.lanes < 1 || cfg_.lanes > ExponentBlockResult::kMaxLanes,
+             "unsupported lane count %d", cfg_.lanes);
+    panic_if(numPes_ < 1, "column needs at least one PE");
+    panic_if(cfg_.maxDelta < 0, "negative shifter window");
+    streams_.resize(static_cast<size_t>(cfg_.lanes));
+    peLanes_.resize(static_cast<size_t>(numPes_) * cfg_.lanes);
+    pes_.reserve(static_cast<size_t>(numPes_));
+    for (int r = 0; r < numPes_; ++r)
+        pes_.push_back(PeState{ChunkedAccumulator(cfg_.acc), PeStats{}});
+}
+
+void
+ReferenceColumn::beginSet(const BFloat16 *a, const BFloat16 *b,
+                          int b_stride)
+{
+    panic_if(inSet_, "beginSet while a set is in flight");
+
+    for (int l = 0; l < cfg_.lanes; ++l) {
+        streams_[l].terms = encoder_.encode(a[l]);
+        streams_[l].cursor = 0;
+    }
+
+    for (int r = 0; r < numPes_; ++r) {
+        PeState &pe = pes_[r];
+        MacPair pairs[ExponentBlockResult::kMaxLanes];
+        for (int l = 0; l < cfg_.lanes; ++l)
+            pairs[l] = MacPair{a[l], b[r * b_stride + l]};
+
+        ExponentBlockResult ebr = ExponentBlock::compute(
+            pairs, cfg_.lanes, pe.acc.chunkRegister().exponent());
+        pe.acc.chunkRegister().alignTo(ebr.emax);
+
+        for (int l = 0; l < cfg_.lanes; ++l) {
+            PeLane &pl = lane(r, l);
+            pl.abExp = ebr.abExp[l];
+            pl.prodNeg = ebr.prodNeg[l];
+            pl.bSig = pairs[l].b.significand();
+            pl.fired = false;
+            pl.obDone = false;
+            pe.stats.termsZeroSkipped += static_cast<uint64_t>(
+                kTermSlots - streams_[l].terms.size());
+        }
+        pe.stats.sets += 1;
+        pe.stats.macs += static_cast<uint64_t>(cfg_.lanes);
+    }
+
+    setCycles_ = 0;
+    inSet_ = true;
+}
+
+void
+ReferenceColumn::scanOutOfBounds()
+{
+    if (!cfg_.skipOutOfBounds)
+        return;
+    const int thr = cfg_.effectiveObThreshold();
+    for (int r = 0; r < numPes_; ++r) {
+        int acc_exp = pes_[r].acc.chunkRegister().exponent();
+        for (int l = 0; l < cfg_.lanes; ++l) {
+            LaneStream &s = streams_[l];
+            PeLane &pl = lane(r, l);
+            if (pl.obDone || pl.fired || s.cursor >= s.terms.size())
+                continue;
+            int k = acc_exp - pl.abExp + s.terms[s.cursor].shift;
+            if (k > thr) {
+                pl.obDone = true;
+                pes_[r].stats.termsObSkipped += static_cast<uint64_t>(
+                    s.terms.size() - s.cursor);
+            }
+        }
+    }
+}
+
+bool
+ReferenceColumn::advanceCursors()
+{
+    bool progress = false;
+    for (int l = 0; l < cfg_.lanes; ++l) {
+        LaneStream &s = streams_[l];
+        if (s.cursor >= s.terms.size())
+            continue;
+        bool all_consumed = true;
+        bool all_ob = true;
+        for (int r = 0; r < numPes_; ++r) {
+            const PeLane &pl = lane(r, l);
+            all_consumed &= pl.fired || pl.obDone;
+            all_ob &= pl.obDone;
+        }
+        if (!all_consumed)
+            continue;
+        if (all_ob) {
+            s.cursor = s.terms.size();
+        } else {
+            ++s.cursor;
+            for (int r = 0; r < numPes_; ++r)
+                lane(r, l).fired = false;
+        }
+        progress = true;
+    }
+    return progress;
+}
+
+void
+ReferenceColumn::settle()
+{
+    do {
+        scanOutOfBounds();
+    } while (advanceCursors());
+}
+
+bool
+ReferenceColumn::allStreamsDone() const
+{
+    for (int l = 0; l < cfg_.lanes; ++l)
+        if (streams_[l].cursor < streams_[l].terms.size())
+            return false;
+    return true;
+}
+
+bool
+ReferenceColumn::busy() const
+{
+    return inSet_ && !allStreamsDone();
+}
+
+void
+ReferenceColumn::stepCycle()
+{
+    if (!inSet_)
+        return;
+
+    settle();
+    if (allStreamsDone())
+        return;
+
+    ++setCycles_;
+
+    for (int r = 0; r < numPes_; ++r) {
+        PeState &pe = pes_[r];
+        int acc_exp = pe.acc.chunkRegister().exponent();
+
+        int k_of[ExponentBlockResult::kMaxLanes];
+        bool pending[ExponentBlockResult::kMaxLanes];
+        int base = INT_MAX;
+        for (int l = 0; l < cfg_.lanes; ++l) {
+            const LaneStream &s = streams_[l];
+            const PeLane &pl = lane(r, l);
+            pending[l] = !pl.fired && !pl.obDone &&
+                         s.cursor < s.terms.size();
+            if (pending[l]) {
+                k_of[l] = acc_exp - pl.abExp + s.terms[s.cursor].shift;
+                if (k_of[l] < base)
+                    base = k_of[l];
+            }
+        }
+
+        if (base == INT_MAX) {
+            pe.stats.laneNoTerm += static_cast<uint64_t>(cfg_.lanes);
+            continue;
+        }
+
+        int lsb_min = INT_MAX;
+        int lsb_max = INT_MIN;
+        for (int l = 0; l < cfg_.lanes; ++l) {
+            if (!pending[l] || k_of[l] - base > cfg_.maxDelta)
+                continue;
+            int lsb = acc_exp - k_of[l] - 7;
+            lsb_min = std::min(lsb_min, lsb);
+            lsb_max = std::max(lsb_max, lsb);
+        }
+        const bool exact_tree =
+            lsb_min == INT_MAX || lsb_max - lsb_min <= 48;
+        int64_t sum = 0;
+        for (int l = 0; l < cfg_.lanes; ++l) {
+            const LaneStream &s = streams_[l];
+            PeLane &pl = lane(r, l);
+            if (!pending[l]) {
+                pe.stats.laneNoTerm += 1;
+                continue;
+            }
+            if (k_of[l] - base > cfg_.maxDelta) {
+                pe.stats.laneShiftRange += 1;
+                continue;
+            }
+            const Term &t = s.terms[s.cursor];
+            int lsb = acc_exp - k_of[l] - 7;
+            bool neg = pl.prodNeg != t.neg;
+            if (exact_tree) {
+                int64_t contrib = static_cast<int64_t>(pl.bSig)
+                                  << (lsb - lsb_min);
+                sum += neg ? -contrib : contrib;
+            } else if (pl.bSig != 0) {
+                pe.acc.chunkRegister().addValue(
+                    neg, lsb, static_cast<uint64_t>(pl.bSig));
+            }
+            pl.fired = true;
+            pe.stats.laneUseful += 1;
+            pe.stats.termsProcessed += 1;
+        }
+        if (sum != 0) {
+            pe.acc.chunkRegister().addValue(
+                sum < 0, lsb_min,
+                static_cast<uint64_t>(sum < 0 ? -sum : sum));
+        }
+    }
+
+    settle();
+}
+
+int
+ReferenceColumn::finishSet()
+{
+    panic_if(!inSet_, "finishSet without beginSet");
+    settle();
+    while (busy())
+        stepCycle();
+
+    int cycles = setCycles_;
+    if (cycles < cfg_.exponentFloor) {
+        int floor_add = cfg_.exponentFloor - cycles;
+        for (int r = 0; r < numPes_; ++r)
+            pes_[r].stats.laneExponent +=
+                static_cast<uint64_t>(floor_add) * cfg_.lanes;
+        cycles = cfg_.exponentFloor;
+    }
+    for (int r = 0; r < numPes_; ++r) {
+        pes_[r].stats.setCycles += static_cast<uint64_t>(cycles);
+        pes_[r].acc.tickMacs(cfg_.lanes);
+    }
+    inSet_ = false;
+    return cycles;
+}
+
+void
+ReferenceColumn::chargeInterPeStall(int cycles)
+{
+    panic_if(cycles < 0, "negative stall charge");
+    for (int r = 0; r < numPes_; ++r) {
+        pes_[r].stats.laneInterPe +=
+            static_cast<uint64_t>(cycles) * cfg_.lanes;
+        pes_[r].stats.setCycles += static_cast<uint64_t>(cycles);
+    }
+}
+
+ChunkedAccumulator &
+ReferenceColumn::accumulator(int pe)
+{
+    return pes_[static_cast<size_t>(pe)].acc;
+}
+
+const ChunkedAccumulator &
+ReferenceColumn::accumulator(int pe) const
+{
+    return pes_[static_cast<size_t>(pe)].acc;
+}
+
+void
+ReferenceColumn::resetAccumulators()
+{
+    for (auto &pe : pes_)
+        pe.acc.reset();
+}
+
+const PeStats &
+ReferenceColumn::stats(int pe) const
+{
+    return pes_[static_cast<size_t>(pe)].stats;
+}
+
+PeStats
+ReferenceColumn::aggregateStats() const
+{
+    PeStats agg;
+    for (const auto &pe : pes_)
+        agg.merge(pe.stats);
+    return agg;
+}
+
+ReferenceTile::ReferenceTile(const PeConfig &pe, int rows, int cols,
+                             int buffer_depth)
+    : pe_(pe), rows_(rows), cols_(cols), depth_(buffer_depth)
+{
+    panic_if(rows_ < 1 || cols_ < 1, "degenerate tile %dx%d", rows_,
+             cols_);
+    panic_if(depth_ < 1, "buffer depth must be at least 1");
+    columns_.reserve(static_cast<size_t>(cols_));
+    for (int c = 0; c < cols_; ++c)
+        columns_.emplace_back(pe_, rows_);
+}
+
+ReferenceTileResult
+ReferenceTile::run(const BFloat16 *a, const BFloat16 *b, size_t steps)
+{
+    const int lanes = pe_.lanes;
+    const size_t a_len = static_cast<size_t>(cols_) * lanes;
+    const size_t b_len = static_cast<size_t>(rows_) * lanes;
+
+    std::vector<uint64_t> finish(static_cast<size_t>(cols_), 0);
+    std::vector<std::vector<uint64_t>> startHistory(
+        static_cast<size_t>(depth_),
+        std::vector<uint64_t>(static_cast<size_t>(cols_), 0));
+
+    ReferenceTileResult result;
+    for (size_t s = 0; s < steps; ++s) {
+        uint64_t avail = 0;
+        if (s >= static_cast<size_t>(depth_)) {
+            const auto &old =
+                startHistory[s % static_cast<size_t>(depth_)];
+            avail = *std::max_element(old.begin(), old.end());
+        }
+        auto &starts = startHistory[s % static_cast<size_t>(depth_)];
+        for (int c = 0; c < cols_; ++c) {
+            uint64_t start =
+                std::max(finish[static_cast<size_t>(c)], avail);
+            uint64_t wait = start - finish[static_cast<size_t>(c)];
+            if (wait > 0)
+                columns_[static_cast<size_t>(c)].chargeInterPeStall(
+                    static_cast<int>(wait));
+            int cycles = columns_[static_cast<size_t>(c)].runSet(
+                a + s * a_len + static_cast<size_t>(c) * lanes,
+                b + s * b_len, lanes);
+            starts[static_cast<size_t>(c)] = start;
+            finish[static_cast<size_t>(c)] =
+                start + static_cast<uint64_t>(cycles);
+        }
+        result.steps += 1;
+    }
+    result.cycles =
+        steps == 0 ? 0 : *std::max_element(finish.begin(), finish.end());
+    return result;
+}
+
+float
+ReferenceTile::output(int r, int c) const
+{
+    return columns_[static_cast<size_t>(c)].accumulator(r).total();
+}
+
+void
+ReferenceTile::resetAccumulators()
+{
+    for (auto &col : columns_)
+        col.resetAccumulators();
+}
+
+PeStats
+ReferenceTile::aggregateStats() const
+{
+    PeStats agg;
+    for (const auto &col : columns_)
+        agg.merge(col.aggregateStats());
+    return agg;
+}
+
+} // namespace fpraker

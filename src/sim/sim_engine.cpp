@@ -1,0 +1,106 @@
+#include "sim/sim_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace fpraker {
+
+namespace {
+
+/** Shared state of one parallelFor batch (outlives abandoned tasks). */
+struct Batch
+{
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    size_t n = 0;
+    const std::function<void(size_t)> *fn = nullptr;
+    std::mutex mutex;
+    std::condition_variable cv;
+};
+
+/** Claim and run indices until the batch is exhausted. */
+void
+drain(const std::shared_ptr<Batch> &batch)
+{
+    for (;;) {
+        size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= batch->n)
+            return;
+        (*batch->fn)(i);
+        if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            batch->n) {
+            std::lock_guard<std::mutex> lock(batch->mutex);
+            batch->cv.notify_all();
+        }
+    }
+}
+
+} // namespace
+
+SimEngine::SimEngine(int threads)
+    : threads_(threads > 0 ? threads : defaultThreads())
+{
+    panic_if(threads < 0, "negative thread count %d", threads);
+    // The caller participates in every batch, so the pool provides
+    // threads-1 helpers — capped at the host's spare cores, because
+    // oversubscribing only adds scheduling latency (results are
+    // bit-identical either way).
+    int spare =
+        static_cast<int>(std::thread::hardware_concurrency()) - 1;
+    int workers = threads_ - 1;
+    if (spare >= 0)
+        workers = std::min(workers, spare);
+    if (workers > 0)
+        pool_ = std::make_unique<ThreadPool>(workers);
+}
+
+SimEngine::~SimEngine() = default;
+
+void
+SimEngine::parallelFor(size_t n,
+                       const std::function<void(size_t)> &fn) const
+{
+    if (threads_ <= 1 || n <= 1 || !pool_) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    auto batch = std::make_shared<Batch>();
+    batch->n = n;
+    batch->fn = &fn;
+
+    // Helpers race the caller for indices; an extra helper that arrives
+    // after exhaustion returns immediately, so over-posting is harmless
+    // and tasks never dereference fn once the caller has returned.
+    size_t helpers =
+        std::min<size_t>(static_cast<size_t>(pool_->workers()), n - 1);
+    pool_->postCopies([batch] { drain(batch); },
+                      static_cast<int>(helpers));
+
+    drain(batch);
+
+    std::unique_lock<std::mutex> lock(batch->mutex);
+    batch->cv.wait(lock, [&] {
+        return batch->done.load(std::memory_order_acquire) == batch->n;
+    });
+}
+
+int
+SimEngine::defaultThreads()
+{
+    if (const char *env = std::getenv("FPRAKER_THREADS")) {
+        int v = std::atoi(env);
+        if (v > 0)
+            return v;
+    }
+    return 1;
+}
+
+} // namespace fpraker

@@ -1,0 +1,57 @@
+#include "sim/thread_pool.h"
+
+namespace fpraker {
+
+ThreadPool::ThreadPool(int workers)
+{
+    threads_.reserve(static_cast<size_t>(workers > 0 ? workers : 0));
+    for (int i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+        queue_.clear();
+    }
+    cv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::postCopies(const std::function<void()> &task, int n)
+{
+    if (threads_.empty()) {
+        for (int i = 0; i < n; ++i)
+            task();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (int i = 0; i < n; ++i)
+            queue_.push_back(task);
+    }
+    cv_.notify_all();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (stop_)
+                return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+} // namespace fpraker

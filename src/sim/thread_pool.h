@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A small task pool for sharding independent simulation units.
+ *
+ * Workers pull closures from a shared queue; SimEngine layers a
+ * deterministic parallel-for on top. The pool never owns simulation
+ * state — all sharing discipline (one column / one layer-op per task,
+ * per-worker stats merged afterwards) lives with the callers, which is
+ * what keeps parallel runs bit-identical to serial ones.
+ */
+
+#ifndef FPRAKER_SIM_THREAD_POOL_H
+#define FPRAKER_SIM_THREAD_POOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fpraker {
+
+/** Fixed-size worker pool executing posted closures FIFO. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p workers threads (0 is allowed: post() then runs inline). */
+    explicit ThreadPool(int workers);
+
+    /** Drains nothing: pending tasks are abandoned, running ones joined. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int workers() const { return static_cast<int>(threads_.size()); }
+
+    /**
+     * Enqueue @p n copies of a task under one lock with a single
+     * wake-all (0 workers runs them inline). Tasks must be
+     * self-contained: anything they reference must outlive them
+     * (SimEngine uses shared ownership).
+     */
+    void postCopies(const std::function<void()> &task, int n);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> threads_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+} // namespace fpraker
+
+#endif // FPRAKER_SIM_THREAD_POOL_H

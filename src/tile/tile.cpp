@@ -19,62 +19,94 @@ Tile::Tile(const TileConfig &cfg)
 }
 
 TileRunResult
-Tile::run(const std::vector<TileStep> &steps)
+Tile::run(const std::vector<TileStep> &steps, SimEngine *engine)
 {
     const int lanes = cfg_.pe.lanes;
-    const size_t n_steps = steps.size();
-    const int depth = cfg_.bufferDepth;
-
-    // finish[c] holds the completion time of column c's latest set;
-    // startHistory[s % depth][c] records when column c began set s: a
-    // column's buffer slot frees once the set it held moves into the
-    // PE's working registers, so broadcast of set s waits on
-    // max_c start[c][s - depth]. With the paper's depth of one this
-    // lets a fast column run exactly one set ahead of the slowest.
-    std::vector<uint64_t> finish(static_cast<size_t>(cfg_.cols), 0);
-    std::vector<std::vector<uint64_t>> startHistory(
-        static_cast<size_t>(depth),
-        std::vector<uint64_t>(static_cast<size_t>(cfg_.cols), 0));
-
-    TileRunResult result;
-    for (size_t s = 0; s < n_steps; ++s) {
-        const TileStep &step = steps[s];
-        panic_if(step.a.size() !=
+    std::vector<TileStepView> views(steps.size());
+    for (size_t s = 0; s < steps.size(); ++s) {
+        panic_if(steps[s].a.size() !=
                      static_cast<size_t>(cfg_.cols) * lanes,
                  "step %zu: a has %zu values, expected %d", s,
-                 step.a.size(), cfg_.cols * lanes);
-        panic_if(step.b.size() !=
+                 steps[s].a.size(), cfg_.cols * lanes);
+        panic_if(steps[s].b.size() !=
                      static_cast<size_t>(cfg_.rows) * lanes,
                  "step %zu: b has %zu values, expected %d", s,
-                 step.b.size(), cfg_.rows * lanes);
+                 steps[s].b.size(), cfg_.rows * lanes);
+        views[s] = TileStepView{steps[s].a.data(), steps[s].b.data()};
+    }
+    return run(views.data(), views.size(), engine);
+}
 
+TileRunResult
+Tile::run(const TileStepView *steps, size_t n_steps, SimEngine *engine)
+{
+    const int lanes = cfg_.pe.lanes;
+    const int depth = cfg_.bufferDepth;
+    const size_t cols = static_cast<size_t>(cfg_.cols);
+
+    TileRunResult result;
+    result.steps = n_steps;
+    result.macs =
+        n_steps * static_cast<uint64_t>(macsPerStep());
+    if (n_steps == 0)
+        return result;
+
+    // Phase A: simulate every column's whole set batch independently.
+    // A column's per-set cycle counts, accumulator contents, and
+    // datapath statistics depend only on its own operand sequence, so
+    // the columns shard across the engine with no synchronization and
+    // the recorded cycles feed the timing recurrence below.
+    cycleScratch_.resize(cols * n_steps);
+    auto run_column = [&](size_t c) {
+        FPRakerColumn &col = *columns_[c];
+        int *cycles = cycleScratch_.data() + c * n_steps;
+        for (size_t s = 0; s < n_steps; ++s)
+            cycles[s] = col.runSet(steps[s].a + c * lanes, steps[s].b,
+                                   lanes);
+    };
+    if (engine && engine->threads() > 1)
+        engine->parallelFor(cols, run_column);
+    else
+        for (size_t c = 0; c < cols; ++c)
+            run_column(c);
+
+    // Phase B: replay the bounded-run-ahead recurrence over the cycle
+    // matrix. finish[c] holds the completion time of column c's latest
+    // set; startHistory[s % depth][c] records when column c began set
+    // s: a column's buffer slot frees once the set it held moves into
+    // the PE's working registers, so broadcast of set s waits on
+    // max_c start[c][s - depth]. With the paper's depth of one this
+    // lets a fast column run exactly one set ahead of the slowest.
+    std::vector<uint64_t> finish(cols, 0);
+    std::vector<std::vector<uint64_t>> startHistory(
+        static_cast<size_t>(depth), std::vector<uint64_t>(cols, 0));
+    std::vector<uint64_t> waitTotal(cols, 0);
+
+    for (size_t s = 0; s < n_steps; ++s) {
         uint64_t avail = 0;
         if (s >= static_cast<size_t>(depth)) {
             const auto &old =
                 startHistory[s % static_cast<size_t>(depth)];
             avail = *std::max_element(old.begin(), old.end());
         }
-
         auto &starts = startHistory[s % static_cast<size_t>(depth)];
-        for (int c = 0; c < cfg_.cols; ++c) {
-            uint64_t start = std::max(finish[static_cast<size_t>(c)],
-                                      avail);
-            uint64_t wait = start - finish[static_cast<size_t>(c)];
-            if (wait > 0)
-                columns_[static_cast<size_t>(c)]->chargeInterPeStall(
-                    static_cast<int>(wait));
-            int cycles = columns_[static_cast<size_t>(c)]->runSet(
-                step.a.data() + static_cast<size_t>(c) * lanes,
-                step.b.data(), lanes);
-            starts[static_cast<size_t>(c)] = start;
-            finish[static_cast<size_t>(c)] =
-                start + static_cast<uint64_t>(cycles);
+        for (size_t c = 0; c < cols; ++c) {
+            uint64_t start = std::max(finish[c], avail);
+            waitTotal[c] += start - finish[c];
+            starts[c] = start;
+            finish[c] = start + static_cast<uint64_t>(
+                                    cycleScratch_[c * n_steps + s]);
         }
-        result.steps += 1;
-        result.macs += static_cast<uint64_t>(macsPerStep());
     }
-    result.cycles =
-        n_steps == 0 ? 0 : *std::max_element(finish.begin(), finish.end());
+    // Broadcast-wait stalls are pure statistics (they never touch the
+    // accumulators), so charging each column its batch total is
+    // bit-identical to the seed's per-set charges.
+    for (size_t c = 0; c < cols; ++c)
+        if (waitTotal[c] > 0)
+            columns_[c]->chargeInterPeStall(
+                static_cast<int>(waitTotal[c]));
+
+    result.cycles = *std::max_element(finish.begin(), finish.end());
     return result;
 }
 

@@ -21,6 +21,15 @@
  *   avail[s]    = max_c finish[c][s - N]   (B set s enters the buffers)
  *   start[c][s] = max(finish[c][s-1], avail[s])
  *   finish[c][s]= start[c][s] + cycles[c][s]
+ *
+ * Execution is split so the heavy part parallelizes: a column's cycle
+ * counts and accumulator contents depend only on its own operand/set
+ * sequence, never on the other columns' timing, so phase A simulates
+ * each column's whole set batch independently (shardable across a
+ * SimEngine), and phase B replays the recurrence over the recorded
+ * per-set cycle counts and charges each column its broadcast-wait
+ * stalls. Both phases are deterministic, so any thread count produces
+ * bit-identical results to the serial seed algorithm.
  */
 
 #ifndef FPRAKER_TILE_TILE_H
@@ -32,6 +41,7 @@
 
 #include "pe/baseline_pe.h"
 #include "pe/fpraker_pe.h"
+#include "sim/sim_engine.h"
 
 namespace fpraker {
 
@@ -54,6 +64,17 @@ struct TileStep
     std::vector<BFloat16> b;
 };
 
+/**
+ * Borrowed view of one tile step's operands (same indexing as
+ * TileStep). The hot paths stream steps out of reused flat buffers
+ * through these views instead of allocating per-step vectors.
+ */
+struct TileStepView
+{
+    const BFloat16 *a = nullptr;
+    const BFloat16 *b = nullptr;
+};
+
 /** Timing summary of a tile run. */
 struct TileRunResult
 {
@@ -74,8 +95,17 @@ class Tile
      * Process a step sequence; accumulators persist across steps so a
      * sequence forms one K-dimension traversal for the whole output
      * block. Timing state (column skew) resets per call.
+     *
+     * @param engine optional executor; when it carries more than one
+     *        thread the per-column set batches are sharded across it
+     *        (bit-identical to the serial walk).
      */
-    TileRunResult run(const std::vector<TileStep> &steps);
+    TileRunResult run(const std::vector<TileStep> &steps,
+                      SimEngine *engine = nullptr);
+
+    /** View-based variant: @p steps[i] must have tile arity. */
+    TileRunResult run(const TileStepView *steps, size_t n,
+                      SimEngine *engine = nullptr);
 
     /** Accumulated output of PE (r, c). */
     float output(int r, int c) const;
@@ -103,6 +133,7 @@ class Tile
   private:
     TileConfig cfg_;
     std::vector<std::unique_ptr<FPRakerColumn>> columns_;
+    std::vector<int> cycleScratch_; //!< Phase-A cycles, [c * steps + s].
 };
 
 /**

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "numeric/term_lut.h"
 
 namespace fpraker {
 
@@ -98,18 +99,19 @@ TensorGenerator::fill(BFloat16 *out, size_t n)
 }
 
 TensorStats
-measureTensor(const std::vector<BFloat16> &values, TermEncoding encoding)
+measureTensor(const BFloat16 *values, size_t n, TermEncoding encoding)
 {
-    TermEncoder enc(encoding);
+    const TermLut &lut = TermLut::of(encoding);
     TensorStats stats;
-    for (const BFloat16 &v : values) {
-        stats.values += 1;
+    stats.values = n;
+    for (size_t i = 0; i < n; ++i) {
+        const BFloat16 v = values[i];
         if (v.isZero()) {
             stats.zeros += 1;
             continue;
         }
         stats.terms +=
-            static_cast<uint64_t>(enc.countTerms(v.significand()));
+            static_cast<uint64_t>(lut.countTerms(v.significand()));
     }
     return stats;
 }

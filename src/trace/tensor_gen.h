@@ -90,9 +90,21 @@ struct TensorStats
     }
 };
 
-/** Measure sparsity/term statistics of a value vector. */
-TensorStats measureTensor(const std::vector<BFloat16> &values,
+/**
+ * Measure sparsity/term statistics of a value stream. Term counts come
+ * from the shared TermLut, so this is cheap enough for per-step use in
+ * the figure harnesses.
+ */
+TensorStats measureTensor(const BFloat16 *values, size_t n,
                           TermEncoding encoding = TermEncoding::Canonical);
+
+/** Vector convenience overload. */
+inline TensorStats
+measureTensor(const std::vector<BFloat16> &values,
+              TermEncoding encoding = TermEncoding::Canonical)
+{
+    return measureTensor(values.data(), values.size(), encoding);
+}
 
 } // namespace fpraker
 
