@@ -20,13 +20,13 @@ namespace fpraker {
 namespace {
 
 double
-geomeanSpeedup(const AcceleratorConfig &cfg)
+geomeanSpeedup(SweepRunner &runner, const AcceleratorConfig &cfg)
 {
-    Accelerator accel(cfg);
+    const Accelerator &accel = runner.addAccelerator(cfg);
     std::vector<double> speedups;
-    for (const auto &model : modelZoo())
-        speedups.push_back(
-            accel.runModel(model, bench::kDefaultProgress).speedup());
+    for (const ModelRunReport &r :
+         runner.runModels(bench::zooJobs({&accel})))
+        speedups.push_back(r.speedup());
     return geomean(speedups);
 }
 
@@ -42,7 +42,7 @@ run(int argc, char **argv)
 
     AcceleratorConfig base_cfg = AcceleratorConfig::paperDefault();
     base_cfg.sampleSteps = bench::sampleSteps(48);
-    base_cfg.threads = bench::threads(argc, argv);
+    SweepRunner runner(bench::threads(argc, argv));
 
     {
         Table t({"term encoding", "geomean speedup"});
@@ -52,7 +52,7 @@ run(int argc, char **argv)
             cfg.tile.pe.encoding = enc;
             t.addRow({enc == TermEncoding::Canonical ? "canonical (NAF)"
                                                      : "raw bits",
-                      Table::cell(geomeanSpeedup(cfg))});
+                      Table::cell(geomeanSpeedup(runner, cfg))});
         }
         t.print();
     }
@@ -64,7 +64,7 @@ run(int argc, char **argv)
             AcceleratorConfig cfg = base_cfg;
             cfg.tile.pe.maxDelta = delta;
             t.addRow({delta > 100 ? "unlimited" : std::to_string(delta),
-                      Table::cell(geomeanSpeedup(cfg))});
+                      Table::cell(geomeanSpeedup(runner, cfg))});
         }
         t.print();
         std::printf("(the paper picks 3 as its area/performance "
@@ -81,7 +81,7 @@ run(int argc, char **argv)
             AcceleratorConfig cfg = base_cfg;
             cfg.tile.bufferDepth = depth;
             t.addRow({std::to_string(depth),
-                      Table::cell(geomeanSpeedup(cfg))});
+                      Table::cell(geomeanSpeedup(runner, cfg))});
         }
         t.print();
         std::printf("(depth 1 already hides inter-PE stalls, matching "
@@ -99,7 +99,7 @@ run(int argc, char **argv)
                                     : floor_cycles == 2
                                           ? "shared by 2 (floor 2)"
                                           : "shared by 4 (floor 4)";
-            t.addRow({label, Table::cell(geomeanSpeedup(cfg))});
+            t.addRow({label, Table::cell(geomeanSpeedup(runner, cfg))});
         }
         t.print();
         std::printf("(sharing between PE pairs costs little because "

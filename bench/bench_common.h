@@ -20,6 +20,7 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "sim/sim_engine.h"
+#include "sim/sweep_runner.h"
 #include "trace/model_zoo.h"
 
 namespace fpraker {
@@ -93,6 +94,23 @@ threads(int argc = 0, char **argv = nullptr)
         }
     }
     return SimEngine::defaultThreads();
+}
+
+/**
+ * The standard sweep shape: one job per (accelerator variant, model)
+ * over the whole zoo, in zoo order per variant. Harnesses that sweep
+ * another axis (progress points, per-layer configs) build their job
+ * lists by hand.
+ */
+inline std::vector<SweepJob>
+zooJobs(const std::vector<const Accelerator *> &variants,
+        double progress = kDefaultProgress)
+{
+    std::vector<SweepJob> jobs;
+    for (const Accelerator *accel : variants)
+        for (const auto &model : modelZoo())
+            jobs.push_back(SweepJob{accel, &model, progress});
+    return jobs;
 }
 
 } // namespace bench

@@ -13,7 +13,7 @@ namespace fpraker {
 namespace {
 
 int
-run()
+run(int argc, char **argv)
 {
     bench::banner("Extension: inference",
                   "forward-pass-only speedup at end-of-training "
@@ -24,23 +24,35 @@ run()
 
     AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
     cfg.sampleSteps = bench::sampleSteps(64);
-    Accelerator accel(cfg);
+    SweepRunner runner(bench::threads(argc, argv));
+    const Accelerator &accel = runner.addAccelerator(cfg);
+
+    // Forward-only layer jobs at end-of-training statistics: the
+    // whole zoo's layers flatten into one sharded job list.
+    std::vector<SweepLayerJob> jobs;
+    std::vector<size_t> first;
+    for (const auto &model : modelZoo()) {
+        first.push_back(jobs.size());
+        for (const auto &layer : model.layers)
+            jobs.push_back(SweepLayerJob{&accel, &model, &layer,
+                                         TrainingOp::Forward, 1.0});
+    }
+    first.push_back(jobs.size());
+    std::vector<LayerOpReport> reports = runner.runLayerOps(jobs);
 
     Table t({"model", "inference speedup", "serialized tensor"});
     std::vector<double> speedups;
-    for (const auto &model : modelZoo()) {
+    for (size_t m = 0; m < modelZoo().size(); ++m) {
         double fpr = 0, base = 0;
         TensorKind serial = TensorKind::Activation;
-        for (const auto &layer : model.layers) {
-            LayerOpReport r = accel.runLayerOp(model, layer,
-                                               TrainingOp::Forward, 1.0);
-            fpr += r.fprCycles;
-            base += r.baseCycles;
-            serial = r.serialSide;
+        for (size_t i = first[m]; i < first[m + 1]; ++i) {
+            fpr += reports[i].fprCycles;
+            base += reports[i].baseCycles;
+            serial = reports[i].serialSide;
         }
         double speedup = base / fpr;
         speedups.push_back(speedup);
-        t.addRow({model.name, Table::cell(speedup),
+        t.addRow({modelZoo()[m].name, Table::cell(speedup),
                   tensorLabel(serial)});
     }
     t.addRow({"Geomean", Table::cell(geomean(speedups)), "-"});
@@ -52,7 +64,7 @@ run()
 } // namespace fpraker
 
 int
-main()
+main(int argc, char **argv)
 {
-    return fpraker::run();
+    return fpraker::run(argc, argv);
 }

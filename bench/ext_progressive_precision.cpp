@@ -29,7 +29,7 @@ scheduledFracBits(double progress)
 }
 
 int
-run()
+run(int argc, char **argv)
 {
     bench::banner("Extension: progressive precision",
                   "accumulator width scheduled over training progress",
@@ -39,6 +39,27 @@ run()
                   "algorithms without hardware changes");
 
     const double points[] = {0.1, 0.35, 0.65, 0.95};
+    const size_t n_points = sizeof(points) / sizeof(points[0]);
+
+    // One accelerator variant per schedule stage plus the fixed-width
+    // reference; every (model, stage) pair is one sweep job.
+    SweepRunner runner(bench::threads(argc, argv));
+    std::vector<SweepJob> jobs;
+    for (double p : points) {
+        AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
+        cfg.sampleSteps = bench::sampleSteps(48);
+        cfg.tile.pe.obThreshold = scheduledFracBits(p);
+        const Accelerator &accel = runner.addAccelerator(cfg);
+        for (const auto &model : modelZoo())
+            jobs.push_back(SweepJob{&accel, &model, p});
+    }
+    AcceleratorConfig fixed = AcceleratorConfig::paperDefault();
+    fixed.sampleSteps = bench::sampleSteps(48);
+    const Accelerator &fixed_accel = runner.addAccelerator(fixed);
+    for (const auto &model : modelZoo())
+        jobs.push_back(SweepJob{&fixed_accel, &model, 0.95});
+    std::vector<ModelRunReport> reports = runner.runModels(jobs);
+
     std::vector<std::string> headers = {"model"};
     for (double p : points)
         headers.push_back(Table::pct(p, 0) + " (w=" +
@@ -46,19 +67,14 @@ run()
     headers.push_back("fixed w=12 @95%");
     Table t(headers);
 
-    for (const auto &model : modelZoo()) {
-        std::vector<std::string> row = {model.name};
-        for (double p : points) {
-            AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
-            cfg.sampleSteps = bench::sampleSteps(48);
-            cfg.tile.pe.obThreshold = scheduledFracBits(p);
-            Accelerator accel(cfg);
-            row.push_back(Table::cell(accel.runModel(model, p).speedup()));
-        }
-        AcceleratorConfig fixed = AcceleratorConfig::paperDefault();
-        fixed.sampleSteps = bench::sampleSteps(48);
-        Accelerator accel(fixed);
-        row.push_back(Table::cell(accel.runModel(model, 0.95).speedup()));
+    const size_t n_models = modelZoo().size();
+    for (size_t m = 0; m < n_models; ++m) {
+        std::vector<std::string> row = {modelZoo()[m].name};
+        for (size_t i = 0; i < n_points; ++i)
+            row.push_back(
+                Table::cell(reports[i * n_models + m].speedup()));
+        row.push_back(
+            Table::cell(reports[n_points * n_models + m].speedup()));
         t.addRow(row);
     }
     t.print();
@@ -69,7 +85,7 @@ run()
 } // namespace fpraker
 
 int
-main()
+main(int argc, char **argv)
 {
-    return fpraker::run();
+    return fpraker::run(argc, argv);
 }

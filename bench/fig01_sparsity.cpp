@@ -42,7 +42,7 @@ measure(const ModelInfo &model, double progress)
 }
 
 int
-run()
+run(int argc, char **argv)
 {
     bench::banner("Fig. 1",
                   "value and term sparsity of W/A/G during training",
@@ -51,10 +51,19 @@ run()
                   "models near-dense. (b) term sparsity high (60-90%) "
                   "for ALL tensors and models");
 
+    // Per-model measurements write their own slot and shard across
+    // the sweep runner's engine; rows print in zoo order afterwards.
+    SweepRunner runner(bench::threads(argc, argv));
+    std::vector<ModelSparsity> sparsity(modelZoo().size());
+    runner.parallelFor(modelZoo().size(), [&](size_t m) {
+        sparsity[m] = measure(modelZoo()[m], bench::kDefaultProgress);
+    });
+
     Table a({"model", "Activation", "Weight", "Gradient"});
     Table b({"model", "Activation", "Weight", "Gradient"});
-    for (const auto &model : modelZoo()) {
-        ModelSparsity s = measure(model, bench::kDefaultProgress);
+    for (size_t m = 0; m < modelZoo().size(); ++m) {
+        const ModelInfo &model = modelZoo()[m];
+        const ModelSparsity &s = sparsity[m];
         a.addRow({model.name,
                   Table::pct(s.stats[0].valueSparsity()),
                   Table::pct(s.stats[1].valueSparsity()),
@@ -75,7 +84,7 @@ run()
 } // namespace fpraker
 
 int
-main()
+main(int argc, char **argv)
 {
-    return fpraker::run();
+    return fpraker::run(argc, argv);
 }

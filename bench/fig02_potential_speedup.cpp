@@ -36,7 +36,7 @@ potential(const ModelInfo &model, TrainingOp op, double progress)
 }
 
 int
-run()
+run(int argc, char **argv)
 {
     bench::banner("Fig. 2",
                   "potential speedup from exploiting term sparsity, per "
@@ -45,15 +45,22 @@ run()
                   "phases highest (up to ~59x for near-power-of-two "
                   "gradients)");
 
+    // Shard per (model, op): each of the 27 potentials owns a slot.
+    const TrainingOp ops[] = {TrainingOp::WeightGrad,
+                              TrainingOp::InputGrad, TrainingOp::Forward};
+    SweepRunner runner(bench::threads(argc, argv));
+    std::vector<double> potentials(modelZoo().size() * 3);
+    runner.parallelFor(potentials.size(), [&](size_t i) {
+        potentials[i] = potential(modelZoo()[i / 3], ops[i % 3],
+                                  bench::kDefaultProgress);
+    });
+
     Table t({"model", "AxG", "GxW", "AxW"});
-    for (const auto &model : modelZoo()) {
-        t.addRow({model.name,
-                  Table::cell(potential(model, TrainingOp::WeightGrad,
-                                        bench::kDefaultProgress), 1),
-                  Table::cell(potential(model, TrainingOp::InputGrad,
-                                        bench::kDefaultProgress), 1),
-                  Table::cell(potential(model, TrainingOp::Forward,
-                                        bench::kDefaultProgress), 1)});
+    for (size_t m = 0; m < modelZoo().size(); ++m) {
+        t.addRow({modelZoo()[m].name,
+                  Table::cell(potentials[3 * m], 1),
+                  Table::cell(potentials[3 * m + 1], 1),
+                  Table::cell(potentials[3 * m + 2], 1)});
     }
     t.print();
     return 0;
@@ -63,7 +70,7 @@ run()
 } // namespace fpraker
 
 int
-main()
+main(int argc, char **argv)
 {
-    return fpraker::run();
+    return fpraker::run(argc, argv);
 }

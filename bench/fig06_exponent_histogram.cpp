@@ -15,14 +15,17 @@
 namespace fpraker {
 namespace {
 
-void
-histogram(const ModelInfo &model, double progress, const char *label)
+/** Binned exponent histogram of the three tensors at one progress. */
+struct HistData
 {
-    std::printf("\n%s (training progress %.0f%%)\n", label,
-                progress * 100.0);
-    Table t({"exponent bin", "Activation", "Weight", "Gradient"});
     std::map<int, double> hist[3];
     uint64_t counts[3] = {};
+};
+
+HistData
+computeHistogram(const ModelInfo &model, double progress)
+{
+    HistData h;
     for (TensorKind kind : {TensorKind::Activation, TensorKind::Weight,
                             TensorKind::Gradient}) {
         TensorGenerator gen(model.profile.of(kind).at(progress),
@@ -32,10 +35,21 @@ histogram(const ModelInfo &model, double progress, const char *label)
             if (v.isZero())
                 continue;
             int bin = (v.unbiasedExponent() / 4) * 4; // 4-wide bins
-            hist[static_cast<int>(kind)][bin] += 1.0;
-            counts[static_cast<int>(kind)] += 1;
+            h.hist[static_cast<int>(kind)][bin] += 1.0;
+            h.counts[static_cast<int>(kind)] += 1;
         }
     }
+    return h;
+}
+
+void
+printHistogram(const HistData &h, double progress, const char *label)
+{
+    const auto &hist = h.hist;
+    const auto &counts = h.counts;
+    std::printf("\n%s (training progress %.0f%%)\n", label,
+                progress * 100.0);
+    Table t({"exponent bin", "Activation", "Weight", "Gradient"});
     for (int bin = -32; bin <= 8; bin += 4) {
         auto share = [&](int k) {
             auto it = hist[k].find(bin);
@@ -50,7 +64,7 @@ histogram(const ModelInfo &model, double progress, const char *label)
 }
 
 int
-run()
+run(int argc, char **argv)
 {
     bench::banner("Fig. 6",
                   "exponent histogram of a conv layer, epochs 0 and 89",
@@ -62,8 +76,14 @@ run()
     // ResNet34 conv2d_8; our profiles are per-model so we show
     // ResNet50-S2's mid-training statistics.
     const ModelInfo &model = findModel("ResNet50-S2");
-    histogram(model, 0.0, "epoch 0");
-    histogram(model, 1.0, "final epoch");
+    const double points[] = {0.0, 1.0};
+    SweepRunner runner(bench::threads(argc, argv));
+    HistData hists[2];
+    runner.parallelFor(2, [&](size_t i) {
+        hists[i] = computeHistogram(model, points[i]);
+    });
+    printHistogram(hists[0], points[0], "epoch 0");
+    printHistogram(hists[1], points[1], "final epoch");
     return 0;
 }
 
@@ -71,7 +91,7 @@ run()
 } // namespace fpraker
 
 int
-main()
+main(int argc, char **argv)
 {
-    return fpraker::run();
+    return fpraker::run(argc, argv);
 }

@@ -41,7 +41,7 @@ footprint(const ModelInfo &model, TensorKind kind, double progress,
 }
 
 int
-run()
+run(int argc, char **argv)
 {
     bench::banner("Fig. 10",
                   "normalized exponent footprint after base-delta "
@@ -49,19 +49,25 @@ run()
                   "30-70% of the raw exponent bits, effective for both "
                   "channel-wise (bars) and spatial (markers) groupings");
 
+    // Shard per (model, tensor kind, grouping): 54 independent
+    // footprint analyses, each writing its own slot.
+    const TensorKind kinds[] = {TensorKind::Activation, TensorKind::Weight,
+                                TensorKind::Gradient};
+    SweepRunner runner(bench::threads(argc, argv));
+    std::vector<double> footprints(modelZoo().size() * 6);
+    runner.parallelFor(footprints.size(), [&](size_t i) {
+        const ModelInfo &model = modelZoo()[i / 6];
+        footprints[i] = footprint(model, kinds[(i % 6) % 3],
+                                  bench::kDefaultProgress, (i % 6) >= 3);
+    });
+
     Table t({"model", "A chan", "W chan", "G chan", "A spat", "W spat",
              "G spat"});
-    for (const auto &model : modelZoo()) {
-        auto cell = [&](TensorKind k, bool spatial) {
-            return Table::pct(
-                footprint(model, k, bench::kDefaultProgress, spatial));
-        };
-        t.addRow({model.name, cell(TensorKind::Activation, false),
-                  cell(TensorKind::Weight, false),
-                  cell(TensorKind::Gradient, false),
-                  cell(TensorKind::Activation, true),
-                  cell(TensorKind::Weight, true),
-                  cell(TensorKind::Gradient, true)});
+    for (size_t m = 0; m < modelZoo().size(); ++m) {
+        std::vector<std::string> row = {modelZoo()[m].name};
+        for (size_t i = 0; i < 6; ++i)
+            row.push_back(Table::pct(footprints[m * 6 + i]));
+        t.addRow(row);
     }
     t.print();
     return 0;
@@ -71,7 +77,7 @@ run()
 } // namespace fpraker
 
 int
-main()
+main(int argc, char **argv)
 {
-    return fpraker::run();
+    return fpraker::run(argc, argv);
 }

@@ -23,25 +23,31 @@ run(int argc, char **argv)
            "core energy efficiency ~1.4x tracking speedup");
 
     bench::AcceleratorVariants variants =
-        bench::makeVariants(bench::sampleSteps(),
-                            bench::threads(argc, argv));
-    Accelerator zero(variants.zeroOnly);
-    Accelerator zero_bdc(variants.zeroBdc);
-    Accelerator full(variants.full);
+        bench::makeVariants(bench::sampleSteps());
+
+    // All 3 variants x 9 models submit through one SweepRunner: the
+    // (job, layer, op) units of the whole figure shard across a single
+    // engine instead of 27 serial model runs.
+    SweepRunner runner(bench::threads(argc, argv));
+    const Accelerator &zero = runner.addAccelerator(variants.zeroOnly);
+    const Accelerator &zero_bdc = runner.addAccelerator(variants.zeroBdc);
+    const Accelerator &full = runner.addAccelerator(variants.full);
+    std::vector<ModelRunReport> reports =
+        runner.runModels(bench::zooJobs({&zero, &zero_bdc, &full}));
 
     Table t({"model", "perf(zero)", "perf(zero+BDC)",
              "perf(total:+OB)", "core-energy-eff"});
     std::vector<double> s_zero, s_bdc, s_full, e_core;
-    for (const auto &model : modelZoo()) {
-        ModelRunReport r0 = zero.runModel(model, bench::kDefaultProgress);
-        ModelRunReport r1 =
-            zero_bdc.runModel(model, bench::kDefaultProgress);
-        ModelRunReport r2 = full.runModel(model, bench::kDefaultProgress);
+    const size_t n_models = modelZoo().size();
+    for (size_t m = 0; m < n_models; ++m) {
+        const ModelRunReport &r0 = reports[m];
+        const ModelRunReport &r1 = reports[n_models + m];
+        const ModelRunReport &r2 = reports[2 * n_models + m];
         s_zero.push_back(r0.speedup());
         s_bdc.push_back(r1.speedup());
         s_full.push_back(r2.speedup());
         e_core.push_back(r2.coreEnergyEfficiency());
-        t.addRow({model.name, Table::cell(r0.speedup()),
+        t.addRow({r0.model, Table::cell(r0.speedup()),
                   Table::cell(r1.speedup()), Table::cell(r2.speedup()),
                   Table::cell(r2.coreEnergyEfficiency())});
     }

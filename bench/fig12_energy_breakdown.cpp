@@ -11,7 +11,7 @@ namespace fpraker {
 namespace {
 
 int
-run()
+run(int argc, char **argv)
 {
     bench::banner("Fig. 12",
                   "energy breakdown, normalized to baseline total",
@@ -21,19 +21,21 @@ run()
 
     AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
     cfg.sampleSteps = bench::sampleSteps();
-    Accelerator accel(cfg);
+    SweepRunner runner(bench::threads(argc, argv));
+    const Accelerator &accel = runner.addAccelerator(cfg);
+    std::vector<ModelRunReport> reports =
+        runner.runModels(bench::zooJobs({&accel}));
 
     Table t({"model", "fpr core(comp/ctl/accum)", "fpr sram", "fpr dram",
              "fpr total", "base core", "base sram", "base dram"});
-    for (const auto &model : modelZoo()) {
-        ModelRunReport r = accel.runModel(model, bench::kDefaultProgress);
+    for (const ModelRunReport &r : reports) {
         double norm = r.baseEnergy.totalPj();
         auto pct = [&](double pj) { return Table::pct(pj / norm); };
         std::string core_split =
             pct(r.fprEnergy.core.computePj) + "/" +
             pct(r.fprEnergy.core.controlPj) + "/" +
             pct(r.fprEnergy.core.accumulationPj);
-        t.addRow({model.name, core_split, pct(r.fprEnergy.sramPj),
+        t.addRow({r.model, core_split, pct(r.fprEnergy.sramPj),
                   pct(r.fprEnergy.dramPj), pct(r.fprEnergy.totalPj()),
                   pct(r.baseEnergy.core.totalPj()),
                   pct(r.baseEnergy.sramPj), pct(r.baseEnergy.dramPj)});
@@ -46,7 +48,7 @@ run()
 } // namespace fpraker
 
 int
-main()
+main(int argc, char **argv)
 {
-    return fpraker::run();
+    return fpraker::run(argc, argv);
 }

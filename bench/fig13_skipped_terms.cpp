@@ -11,7 +11,7 @@ namespace fpraker {
 namespace {
 
 int
-run()
+run(int argc, char **argv)
 {
     bench::banner("Fig. 13", "breakdown of skipped terms",
                   "zero terms dominate everywhere; OB skipping adds "
@@ -20,17 +20,19 @@ run()
 
     AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
     cfg.sampleSteps = bench::sampleSteps();
-    Accelerator accel(cfg);
+    SweepRunner runner(bench::threads(argc, argv));
+    const Accelerator &accel = runner.addAccelerator(cfg);
+    std::vector<ModelRunReport> reports =
+        runner.runModels(bench::zooJobs({&accel}));
 
     Table t({"model", "zero terms", "out-of-bounds terms",
              "OB gain [pp of slots]", "skipped of all slots"});
-    for (const auto &model : modelZoo()) {
-        ModelRunReport r = accel.runModel(model, bench::kDefaultProgress);
+    for (const ModelRunReport &r : reports) {
         double zero = r.activity.termsZeroSkipped;
         double ob = r.activity.termsObSkipped;
         double skipped = zero + ob;
         double slots = r.activity.macs * kTermSlots;
-        t.addRow({model.name, Table::pct(zero / skipped),
+        t.addRow({r.model, Table::pct(zero / skipped),
                   Table::pct(ob / skipped),
                   Table::cell(ob / slots * 100.0, 2),
                   Table::pct(skipped / slots)});
@@ -43,7 +45,7 @@ run()
 } // namespace fpraker
 
 int
-main()
+main(int argc, char **argv)
 {
-    return fpraker::run();
+    return fpraker::run(argc, argv);
 }

@@ -20,13 +20,14 @@ run(int argc, char **argv)
 
     AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
     cfg.sampleSteps = bench::sampleSteps();
-    cfg.threads = bench::threads(argc, argv);
-    Accelerator accel(cfg);
+    SweepRunner runner(bench::threads(argc, argv));
+    const Accelerator &accel = runner.addAccelerator(cfg);
+    std::vector<ModelRunReport> reports =
+        runner.runModels(bench::zooJobs({&accel}));
 
     Table t({"model", "AxG", "GxW", "AxW", "total"});
     std::vector<double> g_axg, g_gxw, g_axw, g_tot;
-    for (const auto &model : modelZoo()) {
-        ModelRunReport r = accel.runModel(model, bench::kDefaultProgress);
+    for (const ModelRunReport &r : reports) {
         double axg = r.speedupForOp(TrainingOp::WeightGrad);
         double gxw = r.speedupForOp(TrainingOp::InputGrad);
         double axw = r.speedupForOp(TrainingOp::Forward);
@@ -34,7 +35,7 @@ run(int argc, char **argv)
         g_gxw.push_back(gxw);
         g_axw.push_back(axw);
         g_tot.push_back(r.speedup());
-        t.addRow({model.name, Table::cell(axg), Table::cell(gxw),
+        t.addRow({r.model, Table::cell(axg), Table::cell(gxw),
                   Table::cell(axw), Table::cell(r.speedup())});
     }
     t.addRow({"Geomean", Table::cell(geomean(g_axg)),

@@ -11,7 +11,7 @@ namespace fpraker {
 namespace {
 
 int
-run()
+run(int argc, char **argv)
 {
     bench::banner("Fig. 15", "lane-cycle breakdown (lane efficiency)",
                   "cross-lane term imbalance ('no term') is the largest "
@@ -21,14 +21,16 @@ run()
 
     AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
     cfg.sampleSteps = bench::sampleSteps();
-    Accelerator accel(cfg);
+    SweepRunner runner(bench::threads(argc, argv));
+    const Accelerator &accel = runner.addAccelerator(cfg);
+    std::vector<ModelRunReport> reports =
+        runner.runModels(bench::zooJobs({&accel}));
 
     Table t({"model", "useful", "no term", "shift range", "inter-PE",
              "exponent"});
-    for (const auto &model : modelZoo()) {
-        ModelRunReport r = accel.runModel(model, bench::kDefaultProgress);
+    for (const ModelRunReport &r : reports) {
         double lc = r.activity.laneCycles();
-        t.addRow({model.name, Table::pct(r.activity.laneUseful / lc),
+        t.addRow({r.model, Table::pct(r.activity.laneUseful / lc),
                   Table::pct(r.activity.laneNoTerm / lc),
                   Table::pct(r.activity.laneShiftRange / lc),
                   Table::pct(r.activity.laneInterPe / lc),
@@ -42,7 +44,7 @@ run()
 } // namespace fpraker
 
 int
-main()
+main(int argc, char **argv)
 {
-    return fpraker::run();
+    return fpraker::run(argc, argv);
 }

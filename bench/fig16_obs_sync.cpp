@@ -11,7 +11,7 @@ namespace fpraker {
 namespace {
 
 int
-run()
+run(int argc, char **argv)
 {
     bench::banner("Fig. 16",
                   "synchronization overhead with/without OB skipping",
@@ -23,19 +23,23 @@ run()
     on_cfg.sampleSteps = bench::sampleSteps();
     AcceleratorConfig off_cfg = on_cfg;
     off_cfg.tile.pe.skipOutOfBounds = false;
-    Accelerator on(on_cfg), off(off_cfg);
+    SweepRunner runner(bench::threads(argc, argv));
+    const Accelerator &on = runner.addAccelerator(on_cfg);
+    const Accelerator &off = runner.addAccelerator(off_cfg);
+    std::vector<ModelRunReport> reports =
+        runner.runModels(bench::zooJobs({&on, &off}));
+    const size_t n_models = modelZoo().size();
 
     Table t({"model", "mode", "no term", "shift range", "inter-PE",
              "exponent", "stall/lane-cycle"});
     double reductions = 0.0;
-    for (const auto &model : modelZoo()) {
-        ModelRunReport r_on = on.runModel(model, bench::kDefaultProgress);
-        ModelRunReport r_off =
-            off.runModel(model, bench::kDefaultProgress);
+    for (size_t m = 0; m < n_models; ++m) {
+        const ModelRunReport &r_on = reports[m];
+        const ModelRunReport &r_off = reports[n_models + m];
         auto add = [&](const char *mode, const ScaledPeActivity &a) {
             double stalls = a.laneNoTerm + a.laneShiftRange +
                             a.laneInterPe + a.laneExponent;
-            t.addRow({model.name, mode,
+            t.addRow({r_on.model, mode,
                       Table::pct(a.laneNoTerm / stalls),
                       Table::pct(a.laneShiftRange / stalls),
                       Table::pct(a.laneInterPe / stalls),
@@ -58,7 +62,7 @@ run()
 } // namespace fpraker
 
 int
-main()
+main(int argc, char **argv)
 {
-    return fpraker::run();
+    return fpraker::run(argc, argv);
 }

@@ -14,7 +14,7 @@ namespace fpraker {
 namespace {
 
 int
-run()
+run(int argc, char **argv)
 {
     bench::banner("Fig. 17",
                   "validation accuracy: native FP32 vs bf16 baseline vs "
@@ -37,11 +37,21 @@ run()
     tcfg.epochs = 8;
     tcfg.batchSize = 32;
     tcfg.learningRate = 0.03f;
-    MlpTrainer trainer(data, tcfg);
 
-    TrainResult fp32 = trainer.run(MacMode::NativeFp32);
-    TrainResult bf16c = trainer.run(MacMode::Bf16Chunked);
-    TrainResult fpr = trainer.run(MacMode::FPRakerEmulated);
+    // The three arithmetic modes train from the same seed on the same
+    // (read-only) dataset; each run owns a private trainer and result
+    // slot, so the modes shard across the runner's engine.
+    const MacMode modes[] = {MacMode::NativeFp32, MacMode::Bf16Chunked,
+                             MacMode::FPRakerEmulated};
+    SweepRunner runner(bench::threads(argc, argv));
+    TrainResult results[3];
+    runner.parallelFor(3, [&](size_t i) {
+        MlpTrainer trainer(data, tcfg);
+        results[i] = trainer.run(modes[i]);
+    });
+    const TrainResult &fp32 = results[0];
+    const TrainResult &bf16c = results[1];
+    const TrainResult &fpr = results[2];
 
     Table t({"epoch", "Native_FP32", "Baseline_BF16", "FPRaker_BF16"});
     for (int e = 0; e < tcfg.epochs; ++e) {
@@ -62,7 +72,7 @@ run()
 } // namespace fpraker
 
 int
-main()
+main(int argc, char **argv)
 {
-    return fpraker::run();
+    return fpraker::run(argc, argv);
 }

@@ -20,20 +20,27 @@ run(int argc, char **argv)
 
     AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
     cfg.sampleSteps = bench::sampleSteps(64);
-    cfg.threads = bench::threads(argc, argv);
-    Accelerator accel(cfg);
+    SweepRunner runner(bench::threads(argc, argv));
+    const Accelerator &accel = runner.addAccelerator(cfg);
 
+    // One job per (model, progress point): the whole time sweep is a
+    // single flattened fan-out.
     const double points[] = {0.0, 0.15, 0.3, 0.5, 0.75, 1.0};
+    const size_t n_points = sizeof(points) / sizeof(points[0]);
+    std::vector<SweepJob> jobs;
+    for (const auto &model : modelZoo())
+        for (double p : points)
+            jobs.push_back(SweepJob{&accel, &model, p});
+    std::vector<ModelRunReport> reports = runner.runModels(jobs);
+
     std::vector<std::string> headers = {"model"};
     for (double p : points)
         headers.push_back(Table::pct(p, 0));
     Table t(headers);
-    for (const auto &model : modelZoo()) {
-        std::vector<std::string> row = {model.name};
-        for (double p : points) {
-            ModelRunReport r = accel.runModel(model, p);
-            row.push_back(Table::cell(r.speedup()));
-        }
+    for (size_t m = 0; m < modelZoo().size(); ++m) {
+        std::vector<std::string> row = {reports[m * n_points].model};
+        for (size_t i = 0; i < n_points; ++i)
+            row.push_back(Table::cell(reports[m * n_points + i].speedup()));
         t.addRow(row);
     }
     t.print();

@@ -11,7 +11,7 @@ namespace fpraker {
 namespace {
 
 int
-run()
+run(int argc, char **argv)
 {
     bench::banner("Fig. 19", "speedup vs rows per tile",
                   "increasing rows per tile costs ~6% on average from "
@@ -21,22 +21,33 @@ run()
     const int rows_options[] = {2, 4, 8, 16};
     const int pe_budget = 36 * 64; // total PEs at iso-compute area
 
+    // The geometry sweep is where the per-PE retirement-skip summary
+    // bit earns its keep (16 PEs share one A stream in the widest
+    // configuration); the 4 variants x 9 models fan out as one job
+    // list over a shared engine.
+    SweepRunner runner(bench::threads(argc, argv));
+    std::vector<const Accelerator *> variants;
+    for (int rows : rows_options) {
+        AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
+        cfg.sampleSteps = bench::sampleSteps(64);
+        cfg.tile.rows = rows;
+        cfg.fprTiles = pe_budget / (rows * cfg.tile.cols);
+        variants.push_back(&runner.addAccelerator(cfg));
+    }
+    std::vector<ModelRunReport> reports =
+        runner.runModels(bench::zooJobs(variants));
+    const size_t n_models = modelZoo().size();
+
     std::vector<std::string> headers = {"model"};
     for (int rows : rows_options)
         headers.push_back(std::to_string(rows) + " rows");
     Table t(headers);
 
     std::vector<std::vector<double>> per_rows(4);
-    for (const auto &model : modelZoo()) {
-        std::vector<std::string> row = {model.name};
+    for (size_t m = 0; m < n_models; ++m) {
+        std::vector<std::string> row = {reports[m].model};
         for (size_t i = 0; i < 4; ++i) {
-            AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
-            cfg.sampleSteps = bench::sampleSteps(64);
-            cfg.tile.rows = rows_options[i];
-            cfg.fprTiles = pe_budget / (rows_options[i] * cfg.tile.cols);
-            Accelerator accel(cfg);
-            ModelRunReport r =
-                accel.runModel(model, bench::kDefaultProgress);
+            const ModelRunReport &r = reports[i * n_models + m];
             per_rows[i].push_back(r.speedup());
             row.push_back(Table::cell(r.speedup()));
         }
@@ -54,7 +65,7 @@ run()
 } // namespace fpraker
 
 int
-main()
+main(int argc, char **argv)
 {
-    return fpraker::run();
+    return fpraker::run(argc, argv);
 }

@@ -11,7 +11,7 @@ namespace fpraker {
 namespace {
 
 int
-run()
+run(int argc, char **argv)
 {
     bench::banner("Fig. 20", "cycle breakdown vs rows per tile",
                   "useful share shrinks with rows; no-term and inter-PE "
@@ -20,19 +20,26 @@ run()
     const int rows_options[] = {2, 4, 8, 16};
     const int pe_budget = 36 * 64;
 
+    SweepRunner runner(bench::threads(argc, argv));
+    std::vector<const Accelerator *> variants;
+    for (int rows : rows_options) {
+        AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
+        cfg.sampleSteps = bench::sampleSteps(64);
+        cfg.tile.rows = rows;
+        cfg.fprTiles = pe_budget / (rows * cfg.tile.cols);
+        variants.push_back(&runner.addAccelerator(cfg));
+    }
+    std::vector<ModelRunReport> reports =
+        runner.runModels(bench::zooJobs(variants));
+    const size_t n_models = modelZoo().size();
+
     Table t({"model", "rows", "useful", "no term", "shift range",
              "inter-PE", "exponent"});
-    for (const auto &model : modelZoo()) {
-        for (int rows : rows_options) {
-            AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
-            cfg.sampleSteps = bench::sampleSteps(64);
-            cfg.tile.rows = rows;
-            cfg.fprTiles = pe_budget / (rows * cfg.tile.cols);
-            Accelerator accel(cfg);
-            ModelRunReport r =
-                accel.runModel(model, bench::kDefaultProgress);
+    for (size_t m = 0; m < n_models; ++m) {
+        for (size_t i = 0; i < 4; ++i) {
+            const ModelRunReport &r = reports[i * n_models + m];
             double lc = r.activity.laneCycles();
-            t.addRow({model.name, std::to_string(rows),
+            t.addRow({r.model, std::to_string(rows_options[i]),
                       Table::pct(r.activity.laneUseful / lc),
                       Table::pct(r.activity.laneNoTerm / lc),
                       Table::pct(r.activity.laneShiftRange / lc),
@@ -48,7 +55,7 @@ run()
 } // namespace fpraker
 
 int
-main()
+main(int argc, char **argv)
 {
-    return fpraker::run();
+    return fpraker::run(argc, argv);
 }

@@ -7,6 +7,8 @@
  * cycles.
  */
 
+#include <map>
+
 #include "bench_common.h"
 #include "train/acc_width_profiler.h"
 
@@ -37,41 +39,63 @@ struct PhaseCycles
 };
 
 PhaseCycles
-runWidths(const ModelInfo &model, bool profiled)
+runWidths(SweepRunner &runner, const ModelInfo &model, bool profiled)
 {
     AccWidthConfig wcfg;
-    PhaseCycles out;
+    // Each (layer, op) carries its own profiled accumulator width.
+    // Distinct widths need distinct accelerator variants, but many
+    // units share a width (and the fixed sweep shares one config
+    // outright), so variants dedupe by threshold — each variant's BDC
+    // cache then warms once instead of once per unit.
+    std::map<int, const Accelerator *> variants;
+    auto variant_for = [&](int ob_threshold) {
+        auto it = variants.find(ob_threshold);
+        if (it != variants.end())
+            return it->second;
+        AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
+        cfg.sampleSteps = bench::sampleSteps(64);
+        cfg.tile.pe.obThreshold = ob_threshold;
+        return variants
+            .emplace(ob_threshold, &runner.addAccelerator(cfg))
+            .first->second;
+    };
+    const int default_threshold =
+        AcceleratorConfig::paperDefault().tile.pe.obThreshold;
+
+    std::vector<SweepLayerJob> jobs;
     for (const auto &layer : model.layers) {
         for (TrainingOp op : {TrainingOp::Forward, TrainingOp::InputGrad,
                               TrainingOp::WeightGrad}) {
-            AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
-            cfg.sampleSteps = bench::sampleSteps(64);
-            if (profiled) {
-                cfg.tile.pe.obThreshold = requiredFracBits(
-                    accumulationLength(layer, op), wcfg);
-            }
-            Accelerator accel(cfg);
-            LayerOpReport r =
-                accel.runLayerOp(model, layer, op,
-                                 bench::kDefaultProgress);
-            switch (op) {
-              case TrainingOp::Forward:
-                out.axw += r.fprCycles;
-                break;
-              case TrainingOp::InputGrad:
-                out.gxw += r.fprCycles;
-                break;
-              case TrainingOp::WeightGrad:
-                out.axg += r.fprCycles;
-                break;
-            }
+            int threshold = profiled
+                                ? requiredFracBits(
+                                      accumulationLength(layer, op), wcfg)
+                                : default_threshold;
+            jobs.push_back(SweepLayerJob{variant_for(threshold), &model,
+                                         &layer, op,
+                                         bench::kDefaultProgress});
+        }
+    }
+    std::vector<LayerOpReport> reports = runner.runLayerOps(jobs);
+
+    PhaseCycles out;
+    for (const LayerOpReport &r : reports) {
+        switch (r.op) {
+          case TrainingOp::Forward:
+            out.axw += r.fprCycles;
+            break;
+          case TrainingOp::InputGrad:
+            out.gxw += r.fprCycles;
+            break;
+          case TrainingOp::WeightGrad:
+            out.axg += r.fprCycles;
+            break;
         }
     }
     return out;
 }
 
 int
-run()
+run(int argc, char **argv)
 {
     bench::banner("Fig. 21",
                   "per-layer profiled accumulator width vs fixed width",
@@ -87,8 +111,9 @@ run()
               "AlexNet", alexnetLayers()},
           {"ResNet18", resnet18Layers()}}) {
         ModelInfo model = makeModel(name, layers);
-        PhaseCycles fixed = runWidths(model, false);
-        PhaseCycles prof = runWidths(model, true);
+        SweepRunner runner(bench::threads(argc, argv));
+        PhaseCycles fixed = runWidths(runner, model, false);
+        PhaseCycles prof = runWidths(runner, model, true);
         auto pct = [&](double v, double ref) { return Table::pct(v / ref); };
         t.addRow({name, pct(fixed.axw, fixed.total()),
                   pct(fixed.gxw, fixed.total()),
@@ -106,7 +131,7 @@ run()
 } // namespace fpraker
 
 int
-main()
+main(int argc, char **argv)
 {
-    return fpraker::run();
+    return fpraker::run(argc, argv);
 }

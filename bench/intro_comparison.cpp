@@ -43,10 +43,12 @@ run(int argc, char **argv)
                   std::to_string(AreaModel::isoComputeTiles(8))});
     areas.print();
 
-    // Performance: run the serial-capable accelerators over the zoo.
+    // Performance: run the serial-capable accelerators over the zoo,
+    // as one sweep through a shared engine (the accelerator models the
+    // baseline machine's cycles analytically — one cycle per step —
+    // so the harness's wall-clock is the serial designs' sampling).
     AcceleratorConfig fpr_cfg = AcceleratorConfig::paperDefault();
     fpr_cfg.sampleSteps = bench::sampleSteps(64);
-    fpr_cfg.threads = bench::threads(argc, argv);
 
     AcceleratorConfig bp_cfg = fpr_cfg;
     bp_cfg.tile.pe = bitPragmaticFpConfig();
@@ -54,21 +56,21 @@ run(int argc, char **argv)
     bp_cfg.useBdc = false;         // no compression scheme
     bp_cfg.autoSerialSide = false; // always serializes one fixed side
 
-    Accelerator fpr(fpr_cfg);
-    Accelerator bp(bp_cfg);
+    SweepRunner runner(bench::threads(argc, argv));
+    const Accelerator &bp = runner.addAccelerator(bp_cfg);
+    const Accelerator &fpr = runner.addAccelerator(fpr_cfg);
+    std::vector<ModelRunReport> reports =
+        runner.runModels(bench::zooJobs({&bp, &fpr}));
+    const size_t n_models = modelZoo().size();
 
-    std::printf("\niso-compute-area speedup over the baseline:\n");
-    Table t({"model", "Bit-Pragmatic-FP", "Laconic-FP", "FPRaker"});
-    std::vector<double> s_bp, s_lac, s_fpr;
-    for (const auto &model : modelZoo()) {
-        ModelRunReport r_bp = bp.runModel(model, bench::kDefaultProgress);
-        ModelRunReport r_fpr =
-            fpr.runModel(model, bench::kDefaultProgress);
-
-        // Laconic-FP: measure average cycles/set at the PE level on
-        // the forward operands, then scale by its iso-area PE count
-        // (its PE is larger than Bit-Pragmatic's; reuse that bound as
-        // an optimistic ceiling).
+    // Laconic-FP: measure average cycles/set at the PE level on the
+    // forward operands, then scale by its iso-area PE count (its PE is
+    // larger than Bit-Pragmatic's; reuse that bound as an optimistic
+    // ceiling). Each model's measurement owns its slot, so the loop
+    // shards across the same engine.
+    std::vector<double> s_lac(n_models);
+    runner.parallelFor(n_models, [&](size_t m) {
+        const ModelInfo &model = modelZoo()[m];
         TensorGenerator ga(model.profile.activation.at(0.5), 101);
         TensorGenerator gw(model.profile.weight.at(0.5), 102);
         LaconicFpPe lac;
@@ -81,16 +83,22 @@ run(int argc, char **argv)
         double lac_cycles_per_set =
             static_cast<double>(lac.stats().cycles) /
             static_cast<double>(lac.stats().sets);
-        double lac_speedup =
+        s_lac[m] =
             (static_cast<double>(AreaModel::bitPragmaticIsoTiles(8)) /
              8.0) /
             lac_cycles_per_set;
+    });
 
+    std::printf("\niso-compute-area speedup over the baseline:\n");
+    Table t({"model", "Bit-Pragmatic-FP", "Laconic-FP", "FPRaker"});
+    std::vector<double> s_bp, s_fpr;
+    for (size_t m = 0; m < n_models; ++m) {
+        const ModelRunReport &r_bp = reports[m];
+        const ModelRunReport &r_fpr = reports[n_models + m];
         s_bp.push_back(r_bp.speedup());
-        s_lac.push_back(lac_speedup);
         s_fpr.push_back(r_fpr.speedup());
-        t.addRow({model.name, Table::cell(r_bp.speedup()),
-                  Table::cell(lac_speedup),
+        t.addRow({r_bp.model, Table::cell(r_bp.speedup()),
+                  Table::cell(s_lac[m]),
                   Table::cell(r_fpr.speedup())});
     }
     t.addRow({"Geomean", Table::cell(geomean(s_bp)),

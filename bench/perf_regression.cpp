@@ -1,25 +1,34 @@
 /**
  * @file
- * Perf-regression harness: times a fixed, seeded workload on the
- * cycle-level simulator and emits BENCH_PR1.json so future PRs have a
- * wall-clock trajectory to beat.
+ * Perf-regression harness: times fixed, seeded workloads on the
+ * cycle-level simulator and emits BENCH_PR2.json, extending the
+ * BENCH_PR<N>.json trajectory each perf PR must beat
+ * (docs/PERFORMANCE.md explains how to read and append it).
  *
- * Three timed configurations over identical pre-generated operands:
+ * Timed sections:
  *
- *  - seed-serial: the seed algorithm (ReferenceColumn / ReferenceTile,
- *    per-set NAF encoding, fixpoint OB rescans, serial column walk);
- *  - serial: the optimized engine at threads=1;
- *  - parallel: the optimized engine at --threads=N (default 8).
+ *  - tile_kernel — the PR 1 comparison, unchanged: the seed algorithm
+ *    (ReferenceColumn / ReferenceTile), the optimized engine at one
+ *    thread, and at --threads=N, over identical pre-generated operand
+ *    slabs. PR 2's kernel gains (transposed settle masks, per-PE
+ *    retirement skip) land here.
+ *  - sweep — the PR 2 tentpole: several whole tile-kernel jobs (the
+ *    kernel workload replicated under per-job RNG substreams, keeping
+ *    sets/sec comparable) submitted through one SweepRunner and timed
+ *    at 1, 2, and 8 threads. The sweep-level sets/sec must beat the
+ *    previous PR's kernel sets/sec, and the FNV-1a checksum over every
+ *    job's outputs must be identical at every thread count.
+ *  - model_sweep — a three-model sweep of full accelerator runs (the
+ *    Fig. 11 unit of work) through the same runner, serial vs parallel.
  *
- * All three must produce bit-identical outputs, cycle counts, and
- * statistics — the harness checksums them and refuses to report a
- * speedup over diverging runs. A whole-model run (the Fig. 11 unit of
- * work) is timed at 1 and N threads as well.
+ * The harness refuses to report a speedup over diverging runs.
  *
- *   ./perf_regression [--threads=N] [--steps=N] [--out=FILE]
+ *   ./perf_regression [--threads=N] [--steps=N] [--reps=N] [--out=FILE]
  *
  * FPRAKER_SAMPLE_STEPS scales the tile workload (CI smoke runs use a
- * small budget), FPRAKER_THREADS feeds the default thread count.
+ * small budget — .github/workflows/ci.yml pins one and compares the
+ * emitted checksums against bench/SMOKE_BASELINE.json), and
+ * FPRAKER_THREADS feeds the default thread count.
  */
 
 #include <chrono>
@@ -30,6 +39,7 @@
 #include "bench_common.h"
 #include "common/logging.h"
 #include "sim/reference_column.h"
+#include "trace/rng_stream.h"
 #include "trace/tensor_gen.h"
 
 namespace fpraker {
@@ -224,7 +234,7 @@ run(int argc, char **argv)
     int threads = 8;
     int steps = bench::sampleSteps(4096);
     int reps = 3;
-    const char *out_path = "BENCH_PR1.json";
+    const char *out_path = "BENCH_PR2.json";
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--threads=", 10) == 0)
             threads = std::atoi(argv[i] + 10);
@@ -238,9 +248,10 @@ run(int argc, char **argv)
     fatal_if(threads < 1 || steps < 1 || reps < 1,
              "bad --threads/--steps/--reps");
 
-    banner("PR1", "perf regression: parallel engine + encoder LUT",
-           "optimized serial and parallel runs bit-identical to the "
-           "seed algorithm, ≥3x wall-clock at 8 threads");
+    banner("PR2",
+           "perf regression: sweep-level sharding + retirement skip",
+           "kernel beats the BENCH_PR1 sets/sec; sweep-level sets/sec "
+           "bit-identical at 1/2/8 threads");
 
     const char *model_name = "ResNet18-Q";
     const ModelInfo &model = findModel(model_name);
@@ -286,23 +297,87 @@ run(int argc, char **argv)
     std::printf("  bit-identical:    %s\n",
                 tile_identical ? "yes" : "NO — REGRESSION");
 
-    // Whole-model runs: the Fig. 11 unit of work, serial vs parallel.
+    // Sweep section: several whole tile-kernel jobs submitted through
+    // a single SweepRunner. Jobs replicate the kernel workload (same
+    // model profile, so sets/sec stays comparable across the
+    // BENCH_PR<N> trajectory) with per-job RNG substreams, and
+    // pre-generate their slabs untimed; the timed region is the
+    // sharded simulation itself. Every thread count must reproduce the
+    // same combined checksum.
+    const size_t sweep_jobs = 6;
+    const int sweep_steps = std::max(1, steps / 2);
+    std::vector<Workload> sweep_w;
+    for (size_t j = 0; j < sweep_jobs; ++j)
+        sweep_w.push_back(
+            makeWorkload(model, sweep_steps, substreamSeed(seed, j)));
+    const uint64_t sweep_sets = static_cast<uint64_t>(sweep_jobs) *
+                                static_cast<uint64_t>(sweep_steps) *
+                                w.tile.cols;
+
+    const int sweep_threads[3] = {1, 2, 8};
+    double sweep_s[3] = {};
+    uint64_t sweep_sum[3] = {};
+    for (int ti = 0; ti < 3; ++ti) {
+        auto run_once = [&]() {
+            SweepRunner runner(sweep_threads[ti]);
+            std::vector<uint64_t> job_sums(sweep_jobs);
+            TileTiming t;
+            double t0 = now();
+            runner.parallelFor(sweep_jobs, [&](size_t j) {
+                TileTiming jt = runOptimized(sweep_w[j], 1);
+                job_sums[j] = jt.checksum;
+            });
+            t.seconds = now() - t0;
+            Checksum sum;
+            for (uint64_t s_j : job_sums)
+                sum.add(s_j);
+            t.checksum = sum.value();
+            return t;
+        };
+        TileTiming t = best(run_once);
+        sweep_s[ti] = t.seconds;
+        sweep_sum[ti] = t.checksum;
+    }
+    bool sweep_identical = sweep_sum[0] == sweep_sum[1] &&
+                           sweep_sum[0] == sweep_sum[2];
+    double sweep_best_s = std::min({sweep_s[0], sweep_s[1], sweep_s[2]});
+
+    std::printf("sweep: %zu tile-kernel jobs (%d steps each, "
+                "%" PRIu64 " column-sets total) via SweepRunner\n",
+                sweep_jobs, sweep_steps, sweep_sets);
+    for (int ti = 0; ti < 3; ++ti)
+        std::printf("  %d thread(s):     %8.3f s  %10.0f sets/s\n",
+                    sweep_threads[ti], sweep_s[ti],
+                    sweep_sets / sweep_s[ti]);
+    std::printf("  bit-identical:    %s\n",
+                sweep_identical ? "yes" : "NO — REGRESSION");
+
+    // Model sweep: full accelerator runs (the Fig. 11 unit of work)
+    // for three models through one runner, serial vs parallel.
+    const char *sweep_models[3] = {"ResNet18-Q", "SNLI",
+                                   "SqueezeNet 1.1"};
     AcceleratorConfig mcfg = AcceleratorConfig::paperDefault();
     mcfg.sampleSteps = bench::sampleSteps(96);
-    mcfg.threads = 1;
-    double m0 = now();
-    ModelRunReport r1 = Accelerator(mcfg).runModel(model, 0.5);
-    double model_serial_s = now() - m0;
-    mcfg.threads = threads;
-    m0 = now();
-    ModelRunReport rn = Accelerator(mcfg).runModel(model, 0.5);
-    double model_parallel_s = now() - m0;
-    uint64_t model_sum_1 = reportChecksum(r1);
-    uint64_t model_sum_n = reportChecksum(rn);
+    auto model_sweep = [&](int t) {
+        SweepRunner runner(t);
+        const Accelerator &accel = runner.addAccelerator(mcfg);
+        std::vector<SweepJob> jobs;
+        for (const char *name : sweep_models)
+            jobs.push_back(SweepJob{&accel, &findModel(name), 0.5});
+        double t0 = now();
+        std::vector<ModelRunReport> reports = runner.runModels(jobs);
+        double secs = now() - t0;
+        Checksum sum;
+        for (const ModelRunReport &r : reports)
+            sum.add(reportChecksum(r));
+        return std::pair<double, uint64_t>(secs, sum.value());
+    };
+    auto [model_serial_s, model_sum_1] = model_sweep(1);
+    auto [model_parallel_s, model_sum_n] = model_sweep(threads);
     bool model_identical = model_sum_1 == model_sum_n;
 
-    std::printf("model run (%s, %d sample steps/op, %zu ops):\n",
-                model_name, mcfg.sampleSteps, r1.ops.size());
+    std::printf("model sweep (3 models, %d sample steps/op):\n",
+                mcfg.sampleSteps);
     std::printf("  serial:     %8.3f s\n", model_serial_s);
     std::printf("  %d threads: %8.3f s  (%.2fx)\n", threads,
                 model_parallel_s, model_serial_s / model_parallel_s);
@@ -342,8 +417,26 @@ run(int argc, char **argv)
     std::fprintf(f, "    \"bit_identical\": %s\n",
                  tile_identical ? "true" : "false");
     std::fprintf(f, "  },\n");
-    std::fprintf(f, "  \"model_run\": {\n");
-    std::fprintf(f, "    \"model\": \"%s\",\n", model_name);
+    std::fprintf(f, "  \"sweep\": {\n");
+    std::fprintf(f, "    \"jobs\": %zu,\n", sweep_jobs);
+    std::fprintf(f, "    \"steps_per_job\": %d,\n", sweep_steps);
+    std::fprintf(f, "    \"column_sets\": %" PRIu64 ",\n", sweep_sets);
+    for (int ti = 0; ti < 3; ++ti) {
+        std::fprintf(f, "    \"seconds_t%d\": %.6f,\n",
+                     sweep_threads[ti], sweep_s[ti]);
+        std::fprintf(f, "    \"sets_per_sec_t%d\": %.1f,\n",
+                     sweep_threads[ti], sweep_sets / sweep_s[ti]);
+        std::fprintf(f, "    \"checksum_t%d\": \"%016" PRIx64 "\",\n",
+                     sweep_threads[ti], sweep_sum[ti]);
+    }
+    std::fprintf(f, "    \"sets_per_sec_best\": %.1f,\n",
+                 sweep_sets / sweep_best_s);
+    std::fprintf(f, "    \"bit_identical\": %s\n",
+                 sweep_identical ? "true" : "false");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"model_sweep\": {\n");
+    std::fprintf(f, "    \"models\": [\"%s\", \"%s\", \"%s\"],\n",
+                 sweep_models[0], sweep_models[1], sweep_models[2]);
     std::fprintf(f, "    \"sample_steps\": %d,\n", mcfg.sampleSteps);
     std::fprintf(f, "    \"serial_s\": %.6f,\n", model_serial_s);
     std::fprintf(f, "    \"parallel_s\": %.6f,\n", model_parallel_s);
@@ -360,7 +453,8 @@ run(int argc, char **argv)
     std::fclose(f);
     std::printf("wrote %s\n", out_path);
 
-    return (tile_identical && model_identical) ? 0 : 1;
+    return (tile_identical && sweep_identical && model_identical) ? 0
+                                                                  : 1;
 }
 
 } // namespace

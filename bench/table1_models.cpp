@@ -6,20 +6,29 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace fpraker;
     bench::banner("Table I", "models studied",
                   "nine models spanning classification, NLP, detection, "
                   "recommendation, and translation");
 
+    // Row contents are cheap (a MAC sum per model), but the walk goes
+    // through the sweep runner like every other harness so the zoo
+    // iteration pattern is uniform across bench/.
+    SweepRunner runner(bench::threads(argc, argv));
+    std::vector<std::vector<std::string>> rows(modelZoo().size());
+    runner.parallelFor(rows.size(), [&](size_t i) {
+        const ModelInfo &m = modelZoo()[i];
+        rows[i] = {m.name, m.application, m.dataset,
+                   std::to_string(m.layers.size()),
+                   Table::cell(static_cast<double>(m.macsPerOp()) / 1e9,
+                               2)};
+    });
+
     Table t({"model", "application", "dataset", "layers", "GMACs/op"});
-    for (const auto &m : modelZoo()) {
-        t.addRow({m.name, m.application, m.dataset,
-                  std::to_string(m.layers.size()),
-                  Table::cell(static_cast<double>(m.macsPerOp()) / 1e9,
-                              2)});
-    }
+    for (const auto &row : rows)
+        t.addRow(row);
     t.print();
     return 0;
 }

@@ -1,10 +1,17 @@
 /**
  * @file
- * End-to-end accelerator simulation of one model: per-layer speedup,
- * stall profile, and energy of the iso-compute-area FPRaker machine
- * (36 tiles) vs the bit-parallel baseline (8 tiles).
+ * End-to-end accelerator simulation of one model (paper Sec. V-B /
+ * Fig. 11's unit of work): per-layer speedup, stall profile, and
+ * energy of the iso-compute-area FPRaker machine (36 tiles) vs the
+ * bit-parallel baseline (8 tiles).
  *
  *   ./accelerator_sim ["ResNet18-Q"] [progress]
+ *
+ * Model names are Table I's (see table1_models). Set FPRAKER_THREADS
+ * to shard the run's (layer, op) units, phase-sample bursts, and tile
+ * columns — the report is bit-identical at any thread count. Sweeps
+ * over many models/configs should go through SweepRunner instead
+ * (see bench/fig11_perf_energy.cpp).
  */
 
 #include <cstdio>

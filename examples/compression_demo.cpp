@@ -1,8 +1,10 @@
 /**
  * @file
- * Exponent base-delta compression demo: generate training-shaped
- * tensors, compress, verify the exact round trip, and print the
- * footprint as a function of exponent spread and sparsity.
+ * Exponent base-delta compression demo (paper Sec. IV-E / Fig. 9-10):
+ * generate training-shaped tensors, compress, verify the exact round
+ * trip, and print the footprint as a function of exponent spread and
+ * sparsity — the off-chip traffic reduction the accelerator model
+ * applies when AcceleratorConfig::useBdc is set.
  *
  *   ./compression_demo
  */

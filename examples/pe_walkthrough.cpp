@@ -4,7 +4,9 @@
  * (A0 = 2^2 x 1.1101 with B0 = 2^3 x 1.0011, and A1 = 2^1 x 1.1011 with
  * B1 = 2^1 x 1.1010), raw-bit term streams, a 3-position shifter
  * window, and — in the second run — a 6-bit accumulator whose
- * out-of-bounds skipping saves the final cycle.
+ * out-of-bounds skipping saves the final cycle. Uses the PE's trace
+ * callback (setTraceCallback), which disables the simulator's
+ * retirement-skip fast path so every cycle is observable.
  *
  *   ./pe_walkthrough
  */

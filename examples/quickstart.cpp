@@ -1,7 +1,9 @@
 /**
  * @file
- * Quickstart: build an FPRaker PE, feed it MAC sets, and compare its
- * result and cycle count against the bit-parallel baseline PE.
+ * Quickstart: build an FPRaker PE (paper Sec. IV), feed it MAC sets,
+ * and compare its result and cycle count against the bit-parallel
+ * baseline PE (Sec. V-A) — the smallest end-to-end tour of the PE
+ * API: PeConfig knobs, processSet/dot, PeStats, and the accumulator.
  *
  *   ./quickstart
  */

@@ -3,7 +3,9 @@
  * Train a small classifier three times — native FP32, bfloat16 with
  * chunk-based accumulation (the baseline PE's arithmetic), and the
  * FPRaker term-serial PE emulated in every MAC — and show the curves
- * converge together (the paper's Fig. 17 claim).
+ * converge together (the paper's Fig. 17 claim: FPRaker only skips
+ * work that cannot affect the accumulator, so training accuracy is
+ * preserved).
  *
  *   ./train_emulation [epochs]
  */

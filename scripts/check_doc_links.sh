@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Verify that every relative markdown link in README.md and docs/*.md
+# resolves to a file or directory in the repository. External links
+# (http/https/mailto) and pure anchors are skipped; a link's own
+# "#section" suffix is stripped before the existence check.
+#
+#   scripts/check_doc_links.sh [repo-root]
+set -u
+root="${1:-.}"
+rm -f "$root/.linkcheck_failed"
+
+for doc in "$root"/README.md "$root"/docs/*.md; do
+    [ -f "$doc" ] || continue
+    dir=$(dirname "$doc")
+    # Markdown inline links: [text](target)
+    grep -o '\[[^]]*\]([^)]*)' "$doc" | sed 's/.*(\(.*\))/\1/' |
+    while IFS= read -r target; do
+        case "$target" in
+          http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ] && [ ! -e "$root/$path" ]; then
+            echo "BROKEN LINK: $doc -> $target"
+            echo 1 > "$root/.linkcheck_failed"
+        fi
+    done
+done
+
+if [ -f "$root/.linkcheck_failed" ]; then
+    rm -f "$root/.linkcheck_failed"
+    echo "doc link check FAILED"
+    exit 1
+fi
+echo "doc link check passed"

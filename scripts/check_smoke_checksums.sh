@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Compare the checksum lines of a perf_regression smoke report against
+# the committed baseline (bench/SMOKE_BASELINE.json). The simulator's
+# results are deterministic functions of the seeded workload, so any
+# checksum drift means the kernel's arithmetic changed — which must be
+# a deliberate, baseline-regenerating decision, never an accident.
+#
+#   scripts/check_smoke_checksums.sh <emitted.json> [baseline.json]
+set -eu
+emitted="$1"
+baseline="${2:-bench/SMOKE_BASELINE.json}"
+
+extract() { grep -o '"checksum[^,]*' "$1"; }
+
+if ! diff <(extract "$baseline") <(extract "$emitted"); then
+    echo "smoke checksums DIFFER from $baseline"
+    echo "(if the kernel's arithmetic intentionally changed, regenerate"
+    echo " the baseline with the same FPRAKER_SAMPLE_STEPS/flags and"
+    echo " commit it alongside the change)"
+    exit 1
+fi
+echo "smoke checksums match $baseline"

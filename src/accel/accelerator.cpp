@@ -55,8 +55,18 @@ ModelRunReport::speedupForOp(TrainingOp op) const
 Accelerator::Accelerator(AcceleratorConfig cfg,
                          EnergyModelConfig energy_cfg)
     : cfg_(cfg), energy_(energy_cfg),
-      engine_(std::make_unique<SimEngine>(cfg.threads))
+      ownedEngine_(std::make_unique<SimEngine>(cfg.threads)),
+      engine_(ownedEngine_.get())
 {
+    panic_if(cfg_.fprTiles < 1 || cfg_.baselineTiles < 1,
+             "need at least one tile per machine");
+}
+
+Accelerator::Accelerator(AcceleratorConfig cfg,
+                         EnergyModelConfig energy_cfg, SimEngine *shared)
+    : cfg_(cfg), energy_(energy_cfg), engine_(shared)
+{
+    panic_if(!shared, "borrowed engine must not be null");
     panic_if(cfg_.fprTiles < 1 || cfg_.baselineTiles < 1,
              "need at least one tile per machine");
 }
@@ -179,7 +189,7 @@ Accelerator::runLayerOp(const ModelInfo &model, const LayerShape &layer,
     prc.sampleSteps = cfg_.sampleSteps;
     prc.seed = cfg_.seed;
     prc.autoSerialSide = cfg_.autoSerialSide;
-    prc.engine = engine_.get();
+    prc.engine = engine_;
     PhaseRunResult sample =
         runPhaseSample(model, layer, op, progress, prc);
     r.serialSide = sample.serialSide;
@@ -272,28 +282,45 @@ Accelerator::runLayerOp(const ModelInfo &model, const LayerShape &layer,
     return r;
 }
 
-ModelRunReport
-Accelerator::runModel(const ModelInfo &model, double progress) const
+std::vector<LayerOpUnit>
+Accelerator::modelUnits(const ModelInfo &model)
 {
-    ModelRunReport report;
-    report.model = model.name;
-    report.progress = progress;
-
-    // The (layer, op) units are independent: each seeds its own value
-    // streams and owns a fresh tile. Shard them across the engine,
-    // then reduce in layer/op order so the report is bit-identical for
-    // any thread count.
-    struct Unit
-    {
-        const LayerShape *layer;
-        TrainingOp op;
-    };
-    std::vector<Unit> units;
+    std::vector<LayerOpUnit> units;
     units.reserve(model.layers.size() * 3);
     for (const LayerShape &layer : model.layers)
         for (TrainingOp op : {TrainingOp::Forward, TrainingOp::InputGrad,
                               TrainingOp::WeightGrad})
-            units.push_back(Unit{&layer, op});
+            units.push_back(LayerOpUnit{&layer, op});
+    return units;
+}
+
+ModelRunReport
+Accelerator::reduceModel(const ModelInfo &model, double progress,
+                         std::vector<LayerOpReport> results)
+{
+    ModelRunReport report;
+    report.model = model.name;
+    report.progress = progress;
+    report.ops.reserve(results.size());
+    for (LayerOpReport &r : results) {
+        report.fprCycles += r.fprCycles;
+        report.baseCycles += r.baseCycles;
+        report.fprEnergy.merge(r.fprEnergy);
+        report.baseEnergy.merge(r.baseEnergy);
+        report.activity.merge(r.activity);
+        report.ops.push_back(std::move(r));
+    }
+    return report;
+}
+
+ModelRunReport
+Accelerator::runModel(const ModelInfo &model, double progress) const
+{
+    // The (layer, op) units are independent: each seeds its own value
+    // streams and owns fresh tiles. Shard them across the engine, then
+    // reduce in layer/op order so the report is bit-identical for any
+    // thread count.
+    std::vector<LayerOpUnit> units = modelUnits(model);
 
     // Pre-warm the BDC footprint cache so the parallel phase only
     // reads it.
@@ -304,16 +331,7 @@ Accelerator::runModel(const ModelInfo &model, double progress) const
         results[i] =
             runLayerOp(model, *units[i].layer, units[i].op, progress);
     });
-
-    for (LayerOpReport &r : results) {
-        report.fprCycles += r.fprCycles;
-        report.baseCycles += r.baseCycles;
-        report.fprEnergy.merge(r.fprEnergy);
-        report.baseEnergy.merge(r.baseEnergy);
-        report.activity.merge(r.activity);
-        report.ops.push_back(std::move(r));
-    }
-    return report;
+    return reduceModel(model, progress, std::move(results));
 }
 
 } // namespace fpraker

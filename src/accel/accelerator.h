@@ -116,12 +116,28 @@ struct ModelRunReport
     }
 };
 
+/** One independent (layer, op) unit of a model run. */
+struct LayerOpUnit
+{
+    const LayerShape *layer;
+    TrainingOp op;
+};
+
 /** The iso-compute-area accelerator pair. */
 class Accelerator
 {
   public:
     explicit Accelerator(AcceleratorConfig cfg = {},
                          EnergyModelConfig energy_cfg = {});
+
+    /**
+     * Borrow @p shared as the simulation engine instead of owning one
+     * (the SweepRunner binds every accelerator of a sweep to a single
+     * engine this way; cfg.threads is ignored). @p shared must outlive
+     * the accelerator.
+     */
+    Accelerator(AcceleratorConfig cfg, EnergyModelConfig energy_cfg,
+                SimEngine *shared);
 
     /** Simulate one (layer, op). */
     LayerOpReport runLayerOp(const ModelInfo &model,
@@ -137,6 +153,30 @@ class Accelerator
     ModelRunReport runModel(const ModelInfo &model,
                             double progress = 0.5) const;
 
+    /**
+     * The (layer, op) units of a model run, in report order. A sweep
+     * scheduler fans these out itself (across many models/configs at
+     * once) and rebuilds each report with reduceModel.
+     */
+    static std::vector<LayerOpUnit> modelUnits(const ModelInfo &model);
+
+    /**
+     * Reduce per-unit reports — results[i] from runLayerOp on
+     * modelUnits(model)[i] — into the whole-model report, in unit
+     * order (the serial reduction that keeps runs bit-identical).
+     */
+    static ModelRunReport reduceModel(const ModelInfo &model,
+                                      double progress,
+                                      std::vector<LayerOpReport> results);
+
+    /**
+     * Pre-warm the BDC footprint cache for every tensor kind a model
+     * run at @p progress will touch, so a subsequent parallel fan-out
+     * only reads it. runModel does this itself; external schedulers
+     * must call it before fanning out runLayerOp units.
+     */
+    void warmBdcCache(const ModelInfo &model, double progress) const;
+
     const AcceleratorConfig &config() const { return cfg_; }
     const EnergyModel &energyModel() const { return energy_; }
 
@@ -144,12 +184,10 @@ class Accelerator
     double cachedBdcFootprint(const ModelInfo &model, TensorKind kind,
                               double progress) const;
 
-    /** Warm the BDC cache for every kind a model run will touch. */
-    void warmBdcCache(const ModelInfo &model, double progress) const;
-
     AcceleratorConfig cfg_;
     EnergyModel energy_;
-    std::unique_ptr<SimEngine> engine_;
+    std::unique_ptr<SimEngine> ownedEngine_;
+    SimEngine *engine_ = nullptr; //!< ownedEngine_.get() or borrowed.
     mutable std::mutex bdcMutex_;
     mutable std::map<std::string, double> bdcCache_;
 };

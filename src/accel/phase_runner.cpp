@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "trace/rng_stream.h"
 
 namespace fpraker {
 
@@ -41,10 +42,7 @@ runPhaseSample(const ModelInfo &model, const LayerShape &layer,
     uint64_t base_seed = cfg.seed * 1000003 +
                          std::hash<std::string>{}(layer.name) +
                          static_cast<uint64_t>(op) * 97;
-    TensorGenerator serial_gen(serial_profile, base_seed);
-    TensorGenerator parallel_gen(parallel_profile, base_seed ^ 0x5eed);
 
-    Tile tile(cfg.tile);
     const int lanes = cfg.tile.pe.lanes;
     const size_t a_len = static_cast<size_t>(cfg.tile.cols) * lanes;
     const size_t b_len = static_cast<size_t>(cfg.tile.rows) * lanes;
@@ -54,43 +52,83 @@ runPhaseSample(const ModelInfo &model, const LayerShape &layer,
         1, std::min<int64_t>(cfg.stepsPerOutput,
                              (layer.k + lanes - 1) / lanes));
 
-    PhaseRunResult result;
-    result.serialSide = serial;
+    // A burst covers one output block (the accumulators reset between
+    // blocks), which makes bursts fully independent simulation units:
+    // each seeds its own RNG substreams — a function of the burst
+    // index, never of the executing worker — generates its own operand
+    // slabs, and runs a private tile. Bursts therefore shard across
+    // the engine and reduce in burst order, bit-identical to the
+    // serial walk at any thread count.
+    const size_t n_bursts =
+        (static_cast<size_t>(cfg.sampleSteps) +
+         static_cast<size_t>(steps_per_output) - 1) /
+        static_cast<size_t>(steps_per_output);
 
-    // Operand arenas reused across bursts: one flat slab per side,
-    // step s of a burst at a_buf + s * a_len / b_buf + s * b_len.
-    const size_t max_burst = static_cast<size_t>(
-        std::min(cfg.sampleSteps, steps_per_output));
-    std::vector<BFloat16> a_buf(max_burst * a_len);
-    std::vector<BFloat16> b_buf(max_burst * b_len);
-    std::vector<TileStepView> views(max_burst);
+    struct BurstResult
+    {
+        uint64_t cycles = 0;
+        PeStats peStats;
+        TensorStats serialStats;
+        TensorStats parallelStats;
+    };
+    std::vector<BurstResult> bursts(n_bursts);
 
-    uint64_t total_cycles = 0;
-    int done = 0;
-    while (done < cfg.sampleSteps) {
-        size_t burst = static_cast<size_t>(
-            std::min(cfg.sampleSteps - done, steps_per_output));
+    const bool shard_bursts =
+        cfg.engine && cfg.engine->threads() > 1 && n_bursts > 1;
+    // When the bursts themselves shard, the tile runs serially inside
+    // each one — handing it the engine too would only over-post helper
+    // tasks that find the column batch already drained.
+    SimEngine *tile_engine = shard_bursts ? nullptr : cfg.engine;
+
+    auto run_burst = [&](size_t bi) {
+        const int first = static_cast<int>(bi) * steps_per_output;
+        const size_t burst = static_cast<size_t>(
+            std::min(cfg.sampleSteps - first, steps_per_output));
+        TensorGenerator serial_gen(serial_profile,
+                                   substreamSeed(base_seed, 2 * bi));
+        TensorGenerator parallel_gen(
+            parallel_profile, substreamSeed(base_seed, 2 * bi + 1));
+
+        std::vector<BFloat16> a_buf(burst * a_len);
+        std::vector<BFloat16> b_buf(burst * b_len);
+        std::vector<TileStepView> views(burst);
+        BurstResult &out = bursts[bi];
         for (size_t s = 0; s < burst; ++s) {
             BFloat16 *a = a_buf.data() + s * a_len;
             BFloat16 *b = b_buf.data() + s * b_len;
             serial_gen.fill(a, a_len);
             parallel_gen.fill(b, b_len);
-            result.serialStats.merge(
+            out.serialStats.merge(
                 measureTensor(a, a_len, cfg.tile.pe.encoding));
-            result.parallelStats.merge(
+            out.parallelStats.merge(
                 measureTensor(b, b_len, cfg.tile.pe.encoding));
             views[s] = TileStepView{a, b};
         }
-        TileRunResult run = tile.run(views.data(), burst, cfg.engine);
-        total_cycles += run.cycles;
-        tile.resetAccumulators();
-        done += static_cast<int>(burst);
-    }
 
+        Tile tile(cfg.tile);
+        TileRunResult run = tile.run(views.data(), burst, tile_engine);
+        out.cycles = run.cycles;
+        out.peStats = tile.aggregateStats();
+    };
+
+    if (shard_bursts)
+        cfg.engine->parallelFor(n_bursts, run_burst);
+    else
+        for (size_t bi = 0; bi < n_bursts; ++bi)
+            run_burst(bi);
+
+    PhaseRunResult result;
+    result.serialSide = serial;
+    uint64_t total_cycles = 0;
+    for (const BurstResult &b : bursts) {
+        total_cycles += b.cycles;
+        result.peStats.merge(b.peStats);
+        result.serialStats.merge(b.serialStats);
+        result.parallelStats.merge(b.parallelStats);
+    }
     result.steps = static_cast<uint64_t>(cfg.sampleSteps);
     result.avgCyclesPerStep = static_cast<double>(total_cycles) /
                               static_cast<double>(cfg.sampleSteps);
-    result.peStats = tile.aggregateStats();
     return result;
 }
 

@@ -14,9 +14,14 @@
  * sparsity depending on the layer and the pass" — by picking the
  * operand with the lower expected term density.
  *
- * Operand streams are generated into reused flat buffers and handed to
- * the tile as views (no per-step vector churn); when the config carries
- * a SimEngine, the tile shards its columns across it.
+ * Sampling is sharded at the output-block (burst) grain: the
+ * accumulators reset between blocks, so each burst is an independent
+ * unit that seeds its own RNG substreams (substreamSeed(base, burst) —
+ * a function of the burst index, never of the executing worker),
+ * generates its own operand slabs, and runs a private tile. When the
+ * config carries a SimEngine the bursts shard across it (and the tile
+ * shards its columns for the serial caller), bit-identical to the
+ * serial walk at any thread count.
  */
 
 #ifndef FPRAKER_ACCEL_PHASE_RUNNER_H

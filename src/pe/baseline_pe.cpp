@@ -14,15 +14,57 @@ BaselinePe::BaselinePe(const PeConfig &cfg)
              "unsupported lane count %d", cfg_.lanes);
 }
 
+void
+BaselinePe::decode(const BFloat16 *v, int n, DecodedOperands &out)
+{
+    panic_if(n < 1 || n > DecodedOperands::kMaxLanes,
+             "decoding %d lanes", n);
+    for (int l = 0; l < n; ++l) {
+        const BFloat16 x = v[l];
+        panic_if(!x.isFinite(), "non-finite PE operand (%04x)", x.bits());
+        out.exp[l] = static_cast<int16_t>(x.unbiasedExponent());
+        out.sig[l] = static_cast<int16_t>(x.significand());
+        out.neg[l] = x.isNegative();
+        out.zero[l] = x.isZero();
+    }
+}
+
 int
 BaselinePe::processSet(const MacPair *pairs, int n)
 {
     panic_if(n != cfg_.lanes, "set arity %d does not match PE lanes %d", n,
              cfg_.lanes);
+    BFloat16 a[DecodedOperands::kMaxLanes];
+    BFloat16 b[DecodedOperands::kMaxLanes];
+    for (int l = 0; l < n; ++l) {
+        a[l] = pairs[l].a;
+        b[l] = pairs[l].b;
+    }
+    DecodedOperands da, db;
+    decode(a, n, da);
+    decode(b, n, db);
+    return processDecoded(da, db);
+}
 
-    ExponentBlockResult ebr = ExponentBlock::compute(
-        pairs, n, acc_.chunkRegister().exponent());
-    acc_.chunkRegister().alignTo(ebr.emax);
+int
+BaselinePe::processDecoded(const DecodedOperands &a,
+                           const DecodedOperands &b)
+{
+    const int n = cfg_.lanes;
+
+    // The exponent block: product exponents, the MAX tree (zero
+    // operands carry exponent fields far below any normal value, so
+    // inactive lanes are excluded), and the accumulator alignment.
+    int abExp[DecodedOperands::kMaxLanes];
+    bool active[DecodedOperands::kMaxLanes];
+    int emax = acc_.chunkRegister().exponent();
+    for (int l = 0; l < n; ++l) {
+        active[l] = !a.zero[l] && !b.zero[l];
+        abExp[l] = a.exp[l] + b.exp[l];
+        if (active[l] && abExp[l] > emax)
+            emax = abExp[l];
+    }
+    acc_.chunkRegister().alignTo(emax);
 
     // Align every product to the set's maximum exponent and reduce
     // exactly in a wide adder tree. Products that fall entirely below
@@ -32,23 +74,23 @@ BaselinePe::processSet(const MacPair *pairs, int n)
     int64_t sum = 0;
     int lsb_min = INT_MAX;
     for (int l = 0; l < n; ++l) {
-        if (!ebr.active[l])
+        if (!active[l])
             continue;
-        if (ebr.abExp[l] < ebr.emax - window)
+        if (abExp[l] < emax - window)
             continue;
         // Product lsb weighs 2^(Ae+Be-14); the in-window spread is
         // bounded so the exact reduction fits comfortably in 64 bits.
-        int lsb = ebr.abExp[l] - 14;
+        int lsb = abExp[l] - 14;
         if (lsb < lsb_min)
             lsb_min = lsb;
     }
     for (int l = 0; l < n; ++l) {
-        if (!ebr.active[l] || ebr.abExp[l] < ebr.emax - window)
+        if (!active[l] || abExp[l] < emax - window)
             continue;
-        int64_t prod = static_cast<int64_t>(pairs[l].a.significand()) *
-                       static_cast<int64_t>(pairs[l].b.significand());
-        int64_t contrib = prod << (ebr.abExp[l] - 14 - lsb_min);
-        sum += ebr.prodNeg[l] ? -contrib : contrib;
+        int64_t prod = static_cast<int64_t>(a.sig[l]) *
+                       static_cast<int64_t>(b.sig[l]);
+        int64_t contrib = prod << (abExp[l] - 14 - lsb_min);
+        sum += (a.neg[l] != b.neg[l]) ? -contrib : contrib;
     }
     if (sum != 0) {
         acc_.chunkRegister().addValue(
@@ -60,7 +102,7 @@ BaselinePe::processSet(const MacPair *pairs, int n)
     stats_.sets += 1;
     stats_.macs += static_cast<uint64_t>(n);
     for (int l = 0; l < n; ++l)
-        if (!ebr.active[l])
+        if (!active[l])
             stats_.ineffectualMacs += 1;
     return 1;
 }

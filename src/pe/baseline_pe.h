@@ -40,6 +40,23 @@ struct BaselinePeStats
 };
 
 /**
+ * A pre-decoded operand vector (sign / exponent / significand / zero
+ * per lane). In a tile, every PE of a row shares one B vector and
+ * every PE of a column shares one A vector — decoding each vector once
+ * per step and fanning the result across the grid is what turns the
+ * naive per-PE walk into the batched row walk (BaselineTile::run).
+ */
+struct DecodedOperands
+{
+    static constexpr int kMaxLanes = 16;
+
+    int16_t exp[kMaxLanes] = {}; //!< Unbiased exponent.
+    int16_t sig[kMaxLanes] = {}; //!< Significand with hidden bit (0 if zero).
+    bool neg[kMaxLanes] = {};
+    bool zero[kMaxLanes] = {};
+};
+
+/**
  * 8-wide bit-parallel bfloat16 MAC PE with chunk-based accumulation.
  */
 class BaselinePe
@@ -52,6 +69,20 @@ class BaselinePe
      * @return cycles consumed (1).
      */
     int processSet(const MacPair *pairs, int n);
+
+    /**
+     * Decode @p n lanes of operands (rejecting non-finite values) for
+     * processDecoded. A tile calls this once per shared row/column
+     * vector per step.
+     */
+    static void decode(const BFloat16 *v, int n, DecodedOperands &out);
+
+    /**
+     * processSet on pre-decoded operand vectors (lane l multiplies
+     * a.lane[l] by b.lane[l]). Bit-identical to processSet — it IS the
+     * arithmetic path processSet routes through.
+     */
+    int processDecoded(const DecodedOperands &a, const DecodedOperands &b);
 
     /** Accumulate a full dot product, lanes pairs per cycle. */
     int dot(const std::vector<BFloat16> &a, const std::vector<BFloat16> &b);

@@ -19,11 +19,16 @@ FPRakerColumn::FPRakerColumn(const PeConfig &cfg, int num_pes)
     panic_if(cfg_.lanes < 1 || cfg_.lanes > kMaxLanes,
              "unsupported lane count %d", cfg_.lanes);
     panic_if(numPes_ < 1, "column needs at least one PE");
+    panic_if(numPes_ > 64,
+             "column of %d PEs exceeds the 64-PE transposed-mask limit",
+             numPes_);
     panic_if(cfg_.maxDelta < 0, "negative shifter window");
+    peAll_ = numPes_ == 64 ? ~0ull : (1ull << numPes_) - 1;
     pes_.reserve(static_cast<size_t>(numPes_));
     for (int r = 0; r < numPes_; ++r)
         pes_.emplace_back(cfg_.acc);
     accExpScratch_.resize(static_cast<size_t>(numPes_));
+    retireCycle_.resize(static_cast<size_t>(numPes_));
 }
 
 void
@@ -62,6 +67,8 @@ FPRakerColumn::beginSet(const BFloat16 *a, const BFloat16 *b,
         if (!av.isZero())
             a_nonzero |= 1u << l;
         zero_slots += static_cast<uint64_t>(kTermSlots - ts.size());
+        firedPes_[l] = 0;
+        obPes_[l] = 0;
     }
 
     // The post-set settle is folded in: before any term fires the only
@@ -172,9 +179,11 @@ FPRakerColumn::beginSet(const BFloat16 *a, const BFloat16 *b,
                                  _mm_cmpgt_epi16(vk, vthr16),
                                  vzero128))) &
                          liveMask_;
-                    for (uint32_t mm = ob; mm; mm &= mm - 1)
-                        pe.stats.termsObSkipped +=
-                            nterms[std::countr_zero(mm)];
+                    for (uint32_t mm = ob; mm; mm &= mm - 1) {
+                        const int l = std::countr_zero(mm);
+                        pe.stats.termsObSkipped += nterms[l];
+                        obPes_[l] |= 1ull << r;
+                    }
                 }
             }
             pe.obMask = ob;
@@ -222,6 +231,7 @@ FPRakerColumn::beginSet(const BFloat16 *a, const BFloat16 *b,
                     if (acc_exp - pe.abExp[l] + shift0[l] > thr) {
                         ob |= 1u << l;
                         pe.stats.termsObSkipped += nterms[l];
+                        obPes_[l] |= 1ull << r;
                     }
                 }
             }
@@ -243,6 +253,28 @@ FPRakerColumn::beginSet(const BFloat16 *a, const BFloat16 *b,
 
     setCycles_ = 0;
     inSet_ = true;
+
+    // The summary bits are a pure fast path (they are only consulted to
+    // skip work whose outcome is already determined), so tracing simply
+    // disables them to keep the per-cycle trace stream exact. (The
+    // masks bound a column at 64 PEs; the constructor enforces it.)
+    retiredPeMask_ = 0;
+    retireSkip_ = !trace_;
+    if (retireSkip_ && liveMask_)
+        refreshRetired();
+}
+
+void
+FPRakerColumn::refreshRetired()
+{
+    for (int r = 0; r < numPes_; ++r) {
+        if ((retiredPeMask_ >> r) & 1u)
+            continue;
+        if ((liveMask_ & ~pes_[static_cast<size_t>(r)].obMask) == 0) {
+            retiredPeMask_ |= 1ull << r;
+            retireCycle_[static_cast<size_t>(r)] = setCycles_;
+        }
+    }
 }
 
 void
@@ -253,42 +285,47 @@ FPRakerColumn::settleLane(int l, int thr)
     const uint32_t bit = 1u << l;
     for (;;) {
         const int shift = ts[s.cursor].shift;
+        // The transposed masks resolve the cursor term's status with
+        // mask algebra: only PEs that have neither consumed the term
+        // nor dropped the stream still need an out-of-bounds verdict —
+        // usually none, because settle runs right after the term fired
+        // everywhere it could.
         bool consumed = true;
-        bool all_ob = true;
-        for (int r = 0; r < numPes_; ++r) {
-            PeState &pe = pes_[r];
-            if (pe.obMask & bit)
-                continue;
-            if (pe.firedMask & bit) {
-                all_ob = false;
-                continue;
-            }
+        for (uint64_t m = peAll_ & ~obPes_[l] & ~firedPes_[l]; m;
+             m &= m - 1) {
+            const int r = std::countr_zero(m);
+            PeState &pe = pes_[static_cast<size_t>(r)];
             const int k = accExpScratch_[r] - pe.abExp[l] + shift;
             if (k > thr) {
                 // Terms stream MSB-first, so every remaining term of
                 // this pair is guaranteed out-of-bounds too.
                 pe.obMask |= bit;
+                obPes_[l] |= 1ull << r;
+                settleDirty_ = true;
                 pe.stats.termsObSkipped +=
                     static_cast<uint64_t>(ts.size() - s.cursor);
             } else {
                 consumed = false;
-                all_ob = false;
             }
         }
         if (!consumed)
             return;
-        if (all_ob) {
+        if (obPes_[l] == peAll_) {
             // The shared encoder drops the rest of the stream once
             // every PE in the column has flagged the lane.
             s.cursor = ts.size();
             liveMask_ &= ~bit;
+            settleDirty_ = true;
             return;
         }
         ++s.cursor;
-        for (int r = 0; r < numPes_; ++r)
-            pes_[r].firedMask &= ~bit;
+        for (uint64_t m = firedPes_[l]; m; m &= m - 1)
+            pes_[static_cast<size_t>(std::countr_zero(m))].firedMask &=
+                ~bit;
+        firedPes_[l] = 0;
         if (s.cursor >= ts.size()) {
             liveMask_ &= ~bit;
+            settleDirty_ = true;
             return;
         }
     }
@@ -302,11 +339,21 @@ FPRakerColumn::settle(uint32_t mask)
         return;
     const int thr =
         cfg_.skipOutOfBounds ? cfg_.effectiveObThreshold() : INT_MAX;
-    for (int r = 0; r < numPes_; ++r)
+    for (int r = 0; r < numPes_; ++r) {
+        if ((retiredPeMask_ >> r) & 1u)
+            continue; // settleLane never reads a retired PE's exponent.
         accExpScratch_[static_cast<size_t>(r)] =
             pes_[static_cast<size_t>(r)].acc.chunkRegister().exponent();
+    }
+    settleDirty_ = false;
     for (uint32_t m = mask; m; m &= m - 1)
         settleLane(std::countr_zero(m), thr);
+    // Draining may have retired further lanes (obMask grew, liveMask
+    // shrank); fold any PE that just lost its last live lane into the
+    // summary mask so the next cycle skips it. Cursor-only advances
+    // leave the retirement state untouched.
+    if (retireSkip_ && settleDirty_ && liveMask_)
+        refreshRetired();
 }
 
 bool
@@ -365,6 +412,8 @@ FPRakerColumn::stepCycle()
 
     const bool tracing = static_cast<bool>(trace_);
     for (int r = 0; r < numPes_; ++r) {
+        if ((retiredPeMask_ >> r) & 1u)
+            continue; // Deferred no-term accounting in finishSet.
         PeState &pe = pes_[r];
         const int acc_exp = pe.acc.chunkRegister().exponent();
         const uint32_t pend = liveMask_ & ~pe.firedMask & ~pe.obMask;
@@ -378,13 +427,14 @@ FPRakerColumn::stepCycle()
             continue;
         }
 
-        // Pass 1: alignment shifts of pending lanes and the base shift.
-        // Pass 2: fire lanes inside the shifter window and reduce their
-        // contributions exactly (the adder tree), then accumulate. The
-        // exact int64 tree covers spreads up to 48 bits — far beyond
-        // FPRaker's 3-position window; wider configurations (the
-        // Bit-Pragmatic comparison PE has unrestricted shifters) fall
-        // back to per-contribution accumulation.
+        // Select the lanes that fire this cycle: those whose alignment
+        // shift k lies within maxDelta of the base (minimum) shift.
+        // Then reduce their contributions exactly (the adder tree) and
+        // accumulate. The exact int64 tree covers spreads up to 48
+        // bits — far beyond FPRaker's 3-position window; wider
+        // configurations (the Bit-Pragmatic comparison PE has
+        // unrestricted shifters) fall back to per-contribution
+        // accumulation.
         int k_of[kMaxLanes];
         int base = INT_MAX;
         uint32_t fire = 0;
@@ -401,10 +451,10 @@ FPRakerColumn::stepCycle()
             const int l = std::countr_zero(m);
             if (k_of[l] - base > cfg_.maxDelta)
                 continue;
-            // lsb exponent of this contribution: (Ae+Be) - t - 7.
-            // Using k: lsb = acc_exp - k - 7, so within the window the
-            // spread is at most maxDelta bits.
-            const int lsb = acc_exp - k_of[l] - 7;
+            // lsb exponent of this contribution: (Ae+Be) - t - 7
+            // (equivalently acc_exp - k - 7; the accumulator exponent
+            // cancels, so the LSB is independent of alignment).
+            const int lsb = pe.abExp[l] - shiftOf[l] - 7;
             fire |= 1u << l;
             lsb_min = std::min(lsb_min, lsb);
             lsb_max = std::max(lsb_max, lsb);
@@ -414,7 +464,8 @@ FPRakerColumn::stepCycle()
         int64_t sum = 0;
         for (uint32_t m = fire; m; m &= m - 1) {
             const int l = std::countr_zero(m);
-            const int lsb = acc_exp - k_of[l] - 7;
+            firedPes_[l] |= 1ull << r;
+            const int lsb = pe.abExp[l] - shiftOf[l] - 7;
             const bool neg =
                 (((pe.prodNegMask >> l) & 1u) != 0) != negOf[l];
             if (exact_tree) {
@@ -465,6 +516,17 @@ FPRakerColumn::finishSet()
     // case the loop body never runs.)
     while (busy())
         stepCycle();
+
+    // Settle the deferred accounting of skipped PEs: a retired PE would
+    // have taken the no-term path on every remaining cycle.
+    for (uint64_t m = retiredPeMask_; m; m &= m - 1) {
+        const int r = std::countr_zero(m);
+        pes_[static_cast<size_t>(r)].stats.laneNoTerm +=
+            static_cast<uint64_t>(setCycles_ -
+                                  retireCycle_[static_cast<size_t>(r)]) *
+            static_cast<uint64_t>(activeLanes_);
+    }
+    retiredPeMask_ = 0;
 
     int cycles = setCycles_;
     const uint64_t floor_lanes =

@@ -193,14 +193,38 @@ class FPRakerColumn
     void emitTrace(int r, int acc_exp, int base, uint32_t pend,
                    uint32_t fire, const int *k_of) const;
 
+    /**
+     * Re-derive the per-PE "all lanes retired" summary bits after
+     * obMask / liveMask changed. A PE whose still-live lanes are all
+     * in its obMask can never fire again this set (liveMask only
+     * shrinks, obMask only grows), so stepCycle and settleLane skip it
+     * and finishSet charges its remaining no-term lane-cycles in one
+     * deferred multiply — bit-identical to the per-cycle charges.
+     */
+    void refreshRetired();
+
     PeConfig cfg_;
     int numPes_;
     const TermLut *lut_;
     LaneStream streams_[kMaxLanes];
+    /**
+     * Transposed lane state: for lane l, the set of PEs (as bits) that
+     * have fired its cursor term / dropped its stream. Kept in sync
+     * with the per-PE firedMask/obMask so the settle fixpoint resolves
+     * a term's column-wide status with mask compares instead of a
+     * per-PE scan. Bounds the column at 64 PEs (enforced in the ctor).
+     */
+    uint64_t firedPes_[kMaxLanes] = {};
+    uint64_t obPes_[kMaxLanes] = {};
+    uint64_t peAll_ = 0; //!< Bit per PE.
     std::vector<PeState> pes_;
     std::vector<int> accExpScratch_; //!< Per-PE exponent cache (settle).
+    std::vector<int> retireCycle_;   //!< Cycle a PE fully retired at.
     std::function<void(const PeCycleTrace &)> trace_;
     uint32_t liveMask_ = 0; //!< Lanes whose stream is not exhausted.
+    uint64_t retiredPeMask_ = 0; //!< PEs with every live lane retired.
+    bool retireSkip_ = false;    //!< Summary-bit skip enabled this set.
+    bool settleDirty_ = false;   //!< Settle changed obMask / liveMask.
     int activeLanes_ = 0;   //!< Lanes carrying real operands this set.
     int setCycles_ = 0;
     bool inSet_ = false;

@@ -1,0 +1,94 @@
+#include "sim/sweep_runner.h"
+
+#include "common/logging.h"
+
+namespace fpraker {
+
+SweepRunner::SweepRunner(int threads)
+    : engine_(threads)
+{
+}
+
+SweepRunner::~SweepRunner() = default;
+
+const Accelerator &
+SweepRunner::addAccelerator(const AcceleratorConfig &cfg,
+                            const EnergyModelConfig &ecfg)
+{
+    accels_.push_back(
+        std::make_unique<Accelerator>(cfg, ecfg, &engine_));
+    return *accels_.back();
+}
+
+std::vector<ModelRunReport>
+SweepRunner::runModels(const std::vector<SweepJob> &jobs)
+{
+    // Flatten every job into its (layer, op) units so a sweep of many
+    // small models fills the pool as well as one large model. The BDC
+    // caches are warmed serially up front — the fan-out only reads
+    // them (a racing write would still insert identical values, but
+    // warming keeps the parallel phase allocation-quiet).
+    struct Unit
+    {
+        size_t job;
+        LayerOpUnit u;
+    };
+    std::vector<Unit> units;
+    std::vector<size_t> first(jobs.size() + 1, 0);
+    for (size_t j = 0; j < jobs.size(); ++j) {
+        const SweepJob &job = jobs[j];
+        panic_if(!job.accel || !job.model, "incomplete sweep job");
+        job.accel->warmBdcCache(*job.model, job.progress);
+        first[j] = units.size();
+        for (const LayerOpUnit &u : Accelerator::modelUnits(*job.model))
+            units.push_back(Unit{j, u});
+    }
+    first[jobs.size()] = units.size();
+
+    std::vector<LayerOpReport> results(units.size());
+    engine_.parallelFor(units.size(), [&](size_t i) {
+        const Unit &unit = units[i];
+        const SweepJob &job = jobs[unit.job];
+        results[i] = job.accel->runLayerOp(*job.model, *unit.u.layer,
+                                           unit.u.op, job.progress);
+    });
+
+    // Reduce per job, in job order.
+    std::vector<ModelRunReport> reports;
+    reports.reserve(jobs.size());
+    for (size_t j = 0; j < jobs.size(); ++j) {
+        std::vector<LayerOpReport> slice(
+            std::make_move_iterator(results.begin() +
+                                    static_cast<ptrdiff_t>(first[j])),
+            std::make_move_iterator(results.begin() +
+                                    static_cast<ptrdiff_t>(first[j + 1])));
+        reports.push_back(Accelerator::reduceModel(
+            *jobs[j].model, jobs[j].progress, std::move(slice)));
+    }
+    return reports;
+}
+
+std::vector<LayerOpReport>
+SweepRunner::runLayerOps(const std::vector<SweepLayerJob> &jobs)
+{
+    for (const SweepLayerJob &job : jobs) {
+        panic_if(!job.accel || !job.model || !job.layer,
+                 "incomplete sweep layer job");
+        job.accel->warmBdcCache(*job.model, job.progress);
+    }
+    std::vector<LayerOpReport> results(jobs.size());
+    engine_.parallelFor(jobs.size(), [&](size_t i) {
+        const SweepLayerJob &job = jobs[i];
+        results[i] = job.accel->runLayerOp(*job.model, *job.layer,
+                                           job.op, job.progress);
+    });
+    return results;
+}
+
+void
+SweepRunner::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    engine_.parallelFor(n, fn);
+}
+
+} // namespace fpraker

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Whole-sweep scheduling: one engine for every (model, config, phase)
+ * job of an evaluation.
+ *
+ * PR 1 parallelized a single (layer, op) unit and a single model run;
+ * the figure/table harnesses still walked the model zoo and config
+ * grid serially, so a sweep's wall-clock was the sum of its model
+ * runs. SweepRunner lifts the shard grain to the whole evaluation:
+ *
+ *  - every accelerator variant of a sweep is bound to ONE shared
+ *    SimEngine (addAccelerator), so workers drain a single queue
+ *    instead of each model run spinning up its own pool;
+ *  - runModels flattens all jobs into their (job, layer, op) units and
+ *    shards that flat index space — a sweep of many small models
+ *    saturates the pool just as well as one large model;
+ *  - runLayerOps does the same for layer-grain sweeps (Fig. 21's
+ *    per-layer accumulator widths, the inference extension);
+ *  - parallelFor shards any other per-model measurement loop (the
+ *    sparsity/compression harnesses that never build an accelerator).
+ *
+ * Determinism: jobs only read shared state (models, configs, the
+ * pre-warmed BDC caches); every unit writes its own result slot;
+ * reductions run serially in job order; and all sampling inside a unit
+ * seeds RNG substreams by unit index (trace/rng_stream.h). Reports are
+ * therefore bit-identical at any thread count.
+ */
+
+#ifndef FPRAKER_SIM_SWEEP_RUNNER_H
+#define FPRAKER_SIM_SWEEP_RUNNER_H
+
+#include <memory>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "sim/sim_engine.h"
+
+namespace fpraker {
+
+/** One (model, config, phase) job of a sweep. */
+struct SweepJob
+{
+    const Accelerator *accel; //!< Variant to simulate on.
+    const ModelInfo *model;
+    double progress = 0.5; //!< Training-progress point ("phase").
+};
+
+/** One layer-grain job (per-layer config sweeps, inference). */
+struct SweepLayerJob
+{
+    const Accelerator *accel;
+    const ModelInfo *model;
+    const LayerShape *layer;
+    TrainingOp op = TrainingOp::Forward;
+    double progress = 0.5;
+};
+
+/** Shards an entire evaluation sweep across one shared engine. */
+class SweepRunner
+{
+  public:
+    /** @param threads worker count; 1 = serial, 0 = defaultThreads(). */
+    explicit SweepRunner(int threads = 0);
+    ~SweepRunner();
+
+    SweepRunner(const SweepRunner &) = delete;
+    SweepRunner &operator=(const SweepRunner &) = delete;
+
+    /** The shared engine (for ad-hoc parallelFor use). */
+    SimEngine &engine() { return engine_; }
+    int threads() const { return engine_.threads(); }
+
+    /**
+     * Build an accelerator variant bound to the shared engine and keep
+     * it alive for the runner's lifetime (cfg.threads is ignored — the
+     * runner's engine is the only pool). Returned reference is stable.
+     */
+    const Accelerator &addAccelerator(const AcceleratorConfig &cfg,
+                                      const EnergyModelConfig &ecfg = {});
+
+    /**
+     * Run every job, sharding the flattened (job, layer, op) units
+     * across the engine; reports come back in job order, bit-identical
+     * to a serial walk for any thread count.
+     */
+    std::vector<ModelRunReport> runModels(const std::vector<SweepJob> &jobs);
+
+    /** Run layer-grain jobs the same way; results in job order. */
+    std::vector<LayerOpReport>
+    runLayerOps(const std::vector<SweepLayerJob> &jobs);
+
+    /**
+     * Shard an arbitrary ordered index space (per-model measurement
+     * loops). fn(i) must only touch state owned by index i; the caller
+     * reduces the slots in index order after the barrier.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+  private:
+    SimEngine engine_;
+    std::vector<std::unique_ptr<Accelerator>> accels_;
+};
+
+} // namespace fpraker
+
+#endif // FPRAKER_SIM_SWEEP_RUNNER_H

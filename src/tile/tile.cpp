@@ -159,6 +159,13 @@ BaselineTile::run(const std::vector<TileStep> &steps)
 {
     const int lanes = cfg_.pe.lanes;
     TileRunResult result;
+    // Batched row walk: each A column vector is shared by every PE of
+    // its column and each B row vector by every PE of its row, so the
+    // operand decode (finite check, sign/exponent/significand split)
+    // runs once per vector per step instead of once per PE — the grid
+    // then consumes the rows x cols cross product of decoded vectors.
+    std::vector<DecodedOperands> da(static_cast<size_t>(cfg_.cols));
+    std::vector<DecodedOperands> db(static_cast<size_t>(cfg_.rows));
     for (const TileStep &step : steps) {
         panic_if(step.a.size() !=
                      static_cast<size_t>(cfg_.cols) * lanes,
@@ -166,16 +173,19 @@ BaselineTile::run(const std::vector<TileStep> &steps)
         panic_if(step.b.size() !=
                      static_cast<size_t>(cfg_.rows) * lanes,
                  "bad b arity %zu", step.b.size());
+        for (int c = 0; c < cfg_.cols; ++c)
+            BaselinePe::decode(
+                step.a.data() + static_cast<size_t>(c) * lanes, lanes,
+                da[static_cast<size_t>(c)]);
+        for (int r = 0; r < cfg_.rows; ++r)
+            BaselinePe::decode(
+                step.b.data() + static_cast<size_t>(r) * lanes, lanes,
+                db[static_cast<size_t>(r)]);
         for (int r = 0; r < cfg_.rows; ++r) {
             for (int c = 0; c < cfg_.cols; ++c) {
-                MacPair pairs[ExponentBlockResult::kMaxLanes];
-                for (int l = 0; l < lanes; ++l) {
-                    pairs[l] = MacPair{
-                        step.a[static_cast<size_t>(c) * lanes + l],
-                        step.b[static_cast<size_t>(r) * lanes + l]};
-                }
-                pes_[static_cast<size_t>(r) * cfg_.cols + c].processSet(
-                    pairs, lanes);
+                pes_[static_cast<size_t>(r) * cfg_.cols + c]
+                    .processDecoded(da[static_cast<size_t>(c)],
+                                    db[static_cast<size_t>(r)]);
             }
         }
         result.steps += 1;

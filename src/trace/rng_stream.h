@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Deterministic RNG substream derivation for sharded sampling.
+ *
+ * Workload generation must be reproducible AND shardable: when a phase
+ * sample's bursts (or a sweep's jobs) run on different workers, each
+ * unit has to see the same value stream it would see in a serial walk.
+ * Seeding a worker-local Rng from substreamSeed(base, unit_index) makes
+ * the stream a function of the *unit*, not of the worker that happens
+ * to execute it — which is what keeps results bit-identical at any
+ * thread count (see docs/PERFORMANCE.md, "Determinism guarantee").
+ *
+ * The derivation is a splitmix64 finalizer over the base seed and the
+ * unit index. splitmix64 is a bijective avalanche mix, so distinct
+ * (base, index) pairs yield well-separated xoshiro256** seeds even for
+ * consecutive indices.
+ */
+
+#ifndef FPRAKER_TRACE_RNG_STREAM_H
+#define FPRAKER_TRACE_RNG_STREAM_H
+
+#include <cstdint>
+
+namespace fpraker {
+
+/** Seed of substream @p index derived from @p base. */
+inline uint64_t
+substreamSeed(uint64_t base, uint64_t index)
+{
+    uint64_t z = base + 0x9e3779b97f4a7c15ULL * (index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace fpraker
+
+#endif // FPRAKER_TRACE_RNG_STREAM_H

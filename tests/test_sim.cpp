@@ -142,6 +142,90 @@ TEST_P(ColumnParity, BitIdenticalToReference)
 
 INSTANTIATE_TEST_SUITE_P(Fuzz, ColumnParity, ::testing::Range(0, 8));
 
+/**
+ * Wide-row parity: the Fig. 19/20 geometries put up to 16 PEs on one
+ * serial-operand stream, which is where the per-PE "all lanes retired"
+ * summary bit actually skips work (settle and stepCycle bypass retired
+ * PEs, and their no-term stalls are charged in one deferred multiply).
+ * Every cycle count, accumulator bit, and stat counter must still
+ * match the seed reference exactly.
+ */
+class WideRowParity : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(WideRowParity, RetirementSkipIsBitIdenticalToReference)
+{
+    const int pes = GetParam();
+    Rng rng(static_cast<uint64_t>(pes) * 40503 + 11);
+    for (int trial = 0; trial < 4; ++trial) {
+        PeConfig cfg;
+        // Narrow accumulators + wide exponent spreads retire lanes
+        // aggressively, so the skip path dominates the run.
+        cfg.obThreshold = static_cast<int>(rng.uniformInt(4, 10));
+        cfg.acc.fracBits = static_cast<int>(rng.uniformInt(6, 12));
+        double sparsity = rng.uniform(0.1, 0.5);
+        double sigma = rng.uniform(2.0, 5.0);
+
+        FPRakerColumn opt(cfg, pes);
+        ReferenceColumn ref(cfg, pes);
+        for (int set = 0; set < 16; ++set) {
+            auto a = randomValues(rng, 8, sparsity, sigma);
+            auto b = randomValues(
+                rng, static_cast<size_t>(pes) * 8, sparsity, sigma);
+            int c_opt = opt.runSet(a.data(), b.data(), 8);
+            int c_ref = ref.runSet(a.data(), b.data(), 8);
+            ASSERT_EQ(c_opt, c_ref)
+                << "cycles diverged, trial " << trial << " set " << set;
+        }
+        for (int r = 0; r < pes; ++r)
+            ASSERT_EQ(opt.accumulator(r).total(),
+                      ref.accumulator(r).total())
+                << "trial " << trial << " pe " << r;
+        expectStatsEqual(opt.aggregateStats(), ref.aggregateStats(),
+                         "wide-row column stats");
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig19Geometries, WideRowParity,
+                         ::testing::Values(2, 4, 16, 32));
+
+TEST(WideRowParity, WideTileMatchesReferenceTile)
+{
+    // A 16-row tile (the widest Fig. 19/20 point) over a multi-burst
+    // step sequence, against the seed tile walk.
+    Rng rng(6063);
+    TileConfig cfg;
+    cfg.rows = 16;
+    cfg.cols = 2;
+    cfg.pe.obThreshold = 8;
+    const int lanes = cfg.pe.lanes;
+    const size_t a_len = static_cast<size_t>(cfg.cols) * lanes;
+    const size_t b_len = static_cast<size_t>(cfg.rows) * lanes;
+    const size_t steps = 24;
+
+    auto a = randomValues(rng, steps * a_len, 0.25, 3.0);
+    auto b = randomValues(rng, steps * b_len, 0.25, 3.0);
+
+    Tile tile(cfg);
+    std::vector<TileStepView> views(steps);
+    for (size_t s = 0; s < steps; ++s)
+        views[s] = TileStepView{a.data() + s * a_len,
+                                b.data() + s * b_len};
+    TileRunResult opt = tile.run(views.data(), steps);
+
+    ReferenceTile ref(cfg.pe, cfg.rows, cfg.cols, cfg.bufferDepth);
+    ReferenceTileResult res = ref.run(a.data(), b.data(), steps);
+
+    EXPECT_EQ(opt.cycles, res.cycles);
+    for (int r = 0; r < cfg.rows; ++r)
+        for (int c = 0; c < cfg.cols; ++c)
+            EXPECT_EQ(tile.output(r, c), ref.output(r, c))
+                << "PE (" << r << "," << c << ")";
+    expectStatsEqual(tile.aggregateStats(), ref.aggregateStats(),
+                     "wide tile stats");
+}
+
 TEST(TileParity, MatchesReferenceTileOverBursts)
 {
     Rng rng(2024);

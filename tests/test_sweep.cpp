@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the sweep scheduler: SweepRunner's job fan-out must agree
+ * with serial per-model runs, reports must be bit-identical at any
+ * thread count (the per-worker RNG substream contract), and the
+ * substream derivation itself must be stable and collision-free over
+ * the index ranges the simulator uses.
+ */
+
+#include <cstring>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "accel/phase_runner.h"
+#include "sim/sweep_runner.h"
+#include "trace/model_zoo.h"
+#include "trace/rng_stream.h"
+
+namespace fpraker {
+namespace {
+
+AcceleratorConfig
+smallConfig()
+{
+    AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
+    cfg.sampleSteps = 24;
+    return cfg;
+}
+
+uint64_t
+reportFingerprint(const ModelRunReport &r)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](double v) {
+        uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        h ^= bits;
+        h *= 0x100000001b3ull;
+    };
+    mix(r.fprCycles);
+    mix(r.baseCycles);
+    mix(r.fprEnergy.totalPj());
+    mix(r.baseEnergy.totalPj());
+    for (const LayerOpReport &op : r.ops) {
+        mix(op.fprCycles);
+        mix(op.avgCyclesPerStep);
+        mix(static_cast<double>(op.sampleStats.setCycles));
+        mix(static_cast<double>(op.sampleStats.termsObSkipped));
+    }
+    return h;
+}
+
+TEST(RngStream, SubstreamSeedsAreStableAndDistinct)
+{
+    EXPECT_EQ(substreamSeed(42, 7), substreamSeed(42, 7));
+    std::set<uint64_t> seen;
+    for (uint64_t base : {0ull, 1ull, 0xf9a4e5ull})
+        for (uint64_t i = 0; i < 512; ++i)
+            seen.insert(substreamSeed(base, i));
+    EXPECT_EQ(seen.size(), 3u * 512u);
+}
+
+TEST(SweepRunner, AgreesWithSerialModelRuns)
+{
+    // The sweep fan-out must reproduce, bit for bit, what each model's
+    // own runModel produces: same units, same seeds, same reduction
+    // order.
+    const ModelInfo &m0 = findModel("SNLI");
+    const ModelInfo &m1 = findModel("NCF");
+
+    Accelerator serial(smallConfig());
+    uint64_t want0 = reportFingerprint(serial.runModel(m0, 0.5));
+    uint64_t want1 = reportFingerprint(serial.runModel(m1, 0.25));
+
+    SweepRunner runner(4);
+    const Accelerator &accel = runner.addAccelerator(smallConfig());
+    std::vector<ModelRunReport> reports = runner.runModels(
+        {SweepJob{&accel, &m0, 0.5}, SweepJob{&accel, &m1, 0.25}});
+    ASSERT_EQ(reports.size(), 2u);
+    EXPECT_EQ(reportFingerprint(reports[0]), want0);
+    EXPECT_EQ(reportFingerprint(reports[1]), want1);
+}
+
+TEST(SweepRunner, SweepIsBitIdenticalAcrossThreadCounts)
+{
+    // The per-worker RNG substream contract: a sweep's combined
+    // fingerprint is a function of its jobs, never of the worker count
+    // that executed them.
+    const ModelInfo &m0 = findModel("SNLI");
+    const ModelInfo &m1 = findModel("ResNet18-Q");
+
+    uint64_t fingerprints[3];
+    int idx = 0;
+    for (int threads : {1, 2, 8}) {
+        SweepRunner runner(threads);
+        const Accelerator &accel = runner.addAccelerator(smallConfig());
+        std::vector<ModelRunReport> reports = runner.runModels(
+            {SweepJob{&accel, &m0, 0.5}, SweepJob{&accel, &m1, 0.5},
+             SweepJob{&accel, &m0, 1.0}});
+        uint64_t h = 0xcbf29ce484222325ull;
+        for (const ModelRunReport &r : reports) {
+            h ^= reportFingerprint(r);
+            h *= 0x100000001b3ull;
+        }
+        fingerprints[idx++] = h;
+    }
+    EXPECT_EQ(fingerprints[0], fingerprints[1]);
+    EXPECT_EQ(fingerprints[0], fingerprints[2]);
+}
+
+TEST(SweepRunner, LayerJobsMatchDirectRunLayerOp)
+{
+    const ModelInfo &model = findModel("SqueezeNet 1.1");
+    Accelerator serial(smallConfig());
+    serial.warmBdcCache(model, 0.5);
+    LayerOpReport want = serial.runLayerOp(
+        model, model.layers.front(), TrainingOp::InputGrad, 0.5);
+
+    SweepRunner runner(2);
+    const Accelerator &accel = runner.addAccelerator(smallConfig());
+    std::vector<LayerOpReport> got = runner.runLayerOps(
+        {SweepLayerJob{&accel, &model, &model.layers.front(),
+                       TrainingOp::InputGrad, 0.5}});
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].fprCycles, want.fprCycles);
+    EXPECT_EQ(got[0].baseCycles, want.baseCycles);
+    EXPECT_EQ(got[0].avgCyclesPerStep, want.avgCyclesPerStep);
+    EXPECT_EQ(got[0].sampleStats.setCycles, want.sampleStats.setCycles);
+}
+
+TEST(PhaseRunner, BurstShardingIsBitIdenticalAcrossThreadCounts)
+{
+    // Bursts seed their generators from substreamSeed(base, burst), so
+    // sharding a phase sample's bursts cannot change what any burst
+    // simulates.
+    const ModelInfo &model = findModel("VGG16");
+    double cycles[3];
+    uint64_t useful[3];
+    int idx = 0;
+    for (int threads : {1, 2, 8}) {
+        SimEngine engine(threads);
+        PhaseRunConfig prc;
+        prc.tile = AcceleratorConfig::paperDefault().tile;
+        prc.sampleSteps = 96; // several bursts
+        prc.engine = &engine;
+        PhaseRunResult r = runPhaseSample(
+            model, model.layers.front(), TrainingOp::Forward, 0.5, prc);
+        cycles[idx] = r.avgCyclesPerStep;
+        useful[idx] = r.peStats.laneUseful;
+        ++idx;
+    }
+    EXPECT_EQ(cycles[0], cycles[1]);
+    EXPECT_EQ(cycles[0], cycles[2]);
+    EXPECT_EQ(useful[0], useful[1]);
+    EXPECT_EQ(useful[0], useful[2]);
+}
+
+TEST(SweepRunner, ParallelForCoversOrderedSlots)
+{
+    SweepRunner runner(4);
+    std::vector<int> slots(57, 0);
+    runner.parallelFor(slots.size(),
+                       [&](size_t i) { slots[i] = static_cast<int>(i); });
+    for (size_t i = 0; i < slots.size(); ++i)
+        EXPECT_EQ(slots[i], static_cast<int>(i));
+}
+
+} // namespace
+} // namespace fpraker
