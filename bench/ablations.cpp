@@ -1,118 +1,14 @@
-/**
- * @file
- * Ablations of FPRaker's design choices (DESIGN.md section 5), beyond
- * what the paper's figures cover directly:
- *
- *   (a) canonical vs raw-bit term encoding,
- *   (b) the per-cycle shifter window (maxDelta),
- *   (c) B-buffer run-ahead depth,
- *   (d) exponent-block sharing (the 2-cycle set floor).
- *
- * Each sweep reports geomean iso-area speedup across the model zoo so
- * the cost/benefit of each area optimization is visible.
- */
-
-#include <functional>
-
-#include "bench_common.h"
-
-namespace fpraker {
-namespace {
-
-double
-geomeanSpeedup(SweepRunner &runner, const AcceleratorConfig &cfg)
-{
-    const Accelerator &accel = runner.addAccelerator(cfg);
-    std::vector<double> speedups;
-    for (const ModelRunReport &r :
-         runner.runModels(bench::zooJobs({&accel})))
-        speedups.push_back(r.speedup());
-    return geomean(speedups);
-}
-
-int
-run(int argc, char **argv)
-{
-    bench::banner("Ablations",
-                  "design-choice sweeps (encoding, shifter window, "
-                  "buffers, exponent sharing)",
-                  "canonical encoding and OB skipping carry the design; "
-                  "the 3-position window and shared exponent blocks "
-                  "cost little performance for large area savings");
-
-    AcceleratorConfig base_cfg = AcceleratorConfig::paperDefault();
-    base_cfg.sampleSteps = bench::sampleSteps(48);
-    SweepRunner runner(bench::threads(argc, argv));
-
-    {
-        Table t({"term encoding", "geomean speedup"});
-        for (TermEncoding enc :
-             {TermEncoding::Canonical, TermEncoding::RawBits}) {
-            AcceleratorConfig cfg = base_cfg;
-            cfg.tile.pe.encoding = enc;
-            t.addRow({enc == TermEncoding::Canonical ? "canonical (NAF)"
-                                                     : "raw bits",
-                      Table::cell(geomeanSpeedup(runner, cfg))});
-        }
-        t.print();
-    }
-
-    {
-        std::printf("\n");
-        Table t({"shifter window (maxDelta)", "geomean speedup"});
-        for (int delta : {0, 1, 3, 7, 1 << 20}) {
-            AcceleratorConfig cfg = base_cfg;
-            cfg.tile.pe.maxDelta = delta;
-            t.addRow({delta > 100 ? "unlimited" : std::to_string(delta),
-                      Table::cell(geomeanSpeedup(runner, cfg))});
-        }
-        t.print();
-        std::printf("(the paper picks 3 as its area/performance "
-                    "trade-off; in this model the window costs more "
-                    "than the paper's few shift-range stalls suggest "
-                    "because a stalled lane also holds back the other "
-                    "PEs sharing its term stream)\n");
-    }
-
-    {
-        std::printf("\n");
-        Table t({"B-buffer depth", "geomean speedup"});
-        for (int depth : {1, 2, 4}) {
-            AcceleratorConfig cfg = base_cfg;
-            cfg.tile.bufferDepth = depth;
-            t.addRow({std::to_string(depth),
-                      Table::cell(geomeanSpeedup(runner, cfg))});
-        }
-        t.print();
-        std::printf("(depth 1 already hides inter-PE stalls, matching "
-                    "the paper's observation)\n");
-    }
-
-    {
-        std::printf("\n");
-        Table t({"exponent block", "geomean speedup"});
-        for (int floor_cycles : {1, 2, 4}) {
-            AcceleratorConfig cfg = base_cfg;
-            cfg.tile.pe.exponentFloor = floor_cycles;
-            const char *label = floor_cycles == 1
-                                    ? "private (floor 1)"
-                                    : floor_cycles == 2
-                                          ? "shared by 2 (floor 2)"
-                                          : "shared by 4 (floor 4)";
-            t.addRow({label, Table::cell(geomeanSpeedup(runner, cfg))});
-        }
-        t.print();
-        std::printf("(sharing between PE pairs costs little because "
-                    "most sets need >= 2 cycles anyway)\n");
-    }
-    return 0;
-}
-
-} // namespace
-} // namespace fpraker
+/** Legacy shim running the four ablation experiments in sequence
+ *  (`fpraker run ablation_encoding ablation_window ablation_buffer
+ *  ablation_exponent`) — bodies live in
+ *  src/api/experiments/ablations.cpp. */
+#include "api/driver.h"
 
 int
 main(int argc, char **argv)
 {
-    return fpraker::run(argc, argv);
+    return fpraker::api::experimentMain(
+        {"ablation_encoding", "ablation_window", "ablation_buffer",
+         "ablation_exponent"},
+        argc, argv);
 }

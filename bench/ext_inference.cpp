@@ -1,70 +1,9 @@
-/**
- * @file
- * Extension (paper section VII) — inference with FPRaker: "while we
- * evaluated FPRaker for training, it can naturally also be used for
- * inference", particularly for models that still need floating point
- * (language and recommendation models). This harness runs the
- * forward pass only, with frozen (end-of-training) value statistics.
- */
-
-#include "bench_common.h"
-
-namespace fpraker {
-namespace {
-
-int
-run(int argc, char **argv)
-{
-    bench::banner("Extension: inference",
-                  "forward-pass-only speedup at end-of-training "
-                  "statistics",
-                  "floating-point-dependent models (SNLI, NCF, Bert) "
-                  "still benefit; the fixed-point-friendly CNNs would "
-                  "use integer accelerators in deployment");
-
-    AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
-    cfg.sampleSteps = bench::sampleSteps(64);
-    SweepRunner runner(bench::threads(argc, argv));
-    const Accelerator &accel = runner.addAccelerator(cfg);
-
-    // Forward-only layer jobs at end-of-training statistics: the
-    // whole zoo's layers flatten into one sharded job list.
-    std::vector<SweepLayerJob> jobs;
-    std::vector<size_t> first;
-    for (const auto &model : modelZoo()) {
-        first.push_back(jobs.size());
-        for (const auto &layer : model.layers)
-            jobs.push_back(SweepLayerJob{&accel, &model, &layer,
-                                         TrainingOp::Forward, 1.0});
-    }
-    first.push_back(jobs.size());
-    std::vector<LayerOpReport> reports = runner.runLayerOps(jobs);
-
-    Table t({"model", "inference speedup", "serialized tensor"});
-    std::vector<double> speedups;
-    for (size_t m = 0; m < modelZoo().size(); ++m) {
-        double fpr = 0, base = 0;
-        TensorKind serial = TensorKind::Activation;
-        for (size_t i = first[m]; i < first[m + 1]; ++i) {
-            fpr += reports[i].fprCycles;
-            base += reports[i].baseCycles;
-            serial = reports[i].serialSide;
-        }
-        double speedup = base / fpr;
-        speedups.push_back(speedup);
-        t.addRow({modelZoo()[m].name, Table::cell(speedup),
-                  tensorLabel(serial)});
-    }
-    t.addRow({"Geomean", Table::cell(geomean(speedups)), "-"});
-    t.print();
-    return 0;
-}
-
-} // namespace
-} // namespace fpraker
+/** Legacy shim for `fpraker run ext_inference` — the experiment body lives in
+ *  src/api/experiments/ext_inference.cpp. */
+#include "api/driver.h"
 
 int
 main(int argc, char **argv)
 {
-    return fpraker::run(argc, argv);
+    return fpraker::api::experimentMain({"ext_inference"}, argc, argv);
 }

@@ -1,91 +1,9 @@
-/**
- * @file
- * Extension (paper section VII) — progressive-precision training:
- * "training can start with lower precision and increase the precision
- * per epoch near convergence. FPRaker can adapt dynamically to
- * different precisions". This harness runs a precision schedule over
- * the training-progress axis: the accumulator's effective width (the
- * OB threshold) starts narrow and widens toward convergence, and
- * FPRaker converts each stage's slack directly into speedup — the
- * fixed-width baseline gains nothing.
- */
-
-#include "bench_common.h"
-
-namespace fpraker {
-namespace {
-
-/** The schedule: accumulator fraction bits per training progress. */
-int
-scheduledFracBits(double progress)
-{
-    if (progress < 0.25)
-        return 6;
-    if (progress < 0.5)
-        return 8;
-    if (progress < 0.8)
-        return 10;
-    return 12;
-}
-
-int
-run(int argc, char **argv)
-{
-    bench::banner("Extension: progressive precision",
-                  "accumulator width scheduled over training progress",
-                  "speedup is highest in the low-precision early stages "
-                  "and converges to the fixed-width result near the "
-                  "end — rewarding precision-scheduled training "
-                  "algorithms without hardware changes");
-
-    const double points[] = {0.1, 0.35, 0.65, 0.95};
-    const size_t n_points = sizeof(points) / sizeof(points[0]);
-
-    // One accelerator variant per schedule stage plus the fixed-width
-    // reference; every (model, stage) pair is one sweep job.
-    SweepRunner runner(bench::threads(argc, argv));
-    std::vector<SweepJob> jobs;
-    for (double p : points) {
-        AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
-        cfg.sampleSteps = bench::sampleSteps(48);
-        cfg.tile.pe.obThreshold = scheduledFracBits(p);
-        const Accelerator &accel = runner.addAccelerator(cfg);
-        for (const auto &model : modelZoo())
-            jobs.push_back(SweepJob{&accel, &model, p});
-    }
-    AcceleratorConfig fixed = AcceleratorConfig::paperDefault();
-    fixed.sampleSteps = bench::sampleSteps(48);
-    const Accelerator &fixed_accel = runner.addAccelerator(fixed);
-    for (const auto &model : modelZoo())
-        jobs.push_back(SweepJob{&fixed_accel, &model, 0.95});
-    std::vector<ModelRunReport> reports = runner.runModels(jobs);
-
-    std::vector<std::string> headers = {"model"};
-    for (double p : points)
-        headers.push_back(Table::pct(p, 0) + " (w=" +
-                          std::to_string(scheduledFracBits(p)) + ")");
-    headers.push_back("fixed w=12 @95%");
-    Table t(headers);
-
-    const size_t n_models = modelZoo().size();
-    for (size_t m = 0; m < n_models; ++m) {
-        std::vector<std::string> row = {modelZoo()[m].name};
-        for (size_t i = 0; i < n_points; ++i)
-            row.push_back(
-                Table::cell(reports[i * n_models + m].speedup()));
-        row.push_back(
-            Table::cell(reports[n_points * n_models + m].speedup()));
-        t.addRow(row);
-    }
-    t.print();
-    return 0;
-}
-
-} // namespace
-} // namespace fpraker
+/** Legacy shim for `fpraker run ext_progressive` — the experiment body lives in
+ *  src/api/experiments/ext_progressive_precision.cpp. */
+#include "api/driver.h"
 
 int
 main(int argc, char **argv)
 {
-    return fpraker::run(argc, argv);
+    return fpraker::api::experimentMain({"ext_progressive"}, argc, argv);
 }

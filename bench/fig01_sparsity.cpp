@@ -1,90 +1,9 @@
-/**
- * @file
- * Fig. 1 — value sparsity (a) and term sparsity (b) of the three
- * tensors during training, weighted by frequency of use (layer MACs).
- */
-
-#include <functional>
-
-#include "bench_common.h"
-#include "trace/tensor_gen.h"
-
-namespace fpraker {
-namespace {
-
-struct ModelSparsity
-{
-    TensorStats stats[3]; // per TensorKind
-};
-
-ModelSparsity
-measure(const ModelInfo &model, double progress)
-{
-    ModelSparsity out;
-    // Weight each layer's contribution by its MAC count by sampling a
-    // value population proportional to it.
-    int64_t total = model.macsPerOp();
-    for (const auto &layer : model.layers) {
-        size_t samples = static_cast<size_t>(
-            4096.0 * static_cast<double>(layer.macs()) /
-            static_cast<double>(total)) + 64;
-        for (TensorKind kind : {TensorKind::Activation, TensorKind::Weight,
-                                TensorKind::Gradient}) {
-            TensorGenerator gen(
-                model.profile.of(kind).at(progress),
-                std::hash<std::string>{}(model.name + layer.name) +
-                    static_cast<uint64_t>(kind));
-            out.stats[static_cast<int>(kind)].merge(
-                measureTensor(gen.generate(samples)));
-        }
-    }
-    return out;
-}
-
-int
-run(int argc, char **argv)
-{
-    bench::banner("Fig. 1",
-                  "value and term sparsity of W/A/G during training",
-                  "(a) image-classification activations >35% sparse "
-                  "(ReLU); weights dense except ResNet50-S2 (~80%); NLP "
-                  "models near-dense. (b) term sparsity high (60-90%) "
-                  "for ALL tensors and models");
-
-    // Per-model measurements write their own slot and shard across
-    // the sweep runner's engine; rows print in zoo order afterwards.
-    SweepRunner runner(bench::threads(argc, argv));
-    std::vector<ModelSparsity> sparsity(modelZoo().size());
-    runner.parallelFor(modelZoo().size(), [&](size_t m) {
-        sparsity[m] = measure(modelZoo()[m], bench::kDefaultProgress);
-    });
-
-    Table a({"model", "Activation", "Weight", "Gradient"});
-    Table b({"model", "Activation", "Weight", "Gradient"});
-    for (size_t m = 0; m < modelZoo().size(); ++m) {
-        const ModelInfo &model = modelZoo()[m];
-        const ModelSparsity &s = sparsity[m];
-        a.addRow({model.name,
-                  Table::pct(s.stats[0].valueSparsity()),
-                  Table::pct(s.stats[1].valueSparsity()),
-                  Table::pct(s.stats[2].valueSparsity())});
-        b.addRow({model.name,
-                  Table::pct(s.stats[0].termSparsity()),
-                  Table::pct(s.stats[1].termSparsity()),
-                  Table::pct(s.stats[2].termSparsity())});
-    }
-    std::printf("(a) value sparsity\n");
-    a.print();
-    std::printf("\n(b) term sparsity (canonical encoding, 8 slots/value)\n");
-    b.print();
-    return 0;
-}
-
-} // namespace
-} // namespace fpraker
+/** Legacy shim for `fpraker run fig01` — the experiment body lives in
+ *  src/api/experiments/fig01_sparsity.cpp. */
+#include "api/driver.h"
 
 int
 main(int argc, char **argv)
 {
-    return fpraker::run(argc, argv);
+    return fpraker::api::experimentMain({"fig01"}, argc, argv);
 }

@@ -1,76 +1,9 @@
-/**
- * @file
- * Fig. 2 — ideal potential speedup from skipping zero terms of the
- * serial operand, per training phase (Eq. 4: work shrinks to the
- * non-zero term fraction of the 8 potential term slots per value).
- */
-
-#include <functional>
-
-#include "accel/phase_runner.h"
-#include "bench_common.h"
-#include "trace/tensor_gen.h"
-
-namespace fpraker {
-namespace {
-
-/** MAC-weighted potential = slots / terms of the serial operand. */
-double
-potential(const ModelInfo &model, TrainingOp op, double progress)
-{
-    TensorKind serial = chooseSerialSide(model, op, progress);
-    double weighted = 0.0;
-    int64_t total = model.macsPerOp();
-    for (const auto &layer : model.layers) {
-        TensorGenerator gen(
-            model.profile.of(serial).at(progress),
-            std::hash<std::string>{}(model.name + layer.name) + 3);
-        TensorStats s = measureTensor(gen.generate(2048));
-        double terms_per_value =
-            s.termsPerValue() > 1e-3 ? s.termsPerValue() : 1e-3;
-        weighted += static_cast<double>(layer.macs()) /
-                    static_cast<double>(total) *
-                    (static_cast<double>(kTermSlots) / terms_per_value);
-    }
-    return weighted;
-}
-
-int
-run(int argc, char **argv)
-{
-    bench::banner("Fig. 2",
-                  "potential speedup from exploiting term sparsity, per "
-                  "phase",
-                  "4-16x for most models and phases; gradient-serial "
-                  "phases highest (up to ~59x for near-power-of-two "
-                  "gradients)");
-
-    // Shard per (model, op): each of the 27 potentials owns a slot.
-    const TrainingOp ops[] = {TrainingOp::WeightGrad,
-                              TrainingOp::InputGrad, TrainingOp::Forward};
-    SweepRunner runner(bench::threads(argc, argv));
-    std::vector<double> potentials(modelZoo().size() * 3);
-    runner.parallelFor(potentials.size(), [&](size_t i) {
-        potentials[i] = potential(modelZoo()[i / 3], ops[i % 3],
-                                  bench::kDefaultProgress);
-    });
-
-    Table t({"model", "AxG", "GxW", "AxW"});
-    for (size_t m = 0; m < modelZoo().size(); ++m) {
-        t.addRow({modelZoo()[m].name,
-                  Table::cell(potentials[3 * m], 1),
-                  Table::cell(potentials[3 * m + 1], 1),
-                  Table::cell(potentials[3 * m + 2], 1)});
-    }
-    t.print();
-    return 0;
-}
-
-} // namespace
-} // namespace fpraker
+/** Legacy shim for `fpraker run fig02` — the experiment body lives in
+ *  src/api/experiments/fig02_potential_speedup.cpp. */
+#include "api/driver.h"
 
 int
 main(int argc, char **argv)
 {
-    return fpraker::run(argc, argv);
+    return fpraker::api::experimentMain({"fig02"}, argc, argv);
 }

@@ -1,97 +1,9 @@
-/**
- * @file
- * Fig. 6 — exponent distribution of a mid-network convolution layer's
- * activations, weights, and gradients at the start and end of training
- * (the paper shows ResNet34 conv2d_8 at epochs 0 and 89). The narrow,
- * stable distributions motivate both the limited shifter range and the
- * exponent base-delta compression.
- */
-
-#include <map>
-
-#include "bench_common.h"
-#include "trace/tensor_gen.h"
-
-namespace fpraker {
-namespace {
-
-/** Binned exponent histogram of the three tensors at one progress. */
-struct HistData
-{
-    std::map<int, double> hist[3];
-    uint64_t counts[3] = {};
-};
-
-HistData
-computeHistogram(const ModelInfo &model, double progress)
-{
-    HistData h;
-    for (TensorKind kind : {TensorKind::Activation, TensorKind::Weight,
-                            TensorKind::Gradient}) {
-        TensorGenerator gen(model.profile.of(kind).at(progress),
-                            0xf16 + static_cast<uint64_t>(kind));
-        for (int i = 0; i < 40000; ++i) {
-            BFloat16 v = gen.next();
-            if (v.isZero())
-                continue;
-            int bin = (v.unbiasedExponent() / 4) * 4; // 4-wide bins
-            h.hist[static_cast<int>(kind)][bin] += 1.0;
-            h.counts[static_cast<int>(kind)] += 1;
-        }
-    }
-    return h;
-}
-
-void
-printHistogram(const HistData &h, double progress, const char *label)
-{
-    const auto &hist = h.hist;
-    const auto &counts = h.counts;
-    std::printf("\n%s (training progress %.0f%%)\n", label,
-                progress * 100.0);
-    Table t({"exponent bin", "Activation", "Weight", "Gradient"});
-    for (int bin = -32; bin <= 8; bin += 4) {
-        auto share = [&](int k) {
-            auto it = hist[k].find(bin);
-            double v = it == hist[k].end() ? 0.0 : it->second;
-            return Table::pct(v / static_cast<double>(counts[k]));
-        };
-        t.addRow({"[" + std::to_string(bin) + "," +
-                      std::to_string(bin + 3) + "]",
-                  share(0), share(1), share(2)});
-    }
-    t.print();
-}
-
-int
-run(int argc, char **argv)
-{
-    bench::banner("Fig. 6",
-                  "exponent histogram of a conv layer, epochs 0 and 89",
-                  "the vast majority of exponents of all three tensors "
-                  "lie within a narrow (~10-binade) band that is stable "
-                  "across training; gradients centered lower");
-
-    // A mid-network ResNet-family conv layer stands in for the paper's
-    // ResNet34 conv2d_8; our profiles are per-model so we show
-    // ResNet50-S2's mid-training statistics.
-    const ModelInfo &model = findModel("ResNet50-S2");
-    const double points[] = {0.0, 1.0};
-    SweepRunner runner(bench::threads(argc, argv));
-    HistData hists[2];
-    runner.parallelFor(2, [&](size_t i) {
-        hists[i] = computeHistogram(model, points[i]);
-    });
-    printHistogram(hists[0], points[0], "epoch 0");
-    printHistogram(hists[1], points[1], "final epoch");
-    return 0;
-}
-
-} // namespace
-} // namespace fpraker
+/** Legacy shim for `fpraker run fig06` — the experiment body lives in
+ *  src/api/experiments/fig06_exponent_histogram.cpp. */
+#include "api/driver.h"
 
 int
 main(int argc, char **argv)
 {
-    return fpraker::run(argc, argv);
+    return fpraker::api::experimentMain({"fig06"}, argc, argv);
 }

@@ -1,83 +1,9 @@
-/**
- * @file
- * Fig. 10 — normalized exponent footprint after base-delta compression,
- * per model and tensor, for channel-wise and spatial groupings.
- */
-
-#include <functional>
-
-#include "bench_common.h"
-#include "compress/base_delta.h"
-#include "trace/tensor_gen.h"
-
-namespace fpraker {
-namespace {
-
-/**
- * Channel-wise grouping follows the generated stream order (strongest
- * correlation); spatial grouping is emulated by striding the stream (a
- * group gathers every 8th value), which weakens — but per the paper
- * does not destroy — the correlation.
- */
-double
-footprint(const ModelInfo &model, TensorKind kind, double progress,
-          bool spatial)
-{
-    TensorGenerator gen(model.profile.of(kind).at(progress),
-                        std::hash<std::string>{}(model.name) +
-                            static_cast<uint64_t>(kind) * 13);
-    std::vector<BFloat16> values = gen.generate(16384);
-    if (spatial) {
-        std::vector<BFloat16> strided;
-        strided.reserve(values.size());
-        const size_t stride = 8;
-        for (size_t phase = 0; phase < stride; ++phase)
-            for (size_t i = phase; i < values.size(); i += stride)
-                strided.push_back(values[i]);
-        values.swap(strided);
-    }
-    BaseDeltaCodec codec;
-    return codec.analyze(values).exponentFootprint();
-}
-
-int
-run(int argc, char **argv)
-{
-    bench::banner("Fig. 10",
-                  "normalized exponent footprint after base-delta "
-                  "compression",
-                  "30-70% of the raw exponent bits, effective for both "
-                  "channel-wise (bars) and spatial (markers) groupings");
-
-    // Shard per (model, tensor kind, grouping): 54 independent
-    // footprint analyses, each writing its own slot.
-    const TensorKind kinds[] = {TensorKind::Activation, TensorKind::Weight,
-                                TensorKind::Gradient};
-    SweepRunner runner(bench::threads(argc, argv));
-    std::vector<double> footprints(modelZoo().size() * 6);
-    runner.parallelFor(footprints.size(), [&](size_t i) {
-        const ModelInfo &model = modelZoo()[i / 6];
-        footprints[i] = footprint(model, kinds[(i % 6) % 3],
-                                  bench::kDefaultProgress, (i % 6) >= 3);
-    });
-
-    Table t({"model", "A chan", "W chan", "G chan", "A spat", "W spat",
-             "G spat"});
-    for (size_t m = 0; m < modelZoo().size(); ++m) {
-        std::vector<std::string> row = {modelZoo()[m].name};
-        for (size_t i = 0; i < 6; ++i)
-            row.push_back(Table::pct(footprints[m * 6 + i]));
-        t.addRow(row);
-    }
-    t.print();
-    return 0;
-}
-
-} // namespace
-} // namespace fpraker
+/** Legacy shim for `fpraker run fig10` — the experiment body lives in
+ *  src/api/experiments/fig10_compression.cpp. */
+#include "api/driver.h"
 
 int
 main(int argc, char **argv)
 {
-    return fpraker::run(argc, argv);
+    return fpraker::api::experimentMain({"fig10"}, argc, argv);
 }

@@ -1,68 +1,9 @@
-/**
- * @file
- * Fig. 11 — iso-compute-area performance and energy efficiency of
- * FPRaker vs the baseline, with the contribution breakdown: zero-term
- * skipping, + exponent base-delta compression (BDC), + out-of-bounds
- * (OB) term skipping.
- */
-
-#include "bench_common.h"
-
-namespace fpraker {
-namespace {
-
-int
-run(int argc, char **argv)
-{
-    using bench::banner;
-    banner("Fig. 11",
-           "iso-compute-area performance and energy efficiency vs "
-           "baseline",
-           "geomean ~1.5x total speedup (zero terms +9%, BDC +5.8%, OB "
-           "+35.2%); ResNet18-Q best conv model ~2.04x; SNLI ~1.8x; "
-           "core energy efficiency ~1.4x tracking speedup");
-
-    bench::AcceleratorVariants variants =
-        bench::makeVariants(bench::sampleSteps());
-
-    // All 3 variants x 9 models submit through one SweepRunner: the
-    // (job, layer, op) units of the whole figure shard across a single
-    // engine instead of 27 serial model runs.
-    SweepRunner runner(bench::threads(argc, argv));
-    const Accelerator &zero = runner.addAccelerator(variants.zeroOnly);
-    const Accelerator &zero_bdc = runner.addAccelerator(variants.zeroBdc);
-    const Accelerator &full = runner.addAccelerator(variants.full);
-    std::vector<ModelRunReport> reports =
-        runner.runModels(bench::zooJobs({&zero, &zero_bdc, &full}));
-
-    Table t({"model", "perf(zero)", "perf(zero+BDC)",
-             "perf(total:+OB)", "core-energy-eff"});
-    std::vector<double> s_zero, s_bdc, s_full, e_core;
-    const size_t n_models = modelZoo().size();
-    for (size_t m = 0; m < n_models; ++m) {
-        const ModelRunReport &r0 = reports[m];
-        const ModelRunReport &r1 = reports[n_models + m];
-        const ModelRunReport &r2 = reports[2 * n_models + m];
-        s_zero.push_back(r0.speedup());
-        s_bdc.push_back(r1.speedup());
-        s_full.push_back(r2.speedup());
-        e_core.push_back(r2.coreEnergyEfficiency());
-        t.addRow({r0.model, Table::cell(r0.speedup()),
-                  Table::cell(r1.speedup()), Table::cell(r2.speedup()),
-                  Table::cell(r2.coreEnergyEfficiency())});
-    }
-    t.addRow({"Geomean", Table::cell(geomean(s_zero)),
-              Table::cell(geomean(s_bdc)), Table::cell(geomean(s_full)),
-              Table::cell(geomean(e_core))});
-    t.print();
-    return 0;
-}
-
-} // namespace
-} // namespace fpraker
+/** Legacy shim for `fpraker run fig11` — the experiment body lives in
+ *  src/api/experiments/fig11_perf_energy.cpp. */
+#include "api/driver.h"
 
 int
 main(int argc, char **argv)
 {
-    return fpraker::run(argc, argv);
+    return fpraker::api::experimentMain({"fig11"}, argc, argv);
 }

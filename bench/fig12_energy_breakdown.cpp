@@ -1,54 +1,9 @@
-/**
- * @file
- * Fig. 12 — energy breakdown of FPRaker vs the baseline: off-chip
- * DRAM, on-chip SRAM, and core (FPRaker's core split into compute /
- * control / accumulation), normalized to the baseline total.
- */
-
-#include "bench_common.h"
-
-namespace fpraker {
-namespace {
-
-int
-run(int argc, char **argv)
-{
-    bench::banner("Fig. 12",
-                  "energy breakdown, normalized to baseline total",
-                  "FPRaker core well below baseline core; on-chip "
-                  "portion comparable; off-chip shrinks with BDC; "
-                  "accumulation the largest FPRaker core component");
-
-    AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
-    cfg.sampleSteps = bench::sampleSteps();
-    SweepRunner runner(bench::threads(argc, argv));
-    const Accelerator &accel = runner.addAccelerator(cfg);
-    std::vector<ModelRunReport> reports =
-        runner.runModels(bench::zooJobs({&accel}));
-
-    Table t({"model", "fpr core(comp/ctl/accum)", "fpr sram", "fpr dram",
-             "fpr total", "base core", "base sram", "base dram"});
-    for (const ModelRunReport &r : reports) {
-        double norm = r.baseEnergy.totalPj();
-        auto pct = [&](double pj) { return Table::pct(pj / norm); };
-        std::string core_split =
-            pct(r.fprEnergy.core.computePj) + "/" +
-            pct(r.fprEnergy.core.controlPj) + "/" +
-            pct(r.fprEnergy.core.accumulationPj);
-        t.addRow({r.model, core_split, pct(r.fprEnergy.sramPj),
-                  pct(r.fprEnergy.dramPj), pct(r.fprEnergy.totalPj()),
-                  pct(r.baseEnergy.core.totalPj()),
-                  pct(r.baseEnergy.sramPj), pct(r.baseEnergy.dramPj)});
-    }
-    t.print();
-    return 0;
-}
-
-} // namespace
-} // namespace fpraker
+/** Legacy shim for `fpraker run fig12` — the experiment body lives in
+ *  src/api/experiments/fig12_energy_breakdown.cpp. */
+#include "api/driver.h"
 
 int
 main(int argc, char **argv)
 {
-    return fpraker::run(argc, argv);
+    return fpraker::api::experimentMain({"fig12"}, argc, argv);
 }

@@ -1,51 +1,9 @@
-/**
- * @file
- * Fig. 13 — breakdown of the terms FPRaker skips: zero terms (empty
- * slots after canonical encoding, including zero values) vs non-zero
- * terms retired as out-of-bounds.
- */
-
-#include "bench_common.h"
-
-namespace fpraker {
-namespace {
-
-int
-run(int argc, char **argv)
-{
-    bench::banner("Fig. 13", "breakdown of skipped terms",
-                  "zero terms dominate everywhere; OB skipping adds "
-                  "~5-10% more for ResNet50-S2/Detectron2 and least for "
-                  "already-sparse VGG16/SNLI");
-
-    AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
-    cfg.sampleSteps = bench::sampleSteps();
-    SweepRunner runner(bench::threads(argc, argv));
-    const Accelerator &accel = runner.addAccelerator(cfg);
-    std::vector<ModelRunReport> reports =
-        runner.runModels(bench::zooJobs({&accel}));
-
-    Table t({"model", "zero terms", "out-of-bounds terms",
-             "OB gain [pp of slots]", "skipped of all slots"});
-    for (const ModelRunReport &r : reports) {
-        double zero = r.activity.termsZeroSkipped;
-        double ob = r.activity.termsObSkipped;
-        double skipped = zero + ob;
-        double slots = r.activity.macs * kTermSlots;
-        t.addRow({r.model, Table::pct(zero / skipped),
-                  Table::pct(ob / skipped),
-                  Table::cell(ob / slots * 100.0, 2),
-                  Table::pct(skipped / slots)});
-    }
-    t.print();
-    return 0;
-}
-
-} // namespace
-} // namespace fpraker
+/** Legacy shim for `fpraker run fig13` — the experiment body lives in
+ *  src/api/experiments/fig13_skipped_terms.cpp. */
+#include "api/driver.h"
 
 int
 main(int argc, char **argv)
 {
-    return fpraker::run(argc, argv);
+    return fpraker::api::experimentMain({"fig13"}, argc, argv);
 }

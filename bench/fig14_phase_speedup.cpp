@@ -1,55 +1,9 @@
-/**
- * @file
- * Fig. 14 — FPRaker speedup over the baseline for each of the three
- * training phases (AxG weight gradients, GxW input gradients, AxW
- * forward).
- */
-
-#include "bench_common.h"
-
-namespace fpraker {
-namespace {
-
-int
-run(int argc, char **argv)
-{
-    bench::banner("Fig. 14", "speedup per training phase",
-                  "FPRaker beats the baseline in all three phases for "
-                  "every model; phase ordering varies with the term "
-                  "sparsity of the serial-side tensor");
-
-    AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
-    cfg.sampleSteps = bench::sampleSteps();
-    SweepRunner runner(bench::threads(argc, argv));
-    const Accelerator &accel = runner.addAccelerator(cfg);
-    std::vector<ModelRunReport> reports =
-        runner.runModels(bench::zooJobs({&accel}));
-
-    Table t({"model", "AxG", "GxW", "AxW", "total"});
-    std::vector<double> g_axg, g_gxw, g_axw, g_tot;
-    for (const ModelRunReport &r : reports) {
-        double axg = r.speedupForOp(TrainingOp::WeightGrad);
-        double gxw = r.speedupForOp(TrainingOp::InputGrad);
-        double axw = r.speedupForOp(TrainingOp::Forward);
-        g_axg.push_back(axg);
-        g_gxw.push_back(gxw);
-        g_axw.push_back(axw);
-        g_tot.push_back(r.speedup());
-        t.addRow({r.model, Table::cell(axg), Table::cell(gxw),
-                  Table::cell(axw), Table::cell(r.speedup())});
-    }
-    t.addRow({"Geomean", Table::cell(geomean(g_axg)),
-              Table::cell(geomean(g_gxw)), Table::cell(geomean(g_axw)),
-              Table::cell(geomean(g_tot))});
-    t.print();
-    return 0;
-}
-
-} // namespace
-} // namespace fpraker
+/** Legacy shim for `fpraker run fig14` — the experiment body lives in
+ *  src/api/experiments/fig14_phase_speedup.cpp. */
+#include "api/driver.h"
 
 int
 main(int argc, char **argv)
 {
-    return fpraker::run(argc, argv);
+    return fpraker::api::experimentMain({"fig14"}, argc, argv);
 }

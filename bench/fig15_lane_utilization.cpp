@@ -1,50 +1,9 @@
-/**
- * @file
- * Fig. 15 — breakdown of FPRaker lane-cycles: useful work vs the four
- * stall categories (no-term imbalance, limited shift range, inter-PE
- * synchronization, shared exponent block).
- */
-
-#include "bench_common.h"
-
-namespace fpraker {
-namespace {
-
-int
-run(int argc, char **argv)
-{
-    bench::banner("Fig. 15", "lane-cycle breakdown (lane efficiency)",
-                  "cross-lane term imbalance ('no term') is the largest "
-                  "stall (~33% average, worst for NCF ~55%); shift-range "
-                  "and inter-PE stalls small; exponent stalls noticeable "
-                  "only for effectively-4b ResNet18-Q and SNLI");
-
-    AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
-    cfg.sampleSteps = bench::sampleSteps();
-    SweepRunner runner(bench::threads(argc, argv));
-    const Accelerator &accel = runner.addAccelerator(cfg);
-    std::vector<ModelRunReport> reports =
-        runner.runModels(bench::zooJobs({&accel}));
-
-    Table t({"model", "useful", "no term", "shift range", "inter-PE",
-             "exponent"});
-    for (const ModelRunReport &r : reports) {
-        double lc = r.activity.laneCycles();
-        t.addRow({r.model, Table::pct(r.activity.laneUseful / lc),
-                  Table::pct(r.activity.laneNoTerm / lc),
-                  Table::pct(r.activity.laneShiftRange / lc),
-                  Table::pct(r.activity.laneInterPe / lc),
-                  Table::pct(r.activity.laneExponent / lc)});
-    }
-    t.print();
-    return 0;
-}
-
-} // namespace
-} // namespace fpraker
+/** Legacy shim for `fpraker run fig15` — the experiment body lives in
+ *  src/api/experiments/fig15_lane_utilization.cpp. */
+#include "api/driver.h"
 
 int
 main(int argc, char **argv)
 {
-    return fpraker::run(argc, argv);
+    return fpraker::api::experimentMain({"fig15"}, argc, argv);
 }

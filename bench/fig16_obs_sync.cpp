@@ -1,68 +1,9 @@
-/**
- * @file
- * Fig. 16 — effect of out-of-bounds term skipping (OBS) on the
- * synchronization overhead: the stall-cycle breakdown with OBS on vs
- * off, plus the overall stall reduction.
- */
-
-#include "bench_common.h"
-
-namespace fpraker {
-namespace {
-
-int
-run(int argc, char **argv)
-{
-    bench::banner("Fig. 16",
-                  "synchronization overhead with/without OB skipping",
-                  "skipping OB terms improves lane load balance: "
-                  "~30% average reduction in total stall cycles, mostly "
-                  "from the no-term (cross-lane wait) category");
-
-    AcceleratorConfig on_cfg = AcceleratorConfig::paperDefault();
-    on_cfg.sampleSteps = bench::sampleSteps();
-    AcceleratorConfig off_cfg = on_cfg;
-    off_cfg.tile.pe.skipOutOfBounds = false;
-    SweepRunner runner(bench::threads(argc, argv));
-    const Accelerator &on = runner.addAccelerator(on_cfg);
-    const Accelerator &off = runner.addAccelerator(off_cfg);
-    std::vector<ModelRunReport> reports =
-        runner.runModels(bench::zooJobs({&on, &off}));
-    const size_t n_models = modelZoo().size();
-
-    Table t({"model", "mode", "no term", "shift range", "inter-PE",
-             "exponent", "stall/lane-cycle"});
-    double reductions = 0.0;
-    for (size_t m = 0; m < n_models; ++m) {
-        const ModelRunReport &r_on = reports[m];
-        const ModelRunReport &r_off = reports[n_models + m];
-        auto add = [&](const char *mode, const ScaledPeActivity &a) {
-            double stalls = a.laneNoTerm + a.laneShiftRange +
-                            a.laneInterPe + a.laneExponent;
-            t.addRow({r_on.model, mode,
-                      Table::pct(a.laneNoTerm / stalls),
-                      Table::pct(a.laneShiftRange / stalls),
-                      Table::pct(a.laneInterPe / stalls),
-                      Table::pct(a.laneExponent / stalls),
-                      Table::pct(stalls / a.laneCycles())});
-            return stalls / a.macs; // stalls per MAC, comparable
-        };
-        double s_on = add("OBS", r_on.activity);
-        double s_off = add("no OBS", r_off.activity);
-        reductions += 1.0 - s_on / s_off;
-    }
-    t.print();
-    std::printf("\naverage stall-cycle reduction from OBS: %.1f%%\n",
-                reductions / static_cast<double>(modelZoo().size()) *
-                    100.0);
-    return 0;
-}
-
-} // namespace
-} // namespace fpraker
+/** Legacy shim for `fpraker run fig16` — the experiment body lives in
+ *  src/api/experiments/fig16_obs_sync.cpp. */
+#include "api/driver.h"
 
 int
 main(int argc, char **argv)
 {
-    return fpraker::run(argc, argv);
+    return fpraker::api::experimentMain({"fig16"}, argc, argv);
 }

@@ -1,57 +1,9 @@
-/**
- * @file
- * Fig. 18 — FPRaker speedup over the baseline across the training
- * process (the paper samples one batch per epoch; we sweep the
- * training-progress axis of the value profiles).
- */
-
-#include "bench_common.h"
-
-namespace fpraker {
-namespace {
-
-int
-run(int argc, char **argv)
-{
-    bench::banner("Fig. 18", "speedup over training time",
-                  "stable for most models; VGG16 declines ~15% after "
-                  "the first ~30% of training; ResNet18-Q gains ~12.5% "
-                  "once PACT clipping settles (~30%)");
-
-    AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
-    cfg.sampleSteps = bench::sampleSteps(64);
-    SweepRunner runner(bench::threads(argc, argv));
-    const Accelerator &accel = runner.addAccelerator(cfg);
-
-    // One job per (model, progress point): the whole time sweep is a
-    // single flattened fan-out.
-    const double points[] = {0.0, 0.15, 0.3, 0.5, 0.75, 1.0};
-    const size_t n_points = sizeof(points) / sizeof(points[0]);
-    std::vector<SweepJob> jobs;
-    for (const auto &model : modelZoo())
-        for (double p : points)
-            jobs.push_back(SweepJob{&accel, &model, p});
-    std::vector<ModelRunReport> reports = runner.runModels(jobs);
-
-    std::vector<std::string> headers = {"model"};
-    for (double p : points)
-        headers.push_back(Table::pct(p, 0));
-    Table t(headers);
-    for (size_t m = 0; m < modelZoo().size(); ++m) {
-        std::vector<std::string> row = {reports[m * n_points].model};
-        for (size_t i = 0; i < n_points; ++i)
-            row.push_back(Table::cell(reports[m * n_points + i].speedup()));
-        t.addRow(row);
-    }
-    t.print();
-    return 0;
-}
-
-} // namespace
-} // namespace fpraker
+/** Legacy shim for `fpraker run fig18` — the experiment body lives in
+ *  src/api/experiments/fig18_speedup_over_time.cpp. */
+#include "api/driver.h"
 
 int
 main(int argc, char **argv)
 {
-    return fpraker::run(argc, argv);
+    return fpraker::api::experimentMain({"fig18"}, argc, argv);
 }

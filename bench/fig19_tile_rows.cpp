@@ -1,71 +1,9 @@
-/**
- * @file
- * Fig. 19 — FPRaker speedup vs the number of PE rows per tile
- * (2/4/8/16) at a fixed total PE budget: more rows share one serial
- * operand stream, increasing intra-column synchronization.
- */
-
-#include "bench_common.h"
-
-namespace fpraker {
-namespace {
-
-int
-run(int argc, char **argv)
-{
-    bench::banner("Fig. 19", "speedup vs rows per tile",
-                  "increasing rows per tile costs ~6% on average from "
-                  "2 to 16 rows (more PEs synchronized on one A "
-                  "stream)");
-
-    const int rows_options[] = {2, 4, 8, 16};
-    const int pe_budget = 36 * 64; // total PEs at iso-compute area
-
-    // The geometry sweep is where the per-PE retirement-skip summary
-    // bit earns its keep (16 PEs share one A stream in the widest
-    // configuration); the 4 variants x 9 models fan out as one job
-    // list over a shared engine.
-    SweepRunner runner(bench::threads(argc, argv));
-    std::vector<const Accelerator *> variants;
-    for (int rows : rows_options) {
-        AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
-        cfg.sampleSteps = bench::sampleSteps(64);
-        cfg.tile.rows = rows;
-        cfg.fprTiles = pe_budget / (rows * cfg.tile.cols);
-        variants.push_back(&runner.addAccelerator(cfg));
-    }
-    std::vector<ModelRunReport> reports =
-        runner.runModels(bench::zooJobs(variants));
-    const size_t n_models = modelZoo().size();
-
-    std::vector<std::string> headers = {"model"};
-    for (int rows : rows_options)
-        headers.push_back(std::to_string(rows) + " rows");
-    Table t(headers);
-
-    std::vector<std::vector<double>> per_rows(4);
-    for (size_t m = 0; m < n_models; ++m) {
-        std::vector<std::string> row = {reports[m].model};
-        for (size_t i = 0; i < 4; ++i) {
-            const ModelRunReport &r = reports[i * n_models + m];
-            per_rows[i].push_back(r.speedup());
-            row.push_back(Table::cell(r.speedup()));
-        }
-        t.addRow(row);
-    }
-    std::vector<std::string> geo = {"Geomean"};
-    for (size_t i = 0; i < 4; ++i)
-        geo.push_back(Table::cell(geomean(per_rows[i])));
-    t.addRow(geo);
-    t.print();
-    return 0;
-}
-
-} // namespace
-} // namespace fpraker
+/** Legacy shim for `fpraker run fig19` — the experiment body lives in
+ *  src/api/experiments/fig19_tile_rows.cpp. */
+#include "api/driver.h"
 
 int
 main(int argc, char **argv)
 {
-    return fpraker::run(argc, argv);
+    return fpraker::api::experimentMain({"fig19"}, argc, argv);
 }

@@ -1,61 +1,9 @@
-/**
- * @file
- * Fig. 20 — lane-cycle breakdown as the number of rows per tile grows:
- * inter-PE synchronization and no-term (waiting-for-sibling) stalls
- * increase with more PEs sharing one serial-operand stream.
- */
-
-#include "bench_common.h"
-
-namespace fpraker {
-namespace {
-
-int
-run(int argc, char **argv)
-{
-    bench::banner("Fig. 20", "cycle breakdown vs rows per tile",
-                  "useful share shrinks with rows; no-term and inter-PE "
-                  "stalls grow");
-
-    const int rows_options[] = {2, 4, 8, 16};
-    const int pe_budget = 36 * 64;
-
-    SweepRunner runner(bench::threads(argc, argv));
-    std::vector<const Accelerator *> variants;
-    for (int rows : rows_options) {
-        AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
-        cfg.sampleSteps = bench::sampleSteps(64);
-        cfg.tile.rows = rows;
-        cfg.fprTiles = pe_budget / (rows * cfg.tile.cols);
-        variants.push_back(&runner.addAccelerator(cfg));
-    }
-    std::vector<ModelRunReport> reports =
-        runner.runModels(bench::zooJobs(variants));
-    const size_t n_models = modelZoo().size();
-
-    Table t({"model", "rows", "useful", "no term", "shift range",
-             "inter-PE", "exponent"});
-    for (size_t m = 0; m < n_models; ++m) {
-        for (size_t i = 0; i < 4; ++i) {
-            const ModelRunReport &r = reports[i * n_models + m];
-            double lc = r.activity.laneCycles();
-            t.addRow({r.model, std::to_string(rows_options[i]),
-                      Table::pct(r.activity.laneUseful / lc),
-                      Table::pct(r.activity.laneNoTerm / lc),
-                      Table::pct(r.activity.laneShiftRange / lc),
-                      Table::pct(r.activity.laneInterPe / lc),
-                      Table::pct(r.activity.laneExponent / lc)});
-        }
-    }
-    t.print();
-    return 0;
-}
-
-} // namespace
-} // namespace fpraker
+/** Legacy shim for `fpraker run fig20` — the experiment body lives in
+ *  src/api/experiments/fig20_rows_cycles.cpp. */
+#include "api/driver.h"
 
 int
 main(int argc, char **argv)
 {
-    return fpraker::run(argc, argv);
+    return fpraker::api::experimentMain({"fig20"}, argc, argv);
 }

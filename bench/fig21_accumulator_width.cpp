@@ -1,137 +1,9 @@
-/**
- * @file
- * Fig. 21 — FPRaker with per-layer profiled accumulator widths (Sakr
- * et al.) vs a fixed-width accumulator, for AlexNet and ResNet18. A
- * narrower accumulator raises the out-of-bounds threshold's bite and
- * skips more terms; the bit-parallel baseline cannot convert that into
- * cycles.
- */
-
-#include <map>
-
-#include "bench_common.h"
-#include "train/acc_width_profiler.h"
-
-namespace fpraker {
-namespace {
-
-/** Build an ad-hoc ModelInfo around a layer list with conv-net-like
- * value profiles (these networks train unquantized on ImageNet). */
-ModelInfo
-makeModel(const std::string &name, std::vector<LayerShape> layers)
-{
-    ModelInfo m;
-    m.name = name;
-    m.application = "Image Classification";
-    m.dataset = "ImageNet";
-    m.layers = std::move(layers);
-    // Borrow the natural-training conv-net statistics of VGG16.
-    m.profile = findModel("VGG16").profile;
-    return m;
-}
-
-/** Total FPRaker cycles for the model under a fixed or profiled
- * accumulator width; returns {AxW, GxW, AxG, total} cycles. */
-struct PhaseCycles
-{
-    double axw = 0, gxw = 0, axg = 0;
-    double total() const { return axw + gxw + axg; }
-};
-
-PhaseCycles
-runWidths(SweepRunner &runner, const ModelInfo &model, bool profiled)
-{
-    AccWidthConfig wcfg;
-    // Each (layer, op) carries its own profiled accumulator width.
-    // Distinct widths need distinct accelerator variants, but many
-    // units share a width (and the fixed sweep shares one config
-    // outright), so variants dedupe by threshold — each variant's BDC
-    // cache then warms once instead of once per unit.
-    std::map<int, const Accelerator *> variants;
-    auto variant_for = [&](int ob_threshold) {
-        auto it = variants.find(ob_threshold);
-        if (it != variants.end())
-            return it->second;
-        AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
-        cfg.sampleSteps = bench::sampleSteps(64);
-        cfg.tile.pe.obThreshold = ob_threshold;
-        return variants
-            .emplace(ob_threshold, &runner.addAccelerator(cfg))
-            .first->second;
-    };
-    const int default_threshold =
-        AcceleratorConfig::paperDefault().tile.pe.obThreshold;
-
-    std::vector<SweepLayerJob> jobs;
-    for (const auto &layer : model.layers) {
-        for (TrainingOp op : {TrainingOp::Forward, TrainingOp::InputGrad,
-                              TrainingOp::WeightGrad}) {
-            int threshold = profiled
-                                ? requiredFracBits(
-                                      accumulationLength(layer, op), wcfg)
-                                : default_threshold;
-            jobs.push_back(SweepLayerJob{variant_for(threshold), &model,
-                                         &layer, op,
-                                         bench::kDefaultProgress});
-        }
-    }
-    std::vector<LayerOpReport> reports = runner.runLayerOps(jobs);
-
-    PhaseCycles out;
-    for (const LayerOpReport &r : reports) {
-        switch (r.op) {
-          case TrainingOp::Forward:
-            out.axw += r.fprCycles;
-            break;
-          case TrainingOp::InputGrad:
-            out.gxw += r.fprCycles;
-            break;
-          case TrainingOp::WeightGrad:
-            out.axg += r.fprCycles;
-            break;
-        }
-    }
-    return out;
-}
-
-int
-run(int argc, char **argv)
-{
-    bench::banner("Fig. 21",
-                  "per-layer profiled accumulator width vs fixed width",
-                  "profiled widths skip more out-of-bounds terms: "
-                  "ResNet18 overall speedup improves substantially over "
-                  "the fixed-width configuration (paper: 1.56x vs 1.13x "
-                  "over the baseline)");
-
-    Table t({"network", "AxW cycles", "GxW cycles", "AxG cycles",
-             "total (norm. to fixed)"});
-    for (auto &[name, layers] :
-         {std::pair<std::string, std::vector<LayerShape>>{
-              "AlexNet", alexnetLayers()},
-          {"ResNet18", resnet18Layers()}}) {
-        ModelInfo model = makeModel(name, layers);
-        SweepRunner runner(bench::threads(argc, argv));
-        PhaseCycles fixed = runWidths(runner, model, false);
-        PhaseCycles prof = runWidths(runner, model, true);
-        auto pct = [&](double v, double ref) { return Table::pct(v / ref); };
-        t.addRow({name, pct(fixed.axw, fixed.total()),
-                  pct(fixed.gxw, fixed.total()),
-                  pct(fixed.axg, fixed.total()), "100.0%"});
-        t.addRow({name + "-P", pct(prof.axw, fixed.total()),
-                  pct(prof.gxw, fixed.total()),
-                  pct(prof.axg, fixed.total()),
-                  Table::pct(prof.total() / fixed.total())});
-    }
-    t.print();
-    return 0;
-}
-
-} // namespace
-} // namespace fpraker
+/** Legacy shim for `fpraker run fig21` — the experiment body lives in
+ *  src/api/experiments/fig21_accumulator_width.cpp. */
+#include "api/driver.h"
 
 int
 main(int argc, char **argv)
 {
-    return fpraker::run(argc, argv);
+    return fpraker::api::experimentMain({"fig21"}, argc, argv);
 }

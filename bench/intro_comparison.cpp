@@ -1,120 +1,9 @@
-/**
- * @file
- * Section I comparison — why a straight floating-point port of
- * Bit-Pragmatic (or Laconic) fails where FPRaker succeeds: the
- * Bfloat16 Bit-Pragmatic PE is only 2.5x smaller than the bit-parallel
- * PE, so iso-compute area affords 20 tiles instead of FPRaker's 36,
- * and the paper measures it on average 1.72x SLOWER and 1.96x less
- * energy efficient than the optimized baseline.
- */
-
-#include "bench_common.h"
-#include "energy/area_model.h"
-#include "pe/alt_pes.h"
-#include "trace/tensor_gen.h"
-
-namespace fpraker {
-namespace {
-
-int
-run(int argc, char **argv)
-{
-    bench::banner("Intro comparison",
-                  "Bfloat16 Bit-Pragmatic / Laconic vs baseline vs "
-                  "FPRaker under iso-compute area",
-                  "Bit-Pragmatic-FP: ~1.72x slower, ~1.96x less energy "
-                  "efficient than the baseline (worst case 2.86x/3.2x); "
-                  "Laconic-FP equally disappointing; FPRaker ~1.4x "
-                  "faster");
-
-    std::printf("tile areas and iso-compute tile counts:\n");
-    Table areas({"design", "tile um^2", "vs baseline", "iso tiles"});
-    double base_um2 = AreaModel::baselineTile().totalUm2();
-    areas.addRow({"Baseline", Table::cell(base_um2, 0), "1.00", "8"});
-    areas.addRow({"Bit-Pragmatic-FP",
-                  Table::cell(AreaModel::bitPragmaticFpTile().totalUm2(),
-                              0),
-                  Table::cell(AreaModel::bitPragmaticFpTile().totalUm2() /
-                              base_um2),
-                  std::to_string(AreaModel::bitPragmaticIsoTiles(8))});
-    areas.addRow({"FPRaker",
-                  Table::cell(AreaModel::fprTile().totalUm2(), 0),
-                  Table::cell(AreaModel::areaRatio()),
-                  std::to_string(AreaModel::isoComputeTiles(8))});
-    areas.print();
-
-    // Performance: run the serial-capable accelerators over the zoo,
-    // as one sweep through a shared engine (the accelerator models the
-    // baseline machine's cycles analytically — one cycle per step —
-    // so the harness's wall-clock is the serial designs' sampling).
-    AcceleratorConfig fpr_cfg = AcceleratorConfig::paperDefault();
-    fpr_cfg.sampleSteps = bench::sampleSteps(64);
-
-    AcceleratorConfig bp_cfg = fpr_cfg;
-    bp_cfg.tile.pe = bitPragmaticFpConfig();
-    bp_cfg.fprTiles = AreaModel::bitPragmaticIsoTiles(8);
-    bp_cfg.useBdc = false;         // no compression scheme
-    bp_cfg.autoSerialSide = false; // always serializes one fixed side
-
-    SweepRunner runner(bench::threads(argc, argv));
-    const Accelerator &bp = runner.addAccelerator(bp_cfg);
-    const Accelerator &fpr = runner.addAccelerator(fpr_cfg);
-    std::vector<ModelRunReport> reports =
-        runner.runModels(bench::zooJobs({&bp, &fpr}));
-    const size_t n_models = modelZoo().size();
-
-    // Laconic-FP: measure average cycles/set at the PE level on the
-    // forward operands, then scale by its iso-area PE count (its PE is
-    // larger than Bit-Pragmatic's; reuse that bound as an optimistic
-    // ceiling). Each model's measurement owns its slot, so the loop
-    // shards across the same engine.
-    std::vector<double> s_lac(n_models);
-    runner.parallelFor(n_models, [&](size_t m) {
-        const ModelInfo &model = modelZoo()[m];
-        TensorGenerator ga(model.profile.activation.at(0.5), 101);
-        TensorGenerator gw(model.profile.weight.at(0.5), 102);
-        LaconicFpPe lac;
-        for (int s = 0; s < 512; ++s) {
-            MacPair pairs[8];
-            for (int l = 0; l < 8; ++l)
-                pairs[l] = MacPair{ga.next(), gw.next()};
-            lac.processSet(pairs, 8);
-        }
-        double lac_cycles_per_set =
-            static_cast<double>(lac.stats().cycles) /
-            static_cast<double>(lac.stats().sets);
-        s_lac[m] =
-            (static_cast<double>(AreaModel::bitPragmaticIsoTiles(8)) /
-             8.0) /
-            lac_cycles_per_set;
-    });
-
-    std::printf("\niso-compute-area speedup over the baseline:\n");
-    Table t({"model", "Bit-Pragmatic-FP", "Laconic-FP", "FPRaker"});
-    std::vector<double> s_bp, s_fpr;
-    for (size_t m = 0; m < n_models; ++m) {
-        const ModelRunReport &r_bp = reports[m];
-        const ModelRunReport &r_fpr = reports[n_models + m];
-        s_bp.push_back(r_bp.speedup());
-        s_fpr.push_back(r_fpr.speedup());
-        t.addRow({r_bp.model, Table::cell(r_bp.speedup()),
-                  Table::cell(s_lac[m]),
-                  Table::cell(r_fpr.speedup())});
-    }
-    t.addRow({"Geomean", Table::cell(geomean(s_bp)),
-              Table::cell(geomean(s_lac)), Table::cell(geomean(s_fpr))});
-    t.print();
-    std::printf("\n(values below 1.0 are slowdowns; the area-starved "
-                "serial designs cannot deploy\nenough parallelism to "
-                "cover their multi-cycle MACs)\n");
-    return 0;
-}
-
-} // namespace
-} // namespace fpraker
+/** Legacy shim for `fpraker run intro` — the experiment body lives in
+ *  src/api/experiments/intro_comparison.cpp. */
+#include "api/driver.h"
 
 int
 main(int argc, char **argv)
 {
-    return fpraker::run(argc, argv);
+    return fpraker::api::experimentMain({"intro"}, argc, argv);
 }

@@ -1,467 +1,9 @@
-/**
- * @file
- * Perf-regression harness: times fixed, seeded workloads on the
- * cycle-level simulator and emits BENCH_PR2.json, extending the
- * BENCH_PR<N>.json trajectory each perf PR must beat
- * (docs/PERFORMANCE.md explains how to read and append it).
- *
- * Timed sections:
- *
- *  - tile_kernel — the PR 1 comparison, unchanged: the seed algorithm
- *    (ReferenceColumn / ReferenceTile), the optimized engine at one
- *    thread, and at --threads=N, over identical pre-generated operand
- *    slabs. PR 2's kernel gains (transposed settle masks, per-PE
- *    retirement skip) land here.
- *  - sweep — the PR 2 tentpole: several whole tile-kernel jobs (the
- *    kernel workload replicated under per-job RNG substreams, keeping
- *    sets/sec comparable) submitted through one SweepRunner and timed
- *    at 1, 2, and 8 threads. The sweep-level sets/sec must beat the
- *    previous PR's kernel sets/sec, and the FNV-1a checksum over every
- *    job's outputs must be identical at every thread count.
- *  - model_sweep — a three-model sweep of full accelerator runs (the
- *    Fig. 11 unit of work) through the same runner, serial vs parallel.
- *
- * The harness refuses to report a speedup over diverging runs.
- *
- *   ./perf_regression [--threads=N] [--steps=N] [--reps=N] [--out=FILE]
- *
- * FPRAKER_SAMPLE_STEPS scales the tile workload (CI smoke runs use a
- * small budget — .github/workflows/ci.yml pins one and compares the
- * emitted checksums against bench/SMOKE_BASELINE.json), and
- * FPRAKER_THREADS feeds the default thread count.
- */
-
-#include <chrono>
-#include <cinttypes>
-#include <cstring>
-#include <functional>
-
-#include "bench_common.h"
-#include "common/logging.h"
-#include "sim/reference_column.h"
-#include "trace/rng_stream.h"
-#include "trace/tensor_gen.h"
-
-namespace fpraker {
-namespace {
-
-/** FNV-1a over raw bytes; order-sensitive, so layouts must match. */
-class Checksum
-{
-  public:
-    void
-    addBytes(const void *data, size_t n)
-    {
-        const unsigned char *p = static_cast<const unsigned char *>(data);
-        for (size_t i = 0; i < n; ++i) {
-            hash_ ^= p[i];
-            hash_ *= 0x100000001b3ull;
-        }
-    }
-
-    void add(uint64_t v) { addBytes(&v, sizeof(v)); }
-    void add(double v) { addBytes(&v, sizeof(v)); }
-
-    void
-    add(float v)
-    {
-        uint32_t bits;
-        std::memcpy(&bits, &v, sizeof(bits));
-        addBytes(&bits, sizeof(bits));
-    }
-
-    void
-    add(const PeStats &s)
-    {
-        add(s.laneUseful);
-        add(s.laneNoTerm);
-        add(s.laneShiftRange);
-        add(s.laneExponent);
-        add(s.laneInterPe);
-        add(s.setCycles);
-        add(s.sets);
-        add(s.macs);
-        add(s.termsProcessed);
-        add(s.termsZeroSkipped);
-        add(s.termsObSkipped);
-    }
-
-    uint64_t value() const { return hash_; }
-
-  private:
-    uint64_t hash_ = 0xcbf29ce484222325ull;
-};
-
-double
-now()
-{
-    using clock = std::chrono::steady_clock;
-    return std::chrono::duration<double>(
-               clock::now().time_since_epoch())
-        .count();
-}
-
-struct TileTiming
-{
-    double seconds = 0;
-    uint64_t cycles = 0;
-    uint64_t checksum = 0;
-};
-
-/** The fixed tile workload: geometry, burst length, operand slabs. */
-struct Workload
-{
-    TileConfig tile;
-    int steps = 0;
-    int burst = 32; //!< Steps per output block (accumulator reset).
-    std::vector<BFloat16> a; //!< [step][col * lanes + l]
-    std::vector<BFloat16> b; //!< [step][row * lanes + l]
-};
-
-Workload
-makeWorkload(const ModelInfo &model, int steps, uint64_t seed)
-{
-    Workload w;
-    w.tile = AcceleratorConfig::paperDefault().tile;
-    w.steps = steps;
-    const int lanes = w.tile.pe.lanes;
-    const size_t a_len = static_cast<size_t>(w.tile.cols) * lanes;
-    const size_t b_len = static_cast<size_t>(w.tile.rows) * lanes;
-
-    ValueProfile serial =
-        model.profile.of(TensorKind::Activation).at(0.5);
-    ValueProfile parallel = model.profile.of(TensorKind::Weight).at(0.5);
-    TensorGenerator a_gen(serial, seed);
-    TensorGenerator b_gen(parallel, seed ^ 0x5eed);
-    w.a.resize(static_cast<size_t>(steps) * a_len);
-    w.b.resize(static_cast<size_t>(steps) * b_len);
-    a_gen.fill(w.a.data(), w.a.size());
-    b_gen.fill(w.b.data(), w.b.size());
-    return w;
-}
-
-/** Time the seed-parity algorithm over the workload. */
-TileTiming
-runSeedSerial(const Workload &w)
-{
-    const int lanes = w.tile.pe.lanes;
-    const size_t a_len = static_cast<size_t>(w.tile.cols) * lanes;
-    const size_t b_len = static_cast<size_t>(w.tile.rows) * lanes;
-
-    ReferenceTile tile(w.tile.pe, w.tile.rows, w.tile.cols,
-                       w.tile.bufferDepth);
-    TileTiming t;
-    Checksum sum;
-    double t0 = now();
-    for (int s = 0; s < w.steps; s += w.burst) {
-        size_t burst = static_cast<size_t>(
-            std::min(w.burst, w.steps - s));
-        ReferenceTileResult res =
-            tile.run(w.a.data() + static_cast<size_t>(s) * a_len,
-                     w.b.data() + static_cast<size_t>(s) * b_len, burst);
-        t.cycles += res.cycles;
-        for (int r = 0; r < w.tile.rows; ++r)
-            for (int c = 0; c < w.tile.cols; ++c)
-                sum.add(tile.output(r, c));
-        tile.resetAccumulators();
-    }
-    t.seconds = now() - t0;
-    sum.add(t.cycles);
-    sum.add(tile.aggregateStats());
-    t.checksum = sum.value();
-    return t;
-}
-
-/** Time the optimized engine over the workload at a thread count. */
-TileTiming
-runOptimized(const Workload &w, int threads)
-{
-    const int lanes = w.tile.pe.lanes;
-    const size_t a_len = static_cast<size_t>(w.tile.cols) * lanes;
-    const size_t b_len = static_cast<size_t>(w.tile.rows) * lanes;
-
-    SimEngine engine(threads);
-    Tile tile(w.tile);
-    std::vector<TileStepView> views(static_cast<size_t>(w.burst));
-    TileTiming t;
-    Checksum sum;
-    double t0 = now();
-    for (int s = 0; s < w.steps; s += w.burst) {
-        size_t burst = static_cast<size_t>(
-            std::min(w.burst, w.steps - s));
-        for (size_t i = 0; i < burst; ++i) {
-            size_t step = static_cast<size_t>(s) + i;
-            views[i] = TileStepView{w.a.data() + step * a_len,
-                                    w.b.data() + step * b_len};
-        }
-        TileRunResult res = tile.run(views.data(), burst, &engine);
-        t.cycles += res.cycles;
-        for (int r = 0; r < w.tile.rows; ++r)
-            for (int c = 0; c < w.tile.cols; ++c)
-                sum.add(tile.output(r, c));
-        tile.resetAccumulators();
-    }
-    t.seconds = now() - t0;
-    sum.add(t.cycles);
-    sum.add(tile.aggregateStats());
-    t.checksum = sum.value();
-    return t;
-}
-
-uint64_t
-reportChecksum(const ModelRunReport &r)
-{
-    Checksum sum;
-    sum.add(r.fprCycles);
-    sum.add(r.baseCycles);
-    sum.add(r.fprEnergy.totalPj());
-    sum.add(r.baseEnergy.totalPj());
-    for (const LayerOpReport &op : r.ops) {
-        sum.add(op.fprCycles);
-        sum.add(op.baseCycles);
-        sum.add(op.avgCyclesPerStep);
-        sum.add(op.trafficBytesCompressed);
-        sum.add(op.sampleStats);
-    }
-    return sum.value();
-}
-
-int
-run(int argc, char **argv)
-{
-    using bench::banner;
-
-    int threads = 8;
-    int steps = bench::sampleSteps(4096);
-    int reps = 3;
-    const char *out_path = "BENCH_PR2.json";
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--threads=", 10) == 0)
-            threads = std::atoi(argv[i] + 10);
-        else if (std::strncmp(argv[i], "--steps=", 8) == 0)
-            steps = std::atoi(argv[i] + 8);
-        else if (std::strncmp(argv[i], "--reps=", 7) == 0)
-            reps = std::atoi(argv[i] + 7);
-        else if (std::strncmp(argv[i], "--out=", 6) == 0)
-            out_path = argv[i] + 6;
-    }
-    fatal_if(threads < 1 || steps < 1 || reps < 1,
-             "bad --threads/--steps/--reps");
-
-    banner("PR2",
-           "perf regression: sweep-level sharding + retirement skip",
-           "kernel beats the BENCH_PR1 sets/sec; sweep-level sets/sec "
-           "bit-identical at 1/2/8 threads");
-
-    const char *model_name = "ResNet18-Q";
-    const ModelInfo &model = findModel(model_name);
-    const uint64_t seed = 0xf9a4e5;
-    Workload w = makeWorkload(model, steps, seed);
-    const uint64_t sets =
-        static_cast<uint64_t>(w.steps) * w.tile.cols;
-
-    // Best-of-N: each configuration re-runs the identical workload
-    // from a fresh tile; the minimum wall time is the least-perturbed
-    // sample and every rep must checksum identically.
-    auto best = [&](const std::function<TileTiming()> &f) {
-        TileTiming best_t = f();
-        for (int i = 1; i < reps; ++i) {
-            TileTiming t = f();
-            fatal_if(t.checksum != best_t.checksum,
-                     "non-deterministic rep");
-            if (t.seconds < best_t.seconds)
-                best_t = t;
-        }
-        return best_t;
-    };
-    TileTiming seed_t = best([&] { return runSeedSerial(w); });
-    TileTiming serial_t = best([&] { return runOptimized(w, 1); });
-    TileTiming par_t = best([&] { return runOptimized(w, threads); });
-
-    bool tile_identical = seed_t.checksum == serial_t.checksum &&
-                          seed_t.checksum == par_t.checksum;
-    double speedup_serial = seed_t.seconds / serial_t.seconds;
-    double speedup_parallel = seed_t.seconds / par_t.seconds;
-
-    std::printf("tile kernel: %d steps (%" PRIu64 " column-sets), "
-                "%dx%d tile\n",
-                w.steps, sets, w.tile.rows, w.tile.cols);
-    std::printf("  seed serial:      %8.3f s  %10.0f sets/s\n",
-                seed_t.seconds, sets / seed_t.seconds);
-    std::printf("  optimized serial: %8.3f s  %10.0f sets/s  (%.2fx)\n",
-                serial_t.seconds, sets / serial_t.seconds,
-                speedup_serial);
-    std::printf("  %d threads:       %8.3f s  %10.0f sets/s  (%.2fx)\n",
-                threads, par_t.seconds, sets / par_t.seconds,
-                speedup_parallel);
-    std::printf("  bit-identical:    %s\n",
-                tile_identical ? "yes" : "NO — REGRESSION");
-
-    // Sweep section: several whole tile-kernel jobs submitted through
-    // a single SweepRunner. Jobs replicate the kernel workload (same
-    // model profile, so sets/sec stays comparable across the
-    // BENCH_PR<N> trajectory) with per-job RNG substreams, and
-    // pre-generate their slabs untimed; the timed region is the
-    // sharded simulation itself. Every thread count must reproduce the
-    // same combined checksum.
-    const size_t sweep_jobs = 6;
-    const int sweep_steps = std::max(1, steps / 2);
-    std::vector<Workload> sweep_w;
-    for (size_t j = 0; j < sweep_jobs; ++j)
-        sweep_w.push_back(
-            makeWorkload(model, sweep_steps, substreamSeed(seed, j)));
-    const uint64_t sweep_sets = static_cast<uint64_t>(sweep_jobs) *
-                                static_cast<uint64_t>(sweep_steps) *
-                                w.tile.cols;
-
-    const int sweep_threads[3] = {1, 2, 8};
-    double sweep_s[3] = {};
-    uint64_t sweep_sum[3] = {};
-    for (int ti = 0; ti < 3; ++ti) {
-        auto run_once = [&]() {
-            SweepRunner runner(sweep_threads[ti]);
-            std::vector<uint64_t> job_sums(sweep_jobs);
-            TileTiming t;
-            double t0 = now();
-            runner.parallelFor(sweep_jobs, [&](size_t j) {
-                TileTiming jt = runOptimized(sweep_w[j], 1);
-                job_sums[j] = jt.checksum;
-            });
-            t.seconds = now() - t0;
-            Checksum sum;
-            for (uint64_t s_j : job_sums)
-                sum.add(s_j);
-            t.checksum = sum.value();
-            return t;
-        };
-        TileTiming t = best(run_once);
-        sweep_s[ti] = t.seconds;
-        sweep_sum[ti] = t.checksum;
-    }
-    bool sweep_identical = sweep_sum[0] == sweep_sum[1] &&
-                           sweep_sum[0] == sweep_sum[2];
-    double sweep_best_s = std::min({sweep_s[0], sweep_s[1], sweep_s[2]});
-
-    std::printf("sweep: %zu tile-kernel jobs (%d steps each, "
-                "%" PRIu64 " column-sets total) via SweepRunner\n",
-                sweep_jobs, sweep_steps, sweep_sets);
-    for (int ti = 0; ti < 3; ++ti)
-        std::printf("  %d thread(s):     %8.3f s  %10.0f sets/s\n",
-                    sweep_threads[ti], sweep_s[ti],
-                    sweep_sets / sweep_s[ti]);
-    std::printf("  bit-identical:    %s\n",
-                sweep_identical ? "yes" : "NO — REGRESSION");
-
-    // Model sweep: full accelerator runs (the Fig. 11 unit of work)
-    // for three models through one runner, serial vs parallel.
-    const char *sweep_models[3] = {"ResNet18-Q", "SNLI",
-                                   "SqueezeNet 1.1"};
-    AcceleratorConfig mcfg = AcceleratorConfig::paperDefault();
-    mcfg.sampleSteps = bench::sampleSteps(96);
-    auto model_sweep = [&](int t) {
-        SweepRunner runner(t);
-        const Accelerator &accel = runner.addAccelerator(mcfg);
-        std::vector<SweepJob> jobs;
-        for (const char *name : sweep_models)
-            jobs.push_back(SweepJob{&accel, &findModel(name), 0.5});
-        double t0 = now();
-        std::vector<ModelRunReport> reports = runner.runModels(jobs);
-        double secs = now() - t0;
-        Checksum sum;
-        for (const ModelRunReport &r : reports)
-            sum.add(reportChecksum(r));
-        return std::pair<double, uint64_t>(secs, sum.value());
-    };
-    auto [model_serial_s, model_sum_1] = model_sweep(1);
-    auto [model_parallel_s, model_sum_n] = model_sweep(threads);
-    bool model_identical = model_sum_1 == model_sum_n;
-
-    std::printf("model sweep (3 models, %d sample steps/op):\n",
-                mcfg.sampleSteps);
-    std::printf("  serial:     %8.3f s\n", model_serial_s);
-    std::printf("  %d threads: %8.3f s  (%.2fx)\n", threads,
-                model_parallel_s, model_serial_s / model_parallel_s);
-    std::printf("  bit-identical: %s\n",
-                model_identical ? "yes" : "NO — REGRESSION");
-
-    FILE *f = std::fopen(out_path, "w");
-    fatal_if(!f, "cannot write %s", out_path);
-    std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"workload\": {\"model\": \"%s\", \"steps\": %d, "
-                    "\"column_sets\": %" PRIu64 ", \"tile\": \"%dx%d\", "
-                    "\"seed\": %" PRIu64 "},\n",
-                 model_name, w.steps, sets, w.tile.rows, w.tile.cols,
-                 seed);
-    std::fprintf(f, "  \"tile_kernel\": {\n");
-    std::fprintf(f, "    \"threads\": %d,\n", threads);
-    std::fprintf(f, "    \"seed_serial_s\": %.6f,\n", seed_t.seconds);
-    std::fprintf(f, "    \"optimized_serial_s\": %.6f,\n",
-                 serial_t.seconds);
-    std::fprintf(f, "    \"parallel_s\": %.6f,\n", par_t.seconds);
-    std::fprintf(f, "    \"sets_per_sec_seed\": %.1f,\n",
-                 sets / seed_t.seconds);
-    std::fprintf(f, "    \"sets_per_sec_serial\": %.1f,\n",
-                 sets / serial_t.seconds);
-    std::fprintf(f, "    \"sets_per_sec_parallel\": %.1f,\n",
-                 sets / par_t.seconds);
-    std::fprintf(f, "    \"speedup_serial_vs_seed\": %.3f,\n",
-                 speedup_serial);
-    std::fprintf(f, "    \"speedup_vs_serial\": %.3f,\n",
-                 speedup_parallel);
-    std::fprintf(f, "    \"checksum_seed\": \"%016" PRIx64 "\",\n",
-                 seed_t.checksum);
-    std::fprintf(f, "    \"checksum_serial\": \"%016" PRIx64 "\",\n",
-                 serial_t.checksum);
-    std::fprintf(f, "    \"checksum_parallel\": \"%016" PRIx64 "\",\n",
-                 par_t.checksum);
-    std::fprintf(f, "    \"bit_identical\": %s\n",
-                 tile_identical ? "true" : "false");
-    std::fprintf(f, "  },\n");
-    std::fprintf(f, "  \"sweep\": {\n");
-    std::fprintf(f, "    \"jobs\": %zu,\n", sweep_jobs);
-    std::fprintf(f, "    \"steps_per_job\": %d,\n", sweep_steps);
-    std::fprintf(f, "    \"column_sets\": %" PRIu64 ",\n", sweep_sets);
-    for (int ti = 0; ti < 3; ++ti) {
-        std::fprintf(f, "    \"seconds_t%d\": %.6f,\n",
-                     sweep_threads[ti], sweep_s[ti]);
-        std::fprintf(f, "    \"sets_per_sec_t%d\": %.1f,\n",
-                     sweep_threads[ti], sweep_sets / sweep_s[ti]);
-        std::fprintf(f, "    \"checksum_t%d\": \"%016" PRIx64 "\",\n",
-                     sweep_threads[ti], sweep_sum[ti]);
-    }
-    std::fprintf(f, "    \"sets_per_sec_best\": %.1f,\n",
-                 sweep_sets / sweep_best_s);
-    std::fprintf(f, "    \"bit_identical\": %s\n",
-                 sweep_identical ? "true" : "false");
-    std::fprintf(f, "  },\n");
-    std::fprintf(f, "  \"model_sweep\": {\n");
-    std::fprintf(f, "    \"models\": [\"%s\", \"%s\", \"%s\"],\n",
-                 sweep_models[0], sweep_models[1], sweep_models[2]);
-    std::fprintf(f, "    \"sample_steps\": %d,\n", mcfg.sampleSteps);
-    std::fprintf(f, "    \"serial_s\": %.6f,\n", model_serial_s);
-    std::fprintf(f, "    \"parallel_s\": %.6f,\n", model_parallel_s);
-    std::fprintf(f, "    \"speedup\": %.3f,\n",
-                 model_serial_s / model_parallel_s);
-    std::fprintf(f, "    \"checksum_serial\": \"%016" PRIx64 "\",\n",
-                 model_sum_1);
-    std::fprintf(f, "    \"checksum_parallel\": \"%016" PRIx64 "\",\n",
-                 model_sum_n);
-    std::fprintf(f, "    \"bit_identical\": %s\n",
-                 model_identical ? "true" : "false");
-    std::fprintf(f, "  }\n");
-    std::fprintf(f, "}\n");
-    std::fclose(f);
-    std::printf("wrote %s\n", out_path);
-
-    return (tile_identical && sweep_identical && model_identical) ? 0
-                                                                  : 1;
-}
-
-} // namespace
-} // namespace fpraker
+/** Legacy shim for `fpraker run perf_regression` — the experiment body lives in
+ *  src/api/experiments/perf_regression.cpp. */
+#include "api/driver.h"
 
 int
 main(int argc, char **argv)
 {
-    return fpraker::run(argc, argv);
+    return fpraker::api::experimentMain({"perf_regression"}, argc, argv);
 }

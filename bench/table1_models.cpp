@@ -1,34 +1,9 @@
-/**
- * @file
- * Table I — the models studied, with their substituted workload scale.
- */
-
-#include "bench_common.h"
+/** Legacy shim for `fpraker run table1` — the experiment body lives in
+ *  src/api/experiments/table1_models.cpp. */
+#include "api/driver.h"
 
 int
 main(int argc, char **argv)
 {
-    using namespace fpraker;
-    bench::banner("Table I", "models studied",
-                  "nine models spanning classification, NLP, detection, "
-                  "recommendation, and translation");
-
-    // Row contents are cheap (a MAC sum per model), but the walk goes
-    // through the sweep runner like every other harness so the zoo
-    // iteration pattern is uniform across bench/.
-    SweepRunner runner(bench::threads(argc, argv));
-    std::vector<std::vector<std::string>> rows(modelZoo().size());
-    runner.parallelFor(rows.size(), [&](size_t i) {
-        const ModelInfo &m = modelZoo()[i];
-        rows[i] = {m.name, m.application, m.dataset,
-                   std::to_string(m.layers.size()),
-                   Table::cell(static_cast<double>(m.macsPerOp()) / 1e9,
-                               2)};
-    });
-
-    Table t({"model", "application", "dataset", "layers", "GMACs/op"});
-    for (const auto &row : rows)
-        t.addRow(row);
-    t.print();
-    return 0;
+    return fpraker::api::experimentMain({"table1"}, argc, argv);
 }

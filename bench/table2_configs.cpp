@@ -1,42 +1,9 @@
-/**
- * @file
- * Table II — baseline and FPRaker accelerator configurations.
- */
-
-#include "bench_common.h"
+/** Legacy shim for `fpraker run table2` — the experiment body lives in
+ *  src/api/experiments/table2_configs.cpp. */
+#include "api/driver.h"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace fpraker;
-    bench::banner("Table II", "accelerator configurations",
-                  "FPRaker 36 tiles vs baseline 8 tiles of 8x8 PEs x 8 "
-                  "lanes; baseline 4096 MACs/cycle; 4MB x 9-bank global "
-                  "buffer; 16GB 4-channel LPDDR4-3200");
-
-    AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
-    Table t({"parameter", "FPRaker", "Baseline"});
-    std::string tile_geom = std::to_string(cfg.tile.rows) + "x" +
-                            std::to_string(cfg.tile.cols);
-    t.addRow({"Tile configuration", tile_geom, tile_geom});
-    t.addRow({"Tiles", std::to_string(cfg.fprTiles),
-              std::to_string(cfg.baselineTiles)});
-    t.addRow({"Total PEs",
-              std::to_string(cfg.fprTiles * cfg.tile.rows * cfg.tile.cols),
-              std::to_string(cfg.baselineTiles * cfg.tile.rows *
-                             cfg.tile.cols)});
-    t.addRow({"Lanes (multipliers)/PE", std::to_string(cfg.tile.pe.lanes),
-              std::to_string(cfg.tile.pe.lanes) + " BFLOAT16"});
-    t.addRow({"MACs/cycle", "-",
-              std::to_string(cfg.baselineMacsPerCycle())});
-    t.addRow({"Global buffer",
-              "4MB x " + std::to_string(cfg.globalBuffer.banks) + " banks",
-              "same"});
-    t.addRow({"Off-chip DRAM", "16GB 4-ch LPDDR4-3200", "same"});
-    t.addRow({"Accumulator fraction bits",
-              std::to_string(cfg.tile.pe.acc.fracBits), "same"});
-    t.addRow({"Chunk size (Sakr et al.)",
-              std::to_string(cfg.tile.pe.acc.chunkSize), "same"});
-    t.print();
-    return 0;
+    return fpraker::api::experimentMain({"table2"}, argc, argv);
 }

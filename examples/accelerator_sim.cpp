@@ -1,23 +1,24 @@
 /**
  * @file
  * End-to-end accelerator simulation of one model (paper Sec. V-B /
- * Fig. 11's unit of work): per-layer speedup, stall profile, and
- * energy of the iso-compute-area FPRaker machine (36 tiles) vs the
- * bit-parallel baseline (8 tiles).
+ * Fig. 11's unit of work) through the public Session API: per-layer
+ * speedup, stall profile, and energy of the iso-compute-area FPRaker
+ * machine (36 tiles) vs the bit-parallel baseline (8 tiles).
  *
  *   ./accelerator_sim ["ResNet18-Q"] [progress]
  *
- * Model names are Table I's (see table1_models). Set FPRAKER_THREADS
- * to shard the run's (layer, op) units, phase-sample bursts, and tile
- * columns — the report is bit-identical at any thread count. Sweeps
- * over many models/configs should go through SweepRunner instead
- * (see bench/fig11_perf_energy.cpp).
+ * Model names are Table I's (`fpraker run table1`). Set
+ * FPRAKER_THREADS to shard the run's (layer, op) units, phase-sample
+ * bursts, and tile columns — the report is bit-identical at any
+ * thread count. Sweeps over many models/configs/phases are exactly
+ * what the registered experiments do (see docs/API.md and
+ * src/api/experiments/fig11_perf_energy.cpp).
  */
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "accel/accelerator.h"
+#include "api/session.h"
 #include "common/table.h"
 #include "trace/model_zoo.h"
 
@@ -30,9 +31,14 @@ main(int argc, char **argv)
     double progress = argc > 2 ? std::atof(argv[2]) : 0.5;
 
     const ModelInfo &model = findModel(model_name);
+
+    // One variant, one job: the Session API's smallest sweep. The
+    // session resolves FPRAKER_SAMPLE_STEPS (fallback 96) and binds
+    // the variant to its shared engine.
+    api::Session session;
     AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
-    cfg.sampleSteps = 96;
-    Accelerator accel(cfg);
+    cfg.sampleSteps = session.sampleSteps(96);
+    const Accelerator &accel = session.withVariant("full", cfg);
 
     std::printf("simulating %s (%zu layers, %.2f GMACs/op) at %.0f%% "
                 "training progress\n",
@@ -40,7 +46,9 @@ main(int argc, char **argv)
                 static_cast<double>(model.macsPerOp()) / 1e9,
                 progress * 100.0);
 
-    ModelRunReport report = accel.runModel(model, progress);
+    std::vector<ModelRunReport> reports =
+        session.runModels({SweepJob{&accel, &model, progress}});
+    const ModelRunReport &report = reports.front();
 
     Table t({"layer", "op", "serial", "cyc/step", "speedup"});
     // Print the forward ops of up to 12 largest layers for brevity.
@@ -74,5 +82,9 @@ main(int argc, char **argv)
                 100 * report.activity.laneShiftRange / lc,
                 100 * report.activity.laneInterPe / lc,
                 100 * report.activity.laneExponent / lc);
+    std::printf("\n(session: %d worker threads, %d sample steps, "
+                "config digest %s)\n",
+                session.threadCount(), session.lastSampleSteps(),
+                session.configDigest().c_str());
     return 0;
 }

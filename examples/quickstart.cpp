@@ -1,76 +1,75 @@
 /**
  * @file
- * Quickstart: build an FPRaker PE (paper Sec. IV), feed it MAC sets,
- * and compare its result and cycle count against the bit-parallel
- * baseline PE (Sec. V-A) — the smallest end-to-end tour of the PE
- * API: PeConfig knobs, processSet/dot, PeStats, and the accumulator.
+ * Quickstart: the smallest end-to-end tour of the public experiment
+ * API (src/api/) — build a Session, register an accelerator variant,
+ * sweep two models, and render a structured Result both as a text
+ * table and as a fpraker-result-v1 JSON document.
+ *
+ * This is the same surface the `fpraker` CLI drives: an experiment is
+ * just a function from Session to Result (see docs/API.md for how to
+ * register one). For a guided tour of the PE internals instead, see
+ * examples/pe_walkthrough.cpp.
  *
  *   ./quickstart
  */
 
 #include <cstdio>
-#include <vector>
 
-#include "common/rng.h"
-#include "numeric/reference.h"
-#include "pe/baseline_pe.h"
-#include "pe/fpraker_pe.h"
+#include "api/result.h"
+#include "api/session.h"
+#include "common/table.h"
+#include "trace/model_zoo.h"
 
 using namespace fpraker;
 
 int
 main()
 {
-    // An FPRaker PE multiplies 8 bfloat16 pairs per set, streaming the
-    // A operands as signed powers of two. Configuration knobs: lane
-    // count, shifter window, encoding, OB skipping, accumulator width.
-    PeConfig cfg;
-    cfg.lanes = 8;
-    cfg.maxDelta = 3;
-    cfg.skipOutOfBounds = true;
+    // A Session owns the execution substrate: the shared worker pool,
+    // the sampling/thread knobs, and named accelerator variants. All
+    // results are bit-identical at any thread count.
+    api::Session session;
+    session.threads(2);
 
-    FPRakerPe fpraker(cfg);
-    BaselinePe baseline(cfg);
+    // Register the paper's full FPRaker configuration (Table II) as a
+    // named variant. sampleSteps(48) resolves the sampling budget:
+    // FPRAKER_SAMPLE_STEPS wins if set, else the 48 fallback.
+    AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
+    cfg.sampleSteps = session.sampleSteps(48);
+    const Accelerator &full = session.withVariant("full", cfg);
 
-    // A 256-long dot product with some zeros (as post-ReLU activations
-    // would have).
-    Rng rng(2021);
-    std::vector<BFloat16> a, b;
-    for (int i = 0; i < 256; ++i) {
-        bool zero = rng.bernoulli(0.4);
-        a.push_back(zero ? BFloat16()
-                         : bf16(static_cast<float>(rng.gaussian(0, 1))));
-        b.push_back(bf16(static_cast<float>(rng.gaussian(0, 1))));
+    // Sweep two Table I models at mid-training statistics. Jobs
+    // flatten into (layer, op) units and shard across the pool.
+    std::vector<ModelRunReport> reports = session.runModels(
+        {SweepJob{&full, &findModel("ResNet18-Q"), 0.5},
+         SweepJob{&full, &findModel("SNLI"), 0.5}});
+
+    // Collect the measurements into a structured Result: tables for
+    // humans, scalars/series/provenance for tools.
+    api::Result res;
+    res.experiment = "quickstart";
+    res.display = "Quickstart";
+    res.title = "two-model speedup sweep through the Session API";
+    res.expectation = "ResNet18-Q ~2x, SNLI ~1.8x (Fig. 11)";
+    res.configDigest = session.configDigest();
+    res.threads = session.threadCount();
+    res.sampleSteps = session.lastSampleSteps();
+    res.variants = session.variantNames();
+
+    api::ResultTable &t = res.table(
+        "speedup", {"model", "speedup", "core-energy-eff"});
+    for (const ModelRunReport &r : reports) {
+        t.addRow({r.model, Table::cell(r.speedup()),
+                  Table::cell(r.coreEnergyEfficiency())});
+        res.scalar("speedup_" + r.model, r.speedup());
     }
 
-    int fpr_cycles = fpraker.dot(a, b);
-    int base_cycles = baseline.dot(a, b);
-    double golden = dotDouble(a, b);
+    api::ReportWriter::print(res);
 
-    std::printf("dot product of 256 bfloat16 pairs (40%% sparse A)\n");
-    std::printf("  golden (FP64):        %+.6f\n", golden);
-    std::printf("  baseline PE result:   %+.6f  in %d cycles\n",
-                baseline.resultFloat(), base_cycles);
-    std::printf("  FPRaker PE result:    %+.6f  in %d cycles\n",
-                fpraker.resultFloat(), fpr_cycles);
-
-    const PeStats &s = fpraker.stats();
-    std::printf("\nFPRaker PE activity:\n");
-    std::printf("  terms processed:      %llu\n",
-                static_cast<unsigned long long>(s.termsProcessed));
-    std::printf("  zero term slots:      %llu\n",
-                static_cast<unsigned long long>(s.termsZeroSkipped));
-    std::printf("  out-of-bounds terms:  %llu\n",
-                static_cast<unsigned long long>(s.termsObSkipped));
-    std::printf("  lane utilization:     %.1f%%\n",
-                100.0 * static_cast<double>(s.laneUseful) /
-                    static_cast<double>(s.laneCycles()));
-
-    // A single FPRaker PE is slower than a bit-parallel PE — the win
-    // comes from tiling 4.5x more of them into the same silicon area
-    // (see bench/fig11_perf_energy).
-    std::printf("\nper-PE cycle ratio (FPRaker/baseline): %.2f; "
-                "iso-area PE ratio: 4.50x\n",
-                static_cast<double>(fpr_cycles) / base_cycles);
+    // The same document as canonical JSON (what `fpraker run
+    // <id> --json=FILE` writes; scripts/check_result_schema.py
+    // validates the schema).
+    std::printf("\nJSON document:\n%s",
+                api::ReportWriter::renderJson(res).c_str());
     return 0;
 }

@@ -6,11 +6,15 @@
 # a deliberate, baseline-regenerating decision, never an accident.
 #
 #   scripts/check_smoke_checksums.sh <emitted.json> [baseline.json]
+#
+# Works on both the legacy flat BENCH_PR<N>.json layout and the
+# fpraker-result-v1 documents `fpraker run perf_regression` emits: the
+# checksum key/value pairs carry the same names in the same order.
 set -eu
 emitted="$1"
 baseline="${2:-bench/SMOKE_BASELINE.json}"
 
-extract() { grep -o '"checksum[^,]*' "$1"; }
+extract() { grep -oE '"checksum[_a-z0-9]*": "[0-9a-f]{16}"' "$1"; }
 
 if ! diff <(extract "$baseline") <(extract "$emitted"); then
     echo "smoke checksums DIFFER from $baseline"

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Umbrella header for experiment implementations: the Session /
+ * Result / Registry triple plus the helpers every figure harness
+ * uses (model zoo, stats, table-cell formatting).
+ */
+
+#ifndef FPRAKER_API_API_H
+#define FPRAKER_API_API_H
+
+#include "api/registry.h"
+#include "api/result.h"
+#include "api/session.h"
+
+#include "accel/accelerator.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "trace/model_zoo.h"
+
+#endif // FPRAKER_API_API_H

@@ -1,0 +1,312 @@
+#include "api/driver.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/logging.h"
+
+namespace fpraker {
+namespace api {
+
+namespace {
+
+void
+printUsage(FILE *to, const char *prog)
+{
+    std::fprintf(
+        to,
+        "usage: %s <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  list                 list the registered experiments\n"
+        "  run <id>...          run one or more experiments\n"
+        "  run --all            run every registered experiment\n"
+        "  help                 show this text\n"
+        "\n"
+        "options:\n"
+        "  --threads=N          simulation worker threads (N >= 1;\n"
+        "                       default FPRAKER_THREADS, else serial)\n"
+        "  --sample-steps=N     tile steps sampled per (layer, op)\n"
+        "                       (default FPRAKER_SAMPLE_STEPS, else the\n"
+        "                       experiment's own budget)\n"
+        "  --json=FILE          write the result document as JSON\n"
+        "                       (requires exactly one experiment)\n"
+        "  --json-dir=DIR       write one <id>.json per experiment\n"
+        "  --steps=N --reps=N --out=FILE\n"
+        "                       perf_regression workload knobs\n"
+        "\n"
+        "Results are bit-identical at any thread count; the knobs only\n"
+        "change wall-clock time and sampling noise.\n",
+        prog);
+}
+
+void
+printShimUsage(FILE *to, const char *prog)
+{
+    std::fprintf(to,
+                 "usage: %s [--threads=N] [--sample-steps=N] "
+                 "[--json=FILE]\n"
+                 "(this binary is a thin shim over `fpraker run`; see "
+                 "`fpraker help`)\n",
+                 prog);
+}
+
+/** Strict positive-integer parse: all digits, value >= 1. */
+bool
+parsePositiveInt(const char *text, int *out)
+{
+    if (!*text)
+        return false;
+    long v = 0;
+    for (const char *p = text; *p; ++p) {
+        if (*p < '0' || *p > '9')
+            return false;
+        v = v * 10 + (*p - '0');
+        if (v > 1000000000)
+            return false;
+    }
+    if (v < 1)
+        return false;
+    *out = static_cast<int>(v);
+    return true;
+}
+
+} // namespace
+
+bool
+parseCliArgs(int argc, char **argv, int first, bool allow_positionals,
+             CliOptions *opts, std::string *error)
+{
+    for (int i = first; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--threads=", 10) == 0) {
+            if (!parsePositiveInt(arg + 10, &opts->threads)) {
+                *error = std::string("--threads requires an integer "
+                                     ">= 1 (got '") +
+                         (arg + 10) + "')";
+                return false;
+            }
+        } else if (std::strncmp(arg, "--sample-steps=", 15) == 0) {
+            if (!parsePositiveInt(arg + 15, &opts->sampleSteps)) {
+                *error = std::string("--sample-steps requires an "
+                                     "integer >= 1 (got '") +
+                         (arg + 15) + "')";
+                return false;
+            }
+        } else if (std::strncmp(arg, "--json=", 7) == 0) {
+            opts->json = arg + 7;
+        } else if (std::strncmp(arg, "--json-dir=", 11) == 0) {
+            opts->jsonDir = arg + 11;
+        } else if (std::strncmp(arg, "--steps=", 8) == 0 ||
+                   std::strncmp(arg, "--reps=", 7) == 0) {
+            const char *eq = std::strchr(arg, '=');
+            int value = 0;
+            if (!parsePositiveInt(eq + 1, &value)) {
+                *error = std::string(arg, static_cast<size_t>(
+                                              eq - arg)) +
+                         " requires an integer >= 1 (got '" +
+                         (eq + 1) + "')";
+                return false;
+            }
+            opts->extras.emplace_back(
+                std::string(arg + 2, static_cast<size_t>(eq - arg - 2)),
+                eq + 1);
+        } else if (std::strncmp(arg, "--out=", 6) == 0) {
+            opts->extras.emplace_back("out", arg + 6);
+        } else if (std::strcmp(arg, "--all") == 0) {
+            if (!allow_positionals) {
+                *error = "--all is only valid with `fpraker run`";
+                return false;
+            }
+            opts->all = true;
+        } else if (arg[0] == '-') {
+            *error = std::string("unknown flag '") + arg + "'";
+            return false;
+        } else if (allow_positionals) {
+            opts->ids.push_back(arg);
+        } else {
+            *error = std::string("unexpected argument '") + arg + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+runExperiment(const ExperimentInfo &info, const CliOptions &opts)
+{
+    Session session;
+    if (opts.threads > 0)
+        session.threads(opts.threads);
+    if (opts.sampleSteps > 0)
+        session.overrideSampleSteps(opts.sampleSteps);
+    for (const auto &[key, value] : opts.extras)
+        session.setOption(key, value);
+
+    Result result = info.fn(session);
+    result.experiment = info.id;
+    result.display = info.display;
+    result.title = info.title;
+    result.expectation = info.expectation;
+    result.configDigest = session.configDigest();
+    // Experiments that drive their own engines (perf_regression)
+    // record the knobs they actually used; only fill the blanks.
+    if (result.threads == 0)
+        result.threads = session.threadCount();
+    if (result.sampleSteps == 0)
+        result.sampleSteps = session.lastSampleSteps();
+    result.variants = session.variantNames();
+
+    ReportWriter::print(result);
+    if (!opts.jsonDir.empty()) {
+        // Before any write: --out may point into the directory.
+        std::error_code ec;
+        std::filesystem::create_directories(opts.jsonDir, ec);
+    }
+    if (!result.defaultJsonPath.empty()) {
+        ReportWriter::writeJson(result, result.defaultJsonPath);
+        std::printf("wrote %s\n", result.defaultJsonPath.c_str());
+    }
+    if (!opts.json.empty())
+        ReportWriter::writeJson(result, opts.json);
+    if (!opts.jsonDir.empty())
+        ReportWriter::writeJson(result,
+                                opts.jsonDir + "/" + info.id + ".json");
+    return result.ok ? 0 : 1;
+}
+
+int
+experimentMain(std::initializer_list<const char *> ids, int argc,
+               char **argv)
+{
+    CliOptions opts;
+    std::string error;
+    if (!parseCliArgs(argc, argv, 1, false, &opts, &error)) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+        printShimUsage(stderr, argv[0]);
+        return 2;
+    }
+    if (!opts.json.empty() && ids.size() != 1) {
+        std::fprintf(stderr,
+                     "%s: --json requires exactly one experiment and "
+                     "this shim runs %zu (use --json-dir)\n",
+                     argv[0], ids.size());
+        return 2;
+    }
+
+    int status = 0;
+    bool first = true;
+    for (const char *id : ids) {
+        const ExperimentInfo *info =
+            ExperimentRegistry::instance().find(id);
+        panic_if(!info, "shim references unknown experiment '%s'", id);
+        if (!first)
+            std::printf("\n");
+        first = false;
+        status |= runExperiment(*info, opts);
+    }
+    return status;
+}
+
+int
+cliMain(int argc, char **argv)
+{
+    const char *prog = argc > 0 ? argv[0] : "fpraker";
+    if (argc < 2) {
+        printUsage(stderr, prog);
+        return 2;
+    }
+    const std::string command = argv[1];
+    const ExperimentRegistry &registry = ExperimentRegistry::instance();
+
+    if (command == "help" || command == "--help" || command == "-h") {
+        printUsage(stdout, prog);
+        return 0;
+    }
+
+    if (command == "list") {
+        CliOptions opts;
+        std::string error;
+        if (!parseCliArgs(argc, argv, 2, false, &opts, &error)) {
+            std::fprintf(stderr, "%s: %s\n", prog, error.c_str());
+            return 2;
+        }
+        std::vector<const ExperimentInfo *> all = registry.all();
+        size_t width = 0;
+        for (const ExperimentInfo *e : all)
+            width = std::max(width, e->id.size());
+        for (const ExperimentInfo *e : all)
+            std::printf("%-*s  %s — %s\n", static_cast<int>(width),
+                        e->id.c_str(), e->display.c_str(),
+                        e->title.c_str());
+        std::printf("%zu experiments registered\n", all.size());
+        return 0;
+    }
+
+    if (command == "run") {
+        CliOptions opts;
+        std::string error;
+        if (!parseCliArgs(argc, argv, 2, true, &opts, &error)) {
+            std::fprintf(stderr, "%s: %s\n", prog, error.c_str());
+            printUsage(stderr, prog);
+            return 2;
+        }
+        if (opts.all && !opts.ids.empty()) {
+            std::fprintf(stderr,
+                         "%s: give either --all or experiment ids, "
+                         "not both\n",
+                         prog);
+            return 2;
+        }
+        if (!opts.all && opts.ids.empty()) {
+            std::fprintf(stderr,
+                         "%s: `run` needs experiment ids or --all "
+                         "(try `%s list`)\n",
+                         prog, prog);
+            printUsage(stderr, prog);
+            return 2;
+        }
+
+        std::vector<const ExperimentInfo *> todo;
+        if (opts.all) {
+            todo = registry.all();
+        } else {
+            for (const std::string &id : opts.ids) {
+                const ExperimentInfo *info = registry.find(id);
+                if (!info) {
+                    std::fprintf(stderr,
+                                 "%s: unknown experiment '%s' "
+                                 "(try `%s list`)\n",
+                                 prog, id.c_str(), prog);
+                    return 2;
+                }
+                todo.push_back(info);
+            }
+        }
+        if (!opts.json.empty() && todo.size() != 1) {
+            std::fprintf(stderr,
+                         "%s: --json requires exactly one experiment "
+                         "(use --json-dir for several)\n",
+                         prog);
+            return 2;
+        }
+
+        int status = 0;
+        for (size_t i = 0; i < todo.size(); ++i) {
+            if (i)
+                std::printf("\n");
+            status |= runExperiment(*todo[i], opts);
+        }
+        return status;
+    }
+
+    std::fprintf(stderr, "%s: unknown command '%s'\n", prog,
+                 command.c_str());
+    printUsage(stderr, prog);
+    return 2;
+}
+
+} // namespace api
+} // namespace fpraker

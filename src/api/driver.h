@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The experiment CLI driver shared by the `fpraker` multiplexer and
+ * the per-figure shim binaries.
+ *
+ * Flag parsing is strict: unknown --flags and out-of-range values
+ * (e.g. --threads=0) print usage to stderr and exit with status 2.
+ * Exit status 1 means an experiment ran but failed one of its own
+ * gates (a determinism check); 0 is success.
+ */
+
+#ifndef FPRAKER_API_DRIVER_H
+#define FPRAKER_API_DRIVER_H
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "api/registry.h"
+
+namespace fpraker {
+namespace api {
+
+/** Parsed command-line options shared by all entry points. */
+struct CliOptions
+{
+    int threads = 0;     //!< 0 = default (FPRAKER_THREADS or serial).
+    int sampleSteps = 0; //!< 0 = default (env or experiment fallback).
+    std::string json;    //!< --json=FILE (single experiment).
+    std::string jsonDir; //!< --json-dir=DIR (one <id>.json each).
+    bool all = false;    //!< run --all
+    //! Experiment-specific passthrough options (--steps/--reps/--out).
+    std::vector<std::pair<std::string, std::string>> extras;
+    std::vector<std::string> ids; //!< Positional experiment ids.
+};
+
+/**
+ * Parse argv[first..). @p allow_positionals permits bare experiment
+ * ids (the `fpraker run` form); shims accept flags only. On error
+ * fills @p error and returns false.
+ */
+bool parseCliArgs(int argc, char **argv, int first,
+                  bool allow_positionals, CliOptions *opts,
+                  std::string *error);
+
+/**
+ * Run one registered experiment under a fresh Session configured from
+ * @p opts, print its text report, and (optionally) write its JSON
+ * document. Returns the process exit status contribution (0 or 1).
+ */
+int runExperiment(const ExperimentInfo &info, const CliOptions &opts);
+
+/**
+ * Entry point for the per-figure shim binaries: parse flags strictly,
+ * then run the fixed experiment list in order. Returns the process
+ * exit status (0 success, 1 experiment failure, 2 usage error).
+ */
+int experimentMain(std::initializer_list<const char *> ids, int argc,
+                   char **argv);
+
+/** Entry point for the `fpraker` multiplexer (list / run). */
+int cliMain(int argc, char **argv);
+
+} // namespace api
+} // namespace fpraker
+
+#endif // FPRAKER_API_DRIVER_H

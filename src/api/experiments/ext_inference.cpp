@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Extension (paper section VII) — inference with FPRaker: "while we
+ * evaluated FPRaker for training, it can naturally also be used for
+ * inference", particularly for models that still need floating point
+ * (language and recommendation models). This experiment runs the
+ * forward pass only, with frozen (end-of-training) value statistics.
+ */
+
+#include "api/api.h"
+
+namespace fpraker {
+namespace {
+
+using namespace api;
+
+REGISTER_EXPERIMENT("ext_inference", "Extension: inference",
+                    "forward-pass-only speedup at end-of-training "
+                    "statistics",
+                    "floating-point-dependent models (SNLI, NCF, Bert) "
+                    "still benefit; the fixed-point-friendly CNNs "
+                    "would use integer accelerators in deployment")
+{
+    AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
+    cfg.sampleSteps = session.sampleSteps(64);
+    const Accelerator &accel = session.withVariant("full", cfg);
+
+    // Forward-only layer jobs at end-of-training statistics: the
+    // whole zoo's layers flatten into one sharded job list.
+    std::vector<SweepLayerJob> jobs;
+    std::vector<size_t> first;
+    for (const auto &model : modelZoo()) {
+        first.push_back(jobs.size());
+        for (const auto &layer : model.layers)
+            jobs.push_back(SweepLayerJob{&accel, &model, &layer,
+                                         TrainingOp::Forward, 1.0});
+    }
+    first.push_back(jobs.size());
+    std::vector<LayerOpReport> reports = session.runLayerOps(jobs);
+
+    Result res;
+    ResultTable &t = res.table(
+        "inference", {"model", "inference speedup",
+                      "serialized tensor"});
+    std::vector<std::string> labels;
+    std::vector<double> speedups;
+    for (size_t m = 0; m < modelZoo().size(); ++m) {
+        double fpr = 0, base = 0;
+        TensorKind serial = TensorKind::Activation;
+        for (size_t i = first[m]; i < first[m + 1]; ++i) {
+            fpr += reports[i].fprCycles;
+            base += reports[i].baseCycles;
+            serial = reports[i].serialSide;
+        }
+        double speedup = base / fpr;
+        labels.push_back(modelZoo()[m].name);
+        speedups.push_back(speedup);
+        t.addRow({modelZoo()[m].name, Table::cell(speedup),
+                  tensorLabel(serial)});
+    }
+    t.addRow({"Geomean", Table::cell(geomean(speedups)), "-"});
+    res.addSeries("inference_speedup", labels, speedups);
+    res.scalar("geomean_inference_speedup", geomean(speedups));
+    return res;
+}
+
+} // namespace
+} // namespace fpraker

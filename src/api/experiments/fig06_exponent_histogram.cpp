@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fig. 6 — exponent distribution of a mid-network convolution layer's
+ * activations, weights, and gradients at the start and end of training
+ * (the paper shows ResNet34 conv2d_8 at epochs 0 and 89). The narrow,
+ * stable distributions motivate both the limited shifter range and the
+ * exponent base-delta compression.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "api/api.h"
+#include "trace/tensor_gen.h"
+
+namespace fpraker {
+namespace {
+
+using namespace api;
+
+/** Binned exponent histogram of the three tensors at one progress. */
+struct HistData
+{
+    std::map<int, double> hist[3];
+    uint64_t counts[3] = {};
+};
+
+HistData
+computeHistogram(const ModelInfo &model, double progress)
+{
+    HistData h;
+    for (TensorKind kind : {TensorKind::Activation, TensorKind::Weight,
+                            TensorKind::Gradient}) {
+        TensorGenerator gen(model.profile.of(kind).at(progress),
+                            0xf16 + static_cast<uint64_t>(kind));
+        for (int i = 0; i < 40000; ++i) {
+            BFloat16 v = gen.next();
+            if (v.isZero())
+                continue;
+            int bin = (v.unbiasedExponent() / 4) * 4; // 4-wide bins
+            h.hist[static_cast<int>(kind)][bin] += 1.0;
+            h.counts[static_cast<int>(kind)] += 1;
+        }
+    }
+    return h;
+}
+
+void
+addHistogram(Result &res, const std::string &slug, const HistData &h,
+             double progress, const char *label)
+{
+    ResultTable &t = res.table(
+        slug, {"exponent bin", "Activation", "Weight", "Gradient"});
+    char caption[64];
+    std::snprintf(caption, sizeof(caption),
+                  "%s (training progress %.0f%%)", label,
+                  progress * 100.0);
+    t.caption = caption;
+    for (int bin = -32; bin <= 8; bin += 4) {
+        auto share = [&](int k) {
+            auto it = h.hist[k].find(bin);
+            double v = it == h.hist[k].end() ? 0.0 : it->second;
+            return Table::pct(v / static_cast<double>(h.counts[k]));
+        };
+        t.addRow({"[" + std::to_string(bin) + "," +
+                      std::to_string(bin + 3) + "]",
+                  share(0), share(1), share(2)});
+    }
+}
+
+REGISTER_EXPERIMENT("fig06", "Fig. 6",
+                    "exponent histogram of a conv layer, epochs 0 and "
+                    "89",
+                    "the vast majority of exponents of all three "
+                    "tensors lie within a narrow (~10-binade) band "
+                    "that is stable across training; gradients "
+                    "centered lower")
+{
+    // A mid-network ResNet-family conv layer stands in for the paper's
+    // ResNet34 conv2d_8; our profiles are per-model so we show
+    // ResNet50-S2's mid-training statistics.
+    const ModelInfo &model = findModel("ResNet50-S2");
+    const double points[] = {0.0, 1.0};
+    HistData hists[2];
+    session.parallelFor(2, [&](size_t i) {
+        hists[i] = computeHistogram(model, points[i]);
+    });
+
+    Result res;
+    addHistogram(res, "epoch_start", hists[0], points[0], "epoch 0");
+    addHistogram(res, "epoch_final", hists[1], points[1],
+                 "final epoch");
+    return res;
+}
+
+} // namespace
+} // namespace fpraker

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fig. 12 — energy breakdown of FPRaker vs the baseline: off-chip
+ * DRAM, on-chip SRAM, and core (FPRaker's core split into compute /
+ * control / accumulation), normalized to the baseline total.
+ */
+
+#include "api/api.h"
+
+namespace fpraker {
+namespace {
+
+using namespace api;
+
+REGISTER_EXPERIMENT("fig12", "Fig. 12",
+                    "energy breakdown, normalized to baseline total",
+                    "FPRaker core well below baseline core; on-chip "
+                    "portion comparable; off-chip shrinks with BDC; "
+                    "accumulation the largest FPRaker core component")
+{
+    AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
+    cfg.sampleSteps = session.sampleSteps();
+    session.withVariant("full", cfg);
+    std::vector<ModelRunReport> reports =
+        session.runModels(session.zooJobsFor({"full"}));
+
+    Result res;
+    ResultTable &t =
+        res.table("energy_breakdown",
+                  {"model", "fpr core(comp/ctl/accum)", "fpr sram",
+                   "fpr dram", "fpr total", "base core", "base sram",
+                   "base dram"});
+    for (const ModelRunReport &r : reports) {
+        double norm = r.baseEnergy.totalPj();
+        auto pct = [&](double pj) { return Table::pct(pj / norm); };
+        std::string core_split =
+            pct(r.fprEnergy.core.computePj) + "/" +
+            pct(r.fprEnergy.core.controlPj) + "/" +
+            pct(r.fprEnergy.core.accumulationPj);
+        t.addRow({r.model, core_split, pct(r.fprEnergy.sramPj),
+                  pct(r.fprEnergy.dramPj), pct(r.fprEnergy.totalPj()),
+                  pct(r.baseEnergy.core.totalPj()),
+                  pct(r.baseEnergy.sramPj), pct(r.baseEnergy.dramPj)});
+    }
+    return res;
+}
+
+} // namespace
+} // namespace fpraker

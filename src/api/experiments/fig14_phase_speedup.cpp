@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fig. 14 — FPRaker speedup over the baseline for each of the three
+ * training phases (AxG weight gradients, GxW input gradients, AxW
+ * forward).
+ */
+
+#include "api/api.h"
+
+namespace fpraker {
+namespace {
+
+using namespace api;
+
+REGISTER_EXPERIMENT("fig14", "Fig. 14", "speedup per training phase",
+                    "FPRaker beats the baseline in all three phases "
+                    "for every model; phase ordering varies with the "
+                    "term sparsity of the serial-side tensor")
+{
+    AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
+    cfg.sampleSteps = session.sampleSteps();
+    session.withVariant("full", cfg);
+    std::vector<ModelRunReport> reports =
+        session.runModels(session.zooJobsFor({"full"}));
+
+    Result res;
+    ResultTable &t = res.table(
+        "phase_speedup", {"model", "AxG", "GxW", "AxW", "total"});
+    std::vector<std::string> labels;
+    std::vector<double> g_axg, g_gxw, g_axw, g_tot;
+    for (const ModelRunReport &r : reports) {
+        double axg = r.speedupForOp(TrainingOp::WeightGrad);
+        double gxw = r.speedupForOp(TrainingOp::InputGrad);
+        double axw = r.speedupForOp(TrainingOp::Forward);
+        labels.push_back(r.model);
+        g_axg.push_back(axg);
+        g_gxw.push_back(gxw);
+        g_axw.push_back(axw);
+        g_tot.push_back(r.speedup());
+        t.addRow({r.model, Table::cell(axg), Table::cell(gxw),
+                  Table::cell(axw), Table::cell(r.speedup())});
+    }
+    t.addRow({"Geomean", Table::cell(geomean(g_axg)),
+              Table::cell(geomean(g_gxw)), Table::cell(geomean(g_axw)),
+              Table::cell(geomean(g_tot))});
+
+    res.addSeries("speedup_axg", labels, g_axg);
+    res.addSeries("speedup_gxw", labels, g_gxw);
+    res.addSeries("speedup_axw", labels, g_axw);
+    res.addSeries("speedup_total", labels, g_tot);
+    res.scalar("geomean_speedup_total", geomean(g_tot));
+    return res;
+}
+
+} // namespace
+} // namespace fpraker

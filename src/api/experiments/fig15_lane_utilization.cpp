@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fig. 15 — breakdown of FPRaker lane-cycles: useful work vs the four
+ * stall categories (no-term imbalance, limited shift range, inter-PE
+ * synchronization, shared exponent block).
+ */
+
+#include "api/api.h"
+
+namespace fpraker {
+namespace {
+
+using namespace api;
+
+REGISTER_EXPERIMENT("fig15", "Fig. 15",
+                    "lane-cycle breakdown (lane efficiency)",
+                    "cross-lane term imbalance ('no term') is the "
+                    "largest stall (~33% average, worst for NCF ~55%); "
+                    "shift-range and inter-PE stalls small; exponent "
+                    "stalls noticeable only for effectively-4b "
+                    "ResNet18-Q and SNLI")
+{
+    AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
+    cfg.sampleSteps = session.sampleSteps();
+    session.withVariant("full", cfg);
+    std::vector<ModelRunReport> reports =
+        session.runModels(session.zooJobsFor({"full"}));
+
+    Result res;
+    ResultTable &t = res.table("lane_cycles",
+                               {"model", "useful", "no term",
+                                "shift range", "inter-PE", "exponent"});
+    for (const ModelRunReport &r : reports) {
+        double lc = r.activity.laneCycles();
+        t.addRow({r.model, Table::pct(r.activity.laneUseful / lc),
+                  Table::pct(r.activity.laneNoTerm / lc),
+                  Table::pct(r.activity.laneShiftRange / lc),
+                  Table::pct(r.activity.laneInterPe / lc),
+                  Table::pct(r.activity.laneExponent / lc)});
+    }
+    return res;
+}
+
+} // namespace
+} // namespace fpraker

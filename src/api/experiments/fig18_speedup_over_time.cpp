@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fig. 18 — FPRaker speedup over the baseline across the training
+ * process (the paper samples one batch per epoch; we sweep the
+ * training-progress axis of the value profiles).
+ */
+
+#include "api/api.h"
+
+namespace fpraker {
+namespace {
+
+using namespace api;
+
+REGISTER_EXPERIMENT("fig18", "Fig. 18", "speedup over training time",
+                    "stable for most models; VGG16 declines ~15% after "
+                    "the first ~30% of training; ResNet18-Q gains "
+                    "~12.5% once PACT clipping settles (~30%)")
+{
+    AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
+    cfg.sampleSteps = session.sampleSteps(64);
+    const Accelerator &accel = session.withVariant("full", cfg);
+
+    // One job per (model, progress point): the whole time sweep is a
+    // single flattened fan-out.
+    const double points[] = {0.0, 0.15, 0.3, 0.5, 0.75, 1.0};
+    const size_t n_points = sizeof(points) / sizeof(points[0]);
+    std::vector<SweepJob> jobs;
+    for (const auto &model : modelZoo())
+        for (double p : points)
+            jobs.push_back(SweepJob{&accel, &model, p});
+    std::vector<ModelRunReport> reports = session.runModels(jobs);
+
+    Result res;
+    std::vector<std::string> headers = {"model"};
+    for (double p : points)
+        headers.push_back(Table::pct(p, 0));
+    ResultTable &t = res.table("speedup_over_time", headers);
+    for (size_t m = 0; m < modelZoo().size(); ++m) {
+        std::vector<std::string> row = {reports[m * n_points].model};
+        std::vector<std::string> labels;
+        std::vector<double> values;
+        for (size_t i = 0; i < n_points; ++i) {
+            row.push_back(
+                Table::cell(reports[m * n_points + i].speedup()));
+            labels.push_back(Table::pct(points[i], 0));
+            values.push_back(reports[m * n_points + i].speedup());
+        }
+        t.addRow(row);
+        res.addSeries(reports[m * n_points].model, labels, values);
+    }
+    return res;
+}
+
+} // namespace
+} // namespace fpraker

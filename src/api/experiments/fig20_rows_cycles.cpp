@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fig. 20 — lane-cycle breakdown as the number of rows per tile grows:
+ * inter-PE synchronization and no-term (waiting-for-sibling) stalls
+ * increase with more PEs sharing one serial-operand stream.
+ */
+
+#include "api/api.h"
+
+namespace fpraker {
+namespace {
+
+using namespace api;
+
+REGISTER_EXPERIMENT("fig20", "Fig. 20",
+                    "cycle breakdown vs rows per tile",
+                    "useful share shrinks with rows; no-term and "
+                    "inter-PE stalls grow")
+{
+    const int rows_options[] = {2, 4, 8, 16};
+    const int pe_budget = 36 * 64;
+
+    std::vector<std::string> names;
+    for (int rows : rows_options) {
+        AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
+        cfg.sampleSteps = session.sampleSteps(64);
+        cfg.tile.rows = rows;
+        cfg.fprTiles = pe_budget / (rows * cfg.tile.cols);
+        names.push_back(std::to_string(rows) + "-rows");
+        session.withVariant(names.back(), cfg);
+    }
+    std::vector<ModelRunReport> reports =
+        session.runModels(session.zooJobsFor(names));
+    const size_t n_models = modelZoo().size();
+
+    Result res;
+    ResultTable &t = res.table("rows_cycles",
+                               {"model", "rows", "useful", "no term",
+                                "shift range", "inter-PE", "exponent"});
+    for (size_t m = 0; m < n_models; ++m) {
+        for (size_t i = 0; i < 4; ++i) {
+            const ModelRunReport &r = reports[i * n_models + m];
+            double lc = r.activity.laneCycles();
+            t.addRow({r.model, std::to_string(rows_options[i]),
+                      Table::pct(r.activity.laneUseful / lc),
+                      Table::pct(r.activity.laneNoTerm / lc),
+                      Table::pct(r.activity.laneShiftRange / lc),
+                      Table::pct(r.activity.laneInterPe / lc),
+                      Table::pct(r.activity.laneExponent / lc)});
+        }
+    }
+    return res;
+}
+
+} // namespace
+} // namespace fpraker

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Table I — the models studied, with their substituted workload scale.
+ */
+
+#include "api/api.h"
+
+namespace fpraker {
+namespace {
+
+using namespace api;
+
+REGISTER_EXPERIMENT("table1", "Table I", "models studied",
+                    "nine models spanning classification, NLP, "
+                    "detection, recommendation, and translation")
+{
+    // Row contents are cheap (a MAC sum per model), but the walk goes
+    // through the session's engine like every other experiment so the
+    // zoo iteration pattern is uniform across the registry.
+    std::vector<std::vector<std::string>> rows(modelZoo().size());
+    session.parallelFor(rows.size(), [&](size_t i) {
+        const ModelInfo &m = modelZoo()[i];
+        rows[i] = {m.name, m.application, m.dataset,
+                   std::to_string(m.layers.size()),
+                   Table::cell(static_cast<double>(m.macsPerOp()) / 1e9,
+                               2)};
+    });
+
+    Result res;
+    ResultTable &t = res.table("models",
+                               {"model", "application", "dataset",
+                                "layers", "GMACs/op"});
+    for (const auto &row : rows)
+        t.addRow(row);
+    return res;
+}
+
+} // namespace
+} // namespace fpraker

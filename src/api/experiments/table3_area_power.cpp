@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Table III — per-tile area and power, FPRaker vs baseline (65 nm,
+ * 600 MHz), from the calibrated component model.
+ */
+
+#include <cstdio>
+
+#include "api/api.h"
+#include "energy/area_model.h"
+#include "energy/energy_model.h"
+
+namespace fpraker {
+namespace {
+
+using namespace api;
+
+REGISTER_EXPERIMENT("table3", "Table III",
+                    "per-tile area and power breakdown",
+                    "FPRaker tile 317,068 um^2 / 109.5 mW = 0.22x area "
+                    "and 0.23x power of the 1,421,579 um^2 / 475 mW "
+                    "baseline; energy efficiency 1.75x per tile")
+{
+    TileAreaReport fpr = AreaModel::fprTile();
+    TileAreaReport base = AreaModel::baselineTile();
+
+    Result res;
+    ResultTable &t = res.table(
+        "area_power", {"design", "PE array [um^2]", "encoders [um^2]",
+                       "total [um^2]", "normalized", "power [mW]",
+                       "norm power"});
+    t.addRow({"FPRaker", Table::cell(fpr.peArrayUm2, 0),
+              Table::cell(fpr.encodersUm2, 0),
+              Table::cell(fpr.totalUm2(), 0),
+              Table::cell(fpr.totalUm2() / base.totalUm2(), 2),
+              Table::cell(fpr.totalMw(), 1),
+              Table::cell(fpr.totalMw() / base.totalMw(), 2)});
+    t.addRow({"Baseline", Table::cell(base.peArrayUm2, 0), "N/A",
+              Table::cell(base.totalUm2(), 0), "1.00",
+              Table::cell(base.totalMw(), 1), "1.00"});
+
+    char note[96];
+    std::snprintf(note, sizeof(note),
+                  "iso-compute-area tiles for 8 baseline tiles: %d",
+                  AreaModel::isoComputeTiles(8));
+    res.note(note);
+
+    // Per-tile energy efficiency at equal throughput: the baseline tile
+    // retires 512 MACs/cycle; an FPRaker tile needs avg-cycles-per-set
+    // more cycles but burns 0.23x the power.
+    EnergyModel em;
+    double per_mac_base = em.baseTileCyclePj() / 512.0;
+    double assumed_cycles_per_set = 2.6; // workload average
+    double per_mac_fpr =
+        em.fprTileCyclePj() * assumed_cycles_per_set / 512.0;
+    std::snprintf(note, sizeof(note),
+                  "per-MAC energy efficiency vs baseline (at %.1f "
+                  "cycles/set): %.2fx",
+                  assumed_cycles_per_set, per_mac_base / per_mac_fpr);
+    res.note(note);
+    res.scalar("per_mac_energy_efficiency", per_mac_base / per_mac_fpr);
+
+    ResultTable &c =
+        res.table("pe_breakdown", {"component", "um^2", "share"});
+    c.caption = "FPRaker PE component breakdown [um^2]:";
+    PeAreaBreakdown b = AreaModel::fprPeBreakdown();
+    c.addRow({"exponent block (1/2 shared)",
+              Table::cell(b.exponentBlockUm2, 0),
+              Table::pct(b.exponentBlockUm2 / b.totalUm2())});
+    c.addRow({"shifters", Table::cell(b.shiftersUm2, 0),
+              Table::pct(b.shiftersUm2 / b.totalUm2())});
+    c.addRow({"adder tree", Table::cell(b.adderTreeUm2, 0),
+              Table::pct(b.adderTreeUm2 / b.totalUm2())});
+    c.addRow({"accumulator", Table::cell(b.accumulatorUm2, 0),
+              Table::pct(b.accumulatorUm2 / b.totalUm2())});
+    c.addRow({"control", Table::cell(b.controlUm2, 0),
+              Table::pct(b.controlUm2 / b.totalUm2())});
+    return res;
+}
+
+} // namespace
+} // namespace fpraker

@@ -1,0 +1,493 @@
+#include "api/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fpraker {
+namespace api {
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+double
+JsonValue::number() const
+{
+    return kind_ == Kind::Int ? static_cast<double>(int_) : double_;
+}
+
+void
+JsonValue::push(JsonValue v)
+{
+    items_.push_back(std::move(v));
+}
+
+JsonValue &
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    for (auto &entry : entries_) {
+        if (entry.first == key) {
+            entry.second = std::move(v);
+            return entry.second;
+        }
+    }
+    entries_.emplace_back(key, std::move(v));
+    return entries_.back().second;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &entry : entries_)
+        if (entry.first == key)
+            return &entry.second;
+    return nullptr;
+}
+
+std::string
+JsonValue::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonValue::dumpTo(std::string &out, int indent) const
+{
+    const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+    const std::string pad1(static_cast<size_t>(indent + 1) * 2, ' ');
+    char buf[64];
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Int:
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(int_));
+        out += buf;
+        break;
+      case Kind::Double:
+        if (!std::isfinite(double_)) {
+            // JSON has no inf/nan; emit null like most serializers.
+            out += "null";
+        } else if (precision_ >= 0) {
+            std::snprintf(buf, sizeof(buf), "%.*f", precision_, double_);
+            out += buf;
+        } else {
+            // Shortest representation that round-trips a double.
+            std::snprintf(buf, sizeof(buf), "%.17g", double_);
+            double back = std::strtod(buf, nullptr);
+            if (back != double_)
+                std::snprintf(buf, sizeof(buf), "%.17g", double_);
+            else {
+                for (int p = 1; p < 17; ++p) {
+                    char tryBuf[64];
+                    std::snprintf(tryBuf, sizeof(tryBuf), "%.*g", p,
+                                  double_);
+                    if (std::strtod(tryBuf, nullptr) == double_) {
+                        std::snprintf(buf, sizeof(buf), "%s", tryBuf);
+                        break;
+                    }
+                }
+            }
+            out += buf;
+        }
+        break;
+      case Kind::String:
+        out += '"';
+        out += escape(str_);
+        out += '"';
+        break;
+      case Kind::Array: {
+        if (items_.empty()) {
+            out += "[]";
+            break;
+        }
+        // Arrays of scalars print inline; nested structures one per line.
+        bool scalar_only = true;
+        for (const JsonValue &v : items_)
+            if (v.kind_ == Kind::Array || v.kind_ == Kind::Object)
+                scalar_only = false;
+        out += '[';
+        for (size_t i = 0; i < items_.size(); ++i) {
+            if (scalar_only) {
+                if (i)
+                    out += ", ";
+            } else {
+                out += i ? ",\n" : "\n";
+                out += pad1;
+            }
+            items_[i].dumpTo(out, indent + 1);
+        }
+        if (!scalar_only) {
+            out += '\n';
+            out += pad;
+        }
+        out += ']';
+        break;
+      }
+      case Kind::Object: {
+        if (entries_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (size_t i = 0; i < entries_.size(); ++i) {
+            out += i ? ",\n" : "\n";
+            out += pad1;
+            out += '"';
+            out += escape(entries_[i].first);
+            out += "\": ";
+            entries_[i].second.dumpTo(out, indent + 1);
+        }
+        out += '\n';
+        out += pad;
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent);
+    return out;
+}
+
+namespace {
+
+struct Parser
+{
+    const std::string &text;
+    size_t pos = 0;
+    std::string error;
+    bool failed = false;
+
+    explicit Parser(const std::string &t) : text(t) {}
+
+    void
+    fail(const std::string &msg)
+    {
+        if (!failed) {
+            failed = true;
+            error = msg + " at offset " + std::to_string(pos);
+        }
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = 0;
+        while (word[n])
+            ++n;
+        if (text.compare(pos, n, word) == 0) {
+            pos += n;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    parseString()
+    {
+        std::string out;
+        if (!consume('"')) {
+            fail("expected string");
+            return out;
+        }
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                break;
+            char esc = text[pos++];
+            switch (esc) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'u': {
+                if (pos + 4 > text.size()) {
+                    fail("truncated \\u escape");
+                    return out;
+                }
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                // Result strings are ASCII/UTF-8; encode the code
+                // point as UTF-8 (BMP only — no surrogate pairing).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape");
+                return out;
+            }
+        }
+        if (!consume('"'))
+            fail("unterminated string");
+        return out;
+    }
+
+    JsonValue
+    parseValue(int depth)
+    {
+        if (depth > 64) {
+            fail("nesting too deep");
+            return JsonValue();
+        }
+        skipWs();
+        if (pos >= text.size()) {
+            fail("unexpected end of input");
+            return JsonValue();
+        }
+        char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            JsonValue obj = JsonValue::object();
+            skipWs();
+            if (consume('}'))
+                return obj;
+            while (!failed) {
+                std::string key = parseString();
+                if (!consume(':')) {
+                    fail("expected ':'");
+                    break;
+                }
+                obj.set(key, parseValue(depth + 1));
+                if (consume(','))
+                    continue;
+                if (!consume('}'))
+                    fail("expected ',' or '}'");
+                break;
+            }
+            return obj;
+        }
+        if (c == '[') {
+            ++pos;
+            JsonValue arr = JsonValue::array();
+            skipWs();
+            if (consume(']'))
+                return arr;
+            while (!failed) {
+                arr.push(parseValue(depth + 1));
+                if (consume(','))
+                    continue;
+                if (!consume(']'))
+                    fail("expected ',' or ']'");
+                break;
+            }
+            return arr;
+        }
+        if (c == '"')
+            return JsonValue(parseString());
+        if (literal("true"))
+            return JsonValue(true);
+        if (literal("false"))
+            return JsonValue(false);
+        if (literal("null"))
+            return JsonValue();
+
+        // Number, per the JSON grammar: -?digits(.digits)?([eE][+-]?
+        // digits)? — stray signs or dots fail instead of silently
+        // truncating the token.
+        size_t start = pos;
+        bool is_double = false;
+        auto digits = [&]() {
+            size_t n = 0;
+            while (pos < text.size() && text[pos] >= '0' &&
+                   text[pos] <= '9') {
+                ++pos;
+                ++n;
+            }
+            return n > 0;
+        };
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        if (!digits()) {
+            fail("unexpected character");
+            return JsonValue();
+        }
+        if (pos < text.size() && text[pos] == '.') {
+            ++pos;
+            is_double = true;
+            if (!digits()) {
+                fail("digits required after decimal point");
+                return JsonValue();
+            }
+        }
+        if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            is_double = true;
+            if (pos < text.size() &&
+                (text[pos] == '+' || text[pos] == '-'))
+                ++pos;
+            if (!digits()) {
+                fail("digits required in exponent");
+                return JsonValue();
+            }
+        }
+        std::string num = text.substr(start, pos - start);
+        if (is_double)
+            return JsonValue(std::strtod(num.c_str(), nullptr));
+        return JsonValue(
+            static_cast<int64_t>(std::strtoll(num.c_str(), nullptr, 10)));
+    }
+};
+
+} // namespace
+
+JsonValue
+JsonValue::parse(const std::string &text, std::string *error)
+{
+    Parser p(text);
+    JsonValue v = p.parseValue(0);
+    p.skipWs();
+    if (!p.failed && p.pos != text.size())
+        p.fail("trailing characters");
+    if (p.failed) {
+        if (error)
+            *error = p.error;
+        return JsonValue();
+    }
+    if (error)
+        error->clear();
+    return v;
+}
+
+bool
+JsonValue::operator==(const JsonValue &o) const
+{
+    if (isNumber() && o.isNumber())
+        return number() == o.number();
+    if (kind_ != o.kind_)
+        return false;
+    switch (kind_) {
+      case Kind::Null:
+        return true;
+      case Kind::Bool:
+        return bool_ == o.bool_;
+      case Kind::Int:
+      case Kind::Double:
+        return number() == o.number();
+      case Kind::String:
+        return str_ == o.str_;
+      case Kind::Array:
+        return items_ == o.items_;
+      case Kind::Object:
+        return entries_ == o.entries_;
+    }
+    return false;
+}
+
+} // namespace api
+} // namespace fpraker

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Minimal ordered JSON document model for the experiment API.
+ *
+ * Result documents must round-trip (emit -> parse -> compare) and
+ * must serialize with stable key order, so this is a tiny in-house
+ * value type instead of an external dependency: objects keep
+ * insertion order, integers stay integers, and doubles carry an
+ * optional fixed-precision print hint so emitted reports keep the
+ * human-readable formatting of the legacy harnesses.
+ */
+
+#ifndef FPRAKER_API_JSON_H
+#define FPRAKER_API_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fpraker {
+namespace api {
+
+/** One JSON value; objects preserve insertion order. */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+    JsonValue() = default;
+    JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+    JsonValue(int v) : kind_(Kind::Int), int_(v) {}
+    JsonValue(int64_t v) : kind_(Kind::Int), int_(v) {}
+    JsonValue(uint64_t v)
+        : kind_(Kind::Int), int_(static_cast<int64_t>(v))
+    {
+    }
+    /** @param precision fixed digits after the point; -1 = shortest
+     *  round-trippable representation. */
+    JsonValue(double v, int precision = -1)
+        : kind_(Kind::Double), double_(v), precision_(precision)
+    {
+    }
+    JsonValue(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+    JsonValue(const char *s) : kind_(Kind::String), str_(s) {}
+
+    static JsonValue array();
+    static JsonValue object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::Double;
+    }
+
+    bool boolean() const { return bool_; }
+    int64_t intValue() const { return int_; }
+    /** Numeric value of an Int or Double node. */
+    double number() const;
+    const std::string &str() const { return str_; }
+
+    /** Array elements / object entries (valid for those kinds). */
+    std::vector<JsonValue> &items() { return items_; }
+    const std::vector<JsonValue> &items() const { return items_; }
+    std::vector<std::pair<std::string, JsonValue>> &entries()
+    {
+        return entries_;
+    }
+    const std::vector<std::pair<std::string, JsonValue>> &entries() const
+    {
+        return entries_;
+    }
+
+    /** Append to an array. */
+    void push(JsonValue v);
+    /** Set (or overwrite) an object key, preserving insertion order. */
+    JsonValue &set(const std::string &key, JsonValue v);
+    /** Lookup an object key; nullptr when absent. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Pretty-print with 2-space indentation per level. */
+    std::string dump(int indent = 0) const;
+
+    /**
+     * Parse a JSON text. On failure returns a Null value and, when
+     * @p error is non-null, stores a message with the byte offset.
+     */
+    static JsonValue parse(const std::string &text,
+                           std::string *error = nullptr);
+
+    /**
+     * Structural equality: same kind, same values, same key order.
+     * Int and Double nodes compare by numeric value (a parsed "4.0"
+     * equals an emitted integer 4); print precision is ignored.
+     */
+    bool operator==(const JsonValue &o) const;
+    bool operator!=(const JsonValue &o) const { return !(*this == o); }
+
+    /** Escape a string for embedding in JSON (adds no quotes). */
+    static std::string escape(const std::string &s);
+
+  private:
+    void dumpTo(std::string &out, int indent) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    int64_t int_ = 0;
+    double double_ = 0.0;
+    int precision_ = -1;
+    std::string str_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> entries_;
+};
+
+} // namespace api
+} // namespace fpraker
+
+#endif // FPRAKER_API_JSON_H

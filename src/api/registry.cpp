@@ -1,0 +1,53 @@
+#include "api/registry.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fpraker {
+namespace api {
+
+ExperimentRegistry &
+ExperimentRegistry::instance()
+{
+    // Function-local static: safe to use from the static initializers
+    // that REGISTER_EXPERIMENT expands to in other translation units.
+    static ExperimentRegistry registry;
+    return registry;
+}
+
+bool
+ExperimentRegistry::add(ExperimentInfo info)
+{
+    panic_if(info.id.empty() || !info.fn, "malformed experiment");
+    panic_if(find(info.id) != nullptr,
+             "experiment '%s' registered twice", info.id.c_str());
+    experiments_.push_back(std::move(info));
+    return true;
+}
+
+const ExperimentInfo *
+ExperimentRegistry::find(const std::string &id) const
+{
+    for (const ExperimentInfo &e : experiments_)
+        if (e.id == id)
+            return &e;
+    return nullptr;
+}
+
+std::vector<const ExperimentInfo *>
+ExperimentRegistry::all() const
+{
+    std::vector<const ExperimentInfo *> out;
+    out.reserve(experiments_.size());
+    for (const ExperimentInfo &e : experiments_)
+        out.push_back(&e);
+    std::sort(out.begin(), out.end(),
+              [](const ExperimentInfo *a, const ExperimentInfo *b) {
+                  return a->id < b->id;
+              });
+    return out;
+}
+
+} // namespace api
+} // namespace fpraker

@@ -1,8 +1,61 @@
 #include "sim/sweep_runner.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace fpraker {
+
+namespace {
+
+/** One deduplicated BDC warm-up unit: (accelerator, model, progress). */
+struct WarmUnit
+{
+    const Accelerator *accel;
+    const ModelInfo *model;
+    double progress;
+
+    bool
+    operator<(const WarmUnit &o) const
+    {
+        if (accel != o.accel)
+            return accel < o.accel;
+        if (model != o.model)
+            return model < o.model;
+        return progress < o.progress;
+    }
+};
+
+} // namespace
+
+/**
+ * Shard the BDC warm-up prelude across the engine. The analysis is
+ * pure per-(model, kind, progress) work guarded by the accelerator's
+ * cache mutex, and a racing duplicate computation inserts an
+ * identical value, so warming in parallel keeps the subsequent
+ * fan-out allocation-quiet without affecting results. Units dedupe
+ * first: a sweep usually repeats the same (accel, model, progress)
+ * triple across many jobs.
+ */
+template <typename Job>
+static void
+warmBdcCaches(SimEngine &engine, const std::vector<Job> &jobs)
+{
+    std::vector<WarmUnit> units;
+    units.reserve(jobs.size());
+    for (const Job &job : jobs)
+        units.push_back(WarmUnit{job.accel, job.model, job.progress});
+    std::sort(units.begin(), units.end());
+    units.erase(std::unique(units.begin(), units.end(),
+                            [](const WarmUnit &a, const WarmUnit &b) {
+                                return !(a < b) && !(b < a);
+                            }),
+                units.end());
+    engine.parallelFor(units.size(), [&](size_t i) {
+        units[i].accel->warmBdcCache(*units[i].model,
+                                     units[i].progress);
+    });
+}
 
 SweepRunner::SweepRunner(int threads)
     : engine_(threads)
@@ -25,9 +78,12 @@ SweepRunner::runModels(const std::vector<SweepJob> &jobs)
 {
     // Flatten every job into its (layer, op) units so a sweep of many
     // small models fills the pool as well as one large model. The BDC
-    // caches are warmed serially up front — the fan-out only reads
-    // them (a racing write would still insert identical values, but
-    // warming keeps the parallel phase allocation-quiet).
+    // caches warm up front, themselves sharded across the engine, so
+    // the unit fan-out only reads them.
+    for (const SweepJob &job : jobs)
+        panic_if(!job.accel || !job.model, "incomplete sweep job");
+    warmBdcCaches(engine_, jobs);
+
     struct Unit
     {
         size_t job;
@@ -37,8 +93,6 @@ SweepRunner::runModels(const std::vector<SweepJob> &jobs)
     std::vector<size_t> first(jobs.size() + 1, 0);
     for (size_t j = 0; j < jobs.size(); ++j) {
         const SweepJob &job = jobs[j];
-        panic_if(!job.accel || !job.model, "incomplete sweep job");
-        job.accel->warmBdcCache(*job.model, job.progress);
         first[j] = units.size();
         for (const LayerOpUnit &u : Accelerator::modelUnits(*job.model))
             units.push_back(Unit{j, u});
@@ -71,11 +125,10 @@ SweepRunner::runModels(const std::vector<SweepJob> &jobs)
 std::vector<LayerOpReport>
 SweepRunner::runLayerOps(const std::vector<SweepLayerJob> &jobs)
 {
-    for (const SweepLayerJob &job : jobs) {
+    for (const SweepLayerJob &job : jobs)
         panic_if(!job.accel || !job.model || !job.layer,
                  "incomplete sweep layer job");
-        job.accel->warmBdcCache(*job.model, job.progress);
-    }
+    warmBdcCaches(engine_, jobs);
     std::vector<LayerOpReport> results(jobs.size());
     engine_.parallelFor(jobs.size(), [&](size_t i) {
         const SweepLayerJob &job = jobs[i];

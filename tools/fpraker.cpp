@@ -1,0 +1,20 @@
+/**
+ * @file
+ * `fpraker` — the experiment multiplexer. One binary drives every
+ * registered figure/table/extension experiment:
+ *
+ *   fpraker list
+ *   fpraker run fig11 --threads=8 --json=fig11.json
+ *   fpraker run --all --json-dir=results
+ *
+ * The per-figure binaries in bench/ are thin shims over the same
+ * registry; see docs/API.md for the Session/Registry/Result tour.
+ */
+
+#include "api/driver.h"
+
+int
+main(int argc, char **argv)
+{
+    return fpraker::api::cliMain(argc, argv);
+}
