@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Compare per-experiment fingerprints across two `--json-dir` trees.
+
+The determinism contract says `fpraker run --all` must produce the
+same results serially and in parallel; every fpraker-result-v1
+document carries a content fingerprint (timing experiments substitute
+their determinism checksums), so two sweeps agree iff the fingerprints
+match experiment by experiment. CI runs:
+
+    fpraker run --all --json-dir=a            # serial
+    fpraker run --all --threads=2 --json-dir=b
+    scripts/check_fingerprints.py a b
+
+Exit status: 0 when both trees hold the same experiments with equal
+fingerprints, 1 otherwise.
+"""
+
+import glob
+import json
+import os
+import sys
+
+
+def load(tree):
+    docs = {}
+    for path in glob.glob(os.path.join(tree, "*.json")):
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+        # BENCH_*.json duplicates perf_regression's document (--out);
+        # key by experiment id so the copy is not a spurious entry.
+        docs[doc.get("experiment", os.path.basename(path))] = \
+            doc.get("fingerprint")
+    return docs
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    a, b = load(argv[1]), load(argv[2])
+    status = 0
+    for missing in sorted(set(a) ^ set(b)):
+        side = argv[2] if missing in a else argv[1]
+        print(f"MISSING: {missing} absent from {side}")
+        status = 1
+    for exp in sorted(set(a) & set(b)):
+        # A document without a fingerprint must fail the gate, not
+        # vacuously "match" as None == None.
+        if a[exp] is None or b[exp] is None:
+            print(f"NO FINGERPRINT: {exp} "
+                  f"({argv[1]}: {a[exp]!r}, {argv[2]}: {b[exp]!r})")
+            status = 1
+        elif a[exp] != b[exp]:
+            print(f"MISMATCH: {exp}: {a[exp]} vs {b[exp]}")
+            status = 1
+    if status == 0:
+        print(f"{len(set(a) & set(b))} experiment fingerprints match")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

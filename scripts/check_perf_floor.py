@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Perf-smoke floor: fail when a fresh perf_regression run regresses
+too far below the committed BENCH_PR<N>.json trajectory point.
+
+    scripts/check_perf_floor.py BENCH_PR4.json fresh.json [tolerance]
+
+Compares the kernel serial throughput, the sweep best throughput (the
+numbers each perf PR must advance), and the batched generation
+throughput. ``tolerance`` is the allowed fractional shortfall
+(default 0.20).
+
+The committed file and the CI runner are different machines, so each
+comparison is normalized by a reference path measured in the SAME run
+that the optimizations never touch — the seed reference algorithm for
+the kernel/sweep numbers, the scalar generator walk for generation.
+A slower runner lowers the reference and the floor together; only the
+optimized-vs-reference ratio regressing trips the gate.
+
+Checksums are NOT compared here (scripts/check_smoke_checksums.sh
+owns bit-identity); this gate is about wall-clock only.
+
+Exit status: 0 when every throughput clears its floor, 1 otherwise.
+"""
+
+import json
+import sys
+
+# (group, key, reference group, reference key)
+KEYS = [
+    ("tile_kernel", "sets_per_sec_serial",
+     "tile_kernel", "sets_per_sec_seed"),
+    ("sweep", "sets_per_sec_best",
+     "tile_kernel", "sets_per_sec_seed"),
+    ("generation", "values_per_sec_batched",
+     "generation", "values_per_sec_scalar"),
+]
+
+
+def main(argv):
+    if len(argv) not in (3, 4):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    tolerance = float(argv[3]) if len(argv) == 4 else 0.20
+    with open(argv[1], encoding="utf-8") as f:
+        committed = json.load(f)["groups"]
+    with open(argv[2], encoding="utf-8") as f:
+        fresh = json.load(f)["groups"]
+
+    status = 0
+    for group, key, rgroup, rkey in KEYS:
+        values = [committed.get(group, {}).get(key),
+                  fresh.get(group, {}).get(key),
+                  committed.get(rgroup, {}).get(rkey),
+                  fresh.get(rgroup, {}).get(rkey)]
+        if any(v is None or not v for v in values):
+            print(f"MISSING: {group}.{key} or its reference "
+                  f"{rgroup}.{rkey} ({values})")
+            status = 1
+            continue
+        base, got, ref_base, ref_got = values
+        # Machine-speed normalization: scale the committed figure by
+        # how fast this host runs the untouched reference path.
+        floor = base * (ref_got / ref_base) * (1.0 - tolerance)
+        verdict = "ok" if got >= floor else "REGRESSION"
+        print(f"{group}.{key}: fresh {got:.0f} vs committed "
+              f"{base:.0f} x host-speed {ref_got / ref_base:.2f} "
+              f"(floor {floor:.0f}) {verdict}")
+        if got < floor:
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -42,6 +42,11 @@ def validate(path, doc, errors):
     if not isinstance(doc.get("ok"), bool):
         _fail(path, errors, "missing boolean field 'ok'")
 
+    fingerprint = doc.get("fingerprint")
+    if not isinstance(fingerprint, str) or not HEX16.match(fingerprint):
+        _fail(path, errors,
+              f"fingerprint not 16 hex chars: {fingerprint!r}")
+
     prov = doc.get("provenance")
     if not isinstance(prov, dict):
         _fail(path, errors, "missing object field 'provenance'")

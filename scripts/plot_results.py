@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Render the series of fpraker-result-v1 documents as charts.
+
+The consumer for the ``series`` arrays the experiment API emits: point
+it at the output of ``fpraker run --all --json-dir=results`` and it
+draws one chart per document that carries series (fig11's speedup
+lines, fig13/fig15's per-model shares, fig14/fig18/fig19's trends,
+ext_inference's sweep, ...).
+
+    scripts/plot_results.py --json-dir results [--out-dir plots]
+    scripts/plot_results.py results/fig11.json [more.json ...]
+    scripts/plot_results.py --json-dir results --list
+
+Output is dependency-free SVG (grouped line/marker charts with a
+legend); when matplotlib happens to be installed, pass --matplotlib to
+get PNGs instead. Documents without series are skipped with a notice.
+
+Exit status: 0 when every named document parses (plotless documents
+are fine), 1 on unreadable/invalid input.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+PALETTE = [
+    "#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951",
+    "#ff8ab7", "#a463f2", "#97bbf5", "#9c6b4e", "#9498a0",
+]
+
+WIDTH, HEIGHT = 960, 420
+MARGIN = {"left": 70, "right": 220, "top": 48, "bottom": 96}
+
+
+def esc(text):
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def nice_ticks(lo, hi, n=5):
+    """A handful of round tick values covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    step = 10 ** __import__("math").floor(__import__("math").log10(span / n))
+    for mult in (1, 2, 2.5, 5, 10):
+        if span / (step * mult) <= n:
+            step *= mult
+            break
+    first = step * __import__("math").floor(lo / step)
+    ticks = []
+    t = first
+    while t <= hi + step * 1e-9:
+        if t >= lo - step * 1e-9:
+            ticks.append(round(t, 10))
+        t += step
+    return ticks or [lo, hi]
+
+
+def render_svg(doc, series):
+    """One SVG line/marker chart over label-compatible series."""
+    labels = series[0]["labels"]
+    values = [v for s in series for v in s["values"]]
+    lo, hi = min(values + [0.0]), max(values)
+    ticks = nice_ticks(lo, hi)
+    lo, hi = min(ticks[0], lo), max(ticks[-1], hi)
+
+    px0, px1 = MARGIN["left"], WIDTH - MARGIN["right"]
+    py0, py1 = HEIGHT - MARGIN["bottom"], MARGIN["top"]
+
+    def x_of(i):
+        if len(labels) == 1:
+            return (px0 + px1) / 2
+        return px0 + (px1 - px0) * i / (len(labels) - 1)
+
+    def y_of(v):
+        return py0 - (py0 - py1) * (v - lo) / (hi - lo)
+
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{HEIGHT}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>',
+        f'<text x="{MARGIN["left"]}" y="24" font-size="15" '
+        f'font-weight="bold">{esc(doc.get("experiment", "?"))} — '
+        f'{esc(doc.get("title", ""))}</text>',
+    ]
+    for t in ticks:
+        y = y_of(t)
+        out.append(f'<line x1="{px0}" y1="{y:.1f}" x2="{px1}" '
+                   f'y2="{y:.1f}" stroke="#ddd"/>')
+        out.append(f'<text x="{px0 - 8}" y="{y + 4:.1f}" '
+                   f'text-anchor="end">{t:g}</text>')
+    for i, label in enumerate(labels):
+        x = x_of(i)
+        out.append(
+            f'<text x="0" y="0" text-anchor="end" transform='
+            f'"translate({x:.1f},{py0 + 14}) rotate(-35)">'
+            f'{esc(label)}</text>')
+    out.append(f'<line x1="{px0}" y1="{py0}" x2="{px1}" y2="{py0}" '
+               f'stroke="#333"/>')
+
+    for si, s in enumerate(series):
+        color = PALETTE[si % len(PALETTE)]
+        pts = [(x_of(i), y_of(v)) for i, v in enumerate(s["values"])]
+        if len(pts) > 1:
+            path = " ".join(f"{x:.1f},{y:.1f}" for x, y in pts)
+            out.append(f'<polyline points="{path}" fill="none" '
+                       f'stroke="{color}" stroke-width="2"/>')
+        for x, y in pts:
+            out.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3" '
+                       f'fill="{color}"/>')
+        ly = MARGIN["top"] + 18 * si
+        lx = WIDTH - MARGIN["right"] + 16
+        out.append(f'<rect x="{lx}" y="{ly - 9}" width="12" '
+                   f'height="12" fill="{color}"/>')
+        out.append(f'<text x="{lx + 18}" y="{ly + 2}">'
+                   f'{esc(s["name"])}</text>')
+    out.append("</svg>")
+    return "\n".join(out) + "\n"
+
+
+def render_matplotlib(doc, path):
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, ax = plt.subplots(figsize=(9.6, 4.2))
+    for si, s in enumerate(doc["series"]):
+        ax.plot(s["labels"], s["values"], marker="o",
+                color=PALETTE[si % len(PALETTE)], label=s["name"])
+    ax.set_title(f'{doc.get("experiment")} — {doc.get("title", "")}')
+    ax.legend(loc="center left", bbox_to_anchor=(1.01, 0.5),
+              frameon=False)
+    ax.tick_params(axis="x", rotation=35)
+    fig.tight_layout()
+    fig.savefig(path)
+    plt.close(fig)
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("files", nargs="*", help="result documents")
+    ap.add_argument("--json-dir", help="directory of <id>.json files")
+    ap.add_argument("--out-dir", default="plots",
+                    help="where charts are written (default: plots)")
+    ap.add_argument("--list", action="store_true",
+                    help="only list which documents carry series")
+    ap.add_argument("--matplotlib", action="store_true",
+                    help="emit PNG via matplotlib instead of SVG")
+    args = ap.parse_args(argv[1:])
+
+    paths = list(args.files)
+    if args.json_dir:
+        paths += sorted(glob.glob(os.path.join(args.json_dir,
+                                               "*.json")))
+    if not paths:
+        ap.error("no input: give documents or --json-dir")
+
+    plotted, errors = 0, 0
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: {path}: {e}", file=sys.stderr)
+            errors += 1
+            continue
+        series = doc.get("series") or []
+        name = doc.get("experiment") or os.path.basename(path)
+        if not series:
+            print(f"{name}: no series, skipped")
+            continue
+        if args.list:
+            print(f"{name}: {len(series)} series "
+                  f"({', '.join(s['name'] for s in series)})")
+            continue
+        os.makedirs(args.out_dir, exist_ok=True)
+        if args.matplotlib:
+            out = os.path.join(args.out_dir, f"{name}.png")
+            render_matplotlib(doc, out)
+            print(f"{name}: wrote {out}")
+            plotted += 1
+            continue
+        # Series with different label axes (fig19's per-model lines
+        # vs its rows-axis geomean) cannot share one x-axis: chart
+        # each label group separately.
+        groups = []
+        for s in series:
+            for labels, members in groups:
+                if labels == s["labels"]:
+                    members.append(s)
+                    break
+            else:
+                groups.append((s["labels"], [s]))
+        for gi, (labels, members) in enumerate(groups):
+            suffix = "" if gi == 0 else f"_{gi}"
+            out = os.path.join(args.out_dir, f"{name}{suffix}.svg")
+            with open(out, "w", encoding="utf-8") as f:
+                f.write(render_svg(doc, members))
+            print(f"{name}: wrote {out} "
+                  f"({', '.join(s['name'] for s in members)})")
+        plotted += 1
+    if not args.list:
+        print(f"{plotted} charts from {len(paths)} documents")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

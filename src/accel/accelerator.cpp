@@ -56,7 +56,7 @@ Accelerator::Accelerator(AcceleratorConfig cfg,
                          EnergyModelConfig energy_cfg)
     : cfg_(cfg), energy_(energy_cfg),
       ownedEngine_(std::make_unique<SimEngine>(cfg.threads)),
-      engine_(ownedEngine_.get())
+      engine_(ownedEngine_.get()), tilePool_(cfg_.tile)
 {
     panic_if(cfg_.fprTiles < 1 || cfg_.baselineTiles < 1,
              "need at least one tile per machine");
@@ -64,7 +64,8 @@ Accelerator::Accelerator(AcceleratorConfig cfg,
 
 Accelerator::Accelerator(AcceleratorConfig cfg,
                          EnergyModelConfig energy_cfg, SimEngine *shared)
-    : cfg_(cfg), energy_(energy_cfg), engine_(shared)
+    : cfg_(cfg), energy_(energy_cfg), engine_(shared),
+      tilePool_(cfg_.tile)
 {
     panic_if(!shared, "borrowed engine must not be null");
     panic_if(cfg_.fprTiles < 1 || cfg_.baselineTiles < 1,
@@ -190,6 +191,7 @@ Accelerator::runLayerOp(const ModelInfo &model, const LayerShape &layer,
     prc.seed = cfg_.seed;
     prc.autoSerialSide = cfg_.autoSerialSide;
     prc.engine = engine_;
+    prc.pool = &tilePool_;
     PhaseRunResult sample =
         runPhaseSample(model, layer, op, progress, prc);
     r.serialSide = sample.serialSide;

@@ -27,6 +27,7 @@
 #include "accel/phase_runner.h"
 #include "energy/energy_model.h"
 #include "sim/sim_engine.h"
+#include "sim/tile_pool.h"
 
 namespace fpraker {
 
@@ -188,6 +189,9 @@ class Accelerator
     EnergyModel energy_;
     std::unique_ptr<SimEngine> ownedEngine_;
     SimEngine *engine_ = nullptr; //!< ownedEngine_.get() or borrowed.
+    /** Shared per-burst scratch pool for this config's phase samples
+     *  (thread-safe; reuse is bit-identical to fresh construction). */
+    mutable TilePool tilePool_;
     mutable std::mutex bdcMutex_;
     mutable std::map<std::string, double> bdcCache_;
 };

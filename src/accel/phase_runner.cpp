@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <optional>
 #include <string>
 
 #include "common/logging.h"
@@ -80,6 +81,12 @@ runPhaseSample(const ModelInfo &model, const LayerShape &layer,
     // tasks that find the column batch already drained.
     SimEngine *tile_engine = shard_bursts ? nullptr : cfg.engine;
 
+    // Every field matters, not just geometry: a pool built for a
+    // different encoding/threshold/accumulator would silently hand
+    // out tiles that simulate the wrong machine.
+    panic_if(cfg.pool && !(cfg.pool->config() == cfg.tile),
+             "tile pool config does not match the phase config");
+
     auto run_burst = [&](size_t bi) {
         const int first = static_cast<int>(bi) * steps_per_output;
         const size_t burst = static_cast<size_t>(
@@ -89,26 +96,37 @@ runPhaseSample(const ModelInfo &model, const LayerShape &layer,
         TensorGenerator parallel_gen(
             parallel_profile, substreamSeed(base_seed, 2 * bi + 1));
 
-        std::vector<BFloat16> a_buf(burst * a_len);
-        std::vector<BFloat16> b_buf(burst * b_len);
-        std::vector<TileStepView> views(burst);
+        // Borrow pooled scratch when a pool is configured; otherwise
+        // construct the burst's working set locally. Pooled reuse is
+        // bit-identical (Tile::resetForReuse) and allocation-free.
+        std::optional<TilePool::Lease> lease;
+        std::optional<TilePool::Scratch> local;
+        if (cfg.pool)
+            lease.emplace(cfg.pool->acquire());
+        else
+            local.emplace(cfg.tile);
+        TilePool::Scratch &scratch = lease ? **lease : *local;
+        scratch.a.resize(burst * a_len);
+        scratch.b.resize(burst * b_len);
+        scratch.views.resize(burst);
+
         BurstResult &out = bursts[bi];
         for (size_t s = 0; s < burst; ++s) {
-            BFloat16 *a = a_buf.data() + s * a_len;
-            BFloat16 *b = b_buf.data() + s * b_len;
+            BFloat16 *a = scratch.a.data() + s * a_len;
+            BFloat16 *b = scratch.b.data() + s * b_len;
             serial_gen.fill(a, a_len);
             parallel_gen.fill(b, b_len);
             out.serialStats.merge(
                 measureTensor(a, a_len, cfg.tile.pe.encoding));
             out.parallelStats.merge(
                 measureTensor(b, b_len, cfg.tile.pe.encoding));
-            views[s] = TileStepView{a, b};
+            scratch.views[s] = TileStepView{a, b};
         }
 
-        Tile tile(cfg.tile);
-        TileRunResult run = tile.run(views.data(), burst, tile_engine);
+        TileRunResult run = scratch.tile.run(scratch.views.data(),
+                                             burst, tile_engine);
         out.cycles = run.cycles;
-        out.peStats = tile.aggregateStats();
+        out.peStats = scratch.tile.aggregateStats();
     };
 
     if (shard_bursts)

@@ -28,6 +28,7 @@
 #define FPRAKER_ACCEL_PHASE_RUNNER_H
 
 #include "sim/sim_engine.h"
+#include "sim/tile_pool.h"
 #include "tile/tile.h"
 #include "trace/model_zoo.h"
 #include "trace/tensor_gen.h"
@@ -43,6 +44,12 @@ struct PhaseRunConfig
     uint64_t seed = 1;
     bool autoSerialSide = true; //!< Pick the sparser operand as serial.
     SimEngine *engine = nullptr; //!< Optional column-sharding executor.
+    /**
+     * Optional scratch pool (its config must equal @p tile): bursts
+     * borrow pooled tile/slab scratch instead of constructing fresh —
+     * bit-identical, just allocation-free. Null constructs per burst.
+     */
+    TilePool *pool = nullptr;
 };
 
 /** Result of a sampled phase run. */

@@ -134,10 +134,16 @@ parseCliArgs(int argc, char **argv, int first, bool allow_positionals,
     return true;
 }
 
-int
-runExperiment(const ExperimentInfo &info, const CliOptions &opts)
+ExperimentOutcome
+runExperimentBuffered(const ExperimentInfo &info, const CliOptions &opts,
+                      SimEngine *shared)
 {
     Session session;
+    if (shared)
+        session.shareEngine(shared);
+    // Record --threads even when an engine is shared: the pool is the
+    // shared one regardless, but experiments that drive their own
+    // engines (perf_regression) must still see the explicit knob.
     if (opts.threads > 0)
         session.threads(opts.threads);
     if (opts.sampleSteps > 0)
@@ -159,22 +165,42 @@ runExperiment(const ExperimentInfo &info, const CliOptions &opts)
         result.sampleSteps = session.lastSampleSteps();
     result.variants = session.variantNames();
 
-    ReportWriter::print(result);
+    ExperimentOutcome out;
+    out.text = ReportWriter::renderText(result);
     if (!opts.jsonDir.empty()) {
         // Before any write: --out may point into the directory.
         std::error_code ec;
         std::filesystem::create_directories(opts.jsonDir, ec);
     }
-    if (!result.defaultJsonPath.empty()) {
+    // Under `run --all` the experiments share one CPU pool, so a
+    // timing experiment's wall-clock numbers are contaminated by its
+    // neighbors — don't let it silently overwrite its committed
+    // trajectory file (BENCH_PR<N>.json) unless the user explicitly
+    // pointed --out somewhere. Dedicated `run <id>` runs still write.
+    bool explicit_out = false;
+    for (const auto &[key, value] : opts.extras)
+        if (key == "out")
+            explicit_out = true;
+    if (!result.defaultJsonPath.empty() &&
+        (!opts.all || explicit_out)) {
         ReportWriter::writeJson(result, result.defaultJsonPath);
-        std::printf("wrote %s\n", result.defaultJsonPath.c_str());
+        out.text += "wrote " + result.defaultJsonPath + "\n";
     }
     if (!opts.json.empty())
         ReportWriter::writeJson(result, opts.json);
     if (!opts.jsonDir.empty())
         ReportWriter::writeJson(result,
                                 opts.jsonDir + "/" + info.id + ".json");
-    return result.ok ? 0 : 1;
+    out.status = result.ok ? 0 : 1;
+    return out;
+}
+
+int
+runExperiment(const ExperimentInfo &info, const CliOptions &opts)
+{
+    ExperimentOutcome out = runExperimentBuffered(info, opts, nullptr);
+    std::fputs(out.text.c_str(), stdout);
+    return out.status;
 }
 
 int
@@ -291,6 +317,33 @@ cliMain(int argc, char **argv)
                          "(use --json-dir for several)\n",
                          prog);
             return 2;
+        }
+
+        if (opts.all) {
+            // Independent experiments shard across ONE shared engine
+            // (each session borrows it; inner fan-outs re-enter it).
+            // Reports buffer per experiment and print in registry
+            // order, so stdout matches a serial sweep (up to
+            // wall-clock readings) and each document's fingerprint
+            // matches a serial run exactly.
+            SimEngine engine(opts.threads);
+            if (!opts.jsonDir.empty()) {
+                std::error_code ec;
+                std::filesystem::create_directories(opts.jsonDir, ec);
+            }
+            std::vector<ExperimentOutcome> outcomes(todo.size());
+            engine.parallelFor(todo.size(), [&](size_t i) {
+                outcomes[i] =
+                    runExperimentBuffered(*todo[i], opts, &engine);
+            });
+            int status = 0;
+            for (size_t i = 0; i < outcomes.size(); ++i) {
+                if (i)
+                    std::printf("\n");
+                std::fputs(outcomes[i].text.c_str(), stdout);
+                status |= outcomes[i].status;
+            }
+            return status;
         }
 
         int status = 0;

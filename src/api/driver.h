@@ -43,6 +43,24 @@ bool parseCliArgs(int argc, char **argv, int first,
                   bool allow_positionals, CliOptions *opts,
                   std::string *error);
 
+/** Buffered outcome of one experiment run. */
+struct ExperimentOutcome
+{
+    int status = 0;   //!< Process exit status contribution (0 or 1).
+    std::string text; //!< Rendered report + "wrote ..." lines.
+};
+
+/**
+ * Run one registered experiment under a fresh Session configured from
+ * @p opts, returning the rendered report instead of printing it (so
+ * `run --all` can execute experiments concurrently and still emit
+ * ordered output). When @p shared is non-null the session borrows it
+ * as its worker pool. JSON documents are still written here.
+ */
+ExperimentOutcome runExperimentBuffered(const ExperimentInfo &info,
+                                        const CliOptions &opts,
+                                        SimEngine *shared);
+
 /**
  * Run one registered experiment under a fresh Session configured from
  * @p opts, print its text report, and (optionally) write its JSON

@@ -29,6 +29,8 @@ REGISTER_EXPERIMENT("fig13", "Fig. 13", "breakdown of skipped terms",
         "skipped_terms",
         {"model", "zero terms", "out-of-bounds terms",
          "OB gain [pp of slots]", "skipped of all slots"});
+    std::vector<std::string> labels;
+    std::vector<double> zero_share, ob_share, skipped_of_slots;
     for (const ModelRunReport &r : reports) {
         double zero = r.activity.termsZeroSkipped;
         double ob = r.activity.termsObSkipped;
@@ -38,7 +40,14 @@ REGISTER_EXPERIMENT("fig13", "Fig. 13", "breakdown of skipped terms",
                   Table::pct(ob / skipped),
                   Table::cell(ob / slots * 100.0, 2),
                   Table::pct(skipped / slots)});
+        labels.push_back(r.model);
+        zero_share.push_back(zero / skipped);
+        ob_share.push_back(ob / skipped);
+        skipped_of_slots.push_back(skipped / slots);
     }
+    res.addSeries("zero_term_share", labels, zero_share);
+    res.addSeries("ob_term_share", labels, ob_share);
+    res.addSeries("skipped_of_slots", labels, skipped_of_slots);
     return res;
 }
 

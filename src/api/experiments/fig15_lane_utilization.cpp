@@ -30,6 +30,9 @@ REGISTER_EXPERIMENT("fig15", "Fig. 15",
     ResultTable &t = res.table("lane_cycles",
                                {"model", "useful", "no term",
                                 "shift range", "inter-PE", "exponent"});
+    std::vector<std::string> labels;
+    std::vector<double> useful, no_term, shift_range, inter_pe,
+        exponent;
     for (const ModelRunReport &r : reports) {
         double lc = r.activity.laneCycles();
         t.addRow({r.model, Table::pct(r.activity.laneUseful / lc),
@@ -37,7 +40,18 @@ REGISTER_EXPERIMENT("fig15", "Fig. 15",
                   Table::pct(r.activity.laneShiftRange / lc),
                   Table::pct(r.activity.laneInterPe / lc),
                   Table::pct(r.activity.laneExponent / lc)});
+        labels.push_back(r.model);
+        useful.push_back(r.activity.laneUseful / lc);
+        no_term.push_back(r.activity.laneNoTerm / lc);
+        shift_range.push_back(r.activity.laneShiftRange / lc);
+        inter_pe.push_back(r.activity.laneInterPe / lc);
+        exponent.push_back(r.activity.laneExponent / lc);
     }
+    res.addSeries("lane_useful", labels, useful);
+    res.addSeries("lane_no_term", labels, no_term);
+    res.addSeries("lane_shift_range", labels, shift_range);
+    res.addSeries("lane_inter_pe", labels, inter_pe);
+    res.addSeries("lane_exponent", labels, exponent);
     return res;
 }
 

@@ -44,8 +44,10 @@ REGISTER_EXPERIMENT("fig19", "Fig. 19", "speedup vs rows per tile",
     ResultTable &t = res.table("rows_speedup", headers);
 
     std::vector<std::vector<double>> per_rows(4);
+    std::vector<std::string> model_labels;
     for (size_t m = 0; m < n_models; ++m) {
         std::vector<std::string> row = {reports[m].model};
+        model_labels.push_back(reports[m].model);
         for (size_t i = 0; i < 4; ++i) {
             const ModelRunReport &r = reports[i * n_models + m];
             per_rows[i].push_back(r.speedup());
@@ -54,13 +56,22 @@ REGISTER_EXPERIMENT("fig19", "Fig. 19", "speedup vs rows per tile",
         t.addRow(row);
     }
     std::vector<std::string> geo = {"Geomean"};
+    std::vector<double> geo_values;
+    std::vector<std::string> rows_labels;
     for (size_t i = 0; i < 4; ++i) {
         geo.push_back(Table::cell(geomean(per_rows[i])));
         res.scalar("geomean_speedup_" +
                        std::to_string(rows_options[i]) + "_rows",
                    geomean(per_rows[i]));
+        geo_values.push_back(geomean(per_rows[i]));
+        rows_labels.push_back(std::to_string(rows_options[i]) +
+                              " rows");
+        res.addSeries("speedup_" + std::to_string(rows_options[i]) +
+                          "_rows",
+                      model_labels, per_rows[i]);
     }
     t.addRow(geo);
+    res.addSeries("geomean_speedup", rows_labels, geo_values);
     return res;
 }
 

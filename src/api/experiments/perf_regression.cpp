@@ -1,7 +1,7 @@
 /**
  * @file
  * Perf-regression experiment: times fixed, seeded workloads on the
- * cycle-level simulator and emits BENCH_PR3.json, extending the
+ * cycle-level simulator and emits BENCH_PR4.json, extending the
  * BENCH_PR<N>.json trajectory each perf PR must beat
  * (docs/PERFORMANCE.md explains how to read and append it).
  *
@@ -19,9 +19,20 @@
  *  - model_sweep — a three-model sweep of full accelerator runs (the
  *    Fig. 11 unit of work) through the same runner, serial vs
  *    parallel.
+ *  - generation — the PR 4 data-supply benchmark: the scalar
+ *    value-at-a-time TensorGenerator walk vs the batched slab path
+ *    (integer-threshold Bernoullis + SIMD field packing), and the
+ *    scalar vs SIMD term classifier (slab_ops countTerms). Both pairs
+ *    must produce identical bits; only wall-clock may differ.
+ *  - baseline_tile — the functional bit-parallel tile's batched row
+ *    walk, serial vs PE rows sharded across an engine, with output
+ *    digests that must match.
  *
  * The experiment refuses to report a speedup over diverging runs
- * (Result::ok goes false, exit status 1).
+ * (Result::ok goes false, exit status 1). Because the document
+ * contains wall-clock readings, it overrides its content fingerprint
+ * with the combined determinism checksums — which ARE run-invariant —
+ * so `run --all` fingerprint comparisons stay meaningful.
  *
  *   fpraker run perf_regression [--threads=N] [--steps=N] [--reps=N]
  *                               [--out=FILE]
@@ -37,7 +48,11 @@
 #include <cstring>
 #include <functional>
 
+#include <thread>
+
 #include "api/api.h"
+#include "numeric/slab_ops.h"
+#include "numeric/term_lut.h"
 #include "sim/reference_column.h"
 #include "trace/rng_stream.h"
 #include "trace/tensor_gen.h"
@@ -236,12 +251,13 @@ reportChecksum(const ModelRunReport &r)
     return sum.value();
 }
 
-REGISTER_EXPERIMENT("perf_regression", "PR3",
+REGISTER_EXPERIMENT("perf_regression", "PR4",
                     "perf regression: wall-clock trajectory "
                     "(BENCH_PR<N>.json) + determinism gate",
-                    "kernel and sweep sets/sec no worse than "
-                    "BENCH_PR2.json; checksums bit-identical across "
-                    "the seed, serial, parallel, and sweep paths")
+                    "kernel, sweep, and generation throughput no "
+                    "worse than BENCH_PR3.json; checksums "
+                    "bit-identical across the seed, serial, parallel, "
+                    "sweep, and slab-generation paths")
 {
     // The legacy harness defaulted to 8 threads regardless of
     // FPRAKER_THREADS; an explicit --threads=N still wins.
@@ -252,7 +268,7 @@ REGISTER_EXPERIMENT("perf_regression", "PR3",
         session.intOption("steps", session.sampleSteps(4096));
     const int reps = session.intOption("reps", 3);
     const std::string out_path =
-        session.strOption("out", "BENCH_PR3.json");
+        session.strOption("out", "BENCH_PR4.json");
 
     const char *model_name = "ResNet18-Q";
     const ModelInfo &model = findModel(model_name);
@@ -408,18 +424,159 @@ REGISTER_EXPERIMENT("perf_regression", "PR3",
                Table::cell(model_serial_s / model_parallel_s),
                hex16(model_sum_n)});
 
+    // Generation section: the tensor data-supply path. Scalar
+    // value-at-a-time walk vs the batched slab path over the same
+    // profile/seed (digests must match bit for bit), plus the scalar
+    // vs SIMD term classifier over the kernel's A slab.
+    const size_t gen_n = std::max<size_t>(w.a.size(), 4096);
+    std::vector<BFloat16> gen_buf(gen_n);
+    ValueProfile gen_profile =
+        model.profile.of(TensorKind::Activation).at(0.5);
+    auto gen_run = [&](bool batched) {
+        TensorGenerator gen(gen_profile, seed ^ 0x6e6);
+        TileTiming t;
+        double t0 = now();
+        if (batched)
+            gen.fill(gen_buf.data(), gen_n);
+        else
+            gen.fillScalar(gen_buf.data(), gen_n);
+        t.seconds = now() - t0;
+        Checksum sum;
+        sum.addBytes(gen_buf.data(), gen_buf.size() * sizeof(BFloat16));
+        t.checksum = sum.value();
+        return t;
+    };
+    TileTiming gen_scalar_t = best([&] { return gen_run(false); });
+    TileTiming gen_batched_t = best([&] { return gen_run(true); });
+    bool gen_identical = gen_scalar_t.checksum == gen_batched_t.checksum;
+    double gen_speedup = gen_scalar_t.seconds / gen_batched_t.seconds;
+
+    const TermLut &lut = TermLut::of(TermEncoding::Canonical);
+    auto count_run = [&](bool simd) {
+        TileTiming t;
+        uint64_t zeros = 0, terms = 0;
+        double t0 = now();
+        if (simd)
+            slab::countTerms(w.a.data(), w.a.size(),
+                             lut.countsTable(), &zeros, &terms);
+        else
+            slab::countTermsScalar(w.a.data(), w.a.size(),
+                                   lut.countsTable(), &zeros, &terms);
+        t.seconds = now() - t0;
+        Checksum sum;
+        sum.add(zeros);
+        sum.add(terms);
+        t.checksum = sum.value();
+        return t;
+    };
+    TileTiming count_scalar_t = best([&] { return count_run(false); });
+    TileTiming count_simd_t = best([&] { return count_run(true); });
+    bool count_identical =
+        count_scalar_t.checksum == count_simd_t.checksum;
+    double count_speedup = count_scalar_t.seconds / count_simd_t.seconds;
+
+    std::snprintf(caption, sizeof(caption),
+                  "generation: %zu values (batched slab path, SIMD "
+                  "level %s)",
+                  gen_n, slab::simdLevel());
+    ResultTable &gt = res.table(
+        "generation", {"path", "seconds", "values/s", "speedup"});
+    gt.caption = caption;
+    gt.addRow({"tensor-gen scalar", Table::cell(gen_scalar_t.seconds, 4),
+               Table::cell(gen_n / gen_scalar_t.seconds, 0), "1.00"});
+    gt.addRow({"tensor-gen batched",
+               Table::cell(gen_batched_t.seconds, 4),
+               Table::cell(gen_n / gen_batched_t.seconds, 0),
+               Table::cell(gen_speedup)});
+    gt.addRow({"term-count scalar",
+               Table::cell(count_scalar_t.seconds, 4),
+               Table::cell(w.a.size() / count_scalar_t.seconds, 0),
+               "1.00"});
+    gt.addRow({"term-count " + std::string(slab::simdLevel()),
+               Table::cell(count_simd_t.seconds, 4),
+               Table::cell(w.a.size() / count_simd_t.seconds, 0),
+               Table::cell(count_speedup)});
+
+    // Functional-baseline tile: the batched row walk, serial vs
+    // row-sharded across an engine (BaselineTile::run's PE rows are
+    // independent given the pre-decoded batch). Steps reuse the
+    // kernel workload's slabs, built untimed.
+    const size_t base_steps_n =
+        std::min<size_t>(static_cast<size_t>(w.steps), 1024);
+    const size_t base_a_len =
+        static_cast<size_t>(w.tile.cols) * w.tile.pe.lanes;
+    const size_t base_b_len =
+        static_cast<size_t>(w.tile.rows) * w.tile.pe.lanes;
+    std::vector<TileStep> base_steps(base_steps_n);
+    for (size_t s = 0; s < base_steps_n; ++s) {
+        base_steps[s].a.assign(w.a.begin() + s * base_a_len,
+                               w.a.begin() + (s + 1) * base_a_len);
+        base_steps[s].b.assign(w.b.begin() + s * base_b_len,
+                               w.b.begin() + (s + 1) * base_b_len);
+    }
+    auto base_run = [&](int bt) {
+        SimEngine bengine(bt);
+        BaselineTile btile(w.tile);
+        TileTiming t;
+        double t0 = now();
+        btile.run(base_steps, bt > 1 ? &bengine : nullptr);
+        t.seconds = now() - t0;
+        Checksum sum;
+        for (int r = 0; r < w.tile.rows; ++r)
+            for (int c = 0; c < w.tile.cols; ++c)
+                sum.add(btile.output(r, c));
+        BaselinePeStats bs = btile.aggregateStats();
+        sum.add(bs.cycles);
+        sum.add(bs.sets);
+        sum.add(bs.macs);
+        sum.add(bs.ineffectualMacs);
+        t.checksum = sum.value();
+        return t;
+    };
+    TileTiming base_serial_t = best([&] { return base_run(1); });
+    TileTiming base_shard_t = best([&] { return base_run(threads); });
+    bool base_identical =
+        base_serial_t.checksum == base_shard_t.checksum;
+
+    std::snprintf(caption, sizeof(caption),
+                  "baseline tile: %zu steps, rows sharded at %d "
+                  "threads",
+                  base_steps_n, threads);
+    ResultTable &bt_table = res.table(
+        "baseline_tile", {"mode", "seconds", "steps/s", "digest"});
+    bt_table.caption = caption;
+    bt_table.addRow({"serial", Table::cell(base_serial_t.seconds, 4),
+                     Table::cell(base_steps_n / base_serial_t.seconds,
+                                 0),
+                     hex16(base_serial_t.checksum)});
+    bt_table.addRow({std::to_string(threads) + " threads",
+                     Table::cell(base_shard_t.seconds, 4),
+                     Table::cell(base_steps_n / base_shard_t.seconds,
+                                 0),
+                     hex16(base_shard_t.checksum)});
+
     bool all_identical = deterministic_reps && tile_identical &&
-                         sweep_identical && model_identical;
+                         sweep_identical && model_identical &&
+                         gen_identical && count_identical &&
+                         base_identical;
     res.note(std::string("bit-identical: ") +
              (all_identical ? "yes" : "NO — REGRESSION"));
     if (!all_identical)
         res.fail("diverging checksums across configurations");
+
+    const unsigned hc = std::thread::hardware_concurrency();
+    if (hc <= 1)
+        res.note("single-CPU host: the parallel/sweep thread rows "
+                 "measure scheduling overhead, not scaling — the "
+                 "serial rows and the generation section are the "
+                 "comparable numbers (see docs/PERFORMANCE.md)");
 
     // ---------------------------------------------------- JSON groups
     // Key names and order mirror the BENCH_PR1/PR2 documents so the
     // smoke-checksum gate and the perf trajectory stay greppable.
     res.group("workload")
         .metric("model", model_name)
+        .metric("reps", reps)
         .metric("steps", w.steps)
         .metric("column_sets", sets)
         .metric("tile", std::to_string(w.tile.rows) + "x" +
@@ -463,6 +620,60 @@ REGISTER_EXPERIMENT("perf_regression", "PR3",
         .metric("checksum_serial", hex16(model_sum_1))
         .metric("checksum_parallel", hex16(model_sum_n))
         .metric("bit_identical", model_identical);
+    // (Digest keys deliberately avoid the "checksum" prefix: the CI
+    // smoke gate diffs the checksum_* key sequence against
+    // bench/SMOKE_BASELINE.json, which predates this section.)
+    res.group("generation")
+        .metric("values", static_cast<uint64_t>(gen_n))
+        .metric("simd_level", slab::simdLevel())
+        .metric("scalar_s", gen_scalar_t.seconds, 6)
+        .metric("batched_s", gen_batched_t.seconds, 6)
+        .metric("values_per_sec_scalar", gen_n / gen_scalar_t.seconds,
+                1)
+        .metric("values_per_sec_batched",
+                gen_n / gen_batched_t.seconds, 1)
+        .metric("speedup_batched", gen_speedup, 3)
+        .metric("digest_scalar", hex16(gen_scalar_t.checksum))
+        .metric("digest_batched", hex16(gen_batched_t.checksum))
+        .metric("count_scalar_s", count_scalar_t.seconds, 6)
+        .metric("count_simd_s", count_simd_t.seconds, 6)
+        .metric("count_speedup", count_speedup, 3)
+        .metric("digest_count_scalar", hex16(count_scalar_t.checksum))
+        .metric("digest_count_simd", hex16(count_simd_t.checksum))
+        .metric("bit_identical", gen_identical && count_identical);
+    res.group("baseline_tile")
+        .metric("steps", static_cast<uint64_t>(base_steps_n))
+        .metric("serial_s", base_serial_t.seconds, 6)
+        .metric("sharded_s", base_shard_t.seconds, 6)
+        .metric("sharded_threads", threads)
+        .metric("speedup_sharded",
+                base_serial_t.seconds / base_shard_t.seconds, 3)
+        .metric("digest_serial", hex16(base_serial_t.checksum))
+        .metric("digest_sharded", hex16(base_shard_t.checksum))
+        .metric("bit_identical", base_identical);
+    res.group("host")
+        .metric("hardware_concurrency", static_cast<int64_t>(hc))
+        .metric("single_cpu_caveat", hc <= 1);
+
+    // Wall-clock readings vary run to run; the determinism checksums
+    // do not. Fingerprint over the latter so serial and parallel
+    // `run --all` sweeps compare equal.
+    Checksum fp;
+    fp.add(seed_t.checksum);
+    fp.add(serial_t.checksum);
+    fp.add(par_t.checksum);
+    for (uint64_t s_sum : sweep_sum)
+        fp.add(s_sum);
+    fp.add(model_sum_1);
+    fp.add(model_sum_n);
+    fp.add(gen_scalar_t.checksum);
+    fp.add(gen_batched_t.checksum);
+    fp.add(count_scalar_t.checksum);
+    fp.add(count_simd_t.checksum);
+    fp.add(base_serial_t.checksum);
+    fp.add(base_shard_t.checksum);
+    fp.add(static_cast<uint64_t>(all_identical ? 1 : 0));
+    res.setFingerprint(fp.value());
     return res;
 }
 

@@ -1,6 +1,7 @@
 #include "api/result.h"
 
 #include <cstdio>
+#include <cstring>
 
 #include "common/logging.h"
 #include "common/table.h"
@@ -130,6 +131,109 @@ Result::fail(const std::string &why)
     note("FAILED: " + why);
 }
 
+namespace {
+
+/** Streaming FNV-1a with a field separator between add() calls. */
+class Fnv
+{
+  public:
+    void
+    add(const std::string &s)
+    {
+        for (unsigned char c : s)
+            mix(c);
+        mix(0xff); // separator: {"ab","c"} != {"a","bc"}
+    }
+
+    void
+    add(double v)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        add(bits);
+    }
+
+    void
+    add(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            mix(static_cast<unsigned char>(v >> (i * 8)));
+        mix(0xff);
+    }
+
+    uint64_t value() const { return hash_; }
+
+  private:
+    void
+    mix(unsigned char c)
+    {
+        hash_ ^= c;
+        hash_ *= 0x100000001b3ull;
+    }
+
+    uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+std::string
+canonicalMetric(const MetricValue &v)
+{
+    switch (v.kind) {
+      case MetricValue::Kind::Int:
+        return "i" + std::to_string(v.i);
+      case MetricValue::Kind::Double: {
+        uint64_t bits;
+        std::memcpy(&bits, &v.d, sizeof(bits));
+        return "d" + std::to_string(bits);
+      }
+      case MetricValue::Kind::Text:
+        return "s" + v.s;
+      case MetricValue::Kind::Bool:
+        return v.b ? "b1" : "b0";
+    }
+    return "";
+}
+
+} // namespace
+
+uint64_t
+Result::fingerprint() const
+{
+    if (hasFingerprintOverride_)
+        return fingerprintOverride_;
+    Fnv f;
+    f.add(experiment);
+    f.add(std::string(ok ? "ok" : "failed"));
+    for (const auto &[key, value] : scalars_) {
+        f.add(key);
+        f.add(canonicalMetric(value));
+    }
+    for (const MetricGroup &g : groups_) {
+        f.add(g.name);
+        for (const auto &[key, value] : g.metrics) {
+            f.add(key);
+            f.add(canonicalMetric(value));
+        }
+    }
+    for (const ResultTable &t : tables_) {
+        f.add(t.name);
+        for (const std::string &h : t.headers)
+            f.add(h);
+        for (const auto &row : t.rows)
+            for (const std::string &cell : row)
+                f.add(cell);
+    }
+    for (const ResultSeries &s : series_) {
+        f.add(s.name);
+        for (const std::string &l : s.labels)
+            f.add(l);
+        for (double v : s.values)
+            f.add(v);
+    }
+    for (const std::string &n : notes_)
+        f.add(n);
+    return f.value();
+}
+
 JsonValue
 Result::toJson() const
 {
@@ -139,6 +243,12 @@ Result::toJson() const
     doc.set("title", title);
     doc.set("expectation", expectation);
     doc.set("ok", ok);
+    {
+        char buf[20];
+        std::snprintf(buf, sizeof(buf), "%016llx",
+                      static_cast<unsigned long long>(fingerprint()));
+        doc.set("fingerprint", std::string(buf));
+    }
 
     JsonValue prov = JsonValue::object();
     prov.set("config_digest", configDigest);

@@ -143,6 +143,26 @@ class Result
     /** Mark the experiment failed (exit status 1) with a note. */
     void fail(const std::string &why);
 
+    /**
+     * Stable digest (FNV-1a) of the experiment's content — tables,
+     * series, scalars, metric groups, and notes, never provenance.
+     * The determinism guarantee makes this identical whether the
+     * experiment ran serially or sharded (any thread count, `run
+     * --all` serial or parallel); scripts/check_fingerprints.py and
+     * CI compare the emitted values across modes. Experiments whose
+     * documents contain wall-clock readings (perf_regression) must
+     * override it with their determinism checksums via
+     * setFingerprint, keeping the fingerprint run-invariant.
+     */
+    uint64_t fingerprint() const;
+    /** Replace the computed fingerprint (timing experiments). */
+    void
+    setFingerprint(uint64_t fp)
+    {
+        fingerprintOverride_ = fp;
+        hasFingerprintOverride_ = true;
+    }
+
     const std::deque<ResultTable> &tables() const { return tables_; }
     const std::vector<std::string> &notes() const { return notes_; }
     const std::deque<MetricGroup> &groups() const { return groups_; }
@@ -178,6 +198,8 @@ class Result
     std::vector<std::pair<std::string, MetricValue>> scalars_;
     std::deque<ResultSeries> series_;
     std::vector<DisplayItem> order_;
+    uint64_t fingerprintOverride_ = 0;
+    bool hasFingerprintOverride_ = false;
 };
 
 /** Renders Result documents: legacy-style text or canonical JSON. */

@@ -45,6 +45,16 @@ Session::threads(int n)
 }
 
 Session &
+Session::shareEngine(SimEngine *engine)
+{
+    panic_if(runner_ != nullptr, "Session::shareEngine must be set "
+                                 "before the runner is used");
+    panic_if(!engine, "shared engine must not be null");
+    sharedEngine_ = engine;
+    return *this;
+}
+
+Session &
 Session::overrideSampleSteps(int n)
 {
     panic_if(n < 1,
@@ -181,7 +191,9 @@ SweepRunner &
 Session::runner()
 {
     if (!runner_)
-        runner_ = std::make_unique<SweepRunner>(requestedThreads_);
+        runner_ = sharedEngine_
+                      ? std::make_unique<SweepRunner>(sharedEngine_)
+                      : std::make_unique<SweepRunner>(requestedThreads_);
     return *runner_;
 }
 

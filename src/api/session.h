@@ -63,6 +63,17 @@ class Session
      */
     Session &threads(int n);
     /**
+     * Borrow @p engine as the session's worker pool instead of owning
+     * one (how `fpraker run --all` drives many experiments through a
+     * single pool). The shared engine always provides the pool;
+     * threads() may still be set alongside it so the CLI --threads=N
+     * knob stays visible to experiments that read threadsExplicit()
+     * (perf_regression drives its own engines from it). Must be set
+     * before the runner materializes; @p engine must outlive the
+     * session.
+     */
+    Session &shareEngine(SimEngine *engine);
+    /**
      * Explicit sample-step budget; overrides both the
      * FPRAKER_SAMPLE_STEPS environment variable and the experiment's
      * fallback in sampleSteps().
@@ -141,6 +152,7 @@ class Session
 
   private:
     int requestedThreads_ = 0;
+    SimEngine *sharedEngine_ = nullptr;
     int requestedSampleSteps_ = 0;
     int lastSampleSteps_ = 0;
     double progress_ = kDefaultProgress;

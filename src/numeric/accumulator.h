@@ -44,6 +44,8 @@ struct AccumulatorConfig
 
     /** MACs accumulated per chunk before spilling to FP32 (Sakr et al.). */
     int chunkSize = 64;
+
+    bool operator==(const AccumulatorConfig &) const = default;
 };
 
 /**

@@ -1,0 +1,258 @@
+#include "numeric/slab_ops.h"
+
+#include <bit>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define FPRAKER_SLAB_X86 1
+#include <immintrin.h>
+#endif
+
+namespace fpraker {
+namespace slab {
+
+void
+countTermsScalar(const BFloat16 *values, size_t n,
+                 const uint8_t counts[256], uint64_t *zeros,
+                 uint64_t *terms)
+{
+    uint64_t z = 0, t = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const BFloat16 v = values[i];
+        if (v.isZero()) {
+            z += 1;
+            continue;
+        }
+        t += counts[v.significand()];
+    }
+    *zeros += z;
+    *terms += t;
+}
+
+void
+packBf16Scalar(const int16_t *biased_exp, const uint8_t *man,
+               const uint8_t *neg, size_t n, BFloat16 *out)
+{
+    for (size_t i = 0; i < n; ++i)
+        out[i] = BFloat16::fromBits(static_cast<uint16_t>(
+            (neg[i] ? 0x8000u : 0u) |
+            (static_cast<unsigned>(biased_exp[i] & 0xff) << 7) |
+            (man[i] & 0x7fu)));
+}
+
+#ifdef FPRAKER_SLAB_X86
+
+namespace {
+
+bool
+haveAvx2()
+{
+    // __builtin_cpu_init is idempotent; calling it here avoids any
+    // static-initialization-order dependency on libgcc's constructor.
+    __builtin_cpu_init();
+    static const bool have = __builtin_cpu_supports("avx2");
+    return have;
+}
+
+/**
+ * Classify 8 bf16 lanes: *sig8 receives their significands packed to
+ * bytes (0 for zero values) in the low 8 bytes; the return value is
+ * the 16-bit zero mask from movemask_epi8 (two bits per lane).
+ */
+inline int
+classify8(__m128i v, __m128i *sig8)
+{
+    const __m128i vzero = _mm_setzero_si128();
+    const __m128i z = _mm_cmpeq_epi16(
+        _mm_and_si128(v, _mm_set1_epi16(0x7fff)), vzero);
+    const __m128i sig16 = _mm_andnot_si128(
+        z, _mm_or_si128(_mm_and_si128(v, _mm_set1_epi16(0x7f)),
+                        _mm_set1_epi16(0x80)));
+    *sig8 = _mm_packus_epi16(sig16, vzero);
+    return _mm_movemask_epi8(z);
+}
+
+void
+countTermsSse2(const BFloat16 *values, size_t n,
+               const uint8_t counts[256], uint64_t *zeros,
+               uint64_t *terms)
+{
+    uint64_t z = 0, t = 0;
+    size_t i = 0;
+    alignas(16) uint8_t sig[16];
+    for (; i + 16 <= n; i += 16) {
+        __m128i v0, v1, s0, s1;
+        std::memcpy(&v0, values + i, 16);
+        std::memcpy(&v1, values + i + 8, 16);
+        const int zm0 = classify8(v0, &s0);
+        const int zm1 = classify8(v1, &s1);
+        z += static_cast<unsigned>(std::popcount(
+                 static_cast<unsigned>(zm0) |
+                 (static_cast<unsigned>(zm1) << 16))) /
+             2;
+        if (zm0 != 0xffff || zm1 != 0xffff) {
+            _mm_store_si128(reinterpret_cast<__m128i *>(sig),
+                            _mm_unpacklo_epi64(s0, s1));
+            for (int j = 0; j < 16; ++j)
+                t += counts[sig[j]];
+        }
+    }
+    *zeros += z;
+    *terms += t;
+    if (i < n)
+        countTermsScalar(values + i, n - i, counts, zeros, terms);
+}
+
+__attribute__((target("avx2"))) void
+countTermsAvx2(const BFloat16 *values, size_t n,
+               const uint8_t counts[256], uint64_t *zeros,
+               uint64_t *terms)
+{
+    uint64_t z = 0, t = 0;
+    size_t i = 0;
+    alignas(32) uint8_t sig[32];
+    const __m256i vzero = _mm256_setzero_si256();
+    for (; i + 32 <= n; i += 32) {
+        __m256i v0, v1;
+        std::memcpy(&v0, values + i, 32);
+        std::memcpy(&v1, values + i + 16, 32);
+        const __m256i z0 = _mm256_cmpeq_epi16(
+            _mm256_and_si256(v0, _mm256_set1_epi16(0x7fff)), vzero);
+        const __m256i z1 = _mm256_cmpeq_epi16(
+            _mm256_and_si256(v1, _mm256_set1_epi16(0x7fff)), vzero);
+        const uint32_t zm0 =
+            static_cast<uint32_t>(_mm256_movemask_epi8(z0));
+        const uint32_t zm1 =
+            static_cast<uint32_t>(_mm256_movemask_epi8(z1));
+        z += (std::popcount(zm0) + std::popcount(zm1)) / 2;
+        if (zm0 != 0xffffffffu || zm1 != 0xffffffffu) {
+            const __m256i s0 = _mm256_andnot_si256(
+                z0,
+                _mm256_or_si256(
+                    _mm256_and_si256(v0, _mm256_set1_epi16(0x7f)),
+                    _mm256_set1_epi16(0x80)));
+            const __m256i s1 = _mm256_andnot_si256(
+                z1,
+                _mm256_or_si256(
+                    _mm256_and_si256(v1, _mm256_set1_epi16(0x7f)),
+                    _mm256_set1_epi16(0x80)));
+            // packus interleaves 128-bit halves; the per-byte counts
+            // sum is permutation-invariant, so no fix-up shuffle.
+            _mm256_store_si256(reinterpret_cast<__m256i *>(sig),
+                               _mm256_packus_epi16(s0, s1));
+            for (int j = 0; j < 32; ++j)
+                t += counts[sig[j]];
+        }
+    }
+    *zeros += z;
+    *terms += t;
+    if (i < n)
+        countTermsSse2(values + i, n - i, counts, zeros, terms);
+}
+
+void
+packBf16Sse2(const int16_t *biased_exp, const uint8_t *man,
+             const uint8_t *neg, size_t n, BFloat16 *out)
+{
+    const __m128i vzero = _mm_setzero_si128();
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m128i e, m8, s8;
+        std::memcpy(&e, biased_exp + i, 16);
+        m8 = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(man + i));
+        s8 = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(neg + i));
+        const __m128i m16 = _mm_unpacklo_epi8(m8, vzero);
+        const __m128i s16 = _mm_unpacklo_epi8(s8, vzero);
+        const __m128i bits = _mm_or_si128(
+            _mm_or_si128(
+                _mm_slli_epi16(_mm_and_si128(e, _mm_set1_epi16(0xff)),
+                               7),
+                _mm_and_si128(m16, _mm_set1_epi16(0x7f))),
+            _mm_slli_epi16(s16, 15));
+        std::memcpy(out + i, &bits, 16);
+    }
+    if (i < n)
+        packBf16Scalar(biased_exp + i, man + i, neg + i, n - i,
+                       out + i);
+}
+
+__attribute__((target("avx2"))) void
+packBf16Avx2(const int16_t *biased_exp, const uint8_t *man,
+             const uint8_t *neg, size_t n, BFloat16 *out)
+{
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        __m256i e;
+        std::memcpy(&e, biased_exp + i, 32);
+        const __m256i m16 = _mm256_cvtepu8_epi16(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(man + i)));
+        const __m256i s16 = _mm256_cvtepu8_epi16(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(neg + i)));
+        const __m256i bits = _mm256_or_si256(
+            _mm256_or_si256(
+                _mm256_slli_epi16(
+                    _mm256_and_si256(e, _mm256_set1_epi16(0xff)), 7),
+                _mm256_and_si256(m16, _mm256_set1_epi16(0x7f))),
+            _mm256_slli_epi16(s16, 15));
+        std::memcpy(out + i, &bits, 32);
+    }
+    if (i < n)
+        packBf16Sse2(biased_exp + i, man + i, neg + i, n - i, out + i);
+}
+
+} // namespace
+
+const char *
+simdLevel()
+{
+    return haveAvx2() ? "avx2" : "sse2";
+}
+
+void
+countTerms(const BFloat16 *values, size_t n, const uint8_t counts[256],
+           uint64_t *zeros, uint64_t *terms)
+{
+    if (haveAvx2())
+        countTermsAvx2(values, n, counts, zeros, terms);
+    else
+        countTermsSse2(values, n, counts, zeros, terms);
+}
+
+void
+packBf16(const int16_t *biased_exp, const uint8_t *man,
+         const uint8_t *neg, size_t n, BFloat16 *out)
+{
+    if (haveAvx2())
+        packBf16Avx2(biased_exp, man, neg, n, out);
+    else
+        packBf16Sse2(biased_exp, man, neg, n, out);
+}
+
+#else // !FPRAKER_SLAB_X86
+
+const char *
+simdLevel()
+{
+    return "scalar";
+}
+
+void
+countTerms(const BFloat16 *values, size_t n, const uint8_t counts[256],
+           uint64_t *zeros, uint64_t *terms)
+{
+    countTermsScalar(values, n, counts, zeros, terms);
+}
+
+void
+packBf16(const int16_t *biased_exp, const uint8_t *man,
+         const uint8_t *neg, size_t n, BFloat16 *out)
+{
+    packBf16Scalar(biased_exp, man, neg, n, out);
+}
+
+#endif // FPRAKER_SLAB_X86
+
+} // namespace slab
+} // namespace fpraker

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Batched (slab-grain) operand kernels with runtime SIMD dispatch.
+ *
+ * The simulator's data-supply path — synthesizing operand values and
+ * classifying them through the term LUT — used to run value-at-a-time
+ * scalar loops. These helpers operate on whole slabs instead: a flat
+ * run of bfloat16 values (one phase burst's A or B operands, a whole
+ * benchmark workload) processed 8/16 values per iteration.
+ *
+ * Dispatch policy: every entry point has a portable scalar body that
+ * defines the semantics; on x86-64 an SSE2 body (always present — SSE2
+ * is part of the base ISA) handles the main loop, and an AVX2 body is
+ * selected at runtime via __builtin_cpu_supports when the host has it.
+ * All bodies are integer-exact over the same bit patterns, so the
+ * selected level can never change a result — only wall-clock. Fuzz
+ * coverage in tests/test_fastpath.cpp pins every available level
+ * against the scalar body.
+ */
+
+#ifndef FPRAKER_NUMERIC_SLAB_OPS_H
+#define FPRAKER_NUMERIC_SLAB_OPS_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "numeric/bfloat16.h"
+
+namespace fpraker {
+namespace slab {
+
+/** SIMD level the dispatched entry points run at: "avx2", "sse2", or
+ *  "scalar" (non-x86 builds). */
+const char *simdLevel();
+
+/**
+ * Count zero values and total encoded terms over a value slab.
+ * @p counts is a 256-entry per-significand term-count table (use
+ * TermLut::countsTable()); counts[0] must be 0 so zero values add no
+ * terms. Adds to *zeros / *terms.
+ */
+void countTerms(const BFloat16 *values, size_t n,
+                const uint8_t counts[256], uint64_t *zeros,
+                uint64_t *terms);
+
+/**
+ * Assemble bfloat16 bit patterns from SoA field planes:
+ * out[i] = neg[i]<<15 | (biased_exp[i] & 0xff)<<7 | (man[i] & 0x7f).
+ * A zero value is represented as all-zero planes. @p neg entries are
+ * 0 or 1.
+ */
+void packBf16(const int16_t *biased_exp, const uint8_t *man,
+              const uint8_t *neg, size_t n, BFloat16 *out);
+
+// Fixed (non-dispatched) reference bodies, exposed for differential
+// tests and the perf_regression generation benchmark.
+void countTermsScalar(const BFloat16 *values, size_t n,
+                      const uint8_t counts[256], uint64_t *zeros,
+                      uint64_t *terms);
+void packBf16Scalar(const int16_t *biased_exp, const uint8_t *man,
+                    const uint8_t *neg, size_t n, BFloat16 *out);
+
+} // namespace slab
+} // namespace fpraker
+
+#endif // FPRAKER_NUMERIC_SLAB_OPS_H

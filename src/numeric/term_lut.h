@@ -55,6 +55,12 @@ class TermLut
         return counts_[sig8 & 0xff];
     }
 
+    /**
+     * The full 256-entry term-count table (counts_[0] == 0), for the
+     * slab-grain SIMD classifiers in numeric/slab_ops.h.
+     */
+    const uint8_t *countsTable() const { return counts_; }
+
     TermEncoding encoding() const { return encoding_; }
 
   private:

@@ -27,7 +27,6 @@ FPRakerColumn::FPRakerColumn(const PeConfig &cfg, int num_pes)
     pes_.reserve(static_cast<size_t>(numPes_));
     for (int r = 0; r < numPes_; ++r)
         pes_.emplace_back(cfg_.acc);
-    accExpScratch_.resize(static_cast<size_t>(numPes_));
     retireCycle_.resize(static_cast<size_t>(numPes_));
 }
 
@@ -251,6 +250,16 @@ FPRakerColumn::beginSet(const BFloat16 *a, const BFloat16 *b,
     }
     liveMask_ &= ~all_ob;
 
+    // Seed the cursor-term cache for the surviving lanes.
+    curNegMask_ = 0;
+    for (uint32_t m = liveMask_; m; m &= m - 1) {
+        const int l = std::countr_zero(m);
+        const Term &t = (*streams_[l].terms)[0];
+        curShift_[l] = t.shift;
+        if (t.neg)
+            curNegMask_ |= 1u << l;
+    }
+
     setCycles_ = 0;
     inSet_ = true;
 
@@ -289,13 +298,15 @@ FPRakerColumn::settleLane(int l, int thr)
         // mask algebra: only PEs that have neither consumed the term
         // nor dropped the stream still need an out-of-bounds verdict —
         // usually none, because settle runs right after the term fired
-        // everywhere it could.
+        // everywhere it could. Accumulator exponents are constant
+        // while settling, so they are read straight off the PEs.
         bool consumed = true;
         for (uint64_t m = peAll_ & ~obPes_[l] & ~firedPes_[l]; m;
              m &= m - 1) {
             const int r = std::countr_zero(m);
             PeState &pe = pes_[static_cast<size_t>(r)];
-            const int k = accExpScratch_[r] - pe.abExp[l] + shift;
+            const int k = pe.acc.chunkRegister().exponent() -
+                          pe.abExp[l] + shift;
             if (k > thr) {
                 // Terms stream MSB-first, so every remaining term of
                 // this pair is guaranteed out-of-bounds too.
@@ -328,6 +339,9 @@ FPRakerColumn::settleLane(int l, int thr)
             settleDirty_ = true;
             return;
         }
+        const Term &t = ts[s.cursor];
+        curShift_[l] = t.shift;
+        curNegMask_ = (curNegMask_ & ~bit) | (t.neg ? bit : 0u);
     }
 }
 
@@ -339,12 +353,6 @@ FPRakerColumn::settle(uint32_t mask)
         return;
     const int thr =
         cfg_.skipOutOfBounds ? cfg_.effectiveObThreshold() : INT_MAX;
-    for (int r = 0; r < numPes_; ++r) {
-        if ((retiredPeMask_ >> r) & 1u)
-            continue; // settleLane never reads a retired PE's exponent.
-        accExpScratch_[static_cast<size_t>(r)] =
-            pes_[static_cast<size_t>(r)].acc.chunkRegister().exponent();
-    }
     settleDirty_ = false;
     for (uint32_t m = mask; m; m &= m - 1)
         settleLane(std::countr_zero(m), thr);
@@ -400,15 +408,11 @@ FPRakerColumn::stepCycle()
     uint32_t firedUnion = 0;
     bool expMoved = false;
 
-    // Cursor terms are column-shared: snapshot them once per cycle.
-    int8_t shiftOf[kMaxLanes];
-    bool negOf[kMaxLanes];
-    for (uint32_t m = liveMask_; m; m &= m - 1) {
-        const int l = std::countr_zero(m);
-        const Term &t = (*streams_[l].terms)[streams_[l].cursor];
-        shiftOf[l] = t.shift;
-        negOf[l] = t.neg;
-    }
+    // Cursor terms are column-shared and cached (curShift_ /
+    // curNegMask_ track every cursor advance), so the per-cycle
+    // snapshot is free.
+    const int8_t *shiftOf = curShift_;
+    const uint32_t negMask = curNegMask_;
 
     const bool tracing = static_cast<bool>(trace_);
     for (int r = 0; r < numPes_; ++r) {
@@ -424,6 +428,29 @@ FPRakerColumn::stepCycle()
             pe.stats.laneNoTerm += static_cast<uint64_t>(activeLanes_);
             if (tracing)
                 emitTrace(r, acc_exp, 0, 0, 0, nullptr);
+            continue;
+        }
+
+        if (!tracing && (pend & (pend - 1)) == 0) {
+            // Single pending lane (the common tail-cycle shape): it is
+            // its own base shift, so it always fires, the adder tree
+            // reduces to the one contribution, and the stats collapse
+            // to constants — bit-identical to the general path below.
+            const int l = std::countr_zero(pend);
+            firedPes_[l] |= 1ull << r;
+            pe.firedMask |= pend;
+            const bool neg =
+                (((pe.prodNegMask ^ negMask) >> l) & 1u) != 0;
+            if (pe.bSig[l] != 0)
+                pe.acc.chunkRegister().addValue(
+                    neg, pe.abExp[l] - shiftOf[l] - 7, pe.bSig[l]);
+            pe.stats.laneUseful += 1;
+            pe.stats.termsProcessed += 1;
+            pe.stats.laneNoTerm +=
+                static_cast<uint64_t>(activeLanes_) - 1;
+            firedUnion |= pend;
+            if (pe.acc.chunkRegister().exponent() != acc_exp)
+                expMoved = true;
             continue;
         }
 
@@ -466,8 +493,7 @@ FPRakerColumn::stepCycle()
             const int l = std::countr_zero(m);
             firedPes_[l] |= 1ull << r;
             const int lsb = pe.abExp[l] - shiftOf[l] - 7;
-            const bool neg =
-                (((pe.prodNegMask >> l) & 1u) != 0) != negOf[l];
+            const bool neg = (((pe.prodNegMask ^ negMask) >> l) & 1u) != 0;
             if (exact_tree) {
                 const int64_t contrib =
                     static_cast<int64_t>(pe.bSig[l]) << (lsb - lsb_min);

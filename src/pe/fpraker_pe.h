@@ -208,6 +208,13 @@ class FPRakerColumn
     const TermLut *lut_;
     LaneStream streams_[kMaxLanes];
     /**
+     * Cursor-term cache: the shift and sign of each live lane's
+     * pending term, refreshed whenever a cursor advances. stepCycle
+     * reads these instead of chasing stream pointers every cycle.
+     */
+    int8_t curShift_[kMaxLanes] = {};
+    uint32_t curNegMask_ = 0;
+    /**
      * Transposed lane state: for lane l, the set of PEs (as bits) that
      * have fired its cursor term / dropped its stream. Kept in sync
      * with the per-PE firedMask/obMask so the settle fixpoint resolves
@@ -218,7 +225,6 @@ class FPRakerColumn
     uint64_t obPes_[kMaxLanes] = {};
     uint64_t peAll_ = 0; //!< Bit per PE.
     std::vector<PeState> pes_;
-    std::vector<int> accExpScratch_; //!< Per-PE exponent cache (settle).
     std::vector<int> retireCycle_;   //!< Cycle a PE fully retired at.
     std::function<void(const PeCycleTrace &)> trace_;
     uint32_t liveMask_ = 0; //!< Lanes whose stream is not exhausted.

@@ -65,6 +65,8 @@ struct PeConfig
     {
         return obThreshold >= 0 ? obThreshold : acc.fracBits;
     }
+
+    bool operator==(const PeConfig &) const = default;
 };
 
 /**

@@ -58,8 +58,15 @@ warmBdcCaches(SimEngine &engine, const std::vector<Job> &jobs)
 }
 
 SweepRunner::SweepRunner(int threads)
-    : engine_(threads)
+    : ownedEngine_(std::make_unique<SimEngine>(threads)),
+      engine_(ownedEngine_.get())
 {
+}
+
+SweepRunner::SweepRunner(SimEngine *shared)
+    : engine_(shared)
+{
+    panic_if(!shared, "borrowed engine must not be null");
 }
 
 SweepRunner::~SweepRunner() = default;
@@ -69,7 +76,7 @@ SweepRunner::addAccelerator(const AcceleratorConfig &cfg,
                             const EnergyModelConfig &ecfg)
 {
     accels_.push_back(
-        std::make_unique<Accelerator>(cfg, ecfg, &engine_));
+        std::make_unique<Accelerator>(cfg, ecfg, engine_));
     return *accels_.back();
 }
 
@@ -82,7 +89,7 @@ SweepRunner::runModels(const std::vector<SweepJob> &jobs)
     // the unit fan-out only reads them.
     for (const SweepJob &job : jobs)
         panic_if(!job.accel || !job.model, "incomplete sweep job");
-    warmBdcCaches(engine_, jobs);
+    warmBdcCaches(*engine_, jobs);
 
     struct Unit
     {
@@ -100,7 +107,7 @@ SweepRunner::runModels(const std::vector<SweepJob> &jobs)
     first[jobs.size()] = units.size();
 
     std::vector<LayerOpReport> results(units.size());
-    engine_.parallelFor(units.size(), [&](size_t i) {
+    engine_->parallelFor(units.size(), [&](size_t i) {
         const Unit &unit = units[i];
         const SweepJob &job = jobs[unit.job];
         results[i] = job.accel->runLayerOp(*job.model, *unit.u.layer,
@@ -128,9 +135,9 @@ SweepRunner::runLayerOps(const std::vector<SweepLayerJob> &jobs)
     for (const SweepLayerJob &job : jobs)
         panic_if(!job.accel || !job.model || !job.layer,
                  "incomplete sweep layer job");
-    warmBdcCaches(engine_, jobs);
+    warmBdcCaches(*engine_, jobs);
     std::vector<LayerOpReport> results(jobs.size());
-    engine_.parallelFor(jobs.size(), [&](size_t i) {
+    engine_->parallelFor(jobs.size(), [&](size_t i) {
         const SweepLayerJob &job = jobs[i];
         results[i] = job.accel->runLayerOp(*job.model, *job.layer,
                                            job.op, job.progress);
@@ -141,7 +148,7 @@ SweepRunner::runLayerOps(const std::vector<SweepLayerJob> &jobs)
 void
 SweepRunner::parallelFor(size_t n, const std::function<void(size_t)> &fn)
 {
-    engine_.parallelFor(n, fn);
+    engine_->parallelFor(n, fn);
 }
 
 } // namespace fpraker

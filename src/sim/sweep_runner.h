@@ -61,14 +61,24 @@ class SweepRunner
   public:
     /** @param threads worker count; 1 = serial, 0 = defaultThreads(). */
     explicit SweepRunner(int threads = 0);
+
+    /**
+     * Borrow @p shared as the engine instead of owning one. This is
+     * how `fpraker run --all` drives many concurrent experiments (each
+     * with its own Session/SweepRunner) through ONE worker pool: the
+     * experiments shard across the engine, and their inner fan-outs
+     * re-enter it (nested parallelFor degrades to inline execution).
+     * @p shared must outlive the runner.
+     */
+    explicit SweepRunner(SimEngine *shared);
     ~SweepRunner();
 
     SweepRunner(const SweepRunner &) = delete;
     SweepRunner &operator=(const SweepRunner &) = delete;
 
     /** The shared engine (for ad-hoc parallelFor use). */
-    SimEngine &engine() { return engine_; }
-    int threads() const { return engine_.threads(); }
+    SimEngine &engine() { return *engine_; }
+    int threads() const { return engine_->threads(); }
 
     /**
      * Build an accelerator variant bound to the shared engine and keep
@@ -97,7 +107,8 @@ class SweepRunner
     void parallelFor(size_t n, const std::function<void(size_t)> &fn);
 
   private:
-    SimEngine engine_;
+    std::unique_ptr<SimEngine> ownedEngine_; //!< Null when borrowing.
+    SimEngine *engine_;
     std::vector<std::unique_ptr<Accelerator>> accels_;
 };
 

@@ -1,0 +1,39 @@
+#include "sim/tile_pool.h"
+
+namespace fpraker {
+
+TilePool::Lease
+TilePool::acquire()
+{
+    std::unique_ptr<Scratch> scratch;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!free_.empty()) {
+            scratch = std::move(free_.back());
+            free_.pop_back();
+        } else {
+            ++built_;
+        }
+    }
+    if (!scratch)
+        scratch = std::make_unique<Scratch>(cfg_);
+    else
+        scratch->tile.resetForReuse();
+    return Lease(this, std::move(scratch));
+}
+
+void
+TilePool::release(std::unique_ptr<Scratch> scratch)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(scratch));
+}
+
+size_t
+TilePool::idle() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return free_.size();
+}
+
+} // namespace fpraker

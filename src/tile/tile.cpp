@@ -77,19 +77,20 @@ Tile::run(const TileStepView *steps, size_t n_steps, SimEngine *engine)
     // the PE's working registers, so broadcast of set s waits on
     // max_c start[c][s - depth]. With the paper's depth of one this
     // lets a fast column run exactly one set ahead of the slowest.
-    std::vector<uint64_t> finish(cols, 0);
-    std::vector<std::vector<uint64_t>> startHistory(
-        static_cast<size_t>(depth), std::vector<uint64_t>(cols, 0));
-    std::vector<uint64_t> waitTotal(cols, 0);
+    // The scratch lives in members (assign() re-zeroes without
+    // reallocating) so per-burst run() calls stay allocation-free.
+    finishScratch_.assign(cols, 0);
+    startScratch_.assign(static_cast<size_t>(depth) * cols, 0);
+    waitScratch_.assign(cols, 0);
+    uint64_t *finish = finishScratch_.data();
+    uint64_t *waitTotal = waitScratch_.data();
 
     for (size_t s = 0; s < n_steps; ++s) {
+        uint64_t *starts =
+            startScratch_.data() + (s % static_cast<size_t>(depth)) * cols;
         uint64_t avail = 0;
-        if (s >= static_cast<size_t>(depth)) {
-            const auto &old =
-                startHistory[s % static_cast<size_t>(depth)];
-            avail = *std::max_element(old.begin(), old.end());
-        }
-        auto &starts = startHistory[s % static_cast<size_t>(depth)];
+        if (s >= static_cast<size_t>(depth))
+            avail = *std::max_element(starts, starts + cols);
         for (size_t c = 0; c < cols; ++c) {
             uint64_t start = std::max(finish[c], avail);
             waitTotal[c] += start - finish[c];
@@ -106,7 +107,7 @@ Tile::run(const TileStepView *steps, size_t n_steps, SimEngine *engine)
             columns_[c]->chargeInterPeStall(
                 static_cast<int>(waitTotal[c]));
 
-    result.cycles = *std::max_element(finish.begin(), finish.end());
+    result.cycles = *std::max_element(finish, finish + cols);
     return result;
 }
 
@@ -155,44 +156,75 @@ BaselineTile::BaselineTile(const TileConfig &cfg)
 }
 
 TileRunResult
-BaselineTile::run(const std::vector<TileStep> &steps)
+BaselineTile::run(const std::vector<TileStep> &steps, SimEngine *engine)
 {
     const int lanes = cfg_.pe.lanes;
+    const size_t rows = static_cast<size_t>(cfg_.rows);
+    const size_t cols = static_cast<size_t>(cfg_.cols);
     TileRunResult result;
+    result.steps = steps.size();
+    result.macs = steps.size() * static_cast<uint64_t>(macsPerStep());
+    // Fully pipelined: one cycle per step.
+    result.cycles = result.steps;
+    if (steps.empty())
+        return result;
+
+    for (const TileStep &step : steps) {
+        panic_if(step.a.size() != cols * lanes, "bad a arity %zu",
+                 step.a.size());
+        panic_if(step.b.size() != rows * lanes, "bad b arity %zu",
+                 step.b.size());
+    }
+
     // Batched row walk: each A column vector is shared by every PE of
     // its column and each B row vector by every PE of its row, so the
     // operand decode (finite check, sign/exponent/significand split)
     // runs once per vector per step instead of once per PE — the grid
     // then consumes the rows x cols cross product of decoded vectors.
-    std::vector<DecodedOperands> da(static_cast<size_t>(cfg_.cols));
-    std::vector<DecodedOperands> db(static_cast<size_t>(cfg_.rows));
-    for (const TileStep &step : steps) {
-        panic_if(step.a.size() !=
-                     static_cast<size_t>(cfg_.cols) * lanes,
-                 "bad a arity %zu", step.a.size());
-        panic_if(step.b.size() !=
-                     static_cast<size_t>(cfg_.rows) * lanes,
-                 "bad b arity %zu", step.b.size());
-        for (int c = 0; c < cfg_.cols; ++c)
-            BaselinePe::decode(
-                step.a.data() + static_cast<size_t>(c) * lanes, lanes,
-                da[static_cast<size_t>(c)]);
-        for (int r = 0; r < cfg_.rows; ++r)
-            BaselinePe::decode(
-                step.b.data() + static_cast<size_t>(r) * lanes, lanes,
-                db[static_cast<size_t>(r)]);
-        for (int r = 0; r < cfg_.rows; ++r) {
-            for (int c = 0; c < cfg_.cols; ++c) {
-                pes_[static_cast<size_t>(r) * cfg_.cols + c]
-                    .processDecoded(da[static_cast<size_t>(c)],
-                                    db[static_cast<size_t>(r)]);
-            }
-        }
-        result.steps += 1;
-        result.macs += static_cast<uint64_t>(macsPerStep());
+    //
+    // With a multi-thread engine the whole batch pre-decodes up front
+    // (itself sharded over the steps) and then the PE rows shard: a
+    // PE's accumulator/stats are only touched by its own row's worker,
+    // in step order, so the result is bit-identical to the serial
+    // walk. Serially, decode stays interleaved per step (better cache
+    // reuse than a whole-batch decode pass).
+    const bool shard_rows =
+        engine && engine->threads() > 1 && rows > 1;
+    if (shard_rows) {
+        std::vector<DecodedOperands> da(steps.size() * cols);
+        std::vector<DecodedOperands> db(steps.size() * rows);
+        engine->parallelFor(steps.size(), [&](size_t s) {
+            const TileStep &step = steps[s];
+            for (size_t c = 0; c < cols; ++c)
+                BaselinePe::decode(step.a.data() + c * lanes, lanes,
+                                   da[s * cols + c]);
+            for (size_t r = 0; r < rows; ++r)
+                BaselinePe::decode(step.b.data() + r * lanes, lanes,
+                                   db[s * rows + r]);
+        });
+        engine->parallelFor(rows, [&](size_t r) {
+            BaselinePe *row_pes = pes_.data() + r * cols;
+            for (size_t s = 0; s < steps.size(); ++s)
+                for (size_t c = 0; c < cols; ++c)
+                    row_pes[c].processDecoded(da[s * cols + c],
+                                              db[s * rows + r]);
+        });
+        return result;
     }
-    // Fully pipelined: one cycle per step.
-    result.cycles = result.steps;
+
+    std::vector<DecodedOperands> da(cols);
+    std::vector<DecodedOperands> db(rows);
+    for (const TileStep &step : steps) {
+        for (size_t c = 0; c < cols; ++c)
+            BaselinePe::decode(step.a.data() + c * lanes, lanes,
+                               da[c]);
+        for (size_t r = 0; r < rows; ++r)
+            BaselinePe::decode(step.b.data() + r * lanes, lanes,
+                               db[r]);
+        for (size_t r = 0; r < rows; ++r)
+            for (size_t c = 0; c < cols; ++c)
+                pes_[r * cols + c].processDecoded(da[c], db[r]);
+    }
     return result;
 }
 

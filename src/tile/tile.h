@@ -52,6 +52,8 @@ struct TileConfig
     int rows = 8;        //!< PEs per column (share the column's A stream).
     int cols = 8;        //!< Columns (each with its own A stream).
     int bufferDepth = 1; //!< B-set run-ahead depth (paper: one set).
+
+    bool operator==(const TileConfig &) const = default;
 };
 
 /**
@@ -113,6 +115,18 @@ class Tile
     /** Reset all PE accumulators (new output block). */
     void resetAccumulators();
 
+    /**
+     * Restore like-new state (accumulators + statistics), so a pooled
+     * tile behaves bit-identically to a freshly constructed one (all
+     * remaining per-set state is rebuilt by the next run).
+     */
+    void
+    resetForReuse()
+    {
+        resetAccumulators();
+        clearStats();
+    }
+
     /** Tile-aggregate PE statistics. */
     PeStats aggregateStats() const;
 
@@ -134,6 +148,11 @@ class Tile
     TileConfig cfg_;
     std::vector<std::unique_ptr<FPRakerColumn>> columns_;
     std::vector<int> cycleScratch_; //!< Phase-A cycles, [c * steps + s].
+    // Phase-B recurrence scratch, members so repeated run() calls
+    // (one per phase burst) stay allocation-free.
+    std::vector<uint64_t> finishScratch_; //!< Per-column finish time.
+    std::vector<uint64_t> startScratch_;  //!< [s % depth][c], flat.
+    std::vector<uint64_t> waitScratch_;   //!< Per-column stall total.
 };
 
 /**
@@ -145,7 +164,16 @@ class BaselineTile
   public:
     explicit BaselineTile(const TileConfig &cfg);
 
-    TileRunResult run(const std::vector<TileStep> &steps);
+    /**
+     * Process a step sequence. When @p engine carries more than one
+     * thread the PE rows shard across it: the batch's operand vectors
+     * are pre-decoded once (steps x (rows + cols) decodes, each
+     * sharded too), then each row's PEs walk the whole batch
+     * independently — bit-identical to the serial walk because a PE
+     * is only ever touched by its own row's worker, in step order.
+     */
+    TileRunResult run(const std::vector<TileStep> &steps,
+                      SimEngine *engine = nullptr);
 
     float output(int r, int c) const;
     void resetAccumulators();

@@ -4,9 +4,31 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "numeric/slab_ops.h"
 #include "numeric/term_lut.h"
 
 namespace fpraker {
+
+namespace {
+
+/**
+ * Exact integer threshold for Rng::bernoulli(p): uniform() maps the
+ * raw 53-bit draw u to u * 2^-53 (an exact double), so u * 2^-53 < p
+ * iff u < ceil(p * 2^53). The product p * 2^53 only rescales the
+ * exponent, hence is itself exact, making the integer compare
+ * bit-equivalent to the floating compare for every p.
+ */
+uint64_t
+bernoulliThreshold(double p)
+{
+    if (p <= 0.0)
+        return 0;
+    if (p >= 1.0)
+        return 1ull << 53;
+    return static_cast<uint64_t>(std::ceil(p * 0x1.0p53));
+}
+
+} // namespace
 
 TensorGenerator::TensorGenerator(const ValueProfile &profile, uint64_t seed)
     : profile_(profile), rng_(seed), inZeroRun_(false),
@@ -43,6 +65,13 @@ TensorGenerator::TensorGenerator(const ValueProfile &profile, uint64_t seed)
         // Start in the stationary distribution.
         inZeroRun_ = rng_.bernoulli(s);
     }
+
+    thrEnterZero_ = bernoulliThreshold(pEnterZero_);
+    thrExitZero_ = bernoulliThreshold(pExitZero_);
+    thrBit_ = bernoulliThreshold(profile_.bitDensity);
+    arRho_ = std::clamp(profile_.expCorr, 0.0, 0.999);
+    arInnovScale_ =
+        profile_.expSigma * std::sqrt(1.0 - arRho_ * arRho_);
 }
 
 BFloat16
@@ -92,10 +121,76 @@ TensorGenerator::generate(size_t n)
 }
 
 void
-TensorGenerator::fill(BFloat16 *out, size_t n)
+TensorGenerator::fillScalar(BFloat16 *out, size_t n)
 {
     for (size_t i = 0; i < n; ++i)
         out[i] = next();
+}
+
+void
+TensorGenerator::fill(BFloat16 *out, size_t n)
+{
+    // The batched walk consumes the RNG stream draw-for-draw like
+    // next(): one transition draw per value, then (non-zero values
+    // only) the Gaussian draws, mantissaBits mantissa draws, and the
+    // sign draw. Only the arithmetic around the draws changes — every
+    // Bernoulli is an exact integer threshold compare and the staged
+    // field planes are packed to bit patterns by SIMD — so the output
+    // slab is bit-identical to the scalar walk.
+    constexpr size_t kBlock = 256;
+    int16_t exp_plane[kBlock];
+    uint8_t man_plane[kBlock];
+    uint8_t neg_plane[kBlock];
+    const int b = profile_.mantissaBits;
+    const double mu = profile_.expMu;
+    const double sigma = profile_.expSigma;
+    constexpr uint64_t thr_half = 1ull << 52; // bernoulli(0.5)
+
+    size_t done = 0;
+    while (done < n) {
+        const size_t block = std::min(kBlock, n - done);
+        for (size_t i = 0; i < block; ++i) {
+            const uint64_t u = rng_.next() >> 11;
+            if (inZeroRun_) {
+                if (u < thrExitZero_)
+                    inZeroRun_ = false;
+            } else if (u < thrEnterZero_) {
+                inZeroRun_ = true;
+            }
+            if (inZeroRun_) {
+                exp_plane[i] = 0;
+                man_plane[i] = 0;
+                neg_plane[i] = 0;
+                continue;
+            }
+
+            // Mirror next() draw-for-draw: the innovation Gaussian is
+            // consumed even for the first value (whose ternary then
+            // draws a second, unconditioned Gaussian).
+            const double innovation = arInnovScale_ * rng_.gaussian();
+            const double e = havePrevExp_
+                                 ? mu + arRho_ * (prevExp_ - mu) +
+                                       innovation
+                                 : mu + sigma * rng_.gaussian();
+            prevExp_ = e;
+            havePrevExp_ = true;
+            int exp_i = static_cast<int>(std::lround(e));
+            exp_i = std::clamp(exp_i, -126, 127);
+
+            int mantissa = 0;
+            for (int bit = 0; bit < b; ++bit)
+                if ((rng_.next() >> 11) < thrBit_)
+                    mantissa |= 1 << (6 - bit);
+
+            exp_plane[i] =
+                static_cast<int16_t>(exp_i + BFloat16::kBias);
+            man_plane[i] = static_cast<uint8_t>(mantissa);
+            neg_plane[i] = (rng_.next() >> 11) < thr_half ? 1 : 0;
+        }
+        slab::packBf16(exp_plane, man_plane, neg_plane, block,
+                       out + done);
+        done += block;
+    }
 }
 
 TensorStats
@@ -104,15 +199,8 @@ measureTensor(const BFloat16 *values, size_t n, TermEncoding encoding)
     const TermLut &lut = TermLut::of(encoding);
     TensorStats stats;
     stats.values = n;
-    for (size_t i = 0; i < n; ++i) {
-        const BFloat16 v = values[i];
-        if (v.isZero()) {
-            stats.zeros += 1;
-            continue;
-        }
-        stats.terms +=
-            static_cast<uint64_t>(lut.countTerms(v.significand()));
-    }
+    slab::countTerms(values, n, lut.countsTable(), &stats.zeros,
+                     &stats.terms);
     return stats;
 }
 

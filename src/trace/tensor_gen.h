@@ -8,6 +8,19 @@
  * are uniform over the configured number of active bits. Streams are
  * deterministic given a seed. This is the offline substitute for the
  * paper's captured PyTorch training tensors.
+ *
+ * Two generation paths produce bit-identical streams:
+ *
+ *  - next() / fillScalar() — the value-at-a-time reference walk;
+ *  - fill() / generate() — the batched slab path: the RNG walk stays
+ *    scalar (it is inherently serial) but every Bernoulli draw becomes
+ *    one integer threshold compare (ceil(p * 2^53) is exact, so the
+ *    outcome equals the uniform() < p compare bit for bit), the AR(1)
+ *    innovation scale is hoisted out of the loop, and the staged
+ *    sign/exponent/mantissa planes are packed into bfloat16 bit
+ *    patterns 8/16 values at a time (numeric/slab_ops.h).
+ *
+ * tests/test_fastpath.cpp fuzzes the two paths against each other.
  */
 
 #ifndef FPRAKER_TRACE_TENSOR_GEN_H
@@ -28,14 +41,21 @@ class TensorGenerator
   public:
     TensorGenerator(const ValueProfile &profile, uint64_t seed);
 
-    /** Next value in the stream. */
+    /** Next value in the stream (scalar reference path). */
     BFloat16 next();
 
-    /** Generate @p n values. */
+    /** Generate @p n values (batched slab path). */
     std::vector<BFloat16> generate(size_t n);
 
-    /** Fill an existing buffer. */
+    /** Fill an existing buffer via the batched slab path. */
     void fill(BFloat16 *out, size_t n);
+
+    /**
+     * Fill via the value-at-a-time reference walk. Bit-identical to
+     * fill(); kept callable for the differential fuzz tests and the
+     * perf_regression generation benchmark.
+     */
+    void fillScalar(BFloat16 *out, size_t n);
 
     const ValueProfile &profile() const { return profile_; }
 
@@ -47,6 +67,13 @@ class TensorGenerator
     double prevExp_;
     double pEnterZero_;
     double pExitZero_;
+    // Batched-path constants, fixed at construction: exact integer
+    // Bernoulli thresholds and the hoisted AR(1) innovation scale.
+    uint64_t thrEnterZero_ = 0;
+    uint64_t thrExitZero_ = 0;
+    uint64_t thrBit_ = 0;
+    double arRho_ = 0.0;
+    double arInnovScale_ = 0.0;
 };
 
 /** Measured statistics of a value stream (for Fig. 1-style reporting). */

@@ -351,5 +351,54 @@ TEST(SweepRunner, ShardedWarmupMatchesSerialWarmup)
     EXPECT_EQ(fingerprint(reports[1]), want);
 }
 
+TEST(RunAll, ParallelExperimentsFingerprintMatchSerial)
+{
+    // The `run --all` scheduler runs each experiment in its own
+    // Session borrowing one shared engine. A document's fingerprint
+    // must not depend on that: serial dedicated-session runs and
+    // engine-sharing concurrent runs agree experiment by experiment.
+    const std::vector<std::string> ids = {"fig01", "fig02", "fig13"};
+    const ExperimentRegistry &reg = ExperimentRegistry::instance();
+
+    std::vector<uint64_t> serial_fp;
+    for (const std::string &id : ids) {
+        const api::ExperimentInfo *info = reg.find(id);
+        ASSERT_NE(info, nullptr) << id;
+        Session session;
+        session.overrideSampleSteps(16);
+        Result r = info->fn(session);
+        r.experiment = info->id;
+        serial_fp.push_back(r.fingerprint());
+    }
+
+    SimEngine engine(2);
+    std::vector<uint64_t> parallel_fp(ids.size());
+    engine.parallelFor(ids.size(), [&](size_t i) {
+        const api::ExperimentInfo *info = reg.find(ids[i]);
+        Session session;
+        session.shareEngine(&engine);
+        session.overrideSampleSteps(16);
+        Result r = info->fn(session);
+        r.experiment = info->id;
+        parallel_fp[i] = r.fingerprint();
+    });
+
+    for (size_t i = 0; i < ids.size(); ++i)
+        EXPECT_EQ(serial_fp[i], parallel_fp[i]) << ids[i];
+}
+
+TEST(Session, SharedEngineProvidesPoolButKeepsThreadsKnob)
+{
+    SimEngine engine(2);
+    Session session;
+    session.shareEngine(&engine);
+    session.threads(5);
+    // The shared engine wins for the pool; the explicit knob stays
+    // visible for experiments that drive their own engines.
+    EXPECT_EQ(2, session.threadCount());
+    EXPECT_TRUE(session.threadsExplicit());
+    EXPECT_EQ(5, session.requestedThreads());
+}
+
 } // namespace
 } // namespace fpraker
