@@ -5,9 +5,10 @@ too far below the committed BENCH_PR<N>.json trajectory point.
     scripts/check_perf_floor.py BENCH_PR4.json fresh.json [tolerance]
 
 Compares the kernel serial throughput, the sweep best throughput (the
-numbers each perf PR must advance), and the batched generation
-throughput. ``tolerance`` is the allowed fractional shortfall
-(default 0.20).
+numbers each perf PR must advance), the batched generation
+throughput, and — when both documents carry a ``serving`` section
+(BENCH_PR5+) — the hot-path (cache-served) request throughput.
+``tolerance`` is the allowed fractional shortfall (default 0.20).
 
 The committed file and the CI runner are different machines, so each
 comparison is normalized by a reference path measured in the SAME run
@@ -33,6 +34,10 @@ KEYS = [
      "tile_kernel", "sets_per_sec_seed"),
     ("generation", "values_per_sec_batched",
      "generation", "values_per_sec_scalar"),
+    # Serving hot path, normalized by the cold (simulating) path of
+    # the same run: only the cache's advantage regressing trips it.
+    ("serving", "requests_per_sec_hot",
+     "serving", "requests_per_sec_cold"),
 ]
 
 
@@ -48,6 +53,12 @@ def main(argv):
 
     status = 0
     for group, key, rgroup, rkey in KEYS:
+        if group == "serving" and "serving" not in committed:
+            # Pre-PR5 trajectory files have no serving section; the
+            # gate only applies once the baseline carries one.
+            print(f"{group}.{key}: skipped (no serving section in "
+                  f"the committed baseline)")
+            continue
         values = [committed.get(group, {}).get(key),
                   fresh.get(group, {}).get(key),
                   committed.get(rgroup, {}).get(rkey),

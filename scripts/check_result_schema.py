@@ -70,6 +70,10 @@ def validate(path, doc, errors):
         if not isinstance(variants, list) or not all(
                 isinstance(v, str) for v in variants):
             _fail(path, errors, "provenance.variants not a string list")
+        cached = prov.get("cached")
+        if not isinstance(cached, bool):
+            _fail(path, errors,
+                  f"provenance.cached not a boolean: {cached!r}")
 
     scalars = doc.get("scalars")
     if not isinstance(scalars, dict):

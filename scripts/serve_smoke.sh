@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Serve-layer smoke: start fprakerd on a temp socket, submit
+# experiments over the wire (one twice, proving a cache hit via both
+# the submit summary and the stats counters), check that served
+# documents are schema-valid fpraker-result-v1 and
+# fingerprint-identical to direct `fpraker run` output, then shut the
+# daemon down and fail if it leaks or hangs.
+#
+#   scripts/serve_smoke.sh [build-dir]     (default: build)
+#
+# FPRAKER_SAMPLE_STEPS (default 8 here) keeps the simulations small;
+# the script exercises the serving path, not the figures.
+set -euo pipefail
+
+bdir="${1:-build}"
+work="$(mktemp -d)"
+sock="$work/fprakerd.sock"
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+export FPRAKER_SAMPLE_STEPS="${FPRAKER_SAMPLE_STEPS:-8}"
+
+"$bdir"/fprakerd --socket="$sock" --workers=2 \
+    --cache-dir="$work/cache" > "$work/daemon.log" 2>&1 &
+daemon_pid=$!
+
+for _ in $(seq 1 100); do
+    [ -S "$sock" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if ! [ -S "$sock" ]; then
+    echo "FAIL: daemon did not come up"
+    cat "$work/daemon.log"
+    exit 1
+fi
+
+mkdir -p "$work/served" "$work/direct" "$work/hot"
+"$bdir"/fpraker submit fig02 --socket="$sock" \
+    --json="$work/served/fig02.json"
+"$bdir"/fpraker submit fig01 --socket="$sock" \
+    --json="$work/served/fig01.json"
+
+# The repeat submit must be served from the cache, not re-simulated.
+"$bdir"/fpraker submit fig02 --socket="$sock" \
+    --json="$work/hot/fig02.json" | tee "$work/hot.out"
+grep -q "cached=true" "$work/hot.out" || {
+    echo "FAIL: repeat submit was not served from the cache"
+    exit 1
+}
+
+"$bdir"/fpraker stats --socket="$sock" | tee "$work/stats.out"
+grep -q '"cache_served": 1' "$work/stats.out" || {
+    echo "FAIL: stats do not show the cache-served job"
+    exit 1
+}
+grep -q '"executed": 2' "$work/stats.out" || {
+    echo "FAIL: stats should show exactly 2 simulations for 3 submits"
+    exit 1
+}
+
+# Served documents are schema-valid ...
+python3 scripts/check_result_schema.py "$work"/served/*.json \
+    "$work"/hot/*.json
+
+# ... and fingerprint-identical to direct `fpraker run` output, on
+# both the cold and the cache-served path.
+"$bdir"/fpraker run fig01 --json="$work/direct/fig01.json" > /dev/null
+"$bdir"/fpraker run fig02 --json="$work/direct/fig02.json" > /dev/null
+python3 scripts/check_fingerprints.py "$work/served" "$work/direct"
+python3 - "$work/hot/fig02.json" "$work/direct/fig02.json" <<'EOF'
+import json, sys
+hot = json.load(open(sys.argv[1]))
+direct = json.load(open(sys.argv[2]))
+assert hot["provenance"]["cached"] is True, "hot doc not marked cached"
+assert hot["fingerprint"] == direct["fingerprint"], \
+    f'hot fingerprint {hot["fingerprint"]} != direct {direct["fingerprint"]}'
+print("cache-served document fingerprint matches the direct run")
+EOF
+
+"$bdir"/fpraker shutdown --socket="$sock"
+for _ in $(seq 1 100); do
+    kill -0 "$daemon_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$daemon_pid" 2>/dev/null; then
+    echo "FAIL: daemon still running 10s after shutdown"
+    exit 1
+fi
+rc=0
+wait "$daemon_pid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "FAIL: daemon exited with status $rc"
+    exit 1
+fi
+if [ -S "$sock" ]; then
+    echo "FAIL: daemon leaked its socket file"
+    exit 1
+fi
+daemon_pid=""
+echo "serve smoke OK"

@@ -6,6 +6,7 @@
 #include <filesystem>
 
 #include "common/logging.h"
+#include "serve/serve_cli.h"
 
 namespace fpraker {
 namespace api {
@@ -23,6 +24,20 @@ printUsage(FILE *to, const char *prog)
         "  list                 list the registered experiments\n"
         "  run <id>...          run one or more experiments\n"
         "  run --all            run every registered experiment\n"
+        "  serve                run the fprakerd daemon (see\n"
+        "                       docs/SERVING.md; also the fprakerd\n"
+        "                       binary): --socket= --threads=\n"
+        "                       --workers= --cache-bytes= --cache-dir=\n"
+        "  submit <id>          submit an experiment to the daemon\n"
+        "                       and await its document (--socket=\n"
+        "                       --json= --priority= --no-wait + run\n"
+        "                       knobs)\n"
+        "  status <job>         poll a job submitted with --no-wait\n"
+        "  result <job>         fetch (blocking) a job's document\n"
+        "                       (--socket= --json=)\n"
+        "  stats                print the daemon's scheduler/cache\n"
+        "                       counters (--socket=)\n"
+        "  shutdown             stop the daemon (--socket=)\n"
         "  help                 show this text\n"
         "\n"
         "options:\n"
@@ -134,9 +149,9 @@ parseCliArgs(int argc, char **argv, int first, bool allow_positionals,
     return true;
 }
 
-ExperimentOutcome
-runExperimentBuffered(const ExperimentInfo &info, const CliOptions &opts,
-                      SimEngine *shared)
+Result
+produceResult(const ExperimentInfo &info, const CliOptions &opts,
+              SimEngine *shared)
 {
     Session session;
     if (shared)
@@ -164,6 +179,14 @@ runExperimentBuffered(const ExperimentInfo &info, const CliOptions &opts,
     if (result.sampleSteps == 0)
         result.sampleSteps = session.lastSampleSteps();
     result.variants = session.variantNames();
+    return result;
+}
+
+ExperimentOutcome
+runExperimentBuffered(const ExperimentInfo &info, const CliOptions &opts,
+                      SimEngine *shared)
+{
+    Result result = produceResult(info, opts, shared);
 
     ExperimentOutcome out;
     out.text = ReportWriter::renderText(result);
@@ -354,6 +377,19 @@ cliMain(int argc, char **argv)
         }
         return status;
     }
+
+    if (command == "serve")
+        return serve::serveMain(argc, argv, 2);
+    if (command == "submit")
+        return serve::submitMain(argc, argv, 2);
+    if (command == "status")
+        return serve::statusMain(argc, argv, 2);
+    if (command == "result")
+        return serve::resultMain(argc, argv, 2);
+    if (command == "stats")
+        return serve::statsMain(argc, argv, 2);
+    if (command == "shutdown")
+        return serve::shutdownMain(argc, argv, 2);
 
     std::fprintf(stderr, "%s: unknown command '%s'\n", prog,
                  command.c_str());

@@ -43,6 +43,17 @@ bool parseCliArgs(int argc, char **argv, int first,
                   bool allow_positionals, CliOptions *opts,
                   std::string *error);
 
+/**
+ * Run one registered experiment under a fresh Session configured from
+ * @p opts and return the finished Result (identity and provenance
+ * filled), without rendering or writing anything. This is the
+ * execution core shared by the CLI paths below and the serve layer's
+ * JobScheduler (src/serve/scheduler.h). When @p shared is non-null
+ * the session borrows it as its worker pool.
+ */
+Result produceResult(const ExperimentInfo &info, const CliOptions &opts,
+                     SimEngine *shared);
+
 /** Buffered outcome of one experiment run. */
 struct ExperimentOutcome
 {

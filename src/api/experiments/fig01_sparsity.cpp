@@ -67,6 +67,8 @@ REGISTER_EXPERIMENT("fig01", "Fig. 1",
                                 "Gradient"});
     b.caption =
         "(b) term sparsity (canonical encoding, 8 slots/value)";
+    std::vector<std::string> labels;
+    std::vector<double> value_sp[3], term_sp[3];
     for (size_t m = 0; m < modelZoo().size(); ++m) {
         const ModelInfo &model = modelZoo()[m];
         const ModelSparsity &s = sparsity[m];
@@ -78,7 +80,20 @@ REGISTER_EXPERIMENT("fig01", "Fig. 1",
                   Table::pct(s.stats[0].termSparsity()),
                   Table::pct(s.stats[1].termSparsity()),
                   Table::pct(s.stats[2].termSparsity())});
+        labels.push_back(model.name);
+        for (int k = 0; k < 3; ++k) {
+            value_sp[k].push_back(s.stats[k].valueSparsity());
+            term_sp[k].push_back(s.stats[k].termSparsity());
+        }
     }
+    static const char *kKindSlug[3] = {"activation", "weight",
+                                       "gradient"};
+    for (int k = 0; k < 3; ++k)
+        res.addSeries(std::string("value_sparsity_") + kKindSlug[k],
+                      labels, value_sp[k]);
+    for (int k = 0; k < 3; ++k)
+        res.addSeries(std::string("term_sparsity_") + kKindSlug[k],
+                      labels, term_sp[k]);
     return res;
 }
 

@@ -56,12 +56,21 @@ REGISTER_EXPERIMENT("fig02", "Fig. 2",
     Result res;
     ResultTable &t =
         res.table("potential", {"model", "AxG", "GxW", "AxW"});
+    std::vector<std::string> labels;
+    std::vector<double> axg, gxw, axw;
     for (size_t m = 0; m < modelZoo().size(); ++m) {
         t.addRow({modelZoo()[m].name,
                   Table::cell(potentials[3 * m], 1),
                   Table::cell(potentials[3 * m + 1], 1),
                   Table::cell(potentials[3 * m + 2], 1)});
+        labels.push_back(modelZoo()[m].name);
+        axg.push_back(potentials[3 * m]);
+        gxw.push_back(potentials[3 * m + 1]);
+        axw.push_back(potentials[3 * m + 2]);
     }
+    res.addSeries("potential_axg", labels, axg);
+    res.addSeries("potential_gxw", labels, gxw);
+    res.addSeries("potential_axw", labels, axw);
     return res;
 }
 

@@ -56,16 +56,27 @@ addHistogram(Result &res, const std::string &slug, const HistData &h,
                   "%s (training progress %.0f%%)", label,
                   progress * 100.0);
     t.caption = caption;
+    std::vector<std::string> labels;
+    std::vector<double> shares[3];
     for (int bin = -32; bin <= 8; bin += 4) {
         auto share = [&](int k) {
             auto it = h.hist[k].find(bin);
             double v = it == h.hist[k].end() ? 0.0 : it->second;
-            return Table::pct(v / static_cast<double>(h.counts[k]));
+            return v / static_cast<double>(h.counts[k]);
         };
         t.addRow({"[" + std::to_string(bin) + "," +
                       std::to_string(bin + 3) + "]",
-                  share(0), share(1), share(2)});
+                  Table::pct(share(0)), Table::pct(share(1)),
+                  Table::pct(share(2))});
+        labels.push_back("[" + std::to_string(bin) + "," +
+                         std::to_string(bin + 3) + "]");
+        for (int k = 0; k < 3; ++k)
+            shares[k].push_back(share(k));
     }
+    static const char *kKindSlug[3] = {"activation", "weight",
+                                       "gradient"};
+    for (int k = 0; k < 3; ++k)
+        res.addSeries(slug + "_" + kKindSlug[k], labels, shares[k]);
 }
 
 REGISTER_EXPERIMENT("fig06", "Fig. 6",

@@ -1,7 +1,7 @@
 /**
  * @file
  * Perf-regression experiment: times fixed, seeded workloads on the
- * cycle-level simulator and emits BENCH_PR4.json, extending the
+ * cycle-level simulator and emits BENCH_PR5.json, extending the
  * BENCH_PR<N>.json trajectory each perf PR must beat
  * (docs/PERFORMANCE.md explains how to read and append it).
  *
@@ -27,6 +27,11 @@
  *  - baseline_tile — the functional bit-parallel tile's batched row
  *    walk, serial vs PE rows sharded across an engine, with output
  *    digests that must match.
+ *  - serving — the PR 5 serving layer (src/serve/): a cold/hot
+ *    request replay against an in-process JobScheduler, reporting
+ *    requests/s on both paths, hot p50/p99 latency, and the cache
+ *    hit rate (scripts/check_perf_floor.py gates the hot/cold
+ *    ratio).
  *
  * The experiment refuses to report a speedup over diverging runs
  * (Result::ok goes false, exit status 1). Because the document
@@ -51,7 +56,10 @@
 #include <thread>
 
 #include "api/api.h"
+#include "common/clock.h"
+#include "common/fnv.h"
 #include "numeric/slab_ops.h"
+#include "serve/throughput.h"
 #include "numeric/term_lut.h"
 #include "sim/reference_column.h"
 #include "trace/rng_stream.h"
@@ -62,30 +70,17 @@ namespace {
 
 using namespace api;
 
-/** FNV-1a over raw bytes; order-sensitive, so layouts must match. */
+/**
+ * Raw (separator-free) FNV-1a over native value bytes — the framing
+ * bench/SMOKE_BASELINE.json pins, now layered on common/fnv.h.
+ */
 class Checksum
 {
   public:
-    void
-    addBytes(const void *data, size_t n)
-    {
-        const unsigned char *p = static_cast<const unsigned char *>(data);
-        for (size_t i = 0; i < n; ++i) {
-            hash_ ^= p[i];
-            hash_ *= 0x100000001b3ull;
-        }
-    }
-
-    void add(uint64_t v) { addBytes(&v, sizeof(v)); }
-    void add(double v) { addBytes(&v, sizeof(v)); }
-
-    void
-    add(float v)
-    {
-        uint32_t bits;
-        std::memcpy(&bits, &v, sizeof(bits));
-        addBytes(&bits, sizeof(bits));
-    }
+    void addBytes(const void *data, size_t n) { h_.addBytes(data, n); }
+    void add(uint64_t v) { h_.addRaw(v); }
+    void add(double v) { h_.addRaw(v); }
+    void add(float v) { h_.addRaw(v); }
 
     void
     add(const PeStats &s)
@@ -103,19 +98,16 @@ class Checksum
         add(s.termsObSkipped);
     }
 
-    uint64_t value() const { return hash_; }
+    uint64_t value() const { return h_.value(); }
 
   private:
-    uint64_t hash_ = 0xcbf29ce484222325ull;
+    Fnv64 h_;
 };
 
 double
 now()
 {
-    using clock = std::chrono::steady_clock;
-    return std::chrono::duration<double>(
-               clock::now().time_since_epoch())
-        .count();
+    return monotonicSeconds();
 }
 
 std::string
@@ -251,7 +243,7 @@ reportChecksum(const ModelRunReport &r)
     return sum.value();
 }
 
-REGISTER_EXPERIMENT("perf_regression", "PR4",
+REGISTER_EXPERIMENT("perf_regression", "Perf",
                     "perf regression: wall-clock trajectory "
                     "(BENCH_PR<N>.json) + determinism gate",
                     "kernel, sweep, and generation throughput no "
@@ -268,7 +260,7 @@ REGISTER_EXPERIMENT("perf_regression", "PR4",
         session.intOption("steps", session.sampleSteps(4096));
     const int reps = session.intOption("reps", 3);
     const std::string out_path =
-        session.strOption("out", "BENCH_PR4.json");
+        session.strOption("out", "BENCH_PR5.json");
 
     const char *model_name = "ResNet18-Q";
     const ModelInfo &model = findModel(model_name);
@@ -555,10 +547,40 @@ REGISTER_EXPERIMENT("perf_regression", "PR4",
                                  0),
                      hex16(base_shard_t.checksum)});
 
+    // Serving layer: cold/hot request replay against an in-process
+    // JobScheduler (the PR 5 tentpole). Small spec budgets keep the
+    // cold phase comparable across hosts; the hot path never touches
+    // the engine.
+    serve::ThroughputOptions serve_opts;
+    serve_opts.engineThreads = 1;
+    serve_opts.workers = 2;
+    serve_opts.hotRequests = 200;
+    serve_opts.sampleStepsBase = 12;
+    serve::ThroughputReport serve_r =
+        serve::measureServeThroughput(serve_opts);
+    bool serve_identical =
+        serve_r.deterministic && serve_r.allHotCached;
+
+    std::snprintf(caption, sizeof(caption),
+                  "serving: %d cold specs, %d hot requests "
+                  "(scheduler workers=%d)",
+                  serve_opts.distinctSpecs, serve_opts.hotRequests,
+                  serve_opts.workers);
+    ResultTable &sv = res.table(
+        "serving", {"path", "requests", "seconds", "req/s"});
+    sv.caption = caption;
+    sv.addRow({"cold (simulate)",
+               std::to_string(serve_opts.distinctSpecs),
+               Table::cell(serve_r.coldSeconds, 4),
+               Table::cell(serve_r.coldRps, 1)});
+    sv.addRow({"hot (cache)", std::to_string(serve_opts.hotRequests),
+               Table::cell(serve_r.hotSeconds, 4),
+               Table::cell(serve_r.hotRps, 1)});
+
     bool all_identical = deterministic_reps && tile_identical &&
                          sweep_identical && model_identical &&
                          gen_identical && count_identical &&
-                         base_identical;
+                         base_identical && serve_identical;
     res.note(std::string("bit-identical: ") +
              (all_identical ? "yes" : "NO — REGRESSION"));
     if (!all_identical)
@@ -651,6 +673,7 @@ REGISTER_EXPERIMENT("perf_regression", "PR4",
         .metric("digest_serial", hex16(base_serial_t.checksum))
         .metric("digest_sharded", hex16(base_shard_t.checksum))
         .metric("bit_identical", base_identical);
+    serve::addServingGroup(res, serve_opts, serve_r);
     res.group("host")
         .metric("hardware_concurrency", static_cast<int64_t>(hc))
         .metric("single_cpu_caveat", hc <= 1);
@@ -672,6 +695,7 @@ REGISTER_EXPERIMENT("perf_regression", "PR4",
     fp.add(count_simd_t.checksum);
     fp.add(base_serial_t.checksum);
     fp.add(base_shard_t.checksum);
+    fp.add(serve_r.digest);
     fp.add(static_cast<uint64_t>(all_identical ? 1 : 0));
     res.setFingerprint(fp.value());
     return res;

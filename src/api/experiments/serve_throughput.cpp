@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Serving-layer load benchmark: replay a mixed cold/hot workload
+ * against an in-process JobScheduler (src/serve/) and report request
+ * throughput, hot-path latency percentiles, and the cache hit rate.
+ *
+ *   fpraker run serve_throughput [--threads=N] [--steps=N(hot reqs)]
+ *
+ * Cold requests simulate through the shared engine; hot requests are
+ * served from the content-addressed ResultCache without engine work,
+ * so the hot/cold ratio is the headline serving win (the BENCH_PR5
+ * acceptance asks for >= 10x). The document contains wall-clock
+ * readings, so the fingerprint is overridden with the run-invariant
+ * digest over the served documents' fingerprints — which must also be
+ * identical between the cold simulation and every hot replay (the
+ * determinism gate; Result::ok fails on divergence).
+ */
+
+#include "api/api.h"
+#include "common/fnv.h"
+#include "serve/throughput.h"
+
+namespace fpraker {
+namespace {
+
+using namespace api;
+
+REGISTER_EXPERIMENT("serve_throughput", "Serve",
+                    "serving layer: requests/s, hot-path latency, "
+                    "and cache hit rate under a mixed workload",
+                    "hot (cache-served) requests >= 10x cold "
+                    "(simulating) requests/s; hot fingerprints "
+                    "bit-identical to the cold run's")
+{
+    serve::ThroughputOptions opts;
+    // The scheduler drives its own engine (like perf_regression), so
+    // the session's shared pool is not borrowed; --threads=N still
+    // sets the engine width.
+    opts.engineThreads = session.threadsExplicit()
+                             ? session.requestedThreads()
+                             : 2;
+    opts.workers = 2;
+    opts.hotRequests = session.intOption("steps", 240);
+    opts.sampleStepsBase = session.sampleSteps(12);
+
+    serve::ThroughputReport r = serve::measureServeThroughput(opts);
+
+    Result res;
+    // The scheduler's engine width is the knob that matters here.
+    res.threads = opts.engineThreads;
+    res.sampleSteps = opts.sampleStepsBase;
+
+    char caption[160];
+    std::snprintf(caption, sizeof(caption),
+                  "workload: %d distinct %s specs cold, %d hot "
+                  "requests cycling them (engine threads=%d, "
+                  "workers=%d)",
+                  opts.distinctSpecs, opts.experiment.c_str(),
+                  opts.hotRequests, opts.engineThreads, opts.workers);
+    ResultTable &t = res.table(
+        "serving", {"path", "requests", "seconds", "req/s", "p50 ms",
+                    "p99 ms"});
+    t.caption = caption;
+    t.addRow({"cold (simulate)", std::to_string(opts.distinctSpecs),
+              Table::cell(r.coldSeconds, 4), Table::cell(r.coldRps, 1),
+              "-", "-"});
+    t.addRow({"hot (cache)", std::to_string(opts.hotRequests),
+              Table::cell(r.hotSeconds, 4), Table::cell(r.hotRps, 1),
+              Table::cell(r.hotP50Ms, 4), Table::cell(r.hotP99Ms, 4)});
+
+    res.addSeries("requests_per_sec", {"cold", "hot"},
+                  {r.coldRps, r.hotRps});
+
+    serve::addServingGroup(res, opts, r);
+
+    char note[160];
+    std::snprintf(note, sizeof(note),
+                  "hot/cold = %.1fx, cache hit rate %.1f%%, %llu "
+                  "simulations for %llu requests",
+                  r.coldRps > 0 ? r.hotRps / r.coldRps : 0.0,
+                  r.hitRate * 100.0,
+                  static_cast<unsigned long long>(r.executions),
+                  static_cast<unsigned long long>(r.requests));
+    res.note(note);
+
+    if (!r.deterministic)
+        res.fail("hot documents diverged from the cold run");
+    if (!r.allHotCached)
+        res.fail("a hot request missed the cache");
+
+    // Wall-clock document: fingerprint over the served documents'
+    // fingerprints instead (run-invariant).
+    Fnv64 fp;
+    fp.add(r.digest);
+    fp.add(static_cast<uint64_t>(
+        r.deterministic && r.allHotCached ? 1 : 0));
+    res.setFingerprint(fp.value());
+    return res;
+}
+
+} // namespace
+} // namespace fpraker

@@ -200,6 +200,49 @@ JsonValue::dump(int indent) const
     return out;
 }
 
+void
+JsonValue::dumpCompactTo(std::string &out) const
+{
+    switch (kind_) {
+      case Kind::Array: {
+        out += '[';
+        for (size_t i = 0; i < items_.size(); ++i) {
+            if (i)
+                out += ", ";
+            items_[i].dumpCompactTo(out);
+        }
+        out += ']';
+        break;
+      }
+      case Kind::Object: {
+        out += '{';
+        for (size_t i = 0; i < entries_.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += '"';
+            out += escape(entries_[i].first);
+            out += "\": ";
+            entries_[i].second.dumpCompactTo(out);
+        }
+        out += '}';
+        break;
+      }
+      default:
+        // Scalars never contain raw newlines (escape() encodes
+        // them), so the pretty renderer is already single-line.
+        dumpTo(out, 0);
+        break;
+    }
+}
+
+std::string
+JsonValue::dumpCompact() const
+{
+    std::string out;
+    dumpCompactTo(out);
+    return out;
+}
+
 namespace {
 
 struct Parser

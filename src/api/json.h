@@ -85,6 +85,13 @@ class JsonValue
     std::string dump(int indent = 0) const;
 
     /**
+     * Single-line rendering (no newlines or indentation) for the
+     * newline-delimited serve wire protocol. Parses back to the same
+     * tree as dump().
+     */
+    std::string dumpCompact() const;
+
+    /**
      * Parse a JSON text. On failure returns a Null value and, when
      * @p error is non-null, stores a message with the byte offset.
      */
@@ -104,6 +111,7 @@ class JsonValue
 
   private:
     void dumpTo(std::string &out, int indent) const;
+    void dumpCompactTo(std::string &out) const;
 
     Kind kind_ = Kind::Null;
     bool bool_ = false;

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/fnv.h"
 #include "common/logging.h"
 #include "common/table.h"
 
@@ -133,47 +134,6 @@ Result::fail(const std::string &why)
 
 namespace {
 
-/** Streaming FNV-1a with a field separator between add() calls. */
-class Fnv
-{
-  public:
-    void
-    add(const std::string &s)
-    {
-        for (unsigned char c : s)
-            mix(c);
-        mix(0xff); // separator: {"ab","c"} != {"a","bc"}
-    }
-
-    void
-    add(double v)
-    {
-        uint64_t bits;
-        std::memcpy(&bits, &v, sizeof(bits));
-        add(bits);
-    }
-
-    void
-    add(uint64_t v)
-    {
-        for (int i = 0; i < 8; ++i)
-            mix(static_cast<unsigned char>(v >> (i * 8)));
-        mix(0xff);
-    }
-
-    uint64_t value() const { return hash_; }
-
-  private:
-    void
-    mix(unsigned char c)
-    {
-        hash_ ^= c;
-        hash_ *= 0x100000001b3ull;
-    }
-
-    uint64_t hash_ = 0xcbf29ce484222325ull;
-};
-
 std::string
 canonicalMetric(const MetricValue &v)
 {
@@ -200,7 +160,7 @@ Result::fingerprint() const
 {
     if (hasFingerprintOverride_)
         return fingerprintOverride_;
-    Fnv f;
+    Fnv64 f;
     f.add(experiment);
     f.add(std::string(ok ? "ok" : "failed"));
     for (const auto &[key, value] : scalars_) {
@@ -258,6 +218,7 @@ Result::toJson() const
     for (const std::string &v : variants)
         vars.push(v);
     prov.set("variants", std::move(vars));
+    prov.set("cached", cached);
     doc.set("provenance", std::move(prov));
 
     JsonValue scalars = JsonValue::object();

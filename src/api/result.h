@@ -115,6 +115,13 @@ class Result
     int threads = 0;
     int sampleSteps = 0;
     std::vector<std::string> variants;
+    /**
+     * True when this document was served from the ResultCache instead
+     * of simulated (src/serve/). Always false for documents a run
+     * produces directly; the serve layer patches it on a cache hit.
+     * Provenance only — never part of the fingerprint.
+     */
+    bool cached = false;
 
     // -------------------------------------------------------- content
     /** Append a table (rendered in insertion order). */
@@ -161,6 +168,15 @@ class Result
     {
         fingerprintOverride_ = fp;
         hasFingerprintOverride_ = true;
+    }
+    /**
+     * True for timing experiments whose document content is NOT
+     * run-invariant (wall-clock readings) — the serve layer must not
+     * cache such documents.
+     */
+    bool hasFingerprintOverride() const
+    {
+        return hasFingerprintOverride_;
     }
 
     const std::deque<ResultTable> &tables() const { return tables_; }

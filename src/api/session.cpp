@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/fnv.h"
 #include "common/logging.h"
 #include "trace/model_zoo.h"
 
@@ -227,21 +228,10 @@ Session::zooJobsFor(const std::vector<std::string> &names)
 std::string
 Session::configDigest() const
 {
-    uint64_t h = 0xcbf29ce484222325ull;
-    auto mix = [&h](const std::string &s) {
-        for (unsigned char c : s) {
-            h ^= c;
-            h *= 0x100000001b3ull;
-        }
-        h ^= 0xff; // terminator between variants
-        h *= 0x100000001b3ull;
-    };
+    Fnv64 h;
     for (const std::string &desc : variantDescs_)
-        mix(desc);
-    char buf[24];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(h));
-    return buf;
+        h.add(desc);
+    return h.hex();
 }
 
 } // namespace api

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The one monotonic wall-clock helper for timing measurements
+ * (benchmark sections, scheduler queue/run latencies, daemon
+ * uptime). Steady-clock seconds since an arbitrary epoch — only
+ * differences are meaningful.
+ */
+
+#ifndef FPRAKER_COMMON_CLOCK_H
+#define FPRAKER_COMMON_CLOCK_H
+
+#include <chrono>
+
+namespace fpraker {
+
+/** Seconds on the monotonic clock (arbitrary epoch). */
+inline double
+monotonicSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace fpraker
+
+#endif // FPRAKER_COMMON_CLOCK_H

@@ -1,0 +1,98 @@
+#include "serve/client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace fpraker {
+namespace serve {
+
+ServeClient::~ServeClient()
+{
+    close();
+}
+
+void
+ServeClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+        reader_.reset();
+    }
+}
+
+bool
+ServeClient::connectTo(const std::string &socketPath,
+                       std::string *error)
+{
+    close();
+    const std::string path =
+        socketPath.empty() ? defaultSocketPath() : socketPath;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        *error = "socket path too long: " + path;
+        return false;
+    }
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        *error = "cannot connect to " + path + ": " +
+                 std::strerror(errno) +
+                 " (is fprakerd running? try `fpraker serve`)";
+        ::close(fd);
+        return false;
+    }
+    fd_ = fd;
+    reader_ = std::make_unique<LineReader>(fd_);
+    return true;
+}
+
+bool
+ServeClient::request(const api::JsonValue &message,
+                     api::JsonValue *response, std::string *error)
+{
+    if (fd_ < 0) {
+        *error = "not connected";
+        return false;
+    }
+    if (!writeMessage(fd_, message, error))
+        return false;
+    std::string line;
+    if (!reader_->readLine(&line, error)) {
+        if (error->empty())
+            *error = "daemon closed the connection";
+        return false;
+    }
+    *response = api::JsonValue::parse(line, error);
+    if (!error->empty()) {
+        *error = "unparseable response: " + *error;
+        return false;
+    }
+    return true;
+}
+
+bool
+ServeClient::submit(const JobSpec &spec, api::JsonValue *response,
+                    std::string *error, bool wait)
+{
+    api::JsonValue req = api::JsonValue::object();
+    req.set("op", "submit");
+    req.set("spec", spec.toJson());
+    req.set("wait", wait);
+    return request(req, response, error);
+}
+
+} // namespace serve
+} // namespace fpraker

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * ServeClient: the blocking client side of the fprakerd protocol.
+ *
+ * Wraps one Unix-socket connection: connectTo() dials the daemon,
+ * request() writes one compact-JSON line and reads one response line.
+ * The `fpraker submit/stats/shutdown` subcommands and the serve tests
+ * are the consumers; nothing here depends on the scheduler.
+ */
+
+#ifndef FPRAKER_SERVE_CLIENT_H
+#define FPRAKER_SERVE_CLIENT_H
+
+#include <memory>
+#include <string>
+
+#include "serve/job_spec.h"
+#include "serve/protocol.h"
+
+namespace fpraker {
+namespace serve {
+
+class ServeClient
+{
+  public:
+    ServeClient() = default;
+    ~ServeClient();
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /** Dial the daemon at @p socketPath ("" = defaultSocketPath()). */
+    bool connectTo(const std::string &socketPath, std::string *error);
+
+    bool connected() const { return fd_ >= 0; }
+
+    /**
+     * One protocol round-trip. False on transport failure; a
+     * {"ok": false} response still returns true (@p response carries
+     * the server's error).
+     */
+    bool request(const api::JsonValue &message,
+                 api::JsonValue *response, std::string *error);
+
+    /** Convenience: {"op": "submit", "spec": ..., "wait": true}. */
+    bool submit(const JobSpec &spec, api::JsonValue *response,
+                std::string *error, bool wait = true);
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::unique_ptr<LineReader> reader_;
+};
+
+} // namespace serve
+} // namespace fpraker
+
+#endif // FPRAKER_SERVE_CLIENT_H

@@ -1,0 +1,319 @@
+#include "serve/daemon.h"
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/clock.h"
+#include "serve/protocol.h"
+
+namespace fpraker {
+namespace serve {
+
+Daemon::Daemon(const DaemonConfig &cfg)
+    : socketPath_(cfg.socketPath.empty() ? defaultSocketPath()
+                                         : cfg.socketPath),
+      scheduler_(std::make_unique<JobScheduler>(cfg.scheduler))
+{
+}
+
+Daemon::~Daemon()
+{
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        ::unlink(socketPath_.c_str());
+    }
+}
+
+bool
+Daemon::start(std::string *error)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath_.size() >= sizeof(addr.sun_path)) {
+        *error = "socket path too long (max " +
+                 std::to_string(sizeof(addr.sun_path) - 1) +
+                 " bytes): " + socketPath_;
+        return false;
+    }
+    std::strncpy(addr.sun_path, socketPath_.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+
+    int rc = ::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                    sizeof(addr));
+    if (rc < 0 && errno == EADDRINUSE) {
+        // A live daemon answers a connect; a stale file does not —
+        // only the latter may be reclaimed.
+        int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        bool alive = probe >= 0 &&
+                     ::connect(probe,
+                               reinterpret_cast<sockaddr *>(&addr),
+                               sizeof(addr)) == 0;
+        if (probe >= 0)
+            ::close(probe);
+        if (alive) {
+            *error = "another daemon is already serving " +
+                     socketPath_;
+            ::close(fd);
+            return false;
+        }
+        ::unlink(socketPath_.c_str());
+        rc = ::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                    sizeof(addr));
+    }
+    if (rc < 0) {
+        *error = std::string("bind: ") + std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+
+    if (::listen(fd, 64) < 0) {
+        *error = std::string("listen: ") + std::strerror(errno);
+        ::close(fd);
+        ::unlink(socketPath_.c_str());
+        return false;
+    }
+    listenFd_ = fd;
+    startTime_ = monotonicSeconds();
+    return true;
+}
+
+void
+Daemon::requestStop()
+{
+    stop_.store(true);
+    // Poke the accept loop: shutting the listen fd down makes the
+    // blocking accept() return with an error.
+    if (listenFd_ >= 0)
+        ::shutdown(listenFd_, SHUT_RDWR);
+    // Drain open connections even when clients keep their sockets
+    // open: SHUT_RD unblocks readers with EOF while letting the
+    // response to an in-flight request (this shutdown's included)
+    // still be written.
+    std::lock_guard<std::mutex> lock(connMutex_);
+    for (int fd : activeFds_)
+        ::shutdown(fd, SHUT_RD);
+}
+
+bool
+Daemon::serve()
+{
+    bool clean = true;
+    while (!stop_.load()) {
+        int conn = ::accept(listenFd_, nullptr, nullptr);
+        {
+            // Reap connection threads that already exited (join is
+            // instant) so a long-lived daemon holds O(live) handles.
+            std::lock_guard<std::mutex> lock(connMutex_);
+            for (std::thread &t : finished_)
+                t.join();
+            finished_.clear();
+        }
+        if (conn < 0) {
+            // A client that vanished between connect and accept, or
+            // transient fd exhaustion, must not take the daemon down.
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            if (errno == EMFILE || errno == ENFILE) {
+                struct timespec back = {0, 50 * 1000 * 1000};
+                ::nanosleep(&back, nullptr);
+                continue;
+            }
+            // Listen fd shut down (requestStop) or truly broken.
+            clean = stop_.load();
+            break;
+        }
+        std::lock_guard<std::mutex> lock(connMutex_);
+        if (stop_.load()) {
+            // Raced with requestStop after its drain pass: refuse.
+            ::close(conn);
+            continue;
+        }
+        activeFds_.push_back(conn);
+        connections_.emplace_back(
+            [this, conn] { handleConnection(conn); });
+    }
+    std::vector<std::thread> pending;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        pending.swap(connections_);
+        for (std::thread &t : finished_)
+            pending.push_back(std::move(t));
+        finished_.clear();
+    }
+    for (std::thread &t : pending)
+        t.join();
+    ::close(listenFd_);
+    ::unlink(socketPath_.c_str());
+    listenFd_ = -1;
+    return clean;
+}
+
+api::JsonValue
+Daemon::completedResponse(uint64_t id, const JobOutcome &outcome)
+{
+    if (outcome.state == JobState::Failed)
+        return errorResponse(outcome.error);
+    api::JsonValue resp = okResponse();
+    resp.set("job", static_cast<int64_t>(id));
+    resp.set("status", jobStateName(outcome.state));
+    resp.set("cached", outcome.cached);
+    resp.set("experiment_ok", outcome.ok);
+    resp.set("fingerprint", outcome.fingerprint);
+    resp.set("queue_s", api::JsonValue(outcome.queueSeconds, 6));
+    resp.set("run_s", api::JsonValue(outcome.runSeconds, 6));
+    resp.set("document", outcome.document);
+    return resp;
+}
+
+api::JsonValue
+Daemon::handleRequest(const api::JsonValue &request)
+{
+    if (!request.isObject())
+        return errorResponse("request must be a JSON object");
+    const api::JsonValue *op = request.find("op");
+    if (!op || op->kind() != api::JsonValue::Kind::String)
+        return errorResponse("request needs a string 'op'");
+
+    if (op->str() == "ping") {
+        api::JsonValue resp = okResponse();
+        resp.set("protocol", kProtocolVersion);
+        return resp;
+    }
+
+    if (op->str() == "submit") {
+        const api::JsonValue *specv = request.find("spec");
+        if (!specv)
+            return errorResponse("submit needs a 'spec' object");
+        JobSpec spec;
+        std::string error;
+        if (!JobSpec::fromJson(*specv, &spec, &error))
+            return errorResponse(error);
+        bool wait = true;
+        if (const api::JsonValue *w = request.find("wait")) {
+            if (w->kind() != api::JsonValue::Kind::Bool)
+                return errorResponse("'wait' must be a boolean");
+            wait = w->boolean();
+        }
+        uint64_t id = scheduler_->submit(spec);
+        if (!wait) {
+            JobState state;
+            scheduler_->status(id, &state);
+            api::JsonValue resp = okResponse();
+            resp.set("job", static_cast<int64_t>(id));
+            resp.set("status", jobStateName(state));
+            return resp;
+        }
+        return completedResponse(id, scheduler_->wait(id));
+    }
+
+    if (op->str() == "status" || op->str() == "result") {
+        const api::JsonValue *jobv = request.find("job");
+        if (!jobv || jobv->kind() != api::JsonValue::Kind::Int)
+            return errorResponse(op->str() +
+                                 " needs an integer 'job'");
+        uint64_t id = static_cast<uint64_t>(jobv->intValue());
+        JobState state;
+        if (!scheduler_->status(id, &state))
+            return errorResponse("unknown job " + std::to_string(id));
+        if (op->str() == "status") {
+            api::JsonValue resp = okResponse();
+            resp.set("job", static_cast<int64_t>(id));
+            resp.set("status", jobStateName(state));
+            return resp;
+        }
+        return completedResponse(id, scheduler_->wait(id));
+    }
+
+    if (op->str() == "stats") {
+        SchedulerStats s = scheduler_->stats();
+        api::JsonValue resp = okResponse();
+        resp.set("protocol", kProtocolVersion);
+        resp.set("uptime_s",
+                 api::JsonValue(monotonicSeconds() - startTime_, 3));
+        resp.set("engine_threads", s.engineThreads);
+        resp.set("workers", s.workers);
+        api::JsonValue jobs = api::JsonValue::object();
+        jobs.set("submitted", s.submitted);
+        jobs.set("executed", s.executed);
+        jobs.set("coalesced", s.coalesced);
+        jobs.set("cache_served", s.cacheServed);
+        jobs.set("failed", s.failed);
+        jobs.set("queued", s.queued);
+        jobs.set("running", s.running);
+        resp.set("jobs", std::move(jobs));
+        api::JsonValue cache = api::JsonValue::object();
+        cache.set("hits", s.cache.hits);
+        cache.set("misses", s.cache.misses);
+        cache.set("insertions", s.cache.insertions);
+        cache.set("evictions", s.cache.evictions);
+        cache.set("disk_hits", s.cache.diskHits);
+        cache.set("disk_writes", s.cache.diskWrites);
+        cache.set("bytes", s.cache.bytes);
+        cache.set("entries", s.cache.entries);
+        cache.set("capacity_bytes", s.cache.capacityBytes);
+        resp.set("cache", std::move(cache));
+        return resp;
+    }
+
+    if (op->str() == "shutdown") {
+        requestStop();
+        api::JsonValue resp = okResponse();
+        resp.set("stopping", true);
+        return resp;
+    }
+
+    return errorResponse("unknown op '" + op->str() + "'");
+}
+
+void
+Daemon::handleConnection(int fd)
+{
+    // Requests are tiny (one spec object); 4 MiB bounds a hostile
+    // newline-free stream without cramping any legitimate client.
+    LineReader reader(fd, 4u << 20);
+    std::string line, error;
+    while (reader.readLine(&line, &error)) {
+        api::JsonValue request = api::JsonValue::parse(line, &error);
+        api::JsonValue response =
+            error.empty() ? handleRequest(request)
+                          : errorResponse("bad request: " + error);
+        if (!writeMessage(fd, response, &error))
+            break;
+    }
+    // Close under the connection lock so requestStop never touches a
+    // recycled descriptor.
+    std::lock_guard<std::mutex> lock(connMutex_);
+    for (size_t i = 0; i < activeFds_.size(); ++i) {
+        if (activeFds_[i] == fd) {
+            activeFds_.erase(activeFds_.begin() +
+                             static_cast<long>(i));
+            break;
+        }
+    }
+    ::close(fd);
+    // Hand this thread's handle to the reap list; the accept loop
+    // (or shutdown) joins it. A thread cannot join itself, so the
+    // move is the whole trick.
+    for (size_t i = 0; i < connections_.size(); ++i) {
+        if (connections_[i].get_id() == std::this_thread::get_id()) {
+            finished_.push_back(std::move(connections_[i]));
+            connections_.erase(connections_.begin() +
+                               static_cast<long>(i));
+            break;
+        }
+    }
+}
+
+} // namespace serve
+} // namespace fpraker

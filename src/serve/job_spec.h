@@ -1,0 +1,83 @@
+/**
+ * @file
+ * JobSpec: the serializable unit of work of the serving layer.
+ *
+ * One JobSpec names a registered experiment plus the Session knobs
+ * the CLI would have passed to `fpraker run <id>` — worker-thread
+ * request, sample-step budget, and the free-form extras options
+ * (--steps/--reps/--out). It round-trips through JSON (the `spec`
+ * object of the wire protocol, docs/SERVING.md) and defines the
+ * content address of its result:
+ *
+ *     cacheKey = FNV-1a(epoch ‖ result schema ‖ experiment ‖ knobs)
+ *
+ * (each field length-prefixed, options sorted by key) where `epoch`
+ * (kServeCacheEpoch) is bumped whenever simulator arithmetic changes
+ * in a way that invalidates old documents, and the knob list covers
+ * every input that can change the Result content.
+ * The Session's own configDigest is a pure function of these inputs,
+ * so two JobSpecs with equal keys produce documents with equal
+ * config_digest provenance and equal fingerprints — the property the
+ * ResultCache relies on. Priority is scheduling metadata, never part
+ * of the key.
+ */
+
+#ifndef FPRAKER_SERVE_JOB_SPEC_H
+#define FPRAKER_SERVE_JOB_SPEC_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/json.h"
+
+namespace fpraker {
+namespace serve {
+
+/**
+ * Cache epoch: bump when kernel arithmetic or the document layout
+ * changes such that previously cached/spilled documents must not be
+ * served anymore (the disk spill under --cache-dir outlives daemon
+ * restarts and binary upgrades).
+ */
+constexpr const char *kServeCacheEpoch = "fpraker-serve-1";
+
+/** One experiment job: registry id + Session knobs. */
+struct JobSpec
+{
+    std::string experiment; //!< Registry id, e.g. "fig11".
+    int threads = 0;        //!< 0 = daemon default (shared engine).
+    int sampleSteps = 0;    //!< 0 = env/experiment fallback.
+    //! Free-form experiment options (--steps/--reps/--out), CLI order.
+    std::vector<std::pair<std::string, std::string>> options;
+    int priority = 0; //!< Higher runs first; NOT part of the key.
+
+    /**
+     * Human-readable one-line description of every
+     * content-determining field (options sorted by key). For logs
+     * and tests; the cache key hashes the same fields structurally
+     * (length-prefixed), so values containing the join characters
+     * cannot alias.
+     */
+    std::string canonical() const;
+
+    /** Content address of this spec's result document. */
+    uint64_t cacheKey() const;
+
+    /** The wire `spec` object. */
+    api::JsonValue toJson() const;
+
+    /**
+     * Parse a wire `spec` object. On failure fills @p error and
+     * returns false; unknown keys are rejected (strict, like the
+     * CLI).
+     */
+    static bool fromJson(const api::JsonValue &v, JobSpec *out,
+                         std::string *error);
+};
+
+} // namespace serve
+} // namespace fpraker
+
+#endif // FPRAKER_SERVE_JOB_SPEC_H

@@ -1,0 +1,106 @@
+#include "serve/protocol.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace fpraker {
+namespace serve {
+
+std::string
+defaultSocketPath()
+{
+    if (const char *env = std::getenv("FPRAKER_SOCKET"))
+        if (*env)
+            return env;
+    return "/tmp/fpraker.sock";
+}
+
+bool
+writeLine(int fd, const std::string &line, std::string *error)
+{
+    std::string framed = line;
+    framed += '\n';
+    size_t off = 0;
+    while (off < framed.size()) {
+        // MSG_NOSIGNAL: a peer that disconnected mid-job must surface
+        // as EPIPE here, not as a process-killing SIGPIPE.
+        ssize_t n = ::send(fd, framed.data() + off,
+                           framed.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error)
+                *error = std::string("write: ") + std::strerror(errno);
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+writeMessage(int fd, const api::JsonValue &message, std::string *error)
+{
+    return writeLine(fd, message.dumpCompact(), error);
+}
+
+bool
+LineReader::readLine(std::string *line, std::string *error)
+{
+    if (error)
+        error->clear();
+    for (;;) {
+        size_t nl = buffer_.find('\n');
+        if (nl != std::string::npos) {
+            line->assign(buffer_, 0, nl);
+            buffer_.erase(0, nl + 1);
+            return true;
+        }
+        if (buffer_.size() > maxLineBytes_) {
+            if (error)
+                *error = "line exceeds " +
+                         std::to_string(maxLineBytes_) + " bytes";
+            return false;
+        }
+        char chunk[1 << 14];
+        ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error)
+                *error = std::string("read: ") + std::strerror(errno);
+            return false;
+        }
+        if (n == 0) {
+            // EOF mid-line is a framing error; clean EOF is not.
+            if (!buffer_.empty() && error)
+                *error = "connection closed mid-line";
+            return false;
+        }
+        buffer_.append(chunk, static_cast<size_t>(n));
+    }
+}
+
+api::JsonValue
+okResponse()
+{
+    api::JsonValue resp = api::JsonValue::object();
+    resp.set("ok", true);
+    return resp;
+}
+
+api::JsonValue
+errorResponse(const std::string &message)
+{
+    api::JsonValue resp = api::JsonValue::object();
+    resp.set("ok", false);
+    resp.set("error", message);
+    return resp;
+}
+
+} // namespace serve
+} // namespace fpraker

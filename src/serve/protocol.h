@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The fprakerd wire protocol: newline-delimited JSON over a
+ * Unix-domain stream socket.
+ *
+ * Every request and every response is ONE line of compact JSON
+ * (JsonValue::dumpCompact — no raw newlines; strings escape them)
+ * terminated by '\n'. Requests carry an "op" field:
+ *
+ *   {"op": "submit", "spec": {...JobSpec...}, "wait": true}
+ *   {"op": "status", "job": 7}
+ *   {"op": "result", "job": 7}
+ *   {"op": "stats"}
+ *   {"op": "ping"}
+ *   {"op": "shutdown"}
+ *
+ * Responses always carry "ok". Completed submit/result responses
+ * embed the full fpraker-result-v1 document as an escaped string in
+ * "document", plus "fingerprint", "cached", and "status". Errors are
+ * {"ok": false, "error": "..."} — the connection stays usable.
+ * docs/SERVING.md is the full reference.
+ *
+ * This header holds the framing (blocking line IO over an fd) and the
+ * envelope helpers shared by daemon and client; it knows nothing
+ * about sockets beyond the file descriptor.
+ */
+
+#ifndef FPRAKER_SERVE_PROTOCOL_H
+#define FPRAKER_SERVE_PROTOCOL_H
+
+#include <string>
+
+#include "api/json.h"
+
+namespace fpraker {
+namespace serve {
+
+/** Protocol identifier, echoed by ping/stats responses. */
+constexpr const char *kProtocolVersion = "fpraker-serve-v1";
+
+/** Default socket path when --socket / FPRAKER_SOCKET is unset. */
+std::string defaultSocketPath();
+
+/**
+ * Write @p line plus the terminating '\n' to @p fd, retrying short
+ * writes. Returns false (with @p error filled) on IO failure.
+ */
+bool writeLine(int fd, const std::string &line, std::string *error);
+
+/** Send one JSON message (compact dump) as a protocol line. */
+bool writeMessage(int fd, const api::JsonValue &message,
+                  std::string *error);
+
+/** Default LineReader bound: far above any legitimate message. */
+constexpr size_t kMaxLineBytes = 64ull << 20;
+
+/** Buffered blocking line reader over a stream fd. */
+class LineReader
+{
+  public:
+    /**
+     * @param maxLineBytes reject (error, false) any line longer than
+     * this — an unbounded buffer would let a peer that never sends
+     * '\n' grow daemon memory without limit. The daemon reads
+     * requests with a small bound; responses embedding documents use
+     * the default.
+     */
+    explicit LineReader(int fd, size_t maxLineBytes = kMaxLineBytes)
+        : fd_(fd), maxLineBytes_(maxLineBytes)
+    {
+    }
+
+    /**
+     * Read the next '\n'-terminated line (terminator stripped).
+     * Returns false on EOF or error; EOF with no pending bytes
+     * leaves @p error empty.
+     */
+    bool readLine(std::string *line, std::string *error);
+
+  private:
+    int fd_;
+    size_t maxLineBytes_;
+    std::string buffer_;
+};
+
+/** {"ok": true} seed for response builders. */
+api::JsonValue okResponse();
+
+/** {"ok": false, "error": message}. */
+api::JsonValue errorResponse(const std::string &message);
+
+} // namespace serve
+} // namespace fpraker
+
+#endif // FPRAKER_SERVE_PROTOCOL_H

@@ -1,0 +1,209 @@
+#include "serve/result_cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "common/fnv.h"
+#include "common/logging.h"
+
+namespace fpraker {
+namespace serve {
+
+std::string
+markDocumentCached(const std::string &document)
+{
+    // Textual patch, not parse-and-redump: reserializing would
+    // reformat fixed-precision numbers (the print-precision hints
+    // don't survive parsing) and break the contract that a hot
+    // delivery differs from the cold bytes ONLY in this flag. The
+    // renderer emits provenance before any experiment content, and
+    // quotes inside string values are escaped, so the first raw
+    // occurrence of the key is provenance's.
+    static const char kCold[] = "\"cached\": false";
+    size_t at = document.find(kCold);
+    // Cached documents were rendered by this binary; a missing flag
+    // is a bug, not an input error.
+    panic_if(at == std::string::npos,
+             "cached document lacks provenance.cached");
+    std::string hot = document;
+    hot.replace(at, sizeof(kCold) - 1, "\"cached\": true");
+    return hot;
+}
+
+ResultCache::ResultCache(uint64_t capacityBytes, std::string spillDir)
+    : capacityBytes_(capacityBytes), spillDir_(std::move(spillDir))
+{
+    counters_.capacityBytes = capacityBytes_;
+}
+
+std::string
+ResultCache::spillPath(uint64_t key) const
+{
+    return spillDir_ + "/" + Fnv64::hex(key) + ".json";
+}
+
+bool
+ResultCache::loadSpill(uint64_t key, std::string *document)
+{
+    if (spillDir_.empty())
+        return false;
+    FILE *f = std::fopen(spillPath(key).c_str(), "rb");
+    if (!f)
+        return false;
+    std::string text;
+    char buf[1 << 14];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    if (text.empty())
+        return false;
+    *document = std::move(text);
+    return true;
+}
+
+void
+ResultCache::touch(Entry &e, uint64_t key)
+{
+    lruOrder_.erase(e.lru);
+    lruOrder_.push_front(key);
+    e.lru = lruOrder_.begin();
+}
+
+bool
+ResultCache::lookupLocked(uint64_t key, bool marked,
+                          std::string *document)
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        // Rescue from the spill directory: the document text re-enters
+        // the LRU so repeat traffic stays in memory.
+        std::string text;
+        if (!loadSpill(key, &text)) {
+            ++counters_.misses;
+            return false;
+        }
+        // A rescue is a successful lookup: count it as a hit (the
+        // diskHits counter is the where-from breakdown), so hit-rate
+        // ratios over hits/(hits+misses) see disk-served traffic.
+        ++counters_.hits;
+        ++counters_.diskHits;
+        insertLocked(key, text);
+        it = entries_.find(key);
+        if (it == entries_.end()) {
+            // Too large even for an empty cache: serve it once.
+            *document = marked ? markDocumentCached(text) : text;
+            return true;
+        }
+    } else {
+        ++counters_.hits;
+        touch(it->second, key);
+    }
+    Entry &e = it->second;
+    if (!marked) {
+        *document = e.text;
+        return true;
+    }
+    if (e.hotText.empty()) {
+        e.hotText = markDocumentCached(e.text);
+        bytes_ += e.hotText.size();
+    }
+    // Copy out before re-balancing: materializing the hot variant can
+    // push past the bound, and eviction may drop this very entry when
+    // it alone exceeds the capacity.
+    *document = e.hotText;
+    evictToFit();
+    return true;
+}
+
+bool
+ResultCache::lookup(uint64_t key, std::string *document)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lookupLocked(key, /*marked=*/true, document);
+}
+
+bool
+ResultCache::lookupRaw(uint64_t key, std::string *document)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lookupLocked(key, /*marked=*/false, document);
+}
+
+void
+ResultCache::evictToFit()
+{
+    while (bytes_ > capacityBytes_ && !lruOrder_.empty()) {
+        uint64_t victim = lruOrder_.back();
+        auto it = entries_.find(victim);
+        bytes_ -= it->second.text.size() + it->second.hotText.size();
+        entries_.erase(it);
+        lruOrder_.pop_back();
+        ++counters_.evictions;
+    }
+}
+
+void
+ResultCache::insertLocked(uint64_t key, const std::string &document)
+{
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        // Deterministic documents never change under one epoch; a
+        // re-insert only refreshes recency.
+        touch(it->second, key);
+        return;
+    }
+
+    std::error_code ec;
+    if (!spillDir_.empty() &&
+        !std::filesystem::exists(spillPath(key), ec)) {
+        std::filesystem::create_directories(spillDir_, ec);
+        const std::string path = spillPath(key);
+        const std::string tmp = path + ".tmp";
+        FILE *f = std::fopen(tmp.c_str(), "wb");
+        if (f) {
+            std::fwrite(document.data(), 1, document.size(), f);
+            std::fclose(f);
+            std::filesystem::rename(tmp, path, ec);
+            if (!ec)
+                ++counters_.diskWrites;
+        }
+    }
+
+    Entry e;
+    e.text = document;
+    lruOrder_.push_front(key);
+    e.lru = lruOrder_.begin();
+    bytes_ += e.text.size();
+    entries_.emplace(key, std::move(e));
+    ++counters_.insertions;
+    evictToFit();
+}
+
+void
+ResultCache::insert(uint64_t key, const std::string &document)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    insertLocked(key, document);
+}
+
+bool
+ResultCache::contains(uint64_t key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.count(key) != 0;
+}
+
+CacheStats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    CacheStats s = counters_;
+    s.bytes = bytes_;
+    s.entries = entries_.size();
+    return s;
+}
+
+} // namespace serve
+} // namespace fpraker

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * ResultCache: content-addressed storage of rendered
+ * fpraker-result-v1 documents.
+ *
+ * Keys come from JobSpec::cacheKey() (epoch ‖ schema ‖ experiment ‖
+ * knobs — see job_spec.h); values are the exact document text a cold
+ * run delivered (provenance.cached = false). Because every cacheable
+ * experiment is deterministic, a stored document is byte-identical to
+ * what re-simulating the spec would produce, so serving it is
+ * lossless. On a hit the cache hands back a variant with
+ * provenance.cached patched to true — materialized once per entry and
+ * memoized, so the hot path is a hash lookup plus a string copy.
+ *
+ * Eviction is LRU over a total-bytes bound (both text variants
+ * count). With a spill directory configured, every insert also writes
+ * `<hex16 key>.json`; an in-memory miss probes the directory and
+ * re-admits the file, so evicted entries survive (and a restarted
+ * daemon warms from disk). The epoch inside the key keeps a stale
+ * spill from ever serving documents across incompatible binaries.
+ *
+ * All operations are thread-safe behind one mutex — the scheduler's
+ * workers and the daemon's connection threads share one instance.
+ */
+
+#ifndef FPRAKER_SERVE_RESULT_CACHE_H
+#define FPRAKER_SERVE_RESULT_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace fpraker {
+namespace serve {
+
+/** Point-in-time counters of one ResultCache. */
+struct CacheStats
+{
+    uint64_t hits = 0;       //!< Lookups served (memory or spill).
+    uint64_t misses = 0;     //!< Lookups that found nothing anywhere.
+    uint64_t insertions = 0; //!< Documents admitted.
+    uint64_t evictions = 0;  //!< Entries dropped for the bytes bound.
+    uint64_t diskHits = 0;   //!< Of hits: rescued from the spill dir.
+    uint64_t diskWrites = 0; //!< Spill files written.
+    uint64_t bytes = 0;      //!< Resident document bytes.
+    uint64_t entries = 0;    //!< Resident documents.
+    uint64_t capacityBytes = 0;
+};
+
+/** Bytes-bounded LRU cache of rendered result documents. */
+class ResultCache
+{
+  public:
+    /**
+     * @param capacityBytes LRU bound on resident document bytes.
+     * @param spillDir optional directory for disk spill ("" = none);
+     *        created on first write.
+     */
+    explicit ResultCache(uint64_t capacityBytes,
+                         std::string spillDir = "");
+
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
+
+    /**
+     * Look @p key up (memory first, then the spill dir). On a hit
+     * fills @p document with the cached-marked text
+     * (provenance.cached = true) and returns true.
+     */
+    bool lookup(uint64_t key, std::string *document);
+
+    /**
+     * The stored cold text (provenance.cached = false), exactly as
+     * the producing run rendered it. Counts as a hit like lookup().
+     */
+    bool lookupRaw(uint64_t key, std::string *document);
+
+    /** Admit the cold-run rendering of @p key's document. */
+    void insert(uint64_t key, const std::string &document);
+
+    /** True without touching LRU order or counters (tests). */
+    bool contains(uint64_t key) const;
+
+    CacheStats stats() const;
+
+  private:
+    struct Entry
+    {
+        std::string text;    //!< Cold rendering (cached: false).
+        std::string hotText; //!< Lazily patched rendering ("" until
+                             //!< the first hit materializes it).
+        std::list<uint64_t>::iterator lru;
+    };
+
+    bool lookupLocked(uint64_t key, bool marked, std::string *document);
+    void insertLocked(uint64_t key, const std::string &document);
+    void touch(Entry &e, uint64_t key);
+    void evictToFit();
+    std::string spillPath(uint64_t key) const;
+    bool loadSpill(uint64_t key, std::string *document);
+
+    const uint64_t capacityBytes_;
+    const std::string spillDir_;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<uint64_t, Entry> entries_;
+    std::list<uint64_t> lruOrder_; //!< Front = most recent.
+    uint64_t bytes_ = 0;
+    CacheStats counters_;
+};
+
+/**
+ * Patch provenance.cached to true in a rendered document — a TEXTUAL
+ * replace of the first `"cached": false`, deliberately not a
+ * parse/re-dump (reserialization would drop fixed-precision print
+ * hints and change bytes beyond the flag). The result differs from
+ * the input in exactly that flag.
+ */
+std::string markDocumentCached(const std::string &document);
+
+} // namespace serve
+} // namespace fpraker
+
+#endif // FPRAKER_SERVE_RESULT_CACHE_H

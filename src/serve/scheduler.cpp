@@ -1,0 +1,296 @@
+#include "serve/scheduler.h"
+
+#include "api/driver.h"
+#include "api/registry.h"
+#include "api/result.h"
+#include "common/clock.h"
+#include "common/fnv.h"
+#include "common/logging.h"
+
+namespace fpraker {
+namespace serve {
+
+namespace {
+
+/**
+ * Pull the top-level "fingerprint" value out of a rendered document.
+ * The renderer emits it before any content arrays, so the first
+ * occurrence of the key is the right one.
+ */
+std::string
+extractFingerprint(const std::string &document)
+{
+    static const char kKey[] = "\"fingerprint\": \"";
+    size_t at = document.find(kKey);
+    if (at == std::string::npos)
+        return "";
+    at += sizeof(kKey) - 1;
+    size_t end = document.find('"', at);
+    if (end == std::string::npos)
+        return "";
+    return document.substr(at, end - at);
+}
+
+} // namespace
+
+const char *
+jobStateName(JobState s)
+{
+    switch (s) {
+      case JobState::Queued:
+        return "queued";
+      case JobState::Running:
+        return "running";
+      case JobState::Done:
+        return "done";
+      case JobState::Failed:
+        return "failed";
+    }
+    return "?";
+}
+
+JobScheduler::JobScheduler(const SchedulerConfig &cfg)
+    : cfg_(cfg),
+      engine_(std::make_unique<SimEngine>(cfg.engineThreads)),
+      cache_(std::make_unique<ResultCache>(cfg.cacheBytes,
+                                           cfg.cacheDir))
+{
+    int workers = cfg.workers > 0 ? cfg.workers : 1;
+    counters_.engineThreads = engine_->threads();
+    counters_.workers = workers;
+    workers_.reserve(static_cast<size_t>(workers));
+    for (int i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+JobScheduler::~JobScheduler()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+        // Queued jobs will never run; release their waiters.
+        for (const auto &[key, id] : queue_) {
+            (void)key;
+            Job &job = jobs_[id];
+            job.outcome.state = JobState::Failed;
+            job.outcome.error = "scheduler stopped";
+            inflight_.erase(job.key);
+            ++counters_.failed;
+        }
+        queue_.clear();
+    }
+    queueCv_.notify_all();
+    doneCv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+uint64_t
+JobScheduler::submit(const JobSpec &spec)
+{
+    const uint64_t key = spec.cacheKey();
+    // Hot path: probe the cache OUTSIDE the scheduler lock — the
+    // lookup may copy a large document or touch the spill disk, and
+    // serializing that against every other submit/wait/worker-pop
+    // would throttle exactly the path the cache exists to speed up.
+    // (The cache has its own lock.)
+    std::string document;
+    bool hit = cache_->lookup(key, &document);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.submitted;
+
+    if (hit) {
+        uint64_t id = nextId_++;
+        Job job;
+        job.spec = spec;
+        job.key = key;
+        job.submitTime = monotonicSeconds();
+        job.outcome.state = JobState::Done;
+        job.outcome.cached = true;
+        job.outcome.fingerprint = extractFingerprint(document);
+        job.outcome.document = std::move(document);
+        jobs_.emplace(id, std::move(job));
+        ++counters_.cacheServed;
+        return id;
+    }
+
+    // Coalesce with an identical queued/running job: the simulation
+    // runs once and every submitter waits on the same id. A
+    // higher-priority submit promotes a still-queued job so the
+    // (priority desc, seq asc) contract holds for every submitter.
+    if (auto it = inflight_.find(key); it != inflight_.end()) {
+        ++counters_.coalesced;
+        Job &job = jobs_[it->second];
+        if (job.outcome.state == JobState::Queued &&
+            spec.priority > job.queuedPriority) {
+            queue_.erase({-job.queuedPriority, job.seq});
+            job.queuedPriority = spec.priority;
+            queue_.emplace(std::make_pair(-job.queuedPriority,
+                                          job.seq),
+                           it->second);
+        }
+        return it->second;
+    }
+
+    uint64_t id = nextId_++;
+    Job job;
+    job.spec = spec;
+    job.key = key;
+    job.seq = nextSeq_++;
+    job.queuedPriority = spec.priority;
+    job.submitTime = monotonicSeconds();
+    jobs_.emplace(id, std::move(job));
+    inflight_.emplace(key, id);
+    // Negated priority: map order is ascending, high priority first.
+    queue_.emplace(std::make_pair(-spec.priority, jobs_[id].seq), id);
+    queueCv_.notify_one();
+    return id;
+}
+
+JobOutcome
+JobScheduler::wait(uint64_t id)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+        JobOutcome out;
+        out.state = JobState::Failed;
+        out.error = "unknown job " + std::to_string(id);
+        return out;
+    }
+    doneCv_.wait(lock, [&] {
+        const JobOutcome &o = jobs_[id].outcome;
+        return o.state == JobState::Done || o.state == JobState::Failed;
+    });
+    return jobs_[id].outcome;
+}
+
+bool
+JobScheduler::status(uint64_t id, JobState *state) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return false;
+    *state = it->second.outcome.state;
+    return true;
+}
+
+void
+JobScheduler::workerLoop()
+{
+    for (;;) {
+        uint64_t id = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            queueCv_.wait(lock,
+                          [&] { return stop_ || !queue_.empty(); });
+            if (stop_)
+                return;
+            auto it = queue_.begin();
+            id = it->second;
+            queue_.erase(it);
+            Job &job = jobs_[id];
+            job.outcome.state = JobState::Running;
+            job.outcome.queueSeconds = monotonicSeconds() - job.submitTime;
+            ++counters_.running;
+        }
+        execute(id);
+    }
+}
+
+void
+JobScheduler::execute(uint64_t id)
+{
+    // Copy what the run needs: jobs_ may rehash under concurrent
+    // submits, so references don't survive the unlocked region.
+    JobSpec spec;
+    uint64_t key = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        spec = jobs_[id].spec;
+        key = jobs_[id].key;
+    }
+
+    JobOutcome out;
+    const double t0 = monotonicSeconds();
+    // Close the submit-side race: a lock-free cache probe that missed
+    // may have been overtaken by an identical job completing before
+    // this one was enqueued. Re-check before paying for a simulation
+    // (contains() first so the common cold path doesn't double-count
+    // a miss in the stats).
+    std::string cachedDoc;
+    if (cache_->contains(key) && cache_->lookup(key, &cachedDoc)) {
+        out.state = JobState::Done;
+        out.cached = true;
+        out.fingerprint = extractFingerprint(cachedDoc);
+        out.document = std::move(cachedDoc);
+        out.runSeconds = monotonicSeconds() - t0;
+        std::lock_guard<std::mutex> lock(mutex_);
+        Job &job = jobs_[id];
+        out.queueSeconds = job.outcome.queueSeconds;
+        job.outcome = std::move(out);
+        inflight_.erase(key);
+        --counters_.running;
+        ++counters_.cacheServed;
+        doneCv_.notify_all();
+        return;
+    }
+    const api::ExperimentInfo *info =
+        api::ExperimentRegistry::instance().find(spec.experiment);
+    if (!info) {
+        out.state = JobState::Failed;
+        out.error = "unknown experiment '" + spec.experiment + "'";
+    } else {
+        api::CliOptions opts;
+        opts.threads = spec.threads;
+        opts.sampleSteps = spec.sampleSteps;
+        opts.extras = spec.options;
+        api::Result result =
+            api::produceResult(*info, opts, engine_.get());
+        out.state = JobState::Done;
+        out.ok = result.ok;
+        out.document = api::ReportWriter::renderJson(result);
+        out.fingerprint = Fnv64::hex(result.fingerprint());
+        // Two kinds of document are served to their submitter but
+        // never cached: failed-gate results (a failure deserves a
+        // fresh look, not replay) and timing experiments (their
+        // fingerprint override marks content that is not
+        // run-invariant — replaying stale wall-clock numbers as a
+        // fresh document would mislead).
+        if (result.ok && !result.hasFingerprintOverride())
+            cache_->insert(key, out.document);
+    }
+    out.runSeconds = monotonicSeconds() - t0;
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Job &job = jobs_[id];
+        out.queueSeconds = job.outcome.queueSeconds;
+        job.outcome = std::move(out);
+        inflight_.erase(key);
+        --counters_.running;
+        if (job.outcome.state == JobState::Failed)
+            ++counters_.failed;
+        else
+            ++counters_.executed;
+    }
+    doneCv_.notify_all();
+}
+
+SchedulerStats
+JobScheduler::stats() const
+{
+    SchedulerStats s;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        s = counters_;
+        s.queued = queue_.size();
+    }
+    s.cache = cache_->stats();
+    return s;
+}
+
+} // namespace serve
+} // namespace fpraker

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * JobScheduler: the persistent execution core of the serving layer.
+ *
+ * One scheduler owns ONE long-lived SimEngine (the warmed worker pool
+ * every job shares — the same Session::shareEngine path `fpraker run
+ * --all` uses), a ResultCache, and a small team of scheduler workers
+ * that drain a priority queue of JobSpecs. Per job the worker builds
+ * a fresh Session borrowing the engine, runs the registered
+ * experiment through api::produceResult, renders the canonical
+ * fpraker-result-v1 document, and admits it to the cache — so
+ * served fingerprints are bit-identical to `fpraker run <id>` at any
+ * engine thread count or worker count (the existing serial==parallel
+ * parity contract, extended to served results).
+ *
+ * Request coalescing: a submit whose cache key matches a queued or
+ * running job joins that job instead of enqueueing a duplicate
+ * (concurrent identical submits simulate exactly once); a submit
+ * whose key is already cached completes immediately with
+ * provenance.cached = true and performs no engine work.
+ *
+ * Scheduling order is (priority desc, arrival seq asc); results are
+ * buffered per job and handed to waiters, so delivery is deterministic
+ * per job regardless of completion interleaving.
+ */
+
+#ifndef FPRAKER_SERVE_SCHEDULER_H
+#define FPRAKER_SERVE_SCHEDULER_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/job_spec.h"
+#include "serve/result_cache.h"
+#include "sim/sim_engine.h"
+
+namespace fpraker {
+namespace serve {
+
+/** Knobs of one scheduler instance. */
+struct SchedulerConfig
+{
+    int engineThreads = 0; //!< SimEngine threads (0 = defaultThreads).
+    int workers = 1;       //!< Concurrent jobs.
+    uint64_t cacheBytes = 64ull << 20; //!< ResultCache LRU bound.
+    std::string cacheDir;              //!< Disk spill ("" = none).
+};
+
+/** Lifecycle of one submitted job. */
+enum class JobState { Queued, Running, Done, Failed };
+
+const char *jobStateName(JobState s);
+
+/** The buffered result of one job, handed to every waiter. */
+struct JobOutcome
+{
+    JobState state = JobState::Queued;
+    bool cached = false; //!< Served from the ResultCache.
+    bool ok = true;      //!< The experiment's own gate.
+    std::string document;    //!< Rendered fpraker-result-v1 text.
+    std::string fingerprint; //!< 16-hex content fingerprint.
+    std::string error;       //!< Failure reason (Failed only).
+    double queueSeconds = 0; //!< Submit -> execution start.
+    double runSeconds = 0;   //!< Execution start -> done.
+};
+
+/** Aggregate counters of one scheduler. */
+struct SchedulerStats
+{
+    uint64_t submitted = 0;  //!< submit() calls.
+    uint64_t executed = 0;   //!< Jobs actually simulated.
+    uint64_t coalesced = 0;  //!< Submits joined to an in-flight job.
+    uint64_t cacheServed = 0;//!< Submits completed straight from cache.
+    uint64_t failed = 0;     //!< Jobs that could not run.
+    uint64_t queued = 0;     //!< Currently waiting.
+    uint64_t running = 0;    //!< Currently executing.
+    CacheStats cache;
+    int engineThreads = 0;
+    int workers = 0;
+};
+
+class JobScheduler
+{
+  public:
+    explicit JobScheduler(const SchedulerConfig &cfg = {});
+    /** Stops workers; queued jobs fail with "scheduler stopped". */
+    ~JobScheduler();
+
+    JobScheduler(const JobScheduler &) = delete;
+    JobScheduler &operator=(const JobScheduler &) = delete;
+
+    /**
+     * Enqueue @p spec (or join the identical in-flight job, or
+     * complete immediately from cache) and return the job id to
+     * wait() on.
+     */
+    uint64_t submit(const JobSpec &spec);
+
+    /** Block until job @p id completes; returns its outcome. */
+    JobOutcome wait(uint64_t id);
+
+    /** submit + wait. */
+    JobOutcome run(const JobSpec &spec) { return wait(submit(spec)); }
+
+    /** Non-blocking state probe; false when @p id is unknown. */
+    bool status(uint64_t id, JobState *state) const;
+
+    SchedulerStats stats() const;
+    SimEngine &engine() { return *engine_; }
+    ResultCache &cache() { return *cache_; }
+
+  private:
+    struct Job
+    {
+        JobSpec spec;
+        uint64_t key = 0;
+        uint64_t seq = 0;
+        int queuedPriority = 0; //!< Current queue key (coalesced
+                                //!< submits may upgrade it).
+        double submitTime = 0;
+        JobOutcome outcome;
+    };
+
+    void workerLoop();
+    void execute(uint64_t id);
+    void finish(Job &job, JobOutcome outcome);
+
+    const SchedulerConfig cfg_;
+    std::unique_ptr<SimEngine> engine_;
+    std::unique_ptr<ResultCache> cache_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable queueCv_; //!< Workers: work or stop.
+    std::condition_variable doneCv_;  //!< Waiters: job completion.
+    bool stop_ = false;
+    uint64_t nextId_ = 1;
+    uint64_t nextSeq_ = 0;
+    std::unordered_map<uint64_t, Job> jobs_;
+    //! (priority desc, seq asc) -> job id; map keeps pop O(log n).
+    std::map<std::pair<int, uint64_t>, uint64_t> queue_;
+    std::unordered_map<uint64_t, uint64_t> inflight_; //!< key -> id.
+    SchedulerStats counters_;
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace serve
+} // namespace fpraker
+
+#endif // FPRAKER_SERVE_SCHEDULER_H

@@ -1,0 +1,440 @@
+#include "serve/serve_cli.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/driver.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/protocol.h"
+
+namespace fpraker {
+namespace serve {
+
+namespace {
+
+/** Strict positive-integer parse (digits only, >= 1). */
+bool
+parsePositive(const char *text, uint64_t *out, uint64_t max)
+{
+    if (!*text)
+        return false;
+    uint64_t v = 0;
+    for (const char *p = text; *p; ++p) {
+        if (*p < '0' || *p > '9')
+            return false;
+        v = v * 10 + static_cast<uint64_t>(*p - '0');
+        if (v > max)
+            return false;
+    }
+    if (v < 1)
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+parsePositiveInt(const char *text, int *out)
+{
+    uint64_t v;
+    if (!parsePositive(text, &v, 1000000000))
+        return false;
+    *out = static_cast<int>(v);
+    return true;
+}
+
+/** Signed strict parse for --priority (range [-1e9, 1e9]). */
+bool
+parseSignedInt(const char *text, int *out)
+{
+    bool negative = *text == '-';
+    uint64_t v;
+    if (!parsePositive(negative ? text + 1 : text, &v, 1000000000)) {
+        // parsePositive rejects 0; accept the explicit "0" here.
+        if (std::strcmp(text, "0") != 0)
+            return false;
+        v = 0;
+    }
+    *out = negative ? -static_cast<int>(v) : static_cast<int>(v);
+    return true;
+}
+
+int
+usage(const char *prog, const char *what)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s %s\n"
+        "(see `fpraker help` and docs/SERVING.md)\n",
+        prog, what);
+    return 2;
+}
+
+int
+flagError(const char *prog, const std::string &message)
+{
+    std::fprintf(stderr, "%s: %s\n", prog, message.c_str());
+    return 2;
+}
+
+bool
+connectOrFail(ServeClient *client, const std::string &socket,
+              const char *prog)
+{
+    std::string error;
+    if (!client->connectTo(socket, &error)) {
+        std::fprintf(stderr, "%s: %s\n", prog, error.c_str());
+        return false;
+    }
+    return true;
+}
+
+/** True when @p resp carries ok=true; otherwise print the daemon's
+ *  error and return false. */
+bool
+responseOk(const char *prog, const api::JsonValue &resp)
+{
+    const api::JsonValue *ok = resp.find("ok");
+    if (ok && ok->boolean())
+        return true;
+    const api::JsonValue *msg = resp.find("error");
+    std::fprintf(stderr, "%s: daemon error: %s\n", prog,
+                 msg ? msg->str().c_str() : "unknown");
+    return false;
+}
+
+/**
+ * Deliver a completed-job response: document to --json (or stdout),
+ * one summary line. Shared by `submit` (wait) and `result`. Returns
+ * the process exit status.
+ */
+int
+printCompleted(const char *prog, const std::string &label,
+               const api::JsonValue &resp, const std::string &jsonPath)
+{
+    auto field = [&](const char *key) { return resp.find(key); };
+    const api::JsonValue *doc = field("document");
+    std::string summary =
+        "served " + label +
+        ": status=" + (field("status") ? field("status")->str() : "?") +
+        " cached=" +
+        ((field("cached") && field("cached")->boolean()) ? "true"
+                                                         : "false") +
+        " fingerprint=" +
+        (field("fingerprint") ? field("fingerprint")->str() : "?");
+    if (!jsonPath.empty()) {
+        FILE *f = std::fopen(jsonPath.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "%s: cannot write %s\n", prog,
+                         jsonPath.c_str());
+            return 1;
+        }
+        if (doc)
+            std::fwrite(doc->str().data(), 1, doc->str().size(), f);
+        std::fclose(f);
+        std::printf("%s\nwrote %s\n", summary.c_str(),
+                    jsonPath.c_str());
+    } else {
+        // Document to stdout (pipeable), summary to stderr.
+        if (doc)
+            std::fputs(doc->str().c_str(), stdout);
+        std::fprintf(stderr, "%s\n", summary.c_str());
+    }
+    const api::JsonValue *xok = field("experiment_ok");
+    return (xok && !xok->boolean()) ? 1 : 0;
+}
+
+} // namespace
+
+int
+serveMain(int argc, char **argv, int first)
+{
+    const char *prog = argc > 0 ? argv[0] : "fprakerd";
+    DaemonConfig cfg;
+    for (int i = first; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--socket=", 9) == 0) {
+            cfg.socketPath = arg + 9;
+        } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+            if (!parsePositiveInt(arg + 10,
+                                  &cfg.scheduler.engineThreads))
+                return flagError(prog, "--threads requires an "
+                                       "integer >= 1");
+        } else if (std::strncmp(arg, "--workers=", 10) == 0) {
+            if (!parsePositiveInt(arg + 10, &cfg.scheduler.workers))
+                return flagError(prog, "--workers requires an "
+                                       "integer >= 1");
+        } else if (std::strncmp(arg, "--cache-bytes=", 14) == 0) {
+            if (!parsePositive(arg + 14, &cfg.scheduler.cacheBytes,
+                               1ull << 40))
+                return flagError(prog, "--cache-bytes requires an "
+                                       "integer in [1, 2^40]");
+        } else if (std::strncmp(arg, "--cache-dir=", 12) == 0) {
+            cfg.scheduler.cacheDir = arg + 12;
+        } else {
+            return usage(prog,
+                         "serve [--socket=PATH] [--threads=N] "
+                         "[--workers=N] [--cache-bytes=N] "
+                         "[--cache-dir=DIR]");
+        }
+    }
+
+    Daemon daemon(cfg);
+    std::string error;
+    if (!daemon.start(&error)) {
+        std::fprintf(stderr, "%s: %s\n", prog, error.c_str());
+        return 1;
+    }
+    SchedulerStats s = daemon.scheduler().stats();
+    std::printf("fprakerd: serving on %s (engine threads=%d, "
+                "workers=%d, cache=%llu bytes%s%s)\n",
+                daemon.socketPath().c_str(), s.engineThreads,
+                s.workers,
+                static_cast<unsigned long long>(
+                    s.cache.capacityBytes),
+                cfg.scheduler.cacheDir.empty() ? "" : ", spill=",
+                cfg.scheduler.cacheDir.c_str());
+    std::fflush(stdout);
+    bool clean = daemon.serve();
+    if (!clean) {
+        std::fprintf(stderr,
+                     "%s: accept loop died on a transport error\n",
+                     prog);
+        return 1;
+    }
+    std::printf("fprakerd: stopped\n");
+    return 0;
+}
+
+int
+submitMain(int argc, char **argv, int first)
+{
+    const char *prog = argc > 0 ? argv[0] : "fpraker";
+    const char *what =
+        "submit <id> [--socket=PATH] [--threads=N] "
+        "[--sample-steps=N] [--steps=N] [--reps=N] [--out=FILE] "
+        "[--priority=N] [--json=FILE] [--no-wait]";
+
+    // Serve-specific flags are peeled off here; the shared run knobs
+    // (--threads/--sample-steps/--steps/--reps/--out/--json and the
+    // experiment id) go through the one strict CLI parser so submit
+    // and `fpraker run` can never drift apart.
+    std::string socket;
+    bool wait = true;
+    int priority = 0;
+    std::vector<char *> rest;
+    rest.push_back(argc > 0 ? argv[0] : const_cast<char *>("fpraker"));
+    for (int i = first; i < argc; ++i) {
+        char *arg = argv[i];
+        if (std::strncmp(arg, "--socket=", 9) == 0) {
+            socket = arg + 9;
+        } else if (std::strncmp(arg, "--priority=", 11) == 0) {
+            if (!parseSignedInt(arg + 11, &priority))
+                return flagError(prog, "--priority requires an "
+                                       "integer in [-1e9, 1e9]");
+        } else if (std::strcmp(arg, "--no-wait") == 0) {
+            wait = false;
+        } else {
+            rest.push_back(arg);
+        }
+    }
+    api::CliOptions opts;
+    std::string parseError;
+    if (!api::parseCliArgs(static_cast<int>(rest.size()), rest.data(),
+                           1, /*allow_positionals=*/true, &opts,
+                           &parseError))
+        return flagError(prog, parseError);
+    if (opts.all || !opts.jsonDir.empty() || opts.ids.size() != 1)
+        return usage(prog, what);
+
+    JobSpec spec;
+    spec.experiment = opts.ids[0];
+    spec.threads = opts.threads;
+    spec.sampleSteps = opts.sampleSteps;
+    spec.options = opts.extras;
+    spec.priority = priority;
+    const std::string jsonPath = opts.json;
+
+    ServeClient client;
+    if (!connectOrFail(&client, socket, prog))
+        return 1;
+    api::JsonValue resp;
+    std::string error;
+    if (!client.submit(spec, &resp, &error, wait)) {
+        std::fprintf(stderr, "%s: %s\n", prog, error.c_str());
+        return 1;
+    }
+    if (!responseOk(prog, resp))
+        return 1;
+
+    if (!wait) {
+        const api::JsonValue *job = resp.find("job");
+        const api::JsonValue *status = resp.find("status");
+        std::printf("submitted %s: job=%lld status=%s\n"
+                    "(fetch with `%s result %lld`)\n",
+                    spec.experiment.c_str(),
+                    static_cast<long long>(job ? job->intValue() : 0),
+                    status ? status->str().c_str() : "?", prog,
+                    static_cast<long long>(job ? job->intValue() : 0));
+        return 0;
+    }
+    return printCompleted(prog, spec.experiment, resp, jsonPath);
+}
+
+namespace {
+
+/** Shared argv parse for `status <job>` / `result <job>`. */
+bool
+parseJobArgs(int argc, char **argv, int first, bool allow_json,
+             std::string *socket, std::string *jsonPath,
+             uint64_t *job, const char *prog)
+{
+    bool have_job = false;
+    for (int i = first; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--socket=", 9) == 0) {
+            *socket = arg + 9;
+        } else if (allow_json && std::strncmp(arg, "--json=", 7) == 0) {
+            *jsonPath = arg + 7;
+        } else if (arg[0] != '-' && !have_job) {
+            if (!parsePositive(arg, job, ~0ull >> 1)) {
+                flagError(prog, std::string("job id must be a "
+                                            "positive integer, got "
+                                            "'") +
+                                    arg + "'");
+                return false;
+            }
+            have_job = true;
+        } else {
+            return false;
+        }
+    }
+    return have_job;
+}
+
+} // namespace
+
+int
+statusMain(int argc, char **argv, int first)
+{
+    const char *prog = argc > 0 ? argv[0] : "fpraker";
+    std::string socket, unused;
+    uint64_t job = 0;
+    if (!parseJobArgs(argc, argv, first, /*allow_json=*/false,
+                      &socket, &unused, &job, prog))
+        return usage(prog, "status <job> [--socket=PATH]");
+
+    ServeClient client;
+    if (!connectOrFail(&client, socket, prog))
+        return 1;
+    api::JsonValue req = api::JsonValue::object();
+    req.set("op", "status");
+    req.set("job", static_cast<int64_t>(job));
+    api::JsonValue resp;
+    std::string error;
+    if (!client.request(req, &resp, &error)) {
+        std::fprintf(stderr, "%s: %s\n", prog, error.c_str());
+        return 1;
+    }
+    if (!responseOk(prog, resp))
+        return 1;
+    const api::JsonValue *status = resp.find("status");
+    std::printf("job=%llu status=%s\n",
+                static_cast<unsigned long long>(job),
+                status ? status->str().c_str() : "?");
+    return 0;
+}
+
+int
+resultMain(int argc, char **argv, int first)
+{
+    const char *prog = argc > 0 ? argv[0] : "fpraker";
+    std::string socket, jsonPath;
+    uint64_t job = 0;
+    if (!parseJobArgs(argc, argv, first, /*allow_json=*/true,
+                      &socket, &jsonPath, &job, prog))
+        return usage(prog,
+                     "result <job> [--socket=PATH] [--json=FILE]");
+
+    ServeClient client;
+    if (!connectOrFail(&client, socket, prog))
+        return 1;
+    api::JsonValue req = api::JsonValue::object();
+    req.set("op", "result");
+    req.set("job", static_cast<int64_t>(job));
+    api::JsonValue resp;
+    std::string error;
+    if (!client.request(req, &resp, &error)) {
+        std::fprintf(stderr, "%s: %s\n", prog, error.c_str());
+        return 1;
+    }
+    if (!responseOk(prog, resp))
+        return 1;
+    return printCompleted(prog, "job " + std::to_string(job), resp,
+                          jsonPath);
+}
+
+int
+statsMain(int argc, char **argv, int first)
+{
+    const char *prog = argc > 0 ? argv[0] : "fpraker";
+    std::string socket;
+    for (int i = first; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--socket=", 9) == 0)
+            socket = argv[i] + 9;
+        else
+            return usage(prog, "stats [--socket=PATH]");
+    }
+    ServeClient client;
+    if (!connectOrFail(&client, socket, prog))
+        return 1;
+    api::JsonValue req = api::JsonValue::object();
+    req.set("op", "stats");
+    api::JsonValue resp;
+    std::string error;
+    if (!client.request(req, &resp, &error)) {
+        std::fprintf(stderr, "%s: %s\n", prog, error.c_str());
+        return 1;
+    }
+    std::printf("%s\n", resp.dump().c_str());
+    const api::JsonValue *ok = resp.find("ok");
+    return ok && ok->boolean() ? 0 : 1;
+}
+
+int
+shutdownMain(int argc, char **argv, int first)
+{
+    const char *prog = argc > 0 ? argv[0] : "fpraker";
+    std::string socket;
+    for (int i = first; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--socket=", 9) == 0)
+            socket = argv[i] + 9;
+        else
+            return usage(prog, "shutdown [--socket=PATH]");
+    }
+    ServeClient client;
+    if (!connectOrFail(&client, socket, prog))
+        return 1;
+    api::JsonValue req = api::JsonValue::object();
+    req.set("op", "shutdown");
+    api::JsonValue resp;
+    std::string error;
+    if (!client.request(req, &resp, &error)) {
+        std::fprintf(stderr, "%s: %s\n", prog, error.c_str());
+        return 1;
+    }
+    const api::JsonValue *ok = resp.find("ok");
+    if (!ok || !ok->boolean()) {
+        const api::JsonValue *msg = resp.find("error");
+        std::fprintf(stderr, "%s: daemon error: %s\n", prog,
+                     msg ? msg->str().c_str() : "unknown");
+        return 1;
+    }
+    std::printf("daemon stopping\n");
+    return 0;
+}
+
+} // namespace serve
+} // namespace fpraker

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The serving subcommands of the `fpraker` CLI (and the `fprakerd`
+ * shim binary):
+ *
+ *   fpraker serve    [--socket=PATH] [--threads=N] [--workers=N]
+ *                    [--cache-bytes=N] [--cache-dir=DIR]
+ *   fpraker submit <id> [--socket=PATH] [--threads=N]
+ *                    [--sample-steps=N] [--steps=N] [--reps=N]
+ *                    [--out=FILE] [--priority=N] [--json=FILE]
+ *                    [--no-wait]
+ *   fpraker status <job> [--socket=PATH]
+ *   fpraker result <job> [--socket=PATH] [--json=FILE]
+ *   fpraker stats    [--socket=PATH]
+ *   fpraker shutdown [--socket=PATH]
+ *
+ * Flag parsing is strict like the rest of the CLI (unknown flags and
+ * out-of-range values exit 2). `fprakerd` is `fpraker serve` under
+ * another argv[0]. Exit status: 0 success, 1 daemon/experiment/
+ * transport failure, 2 usage error.
+ */
+
+#ifndef FPRAKER_SERVE_SERVE_CLI_H
+#define FPRAKER_SERVE_SERVE_CLI_H
+
+namespace fpraker {
+namespace serve {
+
+/** `fpraker serve` / `fprakerd` — run the daemon in the foreground. */
+int serveMain(int argc, char **argv, int first);
+
+/** `fpraker submit <id>` — submit a JobSpec, await the document. */
+int submitMain(int argc, char **argv, int first);
+
+/** `fpraker status <job>` — poll a job submitted with --no-wait. */
+int statusMain(int argc, char **argv, int first);
+
+/** `fpraker result <job>` — block for and fetch a job's document. */
+int resultMain(int argc, char **argv, int first);
+
+/** `fpraker stats` — print the daemon's scheduler/cache counters. */
+int statsMain(int argc, char **argv, int first);
+
+/** `fpraker shutdown` — ask the daemon to stop. */
+int shutdownMain(int argc, char **argv, int first);
+
+} // namespace serve
+} // namespace fpraker
+
+#endif // FPRAKER_SERVE_SERVE_CLI_H

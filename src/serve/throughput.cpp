@@ -1,0 +1,140 @@
+#include "serve/throughput.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "api/registry.h"
+#include "api/result.h"
+#include "common/clock.h"
+#include "common/fnv.h"
+#include "common/logging.h"
+#include "serve/scheduler.h"
+
+namespace fpraker {
+namespace serve {
+
+namespace {
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0;
+    size_t idx = static_cast<size_t>(
+        p * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+} // namespace
+
+ThroughputReport
+measureServeThroughput(const ThroughputOptions &opts)
+{
+    panic_if(!api::ExperimentRegistry::instance().find(
+                 opts.experiment),
+             "serve throughput: experiment '%s' is not registered",
+             opts.experiment.c_str());
+
+    SchedulerConfig cfg;
+    cfg.engineThreads = opts.engineThreads;
+    cfg.workers = opts.workers;
+    cfg.cacheBytes = opts.cacheBytes;
+    JobScheduler sched(cfg);
+
+    std::vector<JobSpec> specs;
+    for (int i = 0; i < opts.distinctSpecs; ++i) {
+        JobSpec spec;
+        spec.experiment = opts.experiment;
+        // Distinct sample budgets make distinct cache keys (and
+        // distinct documents) without needing several experiments.
+        spec.sampleSteps = opts.sampleStepsBase + i;
+        specs.push_back(spec);
+    }
+
+    ThroughputReport r;
+    std::vector<std::string> coldFp(specs.size());
+
+    // Cold phase: every spec simulates once.
+    double t0 = monotonicSeconds();
+    for (size_t i = 0; i < specs.size(); ++i) {
+        JobOutcome out = sched.run(specs[i]);
+        panic_if(out.state != JobState::Done, "cold job failed: %s",
+                 out.error.c_str());
+        coldFp[i] = out.fingerprint;
+        if (out.cached)
+            r.allHotCached = false; // a cold request must not hit
+    }
+    r.coldSeconds = monotonicSeconds() - t0;
+
+    // Hot phase: cycle the same specs; every request must be served
+    // from cache with the cold fingerprint.
+    std::vector<double> latencies;
+    latencies.reserve(static_cast<size_t>(opts.hotRequests));
+    t0 = monotonicSeconds();
+    for (int i = 0; i < opts.hotRequests; ++i) {
+        const size_t s = static_cast<size_t>(i) % specs.size();
+        double q0 = monotonicSeconds();
+        JobOutcome out = sched.run(specs[s]);
+        latencies.push_back((monotonicSeconds() - q0) * 1e3);
+        if (!out.cached)
+            r.allHotCached = false;
+        if (out.fingerprint != coldFp[s])
+            r.deterministic = false;
+    }
+    r.hotSeconds = monotonicSeconds() - t0;
+
+    std::sort(latencies.begin(), latencies.end());
+    r.hotP50Ms = percentile(latencies, 0.50);
+    r.hotP99Ms = percentile(latencies, 0.99);
+    r.coldRps = specs.empty() || r.coldSeconds <= 0
+                    ? 0
+                    : static_cast<double>(specs.size()) /
+                          r.coldSeconds;
+    r.hotRps = latencies.empty() || r.hotSeconds <= 0
+                   ? 0
+                   : static_cast<double>(latencies.size()) /
+                         r.hotSeconds;
+
+    SchedulerStats stats = sched.stats();
+    r.requests = stats.submitted;
+    r.executions = stats.executed;
+    uint64_t lookups = stats.cache.hits + stats.cache.misses;
+    r.hitRate = lookups == 0 ? 0
+                             : static_cast<double>(stats.cache.hits) /
+                                   static_cast<double>(lookups);
+
+    Fnv64 digest;
+    for (const std::string &fp : coldFp)
+        digest.add(fp);
+    r.digest = digest.value();
+    return r;
+}
+
+void
+addServingGroup(api::Result &res, const ThroughputOptions &opts,
+                const ThroughputReport &r)
+{
+    res.group("serving")
+        .metric("experiment", opts.experiment)
+        .metric("distinct_specs", opts.distinctSpecs)
+        .metric("hot_requests", opts.hotRequests)
+        .metric("engine_threads", opts.engineThreads)
+        .metric("workers", opts.workers)
+        .metric("cold_s", r.coldSeconds, 6)
+        .metric("hot_s", r.hotSeconds, 6)
+        .metric("requests_per_sec_cold", r.coldRps, 1)
+        .metric("requests_per_sec_hot", r.hotRps, 1)
+        .metric("hot_over_cold", r.coldRps > 0 ? r.hotRps / r.coldRps
+                                               : 0.0,
+                1)
+        .metric("p50_ms_hot", r.hotP50Ms, 4)
+        .metric("p99_ms_hot", r.hotP99Ms, 4)
+        .metric("cache_hit_rate", r.hitRate, 4)
+        .metric("executions", r.executions)
+        .metric("requests", r.requests)
+        .metric("digest", Fnv64::hex(r.digest))
+        .metric("bit_identical", r.deterministic && r.allHotCached);
+}
+
+} // namespace serve
+} // namespace fpraker

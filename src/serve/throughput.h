@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The serving-layer load generator: replay a mixed workload of cold
+ * (simulate) and hot (cache-hit) requests against an in-process
+ * JobScheduler and measure request throughput and latency.
+ *
+ * This is the measurement core shared by the `serve_throughput`
+ * registered experiment and the `serving` section of the
+ * BENCH_PR<N>.json perf trajectory (perf_regression). It runs
+ * entirely in-process — scheduler-level numbers, no socket framing —
+ * so the hot-path figure isolates what the cache buys over
+ * re-simulation.
+ *
+ * Phases: first every distinct JobSpec is submitted once (all cold,
+ * open the cache), then `hotRequests` submissions cycle over the same
+ * specs (all hot). Per-request latencies of the hot phase give
+ * p50/p99; every hot document must come back cached with the cold
+ * run's fingerprint (the determinism gate).
+ */
+
+#ifndef FPRAKER_SERVE_THROUGHPUT_H
+#define FPRAKER_SERVE_THROUGHPUT_H
+
+#include <cstdint>
+#include <string>
+
+namespace fpraker {
+namespace api {
+class Result;
+}
+
+namespace serve {
+
+/** Workload shape of one measurement. */
+struct ThroughputOptions
+{
+    std::string experiment = "fig02"; //!< Submitted registry id.
+    int distinctSpecs = 6;   //!< Cold jobs (sample budgets differ).
+    int hotRequests = 240;   //!< Hot submissions cycling the specs.
+    int sampleStepsBase = 12; //!< Spec i gets base + i sample steps.
+    int engineThreads = 1;   //!< Scheduler SimEngine threads.
+    int workers = 2;         //!< Scheduler workers.
+    uint64_t cacheBytes = 64ull << 20;
+};
+
+/** Measured outcome of one replay. */
+struct ThroughputReport
+{
+    double coldSeconds = 0;
+    double hotSeconds = 0;
+    double coldRps = 0; //!< Cold (simulating) requests per second.
+    double hotRps = 0;  //!< Hot (cache-served) requests per second.
+    double hotP50Ms = 0;
+    double hotP99Ms = 0;
+    double hitRate = 0; //!< Cache hits / lookups over the whole run.
+    uint64_t requests = 0;
+    uint64_t executions = 0; //!< Jobs actually simulated.
+    bool allHotCached = true;  //!< Every hot request hit the cache.
+    bool deterministic = true; //!< Hot fingerprints == cold ones.
+    uint64_t digest = 0; //!< FNV over the cold fingerprints, in spec
+                         //!< order — run-invariant.
+};
+
+/** Run the workload; panics if opts.experiment is unregistered. */
+ThroughputReport measureServeThroughput(const ThroughputOptions &opts);
+
+/**
+ * Record @p r as the canonical `serving` metric group of @p res
+ * (the BENCH_PR<N>.json section scripts/check_perf_floor.py reads).
+ */
+void addServingGroup(api::Result &res, const ThroughputOptions &opts,
+                     const ThroughputReport &r);
+
+} // namespace serve
+} // namespace fpraker
+
+#endif // FPRAKER_SERVE_THROUGHPUT_H

@@ -17,6 +17,7 @@
 #include "api/registry.h"
 #include "api/result.h"
 #include "api/session.h"
+#include "common/fnv.h"
 #include "common/table.h"
 #include "numeric/term_encoder.h"
 #include "trace/model_zoo.h"
@@ -44,35 +45,26 @@ smallConfig()
 uint64_t
 fingerprint(const ModelRunReport &r)
 {
-    uint64_t h = 0xcbf29ce484222325ull;
-    auto mix = [&h](double v) {
-        uint64_t bits;
-        std::memcpy(&bits, &v, sizeof(bits));
-        h ^= bits;
-        h *= 0x100000001b3ull;
-    };
-    mix(r.fprCycles);
-    mix(r.baseCycles);
-    mix(r.fprEnergy.totalPj());
-    mix(r.baseEnergy.totalPj());
+    Fnv64 h;
+    h.addRaw(r.fprCycles);
+    h.addRaw(r.baseCycles);
+    h.addRaw(r.fprEnergy.totalPj());
+    h.addRaw(r.baseEnergy.totalPj());
     for (const LayerOpReport &op : r.ops) {
-        mix(op.fprCycles);
-        mix(op.avgCyclesPerStep);
-        mix(static_cast<double>(op.sampleStats.setCycles));
-        mix(static_cast<double>(op.sampleStats.termsObSkipped));
+        h.addRaw(op.fprCycles);
+        h.addRaw(op.avgCyclesPerStep);
+        h.addRaw(static_cast<double>(op.sampleStats.setCycles));
+        h.addRaw(static_cast<double>(op.sampleStats.termsObSkipped));
     }
-    return h;
+    return h.value();
 }
 
 uint64_t
 stringChecksum(const std::string &s)
 {
-    uint64_t h = 0xcbf29ce484222325ull;
-    for (unsigned char c : s) {
-        h ^= c;
-        h *= 0x100000001b3ull;
-    }
-    return h;
+    Fnv64 h;
+    h.addBytes(s.data(), s.size());
+    return h.value();
 }
 
 TEST(Session, ParityWithDirectRunModel)

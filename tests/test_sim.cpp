@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "accel/accelerator.h"
+#include "common/fnv.h"
 #include "common/rng.h"
 #include "numeric/term_lut.h"
 #include "pe/fpraker_pe.h"
@@ -357,27 +358,21 @@ TEST(SimEngine, ZeroRequestsDefaultThreads)
 uint64_t
 reportFingerprint(const ModelRunReport &r)
 {
-    uint64_t h = 0xcbf29ce484222325ull;
-    auto mix = [&h](double v) {
-        uint64_t bits;
-        std::memcpy(&bits, &v, sizeof(bits));
-        h ^= bits;
-        h *= 0x100000001b3ull;
-    };
-    mix(r.fprCycles);
-    mix(r.baseCycles);
-    mix(r.fprEnergy.totalPj());
-    mix(r.baseEnergy.totalPj());
-    mix(r.activity.laneUseful);
-    mix(r.activity.termsProcessed);
+    Fnv64 h;
+    h.addRaw(r.fprCycles);
+    h.addRaw(r.baseCycles);
+    h.addRaw(r.fprEnergy.totalPj());
+    h.addRaw(r.baseEnergy.totalPj());
+    h.addRaw(static_cast<double>(r.activity.laneUseful));
+    h.addRaw(static_cast<double>(r.activity.termsProcessed));
     for (const LayerOpReport &op : r.ops) {
-        mix(op.fprCycles);
-        mix(op.baseCycles);
-        mix(op.avgCyclesPerStep);
-        mix(static_cast<double>(op.sampleStats.setCycles));
-        mix(static_cast<double>(op.sampleStats.termsObSkipped));
+        h.addRaw(op.fprCycles);
+        h.addRaw(op.baseCycles);
+        h.addRaw(op.avgCyclesPerStep);
+        h.addRaw(static_cast<double>(op.sampleStats.setCycles));
+        h.addRaw(static_cast<double>(op.sampleStats.termsObSkipped));
     }
-    return h;
+    return h.value();
 }
 
 TEST(SimEngine, ModelRunIsBitIdenticalAcrossThreadCounts)

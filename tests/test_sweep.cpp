@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "accel/phase_runner.h"
+#include "common/fnv.h"
 #include "sim/sweep_runner.h"
 #include "trace/model_zoo.h"
 #include "trace/rng_stream.h"
@@ -31,24 +32,18 @@ smallConfig()
 uint64_t
 reportFingerprint(const ModelRunReport &r)
 {
-    uint64_t h = 0xcbf29ce484222325ull;
-    auto mix = [&h](double v) {
-        uint64_t bits;
-        std::memcpy(&bits, &v, sizeof(bits));
-        h ^= bits;
-        h *= 0x100000001b3ull;
-    };
-    mix(r.fprCycles);
-    mix(r.baseCycles);
-    mix(r.fprEnergy.totalPj());
-    mix(r.baseEnergy.totalPj());
+    Fnv64 h;
+    h.addRaw(r.fprCycles);
+    h.addRaw(r.baseCycles);
+    h.addRaw(r.fprEnergy.totalPj());
+    h.addRaw(r.baseEnergy.totalPj());
     for (const LayerOpReport &op : r.ops) {
-        mix(op.fprCycles);
-        mix(op.avgCyclesPerStep);
-        mix(static_cast<double>(op.sampleStats.setCycles));
-        mix(static_cast<double>(op.sampleStats.termsObSkipped));
+        h.addRaw(op.fprCycles);
+        h.addRaw(op.avgCyclesPerStep);
+        h.addRaw(static_cast<double>(op.sampleStats.setCycles));
+        h.addRaw(static_cast<double>(op.sampleStats.termsObSkipped));
     }
-    return h;
+    return h.value();
 }
 
 TEST(RngStream, SubstreamSeedsAreStableAndDistinct)
@@ -98,12 +93,10 @@ TEST(SweepRunner, SweepIsBitIdenticalAcrossThreadCounts)
         std::vector<ModelRunReport> reports = runner.runModels(
             {SweepJob{&accel, &m0, 0.5}, SweepJob{&accel, &m1, 0.5},
              SweepJob{&accel, &m0, 1.0}});
-        uint64_t h = 0xcbf29ce484222325ull;
-        for (const ModelRunReport &r : reports) {
-            h ^= reportFingerprint(r);
-            h *= 0x100000001b3ull;
-        }
-        fingerprints[idx++] = h;
+        Fnv64 h;
+        for (const ModelRunReport &r : reports)
+            h.addRaw(reportFingerprint(r));
+        fingerprints[idx++] = h.value();
     }
     EXPECT_EQ(fingerprints[0], fingerprints[1]);
     EXPECT_EQ(fingerprints[0], fingerprints[2]);

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * `fprakerd` — the persistent simulation daemon. Serves experiment
+ * jobs over a Unix-domain socket with a shared SimEngine and a
+ * content-addressed result cache:
+ *
+ *   fprakerd --socket=/tmp/fpraker.sock --threads=8 --workers=4 \
+ *            --cache-bytes=67108864 --cache-dir=/var/cache/fpraker
+ *
+ * `fpraker serve` is the same entry point; `fpraker submit/stats/
+ * shutdown` are the clients. docs/SERVING.md documents the protocol.
+ */
+
+#include "serve/serve_cli.h"
+
+int
+main(int argc, char **argv)
+{
+    return fpraker::serve::serveMain(argc, argv, 1);
+}
