@@ -74,6 +74,15 @@ def validate(path, doc, errors):
         if not isinstance(cached, bool):
             _fail(path, errors,
                   f"provenance.cached not a boolean: {cached!r}")
+        # Optional: only present when the serving layer completed the
+        # job past its deadline (never on cached copies).
+        if "deadline_overrun_ms" in prov:
+            overrun = prov["deadline_overrun_ms"]
+            if not isinstance(overrun, int) or isinstance(overrun, bool) \
+                    or overrun < 1:
+                _fail(path, errors,
+                      "provenance.deadline_overrun_ms not a positive "
+                      f"int: {overrun!r}")
 
     scalars = doc.get("scalars")
     if not isinstance(scalars, dict):

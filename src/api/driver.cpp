@@ -28,10 +28,13 @@ printUsage(FILE *to, const char *prog)
         "                       docs/SERVING.md; also the fprakerd\n"
         "                       binary): --socket= --threads=\n"
         "                       --workers= --cache-bytes= --cache-dir=\n"
+        "                       --queue-depth= --io-timeout= --fault=\n"
         "  submit <id>          submit an experiment to the daemon\n"
         "                       and await its document (--socket=\n"
-        "                       --json= --priority= --no-wait + run\n"
-        "                       knobs)\n"
+        "                       --json= --priority= --deadline-ms=\n"
+        "                       --retries= --no-wait + run knobs);\n"
+        "                       overload rejections back off and\n"
+        "                       retry per the daemon's hint\n"
         "  status <job>         poll a job submitted with --no-wait\n"
         "  result <job>         fetch (blocking) a job's document\n"
         "                       (--socket= --json=)\n"

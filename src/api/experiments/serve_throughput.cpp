@@ -73,6 +73,39 @@ REGISTER_EXPERIMENT("serve_throughput", "Serve",
 
     serve::addServingGroup(res, opts, r);
 
+    // Overload behavior: burst 4x the queue depth of cold specs at a
+    // single worker; admission control must shed the overflow with
+    // retry_after hints, accept latency must stay bounded, and every
+    // shed spec must complete on retry.
+    serve::ShedOptions shedOpts;
+    shedOpts.engineThreads = opts.engineThreads;
+    shedOpts.sampleStepsBase = opts.sampleStepsBase;
+    serve::ShedReport shed = serve::measureShedBehavior(shedOpts);
+    serve::addShedGroup(res, shedOpts, shed);
+
+    ResultTable &st = res.table(
+        "shed", {"burst", "queue depth", "accepted", "shed",
+                 "retries", "submit p99 ms"});
+    st.caption = "open-loop overload burst (reject-newest with "
+                 "retry_after hints; shed specs resubmitted under "
+                 "the client RetryPolicy)";
+    st.addRow({std::to_string(shedOpts.burst),
+               std::to_string(shedOpts.queueDepth),
+               std::to_string(shed.accepted),
+               std::to_string(shed.shed),
+               std::to_string(shed.retryAttempts),
+               Table::cell(shed.submitP99Ms, 4)});
+
+    if (shed.shed == 0)
+        res.fail("overload burst was never shed (admission control "
+                 "inert)");
+    if (!shed.hintsOk)
+        res.fail("an overload rejection lacked a retry_after hint");
+    if (!shed.drained)
+        res.fail("scheduler did not drain after the overload burst");
+    if (!shed.completed)
+        res.fail("a shed spec never completed under retry");
+
     char note[160];
     std::snprintf(note, sizeof(note),
                   "hot/cold = %.1fx, cache hit rate %.1f%%, %llu "
@@ -89,11 +122,13 @@ REGISTER_EXPERIMENT("serve_throughput", "Serve",
         res.fail("a hot request missed the cache");
 
     // Wall-clock document: fingerprint over the served documents'
-    // fingerprints instead (run-invariant).
+    // fingerprints instead (run-invariant; the shed digest is too —
+    // every spec completes, so its fingerprint set is fixed).
     Fnv64 fp;
     fp.add(r.digest);
     fp.add(static_cast<uint64_t>(
         r.deterministic && r.allHotCached ? 1 : 0));
+    fp.add(shed.digest);
     res.setFingerprint(fp.value());
     return res;
 }

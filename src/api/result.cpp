@@ -219,6 +219,10 @@ Result::toJson() const
         vars.push(v);
     prov.set("variants", std::move(vars));
     prov.set("cached", cached);
+    // Only when positive: the common (met-deadline) rendering must
+    // stay byte-identical to pre-deadline documents.
+    if (deadlineOverrunMs > 0)
+        prov.set("deadline_overrun_ms", deadlineOverrunMs);
     doc.set("provenance", std::move(prov));
 
     JsonValue scalars = JsonValue::object();

@@ -123,6 +123,16 @@ class Result
      */
     bool cached = false;
 
+    /**
+     * Milliseconds this result finished past its serve-layer
+     * deadline (0 = met or none). Set only by the JobScheduler on
+     * the submitter's copy of an overrunning job's document — the
+     * cached copy stays clean, so the field never perturbs cache
+     * byte-stability. Rendered as provenance.deadline_overrun_ms
+     * only when positive. Provenance only — never fingerprinted.
+     */
+    int deadlineOverrunMs = 0;
+
     // -------------------------------------------------------- content
     /** Append a table (rendered in insertion order). */
     ResultTable &table(const std::string &name,

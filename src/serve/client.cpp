@@ -60,6 +60,16 @@ ServeClient::connectTo(const std::string &socketPath,
 }
 
 bool
+ServeClient::setTimeout(double seconds, std::string *error)
+{
+    if (fd_ < 0) {
+        *error = "not connected";
+        return false;
+    }
+    return setIoTimeout(fd_, seconds, error);
+}
+
+bool
 ServeClient::request(const api::JsonValue &message,
                      api::JsonValue *response, std::string *error)
 {

@@ -35,6 +35,13 @@ class ServeClient
     bool connected() const { return fd_ >= 0; }
 
     /**
+     * Bound this connection's blocking reads/writes (seconds; <= 0 =
+     * none). A daemon that wedges mid-response then fails the
+     * request instead of hanging the client forever.
+     */
+    bool setTimeout(double seconds, std::string *error);
+
+    /**
      * One protocol round-trip. False on transport failure; a
      * {"ok": false} response still returns true (@p response carries
      * the server's error).

@@ -9,13 +9,16 @@
 #include <unistd.h>
 
 #include "common/clock.h"
+#include "common/logging.h"
+#include "serve/fault_injection.h"
 #include "serve/protocol.h"
 
 namespace fpraker {
 namespace serve {
 
 Daemon::Daemon(const DaemonConfig &cfg)
-    : socketPath_(cfg.socketPath.empty() ? defaultSocketPath()
+    : cfg_(cfg),
+      socketPath_(cfg.socketPath.empty() ? defaultSocketPath()
                                          : cfg.socketPath),
       scheduler_(std::make_unique<JobScheduler>(cfg.scheduler))
 {
@@ -162,8 +165,19 @@ Daemon::serve()
 api::JsonValue
 Daemon::completedResponse(uint64_t id, const JobOutcome &outcome)
 {
-    if (outcome.state == JobState::Failed)
-        return errorResponse(outcome.error);
+    if (outcome.state == JobState::Failed) {
+        api::JsonValue resp = errorResponse(
+            outcome.errorCode.empty() ? kErrInternal
+                                      : outcome.errorCode.c_str(),
+            outcome.error);
+        // Keep the job identity on structured failures so a client
+        // can correlate the rejection with its submit.
+        resp.set("job", static_cast<int64_t>(id));
+        resp.set("status", jobStateName(outcome.state));
+        if (outcome.retryAfterMs > 0)
+            resp.set("retry_after_ms", outcome.retryAfterMs);
+        return resp;
+    }
     api::JsonValue resp = okResponse();
     resp.set("job", static_cast<int64_t>(id));
     resp.set("status", jobStateName(outcome.state));
@@ -172,6 +186,8 @@ Daemon::completedResponse(uint64_t id, const JobOutcome &outcome)
     resp.set("fingerprint", outcome.fingerprint);
     resp.set("queue_s", api::JsonValue(outcome.queueSeconds, 6));
     resp.set("run_s", api::JsonValue(outcome.runSeconds, 6));
+    if (outcome.deadlineOverrunMs > 0)
+        resp.set("deadline_overrun_ms", outcome.deadlineOverrunMs);
     resp.set("document", outcome.document);
     return resp;
 }
@@ -180,10 +196,12 @@ api::JsonValue
 Daemon::handleRequest(const api::JsonValue &request)
 {
     if (!request.isObject())
-        return errorResponse("request must be a JSON object");
+        return errorResponse(kErrBadRequest,
+                             "request must be a JSON object");
     const api::JsonValue *op = request.find("op");
     if (!op || op->kind() != api::JsonValue::Kind::String)
-        return errorResponse("request needs a string 'op'");
+        return errorResponse(kErrBadRequest,
+                             "request needs a string 'op'");
 
     if (op->str() == "ping") {
         api::JsonValue resp = okResponse();
@@ -194,15 +212,17 @@ Daemon::handleRequest(const api::JsonValue &request)
     if (op->str() == "submit") {
         const api::JsonValue *specv = request.find("spec");
         if (!specv)
-            return errorResponse("submit needs a 'spec' object");
+            return errorResponse(kErrBadRequest,
+                                 "submit needs a 'spec' object");
         JobSpec spec;
         std::string error;
         if (!JobSpec::fromJson(*specv, &spec, &error))
-            return errorResponse(error);
+            return errorResponse(kErrBadRequest, error);
         bool wait = true;
         if (const api::JsonValue *w = request.find("wait")) {
             if (w->kind() != api::JsonValue::Kind::Bool)
-                return errorResponse("'wait' must be a boolean");
+                return errorResponse(kErrBadRequest,
+                                     "'wait' must be a boolean");
             wait = w->boolean();
         }
         uint64_t id = scheduler_->submit(spec);
@@ -220,12 +240,14 @@ Daemon::handleRequest(const api::JsonValue &request)
     if (op->str() == "status" || op->str() == "result") {
         const api::JsonValue *jobv = request.find("job");
         if (!jobv || jobv->kind() != api::JsonValue::Kind::Int)
-            return errorResponse(op->str() +
-                                 " needs an integer 'job'");
+            return errorResponse(kErrBadRequest,
+                                 op->str() +
+                                     " needs an integer 'job'");
         uint64_t id = static_cast<uint64_t>(jobv->intValue());
         JobState state;
         if (!scheduler_->status(id, &state))
-            return errorResponse("unknown job " + std::to_string(id));
+            return errorResponse(kErrUnknownJob,
+                                 "unknown job " + std::to_string(id));
         if (op->str() == "status") {
             api::JsonValue resp = okResponse();
             resp.set("job", static_cast<int64_t>(id));
@@ -249,8 +271,13 @@ Daemon::handleRequest(const api::JsonValue &request)
         jobs.set("coalesced", s.coalesced);
         jobs.set("cache_served", s.cacheServed);
         jobs.set("failed", s.failed);
+        jobs.set("shed_overload", s.shedOverload);
+        jobs.set("shed_deadline", s.shedDeadline);
+        jobs.set("deadline_overruns", s.overrun);
+        jobs.set("pruned", s.pruned);
         jobs.set("queued", s.queued);
         jobs.set("running", s.running);
+        jobs.set("queue_depth", cfg_.scheduler.queueDepth);
         resp.set("jobs", std::move(jobs));
         api::JsonValue cache = api::JsonValue::object();
         cache.set("hits", s.cache.hits);
@@ -259,6 +286,7 @@ Daemon::handleRequest(const api::JsonValue &request)
         cache.set("evictions", s.cache.evictions);
         cache.set("disk_hits", s.cache.diskHits);
         cache.set("disk_writes", s.cache.diskWrites);
+        cache.set("disk_corrupt", s.cache.diskCorrupt);
         cache.set("bytes", s.cache.bytes);
         cache.set("entries", s.cache.entries);
         cache.set("capacity_bytes", s.cache.capacityBytes);
@@ -273,21 +301,49 @@ Daemon::handleRequest(const api::JsonValue &request)
         return resp;
     }
 
-    return errorResponse("unknown op '" + op->str() + "'");
+    return errorResponse(kErrUnknownOp,
+                         "unknown op '" + op->str() + "'");
 }
 
 void
 Daemon::handleConnection(int fd)
 {
-    // Requests are tiny (one spec object); 4 MiB bounds a hostile
-    // newline-free stream without cramping any legitimate client.
-    LineReader reader(fd, 4u << 20);
-    std::string line, error;
-    while (reader.readLine(&line, &error)) {
+    // Socket IO timeouts: a peer that connects and stalls (or stops
+    // draining responses) fails its read/write within the bound
+    // instead of pinning this thread for the daemon's lifetime.
+    std::string error;
+    if (!setIoTimeout(fd, cfg_.ioTimeoutSeconds, &error))
+        warn("fprakerd: %s", error.c_str());
+    // Requests are tiny (one spec object); the default 4 MiB bounds a
+    // hostile newline-free stream without cramping any legitimate
+    // client.
+    LineReader reader(fd, cfg_.maxRequestBytes);
+    std::string line;
+    for (;;) {
+        int64_t delayMs = 0;
+        if (FaultInjector::instance().fires("daemon.read_delay_ms",
+                                            &delayMs))
+            faultSleepMs(delayMs);
+        if (!reader.readLine(&line, &error)) {
+            // An oversize line deserves an answer (the peer is live
+            // and draining); a timeout, torn line, or transport error
+            // does not — the stream is already unusable. Either way
+            // the connection closes: once framing has failed there is
+            // no line boundary left to resynchronize on.
+            if (reader.lastFail() == LineReader::Fail::Oversize)
+                (void)writeMessage(
+                    fd, errorResponse(kErrBadRequest, error),
+                    &error);
+            break;
+        }
         api::JsonValue request = api::JsonValue::parse(line, &error);
         api::JsonValue response =
-            error.empty() ? handleRequest(request)
-                          : errorResponse("bad request: " + error);
+            error.empty()
+                ? handleRequest(request)
+                : errorResponse(kErrBadRequest,
+                                "bad request: " + error);
+        if (FaultInjector::instance().fires("daemon.drop_connection"))
+            break; // Vanish without a response, like a crashed peer.
         if (!writeMessage(fd, response, &error))
             break;
     }

@@ -36,6 +36,17 @@ struct DaemonConfig
 {
     std::string socketPath; //!< "" = defaultSocketPath().
     SchedulerConfig scheduler;
+    /**
+     * SO_RCVTIMEO/SO_SNDTIMEO on every accepted connection (0 = no
+     * timeout). A client that connects and stalls — or stops
+     * draining its responses — fails its read/write within this
+     * bound and releases the connection thread, so stalled peers can
+     * never pin the daemon.
+     */
+    double ioTimeoutSeconds = 30;
+    //! Per-request line bound; a hostile newline-free stream is
+    //! refused at this size instead of growing daemon memory.
+    size_t maxRequestBytes = 4u << 20;
 };
 
 class Daemon
@@ -70,6 +81,7 @@ class Daemon
     api::JsonValue completedResponse(uint64_t id,
                                      const JobOutcome &outcome);
 
+    const DaemonConfig cfg_;
     std::string socketPath_;
     std::unique_ptr<JobScheduler> scheduler_;
     int listenFd_ = -1;

@@ -1,6 +1,7 @@
 #include "serve/job_spec.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/fnv.h"
 
@@ -32,12 +33,29 @@ addField(Fnv64 &h, const std::string &s)
 
 } // namespace
 
+int
+JobSpec::resolvedSampleSteps() const
+{
+    if (sampleSteps > 0)
+        return sampleSteps;
+    // Mirror Session::sampleSteps' env fallback: what the job will
+    // actually simulate with. Folding the RESOLVED value into the
+    // key makes disk spills airtight across daemons whose
+    // environments differ (PR 5 follow-up).
+    if (const char *env = std::getenv("FPRAKER_SAMPLE_STEPS")) {
+        int e = std::atoi(env);
+        if (e > 0)
+            return e;
+    }
+    return 0;
+}
+
 std::string
 JobSpec::canonical() const
 {
     std::string out = "experiment=" + experiment;
     out += "|threads=" + std::to_string(threads);
-    out += "|sample_steps=" + std::to_string(sampleSteps);
+    out += "|sample_steps=" + std::to_string(resolvedSampleSteps());
     for (const auto &[key, value] : sortedOptions(*this))
         out += "|opt:" + key + "=" + value;
     return out;
@@ -54,7 +72,7 @@ JobSpec::cacheKey() const
     addField(h, "fpraker-result-v1");
     addField(h, experiment);
     h.add(static_cast<uint64_t>(threads));
-    h.add(static_cast<uint64_t>(sampleSteps));
+    h.add(static_cast<uint64_t>(resolvedSampleSteps()));
     const auto sorted = sortedOptions(*this);
     h.add(static_cast<uint64_t>(sorted.size()));
     for (const auto &[key, value] : sorted) {
@@ -81,6 +99,8 @@ JobSpec::toJson() const
     }
     if (priority != 0)
         spec.set("priority", priority);
+    if (deadlineMs > 0)
+        spec.set("deadline_ms", deadlineMs);
     return spec;
 }
 
@@ -137,6 +157,10 @@ JobSpec::fromJson(const api::JsonValue &v, JobSpec *out,
                 return false;
             }
             spec.priority = static_cast<int>(value.intValue());
+        } else if (key == "deadline_ms") {
+            if (!readPositiveInt(value, "deadline_ms",
+                                 &spec.deadlineMs, error))
+                return false;
         } else if (key == "options") {
             if (!value.isObject()) {
                 *error = "spec.options must be an object of strings";

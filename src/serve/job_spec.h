@@ -36,12 +36,14 @@ namespace fpraker {
 namespace serve {
 
 /**
- * Cache epoch: bump when kernel arithmetic or the document layout
- * changes such that previously cached/spilled documents must not be
- * served anymore (the disk spill under --cache-dir outlives daemon
- * restarts and binary upgrades).
+ * Cache epoch: bump when kernel arithmetic, the document layout, or
+ * the spill-file format changes such that previously cached/spilled
+ * documents must not be served anymore (the disk spill under
+ * --cache-dir outlives daemon restarts and binary upgrades).
+ * "fpraker-serve-2": spill files gained a checksum trailer and the
+ * cache key folds the resolved FPRAKER_SAMPLE_STEPS env in (PR 6).
  */
-constexpr const char *kServeCacheEpoch = "fpraker-serve-1";
+constexpr const char *kServeCacheEpoch = "fpraker-serve-2";
 
 /** One experiment job: registry id + Session knobs. */
 struct JobSpec
@@ -52,6 +54,24 @@ struct JobSpec
     //! Free-form experiment options (--steps/--reps/--out), CLI order.
     std::vector<std::pair<std::string, std::string>> options;
     int priority = 0; //!< Higher runs first; NOT part of the key.
+    /**
+     * Completion deadline in milliseconds from submit time (0 =
+     * none). A job still queued when its deadline expires is shed
+     * with a structured `timeout` error; a job that finishes past it
+     * reports the overrun in provenance. Scheduling metadata like
+     * priority — NOT part of the key.
+     */
+    int deadlineMs = 0;
+
+    /**
+     * The sample-step budget this spec actually simulates with: the
+     * explicit field when set, else the daemon's resolved
+     * FPRAKER_SAMPLE_STEPS env (0 when neither is set and the
+     * experiment's own fallback applies). The cache key hashes THIS
+     * value, so two daemons whose environments differ can never
+     * alias each other's disk spills.
+     */
+    int resolvedSampleSteps() const;
 
     /**
      * Human-readable one-line description of every

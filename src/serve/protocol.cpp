@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 namespace fpraker {
@@ -34,7 +35,11 @@ writeLine(int fd, const std::string &line, std::string *error)
             if (errno == EINTR)
                 continue;
             if (error)
-                *error = std::string("write: ") + std::strerror(errno);
+                *error = (errno == EAGAIN || errno == EWOULDBLOCK)
+                             ? std::string("write timed out (peer "
+                                           "not draining)")
+                             : std::string("write: ") +
+                                   std::strerror(errno);
             return false;
         }
         off += static_cast<size_t>(n);
@@ -53,32 +58,65 @@ LineReader::readLine(std::string *line, std::string *error)
 {
     if (error)
         error->clear();
+    // A reader that failed is failed for good: a partial line (or an
+    // oversize one) can never be resynchronized into a valid frame,
+    // and "retry after error" is exactly the spin a disconnecting
+    // client used to cause.
+    if (fail_ != Fail::None && fail_ != Fail::Eof) {
+        if (error)
+            *error = "reader already failed";
+        return false;
+    }
     for (;;) {
         size_t nl = buffer_.find('\n');
-        if (nl != std::string::npos) {
-            line->assign(buffer_, 0, nl);
-            buffer_.erase(0, nl + 1);
-            return true;
-        }
-        if (buffer_.size() > maxLineBytes_) {
+        // The bound applies to the LINE, terminated or not: a peer
+        // may legally batch many small lines into one buffer, but a
+        // single over-long line must be refused, never delivered.
+        size_t lineBytes = nl == std::string::npos ? buffer_.size()
+                                                   : nl;
+        if (lineBytes > maxLineBytes_) {
+            fail_ = Fail::Oversize;
             if (error)
                 *error = "line exceeds " +
                          std::to_string(maxLineBytes_) + " bytes";
             return false;
+        }
+        if (nl != std::string::npos) {
+            line->assign(buffer_, 0, nl);
+            buffer_.erase(0, nl + 1);
+            fail_ = Fail::None;
+            return true;
         }
         char chunk[1 << 14];
         ssize_t n = ::read(fd_, chunk, sizeof(chunk));
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                // SO_RCVTIMEO expired: the peer stalled (mid-line or
+                // idle). Either way the connection is done — looping
+                // back into read() would pin the thread forever.
+                fail_ = Fail::Timeout;
+                if (error)
+                    *error = buffer_.empty()
+                                 ? "read timed out (idle connection)"
+                                 : "read timed out mid-line";
+                return false;
+            }
+            fail_ = Fail::Io;
             if (error)
                 *error = std::string("read: ") + std::strerror(errno);
             return false;
         }
         if (n == 0) {
             // EOF mid-line is a framing error; clean EOF is not.
-            if (!buffer_.empty() && error)
-                *error = "connection closed mid-line";
+            if (!buffer_.empty()) {
+                fail_ = Fail::MidLineEof;
+                if (error)
+                    *error = "connection closed mid-line";
+            } else {
+                fail_ = Fail::Eof;
+            }
             return false;
         }
         buffer_.append(chunk, static_cast<size_t>(n));
@@ -94,12 +132,34 @@ okResponse()
 }
 
 api::JsonValue
-errorResponse(const std::string &message)
+errorResponse(const char *code, const std::string &message)
 {
     api::JsonValue resp = api::JsonValue::object();
     resp.set("ok", false);
+    resp.set("error_code", code);
     resp.set("error", message);
     return resp;
+}
+
+bool
+setIoTimeout(int fd, double seconds, std::string *error)
+{
+    if (seconds <= 0)
+        return true;
+    struct timeval tv;
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) <
+            0 ||
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) <
+            0) {
+        if (error)
+            *error = std::string("setsockopt(SO_*TIMEO): ") +
+                     std::strerror(errno);
+        return false;
+    }
+    return true;
 }
 
 } // namespace serve

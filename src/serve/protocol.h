@@ -38,6 +38,24 @@ namespace serve {
 /** Protocol identifier, echoed by ping/stats responses. */
 constexpr const char *kProtocolVersion = "fpraker-serve-v1";
 
+/**
+ * Structured error codes carried in the "error_code" field of
+ * {"ok": false} responses (docs/SERVING.md has the full table).
+ * Clients branch on the code, never on the human-readable "error"
+ * text.
+ */
+constexpr const char *kErrBadRequest = "bad_request";
+constexpr const char *kErrUnknownOp = "unknown_op";
+constexpr const char *kErrUnknownExperiment = "unknown_experiment";
+constexpr const char *kErrUnknownJob = "unknown_job";
+//! Deadline expired while the job was still queued; the job was shed.
+constexpr const char *kErrTimeout = "timeout";
+//! Admission control shed the request (queue full); the response
+//! carries a "retry_after_ms" hint.
+constexpr const char *kErrOverloaded = "overloaded";
+constexpr const char *kErrShuttingDown = "shutting_down";
+constexpr const char *kErrInternal = "internal";
+
 /** Default socket path when --socket / FPRAKER_SOCKET is unset. */
 std::string defaultSocketPath();
 
@@ -58,12 +76,23 @@ constexpr size_t kMaxLineBytes = 64ull << 20;
 class LineReader
 {
   public:
+    /** Why the last readLine() returned false. */
+    enum class Fail {
+        None,       //!< Last read succeeded.
+        Eof,        //!< Clean EOF at a line boundary.
+        MidLineEof, //!< Peer vanished with a partial line pending.
+        Oversize,   //!< Line exceeds the bound (even if terminated).
+        Timeout,    //!< SO_RCVTIMEO expired (stalled peer).
+        Io,         //!< Transport error.
+    };
+
     /**
      * @param maxLineBytes reject (error, false) any line longer than
      * this — an unbounded buffer would let a peer that never sends
-     * '\n' grow daemon memory without limit. The daemon reads
-     * requests with a small bound; responses embedding documents use
-     * the default.
+     * '\n' grow daemon memory without limit, and an over-long line
+     * that IS terminated must still be refused, not delivered as a
+     * frame. The daemon reads requests with a small bound; responses
+     * embedding documents use the default.
      */
     explicit LineReader(int fd, size_t maxLineBytes = kMaxLineBytes)
         : fd_(fd), maxLineBytes_(maxLineBytes)
@@ -73,21 +102,35 @@ class LineReader
     /**
      * Read the next '\n'-terminated line (terminator stripped).
      * Returns false on EOF or error; EOF with no pending bytes
-     * leaves @p error empty.
+     * leaves @p error empty. lastFail() tells the cases apart. A
+     * failed reader stays failed — callers must not retry it (a
+     * partial line can never be resynchronized into a frame).
      */
     bool readLine(std::string *line, std::string *error);
+
+    Fail lastFail() const { return fail_; }
 
   private:
     int fd_;
     size_t maxLineBytes_;
     std::string buffer_;
+    Fail fail_ = Fail::None;
 };
 
 /** {"ok": true} seed for response builders. */
 api::JsonValue okResponse();
 
-/** {"ok": false, "error": message}. */
-api::JsonValue errorResponse(const std::string &message);
+/** {"ok": false, "error_code": code, "error": message}. */
+api::JsonValue errorResponse(const char *code,
+                             const std::string &message);
+
+/**
+ * Set SO_RCVTIMEO/SO_SNDTIMEO on @p fd ( <= 0 = no timeout). The
+ * daemon applies this to every accepted connection so a stalled
+ * client surfaces as a Timeout read failure / EAGAIN write failure
+ * instead of pinning the connection thread forever.
+ */
+bool setIoTimeout(int fd, double seconds, std::string *error);
 
 } // namespace serve
 } // namespace fpraker

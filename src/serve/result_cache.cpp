@@ -1,11 +1,16 @@
 #include "serve/result_cache.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <utility>
 
+#include <unistd.h>
+
 #include "common/fnv.h"
 #include "common/logging.h"
+#include "serve/fault_injection.h"
 
 namespace fpraker {
 namespace serve {
@@ -31,6 +36,46 @@ markDocumentCached(const std::string &document)
     return hot;
 }
 
+namespace {
+
+//! Fixed-width trailer: "#fpraker-spill fnv=<16> len=<16>\n".
+constexpr char kTrailerTag[] = "#fpraker-spill ";
+constexpr size_t kTrailerBytes =
+    sizeof(kTrailerTag) - 1 + 4 + 16 + 5 + 16 + 1;
+
+} // namespace
+
+std::string
+spillTrailer(const std::string &document)
+{
+    Fnv64 h;
+    h.add(document);
+    std::string trailer = kTrailerTag;
+    trailer += "fnv=" + Fnv64::hex(h.value());
+    trailer += " len=" +
+               Fnv64::hex(static_cast<uint64_t>(document.size()));
+    trailer += '\n';
+    panic_if(trailer.size() != kTrailerBytes,
+             "spill trailer width drifted");
+    return trailer;
+}
+
+bool
+verifySpill(const std::string &raw, std::string *document)
+{
+    if (raw.size() < kTrailerBytes || raw.back() != '\n')
+        return false;
+    const size_t docBytes = raw.size() - kTrailerBytes;
+    const std::string doc = raw.substr(0, docBytes);
+    // Rebuilding the expected trailer from the payload and comparing
+    // whole-string checks the tag, both hex fields, and the layout in
+    // one shot; a trailer is pure function of the document.
+    if (raw.compare(docBytes, kTrailerBytes, spillTrailer(doc)) != 0)
+        return false;
+    *document = std::move(doc);
+    return true;
+}
+
 ResultCache::ResultCache(uint64_t capacityBytes, std::string spillDir)
     : capacityBytes_(capacityBytes), spillDir_(std::move(spillDir))
 {
@@ -43,24 +88,98 @@ ResultCache::spillPath(uint64_t key) const
     return spillDir_ + "/" + Fnv64::hex(key) + ".json";
 }
 
+void
+ResultCache::quarantineSpill(const std::string &path)
+{
+    // Keep the evidence (renamed, not unlinked) so an operator can
+    // inspect what the disk handed back; the .corrupt suffix moves it
+    // off the lookup path, so the key becomes a plain miss and the
+    // next cold run re-spills a good copy over the old name.
+    ++counters_.diskCorrupt;
+    std::error_code ec;
+    std::filesystem::rename(path, path + ".corrupt", ec);
+    if (ec)
+        std::filesystem::remove(path, ec);
+    warn("result-cache: quarantined corrupt spill file %s",
+         path.c_str());
+}
+
 bool
 ResultCache::loadSpill(uint64_t key, std::string *document)
 {
     if (spillDir_.empty())
         return false;
-    FILE *f = std::fopen(spillPath(key).c_str(), "rb");
+    const std::string path = spillPath(key);
+    FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
         return false;
-    std::string text;
+    std::string raw;
     char buf[1 << 14];
     size_t n;
     while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
-        text.append(buf, n);
+        raw.append(buf, n);
+    const bool readOk = std::ferror(f) == 0;
     std::fclose(f);
-    if (text.empty())
+    if (!readOk)
         return false;
-    *document = std::move(text);
+    if (!verifySpill(raw, document)) {
+        // Torn, truncated, or bit-flipped — a crash artifact or disk
+        // fault. Never serve it.
+        quarantineSpill(path);
+        return false;
+    }
     return true;
+}
+
+void
+ResultCache::writeSpill(uint64_t key, const std::string &document)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(spillDir_, ec);
+    const std::string path = spillPath(key);
+    const std::string payload = document + spillTrailer(document);
+
+    int64_t tornBytes = 0;
+    if (FaultInjector::instance().fires("spill.torn_write",
+                                        &tornBytes)) {
+        // Emulate the pre-rename crash artifact this format defends
+        // against: a partial payload sitting at the FINAL path (the
+        // tmp+rename below can never produce one itself). param =
+        // bytes that made it to disk.
+        const size_t cut = std::min(
+            payload.size(),
+            static_cast<size_t>(tornBytes < 0 ? 0 : tornBytes));
+        FILE *f = std::fopen(path.c_str(), "wb");
+        if (f) {
+            std::fwrite(payload.data(), 1, cut, f);
+            std::fclose(f);
+        }
+        return;
+    }
+
+    // Unique temp name: the mutex serializes writers within this
+    // process, but two daemons sharing one --cache-dir must not
+    // interleave into the same tmp file.
+    static std::atomic<uint64_t> tmpSeq{0};
+    const std::string tmp = path + ".tmp." +
+                            std::to_string(::getpid()) + "." +
+                            std::to_string(tmpSeq.fetch_add(1));
+    FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return;
+    const size_t wrote =
+        std::fwrite(payload.data(), 1, payload.size(), f);
+    const bool flushed = std::fflush(f) == 0;
+    std::fclose(f);
+    if (wrote != payload.size() || !flushed) {
+        std::filesystem::remove(tmp, ec);
+        return;
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        std::filesystem::remove(tmp, ec);
+    else
+        ++counters_.diskWrites;
 }
 
 void
@@ -157,19 +276,8 @@ ResultCache::insertLocked(uint64_t key, const std::string &document)
 
     std::error_code ec;
     if (!spillDir_.empty() &&
-        !std::filesystem::exists(spillPath(key), ec)) {
-        std::filesystem::create_directories(spillDir_, ec);
-        const std::string path = spillPath(key);
-        const std::string tmp = path + ".tmp";
-        FILE *f = std::fopen(tmp.c_str(), "wb");
-        if (f) {
-            std::fwrite(document.data(), 1, document.size(), f);
-            std::fclose(f);
-            std::filesystem::rename(tmp, path, ec);
-            if (!ec)
-                ++counters_.diskWrites;
-        }
-    }
+        !std::filesystem::exists(spillPath(key), ec))
+        writeSpill(key, document);
 
     Entry e;
     e.text = document;

@@ -44,6 +44,9 @@ struct CacheStats
     uint64_t evictions = 0;  //!< Entries dropped for the bytes bound.
     uint64_t diskHits = 0;   //!< Of hits: rescued from the spill dir.
     uint64_t diskWrites = 0; //!< Spill files written.
+    //! Spill files whose checksum trailer failed verification —
+    //! quarantined (renamed *.corrupt) and treated as misses.
+    uint64_t diskCorrupt = 0;
     uint64_t bytes = 0;      //!< Resident document bytes.
     uint64_t entries = 0;    //!< Resident documents.
     uint64_t capacityBytes = 0;
@@ -100,6 +103,8 @@ class ResultCache
     void evictToFit();
     std::string spillPath(uint64_t key) const;
     bool loadSpill(uint64_t key, std::string *document);
+    void writeSpill(uint64_t key, const std::string &document);
+    void quarantineSpill(const std::string &path);
 
     const uint64_t capacityBytes_;
     const std::string spillDir_;
@@ -119,6 +124,28 @@ class ResultCache
  * the input in exactly that flag.
  */
 std::string markDocumentCached(const std::string &document);
+
+/**
+ * Crash-safe spill framing: every spill file is the document bytes
+ * followed by a fixed-length trailer line carrying an FNV-1a
+ * checksum and the document length:
+ *
+ *     <document bytes>#fpraker-spill fnv=<hex16> len=<hex16>\n
+ *
+ * Writes go to a temp file and rename into place, so a crash mid-
+ * write leaves at worst a *.tmp orphan, never a half-written entry
+ * under the real name. On load the trailer is verified; a torn,
+ * truncated, or bit-flipped file (e.g. written by a pre-PR6 binary
+ * or a crashed disk) is quarantined as <name>.corrupt and treated
+ * as a miss, so a corrupted cache entry can never be served.
+ */
+std::string spillTrailer(const std::string &document);
+
+/**
+ * Verify @p raw (document + trailer). On success strips the trailer
+ * into @p document and returns true; on any mismatch returns false.
+ */
+bool verifySpill(const std::string &raw, std::string *document);
 
 } // namespace serve
 } // namespace fpraker

@@ -1,0 +1,115 @@
+#include "serve/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/rng.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+
+namespace fpraker {
+namespace serve {
+
+int
+RetryPolicy::delayMs(int attempt, int retryAfterMs) const
+{
+    double backoff = baseDelayMs;
+    for (int i = 1; i < attempt; ++i)
+        backoff *= multiplier;
+    backoff = std::min(backoff, static_cast<double>(maxDelayMs));
+    // The server's hint floors the curve: it is a queue-drain
+    // estimate, and resubmitting sooner would just be shed again.
+    backoff = std::max(backoff, static_cast<double>(retryAfterMs));
+    // Deterministic upward jitter: one draw per (seed, attempt), so
+    // a replayed schedule is bit-identical while distinct clients
+    // (distinct seeds) still spread out.
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL +
+            static_cast<uint64_t>(attempt));
+    backoff *= rng.uniform(1.0, 1.0 + jitterFrac);
+    return std::max(1, static_cast<int>(backoff + 0.5));
+}
+
+bool
+responseRetryable(const api::JsonValue &response, int *retryAfterMs)
+{
+    if (retryAfterMs)
+        *retryAfterMs = 0;
+    if (!response.isObject())
+        return false;
+    const api::JsonValue *ok = response.find("ok");
+    if (!ok || ok->kind() != api::JsonValue::Kind::Bool ||
+        ok->boolean())
+        return false;
+    const api::JsonValue *code = response.find("error_code");
+    if (!code || code->kind() != api::JsonValue::Kind::String ||
+        code->str() != kErrOverloaded)
+        return false;
+    const api::JsonValue *hint = response.find("retry_after_ms");
+    if (retryAfterMs && hint &&
+        hint->kind() == api::JsonValue::Kind::Int)
+        *retryAfterMs = static_cast<int>(
+            std::clamp<int64_t>(hint->intValue(), 0, 60000));
+    return true;
+}
+
+SubmitResult
+submitWithRetry(const std::string &socketPath, const JobSpec &spec,
+                const RetryPolicy &policy, bool wait)
+{
+    SubmitResult result;
+    const int attempts = std::max(1, policy.maxAttempts);
+    for (int attempt = 1; attempt <= attempts; ++attempt) {
+        ++result.attempts;
+        ServeClient client;
+        std::string error;
+        api::JsonValue response;
+        bool transportOk =
+            client.connectTo(socketPath, &error) &&
+            client.submit(spec, &response, &error, wait);
+
+        int retryAfterMs = 0;
+        bool retryable;
+        if (!transportOk) {
+            // Daemon gone or connection dropped mid-request —
+            // exactly what a restarting daemon looks like. Retry.
+            result.error = error;
+            result.errorCode.clear();
+            retryable = true;
+        } else {
+            result.response = response;
+            const api::JsonValue *ok = response.find("ok");
+            if (ok && ok->kind() == api::JsonValue::Kind::Bool &&
+                ok->boolean()) {
+                result.ok = true;
+                result.error.clear();
+                result.errorCode.clear();
+                return result;
+            }
+            const api::JsonValue *code =
+                response.find("error_code");
+            const api::JsonValue *msg = response.find("error");
+            result.errorCode =
+                code && code->kind() ==
+                            api::JsonValue::Kind::String
+                    ? code->str()
+                    : "";
+            result.error =
+                msg && msg->kind() == api::JsonValue::Kind::String
+                    ? msg->str()
+                    : "request failed";
+            retryable = responseRetryable(response, &retryAfterMs);
+        }
+
+        if (!retryable || attempt == attempts)
+            return result;
+        const int delay = policy.delayMs(attempt, retryAfterMs);
+        result.backoffTotalMs += delay;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delay));
+    }
+    return result;
+}
+
+} // namespace serve
+} // namespace fpraker

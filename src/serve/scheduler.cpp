@@ -1,11 +1,16 @@
 #include "serve/scheduler.h"
 
+#include <algorithm>
+#include <chrono>
+
 #include "api/driver.h"
 #include "api/registry.h"
 #include "api/result.h"
 #include "common/clock.h"
 #include "common/fnv.h"
 #include "common/logging.h"
+#include "serve/fault_injection.h"
+#include "serve/protocol.h"
 
 namespace fpraker {
 namespace serve {
@@ -61,6 +66,10 @@ JobScheduler::JobScheduler(const SchedulerConfig &cfg)
     workers_.reserve(static_cast<size_t>(workers));
     for (int i = 0; i < workers; ++i)
         workers_.emplace_back([this] { workerLoop(); });
+    // The reaper makes deadlines and retention independent of worker
+    // availability: a queued job's deadline fires on time even when
+    // every worker is stalled inside a long simulation.
+    reaper_ = std::thread([this] { reaperLoop(); });
 }
 
 JobScheduler::~JobScheduler()
@@ -69,20 +78,88 @@ JobScheduler::~JobScheduler()
         std::lock_guard<std::mutex> lock(mutex_);
         stop_ = true;
         // Queued jobs will never run; release their waiters.
+        const double now = monotonicSeconds();
+        std::vector<uint64_t> queuedIds;
         for (const auto &[key, id] : queue_) {
             (void)key;
-            Job &job = jobs_[id];
-            job.outcome.state = JobState::Failed;
-            job.outcome.error = "scheduler stopped";
-            inflight_.erase(job.key);
-            ++counters_.failed;
+            queuedIds.push_back(id);
         }
         queue_.clear();
+        for (uint64_t id : queuedIds)
+            shedQueuedLocked(id, kErrShuttingDown,
+                             "scheduler stopped", now);
     }
     queueCv_.notify_all();
     doneCv_.notify_all();
+    reaperCv_.notify_all();
     for (std::thread &t : workers_)
         t.join();
+    reaper_.join();
+}
+
+void
+JobScheduler::shedQueuedLocked(uint64_t id, const char *code,
+                               const std::string &error, double now)
+{
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return;
+    Job &job = it->second;
+    job.outcome.state = JobState::Failed;
+    job.outcome.errorCode = code;
+    job.outcome.error = error;
+    inflight_.erase(job.key);
+    ++counters_.failed;
+    markDoneLocked(id, job, now);
+    doneCv_.notify_all();
+}
+
+void
+JobScheduler::markDoneLocked(uint64_t id, Job &job, double now)
+{
+    job.doneTime = now;
+    doneOrder_.emplace_back(id, now);
+    pruneRetentionLocked(now);
+}
+
+void
+JobScheduler::pruneRetentionLocked(double now)
+{
+    while (!doneOrder_.empty()) {
+        const bool overCount = doneOrder_.size() > cfg_.retainJobs;
+        const bool overAge =
+            cfg_.retainSeconds > 0 &&
+            doneOrder_.front().second + cfg_.retainSeconds < now;
+        // Hot path (nothing to retire): decided from the deque front
+        // alone — no hash lookups on a cache-served submit.
+        if (!overCount && !overAge)
+            break;
+        auto it = jobs_.find(doneOrder_.front().first);
+        if (it != jobs_.end()) {
+            // An active wait() pins its entry; the deque is
+            // completion-ordered, so retry next tick, don't reorder.
+            if (it->second.waiters > 0)
+                break;
+            jobs_.erase(it);
+            ++counters_.pruned;
+        }
+        doneOrder_.pop_front();
+    }
+}
+
+int
+JobScheduler::retryAfterHintLocked() const
+{
+    // Estimate queue-drain time from the run-rate the scheduler has
+    // actually observed; before any job completes, assume a modest
+    // per-job cost. Clamped so the hint is never silly.
+    const double perJob =
+        ewmaRunSeconds_ > 0 ? ewmaRunSeconds_ : 0.05;
+    const int workers = counters_.workers > 0 ? counters_.workers : 1;
+    const double waitSeconds =
+        perJob * static_cast<double>(queue_.size() + 1) / workers;
+    const int ms = static_cast<int>(waitSeconds * 1000.0 + 0.5);
+    return std::clamp(ms, 25, 10000);
 }
 
 uint64_t
@@ -99,19 +176,21 @@ JobScheduler::submit(const JobSpec &spec)
 
     std::lock_guard<std::mutex> lock(mutex_);
     ++counters_.submitted;
+    const double now = monotonicSeconds();
 
     if (hit) {
         uint64_t id = nextId_++;
         Job job;
         job.spec = spec;
         job.key = key;
-        job.submitTime = monotonicSeconds();
+        job.submitTime = now;
         job.outcome.state = JobState::Done;
         job.outcome.cached = true;
         job.outcome.fingerprint = extractFingerprint(document);
         job.outcome.document = std::move(document);
-        jobs_.emplace(id, std::move(job));
+        auto [jt, inserted] = jobs_.emplace(id, std::move(job));
         ++counters_.cacheServed;
+        markDoneLocked(id, jt->second, now);
         return id;
     }
 
@@ -119,6 +198,9 @@ JobScheduler::submit(const JobSpec &spec)
     // runs once and every submitter waits on the same id. A
     // higher-priority submit promotes a still-queued job so the
     // (priority desc, seq asc) contract holds for every submitter.
+    // (The joined job keeps its own deadline — a coalesced submit
+    // rides along, it does not renegotiate.) Costs no queue slot, so
+    // it is exempt from admission control, like a cache hit.
     if (auto it = inflight_.find(key); it != inflight_.end()) {
         ++counters_.coalesced;
         Job &job = jobs_[it->second];
@@ -133,13 +215,40 @@ JobScheduler::submit(const JobSpec &spec)
         return it->second;
     }
 
+    // Admission control: bounded queue, reject-newest. The rejected
+    // submit still gets an id whose outcome is already Failed, so
+    // every downstream path (wait, status, the wire protocol) treats
+    // shedding like any other completion — just a structured one.
+    if (queue_.size() >= cfg_.queueDepth) {
+        uint64_t id = nextId_++;
+        Job job;
+        job.spec = spec;
+        job.key = key;
+        job.submitTime = now;
+        job.outcome.state = JobState::Failed;
+        job.outcome.errorCode = kErrOverloaded;
+        job.outcome.retryAfterMs = retryAfterHintLocked();
+        job.outcome.error =
+            "queue full (" + std::to_string(queue_.size()) +
+            " jobs queued, depth " +
+            std::to_string(cfg_.queueDepth) + "); retry in " +
+            std::to_string(job.outcome.retryAfterMs) + " ms";
+        auto [jt, inserted] = jobs_.emplace(id, std::move(job));
+        ++counters_.shedOverload;
+        ++counters_.failed;
+        markDoneLocked(id, jt->second, now);
+        return id;
+    }
+
     uint64_t id = nextId_++;
     Job job;
     job.spec = spec;
     job.key = key;
     job.seq = nextSeq_++;
     job.queuedPriority = spec.priority;
-    job.submitTime = monotonicSeconds();
+    job.submitTime = now;
+    if (spec.deadlineMs > 0)
+        job.deadlineTime = now + spec.deadlineMs / 1000.0;
     jobs_.emplace(id, std::move(job));
     inflight_.emplace(key, id);
     // Negated priority: map order is ascending, high priority first.
@@ -149,21 +258,70 @@ JobScheduler::submit(const JobSpec &spec)
 }
 
 JobOutcome
+JobScheduler::run(const JobSpec &spec)
+{
+    const uint64_t key = spec.cacheKey();
+    std::string document;
+    if (cache_->lookup(key, &document)) {
+        JobOutcome out;
+        out.state = JobState::Done;
+        out.cached = true;
+        out.fingerprint = extractFingerprint(document);
+        out.document = std::move(document);
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.submitted;
+        ++counters_.cacheServed;
+        return out;
+    }
+    // Miss (or the entry was evicted between probe and submit —
+    // submit re-probes under its own sequencing): full path.
+    return wait(submit(spec));
+}
+
+JobOutcome
 JobScheduler::wait(uint64_t id)
 {
     std::unique_lock<std::mutex> lock(mutex_);
     auto it = jobs_.find(id);
     if (it == jobs_.end()) {
+        // Never submitted — or completed and already retired by the
+        // retention bound. Either way there is nothing to wait for.
         JobOutcome out;
         out.state = JobState::Failed;
+        out.errorCode = kErrUnknownJob;
         out.error = "unknown job " + std::to_string(id);
         return out;
     }
+    // Fast path — the submit already completed (every cache hit and
+    // every shed submit): hand the outcome over without touching the
+    // CV or the waiter pin. The lock is held throughout, so pruning
+    // cannot interleave.
+    {
+        const JobState s = it->second.outcome.state;
+        if (s == JobState::Done || s == JobState::Failed)
+            return it->second.outcome;
+    }
+    // Pin the entry: retention pruning skips jobs with waiters, so
+    // the outcome cannot be retired between completion and pickup.
+    ++it->second.waiters;
     doneCv_.wait(lock, [&] {
-        const JobOutcome &o = jobs_[id].outcome;
-        return o.state == JobState::Done || o.state == JobState::Failed;
+        auto jt = jobs_.find(id);
+        if (jt == jobs_.end())
+            return true; // Defensive; pinned entries are not pruned.
+        const JobState s = jt->second.outcome.state;
+        return s == JobState::Done || s == JobState::Failed;
     });
-    return jobs_[id].outcome;
+    auto jt = jobs_.find(id);
+    if (jt == jobs_.end()) {
+        JobOutcome out;
+        out.state = JobState::Failed;
+        out.errorCode = kErrUnknownJob;
+        out.error = "job " + std::to_string(id) + " retired";
+        return out;
+    }
+    JobOutcome out = jt->second.outcome;
+    --jt->second.waiters;
+    return out;
 }
 
 bool
@@ -192,11 +350,70 @@ JobScheduler::workerLoop()
             id = it->second;
             queue_.erase(it);
             Job &job = jobs_[id];
+            const double now = monotonicSeconds();
+            // Shed-at-pop: a job whose deadline lapsed while queued
+            // must not burn engine time its submitter has given up on.
+            if (job.deadlineTime > 0 && now > job.deadlineTime) {
+                ++counters_.shedDeadline;
+                const int waitedMs = static_cast<int>(
+                    (now - job.submitTime) * 1000.0 + 0.5);
+                shedQueuedLocked(
+                    id, kErrTimeout,
+                    "deadline of " +
+                        std::to_string(job.spec.deadlineMs) +
+                        " ms expired after " +
+                        std::to_string(waitedMs) + " ms in queue",
+                    now);
+                continue;
+            }
             job.outcome.state = JobState::Running;
-            job.outcome.queueSeconds = monotonicSeconds() - job.submitTime;
+            job.outcome.queueSeconds = now - job.submitTime;
             ++counters_.running;
         }
         execute(id);
+    }
+}
+
+void
+JobScheduler::reaperLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        reaperCv_.wait_for(lock, std::chrono::milliseconds(50),
+                           [&] { return stop_; });
+        if (stop_)
+            return;
+        const double now = monotonicSeconds();
+        // Deadline sweep over the queue — O(queued), bounded by
+        // queueDepth. Collect first: shedding mutates jobs_.
+        std::vector<std::pair<std::pair<int, uint64_t>, uint64_t>>
+            expired;
+        for (const auto &[qkey, id] : queue_) {
+            auto it = jobs_.find(id);
+            if (it != jobs_.end() && it->second.deadlineTime > 0 &&
+                now > it->second.deadlineTime)
+                expired.emplace_back(qkey, id);
+        }
+        for (const auto &[qkey, id] : expired) {
+            queue_.erase(qkey);
+            ++counters_.shedDeadline;
+            auto it = jobs_.find(id);
+            const int waitedMs =
+                it == jobs_.end()
+                    ? 0
+                    : static_cast<int>(
+                          (now - it->second.submitTime) * 1000.0 +
+                          0.5);
+            const int deadlineMs =
+                it == jobs_.end() ? 0 : it->second.spec.deadlineMs;
+            shedQueuedLocked(
+                id, kErrTimeout,
+                "deadline of " + std::to_string(deadlineMs) +
+                    " ms expired after " + std::to_string(waitedMs) +
+                    " ms in queue",
+                now);
+        }
+        pruneRetentionLocked(now);
     }
 }
 
@@ -207,11 +424,19 @@ JobScheduler::execute(uint64_t id)
     // submits, so references don't survive the unlocked region.
     JobSpec spec;
     uint64_t key = 0;
+    double deadlineTime = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        spec = jobs_[id].spec;
-        key = jobs_[id].key;
+        Job &job = jobs_[id];
+        spec = job.spec;
+        key = job.key;
+        deadlineTime = job.deadlineTime;
     }
+
+    int64_t stallMs = 0;
+    if (FaultInjector::instance().fires("scheduler.worker_stall_ms",
+                                        &stallMs))
+        faultSleepMs(stallMs);
 
     JobOutcome out;
     const double t0 = monotonicSeconds();
@@ -234,6 +459,7 @@ JobScheduler::execute(uint64_t id)
         inflight_.erase(key);
         --counters_.running;
         ++counters_.cacheServed;
+        markDoneLocked(id, job, monotonicSeconds());
         doneCv_.notify_all();
         return;
     }
@@ -241,6 +467,7 @@ JobScheduler::execute(uint64_t id)
         api::ExperimentRegistry::instance().find(spec.experiment);
     if (!info) {
         out.state = JobState::Failed;
+        out.errorCode = kErrUnknownExperiment;
         out.error = "unknown experiment '" + spec.experiment + "'";
     } else {
         api::CliOptions opts;
@@ -261,6 +488,18 @@ JobScheduler::execute(uint64_t id)
         // fresh document would mislead).
         if (result.ok && !result.hasFingerprintOverride())
             cache_->insert(key, out.document);
+        // Deadline overrun: the job started in time, so the result is
+        // real and already cached clean — but THIS submitter's copy
+        // must say it arrived late. Re-render with the provenance
+        // field set; the fingerprint is content-only and unchanged.
+        const double tEnd = monotonicSeconds();
+        if (deadlineTime > 0 && tEnd > deadlineTime) {
+            out.deadlineOverrunMs = std::max(
+                1, static_cast<int>((tEnd - deadlineTime) * 1000.0 +
+                                    0.5));
+            result.deadlineOverrunMs = out.deadlineOverrunMs;
+            out.document = api::ReportWriter::renderJson(result);
+        }
     }
     out.runSeconds = monotonicSeconds() - t0;
 
@@ -271,10 +510,20 @@ JobScheduler::execute(uint64_t id)
         job.outcome = std::move(out);
         inflight_.erase(key);
         --counters_.running;
-        if (job.outcome.state == JobState::Failed)
+        if (job.outcome.state == JobState::Failed) {
             ++counters_.failed;
-        else
+        } else {
             ++counters_.executed;
+            if (job.outcome.deadlineOverrunMs > 0)
+                ++counters_.overrun;
+            // Feed the retry_after estimator with real run costs.
+            ewmaRunSeconds_ =
+                ewmaRunSeconds_ == 0
+                    ? job.outcome.runSeconds
+                    : 0.8 * ewmaRunSeconds_ +
+                          0.2 * job.outcome.runSeconds;
+        }
+        markDoneLocked(id, job, monotonicSeconds());
     }
     doneCv_.notify_all();
 }

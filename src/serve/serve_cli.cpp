@@ -8,7 +8,9 @@
 #include "api/driver.h"
 #include "serve/client.h"
 #include "serve/daemon.h"
+#include "serve/fault_injection.h"
 #include "serve/protocol.h"
+#include "serve/retry.h"
 
 namespace fpraker {
 namespace serve {
@@ -173,13 +175,33 @@ serveMain(int argc, char **argv, int first)
                                        "integer in [1, 2^40]");
         } else if (std::strncmp(arg, "--cache-dir=", 12) == 0) {
             cfg.scheduler.cacheDir = arg + 12;
+        } else if (std::strncmp(arg, "--queue-depth=", 14) == 0) {
+            if (!parsePositive(arg + 14, &cfg.scheduler.queueDepth,
+                               1000000))
+                return flagError(prog, "--queue-depth requires an "
+                                       "integer in [1, 1e6]");
+        } else if (std::strncmp(arg, "--io-timeout=", 13) == 0) {
+            int seconds;
+            if (!parsePositiveInt(arg + 13, &seconds))
+                return flagError(prog, "--io-timeout requires an "
+                                       "integer >= 1 (seconds)");
+            cfg.ioTimeoutSeconds = seconds;
+        } else if (std::strncmp(arg, "--fault=", 8) == 0) {
+            std::string error;
+            if (!FaultInjector::instance().configure(arg + 8,
+                                                     &error))
+                return flagError(prog, "--fault: " + error);
         } else {
             return usage(prog,
                          "serve [--socket=PATH] [--threads=N] "
                          "[--workers=N] [--cache-bytes=N] "
-                         "[--cache-dir=DIR]");
+                         "[--cache-dir=DIR] [--queue-depth=N] "
+                         "[--io-timeout=SECONDS] [--fault=SPEC]");
         }
     }
+    // Test harnesses arm fault schedules through the environment
+    // when they cannot reach the flag (panics on a malformed value).
+    FaultInjector::instance().configureFromEnv();
 
     Daemon daemon(cfg);
     std::string error;
@@ -215,7 +237,8 @@ submitMain(int argc, char **argv, int first)
     const char *what =
         "submit <id> [--socket=PATH] [--threads=N] "
         "[--sample-steps=N] [--steps=N] [--reps=N] [--out=FILE] "
-        "[--priority=N] [--json=FILE] [--no-wait]";
+        "[--priority=N] [--deadline-ms=N] [--retries=N] "
+        "[--json=FILE] [--no-wait]";
 
     // Serve-specific flags are peeled off here; the shared run knobs
     // (--threads/--sample-steps/--steps/--reps/--out/--json and the
@@ -224,6 +247,10 @@ submitMain(int argc, char **argv, int first)
     std::string socket;
     bool wait = true;
     int priority = 0;
+    int deadlineMs = 0;
+    // Overloaded submits retry by default — the daemon's
+    // retry_after_ms hint plus capped backoff (serve/retry.h).
+    int retries = 3;
     std::vector<char *> rest;
     rest.push_back(argc > 0 ? argv[0] : const_cast<char *>("fpraker"));
     for (int i = first; i < argc; ++i) {
@@ -234,6 +261,14 @@ submitMain(int argc, char **argv, int first)
             if (!parseSignedInt(arg + 11, &priority))
                 return flagError(prog, "--priority requires an "
                                        "integer in [-1e9, 1e9]");
+        } else if (std::strncmp(arg, "--deadline-ms=", 14) == 0) {
+            if (!parsePositiveInt(arg + 14, &deadlineMs))
+                return flagError(prog, "--deadline-ms requires an "
+                                       "integer >= 1");
+        } else if (std::strncmp(arg, "--retries=", 10) == 0) {
+            if (!parseSignedInt(arg + 10, &retries) || retries < 0)
+                return flagError(prog, "--retries requires an "
+                                       "integer >= 0");
         } else if (std::strcmp(arg, "--no-wait") == 0) {
             wait = false;
         } else {
@@ -255,19 +290,29 @@ submitMain(int argc, char **argv, int first)
     spec.sampleSteps = opts.sampleSteps;
     spec.options = opts.extras;
     spec.priority = priority;
+    spec.deadlineMs = deadlineMs;
     const std::string jsonPath = opts.json;
 
-    ServeClient client;
-    if (!connectOrFail(&client, socket, prog))
-        return 1;
-    api::JsonValue resp;
-    std::string error;
-    if (!client.submit(spec, &resp, &error, wait)) {
-        std::fprintf(stderr, "%s: %s\n", prog, error.c_str());
+    RetryPolicy policy;
+    policy.maxAttempts = retries + 1;
+    SubmitResult sub = submitWithRetry(socket, spec, policy, wait);
+    if (!sub.ok) {
+        if (sub.attempts > 1)
+            std::fprintf(stderr,
+                         "%s: gave up after %d attempts "
+                         "(%d ms of backoff)\n",
+                         prog, sub.attempts, sub.backoffTotalMs);
+        if (sub.response.isObject())
+            return responseOk(prog, sub.response) ? 0 : 1;
+        std::fprintf(stderr, "%s: %s\n", prog, sub.error.c_str());
         return 1;
     }
-    if (!responseOk(prog, resp))
-        return 1;
+    if (sub.attempts > 1)
+        std::fprintf(stderr,
+                     "%s: succeeded on attempt %d "
+                     "(%d ms of backoff)\n",
+                     prog, sub.attempts, sub.backoffTotalMs);
+    const api::JsonValue &resp = sub.response;
 
     if (!wait) {
         const api::JsonValue *job = resp.find("job");

@@ -8,6 +8,9 @@
 #include "common/clock.h"
 #include "common/fnv.h"
 #include "common/logging.h"
+#include "serve/fault_injection.h"
+#include "serve/protocol.h"
+#include "serve/retry.h"
 #include "serve/scheduler.h"
 
 namespace fpraker {
@@ -108,6 +111,130 @@ measureServeThroughput(const ThroughputOptions &opts)
         digest.add(fp);
     r.digest = digest.value();
     return r;
+}
+
+ShedReport
+measureShedBehavior(const ShedOptions &opts)
+{
+    panic_if(!api::ExperimentRegistry::instance().find(
+                 opts.experiment),
+             "serve shed: experiment '%s' is not registered",
+             opts.experiment.c_str());
+
+    SchedulerConfig cfg;
+    cfg.engineThreads = opts.engineThreads;
+    cfg.workers = opts.workers;
+    cfg.cacheBytes = opts.cacheBytes;
+    cfg.queueDepth = opts.queueDepth;
+    JobScheduler sched(cfg);
+
+    std::vector<JobSpec> specs;
+    for (int i = 0; i < opts.burst; ++i) {
+        JobSpec spec;
+        spec.experiment = opts.experiment;
+        // Distinct budgets: no coalescing, no cache hits — every
+        // accepted submit consumes a real queue slot.
+        spec.sampleSteps = opts.sampleStepsBase + i;
+        specs.push_back(spec);
+    }
+
+    ShedReport r;
+    std::vector<std::string> finalFp(specs.size());
+    std::vector<uint64_t> ids(specs.size());
+    std::vector<double> submitLatencies;
+    submitLatencies.reserve(specs.size());
+
+    // Open-loop burst: submit everything without waiting. Admission
+    // answers immediately either way, so submit latency stays
+    // bounded no matter how deep the backlog is.
+    const double t0 = monotonicSeconds();
+    for (size_t i = 0; i < specs.size(); ++i) {
+        const double s0 = monotonicSeconds();
+        ids[i] = sched.submit(specs[i]);
+        submitLatencies.push_back((monotonicSeconds() - s0) * 1e3);
+    }
+
+    // Collect outcomes; shed submits are already Failed and return
+    // immediately, accepted ones block until the workers drain them.
+    RetryPolicy policy;
+    policy.maxAttempts = 1; // Delays computed, sleeps done by hand.
+    std::vector<size_t> pending;
+    for (size_t i = 0; i < specs.size(); ++i) {
+        JobOutcome out = sched.wait(ids[i]);
+        if (out.state == JobState::Done) {
+            ++r.accepted;
+            finalFp[i] = out.fingerprint;
+            continue;
+        }
+        if (out.errorCode == kErrOverloaded) {
+            ++r.shed;
+            if (out.retryAfterMs <= 0)
+                r.hintsOk = false;
+            pending.push_back(i);
+        } else {
+            r.completed = false; // Unexpected failure kind.
+        }
+    }
+
+    // Retry phase: resubmit the shed specs under the client policy
+    // (honoring each rejection's retry_after hint) until accepted —
+    // the overload contract's other half. Sequential, so the queue
+    // has drained room and every spec completes.
+    for (size_t i : pending) {
+        bool done = false;
+        for (int attempt = 1; attempt <= 50 && !done; ++attempt) {
+            JobOutcome out = sched.run(specs[i]);
+            ++r.retryAttempts;
+            if (out.state == JobState::Done) {
+                finalFp[i] = out.fingerprint;
+                done = true;
+            } else if (out.errorCode == kErrOverloaded) {
+                faultSleepMs(
+                    policy.delayMs(attempt, out.retryAfterMs));
+            } else {
+                break; // Unexpected failure kind.
+            }
+        }
+        if (!done)
+            r.completed = false;
+    }
+    r.drainSeconds = monotonicSeconds() - t0;
+
+    std::sort(submitLatencies.begin(), submitLatencies.end());
+    r.submitP50Ms = percentile(submitLatencies, 0.50);
+    r.submitP99Ms = percentile(submitLatencies, 0.99);
+
+    SchedulerStats stats = sched.stats();
+    r.drained = stats.queued == 0 && stats.running == 0;
+    if (r.accepted + r.shed != static_cast<uint64_t>(opts.burst))
+        r.completed = false;
+
+    Fnv64 digest;
+    for (const std::string &fp : finalFp)
+        digest.add(fp);
+    r.digest = digest.value();
+    return r;
+}
+
+void
+addShedGroup(api::Result &res, const ShedOptions &opts,
+             const ShedReport &r)
+{
+    res.group("shed")
+        .metric("experiment", opts.experiment)
+        .metric("burst", opts.burst)
+        .metric("queue_depth", opts.queueDepth)
+        .metric("workers", opts.workers)
+        .metric("accepted", r.accepted)
+        .metric("shed", r.shed)
+        .metric("retry_attempts", r.retryAttempts)
+        .metric("submit_p50_ms", r.submitP50Ms, 4)
+        .metric("submit_p99_ms", r.submitP99Ms, 4)
+        .metric("drain_s", r.drainSeconds, 6)
+        .metric("hints_ok", r.hintsOk)
+        .metric("drained", r.drained)
+        .metric("completed", r.completed)
+        .metric("digest", Fnv64::hex(r.digest));
 }
 
 void

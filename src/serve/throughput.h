@@ -71,6 +71,51 @@ ThroughputReport measureServeThroughput(const ThroughputOptions &opts);
 void addServingGroup(api::Result &res, const ThroughputOptions &opts,
                      const ThroughputReport &r);
 
+/**
+ * Overload workload: an open-loop burst of distinct cold specs at a
+ * multiple of the scheduler's queue depth, against few workers.
+ * Admission control must shed the overflow with structured
+ * "overloaded" rejections (each carrying a retry_after hint) while
+ * accepted work drains normally; the shed specs are then resubmitted
+ * under the client RetryPolicy until accepted, so EVERY spec
+ * eventually completes and the digest over final fingerprints (spec
+ * order) is run-invariant. No fault injection involved — overload
+ * comes from genuinely slow cold jobs — so this is safe to run
+ * concurrently with other experiments (`fpraker run --all`).
+ */
+struct ShedOptions
+{
+    std::string experiment = "fig02";
+    int burst = 32;           //!< Open-loop submissions.
+    uint64_t queueDepth = 8;  //!< Scheduler admission bound.
+    int sampleStepsBase = 12; //!< Spec i gets base + i (all distinct).
+    int engineThreads = 1;
+    int workers = 1;
+    uint64_t cacheBytes = 64ull << 20;
+};
+
+/** Measured outcome of one overload replay. */
+struct ShedReport
+{
+    uint64_t accepted = 0;  //!< Burst submits that entered the queue.
+    uint64_t shed = 0;      //!< Burst submits rejected "overloaded".
+    uint64_t retryAttempts = 0; //!< Resubmissions until acceptance.
+    double submitP50Ms = 0; //!< Burst submit() call latency.
+    double submitP99Ms = 0; //!< (Bounded: admission never simulates.)
+    double drainSeconds = 0; //!< Burst start -> all outcomes final.
+    bool hintsOk = true;    //!< Every rejection carried retry_after.
+    bool drained = true;    //!< Queue and workers idle at the end.
+    bool completed = true;  //!< Every spec eventually ran.
+    uint64_t digest = 0;    //!< FNV over final fingerprints.
+};
+
+/** Run the overload workload; panics on an unregistered experiment. */
+ShedReport measureShedBehavior(const ShedOptions &opts);
+
+/** Record @p r as the `shed` metric group of @p res. */
+void addShedGroup(api::Result &res, const ShedOptions &opts,
+                  const ShedReport &r);
+
 } // namespace serve
 } // namespace fpraker
 
