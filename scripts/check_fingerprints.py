@@ -1,17 +1,20 @@
 #!/usr/bin/env python3
-"""Compare per-experiment fingerprints across two `--json-dir` trees.
+"""Compare per-experiment fingerprints across `--json-dir` trees.
 
 The determinism contract says `fpraker run --all` must produce the
-same results serially and in parallel; every fpraker-result-v1
-document carries a content fingerprint (timing experiments substitute
-their determinism checksums), so two sweeps agree iff the fingerprints
-match experiment by experiment. CI runs:
+same results serially, in parallel, and at every slab_ops SIMD
+dispatch tier; every fpraker-result-v1 document carries a content
+fingerprint (timing experiments substitute their determinism
+checksums), so N sweeps agree iff the fingerprints match experiment
+by experiment. Accepts two or more trees; the first is the reference
+the rest are diffed against. CI runs:
 
     fpraker run --all --json-dir=a            # serial
     fpraker run --all --threads=2 --json-dir=b
-    scripts/check_fingerprints.py a b
+    FPRAKER_SIMD=scalar fpraker run --all --json-dir=c
+    scripts/check_fingerprints.py a b c
 
-Exit status: 0 when both trees hold the same experiments with equal
+Exit status: 0 when all trees hold the same experiments with equal
 fingerprints, 1 otherwise.
 """
 
@@ -33,28 +36,41 @@ def load(tree):
     return docs
 
 
-def main(argv):
-    if len(argv) != 3:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-    a, b = load(argv[1]), load(argv[2])
+def compare(ref_name, ref, other_name, other):
     status = 0
-    for missing in sorted(set(a) ^ set(b)):
-        side = argv[2] if missing in a else argv[1]
+    for missing in sorted(set(ref) ^ set(other)):
+        side = other_name if missing in ref else ref_name
         print(f"MISSING: {missing} absent from {side}")
         status = 1
-    for exp in sorted(set(a) & set(b)):
+    for exp in sorted(set(ref) & set(other)):
         # A document without a fingerprint must fail the gate, not
         # vacuously "match" as None == None.
-        if a[exp] is None or b[exp] is None:
+        if ref[exp] is None or other[exp] is None:
             print(f"NO FINGERPRINT: {exp} "
-                  f"({argv[1]}: {a[exp]!r}, {argv[2]}: {b[exp]!r})")
+                  f"({ref_name}: {ref[exp]!r}, "
+                  f"{other_name}: {other[exp]!r})")
             status = 1
-        elif a[exp] != b[exp]:
-            print(f"MISMATCH: {exp}: {a[exp]} vs {b[exp]}")
+        elif ref[exp] != other[exp]:
+            print(f"MISMATCH: {exp} ({ref_name} vs {other_name}): "
+                  f"{ref[exp]} vs {other[exp]}")
             status = 1
+    return status
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    ref = load(argv[1])
+    status = 0
+    matched = set(ref)
+    for tree in argv[2:]:
+        other = load(tree)
+        status |= compare(argv[1], ref, tree, other)
+        matched &= set(other)
     if status == 0:
-        print(f"{len(set(a) & set(b))} experiment fingerprints match")
+        print(f"{len(matched)} experiment fingerprints match across "
+              f"{len(argv) - 1} trees")
     return status
 
 

@@ -66,6 +66,10 @@ def validate(path, doc, errors):
                 or steps < 0:
             _fail(path, errors,
                   f"provenance.sample_steps invalid: {steps!r}")
+        simd = prov.get("simd_level")
+        if simd not in ("scalar", "sse2", "avx2", "avx512"):
+            _fail(path, errors,
+                  f"provenance.simd_level not a dispatch tier: {simd!r}")
         variants = prov.get("variants")
         if not isinstance(variants, list) or not all(
                 isinstance(v, str) for v in variants):

@@ -6,6 +6,7 @@
 #include <filesystem>
 
 #include "common/logging.h"
+#include "numeric/slab_ops.h"
 #include "serve/serve_cli.h"
 
 namespace fpraker {
@@ -181,6 +182,8 @@ produceResult(const ExperimentInfo &info, const CliOptions &opts,
         result.threads = session.threadCount();
     if (result.sampleSteps == 0)
         result.sampleSteps = session.lastSampleSteps();
+    if (result.simdLevel.empty())
+        result.simdLevel = slab::simdLevel();
     result.variants = session.variantNames();
     return result;
 }

@@ -1,7 +1,7 @@
 /**
  * @file
  * Perf-regression experiment: times fixed, seeded workloads on the
- * cycle-level simulator and emits BENCH_PR6.json, extending the
+ * cycle-level simulator and emits BENCH_PR7.json, extending the
  * BENCH_PR<N>.json trajectory each perf PR must beat
  * (docs/PERFORMANCE.md explains how to read and append it).
  *
@@ -265,7 +265,7 @@ REGISTER_EXPERIMENT("perf_regression", "Perf",
         session.intOption("steps", session.sampleSteps(4096));
     const int reps = session.intOption("reps", 3);
     const std::string out_path =
-        session.strOption("out", "BENCH_PR6.json");
+        session.strOption("out", "BENCH_PR7.json");
 
     const char *model_name = "ResNet18-Q";
     const ModelInfo &model = findModel(model_name);
@@ -455,7 +455,8 @@ REGISTER_EXPERIMENT("perf_regression", "Perf",
         double t0 = now();
         if (simd)
             slab::countTerms(w.a.data(), w.a.size(),
-                             lut.countsTable(), &zeros, &terms);
+                             lut.countsTable(), lut.nibbleLut(),
+                             &zeros, &terms);
         else
             slab::countTermsScalar(w.a.data(), w.a.size(),
                                    lut.countsTable(), &zeros, &terms);

@@ -214,6 +214,7 @@ Result::toJson() const
     prov.set("config_digest", configDigest);
     prov.set("threads", threads);
     prov.set("sample_steps", sampleSteps);
+    prov.set("simd_level", simdLevel);
     JsonValue vars = JsonValue::array();
     for (const std::string &v : variants)
         vars.push(v);

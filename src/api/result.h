@@ -114,6 +114,15 @@ class Result
     std::string configDigest; //!< Hex digest over the session variants.
     int threads = 0;
     int sampleSteps = 0;
+    /**
+     * slab_ops dispatch tier the run executed under ("scalar",
+     * "sse2", "avx2", or "avx512" — whichever activeTier() resolved,
+     * including a FPRAKER_SIMD override). Filled by the driver when
+     * the experiment leaves it empty. Provenance only — the
+     * determinism contract says every tier produces the same bytes,
+     * so the tier must never be part of the fingerprint.
+     */
+    std::string simdLevel;
     std::vector<std::string> variants;
     /**
      * True when this document was served from the ResultCache instead

@@ -1,7 +1,10 @@
 #include "numeric/slab_ops.h"
 
 #include <bit>
+#include <cstdlib>
 #include <cstring>
+
+#include "common/logging.h"
 
 #if defined(__x86_64__) || defined(__i386__)
 #define FPRAKER_SLAB_X86 1
@@ -54,6 +57,15 @@ haveAvx2()
     return have;
 }
 
+bool
+haveAvx512()
+{
+    __builtin_cpu_init();
+    static const bool have = __builtin_cpu_supports("avx512f") &&
+                             __builtin_cpu_supports("avx512bw");
+    return have;
+}
+
 /**
  * Classify 8 bf16 lanes: *sig8 receives their significands packed to
  * bytes (0 for zero values) in the low 8 bytes; the return value is
@@ -72,6 +84,8 @@ classify8(__m128i v, __m128i *sig8)
     return _mm_movemask_epi8(z);
 }
 
+// SSE2 predates pshufb (SSSE3), so this tier keeps the 256-entry
+// memory-LUT walk; the nibble LUT starts at AVX2.
 void
 countTermsSse2(const BFloat16 *values, size_t n,
                const uint8_t counts[256], uint64_t *zeros,
@@ -103,51 +117,127 @@ countTermsSse2(const BFloat16 *values, size_t n,
         countTermsScalar(values + i, n - i, counts, zeros, terms);
 }
 
+/**
+ * Extract the 16-bit significand lanes of @p v (0 for zero values)
+ * folded for counting: with @p fold set, x -> x ^ 3x maps the NAF
+ * digit count onto popcount (3x needs the 16-bit width). *zero_mask
+ * receives the movemask_epi8 zero-lane mask.
+ */
+__attribute__((target("avx2"))) inline __m256i
+countFold16(__m256i v, bool fold, uint32_t *zero_mask)
+{
+    const __m256i z = _mm256_cmpeq_epi16(
+        _mm256_and_si256(v, _mm256_set1_epi16(0x7fff)),
+        _mm256_setzero_si256());
+    *zero_mask = static_cast<uint32_t>(_mm256_movemask_epi8(z));
+    const __m256i sig = _mm256_andnot_si256(
+        z, _mm256_or_si256(_mm256_and_si256(v, _mm256_set1_epi16(0x7f)),
+                           _mm256_set1_epi16(0x80)));
+    if (!fold)
+        return sig;
+    const __m256i x3 = _mm256_add_epi16(sig, _mm256_slli_epi16(sig, 1));
+    return _mm256_xor_si256(sig, x3);
+}
+
 __attribute__((target("avx2"))) void
 countTermsAvx2(const BFloat16 *values, size_t n,
-               const uint8_t counts[256], uint64_t *zeros,
-               uint64_t *terms)
+               const uint8_t counts[256], const NibbleCountLut &nib,
+               uint64_t *zeros, uint64_t *terms)
 {
-    uint64_t z = 0, t = 0;
+    const __m256i tbl = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(nib.pop4)));
+    const __m256i lomask = _mm256_set1_epi8(0x0f);
+    __m256i acc = _mm256_setzero_si256();
+    uint64_t z = 0;
     size_t i = 0;
-    alignas(32) uint8_t sig[32];
-    const __m256i vzero = _mm256_setzero_si256();
     for (; i + 32 <= n; i += 32) {
         __m256i v0, v1;
         std::memcpy(&v0, values + i, 32);
         std::memcpy(&v1, values + i + 16, 32);
-        const __m256i z0 = _mm256_cmpeq_epi16(
-            _mm256_and_si256(v0, _mm256_set1_epi16(0x7fff)), vzero);
-        const __m256i z1 = _mm256_cmpeq_epi16(
-            _mm256_and_si256(v1, _mm256_set1_epi16(0x7fff)), vzero);
-        const uint32_t zm0 =
-            static_cast<uint32_t>(_mm256_movemask_epi8(z0));
-        const uint32_t zm1 =
-            static_cast<uint32_t>(_mm256_movemask_epi8(z1));
+        uint32_t zm0, zm1;
+        const __m256i t0 = countFold16(v0, nib.nafFold, &zm0);
+        const __m256i t1 = countFold16(v1, nib.nafFold, &zm1);
         z += (std::popcount(zm0) + std::popcount(zm1)) / 2;
-        if (zm0 != 0xffffffffu || zm1 != 0xffffffffu) {
-            const __m256i s0 = _mm256_andnot_si256(
-                z0,
-                _mm256_or_si256(
-                    _mm256_and_si256(v0, _mm256_set1_epi16(0x7f)),
-                    _mm256_set1_epi16(0x80)));
-            const __m256i s1 = _mm256_andnot_si256(
-                z1,
-                _mm256_or_si256(
-                    _mm256_and_si256(v1, _mm256_set1_epi16(0x7f)),
-                    _mm256_set1_epi16(0x80)));
-            // packus interleaves 128-bit halves; the per-byte counts
-            // sum is permutation-invariant, so no fix-up shuffle.
-            _mm256_store_si256(reinterpret_cast<__m256i *>(sig),
-                               _mm256_packus_epi16(s0, s1));
-            for (int j = 0; j < 32; ++j)
-                t += counts[sig[j]];
-        }
+        // Byte-wise nibble popcount over both vectors: each folded
+        // 16-bit lane contributes its two bytes independently, and the
+        // per-byte sums (<= 16 per vector pair) stay well inside uint8.
+        const __m256i c0 = _mm256_add_epi8(
+            _mm256_shuffle_epi8(tbl, _mm256_and_si256(t0, lomask)),
+            _mm256_shuffle_epi8(
+                tbl,
+                _mm256_and_si256(_mm256_srli_epi16(t0, 4), lomask)));
+        const __m256i c1 = _mm256_add_epi8(
+            _mm256_shuffle_epi8(tbl, _mm256_and_si256(t1, lomask)),
+            _mm256_shuffle_epi8(
+                tbl,
+                _mm256_and_si256(_mm256_srli_epi16(t1, 4), lomask)));
+        acc = _mm256_add_epi64(
+            acc, _mm256_sad_epu8(_mm256_add_epi8(c0, c1),
+                                 _mm256_setzero_si256()));
     }
+    alignas(32) uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    *terms += lanes[0] + lanes[1] + lanes[2] + lanes[3];
     *zeros += z;
-    *terms += t;
     if (i < n)
         countTermsSse2(values + i, n - i, counts, zeros, terms);
+}
+
+__attribute__((target("avx512f,avx512bw"))) inline __m512i
+countFold16Z(__m512i v, bool fold, uint32_t *zero_count)
+{
+    const __mmask32 zm = _mm512_cmpeq_epi16_mask(
+        _mm512_and_si512(v, _mm512_set1_epi16(0x7fff)),
+        _mm512_setzero_si512());
+    *zero_count = static_cast<uint32_t>(
+        std::popcount(static_cast<uint32_t>(zm)));
+    const __m512i sig = _mm512_maskz_mov_epi16(
+        static_cast<__mmask32>(~zm),
+        _mm512_or_si512(_mm512_and_si512(v, _mm512_set1_epi16(0x7f)),
+                        _mm512_set1_epi16(0x80)));
+    if (!fold)
+        return sig;
+    const __m512i x3 = _mm512_add_epi16(sig, _mm512_slli_epi16(sig, 1));
+    return _mm512_xor_si512(sig, x3);
+}
+
+__attribute__((target("avx512f,avx512bw"))) void
+countTermsAvx512(const BFloat16 *values, size_t n,
+                 const uint8_t counts[256], const NibbleCountLut &nib,
+                 uint64_t *zeros, uint64_t *terms)
+{
+    const __m512i tbl = _mm512_broadcast_i32x4(_mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(nib.pop4)));
+    const __m512i lomask = _mm512_set1_epi8(0x0f);
+    __m512i acc = _mm512_setzero_si512();
+    uint64_t z = 0;
+    size_t i = 0;
+    for (; i + 64 <= n; i += 64) {
+        __m512i v0, v1;
+        std::memcpy(&v0, values + i, 64);
+        std::memcpy(&v1, values + i + 32, 64);
+        uint32_t zc0, zc1;
+        const __m512i t0 = countFold16Z(v0, nib.nafFold, &zc0);
+        const __m512i t1 = countFold16Z(v1, nib.nafFold, &zc1);
+        z += zc0 + zc1;
+        const __m512i c0 = _mm512_add_epi8(
+            _mm512_shuffle_epi8(tbl, _mm512_and_si512(t0, lomask)),
+            _mm512_shuffle_epi8(
+                tbl,
+                _mm512_and_si512(_mm512_srli_epi16(t0, 4), lomask)));
+        const __m512i c1 = _mm512_add_epi8(
+            _mm512_shuffle_epi8(tbl, _mm512_and_si512(t1, lomask)),
+            _mm512_shuffle_epi8(
+                tbl,
+                _mm512_and_si512(_mm512_srli_epi16(t1, 4), lomask)));
+        acc = _mm512_add_epi64(
+            acc, _mm512_sad_epu8(_mm512_add_epi8(c0, c1),
+                                 _mm512_setzero_si512()));
+    }
+    *terms += static_cast<uint64_t>(_mm512_reduce_add_epi64(acc));
+    *zeros += z;
+    if (i < n)
+        countTermsAvx2(values + i, n - i, counts, nib, zeros, terms);
 }
 
 void
@@ -202,57 +292,222 @@ packBf16Avx2(const int16_t *biased_exp, const uint8_t *man,
         packBf16Sse2(biased_exp + i, man + i, neg + i, n - i, out + i);
 }
 
+__attribute__((target("avx512f,avx512bw"))) void
+packBf16Avx512(const int16_t *biased_exp, const uint8_t *man,
+               const uint8_t *neg, size_t n, BFloat16 *out)
+{
+    size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        __m512i e;
+        std::memcpy(&e, biased_exp + i, 64);
+        const __m512i m16 = _mm512_cvtepu8_epi16(_mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(man + i)));
+        const __m512i s16 = _mm512_cvtepu8_epi16(_mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(neg + i)));
+        const __m512i bits = _mm512_or_si512(
+            _mm512_or_si512(
+                _mm512_slli_epi16(
+                    _mm512_and_si512(e, _mm512_set1_epi16(0xff)), 7),
+                _mm512_and_si512(m16, _mm512_set1_epi16(0x7f))),
+            _mm512_slli_epi16(s16, 15));
+        std::memcpy(out + i, &bits, 64);
+    }
+    if (i < n)
+        packBf16Avx2(biased_exp + i, man + i, neg + i, n - i, out + i);
+}
+
 } // namespace
 
-const char *
-simdLevel()
+bool
+tierCompiled(SimdTier tier)
 {
-    return haveAvx2() ? "avx2" : "sse2";
+    (void)tier;
+    return true;
+}
+
+bool
+tierSupported(SimdTier tier)
+{
+    switch (tier) {
+    case SimdTier::Scalar:
+    case SimdTier::Sse2:
+        return true;
+    case SimdTier::Avx2:
+        return haveAvx2();
+    case SimdTier::Avx512:
+        return haveAvx512();
+    }
+    return false;
 }
 
 void
-countTerms(const BFloat16 *values, size_t n, const uint8_t counts[256],
-           uint64_t *zeros, uint64_t *terms)
+countTermsAt(SimdTier tier, const BFloat16 *values, size_t n,
+             const uint8_t counts[256], const NibbleCountLut &nib,
+             uint64_t *zeros, uint64_t *terms)
 {
-    if (haveAvx2())
-        countTermsAvx2(values, n, counts, zeros, terms);
-    else
+    panic_if(!tierSupported(tier), "countTermsAt: tier %s unsupported",
+             tierName(tier));
+    switch (tier) {
+    case SimdTier::Scalar:
+        countTermsScalar(values, n, counts, zeros, terms);
+        return;
+    case SimdTier::Sse2:
         countTermsSse2(values, n, counts, zeros, terms);
+        return;
+    case SimdTier::Avx2:
+        countTermsAvx2(values, n, counts, nib, zeros, terms);
+        return;
+    case SimdTier::Avx512:
+        countTermsAvx512(values, n, counts, nib, zeros, terms);
+        return;
+    }
 }
 
 void
-packBf16(const int16_t *biased_exp, const uint8_t *man,
-         const uint8_t *neg, size_t n, BFloat16 *out)
+packBf16At(SimdTier tier, const int16_t *biased_exp, const uint8_t *man,
+           const uint8_t *neg, size_t n, BFloat16 *out)
 {
-    if (haveAvx2())
-        packBf16Avx2(biased_exp, man, neg, n, out);
-    else
+    panic_if(!tierSupported(tier), "packBf16At: tier %s unsupported",
+             tierName(tier));
+    switch (tier) {
+    case SimdTier::Scalar:
+        packBf16Scalar(biased_exp, man, neg, n, out);
+        return;
+    case SimdTier::Sse2:
         packBf16Sse2(biased_exp, man, neg, n, out);
+        return;
+    case SimdTier::Avx2:
+        packBf16Avx2(biased_exp, man, neg, n, out);
+        return;
+    case SimdTier::Avx512:
+        packBf16Avx512(biased_exp, man, neg, n, out);
+        return;
+    }
 }
 
 #else // !FPRAKER_SLAB_X86
 
+bool
+tierCompiled(SimdTier tier)
+{
+    return tier == SimdTier::Scalar;
+}
+
+bool
+tierSupported(SimdTier tier)
+{
+    return tier == SimdTier::Scalar;
+}
+
+void
+countTermsAt(SimdTier tier, const BFloat16 *values, size_t n,
+             const uint8_t counts[256], const NibbleCountLut &nib,
+             uint64_t *zeros, uint64_t *terms)
+{
+    (void)nib;
+    panic_if(tier != SimdTier::Scalar,
+             "countTermsAt: tier %s not compiled", tierName(tier));
+    countTermsScalar(values, n, counts, zeros, terms);
+}
+
+void
+packBf16At(SimdTier tier, const int16_t *biased_exp, const uint8_t *man,
+           const uint8_t *neg, size_t n, BFloat16 *out)
+{
+    panic_if(tier != SimdTier::Scalar,
+             "packBf16At: tier %s not compiled", tierName(tier));
+    packBf16Scalar(biased_exp, man, neg, n, out);
+}
+
+#endif // FPRAKER_SLAB_X86
+
+const char *
+tierName(SimdTier tier)
+{
+    switch (tier) {
+    case SimdTier::Scalar:
+        return "scalar";
+    case SimdTier::Sse2:
+        return "sse2";
+    case SimdTier::Avx2:
+        return "avx2";
+    case SimdTier::Avx512:
+        return "avx512";
+    }
+    return "scalar";
+}
+
+bool
+parseSimdTier(const char *text, SimdTier *out)
+{
+    if (text == nullptr)
+        return false;
+    for (int i = 0; i < kNumSimdTiers; ++i) {
+        const SimdTier tier = static_cast<SimdTier>(i);
+        if (std::strcmp(text, tierName(tier)) == 0) {
+            *out = tier;
+            return true;
+        }
+    }
+    return false;
+}
+
+namespace {
+
+SimdTier
+resolveActiveTier()
+{
+    const char *env = std::getenv("FPRAKER_SIMD");
+    if (env == nullptr || *env == '\0') {
+        for (int i = kNumSimdTiers - 1; i > 0; --i) {
+            const SimdTier tier = static_cast<SimdTier>(i);
+            if (tierSupported(tier))
+                return tier;
+        }
+        return SimdTier::Scalar;
+    }
+    SimdTier forced;
+    fatal_if(!parseSimdTier(env, &forced),
+             "FPRAKER_SIMD=%s: unknown tier "
+             "(expected scalar, sse2, avx2, or avx512)",
+             env);
+    fatal_if(!tierSupported(forced),
+             "FPRAKER_SIMD=%s: tier is not %s — refusing to fall back "
+             "silently",
+             env,
+             tierCompiled(forced) ? "supported by this host"
+                                  : "compiled into this build");
+    return forced;
+}
+
+} // namespace
+
+SimdTier
+activeTier()
+{
+    static const SimdTier tier = resolveActiveTier();
+    return tier;
+}
+
 const char *
 simdLevel()
 {
-    return "scalar";
+    return tierName(activeTier());
 }
 
 void
 countTerms(const BFloat16 *values, size_t n, const uint8_t counts[256],
-           uint64_t *zeros, uint64_t *terms)
+           const NibbleCountLut &nib, uint64_t *zeros, uint64_t *terms)
 {
-    countTermsScalar(values, n, counts, zeros, terms);
+    countTermsAt(activeTier(), values, n, counts, nib, zeros, terms);
 }
 
 void
 packBf16(const int16_t *biased_exp, const uint8_t *man,
          const uint8_t *neg, size_t n, BFloat16 *out)
 {
-    packBf16Scalar(biased_exp, man, neg, n, out);
+    packBf16At(activeTier(), biased_exp, man, neg, n, out);
 }
-
-#endif // FPRAKER_SLAB_X86
 
 } // namespace slab
 } // namespace fpraker

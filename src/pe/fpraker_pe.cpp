@@ -34,6 +34,85 @@ void
 FPRakerColumn::beginSet(const BFloat16 *a, const BFloat16 *b,
                         int b_stride, int active_lanes)
 {
+    const int lanes = active_lanes < 0 ? cfg_.lanes : active_lanes;
+    panic_if(lanes < 1 || lanes > cfg_.lanes,
+             "bad active lane count %d", lanes);
+    decodeScratch_.resize(static_cast<size_t>(numPes_));
+    decodeBRows(b, b_stride, numPes_, lanes, decodeScratch_.data());
+    beginSetDecoded(a, decodeScratch_.data(), lanes);
+}
+
+void
+FPRakerColumn::decodeBRows(const BFloat16 *b, int b_stride, int rows,
+                           int lanes, DecodedBRow *out)
+{
+#ifdef __SSE2__
+    // Vector fast path for full 8-lane rows: the whole per-row field
+    // split (zero/finite classification, exponent, significand, sign)
+    // is 8 x 16-bit data — one SSE register per row. Integer-exact,
+    // so bit-identical to the scalar path below.
+    if (lanes == 8) {
+        const __m128i vzero128 = _mm_setzero_si128();
+        for (int r = 0; r < rows; ++r) {
+            DecodedBRow &dr = out[r];
+            const BFloat16 *brow =
+                b + static_cast<size_t>(r) * b_stride;
+            __m128i vb;
+            std::memcpy(&vb, brow, 16);
+
+            const __m128i vexpf =
+                _mm_and_si128(vb, _mm_set1_epi16(0x7f80));
+            if (_mm_movemask_epi8(_mm_cmpeq_epi16(
+                    vexpf, _mm_set1_epi16(0x7f80)))) {
+                for (int l = 0; l < 8; ++l)
+                    panic_if(!brow[l].isFinite(),
+                             "non-finite PE operand (b=%04x)",
+                             brow[l].bits());
+            }
+
+            const __m128i vbzero = _mm_cmpeq_epi16(
+                _mm_and_si128(vb, _mm_set1_epi16(0x7fff)), vzero128);
+            const __m128i vbe = _mm_and_si128(_mm_srli_epi16(vb, 7),
+                                              _mm_set1_epi16(0xff));
+            _mm_store_si128(
+                reinterpret_cast<__m128i *>(dr.beBiased), vbe);
+            _mm_store_si128(
+                reinterpret_cast<__m128i *>(dr.zero16), vbzero);
+            const __m128i vsig16 = _mm_andnot_si128(
+                vbzero,
+                _mm_or_si128(_mm_and_si128(vb, _mm_set1_epi16(0x7f)),
+                             _mm_set1_epi16(0x80)));
+            _mm_storel_epi64(reinterpret_cast<__m128i *>(dr.sig),
+                             _mm_packus_epi16(vsig16, vzero128));
+            dr.negMask = static_cast<uint32_t>(
+                _mm_movemask_epi8(_mm_packs_epi16(
+                    _mm_srai_epi16(vb, 15), vzero128)));
+        }
+        return;
+    }
+#endif // __SSE2__
+    for (int r = 0; r < rows; ++r) {
+        DecodedBRow &dr = out[r];
+        const BFloat16 *brow = b + static_cast<size_t>(r) * b_stride;
+        dr.negMask = 0;
+        for (int l = 0; l < lanes; ++l) {
+            const BFloat16 bv = brow[l];
+            panic_if(!bv.isFinite(), "non-finite PE operand (b=%04x)",
+                     bv.bits());
+            dr.beBiased[l] = static_cast<int16_t>(bv.biasedExponent());
+            dr.zero16[l] = bv.isZero() ? int16_t(-1) : int16_t(0);
+            dr.sig[l] = static_cast<uint8_t>(bv.significand());
+            if (bv.isNegative())
+                dr.negMask |= 1u << l;
+        }
+    }
+}
+
+void
+FPRakerColumn::beginSetDecoded(const BFloat16 *a,
+                               const DecodedBRow *brows,
+                               int active_lanes)
+{
     panic_if(inSet_, "beginSet while a set is in flight");
     activeLanes_ = active_lanes < 0 ? cfg_.lanes : active_lanes;
     panic_if(activeLanes_ < 1 || activeLanes_ > cfg_.lanes,
@@ -79,11 +158,11 @@ FPRakerColumn::beginSet(const BFloat16 *a, const BFloat16 *b,
     uint32_t all_ob = liveMask_;
 
 #ifdef __SSE2__
-    // Vector fast path for full 8-lane sets: the whole per-PE operand
-    // decode (exponent, significand, sign, zero/finite classification,
-    // product-exponent MAX input, first-term OB compare) is 8 x 16-bit
-    // data — one SSE register. Integer-exact, so bit-identical to the
-    // scalar path below.
+    // Vector fast path for full 8-lane sets: combining the decoded
+    // rows with the column's A stream (product exponents, MAX-tree
+    // input, first-term OB compare) is 8 x 16-bit data — one SSE
+    // register. Integer-exact, so bit-identical to the scalar path
+    // below.
     if (activeLanes_ == 8) {
         const __m128i vzero128 = _mm_setzero_si128();
         __m128i va_exp_m127;
@@ -109,37 +188,15 @@ FPRakerColumn::beginSet(const BFloat16 *a, const BFloat16 *b,
 
         for (int r = 0; r < numPes_; ++r) {
             PeState &pe = pes_[r];
-            const BFloat16 *brow = b + static_cast<size_t>(r) * b_stride;
-            __m128i vb;
-            std::memcpy(&vb, brow, 16);
-
-            const __m128i vexpf =
-                _mm_and_si128(vb, _mm_set1_epi16(0x7f80));
-            if (_mm_movemask_epi8(_mm_cmpeq_epi16(
-                    vexpf, _mm_set1_epi16(0x7f80)))) {
-                for (int l = 0; l < 8; ++l)
-                    panic_if(!brow[l].isFinite(),
-                             "non-finite PE operand (b=%04x)",
-                             brow[l].bits());
-            }
-
-            const __m128i vbzero = _mm_cmpeq_epi16(
-                _mm_and_si128(vb, _mm_set1_epi16(0x7fff)), vzero128);
-            const __m128i vbe = _mm_and_si128(_mm_srli_epi16(vb, 7),
-                                              _mm_set1_epi16(0xff));
+            const DecodedBRow &dr = brows[r];
+            __m128i vbe, vbzero;
+            std::memcpy(&vbe, dr.beBiased, 16);
+            std::memcpy(&vbzero, dr.zero16, 16);
             const __m128i vab = _mm_add_epi16(va_exp_m127, vbe);
             _mm_storeu_si128(reinterpret_cast<__m128i *>(pe.abExp),
                              vab);
-            const __m128i vsig16 = _mm_andnot_si128(
-                vbzero,
-                _mm_or_si128(_mm_and_si128(vb, _mm_set1_epi16(0x7f)),
-                             _mm_set1_epi16(0x80)));
-            _mm_storel_epi64(reinterpret_cast<__m128i *>(pe.bSig),
-                             _mm_packus_epi16(vsig16, vzero128));
-            const uint32_t bneg = static_cast<uint32_t>(
-                _mm_movemask_epi8(_mm_packs_epi16(
-                    _mm_srai_epi16(vb, 15), vzero128)));
-            pe.prodNegMask = a_neg ^ bneg;
+            std::memcpy(pe.bSig, dr.sig, 8);
+            pe.prodNegMask = a_neg ^ dr.negMask;
             pe.firedMask = 0;
 
             int emax = pe.acc.chunkRegister().exponent();
@@ -197,28 +254,21 @@ FPRakerColumn::beginSet(const BFloat16 *a, const BFloat16 *b,
     {
         for (int r = 0; r < numPes_; ++r) {
             PeState &pe = pes_[r];
-            const BFloat16 *brow =
-                b + static_cast<size_t>(r) * b_stride;
+            const DecodedBRow &dr = brows[r];
             int emax = pe.acc.chunkRegister().exponent();
-            uint32_t prod_neg = a_neg;
             for (int l = 0; l < activeLanes_; ++l) {
-                const BFloat16 bv = brow[l];
-                panic_if(!bv.isFinite(),
-                         "non-finite PE operand (b=%04x)", bv.bits());
                 // Zero operands carry an all-zero exponent field;
                 // their product exponents are far below any normal
                 // value, so the MAX tree ignores them and the
                 // out-of-bounds check retires the lane immediately.
-                const int ab = a_exp[l] + bv.unbiasedExponent();
+                const int ab = a_exp[l] + dr.beBiased[l] - 127;
                 pe.abExp[l] = static_cast<int16_t>(ab);
-                pe.bSig[l] = static_cast<uint8_t>(bv.significand());
-                if (bv.isNegative())
-                    prod_neg ^= 1u << l;
-                if (((a_nonzero >> l) & 1u) && !bv.isZero() &&
+                pe.bSig[l] = dr.sig[l];
+                if (((a_nonzero >> l) & 1u) && dr.zero16[l] == 0 &&
                     ab > emax)
                     emax = ab;
             }
-            pe.prodNegMask = prod_neg;
+            pe.prodNegMask = a_neg ^ dr.negMask;
             pe.firedMask = 0;
             pe.acc.chunkRegister().alignTo(emax);
 
@@ -571,6 +621,43 @@ FPRakerColumn::finishSet()
     return cycles;
 }
 
+int
+FPRakerColumn::dot(const BFloat16 *a, const BFloat16 *b, int b_stride,
+                   size_t len)
+{
+    const int lanes = cfg_.lanes;
+    // Sets per decode batch: the operand decode for a whole chunk runs
+    // as one tight loop before any set simulates (amortizing the
+    // decode across the row dimension), while the decoded rows stay
+    // small enough to remain cache-resident.
+    constexpr size_t kChunkSets = 32;
+    const size_t rows = static_cast<size_t>(numPes_);
+    decodeScratch_.resize(kChunkSets * rows);
+    int active[kChunkSets];
+    int cycles = 0;
+    size_t i = 0;
+    while (i < len) {
+        const size_t chunk_begin = i;
+        size_t nsets = 0;
+        for (; nsets < kChunkSets && i < len; ++nsets) {
+            // Only the final set of the dot can be ragged.
+            const int act = static_cast<int>(std::min<size_t>(
+                static_cast<size_t>(lanes), len - i));
+            decodeBRows(b + i, b_stride, numPes_, act,
+                        decodeScratch_.data() + nsets * rows);
+            active[nsets] = act;
+            i += static_cast<size_t>(act);
+        }
+        for (size_t s = 0; s < nsets; ++s) {
+            beginSetDecoded(
+                a + chunk_begin + s * static_cast<size_t>(lanes),
+                decodeScratch_.data() + s * rows, active[s]);
+            cycles += finishSet();
+        }
+    }
+    return cycles;
+}
+
 void
 FPRakerColumn::chargeInterPeStall(int cycles)
 {
@@ -648,17 +735,11 @@ FPRakerPe::dot(const std::vector<BFloat16> &a, const std::vector<BFloat16> &b)
 {
     panic_if(a.size() != b.size(), "dot of mismatched lengths %zu vs %zu",
              a.size(), b.size());
-    const int lanes = column_.config().lanes;
-    int cycles = 0;
-    for (size_t i = 0; i < a.size(); i += static_cast<size_t>(lanes)) {
-        // Ragged tails run masked: padded lanes would be architecturally
-        // absent, so they must not show up in cycles or statistics.
-        const int active = static_cast<int>(
-            std::min<size_t>(static_cast<size_t>(lanes), a.size() - i));
-        cycles += column_.runSet(a.data() + i, b.data() + i, lanes,
-                                 active);
-    }
-    return cycles;
+    // Batched multi-set walk; ragged tails run as masked sets (padded
+    // lanes would be architecturally absent, so they must not show up
+    // in cycles or statistics). A single-PE column reads its B stream
+    // at the same flat offsets as A, so the row stride is irrelevant.
+    return column_.dot(a.data(), b.data(), 0, a.size());
 }
 
 } // namespace fpraker

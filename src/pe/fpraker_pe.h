@@ -87,6 +87,30 @@ class FPRakerColumn
     FPRakerColumn(const PeConfig &cfg, int num_pes);
 
     /**
+     * One parallel-operand row, decoded once: in a tile every column
+     * of a step consumes the same broadcast B rows, so the per-value
+     * field split (exponent, significand, sign, zero/finite check)
+     * runs once per row instead of once per (row, column). Layouts
+     * are chosen so the vectorized beginSetDecoded path loads them
+     * directly; zero16 lanes are 0 / -1 masks.
+     */
+    struct DecodedBRow
+    {
+        alignas(32) int16_t beBiased[ExponentBlockResult::kMaxLanes];
+        alignas(32) int16_t zero16[ExponentBlockResult::kMaxLanes];
+        uint8_t sig[ExponentBlockResult::kMaxLanes];
+        uint32_t negMask = 0;
+    };
+
+    /**
+     * Decode @p rows parallel-operand rows (row r lane l at
+     * b[r * b_stride + l], @p lanes lanes each) into @p out. Performs
+     * the finite-operand panic, so beginSetDecoded can skip it.
+     */
+    static void decodeBRows(const BFloat16 *b, int b_stride, int rows,
+                            int lanes, DecodedBRow *out);
+
+    /**
      * Start a new operand set.
      *
      * @param a        cfg.lanes serial operands, shared by every PE
@@ -98,6 +122,14 @@ class FPRakerColumn
      */
     void beginSet(const BFloat16 *a, const BFloat16 *b, int b_stride,
                   int active_lanes = -1);
+
+    /**
+     * beginSet against pre-decoded parallel operands: @p brows holds
+     * numPes() rows from decodeBRows. Bit-identical to beginSet; the
+     * tile uses this to share one B decode across all its columns.
+     */
+    void beginSetDecoded(const BFloat16 *a, const DecodedBRow *brows,
+                         int active_lanes = -1);
 
     /** True while the current set still has terms to process. */
     bool busy() const;
@@ -119,6 +151,18 @@ class FPRakerColumn
         beginSet(a, b, b_stride, active_lanes);
         return finishSet();
     }
+
+    /**
+     * Accumulate a full dot product for every PE of the column:
+     * config().lanes pairs per set, PE r's parallel operands at
+     * b[r * b_stride + i]. The batched walk decodes the B operands a
+     * whole chunk of sets at a time (amortizing the operand decode
+     * across the row dimension) before simulating the sets; ragged
+     * tails run as masked sets. Bit-identical to per-set runSet calls.
+     * @return total cycles.
+     */
+    int dot(const BFloat16 *a, const BFloat16 *b, int b_stride,
+            size_t len);
 
     /** Charge tile-level broadcast-wait cycles to every lane. */
     void chargeInterPeStall(int cycles);
@@ -206,6 +250,7 @@ class FPRakerColumn
     PeConfig cfg_;
     int numPes_;
     const TermLut *lut_;
+    std::vector<DecodedBRow> decodeScratch_; //!< beginSet / dot rows.
     LaneStream streams_[kMaxLanes];
     /**
      * Cursor-term cache: the shift and sign of each live lane's

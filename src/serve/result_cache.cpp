@@ -36,6 +36,20 @@ markDocumentCached(const std::string &document)
     return hot;
 }
 
+std::string
+extractFingerprint(const std::string &document)
+{
+    static const char kKey[] = "\"fingerprint\": \"";
+    size_t at = document.find(kKey);
+    if (at == std::string::npos)
+        return "";
+    at += sizeof(kKey) - 1;
+    size_t end = document.find('"', at);
+    if (end == std::string::npos)
+        return "";
+    return document.substr(at, end - at);
+}
+
 namespace {
 
 //! Fixed-width trailer: "#fpraker-spill fnv=<16> len=<16>\n".
@@ -185,14 +199,16 @@ ResultCache::writeSpill(uint64_t key, const std::string &document)
 void
 ResultCache::touch(Entry &e, uint64_t key)
 {
-    lruOrder_.erase(e.lru);
-    lruOrder_.push_front(key);
-    e.lru = lruOrder_.begin();
+    (void)key;
+    // Splice, not erase+push_front: relinking the existing node costs
+    // no allocation on the per-hit path, and the iterator stays valid.
+    lruOrder_.splice(lruOrder_.begin(), lruOrder_, e.lru);
 }
 
 bool
 ResultCache::lookupLocked(uint64_t key, bool marked,
-                          std::string *document)
+                          std::string *document,
+                          std::string *fingerprint)
 {
     auto it = entries_.find(key);
     if (it == entries_.end()) {
@@ -212,6 +228,8 @@ ResultCache::lookupLocked(uint64_t key, bool marked,
         it = entries_.find(key);
         if (it == entries_.end()) {
             // Too large even for an empty cache: serve it once.
+            if (fingerprint)
+                *fingerprint = extractFingerprint(text);
             *document = marked ? markDocumentCached(text) : text;
             return true;
         }
@@ -220,6 +238,8 @@ ResultCache::lookupLocked(uint64_t key, bool marked,
         touch(it->second, key);
     }
     Entry &e = it->second;
+    if (fingerprint)
+        *fingerprint = e.fingerprint;
     if (!marked) {
         *document = e.text;
         return true;
@@ -240,14 +260,22 @@ bool
 ResultCache::lookup(uint64_t key, std::string *document)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return lookupLocked(key, /*marked=*/true, document);
+    return lookupLocked(key, /*marked=*/true, document, nullptr);
+}
+
+bool
+ResultCache::lookup(uint64_t key, std::string *document,
+                    std::string *fingerprint)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lookupLocked(key, /*marked=*/true, document, fingerprint);
 }
 
 bool
 ResultCache::lookupRaw(uint64_t key, std::string *document)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return lookupLocked(key, /*marked=*/false, document);
+    return lookupLocked(key, /*marked=*/false, document, nullptr);
 }
 
 void
@@ -281,6 +309,9 @@ ResultCache::insertLocked(uint64_t key, const std::string &document)
 
     Entry e;
     e.text = document;
+    // Extracted once here (cold admission) so hits never scan the
+    // document; 16 hex chars of metadata, left out of bytes_.
+    e.fingerprint = extractFingerprint(document);
     lruOrder_.push_front(key);
     e.lru = lruOrder_.begin();
     bytes_ += e.text.size();

@@ -10,7 +10,10 @@
  * what re-simulating the spec would produce, so serving it is
  * lossless. On a hit the cache hands back a variant with
  * provenance.cached patched to true — materialized once per entry and
- * memoized, so the hot path is a hash lookup plus a string copy.
+ * memoized, like the document's fingerprint (extracted once at
+ * admission), so the hot path is a hash lookup plus string copies:
+ * no per-hit document scan, no per-hit allocation beyond the copies
+ * the caller keeps.
  *
  * Eviction is LRU over a total-bytes bound (both text variants
  * count). With a spill directory configured, every insert also writes
@@ -75,6 +78,16 @@ class ResultCache
     bool lookup(uint64_t key, std::string *document);
 
     /**
+     * Like lookup(), additionally filling @p fingerprint with the
+     * document's top-level "fingerprint" value — memoized at
+     * admission, so a hit never re-scans the document text. The
+     * serving hot path (JobScheduler::run on a cache hit) lives on
+     * this overload.
+     */
+    bool lookup(uint64_t key, std::string *document,
+                std::string *fingerprint);
+
+    /**
      * The stored cold text (provenance.cached = false), exactly as
      * the producing run rendered it. Counts as a hit like lookup().
      */
@@ -94,10 +107,15 @@ class ResultCache
         std::string text;    //!< Cold rendering (cached: false).
         std::string hotText; //!< Lazily patched rendering ("" until
                              //!< the first hit materializes it).
+        //! Top-level "fingerprint" value, extracted once at
+        //! admission. Fixed-width metadata (16 hex chars), not
+        //! document payload — excluded from the bytes_ accounting.
+        std::string fingerprint;
         std::list<uint64_t>::iterator lru;
     };
 
-    bool lookupLocked(uint64_t key, bool marked, std::string *document);
+    bool lookupLocked(uint64_t key, bool marked, std::string *document,
+                      std::string *fingerprint);
     void insertLocked(uint64_t key, const std::string &document);
     void touch(Entry &e, uint64_t key);
     void evictToFit();
@@ -124,6 +142,15 @@ class ResultCache
  * the input in exactly that flag.
  */
 std::string markDocumentCached(const std::string &document);
+
+/**
+ * Pull the top-level "fingerprint" value out of a rendered document
+ * ("" if absent). The renderer emits it before any content arrays,
+ * so the first occurrence of the key is the right one. The cache
+ * calls this once per admission and memoizes the result; callers
+ * holding a document from somewhere else may use it directly.
+ */
+std::string extractFingerprint(const std::string &document);
 
 /**
  * Crash-safe spill framing: every spill file is the document bytes

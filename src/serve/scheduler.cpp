@@ -15,29 +15,6 @@
 namespace fpraker {
 namespace serve {
 
-namespace {
-
-/**
- * Pull the top-level "fingerprint" value out of a rendered document.
- * The renderer emits it before any content arrays, so the first
- * occurrence of the key is the right one.
- */
-std::string
-extractFingerprint(const std::string &document)
-{
-    static const char kKey[] = "\"fingerprint\": \"";
-    size_t at = document.find(kKey);
-    if (at == std::string::npos)
-        return "";
-    at += sizeof(kKey) - 1;
-    size_t end = document.find('"', at);
-    if (end == std::string::npos)
-        return "";
-    return document.substr(at, end - at);
-}
-
-} // namespace
-
 const char *
 jobStateName(JobState s)
 {
@@ -172,7 +149,8 @@ JobScheduler::submit(const JobSpec &spec)
     // would throttle exactly the path the cache exists to speed up.
     // (The cache has its own lock.)
     std::string document;
-    bool hit = cache_->lookup(key, &document);
+    std::string fingerprint;
+    bool hit = cache_->lookup(key, &document, &fingerprint);
 
     std::lock_guard<std::mutex> lock(mutex_);
     ++counters_.submitted;
@@ -186,7 +164,7 @@ JobScheduler::submit(const JobSpec &spec)
         job.submitTime = now;
         job.outcome.state = JobState::Done;
         job.outcome.cached = true;
-        job.outcome.fingerprint = extractFingerprint(document);
+        job.outcome.fingerprint = std::move(fingerprint);
         job.outcome.document = std::move(document);
         auto [jt, inserted] = jobs_.emplace(id, std::move(job));
         ++counters_.cacheServed;
@@ -262,11 +240,12 @@ JobScheduler::run(const JobSpec &spec)
 {
     const uint64_t key = spec.cacheKey();
     std::string document;
-    if (cache_->lookup(key, &document)) {
+    std::string fingerprint;
+    if (cache_->lookup(key, &document, &fingerprint)) {
         JobOutcome out;
         out.state = JobState::Done;
         out.cached = true;
-        out.fingerprint = extractFingerprint(document);
+        out.fingerprint = std::move(fingerprint);
         out.document = std::move(document);
         std::lock_guard<std::mutex> lock(mutex_);
         ++counters_.submitted;
@@ -446,10 +425,12 @@ JobScheduler::execute(uint64_t id)
     // (contains() first so the common cold path doesn't double-count
     // a miss in the stats).
     std::string cachedDoc;
-    if (cache_->contains(key) && cache_->lookup(key, &cachedDoc)) {
+    std::string cachedFp;
+    if (cache_->contains(key) &&
+        cache_->lookup(key, &cachedDoc, &cachedFp)) {
         out.state = JobState::Done;
         out.cached = true;
-        out.fingerprint = extractFingerprint(cachedDoc);
+        out.fingerprint = std::move(cachedFp);
         out.document = std::move(cachedDoc);
         out.runSeconds = monotonicSeconds() - t0;
         std::lock_guard<std::mutex> lock(mutex_);

@@ -56,8 +56,8 @@ TEST(SlabOps, CountTermsMatchesScalar)
                 uint64_t z_ref = 0, t_ref = 0, z = 0, t = 0;
                 slab::countTermsScalar(v.data(), n, lut.countsTable(),
                                        &z_ref, &t_ref);
-                slab::countTerms(v.data(), n, lut.countsTable(), &z,
-                                 &t);
+                slab::countTerms(v.data(), n, lut.countsTable(),
+                                 lut.nibbleLut(), &z, &t);
                 ASSERT_EQ(z_ref, z) << "n=" << n;
                 ASSERT_EQ(t_ref, t) << "n=" << n;
             }

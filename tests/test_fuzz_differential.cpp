@@ -7,6 +7,7 @@
  * datapaths, and all timing/accounting invariants must hold.
  */
 
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -15,6 +16,9 @@
 #include "numeric/reference.h"
 #include "pe/baseline_pe.h"
 #include "pe/fpraker_pe.h"
+#include "sim/reference_column.h"
+#include "sim/sim_engine.h"
+#include "tile/tile.h"
 
 namespace fpraker {
 namespace {
@@ -146,6 +150,191 @@ TEST(DifferentialFuzz, ColumnsOfAnySizeStayConsistent)
         }
         PeStats agg = col.aggregateStats();
         ASSERT_EQ(agg.laneCycles(), agg.setCycles * 8ull);
+    }
+}
+
+void
+expectStatsEqual(const PeStats &a, const PeStats &b, const char *what)
+{
+    EXPECT_EQ(a.laneUseful, b.laneUseful) << what;
+    EXPECT_EQ(a.laneNoTerm, b.laneNoTerm) << what;
+    EXPECT_EQ(a.laneShiftRange, b.laneShiftRange) << what;
+    EXPECT_EQ(a.laneExponent, b.laneExponent) << what;
+    EXPECT_EQ(a.laneInterPe, b.laneInterPe) << what;
+    EXPECT_EQ(a.setCycles, b.setCycles) << what;
+    EXPECT_EQ(a.sets, b.sets) << what;
+    EXPECT_EQ(a.macs, b.macs) << what;
+    EXPECT_EQ(a.termsProcessed, b.termsProcessed) << what;
+    EXPECT_EQ(a.termsZeroSkipped, b.termsZeroSkipped) << what;
+    EXPECT_EQ(a.termsObSkipped, b.termsObSkipped) << what;
+}
+
+/**
+ * Single-pending-lane columns: sets where exactly one A lane is
+ * nonzero (the lone lane carries a wild exponent, so it keeps draining
+ * terms long after every other lane went idle on cycle one). This is
+ * the degenerate busy-loop shape the fused tile sweep and the masked
+ * retire path both special-case, so it must stay bit-identical to the
+ * seed reference in cycles, accumulator bits, and every stat counter.
+ */
+TEST(DifferentialFuzz, SinglePendingLaneColumnsMatchReference)
+{
+    Rng rng(90210);
+    for (int rows : {1, 3, 8}) {
+        PeConfig cfg;
+        cfg.obThreshold = 6; // retire aggressively around the loner
+        FPRakerColumn opt(cfg, rows);
+        ReferenceColumn ref(cfg, rows);
+        for (int set = 0; set < 24; ++set) {
+            std::vector<BFloat16> a(8);
+            const size_t live = rng.uniformInt(8);
+            double mag = std::exp2(rng.gaussian(0.0, 8.0));
+            a[live] = bf16(static_cast<float>(
+                rng.bernoulli(0.5) ? -mag : mag));
+            auto b = randomStream(
+                rng, static_cast<size_t>(rows) * 8,
+                FuzzCase{0, -1, TermEncoding::Canonical, 12, 64, 0.2,
+                         4.0});
+            int c_opt = opt.runSet(a.data(), b.data(), 8);
+            int c_ref = ref.runSet(a.data(), b.data(), 8);
+            ASSERT_EQ(c_opt, c_ref)
+                << "rows=" << rows << " set=" << set;
+        }
+        for (int r = 0; r < rows; ++r) {
+            ASSERT_EQ(opt.accumulator(r).total(),
+                      ref.accumulator(r).total())
+                << "rows=" << rows << " pe=" << r;
+            ASSERT_EQ(opt.accumulator(r).chunkRegister().readDouble(),
+                      ref.accumulator(r).chunkRegister().readDouble())
+                << "rows=" << rows << " pe=" << r;
+        }
+        expectStatsEqual(opt.aggregateStats(), ref.aggregateStats(),
+                         "single-pending-lane column stats");
+    }
+}
+
+/**
+ * Settle-skew tiles: column c's A vector carries c+1 live lanes with
+ * an exponent spread that grows with c, so in any step each column's
+ * settle fixpoint converges on a different iteration. The fused
+ * serial sweep retires columns from its busy mask one by one (and the
+ * sharded walk never sees the mask at all) — at 1, 2, and 8 threads
+ * the cycles, outputs, and statistics must be bit-identical to the
+ * seed reference tile.
+ */
+TEST(DifferentialFuzz, SettleSkewTilesMatchReferenceAtAnyThreadCount)
+{
+    Rng gen(424243);
+    TileConfig cfg;
+    cfg.rows = 4;
+    cfg.cols = 6;
+    cfg.pe.obThreshold = 10;
+    const int lanes = cfg.pe.lanes;
+    const size_t a_len = static_cast<size_t>(cfg.cols) * lanes;
+    const size_t b_len = static_cast<size_t>(cfg.rows) * lanes;
+    const size_t steps = 20;
+
+    std::vector<BFloat16> a(steps * a_len);
+    for (size_t s = 0; s < steps; ++s)
+        for (int c = 0; c < cfg.cols; ++c) {
+            BFloat16 *col = a.data() + s * a_len +
+                            static_cast<size_t>(c) * lanes;
+            for (int l = 0; l <= c; ++l) {
+                double mag =
+                    std::exp2(gen.gaussian(0.0, 1.0 + 2.0 * c));
+                col[l] = bf16(static_cast<float>(
+                    gen.bernoulli(0.5) ? -mag : mag));
+            }
+        }
+    std::vector<BFloat16> b(steps * b_len);
+    for (auto &x : b)
+        x = bf16(static_cast<float>(gen.gaussian(0.0, 2.0)));
+
+    ReferenceTile ref(cfg.pe, cfg.rows, cfg.cols, cfg.bufferDepth);
+    ReferenceTileResult res = ref.run(a.data(), b.data(), steps);
+
+    for (int threads : {1, 2, 8}) {
+        SimEngine engine(threads);
+        Tile tile(cfg);
+        std::vector<TileStepView> views(steps);
+        for (size_t s = 0; s < steps; ++s)
+            views[s] = TileStepView{a.data() + s * a_len,
+                                    b.data() + s * b_len};
+        TileRunResult opt = tile.run(views.data(), steps, &engine);
+
+        ASSERT_EQ(opt.cycles, res.cycles) << "threads=" << threads;
+        for (int r = 0; r < cfg.rows; ++r)
+            for (int c = 0; c < cfg.cols; ++c)
+                ASSERT_EQ(tile.output(r, c), ref.output(r, c))
+                    << "threads=" << threads << " PE (" << r << ","
+                    << c << ")";
+        expectStatsEqual(tile.aggregateStats(), ref.aggregateStats(),
+                         "settle-skew tile stats");
+    }
+}
+
+/**
+ * The batched multi-set dot must be bit-identical to driving the same
+ * sets one runSet at a time — including a ragged final set, which runs
+ * masked (padded lanes are architecturally absent, so they must not
+ * appear in cycles or statistics). Full-set prefixes are additionally
+ * pinned to the seed ReferenceColumn.
+ */
+TEST(DifferentialFuzz, BatchedDotMatchesPerSetReference)
+{
+    Rng rng(777001);
+    const FuzzCase stream_shape{0,  -1,  TermEncoding::Canonical,
+                                12, 64, 0.3, 3.0};
+    for (int rows : {1, 2, 5}) {
+        // 37 full sets + a 5-lane ragged tail: crosses the 32-set
+        // decode-chunk boundary of dot() twice.
+        const size_t len = 8 * 37 + 5;
+        const int stride = static_cast<int>(len);
+        auto a = randomStream(rng, len, stream_shape);
+        auto b = randomStream(rng, static_cast<size_t>(rows) * len,
+                              stream_shape);
+
+        PeConfig cfg;
+        cfg.obThreshold = 9;
+        FPRakerColumn batched(cfg, rows);
+        int batched_cycles =
+            batched.dot(a.data(), b.data(), stride, len);
+
+        FPRakerColumn per_set(cfg, rows);
+        ReferenceColumn ref(cfg, rows);
+        int per_set_cycles = 0;
+        int full_set_cycles = 0;
+        int ref_cycles = 0;
+        for (size_t i = 0; i < len; i += 8) {
+            const int act =
+                static_cast<int>(std::min<size_t>(8, len - i));
+            int c = per_set.runSet(a.data() + i, b.data() + i, stride,
+                                   act);
+            per_set_cycles += c;
+            // The lone ragged set is last, so the reference sees the
+            // same pre-set accumulator state for every full set.
+            if (act == 8) {
+                full_set_cycles += c;
+                ref_cycles +=
+                    ref.runSet(a.data() + i, b.data() + i, stride);
+            }
+        }
+        ASSERT_EQ(batched_cycles, per_set_cycles) << "rows=" << rows;
+        for (int r = 0; r < rows; ++r) {
+            ASSERT_EQ(batched.accumulator(r).total(),
+                      per_set.accumulator(r).total())
+                << "rows=" << rows << " pe=" << r;
+            ASSERT_EQ(
+                batched.accumulator(r).chunkRegister().readDouble(),
+                per_set.accumulator(r).chunkRegister().readDouble())
+                << "rows=" << rows << " pe=" << r;
+        }
+        expectStatsEqual(batched.aggregateStats(),
+                         per_set.aggregateStats(),
+                         "batched dot stats");
+        // The seed reference saw every full set; its cycle total must
+        // be exactly what the optimized walk charged for those sets.
+        ASSERT_EQ(full_set_cycles, ref_cycles) << "rows=" << rows;
     }
 }
 

@@ -181,6 +181,62 @@ TEST(ResultCache, HitIsByteIdenticalAndMarkedCached)
     EXPECT_EQ(s.insertions, 1u);
 }
 
+TEST(ResultCache, MemoizedFingerprintMatchesDocumentText)
+{
+    ResultCache cache(1 << 20);
+    // A realistic header slice: fingerprint before any content, the
+    // shape serve::extractFingerprint is documented against.
+    std::string doc = fakeDocument("fp-test");
+    const size_t at = doc.find("\"payload\"");
+    ASSERT_NE(at, std::string::npos);
+    doc.insert(at, "\"fingerprint\": \"00c0ffee00c0ffee\", ");
+    ASSERT_EQ(serve::extractFingerprint(doc), "00c0ffee00c0ffee");
+    cache.insert(7, doc);
+
+    // The memoized value rides along with every hit, and the
+    // document text itself is unperturbed by the memo.
+    std::string hot, fp;
+    ASSERT_TRUE(cache.lookup(7, &hot, &fp));
+    EXPECT_EQ(fp, "00c0ffee00c0ffee");
+    EXPECT_EQ(fp, serve::extractFingerprint(hot));
+    EXPECT_EQ(withColdFlag(hot), doc);
+
+    // A document with no fingerprint key memoizes "".
+    cache.insert(8, fakeDocument("no-fp"));
+    ASSERT_TRUE(cache.lookup(8, &hot, &fp));
+    EXPECT_EQ(fp, "");
+
+    std::string miss;
+    EXPECT_FALSE(cache.lookup(9, &miss, &fp));
+}
+
+TEST(ResultCache, MemoizedFingerprintSurvivesSpillRescue)
+{
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("fpraker_spill_fp_" + std::to_string(::getpid())))
+            .string();
+    std::filesystem::remove_all(dir);
+
+    std::string doc = fakeDocument("fp-spill");
+    const size_t at = doc.find("\"payload\"");
+    ASSERT_NE(at, std::string::npos);
+    doc.insert(at, "\"fingerprint\": \"feedfacefeedface\", ");
+    {
+        ResultCache cache(doc.size() + 1, dir);
+        cache.insert(1, doc);
+        cache.insert(2, doc); // evicts 1 from memory
+        EXPECT_FALSE(cache.contains(1));
+
+        // The rescue path re-extracts at re-admission.
+        std::string hot, fp;
+        ASSERT_TRUE(cache.lookup(1, &hot, &fp));
+        EXPECT_EQ(fp, "feedfacefeedface");
+        EXPECT_EQ(cache.stats().diskHits, 1u);
+    }
+    std::filesystem::remove_all(dir);
+}
+
 TEST(ResultCache, EvictionRespectsBytesBound)
 {
     const std::string doc = fakeDocument("0123456789");

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * PR 7 forced-tier differential harness: every compiled slab_ops
+ * dispatch tier (scalar/SSE2/AVX2/AVX-512) fuzzed against the fixed
+ * scalar reference bodies, the FPRAKER_SIMD knob contract, and the
+ * nibble-LUT / counts-table parity that the pshufb tiers rely on.
+ * Tiers the host cannot execute skip, never fail. Everything here is
+ * a bit-identity contract — no tolerances.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "numeric/slab_ops.h"
+#include "numeric/term_encoder.h"
+#include "numeric/term_lut.h"
+
+namespace fpraker {
+namespace {
+
+BFloat16
+randomFinite(Rng &rng, double zero_p)
+{
+    if (rng.bernoulli(zero_p))
+        return BFloat16();
+    for (;;) {
+        BFloat16 v =
+            BFloat16::fromBits(static_cast<uint16_t>(rng.next()));
+        if (v.isFinite() && !v.isZero())
+            return v;
+    }
+}
+
+/** Extreme-exponent finite operand: subnormal-exponent (biased 0,
+ *  nonzero mantissa), minimum-normal, or maximum-finite exponent. */
+BFloat16
+extremeFinite(Rng &rng)
+{
+    const uint16_t sign = rng.bernoulli(0.5) ? 0x8000u : 0u;
+    const uint16_t man =
+        static_cast<uint16_t>((rng.next() & 0x7fu) | 1u);
+    switch (rng.uniformInt(int64_t(0), int64_t(2))) {
+    case 0:
+        return BFloat16::fromBits(static_cast<uint16_t>(sign | man));
+    case 1:
+        return BFloat16::fromBits(
+            static_cast<uint16_t>(sign | (1u << 7) | man));
+    default:
+        return BFloat16::fromBits(
+            static_cast<uint16_t>(sign | (254u << 7) | man));
+    }
+}
+
+/** Scalar evaluation of the nibble table, exactly as the pshufb tiers
+ *  compute it: optional x^3x fold in 16-bit width, then per-nibble
+ *  popcount lookups. */
+uint64_t
+nibbleCount(const slab::NibbleCountLut &nib, int sig8)
+{
+    uint32_t t = static_cast<uint32_t>(sig8);
+    if (nib.nafFold)
+        t ^= t + (t << 1);
+    uint64_t total = 0;
+    for (; t; t >>= 4)
+        total += nib.pop4[t & 0xf];
+    return total;
+}
+
+class SimdTierTest : public ::testing::TestWithParam<slab::SimdTier>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (!slab::tierCompiled(GetParam()))
+            GTEST_SKIP() << "tier " << slab::tierName(GetParam())
+                         << " not compiled into this build";
+        if (!slab::tierSupported(GetParam()))
+            GTEST_SKIP() << "tier " << slab::tierName(GetParam())
+                         << " not supported by this host";
+    }
+};
+
+TEST_P(SimdTierTest, CountTermsMatchesScalarReference)
+{
+    const slab::SimdTier tier = GetParam();
+    Rng rng(0x51D0 + static_cast<int>(tier));
+    for (TermEncoding enc :
+         {TermEncoding::Canonical, TermEncoding::RawBits}) {
+        const TermLut &lut = TermLut::of(enc);
+        for (double zero_p : {0.0, 0.3, 0.95, 1.0}) {
+            // Sizes straddle the 16/32/64-value strides of every tier
+            // plus every ragged-tail shape below them.
+            for (size_t n :
+                 {size_t(0), size_t(1), size_t(7), size_t(15),
+                  size_t(16), size_t(31), size_t(32), size_t(33),
+                  size_t(63), size_t(64), size_t(65), size_t(127),
+                  size_t(128), size_t(1000)}) {
+                std::vector<BFloat16> v(n);
+                for (size_t i = 0; i < n; ++i)
+                    v[i] = rng.bernoulli(0.25)
+                               ? extremeFinite(rng)
+                               : randomFinite(rng, zero_p);
+                uint64_t z_ref = 7, t_ref = 9, z = 7, t = 9;
+                slab::countTermsScalar(v.data(), n, lut.countsTable(),
+                                       &z_ref, &t_ref);
+                slab::countTermsAt(tier, v.data(), n,
+                                   lut.countsTable(), lut.nibbleLut(),
+                                   &z, &t);
+                ASSERT_EQ(z_ref, z)
+                    << "tier=" << slab::tierName(tier) << " n=" << n;
+                ASSERT_EQ(t_ref, t)
+                    << "tier=" << slab::tierName(tier) << " n=" << n;
+            }
+        }
+    }
+}
+
+TEST_P(SimdTierTest, CountTermsAllZeroSlab)
+{
+    const slab::SimdTier tier = GetParam();
+    const TermLut &lut = TermLut::of(TermEncoding::Canonical);
+    for (size_t n : {size_t(1), size_t(16), size_t(64), size_t(97)}) {
+        std::vector<BFloat16> v(n); // value-initialized: all zero
+        uint64_t z = 0, t = 0;
+        slab::countTermsAt(tier, v.data(), n, lut.countsTable(),
+                           lut.nibbleLut(), &z, &t);
+        EXPECT_EQ(n, z) << slab::tierName(tier);
+        EXPECT_EQ(0u, t) << slab::tierName(tier);
+    }
+}
+
+TEST_P(SimdTierTest, PackBf16MatchesScalarReference)
+{
+    const slab::SimdTier tier = GetParam();
+    Rng rng(0xFACE + static_cast<int>(tier));
+    for (size_t n : {size_t(1), size_t(8), size_t(15), size_t(16),
+                     size_t(17), size_t(31), size_t(32), size_t(33),
+                     size_t(64), size_t(65), size_t(333)}) {
+        std::vector<int16_t> exp(n);
+        std::vector<uint8_t> man(n), neg(n);
+        for (size_t i = 0; i < n; ++i) {
+            if (rng.bernoulli(0.2)) {
+                exp[i] = man[i] = neg[i] = 0; // zero value
+                continue;
+            }
+            // Full field ranges, including the extreme exponents 1 and
+            // 254 and out-of-range planes the kernels must mask.
+            switch (rng.uniformInt(int64_t(0), int64_t(3))) {
+            case 0:
+                exp[i] = 1;
+                break;
+            case 1:
+                exp[i] = 254;
+                break;
+            case 2:
+                exp[i] = static_cast<int16_t>(
+                    rng.uniformInt(int64_t(1), int64_t(254)));
+                break;
+            default:
+                exp[i] = static_cast<int16_t>(rng.next());
+                break;
+            }
+            man[i] = static_cast<uint8_t>(rng.next());
+            neg[i] = static_cast<uint8_t>(rng.next() & 1);
+        }
+        std::vector<BFloat16> ref(n), got(n);
+        slab::packBf16Scalar(exp.data(), man.data(), neg.data(), n,
+                             ref.data());
+        slab::packBf16At(tier, exp.data(), man.data(), neg.data(), n,
+                         got.data());
+        ASSERT_EQ(0, std::memcmp(ref.data(), got.data(),
+                                 n * sizeof(BFloat16)))
+            << "tier=" << slab::tierName(tier) << " n=" << n;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTiers, SimdTierTest,
+    ::testing::Values(slab::SimdTier::Scalar, slab::SimdTier::Sse2,
+                      slab::SimdTier::Avx2, slab::SimdTier::Avx512),
+    [](const ::testing::TestParamInfo<slab::SimdTier> &info) {
+        return std::string(slab::tierName(info.param));
+    });
+
+TEST(SimdKnob, TierNamesRoundTrip)
+{
+    for (int i = 0; i < slab::kNumSimdTiers; ++i) {
+        const auto tier = static_cast<slab::SimdTier>(i);
+        slab::SimdTier parsed;
+        ASSERT_TRUE(slab::parseSimdTier(slab::tierName(tier), &parsed));
+        EXPECT_EQ(tier, parsed);
+    }
+}
+
+TEST(SimdKnob, RejectsUnknownSpellings)
+{
+    slab::SimdTier parsed;
+    EXPECT_FALSE(slab::parseSimdTier("", &parsed));
+    EXPECT_FALSE(slab::parseSimdTier("AVX2", &parsed));
+    EXPECT_FALSE(slab::parseSimdTier("avx-512", &parsed));
+    EXPECT_FALSE(slab::parseSimdTier("sse4", &parsed));
+    EXPECT_FALSE(slab::parseSimdTier("best", &parsed));
+    EXPECT_FALSE(slab::parseSimdTier(nullptr, &parsed));
+}
+
+TEST(SimdKnob, ActiveTierHonorsEnvironment)
+{
+    const slab::SimdTier active = slab::activeTier();
+    ASSERT_TRUE(slab::tierCompiled(active));
+    ASSERT_TRUE(slab::tierSupported(active));
+    EXPECT_STREQ(slab::tierName(active), slab::simdLevel());
+    const char *env = std::getenv("FPRAKER_SIMD");
+    if (env != nullptr && *env != '\0') {
+        // Forced: the knob pins the tier verbatim (an invalid value
+        // would have been fatal before any test ran).
+        EXPECT_STREQ(env, slab::simdLevel());
+    } else {
+        // Unforced: the widest supported tier wins.
+        slab::SimdTier best = slab::SimdTier::Scalar;
+        for (int i = 0; i < slab::kNumSimdTiers; ++i) {
+            const auto tier = static_cast<slab::SimdTier>(i);
+            if (slab::tierSupported(tier))
+                best = tier;
+        }
+        EXPECT_EQ(best, active);
+    }
+}
+
+TEST(NibbleLut, ParityWithCountsTableOnReachableDomain)
+{
+    // The pshufb tiers evaluate the 16-entry nibble table where the
+    // memory tiers walk the 256-entry counts table; both must agree on
+    // every reachable significand ({0} u [128, 255]).
+    for (TermEncoding enc :
+         {TermEncoding::Canonical, TermEncoding::RawBits}) {
+        const TermLut &lut = TermLut::of(enc);
+        const slab::NibbleCountLut &nib = lut.nibbleLut();
+        EXPECT_EQ(enc == TermEncoding::Canonical, nib.nafFold);
+        EXPECT_EQ(0u, nibbleCount(nib, 0));
+        for (int sig = 0x80; sig <= 0xff; ++sig)
+            ASSERT_EQ(lut.countsTable()[sig], nibbleCount(nib, sig))
+                << "enc=" << static_cast<int>(enc) << " sig=" << sig;
+    }
+}
+
+TEST(NibbleLut, FoldIdentityMatchesEncoderOnLegalDomain)
+{
+    // The fold rests on termCount(x) == popcount(x ^ 3x) for the NAF
+    // recoding (3x taken at full width). Pin it against the encoder
+    // itself over its whole legal domain — zero plus every normalized
+    // significand — so a future encoder change cannot silently break
+    // the SIMD count.
+    const TermEncoder naf(TermEncoding::Canonical);
+    const TermEncoder raw(TermEncoding::RawBits);
+    for (uint32_t x = 0; x < 256; x = (x == 0 ? 0x80 : x + 1)) {
+        EXPECT_EQ(naf.encodeSignificand(static_cast<int>(x)).size(),
+                  std::popcount(x ^ (3u * x)))
+            << "x=" << x;
+        EXPECT_EQ(raw.encodeSignificand(static_cast<int>(x)).size(),
+                  std::popcount(x))
+            << "x=" << x;
+    }
+}
+
+} // namespace
+} // namespace fpraker
