@@ -45,6 +45,12 @@ KEYS = [
     # above), so it isolates pure host speed here too.
     ("serving", "requests_per_sec_hot",
      "tile_kernel", "sets_per_sec_seed"),
+    # Trace-backed workload ingestion (PR8+): replaying recorded
+    # streams must stay ahead of synthesizing them; normalized by the
+    # scalar generator walk, the reference the generation comparison
+    # already uses.
+    ("workload", "values_per_sec_trace",
+     "generation", "values_per_sec_scalar"),
 ]
 
 
@@ -60,11 +66,14 @@ def main(argv):
 
     status = 0
     for group, key, rgroup, rkey in KEYS:
-        if group == "serving" and "serving" not in committed:
-            # Pre-PR5 trajectory files have no serving section; the
-            # gate only applies once the baseline carries one.
-            print(f"{group}.{key}: skipped (no serving section in "
-                  f"the committed baseline)")
+        if key not in committed.get(group, {}):
+            # A trajectory file predating the group (serving arrived
+            # in PR5, workload ingestion in PR8) carries no baseline
+            # for it; the gate only applies once the committed file
+            # does. Keyed on the specific metric, not just the group:
+            # older files had a metadata-only "workload" section.
+            print(f"{group}.{key}: skipped (no committed baseline "
+                  f"for it)")
             continue
         values = [committed.get(group, {}).get(key),
                   fresh.get(group, {}).get(key),

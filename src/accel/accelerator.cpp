@@ -164,7 +164,8 @@ Accelerator::warmBdcCache(const ModelInfo &model, double progress) const
 
 LayerOpReport
 Accelerator::runLayerOp(const ModelInfo &model, const LayerShape &layer,
-                        TrainingOp op, double progress) const
+                        TrainingOp op, double progress,
+                        const SlabSupply *supply) const
 {
     const int lanes = cfg_.tile.pe.lanes;
     LayerOpReport r;
@@ -192,6 +193,7 @@ Accelerator::runLayerOp(const ModelInfo &model, const LayerShape &layer,
     prc.autoSerialSide = cfg_.autoSerialSide;
     prc.engine = engine_;
     prc.pool = &tilePool_;
+    prc.supply = supply;
     PhaseRunResult sample =
         runPhaseSample(model, layer, op, progress, prc);
     r.serialSide = sample.serialSide;

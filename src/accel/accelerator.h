@@ -140,10 +140,16 @@ class Accelerator
     Accelerator(AcceleratorConfig cfg, EnergyModelConfig energy_cfg,
                 SimEngine *shared);
 
-    /** Simulate one (layer, op). */
+    /**
+     * Simulate one (layer, op). @p supply optionally overrides the
+     * operand source of the sampled phase (trace-backed workload
+     * ingestion, src/workload/supply.h); null synthesizes from the
+     * model's value profiles as always.
+     */
     LayerOpReport runLayerOp(const ModelInfo &model,
                              const LayerShape &layer, TrainingOp op,
-                             double progress) const;
+                             double progress,
+                             const SlabSupply *supply = nullptr) const;
 
     /**
      * Simulate a whole model (all layers, all three ops). The

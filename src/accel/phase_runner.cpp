@@ -6,7 +6,6 @@
 #include <string>
 
 #include "common/logging.h"
-#include "trace/rng_stream.h"
 
 namespace fpraker {
 
@@ -21,49 +20,72 @@ chooseSerialSide(const ModelInfo &model, TrainingOp op, double progress)
                : operands.second;
 }
 
+PhasePlan
+planPhaseSample(const ModelInfo &model, const LayerShape &layer,
+                TrainingOp op, double progress, const PhaseRunConfig &cfg)
+{
+    panic_if(cfg.sampleSteps < 1, "need at least one sample step");
+
+    PhasePlan plan;
+    OpOperands operands = operandsOf(op);
+    plan.serialSide = cfg.autoSerialSide
+                          ? chooseSerialSide(model, op, progress)
+                          : operands.first;
+    plan.parallelSide = plan.serialSide == operands.first
+                            ? operands.second
+                            : operands.first;
+    plan.serialProfile =
+        model.profile.of(plan.serialSide).at(progress);
+    plan.parallelProfile =
+        model.profile.of(plan.parallelSide).at(progress);
+
+    // Seed streams per (layer, op) so repeated runs are reproducible
+    // but distinct layers see distinct values.
+    plan.baseSeed = cfg.seed * 1000003 +
+                    std::hash<std::string>{}(layer.name) +
+                    static_cast<uint64_t>(op) * 97;
+
+    const int lanes = cfg.tile.pe.lanes;
+    plan.aLen = static_cast<size_t>(cfg.tile.cols) * lanes;
+    plan.bLen = static_cast<size_t>(cfg.tile.rows) * lanes;
+    plan.sampleSteps = cfg.sampleSteps;
+
+    // Cap the accumulation depth at the layer's actual K traversal.
+    plan.stepsPerOutput = std::max<int>(
+        1, std::min<int64_t>(cfg.stepsPerOutput,
+                             (layer.k + lanes - 1) / lanes));
+    plan.bursts = (static_cast<size_t>(cfg.sampleSteps) +
+                   static_cast<size_t>(plan.stepsPerOutput) - 1) /
+                  static_cast<size_t>(plan.stepsPerOutput);
+    return plan;
+}
+
 PhaseRunResult
 runPhaseSample(const ModelInfo &model, const LayerShape &layer,
                TrainingOp op, double progress, const PhaseRunConfig &cfg)
 {
-    panic_if(cfg.sampleSteps < 1, "need at least one sample step");
+    const PhasePlan plan =
+        planPhaseSample(model, layer, op, progress, cfg);
+    const size_t a_len = plan.aLen;
+    const size_t b_len = plan.bLen;
 
-    OpOperands operands = operandsOf(op);
-    TensorKind serial = cfg.autoSerialSide
-                            ? chooseSerialSide(model, op, progress)
-                            : operands.first;
-    TensorKind parallel = serial == operands.first ? operands.second
-                                                   : operands.first;
-
-    ValueProfile serial_profile = model.profile.of(serial).at(progress);
-    ValueProfile parallel_profile =
-        model.profile.of(parallel).at(progress);
-
-    // Seed streams per (layer, op) so repeated runs are reproducible
-    // but distinct layers see distinct values.
-    uint64_t base_seed = cfg.seed * 1000003 +
-                         std::hash<std::string>{}(layer.name) +
-                         static_cast<uint64_t>(op) * 97;
-
-    const int lanes = cfg.tile.pe.lanes;
-    const size_t a_len = static_cast<size_t>(cfg.tile.cols) * lanes;
-    const size_t b_len = static_cast<size_t>(cfg.tile.rows) * lanes;
-
-    // Cap the accumulation depth at the layer's actual K traversal.
-    int steps_per_output = std::max<int>(
-        1, std::min<int64_t>(cfg.stepsPerOutput,
-                             (layer.k + lanes - 1) / lanes));
+    // Operand streams arrive through the SlabSupply seam: the default
+    // generator-backed supply synthesizes each burst's windows from
+    // the profile substreams (exactly the historical per-burst
+    // generators), while a trace-backed supply replays recorded
+    // streams. Either way the fill is a pure function of the burst
+    // index, so sharding stays bit-identical.
+    GeneratorSlabSupply generated(plan.serialProfile,
+                                  plan.parallelProfile, plan.baseSeed);
+    const SlabSupply &supply = cfg.supply ? *cfg.supply : generated;
 
     // A burst covers one output block (the accumulators reset between
     // blocks), which makes bursts fully independent simulation units:
-    // each seeds its own RNG substreams — a function of the burst
-    // index, never of the executing worker — generates its own operand
-    // slabs, and runs a private tile. Bursts therefore shard across
-    // the engine and reduce in burst order, bit-identical to the
-    // serial walk at any thread count.
-    const size_t n_bursts =
-        (static_cast<size_t>(cfg.sampleSteps) +
-         static_cast<size_t>(steps_per_output) - 1) /
-        static_cast<size_t>(steps_per_output);
+    // each fills its own operand windows through the supply and runs a
+    // private tile. Bursts therefore shard across the engine and
+    // reduce in burst order, bit-identical to the serial walk at any
+    // thread count.
+    const size_t n_bursts = plan.bursts;
 
     struct BurstResult
     {
@@ -88,13 +110,7 @@ runPhaseSample(const ModelInfo &model, const LayerShape &layer,
              "tile pool config does not match the phase config");
 
     auto run_burst = [&](size_t bi) {
-        const int first = static_cast<int>(bi) * steps_per_output;
-        const size_t burst = static_cast<size_t>(
-            std::min(cfg.sampleSteps - first, steps_per_output));
-        TensorGenerator serial_gen(serial_profile,
-                                   substreamSeed(base_seed, 2 * bi));
-        TensorGenerator parallel_gen(
-            parallel_profile, substreamSeed(base_seed, 2 * bi + 1));
+        const size_t burst = plan.burstSteps(bi);
 
         // Borrow pooled scratch when a pool is configured; otherwise
         // construct the burst's working set locally. Pooled reuse is
@@ -110,12 +126,16 @@ runPhaseSample(const ModelInfo &model, const LayerShape &layer,
         scratch.b.resize(burst * b_len);
         scratch.views.resize(burst);
 
+        // One window per operand covers the whole burst (the
+        // generator's fill is chunk-invariant, so this matches the
+        // historical per-step fills byte for byte).
+        supply.fillSerial(bi, scratch.a.data(), burst * a_len);
+        supply.fillParallel(bi, scratch.b.data(), burst * b_len);
+
         BurstResult &out = bursts[bi];
         for (size_t s = 0; s < burst; ++s) {
             BFloat16 *a = scratch.a.data() + s * a_len;
             BFloat16 *b = scratch.b.data() + s * b_len;
-            serial_gen.fill(a, a_len);
-            parallel_gen.fill(b, b_len);
             out.serialStats.merge(
                 measureTensor(a, a_len, cfg.tile.pe.encoding));
             out.parallelStats.merge(
@@ -136,7 +156,7 @@ runPhaseSample(const ModelInfo &model, const LayerShape &layer,
             run_burst(bi);
 
     PhaseRunResult result;
-    result.serialSide = serial;
+    result.serialSide = plan.serialSide;
     uint64_t total_cycles = 0;
     for (const BurstResult &b : bursts) {
         total_cycles += b.cycles;

@@ -27,6 +27,8 @@
 #ifndef FPRAKER_ACCEL_PHASE_RUNNER_H
 #define FPRAKER_ACCEL_PHASE_RUNNER_H
 
+#include <algorithm>
+
 #include "sim/sim_engine.h"
 #include "sim/tile_pool.h"
 #include "tile/tile.h"
@@ -50,7 +52,52 @@ struct PhaseRunConfig
      * bit-identical, just allocation-free. Null constructs per burst.
      */
     TilePool *pool = nullptr;
+    /**
+     * Optional operand source. Null uses the generator-backed supply
+     * derived from the model profiles (the historical path); a
+     * workload trace passes its TraceSlabSupply here. The supply must
+     * honor the burst/window geometry of planPhaseSample(), and
+     * results stay bit-identical at any thread count as long as the
+     * supply is a pure function of the burst index.
+     */
+    const SlabSupply *supply = nullptr;
 };
+
+/**
+ * The sampling geometry of one (layer, op, progress) phase: which
+ * operand is serialized, the value profiles in play, the RNG base
+ * seed, and the burst/window sizes. runPhaseSample() derives this
+ * plan internally; trace capture (workload/supply.h) uses the same
+ * plan to record byte-identical streams.
+ */
+struct PhasePlan
+{
+    TensorKind serialSide = TensorKind::Activation;
+    TensorKind parallelSide = TensorKind::Weight;
+    ValueProfile serialProfile;
+    ValueProfile parallelProfile;
+    uint64_t baseSeed = 0;
+    int sampleSteps = 0;
+    int stepsPerOutput = 0; //!< Effective (capped at the K traversal).
+    size_t bursts = 0;
+    size_t aLen = 0; //!< Serial-operand values per tile step.
+    size_t bLen = 0; //!< Parallel-operand values per tile step.
+
+    /** Tile steps in burst @p bi (the last burst may be short). */
+    size_t
+    burstSteps(size_t bi) const
+    {
+        size_t first = bi * static_cast<size_t>(stepsPerOutput);
+        return std::min<size_t>(
+            static_cast<size_t>(sampleSteps) - first,
+            static_cast<size_t>(stepsPerOutput));
+    }
+};
+
+/** Derive the sampling plan of one (layer, op) phase under @p cfg. */
+PhasePlan planPhaseSample(const ModelInfo &model, const LayerShape &layer,
+                          TrainingOp op, double progress,
+                          const PhaseRunConfig &cfg);
 
 /** Result of a sampled phase run. */
 struct PhaseRunResult

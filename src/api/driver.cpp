@@ -55,6 +55,10 @@ printUsage(FILE *to, const char *prog)
         "  --json-dir=DIR       write one <id>.json per experiment\n"
         "  --steps=N --reps=N --out=FILE\n"
         "                       perf_regression workload knobs\n"
+        "  --batch=N --seq=N --batches=LIST\n"
+        "                       workload-experiment geometry knobs\n"
+        "                       (ext_workload_catalog, ext_conv_im2col,\n"
+        "                       ext_batch_sweep)\n"
         "\n"
         "Results are bit-identical at any thread count; the knobs only\n"
         "change wall-clock time and sampling noise.\n",
@@ -119,7 +123,9 @@ parseCliArgs(int argc, char **argv, int first, bool allow_positionals,
         } else if (std::strncmp(arg, "--json-dir=", 11) == 0) {
             opts->jsonDir = arg + 11;
         } else if (std::strncmp(arg, "--steps=", 8) == 0 ||
-                   std::strncmp(arg, "--reps=", 7) == 0) {
+                   std::strncmp(arg, "--reps=", 7) == 0 ||
+                   std::strncmp(arg, "--batch=", 8) == 0 ||
+                   std::strncmp(arg, "--seq=", 6) == 0) {
             const char *eq = std::strchr(arg, '=');
             int value = 0;
             if (!parsePositiveInt(eq + 1, &value)) {
@@ -134,6 +140,10 @@ parseCliArgs(int argc, char **argv, int first, bool allow_positionals,
                 eq + 1);
         } else if (std::strncmp(arg, "--out=", 6) == 0) {
             opts->extras.emplace_back("out", arg + 6);
+        } else if (std::strncmp(arg, "--batches=", 10) == 0) {
+            // Comma-separated batch list for ext_batch_sweep; each
+            // entry is validated by the experiment itself.
+            opts->extras.emplace_back("batches", arg + 10);
         } else if (std::strcmp(arg, "--all") == 0) {
             if (!allow_positionals) {
                 *error = "--all is only valid with `fpraker run`";

@@ -1,7 +1,7 @@
 /**
  * @file
  * Perf-regression experiment: times fixed, seeded workloads on the
- * cycle-level simulator and emits BENCH_PR7.json, extending the
+ * cycle-level simulator and emits BENCH_PR8.json, extending the
  * BENCH_PR<N>.json trajectory each perf PR must beat
  * (docs/PERFORMANCE.md explains how to read and append it).
  *
@@ -37,6 +37,11 @@
  *    the overflow with retry_after hints at flat accept latency,
  *    and every shed spec must complete under the client
  *    RetryPolicy.
+ *  - workload — the PR 8 ingestion seam: replaying a recorded
+ *    PhaseTrace through the SlabSupply seam vs synthesizing the same
+ *    operand streams with the generator, over one im2col-lowered
+ *    conv phase. The replayed and synthesized streams must be
+ *    bit-identical.
  *
  * The experiment refuses to report a speedup over diverging runs
  * (Result::ok goes false, exit status 1). Because the document
@@ -69,6 +74,7 @@
 #include "sim/reference_column.h"
 #include "trace/rng_stream.h"
 #include "trace/tensor_gen.h"
+#include "workload/supply.h"
 
 namespace fpraker {
 namespace {
@@ -265,7 +271,7 @@ REGISTER_EXPERIMENT("perf_regression", "Perf",
         session.intOption("steps", session.sampleSteps(4096));
     const int reps = session.intOption("reps", 3);
     const std::string out_path =
-        session.strOption("out", "BENCH_PR7.json");
+        session.strOption("out", "BENCH_PR8.json");
 
     const char *model_name = "ResNet18-Q";
     const ModelInfo &model = findModel(model_name);
@@ -495,6 +501,87 @@ REGISTER_EXPERIMENT("perf_regression", "Perf",
                Table::cell(w.a.size() / count_simd_t.seconds, 0),
                Table::cell(count_speedup)});
 
+    // Workload ingestion (PR 8): one im2col-lowered conv phase
+    // (AlexNet conv2 forward), operand streams supplied two ways —
+    // synthesized by the generator-backed supply vs replayed from a
+    // recorded PhaseTrace — through the same SlabSupply seam the
+    // phase runner consumes. The streams must be bit-identical; the
+    // replay should stay ahead of synthesis (it is a window copy).
+    const workload::CatalogModel &wl_cat =
+        workload::findWorkloadModel("AlexNet");
+    workload::LoweredModel wl_model(wl_cat,
+                                    workload::BatchGeometry{16, 64});
+    AcceleratorConfig wl_cfg = AcceleratorConfig::paperDefault();
+    wl_cfg.sampleSteps = steps;
+    size_t wl_unit = 0;
+    for (size_t i = 0; i < wl_model.units().size(); ++i)
+        if (wl_model.units()[i].layer->name == "conv2" &&
+            wl_model.units()[i].op == TrainingOp::Forward)
+            wl_unit = i;
+    const PhasePlan wl_plan =
+        workload::unitPlan(wl_model, wl_unit, wl_cfg, 0.5);
+    workload::PhaseTrace wl_trace =
+        workload::PhaseTrace::capture(wl_plan);
+    workload::TraceSlabSupply wl_replay(wl_trace);
+    GeneratorSlabSupply wl_gen(wl_plan.serialProfile,
+                               wl_plan.parallelProfile,
+                               wl_plan.baseSeed);
+    const size_t wl_values = wl_trace.serialValues().size() +
+                             wl_trace.parallelValues().size();
+    // Small --steps budgets (CI smoke) make one pass too short to
+    // time; repeat the identical fill loop until the work is a few
+    // million values. The round count is a pure function of the
+    // knobs, so reps stay comparable and the digest covers one pass.
+    const int wl_rounds = std::max<int>(
+        1, static_cast<int>(4000000 / std::max<size_t>(1, wl_values)));
+    std::vector<BFloat16> wl_sbuf(wl_trace.serialValues().size());
+    std::vector<BFloat16> wl_pbuf(wl_trace.parallelValues().size());
+    auto wl_run = [&](const SlabSupply &supply) {
+        TileTiming t;
+        double t0 = now();
+        for (int round = 0; round < wl_rounds; ++round) {
+            size_t s_off = 0, p_off = 0;
+            for (size_t bi = 0; bi < wl_plan.bursts; ++bi) {
+                const size_t sb = wl_plan.burstSteps(bi);
+                supply.fillSerial(bi, wl_sbuf.data() + s_off,
+                                  sb * wl_plan.aLen);
+                supply.fillParallel(bi, wl_pbuf.data() + p_off,
+                                    sb * wl_plan.bLen);
+                s_off += sb * wl_plan.aLen;
+                p_off += sb * wl_plan.bLen;
+            }
+        }
+        t.seconds = now() - t0;
+        Checksum sum;
+        sum.addBytes(wl_sbuf.data(),
+                     wl_sbuf.size() * sizeof(BFloat16));
+        sum.addBytes(wl_pbuf.data(),
+                     wl_pbuf.size() * sizeof(BFloat16));
+        t.checksum = sum.value();
+        return t;
+    };
+    TileTiming wl_gen_t = best([&] { return wl_run(wl_gen); });
+    TileTiming wl_trace_t = best([&] { return wl_run(wl_replay); });
+    bool wl_identical = wl_gen_t.checksum == wl_trace_t.checksum;
+    const double wl_total =
+        static_cast<double>(wl_values) * wl_rounds;
+
+    std::snprintf(caption, sizeof(caption),
+                  "workload ingestion: AlexNet@b16/conv2 fwd, %zu "
+                  "values x %d rounds",
+                  wl_values, wl_rounds);
+    ResultTable &wt = res.table(
+        "workload_ingestion", {"path", "seconds", "values/s",
+                               "digest"});
+    wt.caption = caption;
+    wt.addRow({"generator (synthesize)",
+               Table::cell(wl_gen_t.seconds, 4),
+               Table::cell(wl_total / wl_gen_t.seconds, 0),
+               hex16(wl_gen_t.checksum)});
+    wt.addRow({"trace (replay)", Table::cell(wl_trace_t.seconds, 4),
+               Table::cell(wl_total / wl_trace_t.seconds, 0),
+               hex16(wl_trace_t.checksum)});
+
     // Functional-baseline tile: the batched row walk, serial vs
     // row-sharded across an engine (BaselineTile::run's PE rows are
     // independent given the pre-decoded batch). Steps reuse the
@@ -621,7 +708,8 @@ REGISTER_EXPERIMENT("perf_regression", "Perf",
     bool all_identical = deterministic_reps && tile_identical &&
                          sweep_identical && model_identical &&
                          gen_identical && count_identical &&
-                         base_identical && serve_identical;
+                         wl_identical && base_identical &&
+                         serve_identical;
     res.note(std::string("bit-identical: ") +
              (all_identical ? "yes" : "NO — REGRESSION"));
     if (!all_identical)
@@ -637,7 +725,7 @@ REGISTER_EXPERIMENT("perf_regression", "Perf",
     // ---------------------------------------------------- JSON groups
     // Key names and order mirror the BENCH_PR1/PR2 documents so the
     // smoke-checksum gate and the perf trajectory stay greppable.
-    res.group("workload")
+    res.group("workload_config")
         .metric("model", model_name)
         .metric("reps", reps)
         .metric("steps", w.steps)
@@ -704,6 +792,23 @@ REGISTER_EXPERIMENT("perf_regression", "Perf",
         .metric("digest_count_scalar", hex16(count_scalar_t.checksum))
         .metric("digest_count_simd", hex16(count_simd_t.checksum))
         .metric("bit_identical", gen_identical && count_identical);
+    // (Digest keys, like generation's: the smoke gate's checksum_*
+    // sequence predates this section.)
+    res.group("workload")
+        .metric("unit", "AlexNet@b16/conv2 fwd")
+        .metric("values", static_cast<uint64_t>(wl_values))
+        .metric("rounds", wl_rounds)
+        .metric("generator_s", wl_gen_t.seconds, 6)
+        .metric("trace_s", wl_trace_t.seconds, 6)
+        .metric("values_per_sec_generator",
+                wl_total / wl_gen_t.seconds, 1)
+        .metric("values_per_sec_trace",
+                wl_total / wl_trace_t.seconds, 1)
+        .metric("replay_speedup",
+                wl_gen_t.seconds / wl_trace_t.seconds, 3)
+        .metric("digest_generator", hex16(wl_gen_t.checksum))
+        .metric("digest_trace", hex16(wl_trace_t.checksum))
+        .metric("bit_identical", wl_identical);
     res.group("baseline_tile")
         .metric("steps", static_cast<uint64_t>(base_steps_n))
         .metric("serial_s", base_serial_t.seconds, 6)
@@ -735,6 +840,8 @@ REGISTER_EXPERIMENT("perf_regression", "Perf",
     fp.add(gen_batched_t.checksum);
     fp.add(count_scalar_t.checksum);
     fp.add(count_simd_t.checksum);
+    fp.add(wl_gen_t.checksum);
+    fp.add(wl_trace_t.checksum);
     fp.add(base_serial_t.checksum);
     fp.add(base_shard_t.checksum);
     fp.add(serve_r.digest);

@@ -12,6 +12,17 @@ ContainerMatrix::ContainerMatrix(int rows, int cols)
     // the channel axis so channel bursts fetch along a matrix row.
 }
 
+void
+ContainerMatrix::fillFromSlab(const BFloat16 *values, size_t n)
+{
+    panic_if(n != static_cast<size_t>(rows_) * cols_,
+             "slab holds %zu values for a %dx%d matrix", n, rows_,
+             cols_);
+    for (int r = 0; r < rows_; ++r)
+        for (int c = 0; c < cols_; ++c)
+            set(r, c, values[static_cast<size_t>(r) * cols_ + c]);
+}
+
 float
 ContainerMatrix::at(int r, int c) const
 {

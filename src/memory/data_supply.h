@@ -40,6 +40,14 @@ class ContainerMatrix
     /** rows x cols matrix (cols along the container channel axis). */
     ContainerMatrix(int rows, int cols);
 
+    /**
+     * Fill row-major from a value slab (the layout slab_ops and the
+     * SlabSupply seam produce), so container storage can be loaded
+     * straight from a generator stream or a recorded workload trace.
+     * @p n must equal rows * cols.
+     */
+    void fillFromSlab(const BFloat16 *values, size_t n);
+
     float at(int r, int c) const;
     void set(int r, int c, BFloat16 v);
     BFloat16 raw(int r, int c) const;

@@ -140,7 +140,8 @@ SweepRunner::runLayerOps(const std::vector<SweepLayerJob> &jobs)
     engine_->parallelFor(jobs.size(), [&](size_t i) {
         const SweepLayerJob &job = jobs[i];
         results[i] = job.accel->runLayerOp(*job.model, *job.layer,
-                                           job.op, job.progress);
+                                           job.op, job.progress,
+                                           job.supply);
     });
     return results;
 }

@@ -53,6 +53,8 @@ struct SweepLayerJob
     const LayerShape *layer;
     TrainingOp op = TrainingOp::Forward;
     double progress = 0.5;
+    /** Optional trace-backed operand source (null = generator). */
+    const SlabSupply *supply = nullptr;
 };
 
 /** Shards an entire evaluation sweep across one shared engine. */

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "numeric/slab_ops.h"
 #include "numeric/term_lut.h"
+#include "trace/rng_stream.h"
 
 namespace fpraker {
 
@@ -191,6 +192,21 @@ TensorGenerator::fill(BFloat16 *out, size_t n)
                        out + done);
         done += block;
     }
+}
+
+void
+GeneratorSlabSupply::fillSerial(size_t bi, BFloat16 *out, size_t n) const
+{
+    TensorGenerator gen(serial_, substreamSeed(baseSeed_, 2 * bi));
+    gen.fill(out, n);
+}
+
+void
+GeneratorSlabSupply::fillParallel(size_t bi, BFloat16 *out,
+                                  size_t n) const
+{
+    TensorGenerator gen(parallel_, substreamSeed(baseSeed_, 2 * bi + 1));
+    gen.fill(out, n);
 }
 
 TensorStats

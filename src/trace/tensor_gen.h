@@ -76,6 +76,59 @@ class TensorGenerator
     double arInnovScale_ = 0.0;
 };
 
+/**
+ * Position-addressable source of operand slabs for sampled phases.
+ *
+ * A phase sample consumes two value streams (the serial and parallel
+ * operands) in independent bursts; each burst @p bi reads one window of
+ * each stream. Implementations must be pure functions of the burst
+ * index — never of the executing worker — so sharded samples stay
+ * bit-identical to the serial walk at any thread count. The slabs use
+ * the same bfloat16 layout numeric/slab_ops consumes.
+ *
+ * Two families exist: GeneratorSlabSupply synthesizes the windows from
+ * a ValueProfile on demand (the historical path), and the workload
+ * layer's TraceSlabSupply replays pre-recorded streams (trace-backed
+ * ingestion, src/workload/supply.h).
+ */
+class SlabSupply
+{
+  public:
+    virtual ~SlabSupply() = default;
+
+    /** Fill burst @p bi's window of the serial operand (@p n values). */
+    virtual void fillSerial(size_t bi, BFloat16 *out,
+                            size_t n) const = 0;
+    /** Fill burst @p bi's window of the parallel operand. */
+    virtual void fillParallel(size_t bi, BFloat16 *out,
+                              size_t n) const = 0;
+};
+
+/**
+ * Generator-backed slab supply: burst @p bi's windows come from fresh
+ * TensorGenerators seeded with substreamSeed(base, 2*bi) (serial) and
+ * substreamSeed(base, 2*bi + 1) (parallel) — exactly the substream
+ * discipline the phase runner has always used, now behind the seam.
+ */
+class GeneratorSlabSupply final : public SlabSupply
+{
+  public:
+    GeneratorSlabSupply(const ValueProfile &serial,
+                        const ValueProfile &parallel, uint64_t base_seed)
+        : serial_(serial), parallel_(parallel), baseSeed_(base_seed)
+    {
+    }
+
+    void fillSerial(size_t bi, BFloat16 *out, size_t n) const override;
+    void fillParallel(size_t bi, BFloat16 *out,
+                      size_t n) const override;
+
+  private:
+    ValueProfile serial_;
+    ValueProfile parallel_;
+    uint64_t baseSeed_;
+};
+
 /** Measured statistics of a value stream (for Fig. 1-style reporting). */
 struct TensorStats
 {

@@ -1,0 +1,276 @@
+#include "workload/catalog.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fpraker {
+namespace workload {
+
+std::string
+BatchGeometry::label(bool with_seq) const
+{
+    std::string s = "b" + std::to_string(batch);
+    if (with_seq)
+        s += "s" + std::to_string(seq);
+    return s;
+}
+
+namespace {
+
+CatalogLayer
+convLayer(const std::string &name, int in_hw, int cin, int cout,
+          int kernel, int stride, int pad)
+{
+    CatalogLayer l;
+    l.name = name;
+    l.kind = LayerKind::Conv;
+    l.conv = ConvSpec{in_hw, in_hw, cin, cout, kernel, kernel, stride,
+                      pad};
+    return l;
+}
+
+CatalogLayer
+fcLayer(const std::string &name, int in, int out)
+{
+    CatalogLayer l;
+    l.name = name;
+    l.kind = LayerKind::FullyConnected;
+    l.fc = FcSpec{in, out};
+    return l;
+}
+
+CatalogLayer
+mlpLayer(const std::string &name, int in, int out)
+{
+    CatalogLayer l;
+    l.name = name;
+    l.kind = LayerKind::Mlp;
+    l.fc = FcSpec{in, out};
+    return l;
+}
+
+CatalogLayer
+attnLayer(const std::string &name, AttnStage stage, int heads,
+          int d_model)
+{
+    CatalogLayer l;
+    l.name = name;
+    l.kind = LayerKind::Attention;
+    l.attn = AttnSpec{stage, heads, d_model};
+    return l;
+}
+
+/** Stamp depth = fractional layer position over the finished list. */
+void
+stampDepths(CatalogModel &m)
+{
+    const size_t n = m.layers.size();
+    for (size_t i = 0; i < n; ++i)
+        m.layers[i].depth =
+            n > 1 ? static_cast<double>(i) / static_cast<double>(n - 1)
+                  : 0.0;
+}
+
+CatalogModel
+alexnet()
+{
+    // Canonical AlexNet (227x227 input, ungrouped convolutions): the
+    // pooled grids are 55 -> 27 -> 13, matching the zoo's im2col rows.
+    CatalogModel m;
+    m.name = "AlexNet";
+    m.family = "cnn";
+    m.layers.push_back(convLayer("conv1", 227, 3, 96, 11, 4, 0));
+    m.layers.push_back(convLayer("conv2", 27, 96, 256, 5, 1, 2));
+    m.layers.push_back(convLayer("conv3", 13, 256, 384, 3, 1, 1));
+    m.layers.push_back(convLayer("conv4", 13, 384, 384, 3, 1, 1));
+    m.layers.push_back(convLayer("conv5", 13, 384, 256, 3, 1, 1));
+    m.layers.push_back(fcLayer("fc6", 9216, 4096));
+    m.layers.push_back(fcLayer("fc7", 4096, 4096));
+    m.layers.push_back(fcLayer("fc8", 4096, 1000));
+    stampDepths(m);
+    return m;
+}
+
+CatalogModel
+vgg16()
+{
+    CatalogModel m;
+    m.name = "VGG-16";
+    m.family = "cnn";
+    const struct
+    {
+        const char *name;
+        int hw, cin, cout;
+    } convs[] = {
+        {"conv1_1", 224, 3, 64},    {"conv1_2", 224, 64, 64},
+        {"conv2_1", 112, 64, 128},  {"conv2_2", 112, 128, 128},
+        {"conv3_1", 56, 128, 256},  {"conv3_2", 56, 256, 256},
+        {"conv3_3", 56, 256, 256},  {"conv4_1", 28, 256, 512},
+        {"conv4_2", 28, 512, 512},  {"conv4_3", 28, 512, 512},
+        {"conv5_1", 14, 512, 512},  {"conv5_2", 14, 512, 512},
+        {"conv5_3", 14, 512, 512},
+    };
+    for (const auto &c : convs)
+        m.layers.push_back(
+            convLayer(c.name, c.hw, c.cin, c.cout, 3, 1, 1));
+    m.layers.push_back(fcLayer("fc6", 25088, 4096));
+    m.layers.push_back(fcLayer("fc7", 4096, 4096));
+    m.layers.push_back(fcLayer("fc8", 4096, 1000));
+    stampDepths(m);
+    return m;
+}
+
+CatalogModel
+resnet50()
+{
+    CatalogModel m;
+    m.name = "ResNet-50";
+    m.family = "cnn";
+    m.layers.push_back(convLayer("conv1", 224, 3, 64, 7, 2, 3));
+    const struct
+    {
+        const char *stage;
+        int blocks, hw, cin, mid, cout;
+    } stages[] = {
+        {"res2", 3, 56, 64, 64, 256},
+        {"res3", 4, 28, 256, 128, 512},
+        {"res4", 6, 14, 512, 256, 1024},
+        {"res5", 3, 7, 1024, 512, 2048},
+    };
+    for (const auto &s : stages) {
+        for (int b = 0; b < s.blocks; ++b) {
+            int cin = b == 0 ? s.cin : s.cout;
+            std::string base =
+                std::string(s.stage) + "_" + std::to_string(b);
+            m.layers.push_back(
+                convLayer(base + "/conv1", s.hw, cin, s.mid, 1, 1, 0));
+            m.layers.push_back(convLayer(base + "/conv2", s.hw, s.mid,
+                                         s.mid, 3, 1, 1));
+            m.layers.push_back(convLayer(base + "/conv3", s.hw, s.mid,
+                                         s.cout, 1, 1, 0));
+        }
+    }
+    m.layers.push_back(fcLayer("fc", 2048, 1000));
+    stampDepths(m);
+    return m;
+}
+
+CatalogModel
+transformerS()
+{
+    // One encoder block of a small transformer (D = 512, 8 heads,
+    // 4x FFN) — the unit the batch/sequence sweeps scale.
+    CatalogModel m;
+    m.name = "Transformer-S";
+    m.family = "transformer";
+    const int heads = 8, d = 512;
+    m.layers.push_back(attnLayer("qkv", AttnStage::Qkv, heads, d));
+    m.layers.push_back(attnLayer("scores", AttnStage::Scores, heads, d));
+    m.layers.push_back(
+        attnLayer("context", AttnStage::Context, heads, d));
+    m.layers.push_back(attnLayer("attn_out", AttnStage::Out, heads, d));
+    m.layers.push_back(mlpLayer("ffn1", d, 4 * d));
+    m.layers.push_back(mlpLayer("ffn2", 4 * d, d));
+    stampDepths(m);
+    return m;
+}
+
+/** Shorthand profile constructor (mirrors model_zoo.cpp's vp()). */
+ValueProfile
+vp(double sparsity, double cluster, double mu, double sigma, double corr,
+   int mantissa_bits, double bit_density)
+{
+    ValueProfile p;
+    p.sparsity = sparsity;
+    p.zeroClusterLen = cluster;
+    p.expMu = mu;
+    p.expSigma = sigma;
+    p.expCorr = corr;
+    p.mantissaBits = mantissa_bits;
+    p.bitDensity = bit_density;
+    return p;
+}
+
+/** Early-training knot: more zeros and fewer active mantissa bits,
+ *  decaying to @p late over the first 30% of training (Fig. 18). */
+TensorProfile
+decaying(const ValueProfile &late, double extra_sparsity,
+         double bit_scale)
+{
+    ValueProfile early = late;
+    early.sparsity = std::min(0.95, late.sparsity + extra_sparsity);
+    early.bitDensity = late.bitDensity * bit_scale;
+    return TensorProfile({{0.0, early}, {0.3, late}, {1.0, late}});
+}
+
+} // namespace
+
+const std::vector<CatalogModel> &
+workloadCatalog()
+{
+    static const std::vector<CatalogModel> catalog = [] {
+        std::vector<CatalogModel> c;
+        c.push_back(alexnet());
+        c.push_back(vgg16());
+        c.push_back(resnet50());
+        c.push_back(transformerS());
+        return c;
+    }();
+    return catalog;
+}
+
+const CatalogModel &
+findWorkloadModel(const std::string &name)
+{
+    for (const auto &m : workloadCatalog())
+        if (m.name == name)
+            return m;
+    fatal("unknown workload model '%s'", name.c_str());
+}
+
+ModelProfile
+layerProfile(const CatalogModel &model, const CatalogLayer &layer)
+{
+    ModelProfile p;
+    const double depth = std::clamp(layer.depth, 0.0, 1.0);
+    if (model.family == "cnn") {
+        // Post-ReLU activations grow sparser with depth (feature maps
+        // specialize); the first layer sees dense natural images.
+        double act_sparsity =
+            depth == 0.0 && layer.kind == LayerKind::Conv
+                ? 0.08
+                : 0.30 + 0.28 * depth;
+        p.activation = decaying(
+            vp(act_sparsity, 10.0, -2.0 - 0.8 * depth, 2.2, 0.90, 3,
+               0.17),
+            0.10, 0.95);
+        p.weight = TensorProfile::constant(
+            vp(0.02, 1.5, -3.8, 1.8, 0.80, 4, 0.28));
+        // Backpropagated gradients shrink toward the input: deeper
+        // (later) layers keep larger, denser gradients.
+        p.gradient = decaying(
+            vp(0.55 - 0.15 * depth, 10.0, -10.5 + 1.5 * depth, 3.0,
+               0.85, 2, 0.16),
+            0.08, 0.90);
+    } else {
+        // Transformer blocks: dense GELU activations with strong bit
+        // sparsity, dense weights, tiny concentrated gradients (the
+        // Bert calibration of the zoo). Attention score/context
+        // streams are softmax-shaped: even narrower exponents.
+        bool softmaxy = layer.kind == LayerKind::Attention &&
+                        (layer.attn.stage == AttnStage::Scores ||
+                         layer.attn.stage == AttnStage::Context);
+        p.activation = TensorProfile::constant(
+            softmaxy ? vp(0.04, 2.0, -4.5, 1.4, 0.88, 3, 0.14)
+                     : vp(0.03, 2.0, -2.5, 2.0, 0.85, 3, 0.16));
+        p.weight = TensorProfile::constant(
+            vp(0.00, 1.5, -3.5, 1.6, 0.80, 4, 0.24));
+        p.gradient = decaying(
+            vp(0.06, 3.0, -11.5, 3.0, 0.85, 1, 0.10), 0.04, 0.90);
+    }
+    return p;
+}
+
+} // namespace workload
+} // namespace fpraker

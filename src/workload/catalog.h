@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Described-model catalog for real-workload ingestion.
+ *
+ * The zoo in trace/model_zoo.h stores models directly as lowered GEMM
+ * inventories at the paper's fixed batch sizes. The workload catalog
+ * instead keeps the *architectural* description — conv spatial/channel
+ * geometry, FC widths, attention/MLP blocks — parameterized by batch
+ * size and sequence length, so the lowering pass (workload/lowering.h)
+ * can instantiate the same model at any batch geometry. Per-layer value
+ * statistics come from rule-driven profiles over (family, layer kind,
+ * depth), the offline substitute for captured training tensors.
+ */
+
+#ifndef FPRAKER_WORKLOAD_CATALOG_H
+#define FPRAKER_WORKLOAD_CATALOG_H
+
+#include <string>
+#include <vector>
+
+#include "trace/training_profile.h"
+
+namespace fpraker {
+namespace workload {
+
+/** Batch/sequence geometry a catalog model is instantiated at. */
+struct BatchGeometry
+{
+    int batch = 32;
+    int seq = 128; //!< Tokens per sample (transformer layers only).
+
+    /** Short label for names and report rows ("b32" / "b32s128"). */
+    std::string label(bool with_seq = false) const;
+};
+
+/** Kinds of described layers. */
+enum class LayerKind
+{
+    Conv,           //!< 2D convolution (im2col GEMM view).
+    FullyConnected, //!< Per-sample dense layer.
+    Attention,      //!< One attention-stage GEMM of a block.
+    Mlp,            //!< Per-token dense layer (transformer FFN).
+};
+
+/** The four attention-stage GEMMs of a transformer block. */
+enum class AttnStage
+{
+    Qkv,     //!< Fused Q/K/V projection: [T, D] x [D, 3D].
+    Scores,  //!< Q x K^T per head: [B*H*S, dHead] -> [.., S].
+    Context, //!< P x V per head: [B*H*S, S] -> [.., dHead].
+    Out,     //!< Output projection: [T, D] x [D, D].
+};
+
+/** Convolution geometry (pre-im2col). */
+struct ConvSpec
+{
+    int inH = 0, inW = 0; //!< Input spatial size.
+    int cin = 0, cout = 0;
+    int kh = 0, kw = 0;
+    int stride = 1, pad = 0;
+
+    int
+    outH() const
+    {
+        return (inH + 2 * pad - kh) / stride + 1;
+    }
+    int
+    outW() const
+    {
+        return (inW + 2 * pad - kw) / stride + 1;
+    }
+};
+
+/** Dense-layer widths (FullyConnected and Mlp). */
+struct FcSpec
+{
+    int in = 0, out = 0;
+};
+
+/** Attention-stage parameters. */
+struct AttnSpec
+{
+    AttnStage stage = AttnStage::Qkv;
+    int heads = 0;
+    int dModel = 0;
+
+    int
+    dHead() const
+    {
+        return heads > 0 ? dModel / heads : dModel;
+    }
+};
+
+/** One described layer of a catalog model. */
+struct CatalogLayer
+{
+    std::string name;
+    LayerKind kind = LayerKind::Conv;
+    ConvSpec conv;
+    FcSpec fc;
+    AttnSpec attn;
+    double depth = 0.0; //!< Fractional position in the model, [0, 1].
+};
+
+/** One described model. */
+struct CatalogModel
+{
+    std::string name;   //!< "AlexNet", "VGG-16", "ResNet-50", ...
+    std::string family; //!< "cnn" or "transformer".
+    std::vector<CatalogLayer> layers;
+};
+
+/** The catalog (constructed once): AlexNet, VGG-16, ResNet-50, and a
+ *  small transformer block. */
+const std::vector<CatalogModel> &workloadCatalog();
+
+/** Look up a catalog model by name (fatal if unknown). */
+const CatalogModel &findWorkloadModel(const std::string &name);
+
+/**
+ * Rule-driven per-layer value statistics: the family fixes the tensor
+ * shapes of the distributions (post-ReLU clustered zeros for CNNs,
+ * dense GELU activations and tiny concentrated gradients for
+ * transformers) and the layer's depth shifts sparsity and exponent
+ * spread the way captured traces do (later conv layers are sparser;
+ * early layers see denser inputs). Profiles carry training-progress
+ * knots so early-training bit sparsity decays like Fig. 18.
+ */
+ModelProfile layerProfile(const CatalogModel &model,
+                          const CatalogLayer &layer);
+
+} // namespace workload
+} // namespace fpraker
+
+#endif // FPRAKER_WORKLOAD_CATALOG_H

@@ -465,5 +465,39 @@ TEST(Daemon, SocketRoundTripServesAndCaches)
     EXPECT_FALSE(std::filesystem::exists(cfg.socketPath));
 }
 
+TEST(JobScheduler, ServedWorkloadMatchesDirectRunAndKeysOnKnobs)
+{
+    // A workload experiment served through the scheduler must produce
+    // the exact document a direct run produces, and the cache key
+    // must fold the workload geometry knobs: same knobs hit, changed
+    // knobs simulate again.
+    JobSpec spec = smallSpec("ext_workload_catalog", 6);
+    spec.options = {{"batch", "2"}, {"seq", "16"}};
+
+    SchedulerConfig cfg;
+    cfg.engineThreads = 1; // document byte-parity needs a serial engine
+    cfg.workers = 1;
+    JobScheduler sched(cfg);
+
+    JobOutcome cold = sched.run(spec);
+    ASSERT_EQ(cold.state, JobState::Done) << cold.error;
+    EXPECT_EQ(cold.document, directDocument(spec));
+
+    JobOutcome hot = sched.run(spec);
+    ASSERT_EQ(hot.state, JobState::Done) << hot.error;
+    EXPECT_EQ(hot.fingerprint, cold.fingerprint);
+    EXPECT_EQ(sched.stats().executed, 1u);
+    EXPECT_EQ(sched.stats().cacheServed, 1u);
+
+    // Same experiment, different batch geometry: a different job.
+    JobSpec wider = spec;
+    wider.options = {{"batch", "4"}, {"seq", "16"}};
+    EXPECT_NE(wider.cacheKey(), spec.cacheKey());
+    JobOutcome other = sched.run(wider);
+    ASSERT_EQ(other.state, JobState::Done) << other.error;
+    EXPECT_EQ(sched.stats().executed, 2u);
+    EXPECT_NE(other.fingerprint, cold.fingerprint);
+}
+
 } // namespace
 } // namespace fpraker
