@@ -51,6 +51,13 @@ KEYS = [
     # already uses.
     ("workload", "values_per_sec_trace",
      "generation", "values_per_sec_scalar"),
+    # Memoized warm replay (PR9+): a warm phase rerun must stay far
+    # ahead of a cold one. Normalized by the cold run from the SAME
+    # document — both sides fill and hash identically, so the ratio
+    # isolates what the memo skips (the tile simulation) from host
+    # speed.
+    ("memo", "steps_per_sec_warm",
+     "memo", "steps_per_sec_cold"),
 ]
 
 

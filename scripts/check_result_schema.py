@@ -87,6 +87,21 @@ def validate(path, doc, errors):
                 _fail(path, errors,
                       "provenance.deadline_overrun_ms not a positive "
                       f"int: {overrun!r}")
+        # Optional: only when the experiment opted into simulation-memo
+        # provenance; the three fields travel together.
+        if "memo_mode" in prov or "memo_hits" in prov \
+                or "memo_misses" in prov:
+            mode = prov.get("memo_mode")
+            if mode not in ("on", "off"):
+                _fail(path, errors,
+                      f"provenance.memo_mode not on/off: {mode!r}")
+            for key in ("memo_hits", "memo_misses"):
+                count = prov.get(key)
+                if not isinstance(count, int) \
+                        or isinstance(count, bool) or count < 0:
+                    _fail(path, errors,
+                          f"provenance.{key} not a non-negative int: "
+                          f"{count!r}")
 
     scalars = doc.get("scalars")
     if not isinstance(scalars, dict):

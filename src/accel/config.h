@@ -74,6 +74,15 @@ struct AcceleratorConfig
     uint64_t seed = 0xf9a4e5;
 
     /**
+     * Content-addressed simulation memoization (sim/sim_memo.h):
+     * phase samples reuse cached burst/phase results through
+     * SimMemo::global() when their keyed content matches. Results are
+     * bit-identical either way (FPRAKER_MEMO=off proves it); false
+     * forces the unmemoized path, e.g. for timing comparisons.
+     */
+    bool memoize = true;
+
+    /**
      * Simulation worker threads: the independent (layer, op) jobs of a
      * model run — and the tile columns inside each phase sample —
      * shard across a SimEngine of this size. Results are bit-identical

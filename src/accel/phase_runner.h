@@ -30,6 +30,7 @@
 #include <algorithm>
 
 #include "sim/sim_engine.h"
+#include "sim/sim_memo.h"
 #include "sim/tile_pool.h"
 #include "tile/tile.h"
 #include "trace/model_zoo.h"
@@ -61,6 +62,20 @@ struct PhaseRunConfig
      * supply is a pure function of the burst index.
      */
     const SlabSupply *supply = nullptr;
+    /**
+     * Content-addressed memoization (sim/sim_memo.h). Null uses the
+     * process-wide SimMemo::global() (which FPRAKER_MEMO sizes or
+     * disables); tests install private instances. Two grains apply:
+     * generator-backed phases cache their whole result keyed on
+     * (config digest, plan, profiles, seed), and every phase caches
+     * per-burst (cycles, stats) keyed on (config digest, operand
+     * window bytes). Both are exact by construction — cached values
+     * are byte copies of the identical computation — so memo-on and
+     * memo-off runs are bit-identical.
+     */
+    SimMemo *memo = nullptr;
+    /** False forces the unmemoized path regardless of @ref memo. */
+    bool memoize = true;
 };
 
 /**
@@ -108,6 +123,10 @@ struct PhaseRunResult
     TensorStats serialStats;    //!< Measured stats of the serial stream.
     TensorStats parallelStats;
     uint64_t steps = 0;
+    // Memoization accounting (provenance only — never fingerprinted):
+    // lookups that hit/missed at either grain during this run.
+    uint64_t memoHits = 0;
+    uint64_t memoMisses = 0;
 };
 
 /** Run one sampled (layer, op) phase on a fresh tile. */

@@ -1,7 +1,7 @@
 /**
  * @file
  * Perf-regression experiment: times fixed, seeded workloads on the
- * cycle-level simulator and emits BENCH_PR8.json, extending the
+ * cycle-level simulator and emits BENCH_PR9.json, extending the
  * BENCH_PR<N>.json trajectory each perf PR must beat
  * (docs/PERFORMANCE.md explains how to read and append it).
  *
@@ -42,6 +42,13 @@
  *    operand streams with the generator, over one im2col-lowered
  *    conv phase. The replayed and synthesized streams must be
  *    bit-identical.
+ *  - memo — the PR 9 memoization grains (sim/sim_memo.h): the same
+ *    conv phase simulated end-to-end through runPhaseSample with the
+ *    memo off, cold (fresh: every burst misses and inserts), and
+ *    warm (primed: every burst hits, skipping the tile), plus the
+ *    phase grain over the generator supply. All five result digests
+ *    must be identical; the warm-replay speedup over cold is the
+ *    payoff scripts/check_perf_floor.py gates.
  *
  * The experiment refuses to report a speedup over diverging runs
  * (Result::ok goes false, exit status 1). Because the document
@@ -71,6 +78,7 @@
 #include "numeric/slab_ops.h"
 #include "serve/throughput.h"
 #include "numeric/term_lut.h"
+#include "sim/sim_memo.h"
 #include "sim/reference_column.h"
 #include "trace/rng_stream.h"
 #include "trace/tensor_gen.h"
@@ -271,7 +279,7 @@ REGISTER_EXPERIMENT("perf_regression", "Perf",
         session.intOption("steps", session.sampleSteps(4096));
     const int reps = session.intOption("reps", 3);
     const std::string out_path =
-        session.strOption("out", "BENCH_PR8.json");
+        session.strOption("out", "BENCH_PR9.json");
 
     const char *model_name = "ResNet18-Q";
     const ModelInfo &model = findModel(model_name);
@@ -396,6 +404,10 @@ REGISTER_EXPERIMENT("perf_regression", "Perf",
                                    "SqueezeNet 1.1"};
     AcceleratorConfig mcfg = AcceleratorConfig::paperDefault();
     mcfg.sampleSteps = session.sampleSteps(96);
+    // The serial run would warm the memo for the parallel run,
+    // contaminating the serial-vs-parallel comparison; values are
+    // bit-identical either way, so turn it off for this section.
+    mcfg.memoize = false;
     auto model_sweep = [&](int t) {
         SweepRunner runner(t);
         const Accelerator &accel = runner.addAccelerator(mcfg);
@@ -582,6 +594,104 @@ REGISTER_EXPERIMENT("perf_regression", "Perf",
                Table::cell(wl_total / wl_trace_t.seconds, 0),
                hex16(wl_trace_t.checksum)});
 
+    // Memoization (PR 9): the same conv phase simulated end-to-end
+    // through runPhaseSample over the trace supply — memo off, cold
+    // (fresh memo: every burst misses, inserts, and still simulates),
+    // warm (primed memo: every burst hits, skipping the tile) — plus
+    // the phase grain over the generator supply (a warm hit skips
+    // even operand generation). Memo state must never change results,
+    // so all five digests must be identical.
+    const ModelInfo &wl_carrier = wl_model.carrierOf(wl_unit);
+    const workload::WorkloadUnit &wl_u = wl_model.units()[wl_unit];
+    uint64_t memo_run_hits = 0;
+    auto memo_phase = [&](const SlabSupply *supply, SimMemo *memo,
+                          bool memoize) {
+        // Mirror workload::unitPlan's PhaseRunConfig so the plan (and
+        // thus the streams) match the ingestion section above.
+        PhaseRunConfig prc;
+        prc.tile = wl_cfg.tile;
+        prc.sampleSteps = wl_cfg.sampleSteps;
+        prc.seed = wl_cfg.seed;
+        prc.autoSerialSide = wl_cfg.autoSerialSide;
+        prc.supply = supply;
+        prc.memo = memo;
+        prc.memoize = memoize;
+        TileTiming t;
+        double t0 = now();
+        PhaseRunResult pr = runPhaseSample(wl_carrier, wl_u.shape,
+                                           wl_u.op, 0.5, prc);
+        t.seconds = now() - t0;
+        memo_run_hits = pr.memoHits;
+        Checksum sum;
+        sum.add(pr.avgCyclesPerStep);
+        sum.add(pr.steps);
+        sum.add(static_cast<uint64_t>(pr.serialSide));
+        sum.add(pr.peStats);
+        sum.add(pr.serialStats.values);
+        sum.add(pr.serialStats.zeros);
+        sum.add(pr.serialStats.terms);
+        sum.add(pr.parallelStats.values);
+        sum.add(pr.parallelStats.zeros);
+        sum.add(pr.parallelStats.terms);
+        t.checksum = sum.value();
+        return t;
+    };
+    const size_t memo_budget = 64u << 20;
+    TileTiming memo_off_t = best(
+        [&] { return memo_phase(&wl_replay, nullptr, false); });
+    TileTiming memo_cold_t = best([&] {
+        SimMemo fresh(memo_budget);
+        return memo_phase(&wl_replay, &fresh, true);
+    });
+    SimMemo warm_memo(memo_budget);
+    memo_phase(&wl_replay, &warm_memo, true); // prime (untimed)
+    TileTiming memo_warm_t = best(
+        [&] { return memo_phase(&wl_replay, &warm_memo, true); });
+    const uint64_t memo_warm_hits = memo_run_hits;
+    SimMemo phase_memo(memo_budget);
+    TileTiming memo_pcold_t = best([&] {
+        SimMemo pfresh(memo_budget);
+        return memo_phase(nullptr, &pfresh, true);
+    });
+    memo_phase(nullptr, &phase_memo, true); // prime (untimed)
+    TileTiming memo_pwarm_t = best(
+        [&] { return memo_phase(nullptr, &phase_memo, true); });
+    const uint64_t memo_phase_hits = memo_run_hits;
+
+    SimMemo::Stats memo_stats = warm_memo.stats();
+    const double memo_hit_rate =
+        memo_stats.hits + memo_stats.misses
+            ? static_cast<double>(memo_stats.hits) /
+                  static_cast<double>(memo_stats.hits +
+                                      memo_stats.misses)
+            : 0.0;
+    bool memo_identical =
+        memo_off_t.checksum == memo_cold_t.checksum &&
+        memo_off_t.checksum == memo_warm_t.checksum &&
+        memo_off_t.checksum == memo_pcold_t.checksum &&
+        memo_off_t.checksum == memo_pwarm_t.checksum &&
+        memo_warm_hits > 0 && memo_phase_hits > 0;
+    double memo_speedup = memo_cold_t.seconds / memo_warm_t.seconds;
+
+    std::snprintf(caption, sizeof(caption),
+                  "memo: AlexNet@b16/conv2 fwd, %d steps in %zu "
+                  "bursts (%" PRIu64 " warm hits)",
+                  wl_cfg.sampleSteps, wl_plan.bursts, memo_warm_hits);
+    ResultTable &memo_table = res.table(
+        "memo", {"path", "seconds", "steps/s", "digest"});
+    memo_table.caption = caption;
+    auto memo_row = [&](const char *name, const TileTiming &t) {
+        memo_table.addRow(
+            {name, Table::cell(t.seconds, 4),
+             Table::cell(wl_cfg.sampleSteps / t.seconds, 0),
+             hex16(t.checksum)});
+    };
+    memo_row("off", memo_off_t);
+    memo_row("burst cold", memo_cold_t);
+    memo_row("burst warm", memo_warm_t);
+    memo_row("phase cold", memo_pcold_t);
+    memo_row("phase warm", memo_pwarm_t);
+
     // Functional-baseline tile: the batched row walk, serial vs
     // row-sharded across an engine (BaselineTile::run's PE rows are
     // independent given the pre-decoded batch). Steps reuse the
@@ -622,6 +732,22 @@ REGISTER_EXPERIMENT("perf_regression", "Perf",
     TileTiming base_shard_t = best([&] { return base_run(threads); });
     bool base_identical =
         base_serial_t.checksum == base_shard_t.checksum;
+    // Below kShardMinMacs the sharded call falls back to the serial
+    // walk (PR 9: the fork/join barrier cost more than this batch —
+    // BENCH_PR8 measured 0.83x), so its "speedup" is serial-vs-serial
+    // noise. When the batch IS large enough to shard, a speedup below
+    // 1.0 would mean the threshold is mis-set — fail loudly.
+    const bool base_shard_fallback =
+        threads <= 1 ||
+        base_steps_n * static_cast<uint64_t>(
+                           w.tile.rows * w.tile.cols *
+                           w.tile.pe.lanes) <
+            BaselineTile::kShardMinMacs;
+    const double base_speedup =
+        base_serial_t.seconds / base_shard_t.seconds;
+    if (!base_shard_fallback && base_speedup < 1.0)
+        res.fail("baseline tile sharding slower than serial above "
+                 "the work threshold");
 
     std::snprintf(caption, sizeof(caption),
                   "baseline tile: %zu steps, rows sharded at %d "
@@ -708,8 +834,8 @@ REGISTER_EXPERIMENT("perf_regression", "Perf",
     bool all_identical = deterministic_reps && tile_identical &&
                          sweep_identical && model_identical &&
                          gen_identical && count_identical &&
-                         wl_identical && base_identical &&
-                         serve_identical;
+                         wl_identical && memo_identical &&
+                         base_identical && serve_identical;
     res.note(std::string("bit-identical: ") +
              (all_identical ? "yes" : "NO — REGRESSION"));
     if (!all_identical)
@@ -809,13 +935,40 @@ REGISTER_EXPERIMENT("perf_regression", "Perf",
         .metric("digest_generator", hex16(wl_gen_t.checksum))
         .metric("digest_trace", hex16(wl_trace_t.checksum))
         .metric("bit_identical", wl_identical);
+    // (Digest keys, like generation's: the smoke gate's checksum_*
+    // sequence predates this section.)
+    res.group("memo")
+        .metric("unit", "AlexNet@b16/conv2 fwd")
+        .metric("steps", wl_cfg.sampleSteps)
+        .metric("bursts", static_cast<uint64_t>(wl_plan.bursts))
+        .metric("off_s", memo_off_t.seconds, 6)
+        .metric("cold_s", memo_cold_t.seconds, 6)
+        .metric("warm_s", memo_warm_t.seconds, 6)
+        .metric("steps_per_sec_cold",
+                wl_cfg.sampleSteps / memo_cold_t.seconds, 1)
+        .metric("steps_per_sec_warm",
+                wl_cfg.sampleSteps / memo_warm_t.seconds, 1)
+        .metric("speedup_warm_vs_cold", memo_speedup, 3)
+        .metric("warm_hits", memo_warm_hits)
+        .metric("hit_rate", memo_hit_rate, 3)
+        .metric("bytes_held", memo_stats.bytes)
+        .metric("phase_cold_s", memo_pcold_t.seconds, 6)
+        .metric("phase_warm_s", memo_pwarm_t.seconds, 6)
+        .metric("speedup_phase_warm_vs_cold",
+                memo_pcold_t.seconds / memo_pwarm_t.seconds, 3)
+        .metric("digest_off", hex16(memo_off_t.checksum))
+        .metric("digest_cold", hex16(memo_cold_t.checksum))
+        .metric("digest_warm", hex16(memo_warm_t.checksum))
+        .metric("digest_phase_cold", hex16(memo_pcold_t.checksum))
+        .metric("digest_phase_warm", hex16(memo_pwarm_t.checksum))
+        .metric("bit_identical", memo_identical);
     res.group("baseline_tile")
         .metric("steps", static_cast<uint64_t>(base_steps_n))
         .metric("serial_s", base_serial_t.seconds, 6)
         .metric("sharded_s", base_shard_t.seconds, 6)
         .metric("sharded_threads", threads)
-        .metric("speedup_sharded",
-                base_serial_t.seconds / base_shard_t.seconds, 3)
+        .metric("speedup_sharded", base_speedup, 3)
+        .metric("shard_fallback", base_shard_fallback)
         .metric("digest_serial", hex16(base_serial_t.checksum))
         .metric("digest_sharded", hex16(base_shard_t.checksum))
         .metric("bit_identical", base_identical);
@@ -842,12 +995,25 @@ REGISTER_EXPERIMENT("perf_regression", "Perf",
     fp.add(count_simd_t.checksum);
     fp.add(wl_gen_t.checksum);
     fp.add(wl_trace_t.checksum);
+    fp.add(memo_off_t.checksum);
+    fp.add(memo_cold_t.checksum);
+    fp.add(memo_warm_t.checksum);
+    fp.add(memo_pcold_t.checksum);
+    fp.add(memo_pwarm_t.checksum);
     fp.add(base_serial_t.checksum);
     fp.add(base_shard_t.checksum);
     fp.add(serve_r.digest);
     fp.add(shed_r.digest);
     fp.add(static_cast<uint64_t>(all_identical ? 1 : 0));
     res.setFingerprint(fp.value());
+
+    // Memo provenance (opt-in, see result.h): mode reflects the
+    // process-wide knob; counts come from this run's measured warm
+    // memo. This document carries wall-clock readings and is never
+    // byte-compared across runs, so the varying counts are safe here.
+    res.memoMode = SimMemo::global() ? "on" : "off";
+    res.memoHits = memo_stats.hits;
+    res.memoMisses = memo_stats.misses;
     return res;
 }
 

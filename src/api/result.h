@@ -142,6 +142,21 @@ class Result
      */
     int deadlineOverrunMs = 0;
 
+    /**
+     * Simulation-memoization provenance (sim/sim_memo.h), rendered as
+     * provenance.memo_mode/memo_hits/memo_misses only when an
+     * experiment sets memoMode (""/unset omits all three). Opt-in
+     * rather than driver-filled because hit counts depend on how warm
+     * the process-wide memo already is: unconditional rendering would
+     * break the serve layer's cold-document byte-identity (a direct
+     * rerun hits where the first run missed). Provenance only — memo
+     * state never changes simulated values, so it must never reach
+     * the fingerprint.
+     */
+    std::string memoMode;
+    uint64_t memoHits = 0;
+    uint64_t memoMisses = 0;
+
     // -------------------------------------------------------- content
     /** Append a table (rendered in insertion order). */
     ResultTable &table(const std::string &name,

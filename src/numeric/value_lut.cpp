@@ -1,0 +1,35 @@
+#include "numeric/value_lut.h"
+
+namespace fpraker {
+
+ValueLut::ValueLut(TermEncoding enc)
+    : encoding_(enc)
+{
+    const TermLut &lut = TermLut::of(enc);
+    for (uint32_t bits = 0; bits < 65536; ++bits) {
+        const BFloat16 v = BFloat16::fromBits(static_cast<uint16_t>(bits));
+        Entry &e = entries_[bits];
+        // Same accessors the scalar paths used, so the table is the
+        // scalar computation by construction (non-finite patterns keep
+        // their field split; the consumers panic on the flag instead).
+        e.stream = &lut.stream(v.significand());
+        e.unbiasedExp = static_cast<int16_t>(v.unbiasedExponent());
+        e.biasedExp = static_cast<int16_t>(v.biasedExponent());
+        e.sig = static_cast<uint8_t>(v.significand());
+        e.nterms = static_cast<uint8_t>(e.stream->size());
+        e.shift0 = e.nterms ? (*e.stream)[0].shift : int8_t(0);
+        e.flags = static_cast<uint8_t>(
+            (v.isNegative() ? kNegative : 0) | (v.isZero() ? kZero : 0) |
+            (v.isFinite() ? kFinite : 0));
+    }
+}
+
+const ValueLut &
+ValueLut::of(TermEncoding enc)
+{
+    static const ValueLut canonical(TermEncoding::Canonical);
+    static const ValueLut raw(TermEncoding::RawBits);
+    return enc == TermEncoding::RawBits ? raw : canonical;
+}
+
+} // namespace fpraker

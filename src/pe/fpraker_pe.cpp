@@ -14,7 +14,8 @@
 namespace fpraker {
 
 FPRakerColumn::FPRakerColumn(const PeConfig &cfg, int num_pes)
-    : cfg_(cfg), numPes_(num_pes), lut_(&TermLut::of(cfg.encoding))
+    : cfg_(cfg), numPes_(num_pes), lut_(&TermLut::of(cfg.encoding)),
+      vlut_(&ValueLut::of(cfg.encoding))
 {
     panic_if(cfg_.lanes < 1 || cfg_.lanes > kMaxLanes,
              "unsupported lane count %d", cfg_.lanes);
@@ -91,18 +92,23 @@ FPRakerColumn::decodeBRows(const BFloat16 *b, int b_stride, int rows,
         return;
     }
 #endif // __SSE2__
+    // Scalar fallback: the whole per-value field split is one load
+    // from the decoded-value table (the value memoization grain; the
+    // B-side fields are encoding-independent).
+    const ValueLut &vlut = ValueLut::bDecode();
     for (int r = 0; r < rows; ++r) {
         DecodedBRow &dr = out[r];
         const BFloat16 *brow = b + static_cast<size_t>(r) * b_stride;
         dr.negMask = 0;
         for (int l = 0; l < lanes; ++l) {
-            const BFloat16 bv = brow[l];
-            panic_if(!bv.isFinite(), "non-finite PE operand (b=%04x)",
-                     bv.bits());
-            dr.beBiased[l] = static_cast<int16_t>(bv.biasedExponent());
-            dr.zero16[l] = bv.isZero() ? int16_t(-1) : int16_t(0);
-            dr.sig[l] = static_cast<uint8_t>(bv.significand());
-            if (bv.isNegative())
+            const ValueLut::Entry &e = vlut.entry(brow[l].bits());
+            panic_if(!(e.flags & ValueLut::kFinite),
+                     "non-finite PE operand (b=%04x)", brow[l].bits());
+            dr.beBiased[l] = e.biasedExp;
+            dr.zero16[l] =
+                (e.flags & ValueLut::kZero) ? int16_t(-1) : int16_t(0);
+            dr.sig[l] = e.sig;
+            if (e.flags & ValueLut::kNegative)
                 dr.negMask |= 1u << l;
         }
     }
@@ -128,23 +134,25 @@ FPRakerColumn::beginSetDecoded(const BFloat16 *a,
     uint64_t zero_slots = 0;
     liveMask_ = 0;
     for (int l = 0; l < activeLanes_; ++l) {
-        const BFloat16 av = a[l];
-        panic_if(!av.isFinite(), "non-finite PE operand (a=%04x)",
-                 av.bits());
-        const TermStream &ts = lut_->stream(av.significand());
-        streams_[l].terms = &ts;
+        // The value memoization grain: every field this loop used to
+        // re-derive per value (term schedule, exponents, sign/zero
+        // class, first-term shift) is one decoded-table load.
+        const ValueLut::Entry &e = vlut_->entry(a[l].bits());
+        panic_if(!(e.flags & ValueLut::kFinite),
+                 "non-finite PE operand (a=%04x)", a[l].bits());
+        streams_[l].terms = e.stream;
         streams_[l].cursor = 0;
-        nterms[l] = static_cast<uint8_t>(ts.size());
-        if (!ts.empty()) {
+        nterms[l] = e.nterms;
+        if (e.nterms) {
             liveMask_ |= 1u << l;
-            shift0[l] = ts[0].shift;
+            shift0[l] = e.shift0;
         }
-        a_exp[l] = static_cast<int16_t>(av.unbiasedExponent());
-        if (av.isNegative())
+        a_exp[l] = e.unbiasedExp;
+        if (e.flags & ValueLut::kNegative)
             a_neg |= 1u << l;
-        if (!av.isZero())
+        if (!(e.flags & ValueLut::kZero))
             a_nonzero |= 1u << l;
-        zero_slots += static_cast<uint64_t>(kTermSlots - ts.size());
+        zero_slots += static_cast<uint64_t>(kTermSlots - e.nterms);
         firedPes_[l] = 0;
         obPes_[l] = 0;
     }

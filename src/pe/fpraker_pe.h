@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "numeric/term_lut.h"
+#include "numeric/value_lut.h"
 #include "pe/exponent_block.h"
 #include "pe/pe_common.h"
 
@@ -250,6 +251,7 @@ class FPRakerColumn
     PeConfig cfg_;
     int numPes_;
     const TermLut *lut_;
+    const ValueLut *vlut_; //!< Whole-bf16 decode table (value memo).
     std::vector<DecodedBRow> decodeScratch_; //!< beginSet / dot rows.
     LaneStream streams_[kMaxLanes];
     /**

@@ -1,0 +1,152 @@
+#include "sim/sim_memo.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace fpraker {
+
+namespace {
+
+/**
+ * Stripe count for a budget: enough stripes to keep lock contention
+ * off the simulation's critical path, but never so many that a
+ * stripe's budget share drops below one realistic burst entry
+ * (~8-64 KiB) — a tiny test budget runs single-striped so eviction
+ * still admits entries instead of rejecting everything.
+ */
+size_t
+stripesFor(size_t budget)
+{
+    size_t n = budget / (256u << 10);
+    if (n < 1)
+        n = 1;
+    if (n > 16)
+        n = 16;
+    return n;
+}
+
+} // namespace
+
+SimMemo::SimMemo(size_t budgetBytes)
+    : budget_(budgetBytes), stripes_(stripesFor(budgetBytes))
+{
+    stripeBudget_ = budget_ / stripes_.size();
+}
+
+SimMemo::Stripe &
+SimMemo::stripeOf(uint64_t hash)
+{
+    // The low bits feed the map's bucket index; pick stripe from the
+    // high bits so the two partitions stay independent.
+    return stripes_[(hash >> 48) % stripes_.size()];
+}
+
+bool
+SimMemo::lookup(uint64_t hash, const void *key, size_t keyLen,
+                void *value, size_t valueLen)
+{
+    Stripe &s = stripeOf(hash);
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        auto it = s.index.find(hash);
+        if (it != s.index.end()) {
+            Entry &e = *it->second;
+            // Exact by construction: the full key bytes must match
+            // (a 64-bit collision is a miss, never a wrong value).
+            if (e.key.size() == keyLen && e.value.size() == valueLen &&
+                std::memcmp(e.key.data(), key, keyLen) == 0) {
+                std::memcpy(value, e.value.data(), valueLen);
+                s.lru.splice(s.lru.begin(), s.lru, it->second);
+                hits_.fetch_add(1, std::memory_order_relaxed);
+                return true;
+            }
+        }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+}
+
+void
+SimMemo::insert(uint64_t hash, const void *key, size_t keyLen,
+                const void *value, size_t valueLen)
+{
+    const uint64_t cost = keyLen + valueLen + kEntryOverhead;
+    if (cost > stripeBudget_)
+        return; // Larger than a whole stripe share: never cacheable.
+
+    Stripe &s = stripeOf(hash);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.index.count(hash))
+        return; // Present entry already verified usable (or missing).
+
+    while (s.bytes + cost > stripeBudget_ && !s.lru.empty()) {
+        Entry &tail = s.lru.back();
+        s.bytes -= tail.key.size() + tail.value.size() + kEntryOverhead;
+        s.index.erase(tail.hash);
+        s.lru.pop_back();
+        s.evictions += 1;
+    }
+
+    Entry e;
+    e.hash = hash;
+    const unsigned char *kp = static_cast<const unsigned char *>(key);
+    const unsigned char *vp = static_cast<const unsigned char *>(value);
+    e.key.assign(kp, kp + keyLen);
+    e.value.assign(vp, vp + valueLen);
+    s.lru.push_front(std::move(e));
+    s.index.emplace(hash, s.lru.begin());
+    s.bytes += cost;
+    s.insertions += 1;
+}
+
+SimMemo::Stats
+SimMemo::stats() const
+{
+    Stats st;
+    st.hits = hits_.load(std::memory_order_relaxed);
+    st.misses = misses_.load(std::memory_order_relaxed);
+    for (const Stripe &s : stripes_) {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        st.insertions += s.insertions;
+        st.evictions += s.evictions;
+        st.bytes += s.bytes;
+        st.entries += s.lru.size();
+    }
+    return st;
+}
+
+uint64_t
+SimMemo::bytesHeld() const
+{
+    uint64_t bytes = 0;
+    for (const Stripe &s : stripes_) {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        bytes += s.bytes;
+    }
+    return bytes;
+}
+
+SimMemo *
+SimMemo::global()
+{
+    static SimMemo *g = []() -> SimMemo * {
+        const char *env = std::getenv("FPRAKER_MEMO");
+        if (!env || !*env)
+            return new SimMemo(64u << 20);
+        if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0)
+            return nullptr;
+        char *end = nullptr;
+        unsigned long long bytes = std::strtoull(env, &end, 10);
+        // Loud-fail like FPRAKER_SIMD: a typo must never silently
+        // change what the run measures.
+        panic_if(end == env || *end != '\0' || bytes == 0,
+                 "FPRAKER_MEMO=%s: expected 'off' or a byte budget",
+                 env);
+        return new SimMemo(static_cast<size_t>(bytes));
+    }();
+    return g;
+}
+
+} // namespace fpraker

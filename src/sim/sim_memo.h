@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Content-addressed simulation memoization (burst and phase grains).
+ *
+ * Bursts are pure functions of (tile configuration, operand window
+ * bytes) — the accumulators reset between output blocks, and phase
+ * runs consume only a burst's cycles and statistics, never the tile's
+ * float outputs — so repeated operand content (im2col-overlapping conv
+ * windows, re-sampled (layer, op, progress) phases, ablation grids
+ * re-simulating identical phases) repeats the exact same simulation.
+ * SimMemo turns that repetition into lookups: a thread-safe,
+ * striped-lock, byte-budgeted LRU keyed by FNV-1a over the full key
+ * bytes (config digest ‖ operand bytes).
+ *
+ * Exact by construction: every entry stores its complete key bytes and
+ * a lookup memcmp-verifies them, so a hash collision is a miss, never
+ * a wrong value — memo-on and memo-off runs are byte-identical
+ * (tests/test_memo.cpp fuzzes the parity at 1/2/8 threads and under
+ * eviction).
+ *
+ * The process-wide instance (global()) is shared by every phase run
+ * and SweepRunner job; the FPRAKER_MEMO environment knob sizes it
+ * (byte budget) or disables it ("off"/"0" — loud-fail on anything
+ * else, like FPRAKER_SIMD). Hit/miss counts land in result provenance
+ * only, never in fingerprints.
+ */
+
+#ifndef FPRAKER_SIM_SIM_MEMO_H
+#define FPRAKER_SIM_SIM_MEMO_H
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace fpraker {
+
+/** Thread-safe content-addressed LRU of simulation results. */
+class SimMemo
+{
+  public:
+    /** Counters (monotonic; bytes/entries are the current residency). */
+    struct Stats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;     //!< Lookups that found nothing usable.
+        uint64_t insertions = 0;
+        uint64_t evictions = 0;  //!< Entries displaced by the budget.
+        uint64_t bytes = 0;      //!< Resident key+value+overhead bytes.
+        uint64_t entries = 0;
+    };
+
+    /** @param budgetBytes total byte budget across all stripes. */
+    explicit SimMemo(size_t budgetBytes);
+
+    SimMemo(const SimMemo &) = delete;
+    SimMemo &operator=(const SimMemo &) = delete;
+
+    /**
+     * Look up @p hash (FNV-1a over @p key). Hits only when the stored
+     * key bytes and value size match exactly; copies the value into
+     * @p value and refreshes LRU recency. Counts a hit or miss.
+     */
+    bool lookup(uint64_t hash, const void *key, size_t keyLen,
+                void *value, size_t valueLen);
+
+    /**
+     * Insert a (key, value) pair, evicting least-recently-used entries
+     * until the stripe fits its budget share. An entry larger than the
+     * share, or a hash already present, is skipped (the present entry
+     * was verified usable or will keep missing — either way correct).
+     */
+    void insert(uint64_t hash, const void *key, size_t keyLen,
+                const void *value, size_t valueLen);
+
+    Stats stats() const;
+    uint64_t bytesHeld() const;
+    size_t budget() const { return budget_; }
+
+    /**
+     * The process-wide memo, sized by FPRAKER_MEMO (unset = 64 MiB;
+     * "off"/"0" = nullptr, forcing the unmemoized path everywhere;
+     * a byte count sizes the budget; anything else panics loudly).
+     */
+    static SimMemo *global();
+
+  private:
+    struct Entry
+    {
+        uint64_t hash = 0;
+        std::vector<unsigned char> key;
+        std::vector<unsigned char> value;
+    };
+
+    /** Fixed per-entry accounting overhead (map node, list node). */
+    static constexpr uint64_t kEntryOverhead = 64;
+
+    struct Stripe
+    {
+        mutable std::mutex mutex;
+        std::list<Entry> lru; //!< Front = most recent.
+        std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
+        uint64_t bytes = 0;
+        uint64_t insertions = 0;
+        uint64_t evictions = 0;
+    };
+
+    Stripe &stripeOf(uint64_t hash);
+
+    size_t budget_;
+    size_t stripeBudget_;
+    std::vector<Stripe> stripes_;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+};
+
+} // namespace fpraker
+
+#endif // FPRAKER_SIM_SIM_MEMO_H

@@ -249,8 +249,13 @@ BaselineTile::run(const std::vector<TileStep> &steps, SimEngine *engine)
     // in step order, so the result is bit-identical to the serial
     // walk. Serially, decode stays interleaved per step (better cache
     // reuse than a whole-batch decode pass).
+    // Sharding only pays once the batch amortizes the fork/join
+    // barrier and the whole-batch decode buffers; below kShardMinMacs
+    // the serial walk is faster (BENCH_PR8: 0.83x on 0.5 M MACs), so
+    // small batches keep the interleaved per-step decode.
     const bool shard_rows =
-        engine && engine->threads() > 1 && rows > 1;
+        engine && engine->threads() > 1 && rows > 1 &&
+        result.macs >= kShardMinMacs;
     if (shard_rows) {
         std::vector<DecodedOperands> da(steps.size() * cols);
         std::vector<DecodedOperands> db(steps.size() * rows);

@@ -182,6 +182,10 @@ TEST(TilePool, PooledPhaseRunsBitIdenticalAcrossThreadCounts)
     base.sampleSteps = 96;
     base.stepsPerOutput = 16;
     base.seed = 42;
+    // This test exercises the tile pool; with memoization on, the
+    // reference run below would warm the phase memo and the pooled
+    // reruns would be served from it without ever leasing a tile.
+    base.memoize = false;
 
     // Reference: no pool, serial.
     PhaseRunResult ref = runPhaseSample(model, layer,

@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Tests for the PR 9 memoization grains: the whole-bf16 ValueLut
+ * differential against TermEncoder over the full 16-bit domain,
+ * SimMemo's exact-by-construction cache behaviors (key verification,
+ * budget admission, LRU eviction), and phase-runner bit-identity with
+ * the memo off, cold, warm, and evicting — at 1, 2, and 8 threads.
+ */
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "accel/phase_runner.h"
+#include "numeric/term_encoder.h"
+#include "numeric/value_lut.h"
+#include "sim/sim_engine.h"
+#include "sim/sim_memo.h"
+#include "trace/model_zoo.h"
+#include "trace/tensor_gen.h"
+
+namespace fpraker {
+namespace {
+
+TEST(ValueLut, FullDomainMatchesTermEncoder)
+{
+    for (TermEncoding enc :
+         {TermEncoding::Canonical, TermEncoding::RawBits}) {
+        const ValueLut &lut = ValueLut::of(enc);
+        const TermEncoder encoder(enc);
+        ASSERT_EQ(lut.encoding(), enc);
+        for (uint32_t bits = 0; bits < 65536; ++bits) {
+            const BFloat16 v =
+                BFloat16::fromBits(static_cast<uint16_t>(bits));
+            const ValueLut::Entry &e =
+                lut.entry(static_cast<uint16_t>(bits));
+
+            ASSERT_EQ((e.flags & ValueLut::kNegative) != 0,
+                      v.isNegative())
+                << "bits " << bits;
+            ASSERT_EQ((e.flags & ValueLut::kZero) != 0, v.isZero())
+                << "bits " << bits;
+            ASSERT_EQ((e.flags & ValueLut::kFinite) != 0, v.isFinite())
+                << "bits " << bits;
+            ASSERT_EQ(e.unbiasedExp, v.unbiasedExponent())
+                << "bits " << bits;
+            ASSERT_EQ(e.biasedExp, v.biasedExponent())
+                << "bits " << bits;
+            ASSERT_EQ(e.sig, v.significand()) << "bits " << bits;
+
+            const TermStream want = encoder.encode(v);
+            ASSERT_EQ(e.nterms, want.size()) << "bits " << bits;
+            ASSERT_NE(e.stream, nullptr) << "bits " << bits;
+            ASSERT_EQ(e.stream->size(), want.size()) << "bits " << bits;
+            for (int i = 0; i < want.size(); ++i)
+                ASSERT_TRUE((*e.stream)[i] == want[i])
+                    << "bits " << bits << " term " << i;
+            if (want.size() > 0)
+                ASSERT_EQ(e.shift0, want[0].shift) << "bits " << bits;
+        }
+    }
+}
+
+TEST(ValueLut, BDecodeSharesEncodingIndependentFields)
+{
+    // The B-side decode fields must not depend on the term encoding.
+    const ValueLut &canon = ValueLut::of(TermEncoding::Canonical);
+    const ValueLut &raw = ValueLut::of(TermEncoding::RawBits);
+    ASSERT_EQ(&ValueLut::bDecode(), &canon);
+    for (uint32_t bits = 0; bits < 65536; bits += 17) {
+        const ValueLut::Entry &a =
+            canon.entry(static_cast<uint16_t>(bits));
+        const ValueLut::Entry &b =
+            raw.entry(static_cast<uint16_t>(bits));
+        ASSERT_EQ(a.flags, b.flags) << "bits " << bits;
+        ASSERT_EQ(a.biasedExp, b.biasedExp) << "bits " << bits;
+        ASSERT_EQ(a.sig, b.sig) << "bits " << bits;
+    }
+}
+
+TEST(SimMemo, RoundTripVerifiesFullKey)
+{
+    SimMemo memo(1 << 20);
+    const char key[] = "burst-key-bytes";
+    const uint64_t value = 0xdeadbeefcafef00dull;
+    uint64_t got = 0;
+
+    EXPECT_FALSE(memo.lookup(7, key, sizeof(key), &got, sizeof(got)));
+    memo.insert(7, key, sizeof(key), &value, sizeof(value));
+    ASSERT_TRUE(memo.lookup(7, key, sizeof(key), &got, sizeof(got)));
+    EXPECT_EQ(got, value);
+
+    // A 64-bit hash collision with different key bytes must be a
+    // miss, never a wrong value.
+    const char other[] = "other-key-bytes";
+    static_assert(sizeof(other) == sizeof(key), "same length");
+    got = 0;
+    EXPECT_FALSE(
+        memo.lookup(7, other, sizeof(other), &got, sizeof(got)));
+    EXPECT_EQ(got, 0u);
+    // A matching key with a different value size is a miss too.
+    uint32_t small = 0;
+    EXPECT_FALSE(
+        memo.lookup(7, key, sizeof(key), &small, sizeof(small)));
+
+    SimMemo::Stats st = memo.stats();
+    EXPECT_EQ(st.hits, 1u);
+    EXPECT_EQ(st.misses, 3u);
+    EXPECT_EQ(st.insertions, 1u);
+    EXPECT_EQ(st.entries, 1u);
+    EXPECT_GT(st.bytes, 0u);
+}
+
+TEST(SimMemo, OversizedEntryNeverCached)
+{
+    SimMemo memo(256); // Far below one entry's cost.
+    std::vector<unsigned char> key(512, 0xab);
+    uint64_t value = 1, got = 0;
+    memo.insert(1, key.data(), key.size(), &value, sizeof(value));
+    EXPECT_FALSE(
+        memo.lookup(1, key.data(), key.size(), &got, sizeof(got)));
+    SimMemo::Stats st = memo.stats();
+    EXPECT_EQ(st.insertions, 0u);
+    EXPECT_EQ(st.bytes, 0u);
+}
+
+TEST(SimMemo, LruEvictsOldestAndRespectsBudget)
+{
+    // Small budget -> a single stripe; entries cost ~96 bytes each, so
+    // the table holds a handful and must evict in LRU order.
+    SimMemo memo(512);
+    uint64_t got = 0;
+    auto put = [&](uint64_t i) {
+        memo.insert(i, &i, sizeof(i), &i, sizeof(i));
+    };
+    auto has = [&](uint64_t i) {
+        return memo.lookup(i, &i, sizeof(i), &got, sizeof(got));
+    };
+    for (uint64_t i = 1; i <= 32; ++i)
+        put(i);
+    SimMemo::Stats st = memo.stats();
+    EXPECT_GT(st.evictions, 0u);
+    EXPECT_LE(memo.bytesHeld(), memo.budget());
+    EXPECT_TRUE(has(32));  // Most recent insert survives...
+    EXPECT_FALSE(has(1));  // ...the oldest was evicted.
+
+    // A hit refreshes recency: touch the LRU-oldest survivor, insert
+    // until eviction strikes again, and the touched entry survives.
+    uint64_t oldest = 0;
+    for (uint64_t i = 1; i <= 32; ++i)
+        if (has(i)) {
+            oldest = i;
+            break;
+        }
+    ASSERT_NE(oldest, 0u);
+    const uint64_t evictions_before = memo.stats().evictions;
+    for (uint64_t i = 100; memo.stats().evictions <
+                           evictions_before + 2; ++i) {
+        put(i);
+        EXPECT_TRUE(has(oldest));
+        has(oldest); // Keep it most-recent.
+    }
+}
+
+// ---------------------------------------------------------------- phase
+
+void
+expectPhaseEqual(const PhaseRunResult &a, const PhaseRunResult &b,
+                 const char *what)
+{
+    EXPECT_EQ(a.avgCyclesPerStep, b.avgCyclesPerStep) << what;
+    EXPECT_EQ(a.steps, b.steps) << what;
+    EXPECT_EQ(a.serialSide, b.serialSide) << what;
+    EXPECT_EQ(a.peStats.laneUseful, b.peStats.laneUseful) << what;
+    EXPECT_EQ(a.peStats.laneNoTerm, b.peStats.laneNoTerm) << what;
+    EXPECT_EQ(a.peStats.laneShiftRange, b.peStats.laneShiftRange)
+        << what;
+    EXPECT_EQ(a.peStats.laneExponent, b.peStats.laneExponent) << what;
+    EXPECT_EQ(a.peStats.laneInterPe, b.peStats.laneInterPe) << what;
+    EXPECT_EQ(a.peStats.setCycles, b.peStats.setCycles) << what;
+    EXPECT_EQ(a.peStats.sets, b.peStats.sets) << what;
+    EXPECT_EQ(a.peStats.macs, b.peStats.macs) << what;
+    EXPECT_EQ(a.peStats.termsProcessed, b.peStats.termsProcessed)
+        << what;
+    EXPECT_EQ(a.peStats.termsZeroSkipped, b.peStats.termsZeroSkipped)
+        << what;
+    EXPECT_EQ(a.peStats.termsObSkipped, b.peStats.termsObSkipped)
+        << what;
+    EXPECT_EQ(a.serialStats.values, b.serialStats.values) << what;
+    EXPECT_EQ(a.serialStats.zeros, b.serialStats.zeros) << what;
+    EXPECT_EQ(a.serialStats.terms, b.serialStats.terms) << what;
+    EXPECT_EQ(a.parallelStats.values, b.parallelStats.values) << what;
+    EXPECT_EQ(a.parallelStats.zeros, b.parallelStats.zeros) << what;
+    EXPECT_EQ(a.parallelStats.terms, b.parallelStats.terms) << what;
+}
+
+PhaseRunConfig
+basePhaseConfig()
+{
+    PhaseRunConfig cfg;
+    cfg.tile = TileConfig{};
+    cfg.sampleSteps = 96;
+    cfg.stepsPerOutput = 16;
+    cfg.seed = 42;
+    return cfg;
+}
+
+TEST(PhaseMemo, ColdAndWarmMatchMemoOffAcrossThreadCounts)
+{
+    const ModelInfo &model = findModel("ResNet18-Q");
+    const LayerShape &layer = model.layers.front();
+
+    // Reference: the unmemoized serial path.
+    PhaseRunConfig off = basePhaseConfig();
+    off.memoize = false;
+    const PhaseRunResult ref = runPhaseSample(
+        model, layer, TrainingOp::Forward, 0.5, off);
+    EXPECT_EQ(ref.memoHits, 0u);
+    EXPECT_EQ(ref.memoMisses, 0u);
+
+    for (int threads : {1, 2, 8}) {
+        SimEngine engine(threads);
+        SimMemo memo(8u << 20);
+        PhaseRunConfig cfg = basePhaseConfig();
+        cfg.engine = &engine;
+        cfg.memo = &memo;
+
+        PhaseRunResult cold = runPhaseSample(
+            model, layer, TrainingOp::Forward, 0.5, cfg);
+        expectPhaseEqual(cold, ref,
+                         ("cold t=" + std::to_string(threads)).c_str());
+        EXPECT_EQ(cold.memoHits, 0u) << threads;
+        EXPECT_GT(cold.memoMisses, 0u) << threads;
+
+        // Generator-backed phases memoize whole: the warm rerun hits
+        // at the phase grain and skips even operand generation.
+        PhaseRunResult warm = runPhaseSample(
+            model, layer, TrainingOp::Forward, 0.5, cfg);
+        expectPhaseEqual(warm, ref,
+                         ("warm t=" + std::to_string(threads)).c_str());
+        EXPECT_EQ(warm.memoHits, 1u) << threads;
+        EXPECT_EQ(warm.memoMisses, 0u) << threads;
+    }
+}
+
+TEST(PhaseMemo, BurstGrainHitsEveryBurstOnTraceBackedWarmRun)
+{
+    const ModelInfo &model = findModel("ResNet18-Q");
+    const LayerShape &layer = model.layers.front();
+
+    PhaseRunConfig off = basePhaseConfig();
+    off.memoize = false;
+    const PhaseRunResult ref = runPhaseSample(
+        model, layer, TrainingOp::Forward, 0.5, off);
+
+    // An external supply disables the phase grain (its content lives
+    // in the supplied bytes), so only bursts memoize. Feed the same
+    // generator streams through the supply seam to keep ref parity.
+    const PhasePlan plan = planPhaseSample(
+        model, layer, TrainingOp::Forward, 0.5, basePhaseConfig());
+    GeneratorSlabSupply supply(plan.serialProfile, plan.parallelProfile,
+                               plan.baseSeed);
+
+    for (int threads : {1, 2, 8}) {
+        SimEngine engine(threads);
+        SimMemo memo(8u << 20);
+        PhaseRunConfig cfg = basePhaseConfig();
+        cfg.engine = &engine;
+        cfg.memo = &memo;
+        cfg.supply = &supply;
+
+        PhaseRunResult cold = runPhaseSample(
+            model, layer, TrainingOp::Forward, 0.5, cfg);
+        expectPhaseEqual(cold, ref,
+                         ("cold t=" + std::to_string(threads)).c_str());
+        EXPECT_EQ(cold.memoHits, 0u) << threads;
+        EXPECT_EQ(cold.memoMisses, plan.bursts) << threads;
+
+        PhaseRunResult warm = runPhaseSample(
+            model, layer, TrainingOp::Forward, 0.5, cfg);
+        expectPhaseEqual(warm, ref,
+                         ("warm t=" + std::to_string(threads)).c_str());
+        EXPECT_EQ(warm.memoHits, plan.bursts) << threads;
+        EXPECT_EQ(warm.memoMisses, 0u) << threads;
+    }
+}
+
+TEST(PhaseMemo, EvictionUnderTinyBudgetStaysBitIdentical)
+{
+    const ModelInfo &model = findModel("ResNet18-Q");
+    const LayerShape &layer = model.layers.front();
+
+    PhaseRunConfig off = basePhaseConfig();
+    off.memoize = false;
+    const PhaseRunResult ref = runPhaseSample(
+        model, layer, TrainingOp::Forward, 0.5, off);
+
+    const PhasePlan plan = planPhaseSample(
+        model, layer, TrainingOp::Forward, 0.5, basePhaseConfig());
+    GeneratorSlabSupply supply(plan.serialProfile, plan.parallelProfile,
+                               plan.baseSeed);
+
+    // A budget holding roughly one burst entry: every insert evicts
+    // the previous burst, only the last one can ever hit, and the
+    // results must still be bit-identical to the unmemoized run.
+    SimMemo memo(8u << 10);
+    PhaseRunConfig cfg = basePhaseConfig();
+    cfg.memo = &memo;
+    cfg.supply = &supply;
+    for (int pass = 0; pass < 3; ++pass) {
+        PhaseRunResult got = runPhaseSample(
+            model, layer, TrainingOp::Forward, 0.5, cfg);
+        expectPhaseEqual(got, ref,
+                         ("pass " + std::to_string(pass)).c_str());
+    }
+    SimMemo::Stats st = memo.stats();
+    EXPECT_GT(st.evictions, 0u);
+    EXPECT_LE(memo.bytesHeld(), memo.budget());
+}
+
+TEST(PhaseMemo, MemoizeFalseBypassesEvenAnInstalledMemo)
+{
+    const ModelInfo &model = findModel("ResNet18-Q");
+    const LayerShape &layer = model.layers.front();
+
+    SimMemo memo(8u << 20);
+    PhaseRunConfig cfg = basePhaseConfig();
+    cfg.memo = &memo;
+    cfg.memoize = false;
+    PhaseRunResult r = runPhaseSample(model, layer,
+                                      TrainingOp::Forward, 0.5, cfg);
+    EXPECT_EQ(r.memoHits, 0u);
+    EXPECT_EQ(r.memoMisses, 0u);
+    SimMemo::Stats st = memo.stats();
+    EXPECT_EQ(st.hits + st.misses + st.insertions, 0u);
+}
+
+} // namespace
+} // namespace fpraker
