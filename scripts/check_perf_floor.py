@@ -60,6 +60,20 @@ KEYS = [
      "memo", "steps_per_sec_cold"),
 ]
 
+# Telemetry hot-path overhead (PR10+): absolute ns/op ceilings on the
+# FRESH run, not host-normalized — an instrumented-but-idle seam must
+# stay nanosecond-scale on any host next to a microsecond tile step.
+# The bounds are loose (a relaxed fetch_add measures single-digit ns
+# on 2020s hardware) to absorb noisy shared CI runners while still
+# catching a lock or allocation sneaking onto the hot path. A probe
+# value of 0 means the section skipped itself (span measurement under
+# --trace-out) and passes through.
+TELEMETRY_CEILINGS_NS = [
+    ("counter_ns_per_op", 200.0),
+    ("histogram_ns_per_op", 500.0),
+    ("span_disabled_ns_per_op", 150.0),
+]
+
 
 def main(argv):
     if len(argv) not in (3, 4):
@@ -100,6 +114,28 @@ def main(argv):
               f"{base:.0f} x host-speed {ref_got / ref_base:.2f} "
               f"(floor {floor:.0f}) {verdict}")
         if got < floor:
+            status = 1
+
+    telemetry = fresh.get("telemetry", {})
+    if not telemetry:
+        print("telemetry.*_ns_per_op: skipped (fresh run predates "
+              "the telemetry group)")
+    for key, ceiling in TELEMETRY_CEILINGS_NS:
+        got = telemetry.get(key)
+        if got is None and telemetry:
+            print(f"MISSING: telemetry.{key}")
+            status = 1
+            continue
+        if not telemetry:
+            continue
+        if not got:
+            print(f"telemetry.{key}: skipped (probe not measured "
+                  f"this run)")
+            continue
+        verdict = "ok" if got <= ceiling else "REGRESSION"
+        print(f"telemetry.{key}: {got:.1f} ns/op vs ceiling "
+              f"{ceiling:.0f} {verdict}")
+        if got > ceiling:
             status = 1
     return status
 

@@ -181,6 +181,18 @@ def validate(path, doc, errors):
             isinstance(n, str) for n in notes):
         _fail(path, errors, "missing string-array field 'notes'")
 
+    # Optional: the obs-registry snapshot `fpraker run --telemetry`
+    # folds in (counters/gauges/histograms sub-objects).
+    if "telemetry" in doc:
+        telemetry = doc["telemetry"]
+        if not isinstance(telemetry, dict):
+            _fail(path, errors, "telemetry not an object")
+        else:
+            for key in ("counters", "gauges", "histograms"):
+                if not isinstance(telemetry.get(key), dict):
+                    _fail(path, errors,
+                          f"telemetry.{key} missing or not an object")
+
     return len(errors) == n0
 
 

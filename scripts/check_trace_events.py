@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event capture written by --trace-out.
+
+    scripts/check_trace_events.py [--require=cat1,cat2] FILE...
+
+Checks, per file:
+
+ - the file parses as JSON and is either the {"traceEvents": [...]}
+   object form or a bare event array;
+ - every event is an object with "ph", "name", "pid", "tid", and a
+   numeric "ts" >= 0;
+ - complete ("X") events carry a numeric "dur" >= 0;
+ - duration ("B"/"E") events balance per (pid, tid) with no "E"
+   before its "B" (the fpraker collector only emits X/i events, so
+   any imbalance means a foreign or corrupted capture);
+ - the capture is non-empty, and with --require= at least one event
+   carries each named category.
+
+Exit status: 0 when every file passes, 1 otherwise.
+"""
+
+import json
+import sys
+
+
+def check(path, required):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{path}: not readable JSON: {e}")
+        return False
+
+    if isinstance(doc, dict):
+        events = doc.get("traceEvents")
+        if not isinstance(events, list):
+            print(f"{path}: object form lacks a traceEvents array")
+            return False
+    elif isinstance(doc, list):
+        events = doc
+    else:
+        print(f"{path}: neither an object with traceEvents nor an "
+              f"array")
+        return False
+
+    if not events:
+        print(f"{path}: empty capture (tracing enabled but nothing "
+              f"recorded?)")
+        return False
+
+    ok = True
+    depth = {}  # (pid, tid) -> open B count
+    cats = set()
+    phases = {}
+    for i, e in enumerate(events):
+        where = f"{path}: event {i}"
+        if not isinstance(e, dict):
+            print(f"{where}: not an object")
+            ok = False
+            continue
+        ph = e.get("ph")
+        if not isinstance(ph, str) or len(ph) != 1:
+            print(f"{where}: missing/malformed ph")
+            ok = False
+            continue
+        phases[ph] = phases.get(ph, 0) + 1
+        for key in ("name", "pid", "tid"):
+            if key not in e:
+                print(f"{where}: missing {key}")
+                ok = False
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            print(f"{where}: ts must be a number >= 0, got {ts!r}")
+            ok = False
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                print(f"{where}: X event needs dur >= 0, got {dur!r}")
+                ok = False
+        lane = (e.get("pid"), e.get("tid"))
+        if ph == "B":
+            depth[lane] = depth.get(lane, 0) + 1
+        elif ph == "E":
+            depth[lane] = depth.get(lane, 0) - 1
+            if depth[lane] < 0:
+                print(f"{where}: E without a matching B on "
+                      f"pid/tid {lane}")
+                ok = False
+        if isinstance(e.get("cat"), str):
+            cats.add(e["cat"])
+
+    for lane, d in sorted(depth.items()):
+        if d > 0:
+            print(f"{path}: {d} unclosed B event(s) on pid/tid {lane}")
+            ok = False
+    for cat in required:
+        if cat not in cats:
+            print(f"{path}: no event with required category "
+                  f"'{cat}' (saw: {', '.join(sorted(cats)) or '-'})")
+            ok = False
+
+    if ok:
+        summary = " ".join(f"{p}={n}" for p, n in sorted(phases.items()))
+        print(f"{path}: {len(events)} events ok ({summary}; "
+              f"categories: {', '.join(sorted(cats))})")
+    return ok
+
+
+def main(argv):
+    required = []
+    files = []
+    for arg in argv[1:]:
+        if arg.startswith("--require="):
+            required += [c for c in arg[len("--require="):].split(",")
+                         if c]
+        elif arg.startswith("--"):
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        else:
+            files.append(arg)
+    if not files:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    return 0 if all([check(f, required) for f in files]) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -10,6 +10,13 @@ ext_inference's sweep, ...).
     scripts/plot_results.py --json-dir results [--out-dir plots]
     scripts/plot_results.py results/fig11.json [more.json ...]
     scripts/plot_results.py --json-dir results --list
+    scripts/plot_results.py --metrics serve_metrics.json
+
+``--metrics`` takes an obs-registry snapshot (the output of
+``fpraker metrics``) instead of result documents and renders the
+daemon's per-op request latency histograms (the
+``serve.request_seconds.*`` bucket counts) as one chart,
+plots/serve_latency.svg.
 
 Output is dependency-free SVG (grouped line/marker charts with a
 legend); when matplotlib happens to be installed, pass --matplotlib to
@@ -121,6 +128,56 @@ def render_svg(doc, series):
     return "\n".join(out) + "\n"
 
 
+def bound_label(seconds):
+    """'1µs' / '4.1ms' / '1.1s' style label for a bucket bound."""
+    for scale, unit in ((1e-6, "µs"), (1e-3, "ms"), (1.0, "s")):
+        if seconds < scale * 1000 or unit == "s":
+            return f"≤{seconds / scale:.3g}{unit}"
+    return f"≤{seconds:g}s"
+
+
+def plot_metrics(path, out_dir):
+    """Chart serve.request_seconds.* buckets from a metrics snapshot.
+
+    Returns 0 on success, 1 when the file is unreadable or carries no
+    daemon latency histograms.
+    """
+    try:
+        with open(path, encoding="utf-8") as f:
+            snapshot = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {path}: {e}", file=sys.stderr)
+        return 1
+    series = []
+    for name, h in (snapshot.get("histograms") or {}).items():
+        if not name.startswith("serve.request_seconds."):
+            continue
+        bounds, counts = h.get("bounds") or [], h.get("counts") or []
+        if len(counts) != len(bounds) + 1:
+            print(f"error: {path}: histogram {name} has "
+                  f"{len(counts)} counts for {len(bounds)} bounds",
+                  file=sys.stderr)
+            return 1
+        series.append({
+            "name": name.split(".")[-1],
+            "labels": [bound_label(b) for b in bounds] + ["+Inf"],
+            "values": [float(c) for c in counts],
+        })
+    if not series:
+        print(f"error: {path}: no serve.request_seconds.* histograms "
+              f"(not a daemon metrics snapshot?)", file=sys.stderr)
+        return 1
+    doc = {"experiment": "serve_latency",
+           "title": "daemon request latency by op (bucket counts)"}
+    os.makedirs(out_dir, exist_ok=True)
+    out = os.path.join(out_dir, "serve_latency.svg")
+    with open(out, "w", encoding="utf-8") as f:
+        f.write(render_svg(doc, series))
+    print(f"serve_latency: wrote {out} "
+          f"({', '.join(s['name'] for s in series)})")
+    return 0
+
+
 def render_matplotlib(doc, path):
     import matplotlib
     matplotlib.use("Agg")
@@ -145,6 +202,9 @@ def main(argv):
         formatter_class=argparse.RawDescriptionHelpFormatter)
     ap.add_argument("files", nargs="*", help="result documents")
     ap.add_argument("--json-dir", help="directory of <id>.json files")
+    ap.add_argument("--metrics",
+                    help="obs-registry snapshot (fpraker metrics "
+                         "output); plots the daemon latency buckets")
     ap.add_argument("--out-dir", default="plots",
                     help="where charts are written (default: plots)")
     ap.add_argument("--list", action="store_true",
@@ -153,12 +213,15 @@ def main(argv):
                     help="emit PNG via matplotlib instead of SVG")
     args = ap.parse_args(argv[1:])
 
+    if args.metrics:
+        return plot_metrics(args.metrics, args.out_dir)
+
     paths = list(args.files)
     if args.json_dir:
         paths += sorted(glob.glob(os.path.join(args.json_dir,
                                                "*.json")))
     if not paths:
-        ap.error("no input: give documents or --json-dir")
+        ap.error("no input: give documents, --json-dir, or --metrics")
 
     plotted, errors = 0, 0
     for path in paths:

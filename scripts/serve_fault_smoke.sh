@@ -105,7 +105,7 @@ grep -q "cached=false" "$work/torn2.out" || {
     echo "FAIL: corrupt spill entry was served instead of re-simulated"
     exit 1
 }
-"$bdir"/fpraker stats --socket="$sock" > "$work/torn.stats"
+"$bdir"/fpraker stats --json --socket="$sock" > "$work/torn.stats"
 grep -q '"disk_corrupt": 1' "$work/torn.stats" || {
     echo "FAIL: stats do not count the quarantined spill file"
     cat "$work/torn.stats"
@@ -153,7 +153,7 @@ grep -q "succeeded on attempt" "$work/retry.err" || {
     cat "$work/retry.err"
     exit 1
 }
-"$bdir"/fpraker stats --socket="$sock" > "$work/overload.stats"
+"$bdir"/fpraker stats --json --socket="$sock" > "$work/overload.stats"
 grep -Eq '"shed_overload": [1-9]' "$work/overload.stats" || {
     echo "FAIL: stats do not count the shed submits"
     cat "$work/overload.stats"
@@ -177,7 +177,7 @@ grep -q "deadline" "$work/deadline.err" || {
     cat "$work/deadline.err"
     exit 1
 }
-"$bdir"/fpraker stats --socket="$sock" > "$work/deadline.stats"
+"$bdir"/fpraker stats --json --socket="$sock" > "$work/deadline.stats"
 grep -q '"shed_deadline": 1' "$work/deadline.stats" || {
     echo "FAIL: stats do not count the deadline-shed job"
     cat "$work/deadline.stats"

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Serve-layer smoke: start fprakerd on a temp socket, submit
-# experiments over the wire (one twice, proving a cache hit via both
-# the submit summary and the stats counters), check that served
-# documents are schema-valid fpraker-result-v1 and
-# fingerprint-identical to direct `fpraker run` output, then shut the
-# daemon down and fail if it leaks or hangs.
+# Serve-layer smoke: start fprakerd on a temp socket (with span
+# tracing on), submit experiments over the wire (one twice, proving a
+# cache hit via both the submit summary and the stats counters),
+# check that served documents are schema-valid fpraker-result-v1 and
+# fingerprint-identical to direct `fpraker run` output, pull the live
+# metrics surface in both formats, then shut the daemon down and fail
+# if it leaks or hangs. On success the daemon's metrics snapshot and
+# trace land in <build-dir>/serve_metrics.json and
+# <build-dir>/serve_trace.json (CI plots and validates them).
 #
 #   scripts/serve_smoke.sh [build-dir]     (default: build)
 #
@@ -25,7 +28,8 @@ trap cleanup EXIT
 export FPRAKER_SAMPLE_STEPS="${FPRAKER_SAMPLE_STEPS:-8}"
 
 "$bdir"/fprakerd --socket="$sock" --workers=2 \
-    --cache-dir="$work/cache" > "$work/daemon.log" 2>&1 &
+    --cache-dir="$work/cache" --trace-out="$bdir/serve_trace.json" \
+    > "$work/daemon.log" 2>&1 &
 daemon_pid=$!
 
 for _ in $(seq 1 100); do
@@ -53,13 +57,29 @@ grep -q "cached=true" "$work/hot.out" || {
     exit 1
 }
 
-"$bdir"/fpraker stats --socket="$sock" | tee "$work/stats.out"
+# Human-readable stats for the log, --json (the raw daemon reply)
+# for the counter assertions.
+"$bdir"/fpraker stats --socket="$sock"
+"$bdir"/fpraker stats --socket="$sock" --json | tee "$work/stats.out"
 grep -q '"cache_served": 1' "$work/stats.out" || {
     echo "FAIL: stats do not show the cache-served job"
     exit 1
 }
 grep -q '"executed": 2' "$work/stats.out" || {
     echo "FAIL: stats should show exactly 2 simulations for 3 submits"
+    exit 1
+}
+
+# The live metrics surface: the registry snapshot as JSON (kept for
+# the CI latency plot) and Prometheus text.
+"$bdir"/fpraker metrics --socket="$sock" > "$bdir/serve_metrics.json"
+grep -q '"serve.requests.submit"' "$bdir/serve_metrics.json" || {
+    echo "FAIL: metrics snapshot lacks the per-op request counters"
+    exit 1
+}
+"$bdir"/fpraker metrics --socket="$sock" --prom > "$work/metrics.prom"
+grep -q '^fpraker_sched_submitted 3' "$work/metrics.prom" || {
+    echo "FAIL: prometheus text does not count the 3 submits"
     exit 1
 }
 
@@ -102,4 +122,10 @@ if [ -S "$sock" ]; then
     exit 1
 fi
 daemon_pid=""
+
+# The daemon wrote its span trace on exit; it must be a well-formed
+# trace_event capture covering the job lifecycle.
+python3 scripts/check_trace_events.py --require=sched,experiment \
+    "$bdir/serve_trace.json"
+
 echo "serve smoke OK"

@@ -8,12 +8,28 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/fnv.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fpraker {
 
 namespace {
+
+FPRAKER_METRIC_COUNTER(g_phaseRuns, "phase.runs",
+                       "phase samples simulated or memo-served");
+FPRAKER_METRIC_COUNTER(g_phaseBursts, "phase.bursts",
+                       "bursts executed (memo hits included)");
+FPRAKER_METRIC_COUNTER(g_phaseSteps, "phase.steps",
+                       "sample steps attributed to executed phases");
+FPRAKER_METRIC_COUNTER(g_phaseCycles, "phase.sim_cycles",
+                       "simulated tile cycles accumulated by phases");
+FPRAKER_METRIC_HISTOGRAM(g_burstSeconds, "phase.burst_seconds",
+                         "wall seconds one burst took (memo hits "
+                         "included — they are the cheap mode)",
+                         obs::Buckets::latency());
 
 // ------------------------------------------------------- memo keying
 //
@@ -162,6 +178,12 @@ runPhaseSample(const ModelInfo &model, const LayerShape &layer,
     const size_t a_len = plan.aLen;
     const size_t b_len = plan.bLen;
 
+    g_phaseRuns.add();
+    obs::TraceSpan phaseSpan(
+        "phase", obs::TraceCollector::instance().enabled()
+                     ? layer.name + ":" + opLabel(op)
+                     : std::string());
+
     SimMemo *memo =
         cfg.memoize ? (cfg.memo ? cfg.memo : SimMemo::global()) : nullptr;
     const uint64_t ctx_digest =
@@ -249,6 +271,11 @@ runPhaseSample(const ModelInfo &model, const LayerShape &layer,
 
     auto run_burst = [&](size_t bi) {
         const size_t burst = plan.burstSteps(bi);
+        const int64_t burst_t0 = now_ns();
+        obs::TraceSpan burstSpan(
+            "burst", obs::TraceCollector::instance().enabled()
+                         ? layer.name + ":b" + std::to_string(bi)
+                         : std::string());
 
         // Borrow pooled scratch when a pool is configured; otherwise
         // construct the burst's working set locally. Pooled reuse is
@@ -313,6 +340,9 @@ runPhaseSample(const ModelInfo &model, const LayerShape &layer,
                 out.serialStats = v.serialStats;
                 out.parallelStats = v.parallelStats;
                 out.memoHit = true;
+                g_phaseBursts.add();
+                g_burstSeconds.observe(
+                    static_cast<double>(now_ns() - burst_t0) * 1e-9);
                 return;
             }
         }
@@ -341,6 +371,9 @@ runPhaseSample(const ModelInfo &model, const LayerShape &layer,
             memo->insert(burst_hash, key_buf.data(), key_buf.size(),
                          &v, sizeof(v));
         }
+        g_phaseBursts.add();
+        g_burstSeconds.observe(
+            static_cast<double>(now_ns() - burst_t0) * 1e-9);
     };
 
     if (shard_bursts)
@@ -365,6 +398,8 @@ runPhaseSample(const ModelInfo &model, const LayerShape &layer,
     result.steps = static_cast<uint64_t>(cfg.sampleSteps);
     result.avgCyclesPerStep = static_cast<double>(total_cycles) /
                               static_cast<double>(cfg.sampleSteps);
+    g_phaseSteps.add(result.steps);
+    g_phaseCycles.add(total_cycles);
 
     if (!phase_key.empty()) {
         // The phase-grain lookup above missed; cache the whole result

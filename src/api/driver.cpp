@@ -7,6 +7,8 @@
 
 #include "common/logging.h"
 #include "numeric/slab_ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/serve_cli.h"
 
 namespace fpraker {
@@ -40,7 +42,10 @@ printUsage(FILE *to, const char *prog)
         "  result <job>         fetch (blocking) a job's document\n"
         "                       (--socket= --json=)\n"
         "  stats                print the daemon's scheduler/cache\n"
-        "                       counters (--socket=)\n"
+        "                       counters (--socket= --json)\n"
+        "  metrics              print the daemon's full obs metrics\n"
+        "                       registry (--socket=; --prom for a\n"
+        "                       Prometheus text exposition)\n"
         "  shutdown             stop the daemon (--socket=)\n"
         "  help                 show this text\n"
         "\n"
@@ -53,6 +58,12 @@ printUsage(FILE *to, const char *prog)
         "  --json=FILE          write the result document as JSON\n"
         "                       (requires exactly one experiment)\n"
         "  --json-dir=DIR       write one <id>.json per experiment\n"
+        "  --trace-out=FILE     write a Chrome trace_event JSON of the\n"
+        "                       run's spans (chrome://tracing/Perfetto;\n"
+        "                       see docs/OBSERVABILITY.md)\n"
+        "  --telemetry          fold the obs metrics snapshot into each\n"
+        "                       result document (opt-in 'telemetry'\n"
+        "                       section; never fingerprinted)\n"
         "  --steps=N --reps=N --out=FILE\n"
         "                       perf_regression workload knobs\n"
         "  --batch=N --seq=N --batches=LIST\n"
@@ -122,6 +133,14 @@ parseCliArgs(int argc, char **argv, int first, bool allow_positionals,
             opts->json = arg + 7;
         } else if (std::strncmp(arg, "--json-dir=", 11) == 0) {
             opts->jsonDir = arg + 11;
+        } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+            if (!arg[12]) {
+                *error = "--trace-out requires a file path";
+                return false;
+            }
+            opts->traceOut = arg + 12;
+        } else if (std::strcmp(arg, "--telemetry") == 0) {
+            opts->telemetry = true;
         } else if (std::strncmp(arg, "--steps=", 8) == 0 ||
                    std::strncmp(arg, "--reps=", 7) == 0 ||
                    std::strncmp(arg, "--batch=", 8) == 0 ||
@@ -180,7 +199,10 @@ produceResult(const ExperimentInfo &info, const CliOptions &opts,
     for (const auto &[key, value] : opts.extras)
         session.setOption(key, value);
 
-    Result result = info.fn(session);
+    Result result = [&] {
+        obs::TraceSpan span("experiment", info.id);
+        return info.fn(session);
+    }();
     result.experiment = info.id;
     result.display = info.display;
     result.title = info.title;
@@ -195,6 +217,13 @@ produceResult(const ExperimentInfo &info, const CliOptions &opts,
     if (result.simdLevel.empty())
         result.simdLevel = slab::simdLevel();
     result.variants = session.variantNames();
+    if (opts.telemetry) {
+        // Snapshot AFTER the run so the document reflects the work it
+        // describes. Rendered only under the opt-in flag and excluded
+        // from the fingerprint, like the memo provenance trio.
+        result.telemetry = obs::Registry::instance().snapshotJson();
+        result.hasTelemetry = true;
+    }
     return result;
 }
 
@@ -358,6 +387,21 @@ cliMain(int argc, char **argv)
             return 2;
         }
 
+        // Enable span collection before any experiment runs; the
+        // merged file is written once, after the last one finishes.
+        if (!opts.traceOut.empty())
+            obs::TraceCollector::instance().enable();
+        auto write_trace = [&]() {
+            if (opts.traceOut.empty())
+                return;
+            if (!obs::TraceCollector::instance().writeTo(
+                    opts.traceOut))
+                std::fprintf(stderr, "%s: cannot write trace to %s\n",
+                             prog, opts.traceOut.c_str());
+            else
+                std::printf("wrote %s\n", opts.traceOut.c_str());
+        };
+
         if (opts.all) {
             // Independent experiments shard across ONE shared engine
             // (each session borrows it; inner fan-outs re-enter it).
@@ -382,6 +426,7 @@ cliMain(int argc, char **argv)
                 std::fputs(outcomes[i].text.c_str(), stdout);
                 status |= outcomes[i].status;
             }
+            write_trace();
             return status;
         }
 
@@ -391,6 +436,7 @@ cliMain(int argc, char **argv)
                 std::printf("\n");
             status |= runExperiment(*todo[i], opts);
         }
+        write_trace();
         return status;
     }
 
@@ -404,6 +450,8 @@ cliMain(int argc, char **argv)
         return serve::resultMain(argc, argv, 2);
     if (command == "stats")
         return serve::statsMain(argc, argv, 2);
+    if (command == "metrics")
+        return serve::metricsMain(argc, argv, 2);
     if (command == "shutdown")
         return serve::shutdownMain(argc, argv, 2);
 

@@ -28,6 +28,12 @@ struct CliOptions
     int sampleSteps = 0; //!< 0 = default (env or experiment fallback).
     std::string json;    //!< --json=FILE (single experiment).
     std::string jsonDir; //!< --json-dir=DIR (one <id>.json each).
+    //! --trace-out=FILE: collect obs spans, write Chrome trace_event
+    //! JSON when the run finishes (loadable in chrome://tracing).
+    std::string traceOut;
+    //! --telemetry: fold the obs-registry snapshot into each result
+    //! document (opt-in, like memo provenance).
+    bool telemetry = false;
     bool all = false;    //!< run --all
     //! Experiment-specific passthrough options (--steps/--reps/--out).
     std::vector<std::pair<std::string, std::string>> extras;

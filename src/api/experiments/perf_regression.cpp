@@ -1,7 +1,7 @@
 /**
  * @file
  * Perf-regression experiment: times fixed, seeded workloads on the
- * cycle-level simulator and emits BENCH_PR9.json, extending the
+ * cycle-level simulator and emits BENCH_PR10.json, extending the
  * BENCH_PR<N>.json trajectory each perf PR must beat
  * (docs/PERFORMANCE.md explains how to read and append it).
  *
@@ -49,6 +49,12 @@
  *    phase grain over the generator supply. All five result digests
  *    must be identical; the warm-replay speedup over cold is the
  *    payoff scripts/check_perf_floor.py gates.
+ *  - telemetry — the PR 10 observability layer (src/obs/): the
+ *    per-operation cost of one counter add, one histogram observe,
+ *    and a TraceSpan with tracing disabled, over tight loops.
+ *    scripts/check_perf_floor.py bounds these absolutely (ns/op):
+ *    an instrumented-but-idle seam must stay invisible next to a
+ *    microsecond-scale tile step.
  *
  * The experiment refuses to report a speedup over diverging runs
  * (Result::ok goes false, exit status 1). Because the document
@@ -76,6 +82,8 @@
 #include "common/clock.h"
 #include "common/fnv.h"
 #include "numeric/slab_ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/throughput.h"
 #include "numeric/term_lut.h"
 #include "sim/sim_memo.h"
@@ -279,7 +287,7 @@ REGISTER_EXPERIMENT("perf_regression", "Perf",
         session.intOption("steps", session.sampleSteps(4096));
     const int reps = session.intOption("reps", 3);
     const std::string out_path =
-        session.strOption("out", "BENCH_PR9.json");
+        session.strOption("out", "BENCH_PR10.json");
 
     const char *model_name = "ResNet18-Q";
     const ModelInfo &model = findModel(model_name);
@@ -831,6 +839,57 @@ REGISTER_EXPERIMENT("perf_regression", "Perf",
                  "missing hints, undrained queue, or an incomplete "
                  "spec)");
 
+    // Telemetry overhead (PR 10): what one instrumented-but-idle seam
+    // costs per operation. Counter adds and histogram observes are
+    // padded relaxed atomics; a TraceSpan with tracing disabled is
+    // one relaxed load plus a branch. Measured over tight loops,
+    // best-of-reps; no checksums (pure timing, like every section's
+    // seconds columns).
+    obs::Counter &tele_counter = obs::Registry::instance().counter(
+        "bench.telemetry.counter",
+        "perf_regression overhead probe (not a product metric)");
+    obs::Histogram &tele_hist = obs::Registry::instance().histogram(
+        "bench.telemetry.histogram",
+        "perf_regression overhead probe (not a product metric)",
+        obs::Buckets::latency());
+    const uint64_t tele_ops = 1u << 21;
+    auto tele_ns = [&](const std::function<void(uint64_t)> &op) {
+        double best_s = 1e300;
+        for (int r = 0; r < reps; ++r) {
+            double t0 = now();
+            for (uint64_t i = 0; i < tele_ops; ++i)
+                op(i);
+            best_s = std::min(best_s, now() - t0);
+        }
+        return best_s / static_cast<double>(tele_ops) * 1e9;
+    };
+    double tele_counter_ns =
+        tele_ns([&](uint64_t) { tele_counter.add(); });
+    double tele_hist_ns = tele_ns(
+        [&](uint64_t i) { tele_hist.observe(1e-6 * (i & 1023)); });
+    // Only meaningful with tracing off (the idle-seam case the floor
+    // gates); under --trace-out the loop would also append millions
+    // of real events, so skip it and let the floor gate pass through.
+    const bool tele_tracing_on =
+        obs::TraceCollector::instance().enabled();
+    double tele_span_ns =
+        tele_tracing_on ? 0.0 : tele_ns([&](uint64_t) {
+            obs::TraceSpan span("bench", std::string());
+        });
+
+    ResultTable &tele_table =
+        res.table("telemetry", {"op", "ns/op"});
+    tele_table.caption =
+        "telemetry: obs hot-path overhead (idle seams)";
+    tele_table.addRow({"counter add",
+                       Table::cell(tele_counter_ns, 1)});
+    tele_table.addRow({"histogram observe",
+                       Table::cell(tele_hist_ns, 1)});
+    tele_table.addRow({"span (tracing off)",
+                       tele_tracing_on
+                           ? std::string("skipped (tracing on)")
+                           : Table::cell(tele_span_ns, 1)});
+
     bool all_identical = deterministic_reps && tile_identical &&
                          sweep_identical && model_identical &&
                          gen_identical && count_identical &&
@@ -974,6 +1033,12 @@ REGISTER_EXPERIMENT("perf_regression", "Perf",
         .metric("bit_identical", base_identical);
     serve::addServingGroup(res, serve_opts, serve_r);
     serve::addShedGroup(res, shed_opts, shed_r);
+    res.group("telemetry")
+        .metric("ops", tele_ops)
+        .metric("counter_ns_per_op", tele_counter_ns, 2)
+        .metric("histogram_ns_per_op", tele_hist_ns, 2)
+        .metric("span_disabled_ns_per_op", tele_span_ns, 2)
+        .metric("span_measured", !tele_tracing_on);
     res.group("host")
         .metric("hardware_concurrency", static_cast<int64_t>(hc))
         .metric("single_cpu_caveat", hc <= 1);

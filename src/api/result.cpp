@@ -290,6 +290,11 @@ Result::toJson() const
     for (const std::string &n : notes_)
         notes.push(n);
     doc.set("notes", std::move(notes));
+
+    // Opt-in only (see result.h): counter values depend on process
+    // history and must never perturb the default document bytes.
+    if (hasTelemetry)
+        doc.set("telemetry", telemetry);
     return doc;
 }
 

@@ -157,6 +157,18 @@ class Result
     uint64_t memoHits = 0;
     uint64_t memoMisses = 0;
 
+    /**
+     * Opt-in obs-registry snapshot (src/obs/metrics.h), rendered as a
+     * top-level "telemetry" object only when hasTelemetry is set (the
+     * driver sets it for `fpraker run --telemetry`). Opt-in for the
+     * same reason as the memo trio: counter values depend on process
+     * history, so unconditional rendering would break the serve
+     * layer's document byte-identity. Telemetry only — never part of
+     * the fingerprint.
+     */
+    JsonValue telemetry;
+    bool hasTelemetry = false;
+
     // -------------------------------------------------------- content
     /** Append a table (rendered in insertion order). */
     ResultTable &table(const std::string &name,

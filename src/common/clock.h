@@ -1,26 +1,37 @@
 /**
  * @file
- * The one monotonic wall-clock helper for timing measurements
- * (benchmark sections, scheduler queue/run latencies, daemon
- * uptime). Steady-clock seconds since an arbitrary epoch — only
- * differences are meaningful.
+ * The one monotonic clock for every timing consumer: benchmark
+ * sections, scheduler deadlines and EWMA hints, daemon uptime, and
+ * the obs layer's trace spans. A single steady-clock source keeps
+ * every reading comparable — mixed clock sources skew latency
+ * attributions and retry hints. Only differences are meaningful
+ * (arbitrary epoch).
  */
 
 #ifndef FPRAKER_COMMON_CLOCK_H
 #define FPRAKER_COMMON_CLOCK_H
 
 #include <chrono>
+#include <cstdint>
 
 namespace fpraker {
 
-/** Seconds on the monotonic clock (arbitrary epoch). */
+/** Nanoseconds on the monotonic clock (arbitrary epoch). */
+inline int64_t
+now_ns()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+/** Seconds on the same monotonic clock — now_ns() scaled, so second
+ *  and nanosecond readings in one process never drift apart. */
 inline double
 monotonicSeconds()
 {
-    using clock = std::chrono::steady_clock;
-    return std::chrono::duration<double>(
-               clock::now().time_since_epoch())
-        .count();
+    return static_cast<double>(now_ns()) * 1e-9;
 }
 
 } // namespace fpraker

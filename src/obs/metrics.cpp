@@ -1,0 +1,264 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace fpraker {
+namespace obs {
+
+size_t
+threadShardIndex()
+{
+    static std::atomic<size_t> next{0};
+    thread_local size_t idx =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return idx;
+}
+
+Buckets
+Buckets::exponential(double start, double factor, int count)
+{
+    Buckets b;
+    b.bounds.reserve(static_cast<size_t>(count));
+    double bound = start;
+    for (int i = 0; i < count; ++i) {
+        b.bounds.push_back(bound);
+        bound *= factor;
+    }
+    return b;
+}
+
+Buckets
+Buckets::latency()
+{
+    // 1 µs, 4 µs, 16 µs, … ~68 s: thirteen powers of four span
+    // socket round-trips through full-size experiment runs.
+    return exponential(1e-6, 4.0, 13);
+}
+
+Histogram::Histogram(Buckets buckets) : bounds_(std::move(buckets.bounds))
+{
+    for (Shard &s : shards_) {
+        s.buckets.reset(new std::atomic<uint64_t>[bounds_.size() + 1]);
+        for (size_t i = 0; i <= bounds_.size(); ++i)
+            s.buckets[i].store(0, std::memory_order_relaxed);
+    }
+}
+
+void
+Histogram::observe(double v)
+{
+    size_t bucket = bounds_.size(); // +Inf unless a bound catches it
+    for (size_t i = 0; i < bounds_.size(); ++i) {
+        if (v <= bounds_[i]) {
+            bucket = i;
+            break;
+        }
+    }
+    Shard &s = shards_[threadShardIndex() % kMetricShards];
+    s.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    uint64_t oldBits = s.sumBits.load(std::memory_order_relaxed);
+    for (;;) {
+        double oldSum;
+        std::memcpy(&oldSum, &oldBits, sizeof oldSum);
+        const double newSum = oldSum + v;
+        uint64_t newBits;
+        std::memcpy(&newBits, &newSum, sizeof newBits);
+        if (s.sumBits.compare_exchange_weak(oldBits, newBits,
+                                            std::memory_order_relaxed))
+            break;
+    }
+}
+
+Histogram::Snapshot
+Histogram::snapshot() const
+{
+    Snapshot snap;
+    snap.bounds = bounds_;
+    snap.counts.assign(bounds_.size() + 1, 0);
+    for (const Shard &s : shards_) {
+        for (size_t i = 0; i <= bounds_.size(); ++i)
+            snap.counts[i] +=
+                s.buckets[i].load(std::memory_order_relaxed);
+        snap.count += s.count.load(std::memory_order_relaxed);
+        const uint64_t bits =
+            s.sumBits.load(std::memory_order_relaxed);
+        double part;
+        std::memcpy(&part, &bits, sizeof part);
+        snap.sum += part;
+    }
+    return snap;
+}
+
+Registry &
+Registry::instance()
+{
+    static Registry registry;
+    return registry;
+}
+
+Registry::Instrument &
+Registry::findOrCreate(const std::string &name, const std::string &help,
+                       Kind kind)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &inst : instruments_) {
+        if (inst->name != name)
+            continue;
+        if (inst->kind != kind) {
+            std::fprintf(stderr,
+                         "fpraker: metric '%s' registered twice with "
+                         "conflicting kinds\n",
+                         name.c_str());
+            std::abort();
+        }
+        return *inst;
+    }
+    instruments_.emplace_back(new Instrument);
+    Instrument &inst = *instruments_.back();
+    inst.name = name;
+    inst.help = help;
+    inst.kind = kind;
+    return inst;
+}
+
+Counter &
+Registry::counter(const std::string &name, const std::string &help)
+{
+    Instrument &inst = findOrCreate(name, help, Kind::Counter);
+    if (!inst.counter)
+        inst.counter.reset(new Counter);
+    return *inst.counter;
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const std::string &help)
+{
+    Instrument &inst = findOrCreate(name, help, Kind::Gauge);
+    if (!inst.gauge)
+        inst.gauge.reset(new Gauge);
+    return *inst.gauge;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, const std::string &help,
+                    const Buckets &buckets)
+{
+    Instrument &inst = findOrCreate(name, help, Kind::Histogram);
+    if (!inst.histogram)
+        inst.histogram.reset(new Histogram(buckets));
+    return *inst.histogram;
+}
+
+api::JsonValue
+Registry::snapshotJson() const
+{
+    api::JsonValue counters = api::JsonValue::object();
+    api::JsonValue gauges = api::JsonValue::object();
+    api::JsonValue histograms = api::JsonValue::object();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &inst : instruments_) {
+        switch (inst->kind) {
+        case Kind::Counter:
+            counters.set(inst->name,
+                         api::JsonValue(inst->counter->value()));
+            break;
+        case Kind::Gauge:
+            gauges.set(inst->name,
+                       api::JsonValue(inst->gauge->value()));
+            break;
+        case Kind::Histogram: {
+            const Histogram::Snapshot snap =
+                inst->histogram->snapshot();
+            api::JsonValue bounds = api::JsonValue::array();
+            for (double b : snap.bounds)
+                bounds.push(api::JsonValue(b, 9));
+            api::JsonValue counts = api::JsonValue::array();
+            for (uint64_t c : snap.counts)
+                counts.push(api::JsonValue(c));
+            api::JsonValue h = api::JsonValue::object();
+            h.set("bounds", std::move(bounds));
+            h.set("counts", std::move(counts));
+            h.set("count", api::JsonValue(snap.count));
+            h.set("sum", api::JsonValue(snap.sum, 9));
+            histograms.set(inst->name, std::move(h));
+            break;
+        }
+        }
+    }
+
+    api::JsonValue root = api::JsonValue::object();
+    root.set("counters", std::move(counters));
+    root.set("gauges", std::move(gauges));
+    root.set("histograms", std::move(histograms));
+    return root;
+}
+
+namespace {
+
+std::string
+promName(const std::string &name)
+{
+    std::string out = "fpraker_";
+    for (char c : name)
+        out.push_back(c == '.' ? '_' : c);
+    return out;
+}
+
+std::string
+promDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+Registry::renderProm() const
+{
+    std::string out;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &inst : instruments_) {
+        const std::string name = promName(inst->name);
+        out += "# HELP " + name + " " + inst->help + "\n";
+        switch (inst->kind) {
+        case Kind::Counter:
+            out += "# TYPE " + name + " counter\n";
+            out += name + " " +
+                   std::to_string(inst->counter->value()) + "\n";
+            break;
+        case Kind::Gauge:
+            out += "# TYPE " + name + " gauge\n";
+            out += name + " " +
+                   std::to_string(inst->gauge->value()) + "\n";
+            break;
+        case Kind::Histogram: {
+            out += "# TYPE " + name + " histogram\n";
+            const Histogram::Snapshot snap =
+                inst->histogram->snapshot();
+            uint64_t cumulative = 0;
+            for (size_t i = 0; i < snap.bounds.size(); ++i) {
+                cumulative += snap.counts[i];
+                out += name + "_bucket{le=\"" +
+                       promDouble(snap.bounds[i]) + "\"} " +
+                       std::to_string(cumulative) + "\n";
+            }
+            out += name + "_bucket{le=\"+Inf\"} " +
+                   std::to_string(snap.count) + "\n";
+            out += name + "_sum " + promDouble(snap.sum) + "\n";
+            out += name + "_count " + std::to_string(snap.count) +
+                   "\n";
+            break;
+        }
+        }
+    }
+    return out;
+}
+
+} // namespace obs
+} // namespace fpraker

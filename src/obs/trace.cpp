@@ -1,0 +1,117 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "api/json.h"
+
+namespace fpraker {
+namespace obs {
+
+TraceCollector &
+TraceCollector::instance()
+{
+    static TraceCollector collector;
+    return collector;
+}
+
+void
+TraceCollector::enable()
+{
+    if (enabled_.load(std::memory_order_relaxed))
+        return;
+    epochNs_ = now_ns();
+    enabled_.store(true, std::memory_order_release);
+}
+
+TraceCollector::Buffer &
+TraceCollector::threadBuffer()
+{
+    thread_local Buffer *buffer = nullptr;
+    if (!buffer) {
+        std::lock_guard<std::mutex> lock(buffersMutex_);
+        buffers_.emplace_back(new Buffer);
+        buffer = buffers_.back().get();
+        buffer->tid = static_cast<int>(buffers_.size());
+    }
+    return *buffer;
+}
+
+void
+TraceCollector::complete(const char *category, std::string name,
+                         int64_t startNs, int64_t durationNs)
+{
+    if (!enabled())
+        return;
+    Buffer &buf = threadBuffer();
+    std::lock_guard<std::mutex> lock(buf.mutex);
+    buf.events.push_back(Event{'X', category, std::move(name),
+                               startNs - epochNs_, durationNs});
+}
+
+void
+TraceCollector::instant(const char *category, std::string name)
+{
+    if (!enabled())
+        return;
+    Buffer &buf = threadBuffer();
+    std::lock_guard<std::mutex> lock(buf.mutex);
+    buf.events.push_back(
+        Event{'i', category, std::move(name), now_ns() - epochNs_, 0});
+}
+
+size_t
+TraceCollector::eventCount() const
+{
+    size_t n = 0;
+    std::lock_guard<std::mutex> lock(buffersMutex_);
+    for (const auto &buf : buffers_) {
+        std::lock_guard<std::mutex> bufLock(buf->mutex);
+        n += buf->events.size();
+    }
+    return n;
+}
+
+bool
+TraceCollector::writeTo(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+
+    // Stream events directly instead of building a JsonValue tree:
+    // a long `run --all` can hold hundreds of thousands of spans.
+    std::fputs("{\"traceEvents\":[", f);
+    bool first = true;
+    {
+        std::lock_guard<std::mutex> lock(buffersMutex_);
+        for (const auto &buf : buffers_) {
+            std::lock_guard<std::mutex> bufLock(buf->mutex);
+            for (const Event &ev : buf->events) {
+                if (!first)
+                    std::fputc(',', f);
+                first = false;
+                // trace_event wants microseconds; keep sub-µs
+                // resolution with three decimals.
+                std::fprintf(
+                    f,
+                    "{\"ph\":\"%c\",\"cat\":\"%s\",\"name\":\"%s\","
+                    "\"pid\":1,\"tid\":%d,\"ts\":%.3f",
+                    ev.phase, ev.cat,
+                    api::JsonValue::escape(ev.name).c_str(), buf->tid,
+                    static_cast<double>(ev.tsNs) * 1e-3);
+                if (ev.phase == 'X')
+                    std::fprintf(f, ",\"dur\":%.3f",
+                                 static_cast<double>(ev.durNs) * 1e-3);
+                else
+                    std::fputs(",\"s\":\"t\"", f);
+                std::fputc('}', f);
+            }
+        }
+    }
+    std::fputs("]}\n", f);
+    const bool ok = std::fclose(f) == 0;
+    return ok;
+}
+
+} // namespace obs
+} // namespace fpraker

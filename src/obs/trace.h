@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Span tracing in Chrome trace_event JSON. `fpraker run --trace-out=`
+ * and `fprakerd --trace-out=` enable the collector; the resulting
+ * file loads directly in chrome://tracing or Perfetto and shows the
+ * experiment -> sweep unit -> phase -> burst hierarchy plus the
+ * scheduler's job lifecycle.
+ *
+ * Determinism and overhead contract (same as obs/metrics.h): spans
+ * observe, never influence — no span datum may reach a fingerprint
+ * or cache key, and when tracing is disabled every call site is one
+ * relaxed atomic load and a branch. Events are buffered per thread
+ * (no lock on the hot path after a thread's first event) and merged
+ * once at writeTo() time.
+ *
+ * Only complete ("X") and instant ("i") events are emitted, so the
+ * output is balanced by construction — there are no dangling "B"
+ * begin events to orphan when a run aborts mid-span.
+ */
+
+#ifndef FPRAKER_OBS_TRACE_H
+#define FPRAKER_OBS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace fpraker {
+namespace obs {
+
+/** The process-wide trace collector (off until enable()d). */
+class TraceCollector
+{
+  public:
+    static TraceCollector &instance();
+
+    /** Start collecting; timestamps become relative to this call. */
+    void enable();
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Record a completed span (ns on the common/clock.h clock). */
+    void complete(const char *category, std::string name,
+                  int64_t startNs, int64_t durationNs);
+    /** Record a point-in-time marker. */
+    void instant(const char *category, std::string name);
+
+    /**
+     * Write {"traceEvents": [...]} to @p path, merging every thread's
+     * buffer (collection stays enabled; buffers are not cleared, so a
+     * later write supersedes an earlier one). Returns false on IO
+     * failure. Timestamps are emitted in microseconds as the
+     * trace_event format requires.
+     */
+    bool writeTo(const std::string &path) const;
+
+    /** Events recorded so far (for tests). */
+    size_t eventCount() const;
+
+  private:
+    TraceCollector() = default;
+
+    struct Event
+    {
+        char phase;       //!< 'X' complete or 'i' instant.
+        const char *cat;  //!< Static category string.
+        std::string name;
+        int64_t tsNs;     //!< Relative to the enable() epoch.
+        int64_t durNs;    //!< 'X' only.
+    };
+
+    struct Buffer
+    {
+        int tid = 0;
+        std::mutex mutex; //!< Guards events vs a concurrent writeTo.
+        std::vector<Event> events;
+    };
+
+    Buffer &threadBuffer();
+
+    std::atomic<bool> enabled_{false};
+    int64_t epochNs_ = 0;
+    mutable std::mutex buffersMutex_;
+    std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+/**
+ * RAII span: times its scope and emits one complete event on
+ * destruction. Constructing with the collector disabled costs one
+ * atomic load; the name is only materialized when enabled, so call
+ * sites may pass a cheap literal or guard expensive name building
+ * behind TraceCollector::instance().enabled().
+ */
+class TraceSpan
+{
+  public:
+    TraceSpan(const char *category, std::string name)
+        : active_(TraceCollector::instance().enabled())
+    {
+        if (active_) {
+            category_ = category;
+            name_ = std::move(name);
+            startNs_ = now_ns();
+        }
+    }
+
+    ~TraceSpan()
+    {
+        if (active_)
+            TraceCollector::instance().complete(
+                category_, std::move(name_), startNs_,
+                now_ns() - startNs_);
+    }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    bool active_;
+    const char *category_ = nullptr;
+    std::string name_;
+    int64_t startNs_ = 0;
+};
+
+} // namespace obs
+} // namespace fpraker
+
+#endif // FPRAKER_OBS_TRACE_H

@@ -10,11 +10,51 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "serve/fault_injection.h"
 #include "serve/protocol.h"
 
 namespace fpraker {
 namespace serve {
+
+namespace {
+
+FPRAKER_METRIC_COUNTER(g_connections, "serve.connections",
+                       "client connections accepted");
+FPRAKER_METRIC_COUNTER(g_protocolErrors, "serve.protocol_errors",
+                       "requests rejected before dispatch (bad JSON, "
+                       "oversize, or framing failures)");
+
+/** Per-op request counter + latency histogram, resolved once per op
+ *  string per process (the op set is tiny and closed). */
+struct OpInstruments
+{
+    obs::Counter &requests;
+    obs::Histogram &latency;
+
+    static OpInstruments &
+    of(const std::string &op)
+    {
+        static std::mutex mutex;
+        static std::vector<std::pair<std::string, OpInstruments *>>
+            known;
+        std::lock_guard<std::mutex> lock(mutex);
+        for (auto &[name, inst] : known)
+            if (name == op)
+                return *inst;
+        obs::Registry &reg = obs::Registry::instance();
+        auto *inst = new OpInstruments{
+            reg.counter("serve.requests." + op,
+                        "requests dispatched for op '" + op + "'"),
+            reg.histogram("serve.request_seconds." + op,
+                          "request latency for op '" + op + "'",
+                          obs::Buckets::latency())};
+        known.emplace_back(op, inst);
+        return *inst;
+    }
+};
+
+} // namespace
 
 Daemon::Daemon(const DaemonConfig &cfg)
     : cfg_(cfg),
@@ -294,6 +334,30 @@ Daemon::handleRequest(const api::JsonValue &request)
         return resp;
     }
 
+    if (op->str() == "metrics") {
+        // The whole obs registry, live. "format": "prom" swaps the
+        // structured snapshot for a Prometheus text exposition.
+        bool prom = false;
+        if (const api::JsonValue *f = request.find("format")) {
+            if (f->kind() != api::JsonValue::Kind::String ||
+                (f->str() != "json" && f->str() != "prom"))
+                return errorResponse(
+                    kErrBadRequest,
+                    "'format' must be \"json\" or \"prom\"");
+            prom = f->str() == "prom";
+        }
+        api::JsonValue resp = okResponse();
+        resp.set("protocol", kProtocolVersion);
+        resp.set("uptime_s",
+                 api::JsonValue(monotonicSeconds() - startTime_, 3));
+        if (prom)
+            resp.set("text", obs::Registry::instance().renderProm());
+        else
+            resp.set("metrics",
+                     obs::Registry::instance().snapshotJson());
+        return resp;
+    }
+
     if (op->str() == "shutdown") {
         requestStop();
         api::JsonValue resp = okResponse();
@@ -318,6 +382,7 @@ Daemon::handleConnection(int fd)
     // hostile newline-free stream without cramping any legitimate
     // client.
     LineReader reader(fd, cfg_.maxRequestBytes);
+    g_connections.add();
     std::string line;
     for (;;) {
         int64_t delayMs = 0;
@@ -330,18 +395,45 @@ Daemon::handleConnection(int fd)
             // does not — the stream is already unusable. Either way
             // the connection closes: once framing has failed there is
             // no line boundary left to resynchronize on.
-            if (reader.lastFail() == LineReader::Fail::Oversize)
+            if (reader.lastFail() == LineReader::Fail::Oversize) {
+                g_protocolErrors.add();
                 (void)writeMessage(
                     fd, errorResponse(kErrBadRequest, error),
                     &error);
+            }
             break;
         }
         api::JsonValue request = api::JsonValue::parse(line, &error);
-        api::JsonValue response =
-            error.empty()
-                ? handleRequest(request)
-                : errorResponse(kErrBadRequest,
-                                "bad request: " + error);
+        api::JsonValue response;
+        if (!error.empty()) {
+            g_protocolErrors.add();
+            response = errorResponse(kErrBadRequest,
+                                     "bad request: " + error);
+        } else {
+            // Per-op request count + latency. Op names come off the
+            // wire, so anything outside the protocol's closed set is
+            // bucketed as "other" — a hostile stream of novel op
+            // strings must not grow the registry without bound.
+            static const char *const kKnownOps[] = {
+                "ping",   "submit",  "status",   "result",
+                "stats",  "metrics", "shutdown",
+            };
+            std::string opName = "other";
+            if (const api::JsonValue *op = request.find("op");
+                op && op->kind() == api::JsonValue::Kind::String) {
+                for (const char *known : kKnownOps)
+                    if (op->str() == known) {
+                        opName = known;
+                        break;
+                    }
+            }
+            OpInstruments &oi = OpInstruments::of(opName);
+            const int64_t t0 = now_ns();
+            response = handleRequest(request);
+            oi.requests.add();
+            oi.latency.observe(
+                static_cast<double>(now_ns() - t0) * 1e-9);
+        }
         if (FaultInjector::instance().fires("daemon.drop_connection"))
             break; // Vanish without a response, like a crashed peer.
         if (!writeMessage(fd, response, &error))

@@ -10,10 +10,32 @@
 
 #include "common/fnv.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "serve/fault_injection.h"
 
 namespace fpraker {
 namespace serve {
+
+namespace {
+FPRAKER_METRIC_COUNTER(g_hits, "cache.hits",
+                       "result cache lookups served (memory or disk)");
+FPRAKER_METRIC_COUNTER(g_misses, "cache.misses",
+                       "result cache lookups that found nothing");
+FPRAKER_METRIC_COUNTER(g_insertions, "cache.insertions",
+                       "result cache cold admissions");
+FPRAKER_METRIC_COUNTER(g_evictions, "cache.evictions",
+                       "result cache LRU evictions");
+FPRAKER_METRIC_COUNTER(g_diskHits, "cache.disk_hits",
+                       "result cache lookups rescued from spill files");
+FPRAKER_METRIC_COUNTER(g_diskWrites, "cache.disk_writes",
+                       "spill files durably written");
+FPRAKER_METRIC_COUNTER(g_diskCorrupt, "cache.disk_corrupt",
+                       "spill files quarantined as corrupt");
+FPRAKER_METRIC_GAUGE(g_bytes, "cache.bytes",
+                     "result cache resident bytes");
+FPRAKER_METRIC_GAUGE(g_entries, "cache.entries",
+                     "result cache resident documents");
+} // namespace
 
 std::string
 markDocumentCached(const std::string &document)
@@ -110,6 +132,7 @@ ResultCache::quarantineSpill(const std::string &path)
     // off the lookup path, so the key becomes a plain miss and the
     // next cold run re-spills a good copy over the old name.
     ++counters_.diskCorrupt;
+    g_diskCorrupt.add();
     std::error_code ec;
     std::filesystem::rename(path, path + ".corrupt", ec);
     if (ec)
@@ -192,8 +215,10 @@ ResultCache::writeSpill(uint64_t key, const std::string &document)
     std::filesystem::rename(tmp, path, ec);
     if (ec)
         std::filesystem::remove(tmp, ec);
-    else
+    else {
         ++counters_.diskWrites;
+        g_diskWrites.add();
+    }
 }
 
 void
@@ -217,6 +242,7 @@ ResultCache::lookupLocked(uint64_t key, bool marked,
         std::string text;
         if (!loadSpill(key, &text)) {
             ++counters_.misses;
+            g_misses.add();
             return false;
         }
         // A rescue is a successful lookup: count it as a hit (the
@@ -224,6 +250,8 @@ ResultCache::lookupLocked(uint64_t key, bool marked,
         // ratios over hits/(hits+misses) see disk-served traffic.
         ++counters_.hits;
         ++counters_.diskHits;
+        g_hits.add();
+        g_diskHits.add();
         insertLocked(key, text);
         it = entries_.find(key);
         if (it == entries_.end()) {
@@ -235,6 +263,7 @@ ResultCache::lookupLocked(uint64_t key, bool marked,
         }
     } else {
         ++counters_.hits;
+        g_hits.add();
         touch(it->second, key);
     }
     Entry &e = it->second;
@@ -288,7 +317,10 @@ ResultCache::evictToFit()
         entries_.erase(it);
         lruOrder_.pop_back();
         ++counters_.evictions;
+        g_evictions.add();
     }
+    g_bytes.set(static_cast<int64_t>(bytes_));
+    g_entries.set(static_cast<int64_t>(entries_.size()));
 }
 
 void
@@ -317,6 +349,7 @@ ResultCache::insertLocked(uint64_t key, const std::string &document)
     bytes_ += e.text.size();
     entries_.emplace(key, std::move(e));
     ++counters_.insertions;
+    g_insertions.add();
     evictToFit();
 }
 

@@ -9,11 +9,46 @@
 #include "common/clock.h"
 #include "common/fnv.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/fault_injection.h"
 #include "serve/protocol.h"
 
 namespace fpraker {
 namespace serve {
+
+namespace {
+
+FPRAKER_METRIC_COUNTER(g_submitted, "sched.submitted",
+                       "scheduler submit() calls");
+FPRAKER_METRIC_COUNTER(g_executed, "sched.executed",
+                       "jobs actually simulated");
+FPRAKER_METRIC_COUNTER(g_coalesced, "sched.coalesced",
+                       "submits joined to an in-flight job");
+FPRAKER_METRIC_COUNTER(g_cacheServed, "sched.cache_served",
+                       "submits completed straight from cache");
+FPRAKER_METRIC_COUNTER(g_failed, "sched.failed",
+                       "jobs that could not run");
+FPRAKER_METRIC_COUNTER(g_shedOverload, "sched.shed_overload",
+                       "submits rejected by admission control");
+FPRAKER_METRIC_COUNTER(g_shedDeadline, "sched.shed_deadline",
+                       "queued jobs shed at deadline");
+FPRAKER_METRIC_COUNTER(g_overruns, "sched.deadline_overruns",
+                       "ran jobs that finished past deadline");
+FPRAKER_METRIC_COUNTER(g_pruned, "sched.pruned",
+                       "completed outcomes retired by retention");
+FPRAKER_METRIC_GAUGE(g_queueDepth, "sched.queue_depth",
+                     "jobs waiting to run");
+FPRAKER_METRIC_GAUGE(g_running, "sched.running",
+                     "jobs currently executing");
+FPRAKER_METRIC_HISTOGRAM(g_queueSeconds, "sched.queue_seconds",
+                         "seconds a job waited before running",
+                         obs::Buckets::latency());
+FPRAKER_METRIC_HISTOGRAM(g_runSeconds, "sched.run_seconds",
+                         "seconds a job spent executing",
+                         obs::Buckets::latency());
+
+} // namespace
 
 const char *
 jobStateName(JobState s)
@@ -55,13 +90,14 @@ JobScheduler::~JobScheduler()
         std::lock_guard<std::mutex> lock(mutex_);
         stop_ = true;
         // Queued jobs will never run; release their waiters.
-        const double now = monotonicSeconds();
+        const int64_t now = now_ns();
         std::vector<uint64_t> queuedIds;
         for (const auto &[key, id] : queue_) {
             (void)key;
             queuedIds.push_back(id);
         }
         queue_.clear();
+        g_queueDepth.set(0);
         for (uint64_t id : queuedIds)
             shedQueuedLocked(id, kErrShuttingDown,
                              "scheduler stopped", now);
@@ -76,7 +112,7 @@ JobScheduler::~JobScheduler()
 
 void
 JobScheduler::shedQueuedLocked(uint64_t id, const char *code,
-                               const std::string &error, double now)
+                               const std::string &error, int64_t nowNs)
 {
     auto it = jobs_.find(id);
     if (it == jobs_.end())
@@ -87,26 +123,32 @@ JobScheduler::shedQueuedLocked(uint64_t id, const char *code,
     job.outcome.error = error;
     inflight_.erase(job.key);
     ++counters_.failed;
-    markDoneLocked(id, job, now);
+    g_failed.add();
+    obs::TraceCollector &tc = obs::TraceCollector::instance();
+    if (tc.enabled())
+        tc.instant("sched", "job.shed:" + job.spec.experiment);
+    markDoneLocked(id, job, nowNs);
     doneCv_.notify_all();
 }
 
 void
-JobScheduler::markDoneLocked(uint64_t id, Job &job, double now)
+JobScheduler::markDoneLocked(uint64_t id, Job &job, int64_t nowNs)
 {
-    job.doneTime = now;
-    doneOrder_.emplace_back(id, now);
-    pruneRetentionLocked(now);
+    job.doneTimeNs = nowNs;
+    doneOrder_.emplace_back(id, nowNs);
+    pruneRetentionLocked(nowNs);
 }
 
 void
-JobScheduler::pruneRetentionLocked(double now)
+JobScheduler::pruneRetentionLocked(int64_t nowNs)
 {
+    const int64_t retainNs =
+        static_cast<int64_t>(cfg_.retainSeconds * 1e9);
     while (!doneOrder_.empty()) {
         const bool overCount = doneOrder_.size() > cfg_.retainJobs;
         const bool overAge =
             cfg_.retainSeconds > 0 &&
-            doneOrder_.front().second + cfg_.retainSeconds < now;
+            doneOrder_.front().second + retainNs < nowNs;
         // Hot path (nothing to retire): decided from the deque front
         // alone — no hash lookups on a cache-served submit.
         if (!overCount && !overAge)
@@ -119,6 +161,7 @@ JobScheduler::pruneRetentionLocked(double now)
                 break;
             jobs_.erase(it);
             ++counters_.pruned;
+            g_pruned.add();
         }
         doneOrder_.pop_front();
     }
@@ -154,20 +197,26 @@ JobScheduler::submit(const JobSpec &spec)
 
     std::lock_guard<std::mutex> lock(mutex_);
     ++counters_.submitted;
-    const double now = monotonicSeconds();
+    g_submitted.add();
+    const int64_t now = now_ns();
 
     if (hit) {
         uint64_t id = nextId_++;
         Job job;
         job.spec = spec;
         job.key = key;
-        job.submitTime = now;
+        job.submitTimeNs = now;
         job.outcome.state = JobState::Done;
         job.outcome.cached = true;
         job.outcome.fingerprint = std::move(fingerprint);
         job.outcome.document = std::move(document);
         auto [jt, inserted] = jobs_.emplace(id, std::move(job));
         ++counters_.cacheServed;
+        g_cacheServed.add();
+        obs::TraceCollector &tc = obs::TraceCollector::instance();
+        if (tc.enabled())
+            tc.instant("sched",
+                       "job.cache_served:" + spec.experiment);
         markDoneLocked(id, jt->second, now);
         return id;
     }
@@ -181,6 +230,7 @@ JobScheduler::submit(const JobSpec &spec)
     // it is exempt from admission control, like a cache hit.
     if (auto it = inflight_.find(key); it != inflight_.end()) {
         ++counters_.coalesced;
+        g_coalesced.add();
         Job &job = jobs_[it->second];
         if (job.outcome.state == JobState::Queued &&
             spec.priority > job.queuedPriority) {
@@ -202,7 +252,7 @@ JobScheduler::submit(const JobSpec &spec)
         Job job;
         job.spec = spec;
         job.key = key;
-        job.submitTime = now;
+        job.submitTimeNs = now;
         job.outcome.state = JobState::Failed;
         job.outcome.errorCode = kErrOverloaded;
         job.outcome.retryAfterMs = retryAfterHintLocked();
@@ -214,6 +264,12 @@ JobScheduler::submit(const JobSpec &spec)
         auto [jt, inserted] = jobs_.emplace(id, std::move(job));
         ++counters_.shedOverload;
         ++counters_.failed;
+        g_shedOverload.add();
+        g_failed.add();
+        obs::TraceCollector &tc = obs::TraceCollector::instance();
+        if (tc.enabled())
+            tc.instant("sched",
+                       "job.shed_overload:" + spec.experiment);
         markDoneLocked(id, jt->second, now);
         return id;
     }
@@ -224,13 +280,15 @@ JobScheduler::submit(const JobSpec &spec)
     job.key = key;
     job.seq = nextSeq_++;
     job.queuedPriority = spec.priority;
-    job.submitTime = now;
+    job.submitTimeNs = now;
     if (spec.deadlineMs > 0)
-        job.deadlineTime = now + spec.deadlineMs / 1000.0;
+        job.deadlineTimeNs =
+            now + static_cast<int64_t>(spec.deadlineMs) * 1000000;
     jobs_.emplace(id, std::move(job));
     inflight_.emplace(key, id);
     // Negated priority: map order is ascending, high priority first.
     queue_.emplace(std::make_pair(-spec.priority, jobs_[id].seq), id);
+    g_queueDepth.set(static_cast<int64_t>(queue_.size()));
     queueCv_.notify_one();
     return id;
 }
@@ -250,6 +308,8 @@ JobScheduler::run(const JobSpec &spec)
         std::lock_guard<std::mutex> lock(mutex_);
         ++counters_.submitted;
         ++counters_.cacheServed;
+        g_submitted.add();
+        g_cacheServed.add();
         return out;
     }
     // Miss (or the entry was evicted between probe and submit —
@@ -328,14 +388,16 @@ JobScheduler::workerLoop()
             auto it = queue_.begin();
             id = it->second;
             queue_.erase(it);
+            g_queueDepth.set(static_cast<int64_t>(queue_.size()));
             Job &job = jobs_[id];
-            const double now = monotonicSeconds();
+            const int64_t now = now_ns();
             // Shed-at-pop: a job whose deadline lapsed while queued
             // must not burn engine time its submitter has given up on.
-            if (job.deadlineTime > 0 && now > job.deadlineTime) {
+            if (job.deadlineTimeNs > 0 && now > job.deadlineTimeNs) {
                 ++counters_.shedDeadline;
+                g_shedDeadline.add();
                 const int waitedMs = static_cast<int>(
-                    (now - job.submitTime) * 1000.0 + 0.5);
+                    (now - job.submitTimeNs) / 1000000);
                 shedQueuedLocked(
                     id, kErrTimeout,
                     "deadline of " +
@@ -346,8 +408,10 @@ JobScheduler::workerLoop()
                 continue;
             }
             job.outcome.state = JobState::Running;
-            job.outcome.queueSeconds = now - job.submitTime;
+            job.outcome.queueSeconds =
+                static_cast<double>(now - job.submitTimeNs) * 1e-9;
             ++counters_.running;
+            g_running.add(1);
         }
         execute(id);
     }
@@ -362,27 +426,27 @@ JobScheduler::reaperLoop()
                            [&] { return stop_; });
         if (stop_)
             return;
-        const double now = monotonicSeconds();
+        const int64_t now = now_ns();
         // Deadline sweep over the queue — O(queued), bounded by
         // queueDepth. Collect first: shedding mutates jobs_.
         std::vector<std::pair<std::pair<int, uint64_t>, uint64_t>>
             expired;
         for (const auto &[qkey, id] : queue_) {
             auto it = jobs_.find(id);
-            if (it != jobs_.end() && it->second.deadlineTime > 0 &&
-                now > it->second.deadlineTime)
+            if (it != jobs_.end() && it->second.deadlineTimeNs > 0 &&
+                now > it->second.deadlineTimeNs)
                 expired.emplace_back(qkey, id);
         }
         for (const auto &[qkey, id] : expired) {
             queue_.erase(qkey);
             ++counters_.shedDeadline;
+            g_shedDeadline.add();
             auto it = jobs_.find(id);
             const int waitedMs =
                 it == jobs_.end()
                     ? 0
                     : static_cast<int>(
-                          (now - it->second.submitTime) * 1000.0 +
-                          0.5);
+                          (now - it->second.submitTimeNs) / 1000000);
             const int deadlineMs =
                 it == jobs_.end() ? 0 : it->second.spec.deadlineMs;
             shedQueuedLocked(
@@ -392,6 +456,8 @@ JobScheduler::reaperLoop()
                     " ms in queue",
                 now);
         }
+        if (!expired.empty())
+            g_queueDepth.set(static_cast<int64_t>(queue_.size()));
         pruneRetentionLocked(now);
     }
 }
@@ -403,13 +469,15 @@ JobScheduler::execute(uint64_t id)
     // submits, so references don't survive the unlocked region.
     JobSpec spec;
     uint64_t key = 0;
-    double deadlineTime = 0;
+    int64_t deadlineTimeNs = 0;
+    int64_t submitTimeNs = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         Job &job = jobs_[id];
         spec = job.spec;
         key = job.key;
-        deadlineTime = job.deadlineTime;
+        deadlineTimeNs = job.deadlineTimeNs;
+        submitTimeNs = job.submitTimeNs;
     }
 
     int64_t stallMs = 0;
@@ -418,7 +486,7 @@ JobScheduler::execute(uint64_t id)
         faultSleepMs(stallMs);
 
     JobOutcome out;
-    const double t0 = monotonicSeconds();
+    const int64_t t0 = now_ns();
     // Close the submit-side race: a lock-free cache probe that missed
     // may have been overtaken by an identical job completing before
     // this one was enqueued. Re-check before paying for a simulation
@@ -432,15 +500,22 @@ JobScheduler::execute(uint64_t id)
         out.cached = true;
         out.fingerprint = std::move(cachedFp);
         out.document = std::move(cachedDoc);
-        out.runSeconds = monotonicSeconds() - t0;
+        out.runSeconds =
+            static_cast<double>(now_ns() - t0) * 1e-9;
+        obs::TraceCollector &tc = obs::TraceCollector::instance();
+        if (tc.enabled())
+            tc.instant("sched",
+                       "job.cache_served:" + spec.experiment);
         std::lock_guard<std::mutex> lock(mutex_);
         Job &job = jobs_[id];
         out.queueSeconds = job.outcome.queueSeconds;
         job.outcome = std::move(out);
         inflight_.erase(key);
         --counters_.running;
+        g_running.add(-1);
         ++counters_.cacheServed;
-        markDoneLocked(id, job, monotonicSeconds());
+        g_cacheServed.add();
+        markDoneLocked(id, job, now_ns());
         doneCv_.notify_all();
         return;
     }
@@ -473,16 +548,29 @@ JobScheduler::execute(uint64_t id)
         // real and already cached clean — but THIS submitter's copy
         // must say it arrived late. Re-render with the provenance
         // field set; the fingerprint is content-only and unchanged.
-        const double tEnd = monotonicSeconds();
-        if (deadlineTime > 0 && tEnd > deadlineTime) {
+        const int64_t tEnd = now_ns();
+        if (deadlineTimeNs > 0 && tEnd > deadlineTimeNs) {
             out.deadlineOverrunMs = std::max(
-                1, static_cast<int>((tEnd - deadlineTime) * 1000.0 +
-                                    0.5));
+                1, static_cast<int>((tEnd - deadlineTimeNs) /
+                                    1000000));
             result.deadlineOverrunMs = out.deadlineOverrunMs;
             out.document = api::ReportWriter::renderJson(result);
         }
     }
-    out.runSeconds = monotonicSeconds() - t0;
+    const int64_t tDone = now_ns();
+    out.runSeconds = static_cast<double>(tDone - t0) * 1e-9;
+
+    // Lifecycle spans, rendered at completion from the job's own
+    // timestamps (all on the one monotonic clock): the queued wait
+    // and the run window stack naturally in a trace viewer.
+    obs::TraceCollector &tc = obs::TraceCollector::instance();
+    if (tc.enabled()) {
+        tc.complete("sched", "job.queued:" + spec.experiment,
+                    submitTimeNs, t0 - submitTimeNs);
+        tc.complete("sched", "job.run:" + spec.experiment, t0,
+                    tDone - t0);
+    }
+    g_runSeconds.observe(out.runSeconds);
 
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -491,12 +579,18 @@ JobScheduler::execute(uint64_t id)
         job.outcome = std::move(out);
         inflight_.erase(key);
         --counters_.running;
+        g_running.add(-1);
+        g_queueSeconds.observe(job.outcome.queueSeconds);
         if (job.outcome.state == JobState::Failed) {
             ++counters_.failed;
+            g_failed.add();
         } else {
             ++counters_.executed;
-            if (job.outcome.deadlineOverrunMs > 0)
+            g_executed.add();
+            if (job.outcome.deadlineOverrunMs > 0) {
                 ++counters_.overrun;
+                g_overruns.add();
+            }
             // Feed the retry_after estimator with real run costs.
             ewmaRunSeconds_ =
                 ewmaRunSeconds_ == 0
@@ -504,7 +598,7 @@ JobScheduler::execute(uint64_t id)
                     : 0.8 * ewmaRunSeconds_ +
                           0.2 * job.outcome.runSeconds;
         }
-        markDoneLocked(id, job, monotonicSeconds());
+        markDoneLocked(id, job, now_ns());
     }
     doneCv_.notify_all();
 }

@@ -178,10 +178,13 @@ class JobScheduler
         uint64_t seq = 0;
         int queuedPriority = 0; //!< Current queue key (coalesced
                                 //!< submits may upgrade it).
-        double submitTime = 0;
-        double deadlineTime = 0; //!< Absolute expiry (0 = none).
-        double doneTime = 0;     //!< Completion time (retention age).
-        uint32_t waiters = 0;    //!< Active wait() calls (pins entry).
+        // All times in nanoseconds on the one common/clock.h
+        // monotonic clock — deadline math, EWMA hints, and obs trace
+        // spans must never mix clock sources.
+        int64_t submitTimeNs = 0;
+        int64_t deadlineTimeNs = 0; //!< Absolute expiry (0 = none).
+        int64_t doneTimeNs = 0; //!< Completion time (retention age).
+        uint32_t waiters = 0;   //!< Active wait() calls (pins entry).
         JobOutcome outcome;
     };
 
@@ -192,11 +195,11 @@ class JobScheduler
      *  retention window (lock held; queue_ entry already removed by
      *  the caller). */
     void shedQueuedLocked(uint64_t id, const char *code,
-                          const std::string &error, double now);
+                          const std::string &error, int64_t nowNs);
     /** Retire completed outcomes past the retention bounds. */
-    void pruneRetentionLocked(double now);
+    void pruneRetentionLocked(int64_t nowNs);
     /** Move a completed job into the retention window. */
-    void markDoneLocked(uint64_t id, Job &job, double now);
+    void markDoneLocked(uint64_t id, Job &job, int64_t nowNs);
     int retryAfterHintLocked() const;
 
     const SchedulerConfig cfg_;
@@ -214,10 +217,10 @@ class JobScheduler
     //! (priority desc, seq asc) -> job id; map keeps pop O(log n).
     std::map<std::pair<int, uint64_t>, uint64_t> queue_;
     std::unordered_map<uint64_t, uint64_t> inflight_; //!< key -> id.
-    //! (id, doneTime), completion order — the retention window. The
-    //! time rides along so the not-pruning fast path (every cache
+    //! (id, doneTimeNs), completion order — the retention window.
+    //! The time rides along so the not-pruning fast path (every cache
     //! hit) decides from the deque front alone, no hash lookups.
-    std::deque<std::pair<uint64_t, double>> doneOrder_;
+    std::deque<std::pair<uint64_t, int64_t>> doneOrder_;
     //! EWMA of simulated-job run seconds (retry_after hints).
     double ewmaRunSeconds_ = 0;
     SchedulerStats counters_;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "api/driver.h"
+#include "obs/trace.h"
 #include "serve/client.h"
 #include "serve/daemon.h"
 #include "serve/fault_injection.h"
@@ -155,6 +156,7 @@ serveMain(int argc, char **argv, int first)
 {
     const char *prog = argc > 0 ? argv[0] : "fprakerd";
     DaemonConfig cfg;
+    std::string traceOut;
     for (int i = first; i < argc; ++i) {
         const char *arg = argv[i];
         if (std::strncmp(arg, "--socket=", 9) == 0) {
@@ -191,14 +193,22 @@ serveMain(int argc, char **argv, int first)
             if (!FaultInjector::instance().configure(arg + 8,
                                                      &error))
                 return flagError(prog, "--fault: " + error);
+        } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+            traceOut = arg + 12;
+            if (traceOut.empty())
+                return flagError(prog, "--trace-out requires a "
+                                       "file path");
         } else {
             return usage(prog,
                          "serve [--socket=PATH] [--threads=N] "
                          "[--workers=N] [--cache-bytes=N] "
                          "[--cache-dir=DIR] [--queue-depth=N] "
-                         "[--io-timeout=SECONDS] [--fault=SPEC]");
+                         "[--io-timeout=SECONDS] [--fault=SPEC] "
+                         "[--trace-out=FILE]");
         }
     }
+    if (!traceOut.empty())
+        obs::TraceCollector::instance().enable();
     // Test harnesses arm fault schedules through the environment
     // when they cannot reach the flag (panics on a malformed value).
     FaultInjector::instance().configureFromEnv();
@@ -220,6 +230,15 @@ serveMain(int argc, char **argv, int first)
                 cfg.scheduler.cacheDir.c_str());
     std::fflush(stdout);
     bool clean = daemon.serve();
+    // Flush the trace even on an unclean exit — a capture that ends
+    // at the failure is exactly the one worth looking at.
+    if (!traceOut.empty()) {
+        if (obs::TraceCollector::instance().writeTo(traceOut))
+            std::printf("fprakerd: wrote %s\n", traceOut.c_str());
+        else
+            std::fprintf(stderr, "%s: cannot write %s\n", prog,
+                         traceOut.c_str());
+    }
     if (!clean) {
         std::fprintf(stderr,
                      "%s: accept loop died on a transport error\n",
@@ -421,16 +440,38 @@ resultMain(int argc, char **argv, int first)
                           jsonPath);
 }
 
+namespace {
+
+/** "k=v k=v ..." over an object of integer counters. */
+std::string
+counterLine(const api::JsonValue &obj)
+{
+    std::string line;
+    for (const auto &[key, value] : obj.entries()) {
+        if (!line.empty())
+            line += " ";
+        line += key + "=" +
+                std::to_string(static_cast<long long>(
+                    value.intValue()));
+    }
+    return line;
+}
+
+} // namespace
+
 int
 statsMain(int argc, char **argv, int first)
 {
     const char *prog = argc > 0 ? argv[0] : "fpraker";
     std::string socket;
+    bool json = false;
     for (int i = first; i < argc; ++i) {
         if (std::strncmp(argv[i], "--socket=", 9) == 0)
             socket = argv[i] + 9;
+        else if (std::strcmp(argv[i], "--json") == 0)
+            json = true;
         else
-            return usage(prog, "stats [--socket=PATH]");
+            return usage(prog, "stats [--socket=PATH] [--json]");
     }
     ServeClient client;
     if (!connectOrFail(&client, socket, prog))
@@ -443,9 +484,83 @@ statsMain(int argc, char **argv, int first)
         std::fprintf(stderr, "%s: %s\n", prog, error.c_str());
         return 1;
     }
-    std::printf("%s\n", resp.dump().c_str());
-    const api::JsonValue *ok = resp.find("ok");
-    return ok && ok->boolean() ? 0 : 1;
+    if (!responseOk(prog, resp))
+        return 1;
+    // Shape check before rendering: a reply that parses as JSON but
+    // lost a section is a daemon bug, not something to print around.
+    for (const char *key : {"protocol", "uptime_s", "engine_threads",
+                            "workers", "jobs", "cache"}) {
+        if (!resp.find(key)) {
+            std::fprintf(stderr,
+                         "%s: malformed stats reply (missing "
+                         "\"%s\")\n",
+                         prog, key);
+            return 1;
+        }
+    }
+    if (json) {
+        // The raw daemon reply, exactly as received.
+        std::printf("%s\n", resp.dump().c_str());
+        return 0;
+    }
+    std::printf("daemon: protocol=%s uptime_s=%.3f "
+                "engine_threads=%lld workers=%lld\n",
+                resp.find("protocol")->str().c_str(),
+                resp.find("uptime_s")->number(),
+                static_cast<long long>(
+                    resp.find("engine_threads")->intValue()),
+                static_cast<long long>(
+                    resp.find("workers")->intValue()));
+    std::printf("jobs:   %s\n",
+                counterLine(*resp.find("jobs")).c_str());
+    std::printf("cache:  %s\n",
+                counterLine(*resp.find("cache")).c_str());
+    return 0;
+}
+
+int
+metricsMain(int argc, char **argv, int first)
+{
+    const char *prog = argc > 0 ? argv[0] : "fpraker";
+    std::string socket;
+    bool prom = false;
+    for (int i = first; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--socket=", 9) == 0)
+            socket = argv[i] + 9;
+        else if (std::strcmp(argv[i], "--prom") == 0)
+            prom = true;
+        else
+            return usage(prog, "metrics [--socket=PATH] [--prom]");
+    }
+    ServeClient client;
+    if (!connectOrFail(&client, socket, prog))
+        return 1;
+    api::JsonValue req = api::JsonValue::object();
+    req.set("op", "metrics");
+    if (prom)
+        req.set("format", "prom");
+    api::JsonValue resp;
+    std::string error;
+    if (!client.request(req, &resp, &error)) {
+        std::fprintf(stderr, "%s: %s\n", prog, error.c_str());
+        return 1;
+    }
+    if (!responseOk(prog, resp))
+        return 1;
+    const char *want = prom ? "text" : "metrics";
+    const api::JsonValue *payload = resp.find(want);
+    if (!payload) {
+        std::fprintf(stderr,
+                     "%s: malformed metrics reply (missing "
+                     "\"%s\")\n",
+                     prog, want);
+        return 1;
+    }
+    if (prom)
+        std::fputs(payload->str().c_str(), stdout);
+    else
+        std::printf("%s\n", payload->dump().c_str());
+    return 0;
 }
 
 int

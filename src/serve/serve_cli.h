@@ -5,13 +5,15 @@
  *
  *   fpraker serve    [--socket=PATH] [--threads=N] [--workers=N]
  *                    [--cache-bytes=N] [--cache-dir=DIR]
+ *                    [--trace-out=FILE]
  *   fpraker submit <id> [--socket=PATH] [--threads=N]
  *                    [--sample-steps=N] [--steps=N] [--reps=N]
  *                    [--out=FILE] [--priority=N] [--json=FILE]
  *                    [--no-wait]
  *   fpraker status <job> [--socket=PATH]
  *   fpraker result <job> [--socket=PATH] [--json=FILE]
- *   fpraker stats    [--socket=PATH]
+ *   fpraker stats    [--socket=PATH] [--json]
+ *   fpraker metrics  [--socket=PATH] [--prom]
  *   fpraker shutdown [--socket=PATH]
  *
  * Flag parsing is strict like the rest of the CLI (unknown flags and
@@ -38,8 +40,14 @@ int statusMain(int argc, char **argv, int first);
 /** `fpraker result <job>` — block for and fetch a job's document. */
 int resultMain(int argc, char **argv, int first);
 
-/** `fpraker stats` — print the daemon's scheduler/cache counters. */
+/** `fpraker stats` — print the daemon's scheduler/cache counters
+ *  (human-readable by default; --json emits the raw daemon reply
+ *  after checking its shape). */
 int statsMain(int argc, char **argv, int first);
+
+/** `fpraker metrics` — dump the daemon's obs metrics registry
+ *  (JSON snapshot by default; --prom for Prometheus text). */
+int metricsMain(int argc, char **argv, int first);
 
 /** `fpraker shutdown` — ask the daemon to stop. */
 int shutdownMain(int argc, char **argv, int first);

@@ -8,10 +8,19 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace fpraker {
 
 namespace {
+
+FPRAKER_METRIC_COUNTER(g_batches, "sim.parallel_for.batches",
+                       "parallelFor batches dispatched");
+FPRAKER_METRIC_COUNTER(g_units, "sim.parallel_for.units",
+                       "parallelFor loop indices executed");
+FPRAKER_METRIC_COUNTER(
+    g_unitsStolen, "sim.parallel_for.units_stolen",
+    "parallelFor loop indices claimed by pool helpers (not the caller)");
 
 /** Shared state of one parallelFor batch (outlives abandoned tasks). */
 struct Batch
@@ -26,18 +35,25 @@ struct Batch
 
 /** Claim and run indices until the batch is exhausted. */
 void
-drain(const std::shared_ptr<Batch> &batch)
+drain(const std::shared_ptr<Batch> &batch, bool helper)
 {
+    uint64_t claimed = 0;
     for (;;) {
         size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
         if (i >= batch->n)
-            return;
+            break;
+        ++claimed;
         (*batch->fn)(i);
         if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
             batch->n) {
             std::lock_guard<std::mutex> lock(batch->mutex);
             batch->cv.notify_all();
         }
+    }
+    if (claimed) {
+        g_units.add(claimed);
+        if (helper)
+            g_unitsStolen.add(claimed);
     }
 }
 
@@ -69,9 +85,14 @@ SimEngine::parallelFor(size_t n,
     if (threads_ <= 1 || n <= 1 || !pool_) {
         for (size_t i = 0; i < n; ++i)
             fn(i);
+        if (n) {
+            g_batches.add();
+            g_units.add(static_cast<uint64_t>(n));
+        }
         return;
     }
 
+    g_batches.add();
     auto batch = std::make_shared<Batch>();
     batch->n = n;
     batch->fn = &fn;
@@ -81,10 +102,10 @@ SimEngine::parallelFor(size_t n,
     // and tasks never dereference fn once the caller has returned.
     size_t helpers =
         std::min<size_t>(static_cast<size_t>(pool_->workers()), n - 1);
-    pool_->postCopies([batch] { drain(batch); },
+    pool_->postCopies([batch] { drain(batch, /*helper=*/true); },
                       static_cast<int>(helpers));
 
-    drain(batch);
+    drain(batch, /*helper=*/false);
 
     std::unique_lock<std::mutex> lock(batch->mutex);
     batch->cv.wait(lock, [&] {

@@ -4,10 +4,23 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace fpraker {
 
 namespace {
+
+FPRAKER_METRIC_COUNTER(g_hits, "memo.hits", "sim memo lookup hits");
+FPRAKER_METRIC_COUNTER(g_misses, "memo.misses",
+                       "sim memo lookup misses");
+FPRAKER_METRIC_COUNTER(g_insertions, "memo.insertions",
+                       "sim memo entries inserted");
+FPRAKER_METRIC_COUNTER(g_evictions, "memo.evictions",
+                       "sim memo entries evicted for budget");
+FPRAKER_METRIC_GAUGE(g_bytes, "memo.bytes",
+                     "sim memo resident bytes (keys+values+overhead)");
+FPRAKER_METRIC_GAUGE(g_entries, "memo.entries",
+                     "sim memo resident entries");
 
 /**
  * Stripe count for a budget: enough stripes to keep lock contention
@@ -60,11 +73,13 @@ SimMemo::lookup(uint64_t hash, const void *key, size_t keyLen,
                 std::memcpy(value, e.value.data(), valueLen);
                 s.lru.splice(s.lru.begin(), s.lru, it->second);
                 hits_.fetch_add(1, std::memory_order_relaxed);
+                g_hits.add();
                 return true;
             }
         }
     }
     misses_.fetch_add(1, std::memory_order_relaxed);
+    g_misses.add();
     return false;
 }
 
@@ -83,10 +98,15 @@ SimMemo::insert(uint64_t hash, const void *key, size_t keyLen,
 
     while (s.bytes + cost > stripeBudget_ && !s.lru.empty()) {
         Entry &tail = s.lru.back();
-        s.bytes -= tail.key.size() + tail.value.size() + kEntryOverhead;
+        const uint64_t freed =
+            tail.key.size() + tail.value.size() + kEntryOverhead;
+        s.bytes -= freed;
         s.index.erase(tail.hash);
         s.lru.pop_back();
         s.evictions += 1;
+        g_evictions.add();
+        g_bytes.add(-static_cast<int64_t>(freed));
+        g_entries.add(-1);
     }
 
     Entry e;
@@ -99,6 +119,9 @@ SimMemo::insert(uint64_t hash, const void *key, size_t keyLen,
     s.index.emplace(hash, s.lru.begin());
     s.bytes += cost;
     s.insertions += 1;
+    g_insertions.add();
+    g_bytes.add(static_cast<int64_t>(cost));
+    g_entries.add(1);
 }
 
 SimMemo::Stats

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace fpraker {
 
@@ -110,6 +111,11 @@ SweepRunner::runModels(const std::vector<SweepJob> &jobs)
     engine_->parallelFor(units.size(), [&](size_t i) {
         const Unit &unit = units[i];
         const SweepJob &job = jobs[unit.job];
+        obs::TraceSpan span(
+            "sweep", obs::TraceCollector::instance().enabled()
+                         ? unit.u.layer->name + ":" +
+                               opLabel(unit.u.op)
+                         : std::string());
         results[i] = job.accel->runLayerOp(*job.model, *unit.u.layer,
                                            unit.u.op, job.progress);
     });
@@ -139,6 +145,10 @@ SweepRunner::runLayerOps(const std::vector<SweepLayerJob> &jobs)
     std::vector<LayerOpReport> results(jobs.size());
     engine_->parallelFor(jobs.size(), [&](size_t i) {
         const SweepLayerJob &job = jobs[i];
+        obs::TraceSpan span(
+            "sweep", obs::TraceCollector::instance().enabled()
+                         ? job.layer->name + ":" + opLabel(job.op)
+                         : std::string());
         results[i] = job.accel->runLayerOp(*job.model, *job.layer,
                                            job.op, job.progress,
                                            job.supply);

@@ -1,6 +1,15 @@
 #include "sim/thread_pool.h"
 
+#include "obs/metrics.h"
+
 namespace fpraker {
+
+namespace {
+FPRAKER_METRIC_COUNTER(g_tasksPosted, "sim.pool.tasks_posted",
+                       "tasks enqueued on the engine thread pool");
+FPRAKER_METRIC_GAUGE(g_queueDepth, "sim.pool.queue_depth",
+                     "tasks waiting in the engine thread pool queue");
+} // namespace
 
 ThreadPool::ThreadPool(int workers)
 {
@@ -33,7 +42,9 @@ ThreadPool::postCopies(const std::function<void()> &task, int n)
         std::lock_guard<std::mutex> lock(mutex_);
         for (int i = 0; i < n; ++i)
             queue_.push_back(task);
+        g_queueDepth.set(static_cast<int64_t>(queue_.size()));
     }
+    g_tasksPosted.add(static_cast<uint64_t>(n > 0 ? n : 0));
     cv_.notify_all();
 }
 
@@ -49,6 +60,7 @@ ThreadPool::workerLoop()
                 return;
             task = std::move(queue_.front());
             queue_.pop_front();
+            g_queueDepth.set(static_cast<int64_t>(queue_.size()));
         }
         task();
     }

@@ -456,6 +456,35 @@ TEST(Daemon, SocketRoundTripServesAndCaches)
     EXPECT_EQ(resp.find("jobs")->find("cache_served")->intValue(), 1);
     EXPECT_GE(resp.find("cache")->find("hits")->intValue(), 1);
 
+    // Metrics op: the full obs-registry snapshot as JSON...
+    JsonValue metrics = JsonValue::object();
+    metrics.set("op", "metrics");
+    ASSERT_TRUE(client.request(metrics, &resp, &error)) << error;
+    ASSERT_TRUE(resp.find("ok")->boolean());
+    const JsonValue *snap = resp.find("metrics");
+    ASSERT_TRUE(snap && snap->isObject());
+    ASSERT_TRUE(snap->find("counters"));
+    ASSERT_TRUE(snap->find("gauges"));
+    ASSERT_TRUE(snap->find("histograms"));
+    // The scheduler seam counted this connection's submits.
+    const JsonValue *submitted =
+        snap->find("counters")->find("sched.submitted");
+    ASSERT_TRUE(submitted);
+    EXPECT_GE(submitted->intValue(), 3);
+    // ...and Prometheus text on request.
+    metrics.set("format", "prom");
+    ASSERT_TRUE(client.request(metrics, &resp, &error)) << error;
+    ASSERT_TRUE(resp.find("ok")->boolean());
+    const JsonValue *prom = resp.find("text");
+    ASSERT_TRUE(prom);
+    EXPECT_NE(prom->str().find("# TYPE fpraker_sched_submitted "
+                               "counter"),
+              std::string::npos);
+    // An unknown format is a protocol error, not a silent default.
+    metrics.set("format", "xml");
+    ASSERT_TRUE(client.request(metrics, &resp, &error)) << error;
+    EXPECT_FALSE(resp.find("ok")->boolean());
+
     JsonValue shutdown = JsonValue::object();
     shutdown.set("op", "shutdown");
     ASSERT_TRUE(client.request(shutdown, &resp, &error)) << error;
